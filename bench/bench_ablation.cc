@@ -1,0 +1,174 @@
+// B11 (ablations): design-choice sweeps called out in DESIGN.md —
+// block compression on/off, Bloom filter on/weak/off for point misses,
+// block cache on/off for hot reads, restart-interval space/time trade.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "authidx/common/random.h"
+#include "authidx/common/strings.h"
+#include "authidx/storage/engine.h"
+
+namespace authidx::storage {
+namespace {
+
+std::string FreshDir(const char* tag) {
+  std::string dir = std::filesystem::temp_directory_path().string() +
+                    "/authidx_ablate_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void FillAndCompact(StorageEngine* engine, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    engine
+        ->Put(StringPrintf("author/%08zu/entry", i),
+              "surname given-names suffix title title title " +
+                  std::string(60, 'a' + (i % 7)))
+        .ok();
+  }
+  engine->Compact().ok();
+}
+
+uint64_t DirBytes(const std::string& dir) {
+  uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      total += entry.file_size();
+    }
+  }
+  return total;
+}
+
+// range(0): 0 = raw, 1 = compressed.
+void BM_AblateCompression(benchmark::State& state) {
+  bool compress = state.range(0) != 0;
+  std::string dir = FreshDir(compress ? "lz" : "raw");
+  EngineOptions options;
+  options.compress_blocks = compress;
+  auto engine = StorageEngine::Open(dir, options);
+  FillAndCompact(engine->get(), 50000);
+  state.counters["table_bytes"] = static_cast<double>(DirBytes(dir));
+  Random rng(3);
+  for (auto _ : state) {
+    auto hit =
+        (*engine)->Get(StringPrintf("author/%08zu/entry", rng.Uniform(50000)));
+    benchmark::DoNotOptimize(hit.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  (*engine)->Close().ok();
+  engine->reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_AblateCompression)->Arg(0)->Arg(1);
+
+// range(0): bloom bits per key (1 ~ nearly off, 10 default).
+void BM_AblateBloomOnMisses(benchmark::State& state) {
+  int bits = static_cast<int>(state.range(0));
+  std::string dir = FreshDir("bloom");
+  EngineOptions options;
+  options.bloom_bits_per_key = bits;
+  options.block_cache_bytes = 0;  // Isolate the filter effect.
+  auto engine = StorageEngine::Open(dir, options);
+  FillAndCompact(engine->get(), 50000);
+  Random rng(4);
+  for (auto _ : state) {
+    // Probe keys inside the run's key range (so the level-1 range check
+    // cannot short-circuit) but never present.
+    auto hit = (*engine)->Get(
+        StringPrintf("author/%08zu/absent", rng.Uniform(50000)));
+    benchmark::DoNotOptimize(hit.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["bits_per_key"] = bits;
+  (*engine)->Close().ok();
+  engine->reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_AblateBloomOnMisses)->Arg(1)->Arg(4)->Arg(10)->Arg(16);
+
+// range(0): cache bytes (0 = off).
+void BM_AblateBlockCache(benchmark::State& state) {
+  std::string dir = FreshDir("cache");
+  EngineOptions options;
+  options.block_cache_bytes = static_cast<size_t>(state.range(0));
+  auto engine = StorageEngine::Open(dir, options);
+  FillAndCompact(engine->get(), 50000);
+  // Hot working set: 100 keys hammered repeatedly.
+  Random rng(5);
+  std::vector<std::string> hot;
+  for (int i = 0; i < 100; ++i) {
+    hot.push_back(StringPrintf("author/%08zu/entry", rng.Uniform(50000)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto hit = (*engine)->Get(hot[i++ % hot.size()]);
+    benchmark::DoNotOptimize(hit.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["cache_hit_rate"] =
+      (*engine)->block_cache().hits() + (*engine)->block_cache().misses() > 0
+          ? static_cast<double>((*engine)->block_cache().hits()) /
+                static_cast<double>((*engine)->block_cache().hits() +
+                                    (*engine)->block_cache().misses())
+          : 0.0;
+  (*engine)->Close().ok();
+  engine->reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_AblateBlockCache)->Arg(0)->Arg(16 << 20);
+
+// range(0): restart interval; counter reports resulting table bytes.
+void BM_AblateRestartInterval(benchmark::State& state) {
+  int interval = static_cast<int>(state.range(0));
+  std::string dir = FreshDir("restart");
+  EngineOptions options;
+  options.restart_interval = interval;
+  options.block_cache_bytes = 0;
+  auto engine = StorageEngine::Open(dir, options);
+  FillAndCompact(engine->get(), 50000);
+  state.counters["table_bytes"] = static_cast<double>(DirBytes(dir));
+  Random rng(6);
+  for (auto _ : state) {
+    auto hit =
+        (*engine)->Get(StringPrintf("author/%08zu/entry", rng.Uniform(50000)));
+    benchmark::DoNotOptimize(hit.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  (*engine)->Close().ok();
+  engine->reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_AblateRestartInterval)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// Batch vs single-op ingest (WAL framing and sync amortization).
+void BM_AblateBatchIngest(benchmark::State& state) {
+  size_t batch_size = static_cast<size_t>(state.range(0));
+  std::string dir = FreshDir("batch");
+  EngineOptions options;
+  options.sync_writes = true;  // Where batching matters most.
+  auto engine = StorageEngine::Open(dir, options);
+  size_t i = 0;
+  for (auto _ : state) {
+    if (batch_size <= 1) {
+      (*engine)->Put(StringPrintf("key%010zu", i++), "value").ok();
+    } else {
+      WriteBatch batch;
+      for (size_t j = 0; j < batch_size; ++j) {
+        batch.Put(StringPrintf("key%010zu", i++), "value");
+      }
+      (*engine)->Apply(batch).ok();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch_size ? batch_size : 1));
+  (*engine)->Close().ok();
+  engine->reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_AblateBatchIngest)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace authidx::storage

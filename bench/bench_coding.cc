@@ -1,0 +1,111 @@
+// B1: integer coding and checksum throughput (DESIGN.md §3).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "authidx/common/coding.h"
+#include "authidx/common/crc32c.h"
+#include "authidx/common/random.h"
+
+namespace authidx {
+namespace {
+
+std::vector<uint64_t> MixedMagnitudeValues(size_t n) {
+  Random rng(42);
+  std::vector<uint64_t> values(n);
+  for (auto& v : values) {
+    v = rng.Skewed(60);
+  }
+  return values;
+}
+
+void BM_VarintEncode(benchmark::State& state) {
+  auto values = MixedMagnitudeValues(64 * 1024);
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    for (uint64_t v : values) {
+      PutVarint64(&buf, v);
+    }
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size()));
+  state.counters["values/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * values.size(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VarintEncode);
+
+void BM_VarintDecode(benchmark::State& state) {
+  auto values = MixedMagnitudeValues(64 * 1024);
+  std::string buf;
+  for (uint64_t v : values) {
+    PutVarint64(&buf, v);
+  }
+  for (auto _ : state) {
+    std::string_view input = buf;
+    uint64_t sink = 0;
+    uint64_t v;
+    while (!input.empty() && GetVarint64(&input, &v).ok()) {
+      sink += v;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_VarintDecode);
+
+void BM_Fixed64Roundtrip(benchmark::State& state) {
+  auto values = MixedMagnitudeValues(64 * 1024);
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    for (uint64_t v : values) {
+      PutFixed64(&buf, v);
+    }
+    uint64_t sink = 0;
+    for (size_t off = 0; off + 8 <= buf.size(); off += 8) {
+      sink += DecodeFixed64(buf.data() + off);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_Fixed64Roundtrip);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  Random rng(7);
+  for (auto& c : data) {
+    c = static_cast<char>(rng.Next64());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_ZigZag(benchmark::State& state) {
+  auto values = MixedMagnitudeValues(64 * 1024);
+  for (auto _ : state) {
+    uint64_t sink = 0;
+    for (uint64_t v : values) {
+      sink += ZigZagEncode64(ZigZagDecode64(v));
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["values/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * values.size(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ZigZag);
+
+}  // namespace
+}  // namespace authidx

@@ -1,0 +1,87 @@
+// B2: author-name collation — precomputed sort keys vs direct Compare
+// vs naive byte compare, across corpus sizes (DESIGN.md §3).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "authidx/text/collate.h"
+#include "authidx/workload/namegen.h"
+
+namespace authidx {
+namespace {
+
+std::vector<std::string> Names(size_t n) {
+  workload::NameGenerator gen(11);
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back(gen.NextAuthor().ToIndexForm());
+  }
+  return names;
+}
+
+void BM_SortWithPrecomputedKeys(benchmark::State& state) {
+  auto names = Names(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::pair<std::string, const std::string*>> keyed;
+    state.ResumeTiming();
+    keyed.reserve(names.size());
+    for (const auto& name : names) {
+      keyed.emplace_back(text::MakeSortKey(name), &name);
+    }
+    std::sort(keyed.begin(), keyed.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    benchmark::DoNotOptimize(keyed.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SortWithPrecomputedKeys)
+    ->Arg(1000)->Arg(16000)->Arg(64000)->Arg(256000);
+
+void BM_SortWithDirectCompare(benchmark::State& state) {
+  auto names = Names(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<std::string> copy = names;
+    std::sort(copy.begin(), copy.end(),
+              [](const std::string& a, const std::string& b) {
+                return text::Compare(a, b) < 0;
+              });
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SortWithDirectCompare)->Arg(1000)->Arg(16000)->Arg(64000);
+
+void BM_SortNaiveBytes(benchmark::State& state) {
+  // Baseline: plain byte sort (wrong order, fast) to quantify the cost
+  // of linguistic collation.
+  auto names = Names(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<std::string> copy = names;
+    std::sort(copy.begin(), copy.end());
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SortNaiveBytes)->Arg(1000)->Arg(16000)->Arg(64000)->Arg(256000);
+
+void BM_MakeSortKey(benchmark::State& state) {
+  auto names = Names(10000);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::MakeSortKey(names[i % names.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MakeSortKey);
+
+}  // namespace
+}  // namespace authidx

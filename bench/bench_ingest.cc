@@ -1,0 +1,92 @@
+// B8: end-to-end ingest throughput into AuthorIndex — in-memory vs
+// persistent, across batch sizes (DESIGN.md §3).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "authidx/core/author_index.h"
+#include "authidx/workload/corpus.h"
+
+namespace authidx::core {
+namespace {
+
+const std::vector<Entry>& Corpus() {
+  static const std::vector<Entry>* corpus = [] {
+    workload::CorpusOptions options;
+    options.entries = 50000;
+    options.authors = 5000;
+    return new std::vector<Entry>(workload::GenerateCorpus(options));
+  }();
+  return *corpus;
+}
+
+void BM_IngestInMemory(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  const auto& corpus = Corpus();
+  for (auto _ : state) {
+    auto catalog = AuthorIndex::Create();
+    for (size_t i = 0; i < n; ++i) {
+      catalog->Add(corpus[i % corpus.size()]).ok();
+    }
+    benchmark::DoNotOptimize(catalog->entry_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_IngestInMemory)
+    ->Arg(1000)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_IngestPersistent(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  const auto& corpus = Corpus();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir = std::filesystem::temp_directory_path().string() +
+                      "/authidx_bench_ingest";
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+    {
+      auto catalog = AuthorIndex::OpenPersistent(dir);
+      for (size_t i = 0; i < n; ++i) {
+        (*catalog)->Add(corpus[i % corpus.size()]).ok();
+      }
+      (*catalog)->Flush().ok();
+    }
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_IngestPersistent)
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_ReopenPersistent(benchmark::State& state) {
+  // Recovery cost: reopen a persisted catalog and rebuild indexes.
+  size_t n = static_cast<size_t>(state.range(0));
+  const auto& corpus = Corpus();
+  std::string dir = std::filesystem::temp_directory_path().string() +
+                    "/authidx_bench_reopen";
+  std::filesystem::remove_all(dir);
+  {
+    auto catalog = AuthorIndex::OpenPersistent(dir);
+    for (size_t i = 0; i < n; ++i) {
+      (*catalog)->Add(corpus[i % corpus.size()]).ok();
+    }
+    (*catalog)->CompactStorage().ok();
+  }
+  for (auto _ : state) {
+    auto catalog = AuthorIndex::OpenPersistent(dir);
+    benchmark::DoNotOptimize((*catalog)->entry_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ReopenPersistent)
+    ->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace authidx::core

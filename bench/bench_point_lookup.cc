@@ -1,0 +1,112 @@
+// B3: point lookups — B+-tree vs sorted vector vs std::map vs hash map
+// across corpus sizes (DESIGN.md §3).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "authidx/common/random.h"
+#include "authidx/common/strings.h"
+#include "authidx/index/btree.h"
+
+namespace authidx {
+namespace {
+
+std::vector<std::string> Keys(size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(StringPrintf("author-%010zu", i * 7919 % (n * 8)));
+  }
+  return keys;
+}
+
+void BM_BTreeLookup(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto keys = Keys(n);
+  BPlusTree tree;
+  for (size_t i = 0; i < n; ++i) {
+    tree.Insert(keys[i], i);
+  }
+  Random rng(5);
+  for (auto _ : state) {
+    const std::string& key = keys[rng.Uniform(n)];
+    benchmark::DoNotOptimize(tree.Get(key));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreeLookup)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_SortedVectorLookup(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto keys = Keys(n);
+  std::vector<std::pair<std::string, uint64_t>> sorted;
+  sorted.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    sorted.emplace_back(keys[i], i);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  Random rng(5);
+  for (auto _ : state) {
+    const std::string& key = keys[rng.Uniform(n)];
+    auto it = std::lower_bound(
+        sorted.begin(), sorted.end(), key,
+        [](const auto& kv, const std::string& k) { return kv.first < k; });
+    benchmark::DoNotOptimize(it);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SortedVectorLookup)
+    ->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_StdMapLookup(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto keys = Keys(n);
+  std::map<std::string, uint64_t> map;
+  for (size_t i = 0; i < n; ++i) {
+    map[keys[i]] = i;
+  }
+  Random rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[rng.Uniform(n)]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StdMapLookup)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_HashMapLookup(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto keys = Keys(n);
+  std::unordered_map<std::string, uint64_t> map;
+  for (size_t i = 0; i < n; ++i) {
+    map[keys[i]] = i;
+  }
+  Random rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[rng.Uniform(n)]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashMapLookup)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto keys = Keys(n);
+  for (auto _ : state) {
+    BPlusTree tree;
+    for (size_t i = 0; i < n; ++i) {
+      tree.Insert(keys[i], i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace authidx

@@ -1,0 +1,117 @@
+// B4: prefix autocomplete — trie subtree scan vs B+-tree range scan for
+// prefixes of varying selectivity (DESIGN.md §3).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "authidx/common/random.h"
+#include "authidx/index/btree.h"
+#include "authidx/index/trie.h"
+#include "authidx/text/normalize.h"
+#include "authidx/workload/namegen.h"
+
+namespace authidx {
+namespace {
+
+constexpr size_t kAuthors = 200000;
+constexpr size_t kLimit = 100;
+
+const std::vector<std::string>& FoldedNames() {
+  static const std::vector<std::string>* names = [] {
+    workload::NameGenerator gen(23);
+    auto* out = new std::vector<std::string>();
+    out->reserve(kAuthors);
+    for (size_t i = 0; i < kAuthors; ++i) {
+      // Disambiguate with a numeric tail so all keys are distinct.
+      out->push_back(text::NormalizeForIndex(gen.NextAuthor().GroupKey()) +
+                     " #" + std::to_string(i));
+    }
+    return out;
+  }();
+  return *names;
+}
+
+std::string PrefixOfLength(const std::vector<std::string>& names,
+                           Random* rng, size_t len) {
+  const std::string& pick = names[rng->Uniform(names.size())];
+  return pick.substr(0, std::min(len, pick.size()));
+}
+
+void BM_TriePrefixScan(benchmark::State& state) {
+  const auto& names = FoldedNames();
+  Trie trie;
+  for (size_t i = 0; i < names.size(); ++i) {
+    trie.Insert(names[i], i);
+  }
+  Random rng(1);
+  size_t prefix_len = static_cast<size_t>(state.range(0));
+  size_t total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string prefix = PrefixOfLength(names, &rng, prefix_len);
+    state.ResumeTiming();
+    auto hits = trie.PrefixScan(prefix, kLimit);
+    total += hits.size();
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.counters["avg_hits"] = static_cast<double>(total) /
+                               static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_TriePrefixScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BTreePrefixScan(benchmark::State& state) {
+  const auto& names = FoldedNames();
+  BPlusTree tree;
+  for (size_t i = 0; i < names.size(); ++i) {
+    tree.Insert(names[i], i);
+  }
+  Random rng(1);
+  size_t prefix_len = static_cast<size_t>(state.range(0));
+  size_t total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string prefix = PrefixOfLength(names, &rng, prefix_len);
+    state.ResumeTiming();
+    auto hits = tree.PrefixScan(prefix, kLimit);
+    total += hits.size();
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.counters["avg_hits"] = static_cast<double>(total) /
+                               static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_BTreePrefixScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_TrieInsertAll(benchmark::State& state) {
+  const auto& names = FoldedNames();
+  for (auto _ : state) {
+    Trie trie;
+    for (size_t i = 0; i < names.size(); ++i) {
+      trie.Insert(names[i], i);
+    }
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(names.size()));
+}
+BENCHMARK(BM_TrieInsertAll);
+
+void BM_TrieCountPrefix(benchmark::State& state) {
+  const auto& names = FoldedNames();
+  Trie trie;
+  for (size_t i = 0; i < names.size(); ++i) {
+    trie.Insert(names[i], i);
+  }
+  Random rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string prefix = PrefixOfLength(names, &rng, 3);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(trie.CountPrefix(prefix));
+  }
+}
+BENCHMARK(BM_TrieCountPrefix);
+
+}  // namespace
+}  // namespace authidx

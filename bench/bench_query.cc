@@ -1,0 +1,94 @@
+// B9: structured query latency over a 100k-entry catalog, one benchmark
+// per access path (DESIGN.md §3).
+
+#include <benchmark/benchmark.h>
+
+#include "authidx/core/author_index.h"
+#include "authidx/query/parser.h"
+#include "authidx/workload/corpus.h"
+
+namespace authidx::core {
+namespace {
+
+AuthorIndex& Catalog() {
+  static AuthorIndex* catalog = [] {
+    workload::CorpusOptions options;
+    options.entries = 100000;
+    options.authors = 8000;
+    auto c = AuthorIndex::Create();
+    c->AddAll(workload::GenerateCorpus(options)).ok();
+    return c.release();
+  }();
+  return *catalog;
+}
+
+void RunQuery(benchmark::State& state, const char* query_text) {
+  AuthorIndex& catalog = Catalog();
+  query::Query q = *query::ParseQuery(query_text);
+  size_t matches = 0;
+  for (auto _ : state) {
+    auto result = catalog.Run(q);
+    matches = result->total_matches;
+    benchmark::DoNotOptimize(result->hits.data());
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_QueryAuthorExact(benchmark::State& state) {
+  RunQuery(state, "author:miller limit:1000");
+}
+BENCHMARK(BM_QueryAuthorExact);
+
+void BM_QueryAuthorPrefix(benchmark::State& state) {
+  RunQuery(state, "author:mc* limit:1000");
+}
+BENCHMARK(BM_QueryAuthorPrefix);
+
+void BM_QueryAuthorFuzzy(benchmark::State& state) {
+  RunQuery(state, "author~milner limit:1000");
+}
+BENCHMARK(BM_QueryAuthorFuzzy)->Unit(benchmark::kMicrosecond);
+
+void BM_QuerySingleTerm(benchmark::State& state) {
+  RunQuery(state, "coal limit:1000");
+}
+BENCHMARK(BM_QuerySingleTerm);
+
+void BM_QueryConjunction(benchmark::State& state) {
+  RunQuery(state, "coal mining limit:1000");
+}
+BENCHMARK(BM_QueryConjunction);
+
+void BM_QueryConjunctionWithFilters(benchmark::State& state) {
+  RunQuery(state, "coal mining year:1975..1985 student:no limit:1000");
+}
+BENCHMARK(BM_QueryConjunctionWithFilters);
+
+void BM_QueryRelevanceRanked(benchmark::State& state) {
+  RunQuery(state, "coal mining safety order:relevance limit:20");
+}
+BENCHMARK(BM_QueryRelevanceRanked)->Unit(benchmark::kMicrosecond);
+
+void BM_QueryNegation(benchmark::State& state) {
+  RunQuery(state, "mining -safety limit:1000");
+}
+BENCHMARK(BM_QueryNegation);
+
+void BM_QueryFilterOnlyFullScan(benchmark::State& state) {
+  RunQuery(state, "year:1980..1982 limit:1000");
+}
+BENCHMARK(BM_QueryFilterOnlyFullScan)->Unit(benchmark::kMillisecond);
+
+void BM_QueryParseOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    auto q = query::ParseQuery(
+        "author:mc* title:\"coal mining\" year:1975..1985 -tax "
+        "order:relevance limit:50");
+    benchmark::DoNotOptimize(q.ok());
+  }
+}
+BENCHMARK(BM_QueryParseOnly);
+
+}  // namespace
+}  // namespace authidx::core

@@ -1,0 +1,190 @@
+// B7: storage engine — WAL append (buffered vs synced), engine fill,
+// point reads, full scans, compaction, and the Bloom bits/key sweep
+// (DESIGN.md §3).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "authidx/common/random.h"
+#include "authidx/common/strings.h"
+#include "authidx/index/bloom.h"
+#include "authidx/storage/engine.h"
+#include "authidx/storage/wal.h"
+
+namespace authidx::storage {
+namespace {
+
+std::string FreshDir(const char* tag) {
+  std::string dir = std::filesystem::temp_directory_path().string() +
+                    "/authidx_bench_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void BM_WalAppendBuffered(benchmark::State& state) {
+  std::string dir = FreshDir("walbuf");
+  std::string record(static_cast<size_t>(state.range(0)), 'r');
+  auto writer = WalWriter::Open(Env::Default(), dir + "/bench.wal");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*writer)->Append(record).ok());
+  }
+  (*writer)->Close().ok();
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WalAppendBuffered)->Arg(128)->Arg(1024)->Arg(16384);
+
+void BM_WalAppendSynced(benchmark::State& state) {
+  std::string dir = FreshDir("walsync");
+  std::string record(static_cast<size_t>(state.range(0)), 'r');
+  auto writer = WalWriter::Open(Env::Default(), dir + "/bench.wal");
+  for (auto _ : state) {
+    (*writer)->Append(record).ok();
+    benchmark::DoNotOptimize((*writer)->Sync().ok());
+  }
+  (*writer)->Close().ok();
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WalAppendSynced)->Arg(128)->Arg(1024);
+
+void BM_EngineFill(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir = FreshDir("fill");
+    EngineOptions options;
+    options.memtable_bytes = 1 << 20;
+    auto engine = StorageEngine::Open(dir, options);
+    state.ResumeTiming();
+    for (size_t i = 0; i < n; ++i) {
+      (*engine)->Put(StringPrintf("key%010zu", i), "value-payload-0123456789")
+          .ok();
+    }
+    (*engine)->Flush().ok();
+    state.PauseTiming();
+    (*engine)->Close().ok();
+    engine->reset();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EngineFill)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+// Shared read-only engine for the read benchmarks.
+struct ReadFixture {
+  std::string dir;
+  std::unique_ptr<StorageEngine> engine;
+  size_t n = 200000;
+
+  ReadFixture() {
+    dir = FreshDir("read");
+    EngineOptions options;
+    options.memtable_bytes = 1 << 20;
+    auto opened = StorageEngine::Open(dir, options);
+    engine = std::move(opened).value();
+    for (size_t i = 0; i < n; ++i) {
+      engine->Put(StringPrintf("key%010zu", i), "value-payload-0123456789")
+          .ok();
+    }
+    engine->Compact().ok();
+  }
+};
+
+ReadFixture& Reads() {
+  static ReadFixture* fixture = new ReadFixture();
+  return *fixture;
+}
+
+void BM_EnginePointGetHit(benchmark::State& state) {
+  ReadFixture& f = Reads();
+  Random rng(3);
+  for (auto _ : state) {
+    auto hit = f.engine->Get(StringPrintf("key%010zu", rng.Uniform(f.n)));
+    benchmark::DoNotOptimize(hit.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EnginePointGetHit);
+
+void BM_EnginePointGetMiss(benchmark::State& state) {
+  ReadFixture& f = Reads();
+  Random rng(4);
+  for (auto _ : state) {
+    auto hit = f.engine->Get(StringPrintf("absent%08zu", rng.Uniform(f.n)));
+    benchmark::DoNotOptimize(hit.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EnginePointGetMiss);
+
+void BM_EngineFullScan(benchmark::State& state) {
+  ReadFixture& f = Reads();
+  for (auto _ : state) {
+    auto it = f.engine->NewIterator();
+    size_t count = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.n));
+}
+BENCHMARK(BM_EngineFullScan)->Unit(benchmark::kMillisecond);
+
+void BM_CompactionThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir = FreshDir("compact");
+    EngineOptions options;
+    options.memtable_bytes = 256 * 1024;
+    options.l0_compaction_trigger = 1000;  // Manual compaction only.
+    auto engine = StorageEngine::Open(dir, options);
+    for (size_t i = 0; i < 50000; ++i) {
+      (*engine)->Put(StringPrintf("key%010zu", i * 3 % 60000), "v").ok();
+    }
+    (*engine)->Flush().ok();
+    state.ResumeTiming();
+    (*engine)->Compact().ok();
+    state.PauseTiming();
+    (*engine)->Close().ok();
+    engine->reset();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 50000);
+}
+BENCHMARK(BM_CompactionThroughput)->Unit(benchmark::kMillisecond);
+
+// Bloom filter false-positive-rate sweep, reported as a counter so the
+// bits/key -> FPR curve regenerates from one run.
+void BM_BloomFprSweep(benchmark::State& state) {
+  int bits_per_key = static_cast<int>(state.range(0));
+  constexpr size_t kKeys = 100000;
+  BloomFilter filter(kKeys, bits_per_key);
+  for (size_t i = 0; i < kKeys; ++i) {
+    filter.Add(StringPrintf("member%08zu", i));
+  }
+  size_t false_positives = 0;
+  size_t probes = 0;
+  for (auto _ : state) {
+    std::string probe = StringPrintf("absent%08zu", probes % kKeys);
+    false_positives += filter.MayContain(probe);
+    ++probes;
+  }
+  state.counters["fpr"] =
+      static_cast<double>(false_positives) / static_cast<double>(probes);
+  state.counters["bits_per_key"] = bits_per_key;
+}
+BENCHMARK(BM_BloomFprSweep)->Arg(4)->Arg(8)->Arg(10)->Arg(16);
+
+}  // namespace
+}  // namespace authidx::storage

@@ -1,0 +1,98 @@
+// B10: typesetting and export throughput for a 10k-entry index
+// (DESIGN.md §3).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "authidx/format/export.h"
+#include "authidx/format/typeset.h"
+#include "authidx/workload/corpus.h"
+
+namespace authidx::format {
+namespace {
+
+core::AuthorIndex& Catalog(size_t entries) {
+  static std::map<size_t, core::AuthorIndex*>* catalogs =
+      new std::map<size_t, core::AuthorIndex*>();
+  auto it = catalogs->find(entries);
+  if (it == catalogs->end()) {
+    workload::CorpusOptions options;
+    options.entries = entries;
+    options.authors = entries / 10 + 2;
+    auto catalog = core::AuthorIndex::Create();
+    catalog->AddAll(workload::GenerateCorpus(options)).ok();
+    it = catalogs->emplace(entries, catalog.release()).first;
+  }
+  return *it->second;
+}
+
+void BM_TypesetPages(benchmark::State& state) {
+  core::AuthorIndex& catalog = Catalog(static_cast<size_t>(state.range(0)));
+  size_t bytes = 0;
+  size_t pages = 0;
+  for (auto _ : state) {
+    auto result = TypesetAuthorIndex(catalog);
+    pages = result.size();
+    bytes = 0;
+    for (const Page& page : result) {
+      bytes += page.text.size();
+    }
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+  state.counters["pages"] = static_cast<double>(pages);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TypesetPages)
+    ->Arg(1000)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_GroupsInOrder(benchmark::State& state) {
+  core::AuthorIndex& catalog = Catalog(10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(catalog.GroupsInOrder().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_GroupsInOrder)->Unit(benchmark::kMillisecond);
+
+void BM_ExportCsv(benchmark::State& state) {
+  core::AuthorIndex& catalog = Catalog(10000);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string csv = CatalogToCsv(catalog);
+    bytes = csv.size();
+    benchmark::DoNotOptimize(csv.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ExportCsv)->Unit(benchmark::kMillisecond);
+
+void BM_ExportJson(benchmark::State& state) {
+  core::AuthorIndex& catalog = Catalog(10000);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string json = CatalogToJson(catalog);
+    bytes = json.size();
+    benchmark::DoNotOptimize(json.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ExportJson)->Unit(benchmark::kMillisecond);
+
+void BM_WrapText(benchmark::State& state) {
+  std::string title =
+      "The Federal Surface Mining Control and Reclamation Act of 1977-"
+      "First to Survive a Direct Tenth Amendment Attack";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WrapText(title, 36));
+  }
+}
+BENCHMARK(BM_WrapText);
+
+}  // namespace
+}  // namespace authidx::format

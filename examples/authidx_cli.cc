@@ -1,0 +1,204 @@
+// authidx_cli — command-line front end over a persistent catalog.
+//
+//   authidx_cli ingest  --db DIR FILE.tsv|FILE.bib   load entries
+//   authidx_cli query   --db DIR 'QUERY'             structured search
+//   authidx_cli typeset --db DIR [--kwic|--titles|--subjects]
+//   authidx_cli export  --db DIR --format csv|json   dump the catalog
+//   authidx_cli stats   --db DIR                     corpus statistics
+//   authidx_cli compact --db DIR                     storage maintenance
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "authidx/common/env.h"
+#include "authidx/core/author_index.h"
+#include "authidx/core/stats.h"
+#include "authidx/format/export.h"
+#include "authidx/format/kwic.h"
+#include "authidx/format/subject_index.h"
+#include "authidx/format/title_index.h"
+#include "authidx/format/typeset.h"
+#include "authidx/parse/bibtex.h"
+#include "authidx/parse/tsv.h"
+#include "authidx/query/planner.h"
+
+namespace {
+
+using namespace authidx;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: authidx_cli <command> --db DIR [args]\n"
+      "  ingest  --db DIR FILE      load .tsv or .bib entries\n"
+      "  query   --db DIR 'QUERY'   e.g. 'author:mc* coal year:1975..'\n"
+      "  typeset --db DIR [--kwic|--titles|--subjects]\n"
+      "                             print the author/KWIC/title/subject index\n"
+      "  export  --db DIR --format csv|json\n"
+      "  stats   --db DIR\n"
+      "  compact --db DIR\n");
+  return 1;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+struct Args {
+  std::string command;
+  std::string db;
+  std::string format = "csv";
+  bool kwic = false;
+  bool titles = false;
+  bool subjects = false;
+  std::vector<std::string> positional;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) {
+    return false;
+  }
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--db" && i + 1 < argc) {
+      args->db = argv[++i];
+    } else if (arg == "--format" && i + 1 < argc) {
+      args->format = argv[++i];
+    } else if (arg == "--kwic") {
+      args->kwic = true;
+    } else if (arg == "--titles") {
+      args->titles = true;
+    } else if (arg == "--subjects") {
+      args->subjects = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else {
+      args->positional.push_back(std::move(arg));
+    }
+  }
+  return !args->db.empty();
+}
+
+int RunIngest(core::AuthorIndex* catalog, const Args& args) {
+  if (args.positional.size() != 1) {
+    return Usage();
+  }
+  const std::string& path = args.positional[0];
+  Result<std::string> contents = Env::Default()->ReadFileToString(path);
+  if (!contents.ok()) {
+    return Fail(contents.status());
+  }
+  Result<std::vector<Entry>> entries =
+      (path.size() > 4 && path.substr(path.size() - 4) == ".bib")
+          ? ParseBibTexToEntries(*contents)
+          : ParseTsv(*contents);
+  if (!entries.ok()) {
+    return Fail(entries.status());
+  }
+  size_t count = entries->size();
+  Status s = catalog->AddAll(std::move(entries).value());
+  if (!s.ok()) {
+    return Fail(s);
+  }
+  s = catalog->Flush();
+  if (!s.ok()) {
+    return Fail(s);
+  }
+  std::printf("ingested %zu entries (catalog now %zu entries, %zu authors)\n",
+              count, catalog->entry_count(), catalog->group_count());
+  return 0;
+}
+
+int RunQuery(core::AuthorIndex* catalog, const Args& args) {
+  if (args.positional.size() != 1) {
+    return Usage();
+  }
+  Result<query::QueryResult> result = catalog->Search(args.positional[0]);
+  if (!result.ok()) {
+    return Fail(result.status());
+  }
+  std::printf("%zu match(es) via %s\n", result->total_matches,
+              std::string(query::PlanKindToString(result->plan)).c_str());
+  for (const query::Hit& hit : result->hits) {
+    const Entry* entry = catalog->GetEntry(hit.id);
+    std::printf("%-30s  %-50.50s  %s\n",
+                entry->author.ToIndexForm().c_str(), entry->title.c_str(),
+                entry->citation.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return Usage();
+  }
+  Result<std::unique_ptr<core::AuthorIndex>> catalog =
+      core::AuthorIndex::OpenPersistent(args.db);
+  if (!catalog.ok()) {
+    return Fail(catalog.status());
+  }
+
+  if (args.command == "ingest") {
+    return RunIngest(catalog->get(), args);
+  }
+  if (args.command == "query") {
+    return RunQuery(catalog->get(), args);
+  }
+  if (args.command == "typeset") {
+    if (args.kwic) {
+      std::printf("%s", format::KwicIndexToString(**catalog).c_str());
+    } else if (args.titles) {
+      for (const format::Page& page :
+           format::TypesetTitleIndex(**catalog)) {
+        std::printf("%s\n", page.text.c_str());
+      }
+    } else if (args.subjects) {
+      std::printf("%s",
+                  format::SubjectIndexToString(
+                      **catalog, format::SubjectVocabulary::LegalDefault())
+                      .c_str());
+    } else {
+      for (const format::Page& page : format::TypesetAuthorIndex(**catalog)) {
+        std::printf("%s\n", page.text.c_str());
+      }
+    }
+    return 0;
+  }
+  if (args.command == "export") {
+    if (args.format == "csv") {
+      std::printf("%s", format::CatalogToCsv(**catalog).c_str());
+    } else if (args.format == "json") {
+      std::printf("%s", format::CatalogToJson(**catalog).c_str());
+    } else {
+      return Usage();
+    }
+    return 0;
+  }
+  if (args.command == "stats") {
+    std::printf("%s", core::ComputeStats(**catalog).ToString().c_str());
+    auto storage = (*catalog)->StorageStats();
+    std::printf("storage: l0=%d l1=%d puts=%llu\n", storage.l0_files,
+                storage.l1_files,
+                static_cast<unsigned long long>(storage.puts));
+    return 0;
+  }
+  if (args.command == "compact") {
+    Status s = (*catalog)->CompactStorage();
+    if (!s.ok()) {
+      return Fail(s);
+    }
+    std::printf("compacted\n");
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,84 @@
+// Fuzzy and phonetic author lookup over a large synthetic catalog:
+// misspelled surnames still find the right person, with Jaro-Winkler
+// ranking of the candidates.
+//
+//   ./fuzzy_author_search [name...]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "authidx/core/author_index.h"
+#include "authidx/text/distance.h"
+#include "authidx/text/normalize.h"
+#include "authidx/text/phonetic.h"
+#include "authidx/workload/corpus.h"
+
+int main(int argc, char** argv) {
+  using namespace authidx;
+
+  workload::CorpusOptions options;
+  options.entries = 50000;
+  options.authors = 4000;
+  auto catalog = core::AuthorIndex::Create();
+  Status ingest = catalog->AddAll(workload::GenerateCorpus(options));
+  if (!ingest.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", ingest.ToString().c_str());
+    return 1;
+  }
+  std::printf("catalog: %zu entries, %zu authors\n\n",
+              catalog->entry_count(), catalog->group_count());
+
+  std::vector<std::string> probes;
+  for (int i = 1; i < argc; ++i) {
+    probes.push_back(argv[i]);
+  }
+  if (probes.empty()) {
+    // Deliberate misspellings of pool surnames.
+    probes = {"mcginlay", "jonson", "epstien", "fizgerald", "neeley"};
+  }
+
+  for (const std::string& probe : probes) {
+    std::string folded = text::NormalizeForIndex(probe);
+    std::printf("probe '%s'  (metaphone %s, soundex %s)\n", probe.c_str(),
+                text::Metaphone(probe).c_str(),
+                text::Soundex(probe).c_str());
+    Result<query::QueryResult> result =
+        catalog->Search("author~" + probe + " limit:10000");
+    if (!result.ok()) {
+      std::fprintf(stderr, "  query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    // Collapse hits to distinct authors ranked by Jaro-Winkler.
+    std::vector<std::pair<double, std::string>> authors;
+    std::string last;
+    for (const query::Hit& hit : result->hits) {
+      const Entry* entry = catalog->GetEntry(hit.id);
+      std::string surname = text::NormalizeForIndex(entry->author.surname);
+      std::string display = entry->author.GroupKey();
+      if (display == last) {
+        continue;
+      }
+      last = display;
+      authors.emplace_back(text::JaroWinkler(surname, folded), display);
+    }
+    std::sort(authors.begin(), authors.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    authors.erase(std::unique(authors.begin(), authors.end(),
+                              [](const auto& a, const auto& b) {
+                                return a.second == b.second;
+                              }),
+                  authors.end());
+    if (authors.empty()) {
+      std::printf("  no candidates within edit distance 2\n");
+    }
+    for (size_t i = 0; i < authors.size() && i < 5; ++i) {
+      std::printf("  %.3f  %s\n", authors[i].first,
+                  authors[i].second.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

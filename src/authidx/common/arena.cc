@@ -1,0 +1,56 @@
+#include "authidx/common/arena.h"
+
+#include <cstring>
+
+namespace authidx {
+
+char* Arena::Allocate(size_t bytes) {
+  if (bytes <= alloc_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateAligned(size_t bytes) {
+  constexpr size_t kAlign = 8;
+  size_t mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (kAlign - 1);
+  size_t slop = (mod == 0) ? 0 : kAlign - mod;
+  size_t needed = bytes + slop;
+  if (needed <= alloc_remaining_) {
+    char* result = alloc_ptr_ + slop;
+    alloc_ptr_ += needed;
+    alloc_remaining_ -= needed;
+    return result;
+  }
+  // Fresh blocks from operator new[] are suitably aligned already.
+  return AllocateFallback(bytes);
+}
+
+std::string_view Arena::CopyString(std::string_view s) {
+  char* dst = Allocate(s.size());
+  std::memcpy(dst, s.data(), s.size());
+  return std::string_view(dst, s.size());
+}
+
+char* Arena::AllocateFallback(size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large allocations get their own block so the current block's
+    // remaining space is not wasted.
+    return AllocateNewBlock(bytes);
+  }
+  char* block = AllocateNewBlock(kBlockSize);
+  alloc_ptr_ = block + bytes;
+  alloc_remaining_ = kBlockSize - bytes;
+  return block;
+}
+
+char* Arena::AllocateNewBlock(size_t block_bytes) {
+  blocks_.push_back(std::make_unique<char[]>(block_bytes));
+  memory_usage_ += block_bytes + sizeof(blocks_.back());
+  return blocks_.back().get();
+}
+
+}  // namespace authidx

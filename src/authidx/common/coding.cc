@@ -1,0 +1,112 @@
+#include "authidx/common/coding.h"
+
+namespace authidx {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);  // Host is assumed little-endian (x86/ARM).
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  dst->append(buf, 8);
+}
+
+uint32_t DecodeFixed32(const char* src) {
+  uint32_t value;
+  std::memcpy(&value, src, 4);
+  return value;
+}
+
+uint64_t DecodeFixed64(const char* src) {
+  uint64_t value;
+  std::memcpy(&value, src, 8);
+  return value;
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  unsigned char buf[5];
+  int i = 0;
+  while (value >= 0x80) {
+    buf[i++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[i++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), i);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int i = 0;
+  while (value >= 0x80) {
+    buf[i++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[i++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), i);
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+Status GetVarint32(std::string_view* input, uint32_t* value) {
+  uint64_t v = 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint64(input, &v));
+  if (v > UINT32_MAX) {
+    return Status::Corruption("varint32 overflow");
+  }
+  *value = static_cast<uint32_t>(v);
+  return Status::OK();
+}
+
+Status GetVarint64(std::string_view* input, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t i = 0;
+  while (i < input->size() && shift <= 63) {
+    unsigned char byte = static_cast<unsigned char>((*input)[i++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      input->remove_prefix(i);
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::Corruption("truncated or oversized varint");
+}
+
+Status GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  uint32_t len = 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint32(input, &len));
+  if (input->size() < len) {
+    return Status::Corruption("length-prefixed string truncated");
+  }
+  *value = input->substr(0, len);
+  input->remove_prefix(len);
+  return Status::OK();
+}
+
+int VarintLength32(uint32_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+int VarintLength64(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace authidx

@@ -1,0 +1,68 @@
+#ifndef AUTHIDX_COMMON_CODING_H_
+#define AUTHIDX_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "authidx/common/status.h"
+
+namespace authidx {
+
+// Little-endian fixed-width and LEB128 variable-width integer coding used
+// by the storage block format, the WAL, and postings compression.
+
+/// Appends `value` to `dst` as 4 little-endian bytes.
+void PutFixed32(std::string* dst, uint32_t value);
+
+/// Appends `value` to `dst` as 8 little-endian bytes.
+void PutFixed64(std::string* dst, uint64_t value);
+
+/// Decodes 4 little-endian bytes at `src` (must have >= 4 readable bytes).
+uint32_t DecodeFixed32(const char* src);
+
+/// Decodes 8 little-endian bytes at `src` (must have >= 8 readable bytes).
+uint64_t DecodeFixed64(const char* src);
+
+/// Appends `value` to `dst` in LEB128 varint form (1-5 bytes).
+void PutVarint32(std::string* dst, uint32_t value);
+
+/// Appends `value` to `dst` in LEB128 varint form (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends a varint32 length prefix followed by the bytes of `value`.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Decodes a varint32 from the front of `*input`, advancing it past the
+/// consumed bytes. Returns Corruption on truncated or oversized input.
+Status GetVarint32(std::string_view* input, uint32_t* value);
+
+/// Decodes a varint64 from the front of `*input`, advancing it.
+Status GetVarint64(std::string_view* input, uint64_t* value);
+
+/// Decodes a length-prefixed string from the front of `*input`; `*value`
+/// aliases the input buffer.
+Status GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+/// Returns the encoded size of `value` as a varint (1-5).
+int VarintLength32(uint32_t value);
+
+/// Returns the encoded size of `value` as a varint (1-10).
+int VarintLength64(uint64_t value);
+
+/// Maps signed to unsigned so small-magnitude values get short varints
+/// (0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...).
+inline uint64_t ZigZagEncode64(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+/// Inverse of ZigZagEncode64.
+inline int64_t ZigZagDecode64(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_COMMON_CODING_H_

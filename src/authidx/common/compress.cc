@@ -1,0 +1,183 @@
+#include "authidx/common/compress.h"
+
+#include <cstring>
+#include <vector>
+
+#include "authidx/common/coding.h"
+
+namespace authidx {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 15;
+
+inline uint32_t HashWord(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// LZ4-style length nibble: 0-14 direct, 15 + 255* + final byte.
+void PutLength(std::string* out, size_t len) {
+  while (len >= 255) {
+    out->push_back(static_cast<char>(0xFF));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+bool GetLength(std::string_view* in, size_t* len) {
+  while (true) {
+    if (in->empty()) {
+      return false;
+    }
+    unsigned char b = static_cast<unsigned char>(in->front());
+    in->remove_prefix(1);
+    *len += b;
+    if (b != 255) {
+      return true;
+    }
+  }
+}
+
+void EmitToken(std::string* out, const char* literals, size_t literal_len,
+               size_t match_len, size_t offset) {
+  size_t lit_nibble = literal_len < 15 ? literal_len : 15;
+  size_t match_code = match_len >= kMinMatch ? match_len - kMinMatch : 0;
+  size_t match_nibble = match_len == 0 ? 0 : (match_code < 15 ? match_code : 15);
+  out->push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) {
+    PutLength(out, literal_len - 15);
+  }
+  out->append(literals, literal_len);
+  if (match_len > 0) {
+    out->push_back(static_cast<char>(offset & 0xFF));
+    out->push_back(static_cast<char>((offset >> 8) & 0xFF));
+    if (match_nibble == 15) {
+      PutLength(out, match_code - 15);
+    }
+  }
+}
+
+}  // namespace
+
+size_t LzMaxCompressedSize(size_t n) {
+  // Worst case: all literals; one extra length byte per 255 literals,
+  // plus token and header overhead.
+  return n + n / 255 + 32;
+}
+
+void LzCompress(std::string_view input, std::string* output) {
+  output->clear();
+  output->reserve(input.size() / 2 + 32);
+  PutVarint64(output, input.size());
+  const char* base = input.data();
+  const size_t n = input.size();
+  std::vector<uint32_t> table(size_t{1} << kHashBits, 0);
+  std::vector<bool> table_set(size_t{1} << kHashBits, false);
+  size_t anchor = 0;  // Start of pending literals.
+  size_t pos = 0;
+  while (n >= kMinMatch && pos + kMinMatch <= n) {
+    uint32_t h = HashWord(base + pos);
+    size_t candidate = table[h];
+    bool usable = table_set[h] && candidate < pos &&
+                  pos - candidate <= kMaxOffset &&
+                  std::memcmp(base + candidate, base + pos, kMinMatch) == 0;
+    table[h] = static_cast<uint32_t>(pos);
+    table_set[h] = true;
+    if (!usable) {
+      ++pos;
+      continue;
+    }
+    // Extend the match forward.
+    size_t match_len = kMinMatch;
+    while (pos + match_len < n &&
+           base[candidate + match_len] == base[pos + match_len]) {
+      ++match_len;
+    }
+    EmitToken(output, base + anchor, pos - anchor, match_len,
+              pos - candidate);
+    pos += match_len;
+    anchor = pos;
+  }
+  // Trailing literals as a final match-less token. Omitted entirely when
+  // a match consumed the input exactly, so every stream byte is load-
+  // bearing (truncations are always detectable).
+  if (n - anchor > 0) {
+    EmitToken(output, base + anchor, n - anchor, 0, 0);
+  }
+}
+
+Result<std::string> LzDecompress(std::string_view input) {
+  uint64_t expected_size = 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint64(&input, &expected_size));
+  // Guard absurd headers so corruption cannot trigger huge allocations:
+  // LZ4-family tokens expand at most ~255x per byte.
+  if (expected_size > (input.size() + 16) * 256) {
+    return Status::Corruption("implausible decompressed size");
+  }
+  std::string out;
+  out.reserve(expected_size);
+  while (out.size() < expected_size) {
+    if (input.empty()) {
+      return Status::Corruption("truncated compressed stream");
+    }
+    unsigned char tag = static_cast<unsigned char>(input.front());
+    input.remove_prefix(1);
+    size_t literal_len = tag >> 4;
+    if (literal_len == 15) {
+      if (!GetLength(&input, &literal_len)) {
+        return Status::Corruption("truncated literal length");
+      }
+    }
+    if (input.size() < literal_len) {
+      return Status::Corruption("truncated literals");
+    }
+    out.append(input.data(), literal_len);
+    input.remove_prefix(literal_len);
+    if (out.size() > expected_size) {
+      return Status::Corruption("literals overflow declared size");
+    }
+    if (out.size() == expected_size && input.empty()) {
+      break;  // Final literal-only token.
+    }
+    if (input.empty()) {
+      // Final token may omit the match part even before expected_size
+      // only if sizes already agree (checked above).
+      return Status::Corruption("missing match part");
+    }
+    if (input.size() < 2) {
+      return Status::Corruption("truncated match offset");
+    }
+    size_t offset = static_cast<unsigned char>(input[0]) |
+                    (static_cast<size_t>(static_cast<unsigned char>(input[1]))
+                     << 8);
+    input.remove_prefix(2);
+    size_t match_len = (tag & 0x0F);
+    if (match_len == 15) {
+      if (!GetLength(&input, &match_len)) {
+        return Status::Corruption("truncated match length");
+      }
+    }
+    match_len += kMinMatch;
+    if (offset == 0 || offset > out.size()) {
+      return Status::Corruption("match offset out of range");
+    }
+    if (out.size() + match_len > expected_size) {
+      return Status::Corruption("match overflows declared size");
+    }
+    // Byte-by-byte copy: overlapping matches (offset < match_len) must
+    // replicate, RLE-style.
+    size_t src = out.size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[src + i]);
+    }
+  }
+  if (out.size() != expected_size) {
+    return Status::Corruption("decompressed size mismatch");
+  }
+  return out;
+}
+
+}  // namespace authidx

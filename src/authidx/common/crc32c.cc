@@ -1,0 +1,61 @@
+#include "authidx/common/crc32c.h"
+
+#include <array>
+
+namespace authidx::crc32c {
+namespace {
+
+// Slice-by-4 table-driven CRC-32C (polynomial 0x1EDC6F41, reflected
+// 0x82F63B78). Tables are generated at static-init time into trivially
+// destructible arrays.
+struct Tables {
+  uint32_t t[4][256];
+};
+
+Tables MakeTables() {
+  Tables tables{};
+  constexpr uint32_t kPoly = 0x82F63B78u;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    tables.t[1][i] = (tables.t[0][i] >> 8) ^ tables.t[0][tables.t[0][i] & 0xFF];
+    tables.t[2][i] = (tables.t[1][i] >> 8) ^ tables.t[0][tables.t[1][i] & 0xFF];
+    tables.t[3][i] = (tables.t[2][i] >> 8) ^ tables.t[0][tables.t[2][i] & 0xFF];
+  }
+  return tables;
+}
+
+const Tables kTables = MakeTables();
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  uint32_t crc = init_crc ^ 0xFFFFFFFFu;
+  // Align to 4 bytes.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 3) != 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFF];
+    --n;
+  }
+  while (n >= 4) {
+    uint32_t word;
+    __builtin_memcpy(&word, p, 4);
+    crc ^= word;
+    crc = kTables.t[3][crc & 0xFF] ^ kTables.t[2][(crc >> 8) & 0xFF] ^
+          kTables.t[1][(crc >> 16) & 0xFF] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFF];
+    --n;
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace authidx::crc32c

@@ -1,0 +1,34 @@
+#ifndef AUTHIDX_COMMON_CRC32C_H_
+#define AUTHIDX_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace authidx::crc32c {
+
+/// Extends `init_crc` with `data`, returning the CRC-32C (Castagnoli)
+/// of the concatenation. Pass 0 to start a fresh CRC.
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// CRC-32C of `data` from a fresh state.
+inline uint32_t Value(std::string_view data) {
+  return Extend(0, data.data(), data.size());
+}
+
+/// Bit-mixes `crc` so that a CRC stored alongside the data it covers does
+/// not accidentally validate a file containing embedded CRCs (the RocksDB
+/// "masked CRC" trick).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+/// Inverse of Mask.
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace authidx::crc32c
+
+#endif  // AUTHIDX_COMMON_CRC32C_H_

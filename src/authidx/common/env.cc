@@ -1,0 +1,250 @@
+#include "authidx/common/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace authidx {
+namespace {
+
+Status ErrnoStatus(const std::string& context, int err) {
+  std::string msg = context + ": " + std::strerror(err);
+  if (err == ENOENT) {
+    return Status::NotFound(std::move(msg));
+  }
+  return Status::IOError(std::move(msg));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {
+    buffer_.reserve(kBufferSize);
+  }
+
+  ~PosixWritableFile() override { Close().ok(); }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) {
+      return Status::FailedPrecondition("file closed: " + path_);
+    }
+    if (buffer_.size() + data.size() <= kBufferSize) {
+      buffer_.append(data);
+      return Status::OK();
+    }
+    AUTHIDX_RETURN_NOT_OK(FlushBuffer());
+    if (data.size() <= kBufferSize) {
+      buffer_.append(data);
+      return Status::OK();
+    }
+    return WriteRaw(data);
+  }
+
+  Status Flush() override {
+    if (fd_ < 0) {
+      return Status::FailedPrecondition("file closed: " + path_);
+    }
+    return FlushBuffer();
+  }
+
+  Status Sync() override {
+    AUTHIDX_RETURN_NOT_OK(Flush());
+    if (::fdatasync(fd_) != 0) {
+      return ErrnoStatus("fdatasync " + path_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) {
+      return Status::OK();
+    }
+    Status s = FlushBuffer();
+    if (::close(fd_) != 0 && s.ok()) {
+      s = ErrnoStatus("close " + path_, errno);
+    }
+    fd_ = -1;
+    return s;
+  }
+
+ private:
+  static constexpr size_t kBufferSize = 64 * 1024;
+
+  Status FlushBuffer() {
+    if (buffer_.empty()) {
+      return Status::OK();
+    }
+    Status s = WriteRaw(buffer_);
+    buffer_.clear();
+    return s;
+  }
+
+  Status WriteRaw(std::string_view data) {
+    while (!data.empty()) {
+      ssize_t n = ::write(fd_, data.data(), data.size());
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return ErrnoStatus("write " + path_, errno);
+      }
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+    return Status::OK();
+  }
+
+  std::string path_;
+  int fd_;
+  std::string buffer_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, std::string* scratch,
+              std::string_view* out) const override {
+    scratch->resize(n);
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, scratch->data() + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return ErrnoStatus("pread " + path_, errno);
+      }
+      if (r == 0) {
+        break;  // EOF.
+      }
+      got += static_cast<size_t>(r);
+    }
+    *out = std::string_view(scratch->data(), got);
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return ErrnoStatus("fstat " + path_, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return ErrnoStatus("open " + path, errno);
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(path, fd));
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return ErrnoStatus("open " + path, errno);
+    }
+    return std::unique_ptr<RandomAccessFile>(
+        std::make_unique<PosixRandomAccessFile>(path, fd));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    AUTHIDX_ASSIGN_OR_RETURN(auto file, NewRandomAccessFile(path));
+    AUTHIDX_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+    std::string scratch;
+    std::string_view out;
+    AUTHIDX_RETURN_NOT_OK(file->Read(0, size, &scratch, &out));
+    scratch.resize(out.size());
+    return scratch;
+  }
+
+  Status WriteStringToFileSync(const std::string& path,
+                               std::string_view data) override {
+    std::string tmp = path + ".tmp";
+    {
+      AUTHIDX_ASSIGN_OR_RETURN(auto file, NewWritableFile(tmp));
+      AUTHIDX_RETURN_NOT_OK(file->Append(data));
+      AUTHIDX_RETURN_NOT_OK(file->Sync());
+      AUTHIDX_RETURN_NOT_OK(file->Close());
+    }
+    return RenameFile(tmp, path);
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      return ErrnoStatus("opendir " + dir, errno);
+    }
+    std::vector<std::string> names;
+    struct dirent* entry;
+    while ((entry = ::readdir(d)) != nullptr) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") {
+        names.push_back(std::move(name));
+      }
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus("unlink " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename " + from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir " + dir, errno);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return ErrnoStatus("stat " + path, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // Intentionally leaked.
+  return env;
+}
+
+}  // namespace authidx

@@ -1,0 +1,81 @@
+#ifndef AUTHIDX_COMMON_ENV_H_
+#define AUTHIDX_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/result.h"
+#include "authidx/common/status.h"
+
+namespace authidx {
+
+/// Sequential append-only file with an application-side write buffer.
+/// Created via Env::NewWritableFile. Close() (or the destructor) flushes;
+/// only Sync() provides durability.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Buffers `data`, spilling to the OS when the buffer fills.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Pushes buffered bytes to the OS (no durability guarantee).
+  virtual Status Flush() = 0;
+
+  /// Flush + fdatasync: bytes are durable on return.
+  virtual Status Sync() = 0;
+
+  /// Flushes and closes the descriptor. Idempotent.
+  virtual Status Close() = 0;
+};
+
+/// Positional-read file handle (pread-based, stateless, thread-safe).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset` into `*scratch`, setting `*out` to
+  /// the bytes read (may be shorter than `n` at EOF).
+  virtual Status Read(uint64_t offset, size_t n, std::string* scratch,
+                      std::string_view* out) const = 0;
+
+  /// File size in bytes.
+  virtual Result<uint64_t> Size() const = 0;
+};
+
+/// Minimal filesystem abstraction (POSIX implementation). Indirection
+/// exists so tests can inject fault-injecting environments.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Process-wide default POSIX environment (never deleted).
+  static Env* Default();
+
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  /// Reads the entire file into a string.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// Atomically replaces `path` contents by writing a temp file, syncing,
+  /// and renaming over the destination.
+  virtual Status WriteStringToFileSync(const std::string& path,
+                                       std::string_view data) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+};
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_COMMON_ENV_H_

@@ -1,0 +1,31 @@
+#ifndef AUTHIDX_COMMON_HASH_H_
+#define AUTHIDX_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace authidx {
+
+/// 64-bit FNV-1a hash; fast, decent-quality, used where a simple stable
+/// string hash suffices (e.g. term dictionaries).
+uint64_t Fnv1a64(std::string_view data);
+
+/// 64-bit MurmurHash3-style finalizer over a seeded 64-bit mix; used by
+/// the Bloom filter to derive k independent probe positions from a single
+/// 128-bit-ish hash (Kirsch-Mitzenmacher double hashing).
+uint64_t Hash64(std::string_view data, uint64_t seed);
+
+/// Avalanche mix for integer keys (splitmix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_COMMON_HASH_H_

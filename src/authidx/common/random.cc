@@ -1,0 +1,109 @@
+#include "authidx/common/random.h"
+
+#include <cmath>
+
+#include "authidx/common/hash.h"
+
+namespace authidx {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  // splitmix64 seeding, as recommended by the xoshiro authors.
+  uint64_t z = seed;
+  for (auto& lane : s_) {
+    z += 0x9e3779b97f4a7c15ULL;
+    lane = Mix64(z);
+  }
+  // Avoid the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 1;
+  }
+}
+
+uint64_t Random::Next64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  // Lemire's bounded rejection method.
+  uint64_t x = Next64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < n) {
+    uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = Next64();
+      m = static_cast<__uint128_t>(x) * n;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+uint64_t Random::UniformRange(uint64_t lo, uint64_t hi) {
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+bool Random::OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+uint64_t Random::Skewed(int max_log) {
+  int log = static_cast<int>(Uniform(static_cast<uint64_t>(max_log) + 1));
+  return Uniform(uint64_t{1} << log);
+}
+
+Zipf::Zipf(uint64_t n, double s, uint64_t seed) : n_(n), s_(s), rng_(seed) {
+  // Gray et al. ("Quickly Generating Billion-Record Synthetic Databases")
+  // zipfian generator, as popularized by YCSB. Requires 0 < s < 1; the
+  // constructor clamps s into (0, 1) since the workloads here only need
+  // the classic 0.99 skew family.
+  if (s_ >= 1.0) {
+    s_ = 0.999;
+  }
+  if (s_ <= 0.0) {
+    s_ = 0.001;
+  }
+  zetan_ = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), s_);
+  }
+  theta_ = s_;
+  alpha_ = 1.0 / (1.0 - theta_);
+  double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t Zipf::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (rank >= n_) {
+    rank = n_ - 1;
+  }
+  return rank;
+}
+
+}  // namespace authidx

@@ -1,0 +1,65 @@
+#ifndef AUTHIDX_COMMON_RANDOM_H_
+#define AUTHIDX_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace authidx {
+
+/// Deterministic xoshiro256** PRNG. Every test, example and benchmark in
+/// this repository derives its randomness from a fixed seed through this
+/// generator, so all generated corpora are reproducible bit-for-bit.
+class Random {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via splitmix64.
+  explicit Random(uint64_t seed);
+
+  /// Next raw 64-bit output.
+  uint64_t Next64();
+
+  /// Uniform integer in [0, n). `n` must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability 1/n (n >= 1).
+  bool OneIn(uint64_t n);
+
+  /// Geometric-ish skew: uniform in [0, 2^Uniform(max_log+1)). Small
+  /// values are much more likely; used for mixed-magnitude varint tests.
+  uint64_t Skewed(int max_log);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Draws ranks approximately following a Zipf(s) distribution over
+/// {0, ..., n-1} (rank 0 most popular) using the Gray et al. generator;
+/// used by the workload generator for volume/year popularity and by
+/// postings benchmarks. The skew `s` is clamped into (0, 1).
+class Zipf {
+ public:
+  /// Requires n >= 2. Construction is O(n) (computes the zeta sum once).
+  Zipf(uint64_t n, double s, uint64_t seed);
+
+  /// Next rank in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Random rng_;
+};
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_COMMON_RANDOM_H_

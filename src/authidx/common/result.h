@@ -1,0 +1,93 @@
+#ifndef AUTHIDX_COMMON_RESULT_H_
+#define AUTHIDX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "authidx/common/status.h"
+
+namespace authidx {
+
+/// Either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Mirrors `arrow::Result<T>`.
+///
+///   Result<Citation> c = ParseCitation("95:691 (1993)");
+///   if (!c.ok()) return c.status();
+///   Use(*c);
+///
+/// or with the propagation macro:
+///
+///   AUTHIDX_ASSIGN_OR_RETURN(Citation c, ParseCitation(text));
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so functions can `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit so functions can
+  /// `return Status::NotFound(...)`). Passing an OK status is a
+  /// programming error and is converted to an Internal error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Returns the carried status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Accessors; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when in the error state.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+#define AUTHIDX_CONCAT_IMPL(a, b) a##b
+#define AUTHIDX_CONCAT(a, b) AUTHIDX_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error, else binding
+/// the contained value to `lhs` (a declaration such as `auto v`).
+#define AUTHIDX_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  AUTHIDX_ASSIGN_OR_RETURN_IMPL(                                   \
+      AUTHIDX_CONCAT(_authidx_result_, __LINE__), lhs, rexpr)
+
+#define AUTHIDX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) {                                     \
+    return tmp.status();                               \
+  }                                                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_COMMON_RESULT_H_

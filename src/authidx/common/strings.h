@@ -1,0 +1,50 @@
+#ifndef AUTHIDX_COMMON_STRINGS_H_
+#define AUTHIDX_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/result.h"
+
+namespace authidx {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Splits `s` on `delim`; empty pieces are preserved.
+std::vector<std::string_view> SplitString(std::string_view s, char delim);
+
+/// Joins `pieces` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII-only lowercase copy.
+std::string AsciiToLower(std::string_view s);
+
+/// ASCII-only uppercase copy.
+std::string AsciiToUpper(std::string_view s);
+
+/// Parses a base-10 unsigned integer occupying all of `s`.
+Result<uint64_t> ParseUint64(std::string_view s);
+
+/// Parses a base-10 signed integer occupying all of `s`.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Escapes non-printable bytes as \xNN for error messages and dumps.
+std::string CEscape(std::string_view s);
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_COMMON_STRINGS_H_

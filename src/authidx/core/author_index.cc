@@ -1,0 +1,292 @@
+#include "authidx/core/author_index.h"
+
+#include <algorithm>
+
+#include "authidx/common/coding.h"
+#include "authidx/model/serde.h"
+#include "authidx/text/collate.h"
+#include "authidx/text/distance.h"
+#include "authidx/text/normalize.h"
+#include "authidx/text/phonetic.h"
+#include "authidx/text/tokenize.h"
+
+namespace authidx::core {
+namespace {
+
+// Storage key for an entry: big-endian id so byte order == numeric order.
+std::string EntryKey(EntryId id) {
+  std::string key(5, '\0');
+  key[0] = 'e';
+  key[1] = static_cast<char>(id >> 24);
+  key[2] = static_cast<char>((id >> 16) & 0xFF);
+  key[3] = static_cast<char>((id >> 8) & 0xFF);
+  key[4] = static_cast<char>(id & 0xFF);
+  return key;
+}
+
+// B+-tree key: collation sort key + 0x00 + big-endian id. The 0x00
+// separator never occurs in sort keys (their minimum byte is 0x01), so
+// composed keys order first by collation then by ingest order.
+std::string OrderKey(std::string_view sort_key, EntryId id) {
+  std::string key(sort_key);
+  key.push_back('\0');
+  key.push_back(static_cast<char>(id >> 24));
+  key.push_back(static_cast<char>((id >> 16) & 0xFF));
+  key.push_back(static_cast<char>((id >> 8) & 0xFF));
+  key.push_back(static_cast<char>(id & 0xFF));
+  return key;
+}
+
+}  // namespace
+
+AuthorIndex::~AuthorIndex() = default;
+
+std::unique_ptr<AuthorIndex> AuthorIndex::Create() {
+  return std::unique_ptr<AuthorIndex>(new AuthorIndex());
+}
+
+Result<std::unique_ptr<AuthorIndex>> AuthorIndex::OpenPersistent(
+    const std::string& dir, storage::EngineOptions options) {
+  auto catalog = std::unique_ptr<AuthorIndex>(new AuthorIndex());
+  AUTHIDX_ASSIGN_OR_RETURN(catalog->engine_,
+                           storage::StorageEngine::Open(dir, options));
+  // Rebuild the in-memory indexes from storage, in id (ingest) order —
+  // entry keys are big-endian ids, so engine iteration order is id order.
+  auto it = catalog->engine_->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    std::string_view key = it->key();
+    if (key.empty() || key.front() != 'e') {
+      continue;
+    }
+    AUTHIDX_ASSIGN_OR_RETURN(Entry entry, DecodeEntryExact(it->value()));
+    catalog->IndexEntry(std::move(entry));
+  }
+  AUTHIDX_RETURN_NOT_OK(it->status());
+  return catalog;
+}
+
+EntryId AuthorIndex::IndexEntry(Entry entry) {
+  EntryId id = static_cast<EntryId>(entries_.size());
+
+  // Collation order index.
+  std::string group_key = entry.author.GroupKey();
+  std::string sort_key = text::MakeSortKey(group_key);
+  author_order_.Insert(OrderKey(sort_key, id), id);
+
+  // Author groups (exact, prefix, surname, phonetic surfaces).
+  std::string folded = text::NormalizeForIndex(group_key);
+  auto found = group_by_folded_.find(folded);
+  size_t group_idx;
+  if (found == group_by_folded_.end()) {
+    group_idx = groups_.size();
+    GroupRecord group;
+    group.folded = folded;
+    group.display = group_key;
+    group.folded_surname = text::NormalizeForIndex(entry.author.surname);
+    groups_.push_back(std::move(group));
+    group_by_folded_.emplace(folded, group_idx);
+    groups_by_surname_[groups_[group_idx].folded_surname].push_back(
+        group_idx);
+    groups_by_phonetic_[text::Metaphone(entry.author.surname)].push_back(
+        group_idx);
+    author_trie_.Insert(folded, group_idx);
+  } else {
+    group_idx = found->second;
+  }
+  groups_[group_idx].entries.push_back(id);
+
+  // Title index.
+  inverted_.AddDocument(id, text::Tokenize(entry.title));
+
+  sort_keys_.push_back(std::move(sort_key));
+  entries_.push_back(std::move(entry));
+  return id;
+}
+
+Result<EntryId> AuthorIndex::Add(Entry entry) {
+  AUTHIDX_RETURN_NOT_OK(ValidateEntry(entry));
+  EntryId id = static_cast<EntryId>(entries_.size());
+  if (engine_ != nullptr) {
+    AUTHIDX_RETURN_NOT_OK(
+        engine_->Put(EntryKey(id), EncodeEntryToString(entry)));
+  }
+  return IndexEntry(std::move(entry));
+}
+
+Status AuthorIndex::AddAll(std::vector<Entry> entries) {
+  // Validate everything first so a bad entry cannot leave a partially
+  // ingested batch.
+  for (const Entry& entry : entries) {
+    AUTHIDX_RETURN_NOT_OK(ValidateEntry(entry));
+  }
+  if (engine_ != nullptr) {
+    // One atomic storage batch per AddAll: amortizes WAL framing/syncs
+    // and recovers all-or-nothing (bench_ablation BM_AblateBatchIngest).
+    storage::WriteBatch batch;
+    EntryId id = static_cast<EntryId>(entries_.size());
+    for (const Entry& entry : entries) {
+      batch.Put(EntryKey(id++), EncodeEntryToString(entry));
+    }
+    AUTHIDX_RETURN_NOT_OK(engine_->Apply(batch));
+  }
+  for (Entry& entry : entries) {
+    IndexEntry(std::move(entry));
+  }
+  return Status::OK();
+}
+
+Result<query::QueryResult> AuthorIndex::Search(
+    std::string_view query_text) const {
+  AUTHIDX_ASSIGN_OR_RETURN(query::Query q, query::ParseQuery(query_text));
+  return Run(q);
+}
+
+Result<query::QueryResult> AuthorIndex::Run(const query::Query& q) const {
+  return query::Execute(q, *this);
+}
+
+const Entry* AuthorIndex::GetEntry(EntryId id) const {
+  return id < entries_.size() ? &entries_[id] : nullptr;
+}
+
+std::vector<EntryId> AuthorIndex::AuthorExact(
+    std::string_view folded_group) const {
+  std::vector<EntryId> out;
+  auto it = group_by_folded_.find(std::string(folded_group));
+  if (it != group_by_folded_.end()) {
+    out = groups_[it->second].entries;
+  } else {
+    // Fall back to surname-only match: "author:minow" should find
+    // "Minow, Martha".
+    auto surname_it = groups_by_surname_.find(std::string(folded_group));
+    if (surname_it != groups_by_surname_.end()) {
+      for (size_t group_idx : surname_it->second) {
+        const auto& entries = groups_[group_idx].entries;
+        out.insert(out.end(), entries.begin(), entries.end());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<EntryId> AuthorIndex::AuthorPrefix(std::string_view folded_prefix,
+                                               size_t max_groups) const {
+  std::vector<EntryId> out;
+  for (const auto& [key, group_idx] :
+       author_trie_.PrefixScan(folded_prefix, max_groups)) {
+    const auto& entries = groups_[group_idx].entries;
+    out.insert(out.end(), entries.begin(), entries.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<EntryId> AuthorIndex::AuthorFuzzy(std::string_view folded_name,
+                                              size_t max_edits) const {
+  // Phonetic bucket prefilter, then exact bounded edit distance on the
+  // folded surname. Also probe the Soundex-distinct-but-close cases by
+  // scanning the candidate's own bucket only — a deliberate recall
+  // trade-off measured in bench_fuzzy.
+  std::vector<EntryId> out;
+  std::string code = text::Metaphone(folded_name);
+  auto bucket = groups_by_phonetic_.find(code);
+  if (bucket != groups_by_phonetic_.end()) {
+    for (size_t group_idx : bucket->second) {
+      const GroupRecord& group = groups_[group_idx];
+      if (text::WithinEditDistance(group.folded_surname, folded_name,
+                                   max_edits)) {
+        out.insert(out.end(), group.entries.begin(), group.entries.end());
+      }
+    }
+  }
+  // Surnames at distance <= max_edits can still land in another bucket;
+  // catch the common first-letter-preserved cases via a cheap trie probe
+  // on the first character.
+  if (!folded_name.empty()) {
+    for (const auto& [key, group_idx] :
+         author_trie_.PrefixScan(folded_name.substr(0, 1), 100000)) {
+      const GroupRecord& group = groups_[group_idx];
+      if (text::Metaphone(group.folded_surname) == code) {
+        continue;  // Already considered above.
+      }
+      if (text::WithinEditDistance(group.folded_surname, folded_name,
+                                   max_edits)) {
+        const auto& entries = group.entries;
+        out.insert(out.end(), entries.begin(), entries.end());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string_view AuthorIndex::SortKey(EntryId id) const {
+  static const std::string kEmpty;
+  return id < sort_keys_.size() ? std::string_view(sort_keys_[id])
+                                : std::string_view(kEmpty);
+}
+
+std::vector<AuthorIndex::Group> AuthorIndex::GroupsInOrder() const {
+  // Walk the order B+-tree (collation order) and coalesce consecutive
+  // entries of the same group.
+  std::vector<Group> out;
+  std::string last_folded;
+  for (auto it = author_order_.Begin(); it.Valid(); it.Next()) {
+    EntryId id = static_cast<EntryId>(it.value());
+    const Entry& entry = entries_[id];
+    std::string folded = text::NormalizeForIndex(entry.author.GroupKey());
+    if (out.empty() || folded != last_folded) {
+      Group group;
+      group.display = entry.author.GroupKey();
+      out.push_back(std::move(group));
+      last_folded = std::move(folded);
+    }
+    out.back().entries.push_back(id);
+  }
+  // Within a group, order by (volume, page) as the printed index does.
+  for (Group& group : out) {
+    std::sort(group.entries.begin(), group.entries.end(),
+              [&](EntryId a, EntryId b) {
+                const Citation& ca = entries_[a].citation;
+                const Citation& cb = entries_[b].citation;
+                if (ca.volume != cb.volume) return ca.volume < cb.volume;
+                if (ca.page != cb.page) return ca.page < cb.page;
+                return a < b;
+              });
+  }
+  return out;
+}
+
+std::vector<std::string> AuthorIndex::CoauthorsOf(
+    std::string_view folded_group) const {
+  std::vector<std::string> out;
+  auto it = group_by_folded_.find(std::string(folded_group));
+  if (it == group_by_folded_.end()) {
+    return out;
+  }
+  for (EntryId id : groups_[it->second].entries) {
+    for (const std::string& coauthor : entries_[id].coauthors) {
+      out.push_back(coauthor);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Status AuthorIndex::Flush() {
+  return engine_ != nullptr ? engine_->Flush() : Status::OK();
+}
+
+Status AuthorIndex::CompactStorage() {
+  return engine_ != nullptr ? engine_->Compact() : Status::OK();
+}
+
+storage::EngineStats AuthorIndex::StorageStats() const {
+  return engine_ != nullptr ? engine_->stats() : storage::EngineStats{};
+}
+
+}  // namespace authidx::core

@@ -1,0 +1,126 @@
+#ifndef AUTHIDX_CORE_AUTHOR_INDEX_H_
+#define AUTHIDX_CORE_AUTHOR_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "authidx/common/result.h"
+#include "authidx/index/btree.h"
+#include "authidx/index/inverted.h"
+#include "authidx/index/trie.h"
+#include "authidx/model/record.h"
+#include "authidx/query/executor.h"
+#include "authidx/query/parser.h"
+#include "authidx/storage/engine.h"
+
+namespace authidx::core {
+
+/// The author-index engine: ingest bibliographic entries, keep every
+/// index coherent, answer structured queries, and expose the groups in
+/// printed (collation) order for the typesetter.
+///
+/// Two modes:
+///  * in-memory (`Create`) — indexes only;
+///  * persistent (`OpenPersistent`) — entries additionally go through
+///    the LSM storage engine; reopening the same directory recovers the
+///    full catalog (including from a WAL after a crash) and rebuilds the
+///    in-memory indexes.
+class AuthorIndex final : public query::CatalogView {
+ public:
+  /// In-memory catalog.
+  static std::unique_ptr<AuthorIndex> Create();
+
+  /// Storage-backed catalog in `dir`; recovers existing contents.
+  static Result<std::unique_ptr<AuthorIndex>> OpenPersistent(
+      const std::string& dir, storage::EngineOptions options = {});
+
+  ~AuthorIndex() override;
+
+  AuthorIndex(const AuthorIndex&) = delete;
+  AuthorIndex& operator=(const AuthorIndex&) = delete;
+
+  /// Validates and ingests one entry, updating every index. Returns the
+  /// assigned dense id.
+  Result<EntryId> Add(Entry entry);
+
+  /// Bulk ingest; stops at the first invalid entry.
+  Status AddAll(std::vector<Entry> entries);
+
+  /// Parses and runs a query string (see query::ParseQuery grammar).
+  Result<query::QueryResult> Search(std::string_view query_text) const;
+
+  /// Runs an already-parsed query.
+  Result<query::QueryResult> Run(const query::Query& query) const;
+
+  // --- CatalogView ---
+  const Entry* GetEntry(EntryId id) const override;
+  size_t entry_count() const override { return entries_.size(); }
+  const InvertedIndex& title_index() const override { return inverted_; }
+  std::vector<EntryId> AuthorExact(
+      std::string_view folded_group) const override;
+  std::vector<EntryId> AuthorPrefix(std::string_view folded_prefix,
+                                    size_t max_groups) const override;
+  std::vector<EntryId> AuthorFuzzy(std::string_view folded_name,
+                                   size_t max_edits) const override;
+  std::string_view SortKey(EntryId id) const override;
+
+  /// One author group (a distinct person) and their entries.
+  struct Group {
+    std::string display;  // "Surname, Given[, Suffix]" as first seen.
+    std::vector<EntryId> entries;
+  };
+
+  /// All groups in collation order with entries in (volume, page) order —
+  /// exactly the order of the printed author index.
+  std::vector<Group> GroupsInOrder() const;
+
+  /// Number of distinct author groups.
+  size_t group_count() const { return groups_.size(); }
+
+  /// Authors who co-published with the given folded group key, as
+  /// display names (cross-reference support).
+  std::vector<std::string> CoauthorsOf(std::string_view folded_group) const;
+
+  /// Persists pending writes (no-op for in-memory catalogs).
+  Status Flush();
+
+  /// Forces a storage compaction (no-op for in-memory catalogs).
+  Status CompactStorage();
+
+  /// Underlying storage stats (empty struct for in-memory catalogs).
+  storage::EngineStats StorageStats() const;
+
+ private:
+  struct GroupRecord {
+    std::string folded;         // Normalized group key (lookup key).
+    std::string display;        // As first ingested.
+    std::string folded_surname; // For fuzzy matching.
+    std::vector<EntryId> entries;
+  };
+
+  AuthorIndex() = default;
+
+  /// Index-maintenance shared by Add and recovery (no storage write).
+  EntryId IndexEntry(Entry entry);
+
+  std::vector<Entry> entries_;
+  std::vector<std::string> sort_keys_;  // Parallel to entries_.
+
+  std::vector<GroupRecord> groups_;
+  std::unordered_map<std::string, size_t> group_by_folded_;
+  std::unordered_map<std::string, std::vector<size_t>> groups_by_surname_;
+  std::unordered_map<std::string, std::vector<size_t>> groups_by_phonetic_;
+
+  BPlusTree author_order_;  // sortkey + id -> id (printed order).
+  Trie author_trie_;        // folded group key -> group index.
+  InvertedIndex inverted_;  // analyzed titles.
+
+  std::unique_ptr<storage::StorageEngine> engine_;  // Null if in-memory.
+};
+
+}  // namespace authidx::core
+
+#endif  // AUTHIDX_CORE_AUTHOR_INDEX_H_

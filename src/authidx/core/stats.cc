@@ -1,0 +1,77 @@
+#include "authidx/core/stats.h"
+
+#include <algorithm>
+
+#include "authidx/common/strings.h"
+
+namespace authidx::core {
+
+CatalogStats ComputeStats(const AuthorIndex& catalog, size_t top_k) {
+  CatalogStats stats;
+  stats.entries = catalog.entry_count();
+  stats.distinct_authors = catalog.group_count();
+  stats.distinct_terms = catalog.title_index().term_count();
+  if (stats.entries > 0) {
+    stats.avg_title_tokens =
+        static_cast<double>(catalog.title_index().total_tokens()) /
+        static_cast<double>(stats.entries);
+  }
+  bool first = true;
+  for (size_t i = 0; i < catalog.entry_count(); ++i) {
+    const Entry* entry = catalog.GetEntry(static_cast<EntryId>(i));
+    const Citation& c = entry->citation;
+    if (first) {
+      stats.min_volume = stats.max_volume = c.volume;
+      stats.min_year = stats.max_year = c.year;
+      first = false;
+    } else {
+      stats.min_volume = std::min(stats.min_volume, c.volume);
+      stats.max_volume = std::max(stats.max_volume, c.volume);
+      stats.min_year = std::min(stats.min_year, c.year);
+      stats.max_year = std::max(stats.max_year, c.year);
+    }
+    ++stats.volume_histogram[c.volume];
+    ++stats.year_histogram[c.year];
+    if (entry->author.student_material) {
+      ++stats.student_entries;
+    }
+    if (!entry->coauthors.empty()) {
+      ++stats.coauthored_entries;
+    }
+  }
+  std::vector<std::pair<std::string, size_t>> authors;
+  for (const AuthorIndex::Group& group : catalog.GroupsInOrder()) {
+    authors.emplace_back(group.display, group.entries.size());
+  }
+  std::sort(authors.begin(), authors.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (authors.size() > top_k) {
+    authors.resize(top_k);
+  }
+  stats.top_authors = std::move(authors);
+  return stats;
+}
+
+std::string CatalogStats::ToString() const {
+  std::string out;
+  out += StringPrintf("entries:            %zu\n", entries);
+  out += StringPrintf("distinct authors:   %zu\n", distinct_authors);
+  out += StringPrintf("student entries:    %zu\n", student_entries);
+  out += StringPrintf("coauthored entries: %zu\n", coauthored_entries);
+  out += StringPrintf("volumes:            %u..%u\n", min_volume, max_volume);
+  out += StringPrintf("years:              %u..%u\n", min_year, max_year);
+  out += StringPrintf("distinct terms:     %zu\n", distinct_terms);
+  out += StringPrintf("avg title tokens:   %.2f\n", avg_title_tokens);
+  if (!top_authors.empty()) {
+    out += "top authors:\n";
+    for (const auto& [name, count] : top_authors) {
+      out += StringPrintf("  %-40s %zu\n", name.c_str(), count);
+    }
+  }
+  return out;
+}
+
+}  // namespace authidx::core

@@ -1,0 +1,43 @@
+#ifndef AUTHIDX_CORE_STATS_H_
+#define AUTHIDX_CORE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "authidx/core/author_index.h"
+
+namespace authidx::core {
+
+/// Descriptive statistics of a catalog, the numbers an editor checks
+/// before printing a cumulative index.
+struct CatalogStats {
+  size_t entries = 0;
+  size_t distinct_authors = 0;
+  size_t student_entries = 0;
+  size_t coauthored_entries = 0;
+  uint32_t min_volume = 0;
+  uint32_t max_volume = 0;
+  uint32_t min_year = 0;
+  uint32_t max_year = 0;
+  /// Entries per volume.
+  std::map<uint32_t, size_t> volume_histogram;
+  /// Entries per publication year.
+  std::map<uint32_t, size_t> year_histogram;
+  /// Most prolific authors: (display name, entry count), descending.
+  std::vector<std::pair<std::string, size_t>> top_authors;
+  /// Distinct analyzed title terms.
+  size_t distinct_terms = 0;
+  double avg_title_tokens = 0.0;
+
+  /// Human-readable multi-line report.
+  std::string ToString() const;
+};
+
+/// Computes statistics over `catalog` (top_k bounds top_authors).
+CatalogStats ComputeStats(const AuthorIndex& catalog, size_t top_k = 10);
+
+}  // namespace authidx::core
+
+#endif  // AUTHIDX_CORE_STATS_H_

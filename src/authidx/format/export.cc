@@ -1,0 +1,111 @@
+#include "authidx/format/export.h"
+
+#include "authidx/common/strings.h"
+
+namespace authidx::format {
+
+std::string CsvEscape(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) {
+    return std::string(field);
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string CatalogToCsv(const core::AuthorIndex& catalog) {
+  std::string out =
+      "surname,given,suffix,student,title,volume,page,year,coauthors\n";
+  for (size_t i = 0; i < catalog.entry_count(); ++i) {
+    const Entry* e = catalog.GetEntry(static_cast<EntryId>(i));
+    out += CsvEscape(e->author.surname);
+    out += ',';
+    out += CsvEscape(e->author.given);
+    out += ',';
+    out += CsvEscape(e->author.suffix);
+    out += ',';
+    out += e->author.student_material ? "true" : "false";
+    out += ',';
+    out += CsvEscape(e->title);
+    out += StringPrintf(",%u,%u,%u,", e->citation.volume, e->citation.page,
+                        e->citation.year);
+    std::string coauthors;
+    for (size_t j = 0; j < e->coauthors.size(); ++j) {
+      if (j > 0) coauthors += ';';
+      coauthors += e->coauthors[j];
+    }
+    out += CsvEscape(coauthors);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string CatalogToJson(const core::AuthorIndex& catalog) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < catalog.entry_count(); ++i) {
+    const Entry* e = catalog.GetEntry(static_cast<EntryId>(i));
+    out += "  {";
+    out += "\"surname\":\"" + JsonEscape(e->author.surname) + "\",";
+    out += "\"given\":\"" + JsonEscape(e->author.given) + "\",";
+    out += "\"suffix\":\"" + JsonEscape(e->author.suffix) + "\",";
+    out += std::string("\"student\":") +
+           (e->author.student_material ? "true" : "false") + ",";
+    out += "\"title\":\"" + JsonEscape(e->title) + "\",";
+    out += StringPrintf("\"volume\":%u,\"page\":%u,\"year\":%u",
+                        e->citation.volume, e->citation.page,
+                        e->citation.year);
+    if (!e->coauthors.empty()) {
+      out += ",\"coauthors\":[";
+      for (size_t j = 0; j < e->coauthors.size(); ++j) {
+        if (j > 0) out += ',';
+        out += '"' + JsonEscape(e->coauthors[j]) + '"';
+      }
+      out += ']';
+    }
+    out += '}';
+    out += (i + 1 < catalog.entry_count()) ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace authidx::format

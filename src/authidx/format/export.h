@@ -1,0 +1,28 @@
+#ifndef AUTHIDX_FORMAT_EXPORT_H_
+#define AUTHIDX_FORMAT_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "authidx/core/author_index.h"
+
+namespace authidx::format {
+
+/// RFC-4180-style CSV escaping: wraps in quotes when the field contains
+/// a comma, quote or newline; embedded quotes are doubled.
+std::string CsvEscape(std::string_view field);
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string JsonEscape(std::string_view s);
+
+/// Exports every entry as CSV with header
+/// `surname,given,suffix,student,title,volume,page,year,coauthors`.
+std::string CatalogToCsv(const core::AuthorIndex& catalog);
+
+/// Exports the catalog as a JSON array of entry objects (stable field
+/// order, UTF-8 passthrough).
+std::string CatalogToJson(const core::AuthorIndex& catalog);
+
+}  // namespace authidx::format
+
+#endif  // AUTHIDX_FORMAT_EXPORT_H_

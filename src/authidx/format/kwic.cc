@@ -1,0 +1,163 @@
+#include "authidx/format/kwic.h"
+
+#include <algorithm>
+
+#include "authidx/text/collate.h"
+#include "authidx/text/normalize.h"
+#include "authidx/text/tokenize.h"
+
+namespace authidx::format {
+namespace {
+
+// Splits a title into display words (original casing/punctuation kept).
+std::vector<std::string> DisplayWords(std::string_view title) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : title) {
+    if (c == ' ' || c == '\t' || c == '\n') {
+      if (!current.empty()) {
+        words.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    words.push_back(std::move(current));
+  }
+  return words;
+}
+
+// The folded alphanumeric core of a display word ("Fields:" -> "fields").
+std::string KeywordOf(const std::string& word) {
+  std::string folded = text::FoldCase(word);
+  std::string out;
+  for (char c : folded) {
+    if ((c >= 'a' && c <= 'z') || text::IsAsciiDigit(c)) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Takes the last (or first) `width` display columns of joined words.
+std::string TailContext(const std::vector<std::string>& words, size_t end,
+                        size_t width) {
+  std::string out;
+  for (size_t i = end; i-- > 0;) {
+    size_t extra = words[i].size() + (out.empty() ? 0 : 1);
+    if (out.size() + extra > width) {
+      break;
+    }
+    if (out.empty()) {
+      out = words[i];
+    } else {
+      out = words[i] + " " + out;
+    }
+  }
+  return out;
+}
+
+std::string HeadContext(const std::vector<std::string>& words, size_t begin,
+                        size_t width) {
+  std::string out;
+  for (size_t i = begin; i < words.size(); ++i) {
+    size_t extra = words[i].size() + (out.empty() ? 0 : 1);
+    if (out.size() + extra > width) {
+      break;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += words[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<KwicLine> BuildKwicIndex(const core::AuthorIndex& catalog,
+                                     const KwicOptions& options) {
+  std::vector<KwicLine> lines;
+  for (size_t id = 0; id < catalog.entry_count(); ++id) {
+    const Entry* entry = catalog.GetEntry(static_cast<EntryId>(id));
+    std::vector<std::string> words = DisplayWords(entry->title);
+    for (size_t w = 0; w < words.size(); ++w) {
+      std::string keyword = KeywordOf(words[w]);
+      if (keyword.size() < options.min_keyword_length ||
+          text::IsStopword(keyword)) {
+        continue;
+      }
+      KwicLine line;
+      line.keyword = keyword;
+      line.entry = static_cast<EntryId>(id);
+      // Left context, right-aligned into left_width columns.
+      std::string left = TailContext(words, w, options.left_width);
+      line.text.append(options.left_width - left.size(), ' ');
+      line.text += left;
+      line.text += ' ';
+      // Keyword (optionally capitalized) plus right context.
+      std::string display_keyword = words[w];
+      if (options.capitalize_keyword) {
+        for (char& c : display_keyword) {
+          c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        }
+      }
+      std::string right = display_keyword;
+      if (w + 1 < words.size()) {
+        std::string rest =
+            HeadContext(words, w + 1,
+                        options.right_width > right.size() + 1
+                            ? options.right_width - right.size() - 1
+                            : 0);
+        if (!rest.empty()) {
+          right += ' ';
+          right += rest;
+        }
+      }
+      right.resize(std::min(right.size(), options.right_width));
+      line.text += right;
+      lines.push_back(std::move(line));
+    }
+  }
+  std::sort(lines.begin(), lines.end(),
+            [&](const KwicLine& a, const KwicLine& b) {
+              if (a.keyword != b.keyword) {
+                return text::Compare(a.keyword, b.keyword) < 0;
+              }
+              const Citation& ca = catalog.GetEntry(a.entry)->citation;
+              const Citation& cb = catalog.GetEntry(b.entry)->citation;
+              if (ca.volume != cb.volume) return ca.volume < cb.volume;
+              if (ca.page != cb.page) return ca.page < cb.page;
+              return a.entry < b.entry;
+            });
+  // A coauthored work contributes one entry per author; its title lines
+  // are identical, so keep only the first per (text, citation).
+  lines.erase(std::unique(lines.begin(), lines.end(),
+                          [&](const KwicLine& a, const KwicLine& b) {
+                            return a.text == b.text &&
+                                   catalog.GetEntry(a.entry)->citation ==
+                                       catalog.GetEntry(b.entry)->citation;
+                          }),
+              lines.end());
+  return lines;
+}
+
+std::string KwicIndexToString(const core::AuthorIndex& catalog,
+                              const KwicOptions& options) {
+  std::string out;
+  for (const KwicLine& line : BuildKwicIndex(catalog, options)) {
+    out += line.text;
+    size_t used = line.text.size();
+    size_t target = options.left_width + 1 + options.right_width + 2;
+    if (used < target) {
+      out.append(target - used, ' ');
+    }
+    out += catalog.GetEntry(line.entry)->citation.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace authidx::format

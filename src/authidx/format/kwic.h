@@ -1,0 +1,55 @@
+#ifndef AUTHIDX_FORMAT_KWIC_H_
+#define AUTHIDX_FORMAT_KWIC_H_
+
+#include <string>
+#include <vector>
+
+#include "authidx/core/author_index.h"
+
+namespace authidx::format {
+
+/// KWIC (Key Word In Context) permuted title index — the classic
+/// companion artifact to an author index in printed front matter: every
+/// significant title word becomes an index line with its surrounding
+/// context aligned around a keyword column.
+///
+///              Potential Criminal LIABILITY in the Coal Fields   95:691
+///       the Clean Water Act: A DEFENSE Perspective               95:691
+///
+/// Keywords are the title's non-stopword tokens (unstemmed, so the
+/// printed context reads naturally); lines are ordered by keyword
+/// collation, then citation.
+
+struct KwicOptions {
+  /// Columns of context printed left of the keyword.
+  size_t left_width = 28;
+  /// Keyword + right context columns.
+  size_t right_width = 34;
+  /// Uppercase the keyword in the output line.
+  bool capitalize_keyword = true;
+  /// Keywords shorter than this are skipped.
+  size_t min_keyword_length = 3;
+};
+
+/// One permuted-index line.
+struct KwicLine {
+  std::string keyword;  // Folded form (sort key source).
+  std::string text;     // Fully laid-out line without the citation.
+  EntryId entry = 0;
+
+  friend bool operator==(const KwicLine&, const KwicLine&) = default;
+};
+
+/// Builds the permuted index over every catalog entry, sorted by
+/// (keyword collation, citation).
+std::vector<KwicLine> BuildKwicIndex(const core::AuthorIndex& catalog,
+                                     const KwicOptions& options = {});
+
+/// Renders the permuted index as text, one line per keyword occurrence,
+/// with the citation appended.
+std::string KwicIndexToString(const core::AuthorIndex& catalog,
+                              const KwicOptions& options = {});
+
+}  // namespace authidx::format
+
+#endif  // AUTHIDX_FORMAT_KWIC_H_

@@ -1,0 +1,172 @@
+#include "authidx/format/subject_index.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "authidx/text/collate.h"
+#include "authidx/text/tokenize.h"
+
+namespace authidx::format {
+
+SubjectVocabulary SubjectVocabulary::LegalDefault() {
+  SubjectVocabulary vocab;
+  vocab.headings = {
+      {"ADMINISTRATIVE LAW",
+       {"administrative", "agency", "rulemaking", "regulation"}},
+      {"BANKRUPTCY", {"bankruptcy", "debtor", "creditor", "insolvency"}},
+      {"COAL AND MINING LAW",
+       {"coal", "mine", "mining", "miner", "reclamation", "coalbed",
+        "surface"}},
+      {"COMMERCIAL LAW",
+       {"commercial", "sales", "warranty", "credit", "consumer",
+        "securities", "banking", "usury"}},
+      {"CONSTITUTIONAL LAW",
+       {"constitutional", "constitution", "amendment", "due", "equal",
+        "speech", "religion", "privacy"}},
+      {"CORPORATIONS", {"corporation", "corporate", "shareholder",
+                        "director", "merger"}},
+      {"CRIMINAL LAW AND PROCEDURE",
+       {"criminal", "crime", "prosecution", "sentencing", "jeopardy",
+        "habeas", "miranda", "felony"}},
+      {"DOMESTIC RELATIONS",
+       {"divorce", "custody", "marriage", "marital", "alimony", "child",
+        "family", "spousal"}},
+      {"ENVIRONMENTAL LAW",
+       {"environmental", "pollution", "clean", "water", "air", "waste",
+        "acid", "nuisance"}},
+      {"EVIDENCE AND PROCEDURE",
+       {"evidence", "procedure", "discovery", "jury", "witness",
+        "jurisdiction", "appeal", "pleading"}},
+      {"LABOR AND EMPLOYMENT LAW",
+       {"labor", "employment", "union", "arbitration", "strike",
+        "workers", "workmen", "pension", "compensation"}},
+      {"PROPERTY", {"property", "land", "landlord", "tenant", "deed",
+                    "easement", "estate", "mineral"}},
+      {"TAXATION", {"tax", "taxation", "income", "valorem", "depletion",
+                    "deduction"}},
+      {"TORTS", {"tort", "negligence", "liability", "malpractice",
+                 "damages", "defamation"}},
+      {"WILLS, TRUSTS AND ESTATES",
+       {"will", "wills", "trust", "probate", "intestate", "testator",
+        "inheritance"}},
+  };
+  return vocab;
+}
+
+std::vector<SubjectSection> BuildSubjectIndex(
+    const core::AuthorIndex& catalog, const SubjectVocabulary& vocabulary) {
+  // Analyze the vocabulary terms so they meet titles in stemmed space.
+  std::unordered_map<std::string, std::vector<size_t>> term_to_heading;
+  for (size_t h = 0; h < vocabulary.headings.size(); ++h) {
+    for (const std::string& term : vocabulary.headings[h].terms) {
+      for (const std::string& analyzed : text::Tokenize(term)) {
+        term_to_heading[analyzed].push_back(h);
+      }
+    }
+  }
+
+  std::vector<std::vector<EntryId>> buckets(vocabulary.headings.size());
+  std::vector<EntryId> unmatched;
+  // Dedup coauthored works per bucket: key by (title, citation).
+  std::vector<std::set<std::pair<std::string, Citation>>> seen(
+      vocabulary.headings.size());
+  std::set<std::pair<std::string, Citation>> seen_unmatched;
+  for (size_t i = 0; i < catalog.entry_count(); ++i) {
+    const Entry* entry = catalog.GetEntry(static_cast<EntryId>(i));
+    auto work_key = std::make_pair(entry->title, entry->citation);
+    std::unordered_set<size_t> matched;
+    for (const std::string& token : text::Tokenize(entry->title)) {
+      auto it = term_to_heading.find(token);
+      if (it != term_to_heading.end()) {
+        matched.insert(it->second.begin(), it->second.end());
+      }
+    }
+    if (matched.empty()) {
+      if (!vocabulary.fallback_heading.empty() &&
+          seen_unmatched.insert(work_key).second) {
+        unmatched.push_back(static_cast<EntryId>(i));
+      }
+      continue;
+    }
+    for (size_t h : matched) {
+      if (seen[h].insert(work_key).second) {
+        buckets[h].push_back(static_cast<EntryId>(i));
+      }
+    }
+  }
+
+  auto title_order = [&](EntryId a, EntryId b) {
+    const Entry* ea = catalog.GetEntry(a);
+    const Entry* eb = catalog.GetEntry(b);
+    int c = text::Compare(ea->title, eb->title);
+    if (c != 0) {
+      return c < 0;
+    }
+    return std::make_pair(ea->citation.volume, ea->citation.page) <
+           std::make_pair(eb->citation.volume, eb->citation.page);
+  };
+
+  std::vector<SubjectSection> sections;
+  for (size_t h = 0; h < vocabulary.headings.size(); ++h) {
+    if (buckets[h].empty()) {
+      continue;
+    }
+    SubjectSection section;
+    section.heading = vocabulary.headings[h].heading;
+    std::sort(buckets[h].begin(), buckets[h].end(), title_order);
+    section.entries = std::move(buckets[h]);
+    sections.push_back(std::move(section));
+  }
+  std::sort(sections.begin(), sections.end(),
+            [](const SubjectSection& a, const SubjectSection& b) {
+              return text::Compare(a.heading, b.heading) < 0;
+            });
+  if (!unmatched.empty() && !vocabulary.fallback_heading.empty()) {
+    SubjectSection section;
+    section.heading = vocabulary.fallback_heading;
+    std::sort(unmatched.begin(), unmatched.end(), title_order);
+    section.entries = std::move(unmatched);
+    sections.push_back(std::move(section));  // Fallback always last.
+  }
+  return sections;
+}
+
+std::string SubjectIndexToString(const core::AuthorIndex& catalog,
+                                 const SubjectVocabulary& vocabulary,
+                                 size_t line_width) {
+  std::string out;
+  for (const SubjectSection& section : BuildSubjectIndex(catalog,
+                                                         vocabulary)) {
+    out += section.heading;
+    out += '\n';
+    for (EntryId id : section.entries) {
+      const Entry* entry = catalog.GetEntry(id);
+      std::string citation = entry->citation.ToString();
+      // "  Title ....... 95:691 (1993)" with dot leaders.
+      std::string line = "  ";
+      size_t budget = line_width > citation.size() + 4
+                          ? line_width - citation.size() - 4
+                          : 8;
+      if (entry->title.size() > budget) {
+        line += entry->title.substr(0, budget - 3);
+        line += "...";
+      } else {
+        line += entry->title;
+      }
+      line += ' ';
+      while (line.size() + citation.size() + 1 < line_width) {
+        line += '.';
+      }
+      line += ' ';
+      line += citation;
+      out += line;
+      out += '\n';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace authidx::format

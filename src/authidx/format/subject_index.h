@@ -1,0 +1,65 @@
+#ifndef AUTHIDX_FORMAT_SUBJECT_INDEX_H_
+#define AUTHIDX_FORMAT_SUBJECT_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "authidx/core/author_index.h"
+
+namespace authidx::format {
+
+/// The Subject Index — the third companion artifact in law-review front
+/// matter: works grouped under curated subject headings.
+///
+///   COAL AND MINING LAW
+///     Prohibition of Strip Mining in West Virginia ......... 78:445 (1976)
+///     A Miner's Bill of Rights ............................. 80:397 (1978)
+///
+/// Real subject indexes are human-curated; this module approximates one
+/// with a controlled vocabulary: each heading lists the analyzed
+/// (stemmed) terms that map to it, and an entry files under every
+/// heading whose terms intersect its analyzed title. Entries matching
+/// nothing go under `fallback_heading` (empty string disables that).
+
+/// One heading and the terms (pre-analysis, human-readable) that select
+/// it. Terms run through the standard analyzer at build time so they
+/// match titles regardless of inflection.
+struct SubjectHeading {
+  std::string heading;
+  std::vector<std::string> terms;
+};
+
+/// A vocabulary: ordered list of headings (output preserves this order
+/// after sorting alphabetically by heading).
+struct SubjectVocabulary {
+  std::vector<SubjectHeading> headings;
+  std::string fallback_heading = "MISCELLANEOUS";
+
+  /// A curated vocabulary covering the legal domain of the embedded
+  /// sample corpus (coal/mining, constitutional, labor, tax, torts,
+  /// criminal, environmental, family, commercial, courts/procedure).
+  static SubjectVocabulary LegalDefault();
+};
+
+/// One subject-index section.
+struct SubjectSection {
+  std::string heading;
+  /// Entry ids in collation order of (title, citation).
+  std::vector<EntryId> entries;
+};
+
+/// Groups the catalog under `vocabulary`, dropping empty headings.
+/// Sections are ordered by heading collation; an entry can appear in
+/// several sections (as in real subject indexes). Coauthored works are
+/// deduplicated (one appearance per section).
+std::vector<SubjectSection> BuildSubjectIndex(
+    const core::AuthorIndex& catalog, const SubjectVocabulary& vocabulary);
+
+/// Renders sections as dot-leadered text.
+std::string SubjectIndexToString(const core::AuthorIndex& catalog,
+                                 const SubjectVocabulary& vocabulary,
+                                 size_t line_width = 78);
+
+}  // namespace authidx::format
+
+#endif  // AUTHIDX_FORMAT_SUBJECT_INDEX_H_

@@ -1,0 +1,155 @@
+#include "authidx/format/title_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "authidx/common/strings.h"
+#include "authidx/text/collate.h"
+#include "authidx/text/normalize.h"
+
+namespace authidx::format {
+namespace {
+
+// Removes a leading article ("A ", "An ", "The ") for ordering purposes.
+std::string_view SkipLeadingArticle(std::string_view title,
+                                    const std::vector<std::string>& articles) {
+  size_t space = title.find(' ');
+  if (space == std::string_view::npos) {
+    return title;
+  }
+  std::string first = text::FoldCase(title.substr(0, space));
+  for (const std::string& article : articles) {
+    if (first == article) {
+      return StripAsciiWhitespace(title.substr(space + 1));
+    }
+  }
+  return title;
+}
+
+std::string PadTo(std::string_view s, size_t width) {
+  std::string out(s.substr(0, width));
+  out.append(width - out.size(), ' ');
+  return out;
+}
+
+}  // namespace
+
+std::vector<TitleIndexRow> BuildTitleIndex(const core::AuthorIndex& catalog,
+                                           const TitleIndexOptions& options) {
+  // Deduplicate works: a coauthored article exists once per author in
+  // the catalog; key by (title, citation).
+  std::map<std::pair<std::string, Citation>, std::vector<std::string>>
+      bylines;
+  for (size_t i = 0; i < catalog.entry_count(); ++i) {
+    const Entry* entry = catalog.GetEntry(static_cast<EntryId>(i));
+    auto key = std::make_pair(entry->title, entry->citation);
+    auto& authors = bylines[key];
+    AuthorName name = entry->author;
+    name.student_material = false;  // The byline omits the asterisk.
+    std::string display = name.ToIndexForm();
+    if (std::find(authors.begin(), authors.end(), display) ==
+        authors.end()) {
+      authors.push_back(display);
+    }
+  }
+  std::vector<TitleIndexRow> rows;
+  rows.reserve(bylines.size());
+  for (auto& [key, authors] : bylines) {
+    TitleIndexRow row;
+    row.title = key.first;
+    row.citation = key.second;
+    std::sort(authors.begin(), authors.end(),
+              [](const std::string& a, const std::string& b) {
+                return text::Compare(a, b) < 0;
+              });
+    row.byline = JoinStrings(authors, "; ");
+    row.sort_key = text::MakeSortKey(
+        SkipLeadingArticle(row.title, options.skip_articles));
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const TitleIndexRow& a, const TitleIndexRow& b) {
+              if (a.sort_key != b.sort_key) {
+                return a.sort_key < b.sort_key;
+              }
+              return std::make_pair(a.citation.volume, a.citation.page) <
+                     std::make_pair(b.citation.volume, b.citation.page);
+            });
+  return rows;
+}
+
+std::vector<Page> TypesetTitleIndex(const core::AuthorIndex& catalog,
+                                    const TitleIndexOptions& options) {
+  const size_t citation_width = 14;
+  const size_t total_width = options.title_width + options.gutter +
+                             options.author_width + options.gutter +
+                             citation_width;
+  std::vector<TitleIndexRow> rows = BuildTitleIndex(catalog, options);
+
+  std::vector<Page> pages;
+  size_t page_number = options.first_page_number;
+  size_t row_idx = 0;
+  while (row_idx < rows.size() || pages.empty()) {
+    Page page;
+    page.number = page_number;
+    std::string& text = page.text;
+    // Centered heading plus column header.
+    size_t pad = total_width > options.heading.size()
+                     ? (total_width - options.heading.size()) / 2
+                     : 0;
+    text.append(pad, ' ');
+    text += options.heading;
+    text += '\n';
+    text += PadTo("TITLE", options.title_width);
+    text.append(options.gutter, ' ');
+    text += PadTo("AUTHOR(S)", options.author_width);
+    text.append(options.gutter, ' ');
+    text += "CITATION\n";
+    text.append(total_width, '-');
+    text += '\n';
+    size_t used = 0;
+    while (row_idx < rows.size()) {
+      const TitleIndexRow& row = rows[row_idx];
+      std::vector<std::string> title_lines =
+          WrapText(row.title, options.title_width);
+      std::vector<std::string> author_lines =
+          WrapText(row.byline, options.author_width);
+      size_t height = std::max(title_lines.size(), author_lines.size());
+      if (used > 0 && used + height > options.lines_per_page) {
+        break;  // Whole row moves to the next page.
+      }
+      for (size_t i = 0; i < height; ++i) {
+        std::string line =
+            PadTo(i < title_lines.size() ? title_lines[i] : "",
+                  options.title_width);
+        line.append(options.gutter, ' ');
+        line += PadTo(i < author_lines.size() ? author_lines[i] : "",
+                      options.author_width);
+        line.append(options.gutter, ' ');
+        if (i == 0) {
+          line += row.citation.ToString();
+        }
+        while (!line.empty() && line.back() == ' ') {
+          line.pop_back();
+        }
+        text += line;
+        text += '\n';
+        ++used;
+      }
+      ++row_idx;
+      if (used >= options.lines_per_page) {
+        break;
+      }
+    }
+    text += StringPrintf("%*zu\n", static_cast<int>(total_width / 2 + 3),
+                         page_number);
+    pages.push_back(std::move(page));
+    ++page_number;
+    if (rows.empty()) {
+      break;
+    }
+  }
+  return pages;
+}
+
+}  // namespace authidx::format

@@ -1,0 +1,56 @@
+#ifndef AUTHIDX_FORMAT_TITLE_INDEX_H_
+#define AUTHIDX_FORMAT_TITLE_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "authidx/core/author_index.h"
+#include "authidx/format/typeset.h"
+
+namespace authidx::format {
+
+/// The Title Index — the artifact printed right after the Author Index
+/// in the source volume (95 W. Va. L. Rev., Art. 6): one row per
+/// distinct work, ordered by title collation (leading articles "A",
+/// "An", "The" ignored, as cataloguers do), listing the full byline.
+///
+///   TITLE                                 AUTHOR(S)          CITATION
+///   All in the Family & In All Families   Minow, Martha      95:275 (1992)
+///
+/// Coauthored works appear once with every author in the byline (the
+/// author index, by contrast, repeats the work under each author).
+
+struct TitleIndexOptions {
+  size_t title_width = 40;
+  size_t author_width = 24;
+  size_t gutter = 2;
+  size_t lines_per_page = 48;
+  size_t first_page_number = 1;
+  std::string heading = "TITLE INDEX";
+  /// Leading words ignored for ordering (folded forms).
+  std::vector<std::string> skip_articles = {"a", "an", "the"};
+};
+
+/// One row of the title index.
+struct TitleIndexRow {
+  std::string title;
+  std::string byline;  // "A; B; C" in index form.
+  Citation citation;
+  /// Collation key for the ordering (leading articles skipped).
+  std::string sort_key;
+
+  friend bool operator==(const TitleIndexRow&, const TitleIndexRow&) = default;
+};
+
+/// Builds the deduplicated, collation-ordered rows.
+std::vector<TitleIndexRow> BuildTitleIndex(
+    const core::AuthorIndex& catalog, const TitleIndexOptions& options = {});
+
+/// Typesets the title index into pages (same Page type as the author
+/// index typesetter).
+std::vector<Page> TypesetTitleIndex(const core::AuthorIndex& catalog,
+                                    const TitleIndexOptions& options = {});
+
+}  // namespace authidx::format
+
+#endif  // AUTHIDX_FORMAT_TITLE_INDEX_H_

@@ -1,0 +1,86 @@
+#include "authidx/index/bloom.h"
+
+#include <cmath>
+
+#include "authidx/common/coding.h"
+#include "authidx/common/hash.h"
+
+namespace authidx {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  if (bits_per_key < 1) {
+    bits_per_key = 1;
+  }
+  size_t bits = expected_keys * static_cast<size_t>(bits_per_key);
+  if (bits < 64) {
+    bits = 64;  // Avoid degenerate tiny filters.
+  }
+  bits_.assign((bits + 7) / 8, 0);
+  probes_ = static_cast<int>(std::lround(bits_per_key * 0.6931));  // ln 2
+  if (probes_ < 1) probes_ = 1;
+  if (probes_ > 30) probes_ = 30;
+}
+
+void BloomFilter::Add(std::string_view key) {
+  const uint64_t h1 = Hash64(key, 0x9ae16a3b2f90404fULL);
+  const uint64_t h2 = Hash64(key, 0xc3a5c85c97cb3127ULL) | 1;
+  const uint64_t nbits = bits_.size() * 8;
+  uint64_t h = h1;
+  for (int i = 0; i < probes_; ++i) {
+    uint64_t bit = h % nbits;
+    bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    h += h2;
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  const uint64_t h1 = Hash64(key, 0x9ae16a3b2f90404fULL);
+  const uint64_t h2 = Hash64(key, 0xc3a5c85c97cb3127ULL) | 1;
+  const uint64_t nbits = bits_.size() * 8;
+  uint64_t h = h1;
+  for (int i = 0; i < probes_; ++i) {
+    uint64_t bit = h % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) {
+      return false;
+    }
+    h += h2;
+  }
+  return true;
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(probes_));
+  PutVarint64(&out, bits_.size());
+  out.append(reinterpret_cast<const char*>(bits_.data()), bits_.size());
+  return out;
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(std::string_view data) {
+  uint32_t probes = 0;
+  uint64_t nbytes = 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint32(&data, &probes));
+  AUTHIDX_RETURN_NOT_OK(GetVarint64(&data, &nbytes));
+  if (probes < 1 || probes > 30) {
+    return Status::Corruption("bloom probe count out of range");
+  }
+  if (data.size() != nbytes || nbytes == 0) {
+    return Status::Corruption("bloom bit array size mismatch");
+  }
+  BloomFilter filter;
+  filter.probes_ = static_cast<int>(probes);
+  filter.bits_.assign(data.begin(), data.end());
+  return filter;
+}
+
+double BloomFilter::FillRatio() const {
+  size_t set = 0;
+  for (uint8_t byte : bits_) {
+    set += static_cast<size_t>(__builtin_popcount(byte));
+  }
+  return bits_.empty()
+             ? 0.0
+             : static_cast<double>(set) / static_cast<double>(bits_.size() * 8);
+}
+
+}  // namespace authidx

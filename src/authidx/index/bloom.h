@@ -1,0 +1,51 @@
+#ifndef AUTHIDX_INDEX_BLOOM_H_
+#define AUTHIDX_INDEX_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/result.h"
+
+namespace authidx {
+
+/// Standard Bloom filter over byte-string keys with Kirsch-Mitzenmacher
+/// double hashing (two base hashes combined as h1 + i*h2 derive the k
+/// probe positions). Used per sorted run in the storage engine to skip
+/// runs that cannot contain a key.
+class BloomFilter {
+ public:
+  /// `bits_per_key` trades space for false-positive rate; 10 gives ~1%.
+  /// The probe count k is set to the optimum round(bits_per_key * ln 2).
+  explicit BloomFilter(size_t expected_keys, int bits_per_key = 10);
+
+  /// Inserts `key`.
+  void Add(std::string_view key);
+
+  /// True if `key` may be present; false means definitely absent.
+  bool MayContain(std::string_view key) const;
+
+  /// Serializes to bytes (header + bit array) for embedding in a table
+  /// file.
+  std::string Serialize() const;
+
+  /// Reconstructs a filter from Serialize() output.
+  static Result<BloomFilter> Deserialize(std::string_view data);
+
+  size_t bit_count() const { return bits_.size() * 8; }
+  int probe_count() const { return probes_; }
+
+  /// Measured fill fraction of the bit array (diagnostics).
+  double FillRatio() const;
+
+ private:
+  BloomFilter() = default;
+
+  std::vector<uint8_t> bits_;
+  int probes_ = 1;
+};
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_INDEX_BLOOM_H_

@@ -1,0 +1,305 @@
+#include "authidx/index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace authidx {
+namespace {
+
+// Fanout: keys per node before a split. 64 keeps nodes around one or two
+// cache pages for short keys while keeping the tree shallow.
+constexpr size_t kMaxKeys = 64;
+
+}  // namespace
+
+struct BPlusTree::Node {
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+  bool is_leaf;
+};
+
+struct BPlusTree::LeafNode final : Node {
+  LeafNode() : Node(true) {}
+  std::vector<std::string> keys;
+  std::vector<uint64_t> values;
+  LeafNode* next = nullptr;
+};
+
+struct BPlusTree::InternalNode final : Node {
+  InternalNode() : Node(false) {}
+  ~InternalNode() override {
+    for (Node* child : children) {
+      delete child;
+    }
+  }
+  // children.size() == keys.size() + 1. children[i] holds keys k with
+  // keys[i-1] <= k < keys[i] (bounds omitted at the ends).
+  std::vector<std::string> keys;
+  std::vector<Node*> children;
+};
+
+BPlusTree::BPlusTree() {
+  first_leaf_ = new LeafNode();
+  root_ = first_leaf_;
+}
+
+BPlusTree::~BPlusTree() { delete root_; }
+
+BPlusTree::LeafNode* BPlusTree::FindLeaf(std::string_view key) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    size_t i = static_cast<size_t>(
+        std::upper_bound(internal->keys.begin(), internal->keys.end(), key) -
+        internal->keys.begin());
+    node = internal->children[i];
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+void BPlusTree::SplitChild(InternalNode* parent, size_t child_idx) {
+  Node* child = parent->children[child_idx];
+  if (child->is_leaf) {
+    auto* leaf = static_cast<LeafNode*>(child);
+    auto* right = new LeafNode();
+    size_t mid = leaf->keys.size() / 2;
+    right->keys.assign(std::make_move_iterator(leaf->keys.begin() + mid),
+                       std::make_move_iterator(leaf->keys.end()));
+    right->values.assign(leaf->values.begin() + mid, leaf->values.end());
+    leaf->keys.resize(mid);
+    leaf->values.resize(mid);
+    right->next = leaf->next;
+    leaf->next = right;
+    parent->keys.insert(parent->keys.begin() + child_idx, right->keys.front());
+    parent->children.insert(parent->children.begin() + child_idx + 1, right);
+  } else {
+    auto* internal = static_cast<InternalNode*>(child);
+    auto* right = new InternalNode();
+    size_t mid = internal->keys.size() / 2;
+    std::string up_key = std::move(internal->keys[mid]);
+    right->keys.assign(std::make_move_iterator(internal->keys.begin() + mid + 1),
+                       std::make_move_iterator(internal->keys.end()));
+    right->children.assign(internal->children.begin() + mid + 1,
+                           internal->children.end());
+    internal->keys.resize(mid);
+    internal->children.resize(mid + 1);
+    parent->keys.insert(parent->keys.begin() + child_idx, std::move(up_key));
+    parent->children.insert(parent->children.begin() + child_idx + 1, right);
+  }
+}
+
+bool BPlusTree::InsertNonFull(Node* node, std::string_view key,
+                              uint64_t value) {
+  while (!node->is_leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    size_t i = static_cast<size_t>(
+        std::upper_bound(internal->keys.begin(), internal->keys.end(), key) -
+        internal->keys.begin());
+    Node* child = internal->children[i];
+    size_t child_keys = child->is_leaf
+                            ? static_cast<LeafNode*>(child)->keys.size()
+                            : static_cast<InternalNode*>(child)->keys.size();
+    if (child_keys >= kMaxKeys) {
+      SplitChild(internal, i);
+      if (key >= internal->keys[i]) {
+        ++i;
+      }
+      child = internal->children[i];
+    }
+    node = child;
+  }
+  auto* leaf = static_cast<LeafNode*>(node);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  if (it != leaf->keys.end() && *it == key) {
+    leaf->values[pos] = value;  // Overwrite.
+    return false;
+  }
+  leaf->keys.insert(it, std::string(key));
+  leaf->values.insert(leaf->values.begin() + pos, value);
+  return true;
+}
+
+bool BPlusTree::Insert(std::string_view key, uint64_t value) {
+  size_t root_keys = root_->is_leaf
+                         ? static_cast<LeafNode*>(root_)->keys.size()
+                         : static_cast<InternalNode*>(root_)->keys.size();
+  if (root_keys >= kMaxKeys) {
+    auto* new_root = new InternalNode();
+    new_root->children.push_back(root_);
+    SplitChild(new_root, 0);
+    root_ = new_root;
+    ++height_;
+  }
+  bool inserted = InsertNonFull(root_, key, value);
+  if (inserted) {
+    ++size_;
+  }
+  return inserted;
+}
+
+std::optional<uint64_t> BPlusTree::Get(std::string_view key) const {
+  const LeafNode* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it != leaf->keys.end() && *it == key) {
+    return leaf->values[static_cast<size_t>(it - leaf->keys.begin())];
+  }
+  return std::nullopt;
+}
+
+bool BPlusTree::Erase(std::string_view key) {
+  LeafNode* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) {
+    return false;
+  }
+  size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  leaf->keys.erase(it);
+  leaf->values.erase(leaf->values.begin() + pos);
+  --size_;
+  return true;
+}
+
+bool BPlusTree::Iterator::Valid() const {
+  return leaf_ != nullptr &&
+         pos_ < static_cast<const LeafNode*>(leaf_)->keys.size();
+}
+
+std::string_view BPlusTree::Iterator::key() const {
+  return static_cast<const LeafNode*>(leaf_)->keys[pos_];
+}
+
+uint64_t BPlusTree::Iterator::value() const {
+  return static_cast<const LeafNode*>(leaf_)->values[pos_];
+}
+
+void BPlusTree::Iterator::Next() {
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  ++pos_;
+  // Skip over leaves emptied by lazy deletion.
+  while (leaf != nullptr && pos_ >= leaf->keys.size()) {
+    leaf = leaf->next;
+    pos_ = 0;
+  }
+  leaf_ = leaf;
+}
+
+BPlusTree::Iterator BPlusTree::Seek(std::string_view key) const {
+  const LeafNode* leaf = FindLeaf(key);
+  size_t pos = static_cast<size_t>(
+      std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key) -
+      leaf->keys.begin());
+  while (leaf != nullptr && pos >= leaf->keys.size()) {
+    leaf = leaf->next;
+    pos = 0;
+  }
+  Iterator it;
+  it.leaf_ = leaf;
+  it.pos_ = pos;
+  return it;
+}
+
+BPlusTree::Iterator BPlusTree::Begin() const {
+  const LeafNode* leaf = first_leaf_;
+  while (leaf != nullptr && leaf->keys.empty()) {
+    leaf = leaf->next;
+  }
+  Iterator it;
+  it.leaf_ = leaf;
+  it.pos_ = 0;
+  return it;
+}
+
+std::vector<std::pair<std::string, uint64_t>> BPlusTree::PrefixScan(
+    std::string_view prefix, size_t limit) const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (Iterator it = Seek(prefix); it.Valid() && out.size() < limit;
+       it.Next()) {
+    std::string_view key = it.key();
+    if (key.size() < prefix.size() ||
+        key.substr(0, prefix.size()) != prefix) {
+      break;
+    }
+    out.emplace_back(std::string(key), it.value());
+  }
+  return out;
+}
+
+bool BPlusTree::CheckInvariants(std::string* why) const {
+  // Walk the tree checking order/bounds, then the leaf chain.
+  struct Checker {
+    static bool Check(const Node* node, const std::string* lo,
+                      const std::string* hi, std::string* why) {
+      if (node->is_leaf) {
+        const auto* leaf = static_cast<const LeafNode*>(node);
+        if (leaf->keys.size() != leaf->values.size()) {
+          *why = "leaf keys/values size mismatch";
+          return false;
+        }
+        if (!std::is_sorted(leaf->keys.begin(), leaf->keys.end())) {
+          *why = "leaf keys unsorted";
+          return false;
+        }
+        for (const std::string& k : leaf->keys) {
+          if (lo != nullptr && k < *lo) {
+            *why = "leaf key below lower bound";
+            return false;
+          }
+          if (hi != nullptr && k >= *hi) {
+            *why = "leaf key at/above upper bound";
+            return false;
+          }
+        }
+        return true;
+      }
+      const auto* internal = static_cast<const InternalNode*>(node);
+      if (internal->children.size() != internal->keys.size() + 1) {
+        *why = "internal fanout mismatch";
+        return false;
+      }
+      if (internal->keys.size() > kMaxKeys) {
+        *why = "internal overflow";
+        return false;
+      }
+      if (!std::is_sorted(internal->keys.begin(), internal->keys.end())) {
+        *why = "internal keys unsorted";
+        return false;
+      }
+      for (size_t i = 0; i < internal->children.size(); ++i) {
+        const std::string* child_lo = (i == 0) ? lo : &internal->keys[i - 1];
+        const std::string* child_hi =
+            (i == internal->keys.size()) ? hi : &internal->keys[i];
+        if (!Check(internal->children[i], child_lo, child_hi, why)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  };
+  if (!Checker::Check(root_, nullptr, nullptr, why)) {
+    return false;
+  }
+  // Leaf chain must be globally sorted and cover `size_` pairs.
+  size_t total = 0;
+  std::string prev;
+  bool have_prev = false;
+  for (const LeafNode* leaf = first_leaf_; leaf != nullptr;
+       leaf = leaf->next) {
+    for (const std::string& k : leaf->keys) {
+      if (have_prev && !(prev < k)) {
+        *why = "leaf chain out of order";
+        return false;
+      }
+      prev = k;
+      have_prev = true;
+      ++total;
+    }
+  }
+  if (total != size_) {
+    *why = "leaf chain count != size()";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace authidx

@@ -1,0 +1,96 @@
+#ifndef AUTHIDX_INDEX_BTREE_H_
+#define AUTHIDX_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace authidx {
+
+/// In-memory B+-tree mapping byte-string keys to uint64 values, with
+/// linked leaves for ordered range scans. This is the ordered author
+/// index: keys are collation sort keys (see text::MakeSortKey), so leaf
+/// order equals printed-index order.
+///
+/// Keys are unique; Insert overwrites. Multi-valued mappings are built by
+/// key composition (e.g. sort_key + '\0' + entry_id), the usual embedded-
+/// index pattern.
+///
+/// Not thread-safe; external synchronization required for writers.
+class BPlusTree {
+ public:
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts or overwrites. Returns true if the key was newly inserted.
+  bool Insert(std::string_view key, uint64_t value);
+
+  /// Point lookup.
+  std::optional<uint64_t> Get(std::string_view key) const;
+
+  /// Removes `key`; returns true if it was present. Uses lazy deletion
+  /// (leaf shrink without rebalancing), which keeps the structure valid;
+  /// occupancy is restored on the next bulk rebuild.
+  bool Erase(std::string_view key);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (1 = just a leaf root).
+  int height() const { return height_; }
+
+  /// Forward iterator over (key, value) pairs in key order.
+  class Iterator {
+   public:
+    /// True if positioned on a valid pair.
+    bool Valid() const;
+    std::string_view key() const;
+    uint64_t value() const;
+    /// Advances to the next pair in key order.
+    void Next();
+
+   private:
+    friend class BPlusTree;
+    const void* leaf_ = nullptr;  // LeafNode*
+    size_t pos_ = 0;
+  };
+
+  /// Iterator at the first key >= `key`.
+  Iterator Seek(std::string_view key) const;
+
+  /// Iterator at the smallest key.
+  Iterator Begin() const;
+
+  /// Collects up to `limit` (key, value) pairs with the given prefix.
+  std::vector<std::pair<std::string, uint64_t>> PrefixScan(
+      std::string_view prefix, size_t limit) const;
+
+  /// Verifies structural invariants (sortedness, fanout bounds, child
+  /// separation, leaf-chain consistency); used by tests. Returns false
+  /// and fills `*why` on violation.
+  bool CheckInvariants(std::string* why) const;
+
+ private:
+  struct Node;
+  struct InternalNode;
+  struct LeafNode;
+
+  LeafNode* FindLeaf(std::string_view key) const;
+  void SplitChild(InternalNode* parent, size_t child_idx);
+  bool InsertNonFull(Node* node, std::string_view key, uint64_t value);
+
+  Node* root_;
+  LeafNode* first_leaf_;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_INDEX_BTREE_H_

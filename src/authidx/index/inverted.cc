@@ -1,0 +1,99 @@
+#include "authidx/index/inverted.h"
+
+#include <algorithm>
+
+#include "authidx/common/coding.h"
+
+namespace authidx {
+
+bool InvertedIndex::AddDocument(EntryId doc,
+                                const std::vector<std::string>& tokens) {
+  if (any_doc_ && doc < max_doc_) {
+    return false;
+  }
+  // Aggregate term frequencies within the document.
+  std::unordered_map<std::string_view, uint32_t> freqs;
+  for (const std::string& token : tokens) {
+    ++freqs[token];
+  }
+  for (const auto& [token, freq] : freqs) {
+    TermEntry& entry = terms_[std::string(token)];
+    uint32_t gap = entry.doc_freq == 0 ? doc : doc - entry.last_doc;
+    if (entry.doc_freq > 0 && gap == 0) {
+      continue;  // Same doc re-added for this term; keep first freq.
+    }
+    PutVarint32(&entry.encoded, gap);
+    PutVarint32(&entry.encoded, freq);
+    entry.last_doc = doc;
+    ++entry.doc_freq;
+  }
+  doc_lengths_[doc] = static_cast<uint32_t>(tokens.size());
+  total_tokens_ += tokens.size();
+  ++doc_count_;
+  max_doc_ = doc;
+  any_doc_ = true;
+  return true;
+}
+
+std::vector<Posting> InvertedIndex::GetPostings(std::string_view term) const {
+  auto it = terms_.find(std::string(term));
+  if (it == terms_.end()) {
+    return {};
+  }
+  const TermEntry& entry = it->second;
+  std::vector<Posting> postings;
+  postings.reserve(entry.doc_freq);
+  std::string_view data = entry.encoded;
+  EntryId prev = 0;
+  for (uint32_t i = 0; i < entry.doc_freq; ++i) {
+    uint32_t gap = 0, freq = 0;
+    // Encoded in-process; decode failures would indicate memory
+    // corruption, so treat them as "stop early".
+    if (!GetVarint32(&data, &gap).ok() || !GetVarint32(&data, &freq).ok()) {
+      break;
+    }
+    EntryId doc = (i == 0) ? gap : prev + gap;
+    postings.push_back(Posting{doc, freq});
+    prev = doc;
+  }
+  return postings;
+}
+
+std::vector<EntryId> InvertedIndex::GetDocs(std::string_view term) const {
+  std::vector<Posting> postings = GetPostings(term);
+  std::vector<EntryId> docs;
+  docs.reserve(postings.size());
+  for (const Posting& p : postings) {
+    docs.push_back(p.doc);
+  }
+  return docs;
+}
+
+size_t InvertedIndex::DocFreq(std::string_view term) const {
+  auto it = terms_.find(std::string(term));
+  return it == terms_.end() ? 0 : it->second.doc_freq;
+}
+
+uint32_t InvertedIndex::DocLength(EntryId doc) const {
+  auto it = doc_lengths_.find(doc);
+  return it == doc_lengths_.end() ? 0 : it->second;
+}
+
+size_t InvertedIndex::CompressedBytes() const {
+  size_t total = 0;
+  for (const auto& [term, entry] : terms_) {
+    total += entry.encoded.size();
+  }
+  return total;
+}
+
+std::vector<std::string> InvertedIndex::Terms() const {
+  std::vector<std::string> out;
+  out.reserve(terms_.size());
+  for (const auto& [term, entry] : terms_) {
+    out.push_back(term);
+  }
+  return out;
+}
+
+}  // namespace authidx

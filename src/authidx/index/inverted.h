@@ -1,0 +1,73 @@
+#ifndef AUTHIDX_INDEX_INVERTED_H_
+#define AUTHIDX_INDEX_INVERTED_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "authidx/index/postings.h"
+#include "authidx/model/record.h"
+
+namespace authidx {
+
+/// In-memory inverted index: term -> compressed postings. Documents are
+/// added with pre-analyzed tokens (the caller runs text::Tokenize so
+/// indexing and querying share one analyzer). Doc ids must be added in
+/// non-decreasing order, which ingest order guarantees.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Indexes `tokens` under `doc`. Duplicate tokens raise the term
+  /// frequency. Returns false (and indexes nothing) if `doc` is below a
+  /// previously added doc id.
+  bool AddDocument(EntryId doc, const std::vector<std::string>& tokens);
+
+  /// Doc ids containing `term` (empty vector if absent).
+  std::vector<EntryId> GetDocs(std::string_view term) const;
+
+  /// Full postings with term frequencies.
+  std::vector<Posting> GetPostings(std::string_view term) const;
+
+  /// Number of documents containing `term`.
+  size_t DocFreq(std::string_view term) const;
+
+  /// Total number of documents added.
+  size_t doc_count() const { return doc_count_; }
+
+  /// Number of distinct terms.
+  size_t term_count() const { return terms_.size(); }
+
+  /// Sum of document lengths (tokens); used by BM25's length norm.
+  uint64_t total_tokens() const { return total_tokens_; }
+
+  /// Token count of document `doc` (0 if unknown).
+  uint32_t DocLength(EntryId doc) const;
+
+  /// Total compressed postings bytes (diagnostics/benchmarks).
+  size_t CompressedBytes() const;
+
+  /// All terms (unsorted); mainly for tests and stats.
+  std::vector<std::string> Terms() const;
+
+ private:
+  struct TermEntry {
+    // Encoded (gap, freq) varint postings, appended incrementally.
+    std::string encoded;
+    uint32_t doc_freq = 0;
+    EntryId last_doc = 0;
+  };
+
+  std::unordered_map<std::string, TermEntry> terms_;
+  std::unordered_map<EntryId, uint32_t> doc_lengths_;
+  size_t doc_count_ = 0;
+  uint64_t total_tokens_ = 0;
+  EntryId max_doc_ = 0;
+  bool any_doc_ = false;
+};
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_INDEX_INVERTED_H_

@@ -1,0 +1,56 @@
+#ifndef AUTHIDX_INDEX_POSTINGS_H_
+#define AUTHIDX_INDEX_POSTINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/result.h"
+#include "authidx/model/record.h"
+
+namespace authidx {
+
+/// One posting: a document (entry) plus the term's frequency in it.
+struct Posting {
+  EntryId doc = 0;
+  uint32_t freq = 1;
+
+  friend bool operator==(const Posting&, const Posting&) = default;
+};
+
+/// Delta-varint encodes a doc-sorted postings list: (gap, freq) pairs
+/// where gap is the difference from the previous doc id (first is
+/// absolute). Requires strictly increasing doc ids.
+std::string EncodePostings(const std::vector<Posting>& postings);
+
+/// Inverse of EncodePostings.
+Result<std::vector<Posting>> DecodePostings(std::string_view data);
+
+// Set algebra over doc-sorted id vectors. These operate on plain id
+// vectors (frequencies are carried separately by the ranker).
+
+/// Linear merge intersection; O(|a| + |b|).
+std::vector<EntryId> IntersectLinear(const std::vector<EntryId>& a,
+                                     const std::vector<EntryId>& b);
+
+/// Galloping (exponential-probe) intersection; O(|small| log |large|),
+/// the right choice when the lists differ greatly in length.
+std::vector<EntryId> IntersectGalloping(const std::vector<EntryId>& a,
+                                        const std::vector<EntryId>& b);
+
+/// Adaptive: picks linear vs galloping by length ratio.
+std::vector<EntryId> Intersect(const std::vector<EntryId>& a,
+                               const std::vector<EntryId>& b);
+
+/// Sorted union.
+std::vector<EntryId> Union(const std::vector<EntryId>& a,
+                           const std::vector<EntryId>& b);
+
+/// Sorted difference a \ b.
+std::vector<EntryId> Difference(const std::vector<EntryId>& a,
+                                const std::vector<EntryId>& b);
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_INDEX_POSTINGS_H_

@@ -1,0 +1,58 @@
+#include "authidx/index/ranker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace authidx {
+
+std::vector<ScoredDoc> RankBm25(const InvertedIndex& index,
+                                const std::vector<std::string>& terms,
+                                size_t k, const Bm25Params& params) {
+  if (k == 0 || index.doc_count() == 0) {
+    return {};
+  }
+  const double n = static_cast<double>(index.doc_count());
+  const double avg_len =
+      static_cast<double>(index.total_tokens()) / std::max(1.0, n);
+
+  std::unordered_map<EntryId, double> scores;
+  for (const std::string& term : terms) {
+    std::vector<Posting> postings = index.GetPostings(term);
+    if (postings.empty()) {
+      continue;
+    }
+    const double df = static_cast<double>(postings.size());
+    // BM25+-style floor keeps idf positive for very common terms.
+    const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    for (const Posting& p : postings) {
+      const double tf = static_cast<double>(p.freq);
+      const double doc_len = static_cast<double>(index.DocLength(p.doc));
+      const double norm =
+          params.k1 * (1.0 - params.b + params.b * doc_len / avg_len);
+      scores[p.doc] += idf * (tf * (params.k1 + 1.0)) / (tf + norm);
+    }
+  }
+
+  std::vector<ScoredDoc> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    ranked.push_back(ScoredDoc{doc, score});
+  }
+  auto better = [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) {
+      return a.score > b.score;
+    }
+    return a.doc < b.doc;
+  };
+  if (ranked.size() > k) {
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
+                      ranked.end(), better);
+    ranked.resize(k);
+  } else {
+    std::sort(ranked.begin(), ranked.end(), better);
+  }
+  return ranked;
+}
+
+}  // namespace authidx

@@ -1,0 +1,35 @@
+#ifndef AUTHIDX_INDEX_RANKER_H_
+#define AUTHIDX_INDEX_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "authidx/index/inverted.h"
+#include "authidx/model/record.h"
+
+namespace authidx {
+
+/// A ranked document.
+struct ScoredDoc {
+  EntryId doc = 0;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredDoc&, const ScoredDoc&) = default;
+};
+
+/// BM25 parameters (Robertson/Sparck Jones defaults).
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// Scores documents matching any query term with Okapi BM25 over `index`
+/// and returns the top `k`, highest score first (doc id breaks ties for
+/// determinism). Terms must be pre-analyzed with the index's analyzer.
+std::vector<ScoredDoc> RankBm25(const InvertedIndex& index,
+                                const std::vector<std::string>& terms,
+                                size_t k, const Bm25Params& params = {});
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_INDEX_RANKER_H_

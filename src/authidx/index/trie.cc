@@ -1,0 +1,157 @@
+#include "authidx/index/trie.h"
+
+#include <cstring>
+
+namespace authidx {
+
+// Children are parallel arrays (labels_, kids_) sorted by label and grown
+// by doubling inside the arena (superseded arrays are simply abandoned;
+// the arena reclaims them wholesale at destruction).
+struct Trie::Node {
+  uint64_t value = 0;
+  bool has_value = false;
+  uint16_t num_children = 0;
+  uint16_t cap_children = 0;
+  unsigned char* labels = nullptr;
+  Node** kids = nullptr;
+
+  // Index of `label` in labels, or insertion point | 0x8000 if absent.
+  int Find(unsigned char label) const {
+    int lo = 0, hi = num_children;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (labels[mid] < label) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < num_children && labels[lo] == label) {
+      return lo;
+    }
+    return lo | 0x8000;
+  }
+};
+
+Trie::Trie() {
+  root_ = NewNode();
+}
+
+Trie::Node* Trie::NewNode() {
+  char* mem = arena_.AllocateAligned(sizeof(Node));
+  Node* node = new (mem) Node();
+  ++node_count_;
+  return node;
+}
+
+void Trie::Insert(std::string_view key, uint64_t value) {
+  Node* node = root_;
+  for (unsigned char c : key) {
+    int idx = node->Find(c);
+    if (idx & 0x8000) {
+      int pos = idx & 0x7FFF;
+      if (node->num_children == node->cap_children) {
+        uint16_t new_cap =
+            node->cap_children == 0 ? 2 : static_cast<uint16_t>(
+                                              node->cap_children * 2);
+        auto* new_labels = reinterpret_cast<unsigned char*>(
+            arena_.Allocate(new_cap));
+        auto* new_kids = reinterpret_cast<Node**>(
+            arena_.AllocateAligned(new_cap * sizeof(Node*)));
+        std::memcpy(new_labels, node->labels, node->num_children);
+        std::memcpy(new_kids, node->kids,
+                    node->num_children * sizeof(Node*));
+        node->labels = new_labels;
+        node->kids = new_kids;
+        node->cap_children = new_cap;
+      }
+      std::memmove(node->labels + pos + 1, node->labels + pos,
+                   node->num_children - pos);
+      std::memmove(node->kids + pos + 1, node->kids + pos,
+                   (node->num_children - pos) * sizeof(Node*));
+      node->labels[pos] = c;
+      node->kids[pos] = NewNode();
+      ++node->num_children;
+      node = node->kids[pos];
+    } else {
+      node = node->kids[idx];
+    }
+  }
+  if (!node->has_value) {
+    node->has_value = true;
+    ++size_;
+  }
+  node->value = value;
+}
+
+const Trie::Node* Trie::Descend(std::string_view prefix) const {
+  const Node* node = root_;
+  for (unsigned char c : prefix) {
+    int idx = node->Find(c);
+    if (idx & 0x8000) {
+      return nullptr;
+    }
+    node = node->kids[idx];
+  }
+  return node;
+}
+
+bool Trie::Get(std::string_view key, uint64_t* value) const {
+  const Node* node = Descend(key);
+  if (node == nullptr || !node->has_value) {
+    return false;
+  }
+  *value = node->value;
+  return true;
+}
+
+void Trie::Collect(const Node* node, std::string* scratch,
+                   std::vector<std::pair<std::string, uint64_t>>* out,
+                   size_t limit) const {
+  if (out->size() >= limit) {
+    return;
+  }
+  if (node->has_value) {
+    out->emplace_back(*scratch, node->value);
+  }
+  for (int i = 0; i < node->num_children && out->size() < limit; ++i) {
+    scratch->push_back(static_cast<char>(node->labels[i]));
+    Collect(node->kids[i], scratch, out, limit);
+    scratch->pop_back();
+  }
+}
+
+std::vector<std::pair<std::string, uint64_t>> Trie::PrefixScan(
+    std::string_view prefix, size_t limit) const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  const Node* node = Descend(prefix);
+  if (node == nullptr) {
+    return out;
+  }
+  std::string scratch(prefix);
+  Collect(node, &scratch, &out, limit);
+  return out;
+}
+
+size_t Trie::CountPrefix(std::string_view prefix) const {
+  const Node* start = Descend(prefix);
+  if (start == nullptr) {
+    return 0;
+  }
+  // Iterative DFS counting values in the subtree.
+  size_t count = 0;
+  std::vector<const Node*> stack = {start};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->has_value) {
+      ++count;
+    }
+    for (int i = 0; i < node->num_children; ++i) {
+      stack.push_back(node->kids[i]);
+    }
+  }
+  return count;
+}
+
+}  // namespace authidx

@@ -1,0 +1,59 @@
+#ifndef AUTHIDX_INDEX_TRIE_H_
+#define AUTHIDX_INDEX_TRIE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/arena.h"
+
+namespace authidx {
+
+/// Byte-wise trie mapping keys to uint64 payloads, specialized for the
+/// autocomplete path ("authors starting with 'mc'"). Nodes live in an
+/// arena; children are kept as sorted small arrays for cache-friendly
+/// binary search. Keys are unique; Insert overwrites.
+class Trie {
+ public:
+  Trie();
+
+  Trie(const Trie&) = delete;
+  Trie& operator=(const Trie&) = delete;
+
+  /// Inserts or overwrites `key` -> `value`.
+  void Insert(std::string_view key, uint64_t value);
+
+  /// Point lookup; false if absent.
+  bool Get(std::string_view key, uint64_t* value) const;
+
+  /// Appends up to `limit` (key, value) pairs whose key starts with
+  /// `prefix`, in lexicographic key order.
+  std::vector<std::pair<std::string, uint64_t>> PrefixScan(
+      std::string_view prefix, size_t limit) const;
+
+  /// Number of keys with the given prefix (full subtree count; O(subtree)).
+  size_t CountPrefix(std::string_view prefix) const;
+
+  size_t size() const { return size_; }
+  size_t node_count() const { return node_count_; }
+  size_t MemoryUsage() const { return arena_.MemoryUsage(); }
+
+ private:
+  struct Node;
+
+  Node* NewNode();
+  const Node* Descend(std::string_view prefix) const;
+  void Collect(const Node* node, std::string* scratch,
+               std::vector<std::pair<std::string, uint64_t>>* out,
+               size_t limit) const;
+
+  Arena arena_;
+  Node* root_;
+  size_t size_ = 0;
+  size_t node_count_ = 0;
+};
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_INDEX_TRIE_H_

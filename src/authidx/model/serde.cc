@@ -1,0 +1,83 @@
+#include "authidx/model/serde.h"
+
+#include "authidx/common/coding.h"
+
+namespace authidx {
+namespace {
+
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kFlagStudentMaterial = 1u << 0;
+// Defensive cap: a corrupted count must not trigger a giant allocation.
+constexpr uint32_t kMaxCoauthors = 1u << 16;
+
+}  // namespace
+
+void EncodeEntry(const Entry& entry, std::string* dst) {
+  PutVarint32(dst, kFormatVersion);
+  PutLengthPrefixed(dst, entry.author.surname);
+  PutLengthPrefixed(dst, entry.author.given);
+  PutLengthPrefixed(dst, entry.author.suffix);
+  uint32_t flags = entry.author.student_material ? kFlagStudentMaterial : 0;
+  PutVarint32(dst, flags);
+  PutVarint32(dst, entry.citation.volume);
+  PutVarint32(dst, entry.citation.page);
+  PutVarint32(dst, entry.citation.year);
+  PutLengthPrefixed(dst, entry.title);
+  PutVarint32(dst, static_cast<uint32_t>(entry.coauthors.size()));
+  for (const std::string& coauthor : entry.coauthors) {
+    PutLengthPrefixed(dst, coauthor);
+  }
+}
+
+std::string EncodeEntryToString(const Entry& entry) {
+  std::string out;
+  EncodeEntry(entry, &out);
+  return out;
+}
+
+Result<Entry> DecodeEntry(std::string_view* input) {
+  uint32_t version = 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint32(input, &version));
+  if (version != kFormatVersion) {
+    return Status::Corruption("unknown entry format version " +
+                              std::to_string(version));
+  }
+  Entry entry;
+  std::string_view piece;
+  AUTHIDX_RETURN_NOT_OK(GetLengthPrefixed(input, &piece));
+  entry.author.surname = piece;
+  AUTHIDX_RETURN_NOT_OK(GetLengthPrefixed(input, &piece));
+  entry.author.given = piece;
+  AUTHIDX_RETURN_NOT_OK(GetLengthPrefixed(input, &piece));
+  entry.author.suffix = piece;
+  uint32_t flags = 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint32(input, &flags));
+  entry.author.student_material = (flags & kFlagStudentMaterial) != 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint32(input, &entry.citation.volume));
+  AUTHIDX_RETURN_NOT_OK(GetVarint32(input, &entry.citation.page));
+  AUTHIDX_RETURN_NOT_OK(GetVarint32(input, &entry.citation.year));
+  AUTHIDX_RETURN_NOT_OK(GetLengthPrefixed(input, &piece));
+  entry.title = piece;
+  uint32_t coauthor_count = 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint32(input, &coauthor_count));
+  if (coauthor_count > kMaxCoauthors) {
+    return Status::Corruption("implausible coauthor count " +
+                              std::to_string(coauthor_count));
+  }
+  entry.coauthors.reserve(coauthor_count);
+  for (uint32_t i = 0; i < coauthor_count; ++i) {
+    AUTHIDX_RETURN_NOT_OK(GetLengthPrefixed(input, &piece));
+    entry.coauthors.emplace_back(piece);
+  }
+  return entry;
+}
+
+Result<Entry> DecodeEntryExact(std::string_view input) {
+  AUTHIDX_ASSIGN_OR_RETURN(Entry entry, DecodeEntry(&input));
+  if (!input.empty()) {
+    return Status::Corruption("trailing bytes after entry");
+  }
+  return entry;
+}
+
+}  // namespace authidx

@@ -1,0 +1,37 @@
+#ifndef AUTHIDX_MODEL_SERDE_H_
+#define AUTHIDX_MODEL_SERDE_H_
+
+#include <string>
+#include <string_view>
+
+#include "authidx/common/result.h"
+#include "authidx/model/record.h"
+
+namespace authidx {
+
+/// Canonical binary encoding of an `Entry`, used as the value format in
+/// the storage engine and the WAL.
+///
+/// Layout (all varint/length-prefixed, little-endian):
+///   format_version (varint32, currently 1)
+///   surname, given, suffix (length-prefixed)
+///   flags (varint32; bit 0 = student_material)
+///   volume, page, year (varint32)
+///   title (length-prefixed)
+///   coauthor_count (varint32), then each coauthor length-prefixed
+void EncodeEntry(const Entry& entry, std::string* dst);
+
+/// Convenience wrapper returning the encoded bytes.
+std::string EncodeEntryToString(const Entry& entry);
+
+/// Decodes an entry from the front of `*input`, advancing past the
+/// consumed bytes. Returns Corruption on malformed input.
+Result<Entry> DecodeEntry(std::string_view* input);
+
+/// Decodes an entry occupying all of `input` (trailing bytes are an
+/// error).
+Result<Entry> DecodeEntryExact(std::string_view input);
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_MODEL_SERDE_H_

@@ -1,0 +1,343 @@
+#include "authidx/parse/bibtex.h"
+
+#include <cctype>
+
+#include "authidx/common/strings.h"
+#include "authidx/parse/name.h"
+
+namespace authidx {
+namespace {
+
+// Simple cursor over the document with line tracking for errors.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  char Take() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Take();
+      } else if (c == '%') {
+        while (!AtEnd() && Peek() != '\n') {
+          Take();
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  size_t line() const { return line_; }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StringPrintf("bibtex line %zu: %s", line_, what.c_str()));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == ':' || c == '.' || c == '+' || c == '/';
+}
+
+std::string TakeName(Cursor* cur) {
+  std::string out;
+  while (!cur->AtEnd() && IsNameChar(cur->Peek())) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(cur->Take()))));
+  }
+  return out;
+}
+
+// Reads a `{...}` balanced value (outer braces consumed, inner kept),
+// a `"..."` value, or a bare number/word.
+Result<std::string> TakeValue(Cursor* cur) {
+  cur->SkipWhitespaceAndComments();
+  if (cur->AtEnd()) {
+    return cur->Error("expected value");
+  }
+  char c = cur->Peek();
+  std::string out;
+  if (c == '{') {
+    cur->Take();
+    int depth = 1;
+    while (!cur->AtEnd()) {
+      char b = cur->Take();
+      if (b == '{') {
+        ++depth;
+      } else if (b == '}') {
+        if (--depth == 0) {
+          return out;
+        }
+      }
+      out.push_back(b);
+    }
+    return cur->Error("unterminated braced value");
+  }
+  if (c == '"') {
+    cur->Take();
+    int depth = 0;
+    while (!cur->AtEnd()) {
+      char b = cur->Take();
+      if (b == '{') {
+        ++depth;
+      } else if (b == '}') {
+        --depth;
+      } else if (b == '"' && depth == 0) {
+        return out;
+      }
+      out.push_back(b);
+    }
+    return cur->Error("unterminated quoted value");
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    while (!cur->AtEnd() &&
+           std::isdigit(static_cast<unsigned char>(cur->Peek()))) {
+      out.push_back(cur->Take());
+    }
+    return out;
+  }
+  if (std::isalpha(static_cast<unsigned char>(c))) {
+    // Bare identifier: would be an @string macro, which we don't expand.
+    return Status::NotSupported("bibtex @string macros are not supported");
+  }
+  return cur->Error(std::string("unexpected character '") + c +
+                    "' in value");
+}
+
+// Strips braces, collapses whitespace, drops TeX non-breaking space '~'.
+std::string CleanValue(std::string_view raw) {
+  std::string out;
+  bool pending_space = false;
+  for (char c : raw) {
+    if (c == '{' || c == '}') {
+      continue;
+    }
+    if (c == '~') {
+      c = ' ';
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Splits an author field on the word "and" at brace depth 0.
+std::vector<std::string> SplitAuthors(std::string_view field) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  size_t i = 0;
+  while (i < field.size()) {
+    if (field[i] == '{') {
+      ++depth;
+    } else if (field[i] == '}') {
+      --depth;
+    }
+    if (depth == 0 && (i == 0 || std::isspace(static_cast<unsigned char>(
+                                     field[i - 1]))) &&
+        field.compare(i, 3, "and") == 0 &&
+        (i + 3 == field.size() ||
+         std::isspace(static_cast<unsigned char>(field[i + 3])))) {
+      out.push_back(current);
+      current.clear();
+      i += 3;
+      continue;
+    }
+    current.push_back(field[i]);
+    ++i;
+  }
+  out.push_back(current);
+  for (std::string& name : out) {
+    name = CleanValue(name);
+  }
+  std::erase_if(out, [](const std::string& s) { return s.empty(); });
+  return out;
+}
+
+// "Given M. Surname" or "Surname, Given M." -> AuthorName.
+Result<AuthorName> ParseBibAuthor(const std::string& text) {
+  if (text.find(',') != std::string::npos) {
+    return ParseAuthorName(text);
+  }
+  size_t last_space = text.rfind(' ');
+  AuthorName name;
+  if (last_space == std::string::npos) {
+    name.surname = text;
+  } else {
+    name.surname = text.substr(last_space + 1);
+    name.given = text.substr(0, last_space);
+  }
+  if (name.surname.empty()) {
+    return Status::InvalidArgument("empty author name in bibtex");
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string_view BibTexEntry::Field(std::string_view name) const {
+  for (const auto& [field_name, value] : fields) {
+    if (field_name == name) {
+      return value;
+    }
+  }
+  return {};
+}
+
+Result<std::vector<BibTexEntry>> ParseBibTex(std::string_view text) {
+  Cursor cur(text);
+  std::vector<BibTexEntry> entries;
+  while (true) {
+    // Free text between entries is ignored (standard BibTeX behavior).
+    while (!cur.AtEnd() && cur.Peek() != '@') {
+      cur.Take();
+    }
+    if (cur.AtEnd()) {
+      return entries;
+    }
+    cur.Take();  // '@'
+    BibTexEntry entry;
+    entry.type = TakeName(&cur);
+    if (entry.type.empty()) {
+      return cur.Error("missing entry type after '@'");
+    }
+    if (entry.type == "comment" || entry.type == "preamble") {
+      // Skip a balanced { ... } group.
+      cur.SkipWhitespaceAndComments();
+      if (!cur.AtEnd() && cur.Peek() == '{') {
+        AUTHIDX_RETURN_NOT_OK(TakeValue(&cur).status());
+      }
+      continue;
+    }
+    cur.SkipWhitespaceAndComments();
+    if (cur.AtEnd() || cur.Peek() != '{') {
+      return cur.Error("expected '{' after entry type");
+    }
+    cur.Take();
+    cur.SkipWhitespaceAndComments();
+    entry.key = TakeName(&cur);
+    cur.SkipWhitespaceAndComments();
+    // Field list.
+    while (true) {
+      cur.SkipWhitespaceAndComments();
+      if (cur.AtEnd()) {
+        return cur.Error("unterminated entry");
+      }
+      if (cur.Peek() == '}') {
+        cur.Take();
+        break;
+      }
+      if (cur.Peek() == ',') {
+        cur.Take();
+        continue;
+      }
+      std::string field_name = TakeName(&cur);
+      if (field_name.empty()) {
+        return cur.Error("expected field name");
+      }
+      cur.SkipWhitespaceAndComments();
+      if (cur.AtEnd() || cur.Peek() != '=') {
+        return cur.Error("expected '=' after field '" + field_name + "'");
+      }
+      cur.Take();
+      AUTHIDX_ASSIGN_OR_RETURN(std::string value, TakeValue(&cur));
+      entry.fields.emplace_back(std::move(field_name), std::move(value));
+    }
+    entries.push_back(std::move(entry));
+  }
+}
+
+Result<std::vector<Entry>> BibTexToEntries(
+    const std::vector<BibTexEntry>& bib_entries) {
+  std::vector<Entry> out;
+  for (const BibTexEntry& bib : bib_entries) {
+    std::string_view author_field = bib.Field("author");
+    std::string_view title = bib.Field("title");
+    std::string_view year = bib.Field("year");
+    if (author_field.empty() || title.empty() || year.empty()) {
+      return Status::InvalidArgument(
+          "bibtex entry '" + bib.key +
+          "' is missing author, title, or year");
+    }
+    std::vector<std::string> authors = SplitAuthors(author_field);
+    if (authors.empty()) {
+      return Status::InvalidArgument("bibtex entry '" + bib.key +
+                                     "' has no parsable authors");
+    }
+    std::vector<AuthorName> parsed;
+    for (const std::string& a : authors) {
+      AUTHIDX_ASSIGN_OR_RETURN(AuthorName name, ParseBibAuthor(a));
+      parsed.push_back(std::move(name));
+    }
+    Entry base;
+    base.title = CleanValue(title);
+    AUTHIDX_ASSIGN_OR_RETURN(uint64_t year_num,
+                             ParseUint64(StripAsciiWhitespace(year)));
+    base.citation.year = static_cast<uint32_t>(year_num);
+    std::string_view volume = bib.Field("volume");
+    base.citation.volume = 1;
+    if (!volume.empty()) {
+      Result<uint64_t> v = ParseUint64(StripAsciiWhitespace(volume));
+      if (v.ok()) {
+        base.citation.volume = static_cast<uint32_t>(*v);
+      }
+    }
+    base.citation.page = 1;
+    std::string_view pages = bib.Field("pages");
+    if (!pages.empty()) {
+      // "123--456" or "123-456" or "123": first page number.
+      size_t dash = pages.find('-');
+      Result<uint64_t> p = ParseUint64(
+          StripAsciiWhitespace(pages.substr(0, dash)));
+      if (p.ok() && *p > 0) {
+        base.citation.page = static_cast<uint32_t>(*p);
+      }
+    }
+    // One Entry per author, others as coauthors (printed-index form).
+    for (size_t i = 0; i < parsed.size(); ++i) {
+      Entry entry = base;
+      entry.author = parsed[i];
+      for (size_t j = 0; j < parsed.size(); ++j) {
+        if (j != i) {
+          entry.coauthors.push_back(parsed[j].ToIndexForm());
+        }
+      }
+      AUTHIDX_RETURN_NOT_OK(
+          ValidateEntry(entry).WithContext("bibtex entry '" + bib.key + "'"));
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Entry>> ParseBibTexToEntries(std::string_view text) {
+  AUTHIDX_ASSIGN_OR_RETURN(std::vector<BibTexEntry> raw, ParseBibTex(text));
+  return BibTexToEntries(raw);
+}
+
+}  // namespace authidx

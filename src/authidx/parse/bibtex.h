@@ -1,0 +1,47 @@
+#ifndef AUTHIDX_PARSE_BIBTEX_H_
+#define AUTHIDX_PARSE_BIBTEX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/result.h"
+#include "authidx/model/record.h"
+
+namespace authidx {
+
+/// A raw BibTeX entry: type, citation key, and field map.
+struct BibTexEntry {
+  std::string type;  // Lowercased: "article", "inproceedings", ...
+  std::string key;
+  std::vector<std::pair<std::string, std::string>> fields;  // Lower names.
+
+  /// First value for `name`, or empty view if absent.
+  std::string_view Field(std::string_view name) const;
+};
+
+/// Parses a BibTeX document into raw entries.
+///
+/// Supported syntax (the subset proceedings metadata actually uses):
+///  * `@type{key, name = {value}, name = "value", name = 1993 }`
+///  * nested braces inside values, `{}`-protected capitals left intact;
+///  * `%` line comments outside entries and free text between entries
+///    (both ignored), `@comment`/`@preamble` skipped;
+///  * no `@string` macro expansion (NotSupported when referenced).
+Result<std::vector<BibTexEntry>> ParseBibTex(std::string_view text);
+
+/// Converts raw entries to catalog `Entry` records. Each author in the
+/// `author` field ("A and B and C", either "Given Surname" or
+/// "Surname, Given" form) yields one Entry with the others as coauthors
+/// — exactly how a printed author index lists multi-author works.
+/// Requires fields: author, title, year; volume and pages defaulted to 1
+/// when absent (proceedings without volume numbers).
+Result<std::vector<Entry>> BibTexToEntries(
+    const std::vector<BibTexEntry>& bib_entries);
+
+/// ParseBibTex + BibTexToEntries.
+Result<std::vector<Entry>> ParseBibTexToEntries(std::string_view text);
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_PARSE_BIBTEX_H_

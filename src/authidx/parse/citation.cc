@@ -1,0 +1,65 @@
+#include "authidx/parse/citation.h"
+
+#include "authidx/common/strings.h"
+
+namespace authidx {
+namespace {
+
+// Consumes a decimal run from the front of *s into *value.
+Status TakeNumber(std::string_view* s, uint32_t* value) {
+  size_t len = 0;
+  while (len < s->size() && (*s)[len] >= '0' && (*s)[len] <= '9') {
+    ++len;
+  }
+  if (len == 0) {
+    return Status::InvalidArgument("expected number in citation");
+  }
+  AUTHIDX_ASSIGN_OR_RETURN(uint64_t v, ParseUint64(s->substr(0, len)));
+  if (v > UINT32_MAX) {
+    return Status::OutOfRange("citation number too large");
+  }
+  *value = static_cast<uint32_t>(v);
+  s->remove_prefix(len);
+  return Status::OK();
+}
+
+void SkipSpaces(std::string_view* s) {
+  while (!s->empty() && (s->front() == ' ' || s->front() == '\t')) {
+    s->remove_prefix(1);
+  }
+}
+
+}  // namespace
+
+Result<Citation> ParseCitation(std::string_view text) {
+  std::string_view s = StripAsciiWhitespace(text);
+  Citation c;
+  AUTHIDX_RETURN_NOT_OK(TakeNumber(&s, &c.volume));
+  if (s.empty() || s.front() != ':') {
+    return Status::InvalidArgument("expected ':' in citation: " +
+                                   std::string(text));
+  }
+  s.remove_prefix(1);
+  AUTHIDX_RETURN_NOT_OK(TakeNumber(&s, &c.page));
+  SkipSpaces(&s);
+  if (s.empty() || s.front() != '(') {
+    return Status::InvalidArgument("expected '(' in citation: " +
+                                   std::string(text));
+  }
+  s.remove_prefix(1);
+  SkipSpaces(&s);
+  AUTHIDX_RETURN_NOT_OK(TakeNumber(&s, &c.year));
+  SkipSpaces(&s);
+  if (s.empty() || s.front() != ')') {
+    return Status::InvalidArgument("expected ')' in citation: " +
+                                   std::string(text));
+  }
+  s.remove_prefix(1);
+  if (!StripAsciiWhitespace(s).empty()) {
+    return Status::InvalidArgument("trailing text after citation: " +
+                                   std::string(text));
+  }
+  return c;
+}
+
+}  // namespace authidx

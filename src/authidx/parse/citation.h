@@ -1,0 +1,18 @@
+#ifndef AUTHIDX_PARSE_CITATION_H_
+#define AUTHIDX_PARSE_CITATION_H_
+
+#include <string_view>
+
+#include "authidx/common/result.h"
+#include "authidx/model/record.h"
+
+namespace authidx {
+
+/// Parses a volume:page (year) citation as printed in the source index,
+/// e.g. "95:691 (1993)". Tolerates surrounding whitespace and flexible
+/// spacing before the parenthesis. Rejects anything else.
+Result<Citation> ParseCitation(std::string_view text);
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_PARSE_CITATION_H_

@@ -1,0 +1,60 @@
+#include "authidx/parse/name.h"
+
+#include "authidx/common/strings.h"
+
+namespace authidx {
+namespace {
+
+// True if `piece` (already stripped) is a generational suffix.
+bool IsSuffix(std::string_view piece) {
+  std::string p;
+  for (char c : piece) {
+    if (c != '.') {
+      p.push_back(static_cast<char>(
+          c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+    }
+  }
+  return p == "jr" || p == "sr" || p == "ii" || p == "iii" || p == "iv" ||
+         p == "v";
+}
+
+}  // namespace
+
+Result<AuthorName> ParseAuthorName(std::string_view text) {
+  std::string_view s = StripAsciiWhitespace(text);
+  AuthorName name;
+  if (!s.empty() && s.back() == '*') {
+    name.student_material = true;
+    s.remove_suffix(1);
+    s = StripAsciiWhitespace(s);
+  }
+  if (s.empty()) {
+    return Status::InvalidArgument("empty author name");
+  }
+  std::vector<std::string_view> pieces = SplitString(s, ',');
+  for (auto& piece : pieces) {
+    piece = StripAsciiWhitespace(piece);
+  }
+  if (pieces[0].empty()) {
+    return Status::InvalidArgument("author name has empty surname: " +
+                                   std::string(text));
+  }
+  name.surname = pieces[0];
+  // The remaining comma-separated pieces are given names and, possibly,
+  // one generational suffix in the final position.
+  size_t end = pieces.size();
+  if (end >= 2 && IsSuffix(pieces[end - 1])) {
+    name.suffix = pieces[end - 1];
+    --end;
+  }
+  std::vector<std::string> given_parts;
+  for (size_t i = 1; i < end; ++i) {
+    if (!pieces[i].empty()) {
+      given_parts.emplace_back(pieces[i]);
+    }
+  }
+  name.given = JoinStrings(given_parts, ", ");
+  return name;
+}
+
+}  // namespace authidx

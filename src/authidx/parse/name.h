@@ -1,0 +1,26 @@
+#ifndef AUTHIDX_PARSE_NAME_H_
+#define AUTHIDX_PARSE_NAME_H_
+
+#include <string_view>
+
+#include "authidx/common/result.h"
+#include "authidx/model/record.h"
+
+namespace authidx {
+
+/// Parses an author name in index form as printed in the source text:
+///
+///   "Abdalla, Tarek F.*"            -> surname, given, student flag
+///   "Arceneaux, Webster J., III"    -> generational suffix recognized
+///   "Byrd, Hon. Robert C."          -> honorifics stay in `given`
+///   "Adler, Mortimer J."
+///   "Cox, Archibald"
+///   "Minow, Martha"
+///
+/// Recognized suffixes: Jr, Sr, II, III, IV, V (with or without periods).
+/// A trailing '*' anywhere after the last field sets student_material.
+Result<AuthorName> ParseAuthorName(std::string_view text);
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_PARSE_NAME_H_

@@ -1,0 +1,76 @@
+#include "authidx/parse/tsv.h"
+
+#include "authidx/common/strings.h"
+#include "authidx/parse/citation.h"
+#include "authidx/parse/name.h"
+
+namespace authidx {
+
+std::string EntryToTsvLine(const Entry& entry) {
+  std::string out = entry.author.ToIndexForm();
+  out += '\t';
+  out += entry.title;
+  out += '\t';
+  out += entry.citation.ToString();
+  if (!entry.coauthors.empty()) {
+    out += '\t';
+    out += JoinStrings(entry.coauthors, ";");
+  }
+  return out;
+}
+
+Result<Entry> ParseTsvLine(std::string_view line) {
+  std::vector<std::string_view> fields = SplitString(line, '\t');
+  if (fields.size() < 3 || fields.size() > 4) {
+    return Status::InvalidArgument(
+        StringPrintf("expected 3 or 4 tab-separated fields, got %zu",
+                     fields.size()));
+  }
+  Entry entry;
+  AUTHIDX_ASSIGN_OR_RETURN(entry.author, ParseAuthorName(fields[0]));
+  entry.title = StripAsciiWhitespace(fields[1]);
+  AUTHIDX_ASSIGN_OR_RETURN(entry.citation, ParseCitation(fields[2]));
+  if (fields.size() == 4) {
+    for (std::string_view coauthor : SplitString(fields[3], ';')) {
+      coauthor = StripAsciiWhitespace(coauthor);
+      if (!coauthor.empty()) {
+        entry.coauthors.emplace_back(coauthor);
+      }
+    }
+  }
+  AUTHIDX_RETURN_NOT_OK(ValidateEntry(entry));
+  return entry;
+}
+
+Result<std::vector<Entry>> ParseTsv(std::string_view text) {
+  std::vector<Entry> entries;
+  size_t line_number = 0;
+  for (std::string_view line : SplitString(text, '\n')) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') {
+      continue;
+    }
+    Result<Entry> entry = ParseTsvLine(line);
+    if (!entry.ok()) {
+      return entry.status().WithContext(
+          StringPrintf("line %zu", line_number));
+    }
+    entries.push_back(std::move(entry).value());
+  }
+  return entries;
+}
+
+std::string EntriesToTsv(const std::vector<Entry>& entries) {
+  std::string out;
+  for (const Entry& entry : entries) {
+    out += EntryToTsvLine(entry);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace authidx

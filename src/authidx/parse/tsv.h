@@ -1,0 +1,37 @@
+#ifndef AUTHIDX_PARSE_TSV_H_
+#define AUTHIDX_PARSE_TSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/result.h"
+#include "authidx/model/record.h"
+
+namespace authidx {
+
+/// Tab-separated interchange format for index entries, one entry per
+/// line:
+///
+///   <author index form>\t<title>\t<vol:page (year)>[\t<coauthor>;...]
+///
+/// This is the import/export format used by the examples and the
+/// embedded sample corpus. Lines that are empty or start with '#' are
+/// skipped.
+
+/// Renders one entry as a TSV line (no trailing newline).
+std::string EntryToTsvLine(const Entry& entry);
+
+/// Parses one TSV line into an entry.
+Result<Entry> ParseTsvLine(std::string_view line);
+
+/// Parses a whole TSV document. On malformed lines the status carries
+/// the 1-based line number. Skips blank and '#' comment lines.
+Result<std::vector<Entry>> ParseTsv(std::string_view text);
+
+/// Serializes entries, one TSV line each, with a trailing newline.
+std::string EntriesToTsv(const std::vector<Entry>& entries);
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_PARSE_TSV_H_

@@ -1,0 +1,42 @@
+#include "authidx/query/ast.h"
+
+#include "authidx/common/strings.h"
+
+namespace authidx::query {
+
+std::string Query::ToString() const {
+  std::string out = "Query{";
+  if (author_exact) {
+    out += "author=" + *author_exact + " ";
+  }
+  if (author_prefix) {
+    out += "author_prefix=" + *author_prefix + " ";
+  }
+  if (author_fuzzy) {
+    out += StringPrintf("author_fuzzy=%s(<=%zu) ", author_fuzzy->c_str(),
+                        fuzzy_max_edits);
+  }
+  if (!title_terms.empty()) {
+    out += "title=[" + JoinStrings(title_terms, ",") + "] ";
+  }
+  if (!not_terms.empty()) {
+    out += "not=[" + JoinStrings(not_terms, ",") + "] ";
+  }
+  if (coauthor) {
+    out += "coauthor=" + *coauthor + " ";
+  }
+  if (year) {
+    out += StringPrintf("year=%u..%u ", year->lo, year->hi);
+  }
+  if (volume) {
+    out += StringPrintf("vol=%u..%u ", volume->lo, volume->hi);
+  }
+  if (student) {
+    out += std::string("student=") + (*student ? "yes" : "no") + " ";
+  }
+  out += (rank == RankMode::kRelevance) ? "order=relevance " : "";
+  out += StringPrintf("offset=%zu limit=%zu}", offset, limit);
+  return out;
+}
+
+}  // namespace authidx::query

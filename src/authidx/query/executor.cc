@@ -1,0 +1,193 @@
+#include "authidx/query/executor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "authidx/index/postings.h"
+#include "authidx/index/ranker.h"
+#include "authidx/text/normalize.h"
+
+namespace authidx::query {
+namespace {
+
+// Candidate generation for the chosen access path. Returns sorted ids.
+Result<std::vector<EntryId>> Candidates(const Query& query, const Plan& plan,
+                                        const CatalogView& catalog) {
+  switch (plan.kind) {
+    case PlanKind::kAuthorExact:
+      return catalog.AuthorExact(*query.author_exact);
+    case PlanKind::kAuthorPrefix:
+      return catalog.AuthorPrefix(*query.author_prefix,
+                                  /*max_groups=*/100000);
+    case PlanKind::kAuthorFuzzy:
+      return catalog.AuthorFuzzy(*query.author_fuzzy,
+                                 query.fuzzy_max_edits);
+    case PlanKind::kTitleTerms: {
+      // Conjunction, rarest term first to keep intermediates small.
+      std::vector<std::string> terms = query.title_terms;
+      const InvertedIndex& index = catalog.title_index();
+      std::sort(terms.begin(), terms.end(),
+                [&](const std::string& a, const std::string& b) {
+                  return index.DocFreq(a) < index.DocFreq(b);
+                });
+      std::vector<EntryId> acc = index.GetDocs(terms.front());
+      for (size_t i = 1; i < terms.size() && !acc.empty(); ++i) {
+        acc = Intersect(acc, index.GetDocs(terms[i]));
+      }
+      return acc;
+    }
+    case PlanKind::kFullScan: {
+      std::vector<EntryId> all(catalog.entry_count());
+      for (size_t i = 0; i < all.size(); ++i) {
+        all[i] = static_cast<EntryId>(i);
+      }
+      return all;
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+// True if `id` passes every residual predicate.
+bool PassesFilters(const Query& query, const Plan& plan,
+                   const CatalogView& catalog, EntryId id) {
+  const Entry* entry = catalog.GetEntry(id);
+  if (entry == nullptr) {
+    return false;
+  }
+  if (query.year && !query.year->Contains(entry->citation.year)) {
+    return false;
+  }
+  if (query.volume && !query.volume->Contains(entry->citation.volume)) {
+    return false;
+  }
+  if (query.student && entry->author.student_material != *query.student) {
+    return false;
+  }
+  if (query.coauthor) {
+    bool found = false;
+    for (const std::string& coauthor : entry->coauthors) {
+      std::string folded = text::NormalizeForIndex(coauthor);
+      if (folded.find(*query.coauthor) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return false;
+    }
+  }
+  // Title terms are residual when the author path was primary.
+  if (!query.title_terms.empty() && plan.kind != PlanKind::kTitleTerms) {
+    const InvertedIndex& index = catalog.title_index();
+    for (const std::string& term : query.title_terms) {
+      std::vector<EntryId> docs = index.GetDocs(term);
+      if (!std::binary_search(docs.begin(), docs.end(), id)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<QueryResult> Execute(const Query& query, const CatalogView& catalog) {
+  // Plan.
+  PlannerStats stats;
+  stats.entry_count = catalog.entry_count();
+  stats.has_title_terms = !query.title_terms.empty();
+  if (stats.has_title_terms) {
+    stats.min_term_df = std::numeric_limits<size_t>::max();
+    for (const std::string& term : query.title_terms) {
+      size_t df = catalog.title_index().DocFreq(term);
+      stats.min_term_df = std::min(stats.min_term_df, df);
+      if (df == 0) {
+        stats.unknown_term = true;
+      }
+    }
+    if (stats.unknown_term) {
+      stats.min_term_df = 0;
+    }
+  }
+  Plan plan = ChoosePlan(query, stats);
+
+  QueryResult result;
+  result.plan = plan.kind;
+  if (plan.provably_empty) {
+    return result;
+  }
+
+  // Candidates, minus exclusions, through residual filters.
+  AUTHIDX_ASSIGN_OR_RETURN(std::vector<EntryId> candidates,
+                           Candidates(query, plan, catalog));
+  if (!query.not_terms.empty()) {
+    std::vector<EntryId> excluded;
+    for (const std::string& term : query.not_terms) {
+      excluded = Union(excluded, catalog.title_index().GetDocs(term));
+    }
+    candidates = Difference(candidates, excluded);
+  }
+  std::vector<EntryId> matches;
+  matches.reserve(candidates.size());
+  for (EntryId id : candidates) {
+    if (PassesFilters(query, plan, catalog, id)) {
+      matches.push_back(id);
+    }
+  }
+  result.total_matches = matches.size();
+
+  // Order.
+  std::vector<Hit> ordered;
+  ordered.reserve(matches.size());
+  if (query.rank == RankMode::kRelevance && !query.title_terms.empty()) {
+    // Score the matched set with BM25; matches absent from the ranked
+    // list (possible only with empty term lists) keep score 0.
+    std::vector<ScoredDoc> ranked = RankBm25(
+        catalog.title_index(), query.title_terms, catalog.entry_count());
+    std::vector<double> score_of(catalog.entry_count(), 0.0);
+    for (const ScoredDoc& sd : ranked) {
+      if (sd.doc < score_of.size()) {
+        score_of[sd.doc] = sd.score;
+      }
+    }
+    for (EntryId id : matches) {
+      ordered.push_back(Hit{id, id < score_of.size() ? score_of[id] : 0.0});
+    }
+    std::sort(ordered.begin(), ordered.end(), [](const Hit& a, const Hit& b) {
+      if (a.score != b.score) {
+        return a.score > b.score;
+      }
+      return a.id < b.id;
+    });
+  } else {
+    for (EntryId id : matches) {
+      ordered.push_back(Hit{id, 0.0});
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [&](const Hit& a, const Hit& b) {
+                std::string_view ka = catalog.SortKey(a.id);
+                std::string_view kb = catalog.SortKey(b.id);
+                if (ka != kb) {
+                  return ka < kb;
+                }
+                const Entry* ea = catalog.GetEntry(a.id);
+                const Entry* eb = catalog.GetEntry(b.id);
+                if (ea->citation.volume != eb->citation.volume) {
+                  return ea->citation.volume < eb->citation.volume;
+                }
+                if (ea->citation.page != eb->citation.page) {
+                  return ea->citation.page < eb->citation.page;
+                }
+                return a.id < b.id;
+              });
+  }
+
+  // Paginate.
+  size_t begin = std::min(query.offset, ordered.size());
+  size_t end = std::min(begin + query.limit, ordered.size());
+  result.hits.assign(ordered.begin() + static_cast<ptrdiff_t>(begin),
+                     ordered.begin() + static_cast<ptrdiff_t>(end));
+  return result;
+}
+
+}  // namespace authidx::query

@@ -1,0 +1,74 @@
+#ifndef AUTHIDX_QUERY_EXECUTOR_H_
+#define AUTHIDX_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/result.h"
+#include "authidx/index/inverted.h"
+#include "authidx/model/record.h"
+#include "authidx/query/ast.h"
+#include "authidx/query/planner.h"
+
+namespace authidx::query {
+
+/// The read surface the executor runs against. Implemented by
+/// core::AuthorIndex; defined here so the query library does not depend
+/// on the core layer.
+class CatalogView {
+ public:
+  virtual ~CatalogView() = default;
+
+  /// Entry lookup; nullptr for unknown ids.
+  virtual const Entry* GetEntry(EntryId id) const = 0;
+
+  /// Total entries (ids are dense 0..entry_count-1).
+  virtual size_t entry_count() const = 0;
+
+  /// Inverted index over analyzed titles.
+  virtual const InvertedIndex& title_index() const = 0;
+
+  /// Entry ids of the author group exactly matching the folded group key
+  /// ("surname, given[, suffix]" after NormalizeForIndex). Sorted.
+  virtual std::vector<EntryId> AuthorExact(
+      std::string_view folded_group) const = 0;
+
+  /// Entry ids of all author groups whose folded key starts with
+  /// `folded_prefix`, capped at `max_groups` groups. Sorted, deduped.
+  virtual std::vector<EntryId> AuthorPrefix(std::string_view folded_prefix,
+                                            size_t max_groups) const = 0;
+
+  /// Entry ids of author groups whose surname is within `max_edits` of
+  /// `folded_name` (candidates pre-filtered by phonetic bucket). Sorted.
+  virtual std::vector<EntryId> AuthorFuzzy(std::string_view folded_name,
+                                           size_t max_edits) const = 0;
+
+  /// memcmp-ordered author collation key for the entry (printed order).
+  virtual std::string_view SortKey(EntryId id) const = 0;
+};
+
+/// One query hit.
+struct Hit {
+  EntryId id = 0;
+  /// BM25 score when ranked by relevance; 0 in collation order.
+  double score = 0.0;
+
+  friend bool operator==(const Hit&, const Hit&) = default;
+};
+
+/// Executor output.
+struct QueryResult {
+  std::vector<Hit> hits;
+  /// Matches before offset/limit.
+  size_t total_matches = 0;
+  /// The access path the planner chose (exposed for tests/benchmarks).
+  PlanKind plan = PlanKind::kFullScan;
+};
+
+/// Plans and runs `query` against `catalog`.
+Result<QueryResult> Execute(const Query& query, const CatalogView& catalog);
+
+}  // namespace authidx::query
+
+#endif  // AUTHIDX_QUERY_EXECUTOR_H_

@@ -1,0 +1,166 @@
+#include "authidx/query/parser.h"
+
+#include <vector>
+
+#include "authidx/common/strings.h"
+#include "authidx/text/normalize.h"
+#include "authidx/text/tokenize.h"
+
+namespace authidx::query {
+namespace {
+
+// Splits into clauses on whitespace, keeping "quoted spans" together.
+// Quotes may appear after a field prefix (title:"coal mining").
+std::vector<std::string> SplitClauses(std::string_view text) {
+  std::vector<std::string> clauses;
+  std::string current;
+  bool in_quotes = false;
+  for (char c : text) {
+    if (c == '"') {
+      in_quotes = !in_quotes;
+      continue;  // Quotes delimit; they are not part of the value.
+    }
+    if (!in_quotes && (c == ' ' || c == '\t' || c == '\n')) {
+      if (!current.empty()) {
+        clauses.push_back(std::move(current));
+        current.clear();
+      }
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!current.empty()) {
+    clauses.push_back(std::move(current));
+  }
+  return clauses;
+}
+
+Result<NumRange> ParseRange(std::string_view value) {
+  NumRange range;
+  size_t dots = value.find("..");
+  auto parse_u32 = [](std::string_view s) -> Result<uint32_t> {
+    AUTHIDX_ASSIGN_OR_RETURN(uint64_t v, ParseUint64(s));
+    if (v > UINT32_MAX) {
+      return Status::OutOfRange("range bound too large");
+    }
+    return static_cast<uint32_t>(v);
+  };
+  if (dots == std::string_view::npos) {
+    AUTHIDX_ASSIGN_OR_RETURN(uint32_t v, parse_u32(value));
+    range.lo = range.hi = v;
+    return range;
+  }
+  std::string_view lo = value.substr(0, dots);
+  std::string_view hi = value.substr(dots + 2);
+  if (!lo.empty()) {
+    AUTHIDX_ASSIGN_OR_RETURN(range.lo, parse_u32(lo));
+  }
+  if (!hi.empty()) {
+    AUTHIDX_ASSIGN_OR_RETURN(range.hi, parse_u32(hi));
+  }
+  if (range.lo > range.hi) {
+    return Status::InvalidArgument("empty range: " + std::string(value));
+  }
+  return range;
+}
+
+void AddTitleTerms(std::string_view value, std::vector<std::string>* terms) {
+  for (std::string& token : text::Tokenize(value)) {
+    terms->push_back(std::move(token));
+  }
+}
+
+Status SetAuthorClause(Query* query, std::string_view value, bool fuzzy) {
+  if (query->author_exact || query->author_prefix || query->author_fuzzy) {
+    return Status::InvalidArgument("multiple author clauses");
+  }
+  if (value.empty()) {
+    return Status::InvalidArgument("empty author clause");
+  }
+  std::string folded = text::NormalizeForIndex(value);
+  if (fuzzy) {
+    query->author_fuzzy = folded;
+  } else if (!folded.empty() && folded.back() == '*') {
+    folded.pop_back();
+    query->author_prefix = folded;
+  } else {
+    query->author_exact = folded;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  Query query;
+  for (const std::string& clause : SplitClauses(text)) {
+    std::string_view c = clause;
+    if (c.front() == '-' && c.size() > 1) {
+      AddTitleTerms(c.substr(1), &query.not_terms);
+      continue;
+    }
+    size_t colon = c.find(':');
+    size_t tilde = c.find('~');
+    if (tilde != std::string_view::npos &&
+        (colon == std::string_view::npos || tilde < colon) &&
+        c.substr(0, tilde) == "author") {
+      AUTHIDX_RETURN_NOT_OK(
+          SetAuthorClause(&query, c.substr(tilde + 1), /*fuzzy=*/true));
+      continue;
+    }
+    if (colon == std::string_view::npos) {
+      AddTitleTerms(c, &query.title_terms);
+      continue;
+    }
+    std::string_view field = c.substr(0, colon);
+    std::string_view value = c.substr(colon + 1);
+    if (field == "author") {
+      AUTHIDX_RETURN_NOT_OK(SetAuthorClause(&query, value, /*fuzzy=*/false));
+    } else if (field == "coauthor") {
+      if (value.empty()) {
+        return Status::InvalidArgument("empty coauthor clause");
+      }
+      query.coauthor = text::NormalizeForIndex(value);
+    } else if (field == "title") {
+      AddTitleTerms(value, &query.title_terms);
+    } else if (field == "year") {
+      AUTHIDX_ASSIGN_OR_RETURN(NumRange r, ParseRange(value));
+      query.year = r;
+    } else if (field == "vol" || field == "volume") {
+      AUTHIDX_ASSIGN_OR_RETURN(NumRange r, ParseRange(value));
+      query.volume = r;
+    } else if (field == "student") {
+      if (value == "yes" || value == "true" || value == "1") {
+        query.student = true;
+      } else if (value == "no" || value == "false" || value == "0") {
+        query.student = false;
+      } else {
+        return Status::InvalidArgument("student: expects yes/no, got " +
+                                       std::string(value));
+      }
+    } else if (field == "order") {
+      if (value == "relevance") {
+        query.rank = RankMode::kRelevance;
+      } else if (value == "index" || value == "collation") {
+        query.rank = RankMode::kCollation;
+      } else {
+        return Status::InvalidArgument("order: expects relevance/index");
+      }
+    } else if (field == "limit") {
+      AUTHIDX_ASSIGN_OR_RETURN(uint64_t v, ParseUint64(value));
+      query.limit = static_cast<size_t>(v);
+    } else if (field == "offset") {
+      AUTHIDX_ASSIGN_OR_RETURN(uint64_t v, ParseUint64(value));
+      query.offset = static_cast<size_t>(v);
+    } else {
+      return Status::InvalidArgument("unknown query field: " +
+                                     std::string(field));
+    }
+  }
+  if (query.author_fuzzy && query.fuzzy_max_edits > 4) {
+    return Status::InvalidArgument("fuzzy budget too large");
+  }
+  return query;
+}
+
+}  // namespace authidx::query

@@ -1,0 +1,28 @@
+#ifndef AUTHIDX_QUERY_PARSER_H_
+#define AUTHIDX_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "authidx/common/result.h"
+#include "authidx/query/ast.h"
+
+namespace authidx::query {
+
+/// Parses the query-string syntax into a Query.
+///
+/// Grammar (whitespace-separated clauses; quoted strings keep spaces):
+///
+///   clause   := field ':' value | 'author~' value | '-' value | value
+///   field    := 'author' | 'title' | 'year' | 'vol' | 'student'
+///             | 'order' | 'limit' | 'offset'
+///   value    := word | '"' phrase '"' | number | range
+///   range    := number '..' number
+///
+/// `author:x*` requests a prefix match; `author~x` a fuzzy match. Bare
+/// words and `title:` values are analyzed (folded, stemmed) into
+/// conjunctive title terms. Unknown fields are an InvalidArgument.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace authidx::query
+
+#endif  // AUTHIDX_QUERY_PARSER_H_

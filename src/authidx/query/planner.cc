@@ -1,0 +1,55 @@
+#include "authidx/query/planner.h"
+
+namespace authidx::query {
+
+std::string_view PlanKindToString(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kAuthorExact:
+      return "author-exact";
+    case PlanKind::kAuthorPrefix:
+      return "author-prefix";
+    case PlanKind::kAuthorFuzzy:
+      return "author-fuzzy";
+    case PlanKind::kTitleTerms:
+      return "title-terms";
+    case PlanKind::kFullScan:
+      return "full-scan";
+  }
+  return "unknown";
+}
+
+Plan ChoosePlan(const Query& query, const PlannerStats& stats) {
+  Plan plan;
+  if (query.author_exact) {
+    plan.kind = PlanKind::kAuthorExact;
+    plan.estimated_candidates = 4;  // Typical entries per author.
+    return plan;
+  }
+  if (query.author_prefix) {
+    plan.kind = PlanKind::kAuthorPrefix;
+    // A prefix covers a subtree; assume a small slice of the corpus.
+    plan.estimated_candidates = stats.entry_count / 64 + 4;
+    return plan;
+  }
+  if (query.author_fuzzy) {
+    plan.kind = PlanKind::kAuthorFuzzy;
+    plan.estimated_candidates = stats.entry_count / 128 + 4;
+    return plan;
+  }
+  if (stats.has_title_terms) {
+    plan.kind = PlanKind::kTitleTerms;
+    if (stats.unknown_term) {
+      plan.provably_empty = true;
+      plan.estimated_candidates = 0;
+    } else {
+      // Conjunction is bounded by the rarest term's postings.
+      plan.estimated_candidates = stats.min_term_df;
+    }
+    return plan;
+  }
+  plan.kind = PlanKind::kFullScan;
+  plan.estimated_candidates = stats.entry_count;
+  return plan;
+}
+
+}  // namespace authidx::query

@@ -1,0 +1,51 @@
+#ifndef AUTHIDX_QUERY_PLANNER_H_
+#define AUTHIDX_QUERY_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "authidx/query/ast.h"
+
+namespace authidx::query {
+
+/// Primary access path for a query.
+enum class PlanKind {
+  kAuthorExact,   // Hash/trie lookup of one author group.
+  kAuthorPrefix,  // Trie subtree scan.
+  kAuthorFuzzy,   // Phonetic bucket + edit distance.
+  kTitleTerms,    // Postings intersection over the inverted index.
+  kFullScan,      // Filter-only query: scan all entries.
+};
+
+std::string_view PlanKindToString(PlanKind kind);
+
+/// Statistics the planner consults (doc frequencies of the query terms,
+/// corpus size).
+struct PlannerStats {
+  size_t entry_count = 0;
+  /// Doc frequency of the rarest title term (0 when no terms or a term
+  /// is unknown, which proves an empty result).
+  size_t min_term_df = 0;
+  bool has_title_terms = false;
+  bool unknown_term = false;  // Some term has df == 0.
+};
+
+/// The chosen plan with its cost estimate (candidate rows to touch).
+struct Plan {
+  PlanKind kind = PlanKind::kFullScan;
+  uint64_t estimated_candidates = 0;
+  /// Result is provably empty (e.g. a conjunctive term is unknown).
+  bool provably_empty = false;
+};
+
+/// Picks the cheapest access path:
+///  * author clauses always win over title terms (author groups are
+///    far more selective in an author index);
+///  * title terms beat a full scan unless a term is unknown (then the
+///    result is empty);
+///  * otherwise full scan.
+Plan ChoosePlan(const Query& query, const PlannerStats& stats);
+
+}  // namespace authidx::query
+
+#endif  // AUTHIDX_QUERY_PLANNER_H_

@@ -1,0 +1,183 @@
+#include "authidx/storage/block.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "authidx/common/coding.h"
+
+namespace authidx::storage {
+
+BlockBuilder::BlockBuilder(int restart_interval)
+    : restart_interval_(restart_interval < 1 ? 1 : restart_interval) {
+  restarts_.push_back(0);
+}
+
+void BlockBuilder::Add(std::string_view key, std::string_view value) {
+  assert(!finished_);
+  assert(counter_ == 0 || key >= std::string_view(last_key_));
+  size_t shared = 0;
+  if (counter_ < restart_interval_) {
+    size_t max_shared = std::min(key.size(), last_key_.size());
+    while (shared < max_shared && key[shared] == last_key_[shared]) {
+      ++shared;
+    }
+  } else {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  PutVarint32(&buffer_, static_cast<uint32_t>(shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(key.size() - shared));
+  PutVarint32(&buffer_, static_cast<uint32_t>(value.size()));
+  buffer_.append(key.substr(shared));
+  buffer_.append(value);
+  last_key_.assign(key);
+  ++counter_;
+}
+
+std::string_view BlockBuilder::Finish() {
+  for (uint32_t restart : restarts_) {
+    PutFixed32(&buffer_, restart);
+  }
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+  finished_ = true;
+  return buffer_;
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.clear();
+  restarts_.push_back(0);
+  counter_ = 0;
+  last_key_.clear();
+  finished_ = false;
+}
+
+size_t BlockBuilder::CurrentSizeEstimate() const {
+  return buffer_.size() + restarts_.size() * 4 + 4;
+}
+
+Result<std::unique_ptr<Block>> Block::Parse(std::string contents) {
+  if (contents.size() < 4) {
+    return Status::Corruption("block too small for trailer");
+  }
+  uint32_t num_restarts = DecodeFixed32(contents.data() + contents.size() - 4);
+  size_t trailer = 4 + static_cast<size_t>(num_restarts) * 4;
+  if (num_restarts == 0 || trailer > contents.size()) {
+    return Status::Corruption("block restart array malformed");
+  }
+  size_t restarts_offset = contents.size() - trailer;
+  return std::unique_ptr<Block>(
+      new Block(std::move(contents), num_restarts, restarts_offset));
+}
+
+class Block::Iter final : public Iterator {
+ public:
+  explicit Iter(const Block* block) : block_(block) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    offset_ = 0;
+    key_.clear();
+    ParseCurrent();
+  }
+
+  void Seek(std::string_view target) override {
+    // Binary search restart points for the last restart whose key is
+    // <= target, then scan forward.
+    uint32_t lo = 0;
+    uint32_t hi = block_->num_restarts_;  // Exclusive.
+    while (hi - lo > 1) {
+      uint32_t mid = lo + (hi - lo) / 2;
+      std::string_view key_at_mid;
+      if (!KeyAtRestart(mid, &key_at_mid)) {
+        valid_ = false;
+        return;
+      }
+      if (key_at_mid <= target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    offset_ = RestartOffset(lo);
+    key_.clear();
+    ParseCurrent();
+    while (valid_ && std::string_view(key_) < target) {
+      Next();
+    }
+  }
+
+  void Next() override {
+    offset_ = next_offset_;
+    ParseCurrent();
+  }
+
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+  Status status() const override { return status_; }
+
+ private:
+  uint32_t RestartOffset(uint32_t i) const {
+    return DecodeFixed32(block_->contents_.data() +
+                         block_->restarts_offset_ + 4 * i);
+  }
+
+  // Decodes the full (restart) key at restart index `i`.
+  bool KeyAtRestart(uint32_t i, std::string_view* key) {
+    size_t off = RestartOffset(i);
+    std::string_view input =
+        std::string_view(block_->contents_).substr(off);
+    uint32_t shared = 0, non_shared = 0, value_len = 0;
+    if (!GetVarint32(&input, &shared).ok() ||
+        !GetVarint32(&input, &non_shared).ok() ||
+        !GetVarint32(&input, &value_len).ok() || shared != 0 ||
+        input.size() < non_shared) {
+      status_ = Status::Corruption("bad restart entry");
+      return false;
+    }
+    *key = input.substr(0, non_shared);
+    return true;
+  }
+
+  void ParseCurrent() {
+    if (offset_ >= block_->restarts_offset_) {
+      valid_ = false;
+      return;
+    }
+    std::string_view input =
+        std::string_view(block_->contents_)
+            .substr(offset_, block_->restarts_offset_ - offset_);
+    size_t before = input.size();
+    uint32_t shared = 0, non_shared = 0, value_len = 0;
+    if (!GetVarint32(&input, &shared).ok() ||
+        !GetVarint32(&input, &non_shared).ok() ||
+        !GetVarint32(&input, &value_len).ok() ||
+        input.size() < static_cast<size_t>(non_shared) + value_len ||
+        shared > key_.size()) {
+      status_ = Status::Corruption("bad block entry");
+      valid_ = false;
+      return;
+    }
+    key_.resize(shared);
+    key_.append(input.substr(0, non_shared));
+    value_ = input.substr(non_shared, value_len);
+    size_t header = before - input.size();
+    next_offset_ = offset_ + header + non_shared + value_len;
+    valid_ = true;
+  }
+
+  const Block* block_;
+  size_t offset_ = 0;
+  size_t next_offset_ = 0;
+  std::string key_;
+  std::string_view value_;
+  bool valid_ = false;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> Block::NewIterator() const {
+  return std::make_unique<Iter>(this);
+}
+
+}  // namespace authidx::storage

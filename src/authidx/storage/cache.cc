@@ -1,0 +1,68 @@
+#include "authidx/storage/cache.h"
+
+#include "authidx/common/coding.h"
+#include "authidx/common/strings.h"
+
+namespace authidx::storage {
+
+std::string BlockCache::MakeKey(uint64_t file_number, uint64_t offset) {
+  std::string key;
+  PutFixed64(&key, file_number);
+  PutFixed64(&key, offset);
+  return key;
+}
+
+std::shared_ptr<Block> BlockCache::Get(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  // Move to front.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->block;
+}
+
+void BlockCache::Insert(const std::string& key,
+                        std::shared_ptr<Block> block) {
+  if (capacity_bytes_ == 0) {
+    return;
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    size_bytes_ -= it->second->charge;
+    lru_.erase(it->second);
+    entries_.erase(it);
+  }
+  size_t charge = block->size_bytes() + key.size() + sizeof(Entry);
+  lru_.push_front(Entry{key, std::move(block), charge});
+  entries_[key] = lru_.begin();
+  size_bytes_ += charge;
+  EvictIfNeeded();
+}
+
+void BlockCache::EraseFile(uint64_t file_number) {
+  std::string prefix;
+  PutFixed64(&prefix, file_number);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.compare(0, prefix.size(), prefix) == 0) {
+      size_bytes_ -= it->charge;
+      entries_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockCache::EvictIfNeeded() {
+  while (size_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    size_bytes_ -= victim.charge;
+    entries_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace authidx::storage

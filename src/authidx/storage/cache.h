@@ -1,0 +1,66 @@
+#ifndef AUTHIDX_STORAGE_CACHE_H_
+#define AUTHIDX_STORAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "authidx/storage/block.h"
+
+namespace authidx::storage {
+
+/// LRU cache of decoded blocks, shared by a store's table readers so hot
+/// data blocks are parsed once. Capacity is in block bytes; eviction is
+/// strict LRU. Entries are shared_ptr so an evicted block stays alive
+/// while an iterator still pins it. Not thread-safe (single-writer
+/// engine).
+class BlockCache {
+ public:
+  /// `capacity_bytes` of zero disables caching (every Get misses).
+  explicit BlockCache(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Cache key for a block: owning file number + block offset.
+  static std::string MakeKey(uint64_t file_number, uint64_t offset);
+
+  /// Returns the cached block or nullptr, updating recency.
+  std::shared_ptr<Block> Get(const std::string& key);
+
+  /// Inserts (replacing any previous entry) and evicts LRU entries until
+  /// within capacity.
+  void Insert(const std::string& key, std::shared_ptr<Block> block);
+
+  /// Drops every cached block for `file_number` (called when a table
+  /// file is deleted by compaction).
+  void EraseFile(uint64_t file_number);
+
+  size_t size_bytes() const { return size_bytes_; }
+  size_t entry_count() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<Block> block;
+    size_t charge;
+  };
+
+  void EvictIfNeeded();
+
+  size_t capacity_bytes_;
+  size_t size_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<Entry> lru_;  // Front = most recent.
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+};
+
+}  // namespace authidx::storage
+
+#endif  // AUTHIDX_STORAGE_CACHE_H_

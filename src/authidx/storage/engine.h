@@ -1,0 +1,139 @@
+#ifndef AUTHIDX_STORAGE_ENGINE_H_
+#define AUTHIDX_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/env.h"
+#include "authidx/common/result.h"
+#include "authidx/storage/manifest.h"
+#include "authidx/storage/memtable.h"
+#include "authidx/storage/table.h"
+#include "authidx/storage/cache.h"
+#include "authidx/storage/wal.h"
+#include "authidx/storage/write_batch.h"
+
+namespace authidx::storage {
+
+/// Tuning knobs for StorageEngine.
+struct EngineOptions {
+  /// Flush the memtable to a level-0 table once it holds this much.
+  size_t memtable_bytes = 4 * 1024 * 1024;
+  /// fdatasync the WAL on every write (durability vs throughput).
+  bool sync_writes = false;
+  /// Compact level 0 into level 1 when it accumulates this many runs.
+  int l0_compaction_trigger = 4;
+  /// Table-format knobs.
+  size_t block_bytes = 4096;
+  int restart_interval = 16;
+  int bloom_bits_per_key = 10;
+  /// Per-block LZ compression of table files.
+  bool compress_blocks = false;
+  /// Shared decoded-block cache; 0 disables it.
+  size_t block_cache_bytes = 8 * 1024 * 1024;
+  /// Filesystem to use (tests inject fault-injecting ones).
+  Env* env = nullptr;  // nullptr = Env::Default().
+};
+
+/// Counters exposed for tests and benchmarks.
+struct EngineStats {
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t gets = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t wal_replayed_records = 0;
+  bool wal_tail_corruption = false;
+  int l0_files = 0;
+  int l1_files = 0;
+  size_t memtable_bytes = 0;
+};
+
+/// Embedded ordered key-value store: WAL + memtable + two-level LSM of
+/// immutable sorted-run tables with Bloom filters. This is the
+/// persistence substrate underneath AuthorIndex; keys are collation sort
+/// keys or metadata keys, values are encoded entries.
+///
+/// Crash-safety contract: a Put/Delete is durable once it returns when
+/// `sync_writes` is true; otherwise once Flush()/Close() returns.
+/// Recovery replays the newest WAL over the manifest state and tolerates
+/// a torn tail.
+///
+/// Single-writer; not internally synchronized.
+class StorageEngine {
+ public:
+  /// Opens (creating if needed) a store in directory `dir`.
+  static Result<std::unique_ptr<StorageEngine>> Open(std::string dir,
+                                                     EngineOptions options);
+
+  ~StorageEngine();
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+
+  /// Applies a batch atomically (one WAL record; recovery replays all
+  /// of it or none).
+  Status Apply(const WriteBatch& batch);
+
+  /// Point lookup across memtable and all levels (newest wins).
+  Result<std::optional<std::string>> Get(std::string_view key);
+
+  /// Ordered iterator over live (non-deleted) keys. Snapshot semantics
+  /// are "as of iterator creation for flushed data, live for memtable";
+  /// callers in this codebase never mutate while iterating.
+  std::unique_ptr<Iterator> NewIterator();
+
+  /// Forces the memtable into a level-0 table (no-op when empty).
+  Status Flush();
+
+  /// Merges all level-0 tables plus level 1 into a single level-1 run,
+  /// dropping tombstones and shadowed versions.
+  Status Compact();
+
+  /// Flushes and fsyncs everything.
+  Status Close();
+
+  /// Creates a consistent point-in-time copy of the store in
+  /// `checkpoint_dir` (created; must not already contain a store). The
+  /// checkpoint flushes first, then copies the manifest and table files;
+  /// it can be opened later as an independent StorageEngine.
+  Status CreateCheckpoint(const std::string& checkpoint_dir);
+
+  const EngineStats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+  const BlockCache& block_cache() const { return cache_; }
+
+ private:
+  StorageEngine(std::string dir, EngineOptions options);
+
+  Status ReplayWalIntoMemtable(uint64_t wal_number);
+  Status OpenTables();
+  Status SwitchToFreshWal();
+  Status WriteRecord(char op, std::string_view key, std::string_view value);
+  Status MaybeFlushAndCompact();
+  Result<FileMeta> WriteTableFromIterator(Iterator* it, int level,
+                                          bool drop_tombstones);
+
+  std::string dir_;
+  EngineOptions options_;
+  Env* env_;
+  BlockCache cache_;
+  Manifest manifest_;
+  std::unique_ptr<MemTable> memtable_;
+  std::unique_ptr<WalWriter> wal_;
+  // Open readers keyed by file number.
+  std::vector<std::pair<uint64_t, std::unique_ptr<TableReader>>> readers_;
+  EngineStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace authidx::storage
+
+#endif  // AUTHIDX_STORAGE_ENGINE_H_

@@ -1,0 +1,99 @@
+#include "authidx/storage/iterator.h"
+
+#include <algorithm>
+
+namespace authidx::storage {
+namespace {
+
+class MergingIterator final : public Iterator {
+ public:
+  explicit MergingIterator(std::vector<std::unique_ptr<Iterator>> children)
+      : children_(std::move(children)) {}
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) {
+      child->SeekToFirst();
+    }
+    FindSmallest();
+  }
+
+  void Seek(std::string_view target) override {
+    for (auto& child : children_) {
+      child->Seek(target);
+    }
+    FindSmallest();
+  }
+
+  void Next() override {
+    // Advance every child positioned at the current key (this both moves
+    // the winner forward and discards shadowed duplicates in older
+    // children), then re-select.
+    std::string current_key(key());
+    for (auto& child : children_) {
+      if (child->Valid() && child->key() == current_key) {
+        child->Next();
+      }
+    }
+    FindSmallest();
+  }
+
+  std::string_view key() const override { return current_->key(); }
+  std::string_view value() const override { return current_->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    current_ = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) {
+        continue;
+      }
+      if (current_ == nullptr || child->key() < current_->key()) {
+        current_ = child.get();
+      }
+      // Equal keys: the earlier (newer) child stays the winner.
+    }
+  }
+
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_ = nullptr;
+};
+
+class ErrorIterator final : public Iterator {
+ public:
+  explicit ErrorIterator(Status status) : status_(std::move(status)) {}
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void Seek(std::string_view) override {}
+  void Next() override {}
+  std::string_view key() const override { return {}; }
+  std::string_view value() const override { return {}; }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> NewMergingIterator(
+    std::vector<std::unique_ptr<Iterator>> children) {
+  return std::make_unique<MergingIterator>(std::move(children));
+}
+
+std::unique_ptr<Iterator> NewErrorIterator(Status status) {
+  return std::make_unique<ErrorIterator>(std::move(status));
+}
+
+}  // namespace authidx::storage

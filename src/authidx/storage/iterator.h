@@ -1,0 +1,41 @@
+#ifndef AUTHIDX_STORAGE_ITERATOR_H_
+#define AUTHIDX_STORAGE_ITERATOR_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/status.h"
+
+namespace authidx::storage {
+
+/// Ordered cursor over (key, value) pairs, the LevelDB-style interface
+/// shared by memtable, table and merging iterators. Returned views stay
+/// valid until the next mutating call on the iterator.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// Positions at the first key >= `target`.
+  virtual void Seek(std::string_view target) = 0;
+  virtual void Next() = 0;
+  virtual std::string_view key() const = 0;
+  virtual std::string_view value() const = 0;
+  /// Non-OK if the cursor encountered corruption or I/O errors.
+  virtual Status status() const = 0;
+};
+
+/// Merges `children` into one sorted stream. On duplicate keys the child
+/// with the smaller index wins (callers order children newest-first), and
+/// the duplicates from older children are skipped.
+std::unique_ptr<Iterator> NewMergingIterator(
+    std::vector<std::unique_ptr<Iterator>> children);
+
+/// An always-invalid iterator carrying `status` (error propagation).
+std::unique_ptr<Iterator> NewErrorIterator(Status status);
+
+}  // namespace authidx::storage
+
+#endif  // AUTHIDX_STORAGE_ITERATOR_H_

@@ -1,0 +1,126 @@
+#include "authidx/storage/manifest.h"
+
+#include <algorithm>
+
+#include "authidx/common/coding.h"
+#include "authidx/common/crc32c.h"
+#include "authidx/common/strings.h"
+
+namespace authidx::storage {
+
+namespace {
+constexpr uint32_t kManifestVersion = 1;
+// Defensive cap against corrupt counts.
+constexpr uint64_t kMaxFiles = 1 << 20;
+}  // namespace
+
+std::string Manifest::Encode() const {
+  std::string body;
+  PutVarint32(&body, kManifestVersion);
+  PutVarint64(&body, next_file_number);
+  PutVarint64(&body, wal_number);
+  PutVarint64(&body, files.size());
+  for (const FileMeta& meta : files) {
+    PutVarint64(&body, meta.file_number);
+    PutVarint32(&body, static_cast<uint32_t>(meta.level));
+    PutVarint64(&body, meta.entry_count);
+    PutLengthPrefixed(&body, meta.smallest_key);
+    PutLengthPrefixed(&body, meta.largest_key);
+  }
+  std::string out = body;
+  PutFixed32(&out, crc32c::Mask(crc32c::Value(body)));
+  return out;
+}
+
+Result<Manifest> Manifest::Decode(std::string_view data) {
+  if (data.size() < 4) {
+    return Status::Corruption("manifest too small");
+  }
+  std::string_view body = data.substr(0, data.size() - 4);
+  uint32_t expected =
+      crc32c::Unmask(DecodeFixed32(data.data() + data.size() - 4));
+  if (crc32c::Value(body) != expected) {
+    return Status::Corruption("manifest crc mismatch");
+  }
+  Manifest manifest;
+  uint32_t version = 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint32(&body, &version));
+  if (version != kManifestVersion) {
+    return Status::Corruption("unknown manifest version " +
+                              std::to_string(version));
+  }
+  AUTHIDX_RETURN_NOT_OK(GetVarint64(&body, &manifest.next_file_number));
+  AUTHIDX_RETURN_NOT_OK(GetVarint64(&body, &manifest.wal_number));
+  uint64_t count = 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint64(&body, &count));
+  if (count > kMaxFiles) {
+    return Status::Corruption("implausible manifest file count");
+  }
+  manifest.files.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FileMeta meta;
+    uint32_t level = 0;
+    std::string_view piece;
+    AUTHIDX_RETURN_NOT_OK(GetVarint64(&body, &meta.file_number));
+    AUTHIDX_RETURN_NOT_OK(GetVarint32(&body, &level));
+    meta.level = static_cast<int>(level);
+    AUTHIDX_RETURN_NOT_OK(GetVarint64(&body, &meta.entry_count));
+    AUTHIDX_RETURN_NOT_OK(GetLengthPrefixed(&body, &piece));
+    meta.smallest_key = piece;
+    AUTHIDX_RETURN_NOT_OK(GetLengthPrefixed(&body, &piece));
+    meta.largest_key = piece;
+    manifest.files.push_back(std::move(meta));
+  }
+  if (!body.empty()) {
+    return Status::Corruption("trailing bytes in manifest");
+  }
+  return manifest;
+}
+
+Result<Manifest> Manifest::Load(Env* env, const std::string& dir) {
+  std::string path = ManifestFileName(dir);
+  if (!env->FileExists(path)) {
+    return Status::NotFound("no manifest in " + dir);
+  }
+  AUTHIDX_ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+  return Decode(data);
+}
+
+Status Manifest::Save(Env* env, const std::string& dir) const {
+  return env->WriteStringToFileSync(ManifestFileName(dir), Encode());
+}
+
+std::vector<FileMeta> Manifest::LevelFiles(int level) const {
+  std::vector<FileMeta> out;
+  for (const FileMeta& meta : files) {
+    if (meta.level == level) {
+      out.push_back(meta);
+    }
+  }
+  if (level == 0) {
+    std::sort(out.begin(), out.end(), [](const FileMeta& a, const FileMeta& b) {
+      return a.file_number > b.file_number;  // Newest first.
+    });
+  } else {
+    std::sort(out.begin(), out.end(), [](const FileMeta& a, const FileMeta& b) {
+      return a.smallest_key < b.smallest_key;
+    });
+  }
+  return out;
+}
+
+std::string TableFileName(const std::string& dir, uint64_t number) {
+  return dir + "/" + StringPrintf("%06llu.tbl",
+                                  static_cast<unsigned long long>(number));
+}
+
+std::string WalFileName(const std::string& dir, uint64_t number) {
+  return dir + "/" + StringPrintf("%06llu.wal",
+                                  static_cast<unsigned long long>(number));
+}
+
+std::string ManifestFileName(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+
+}  // namespace authidx::storage

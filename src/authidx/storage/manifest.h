@@ -1,0 +1,57 @@
+#ifndef AUTHIDX_STORAGE_MANIFEST_H_
+#define AUTHIDX_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "authidx/common/env.h"
+#include "authidx/common/result.h"
+
+namespace authidx::storage {
+
+/// Metadata for one table file.
+struct FileMeta {
+  uint64_t file_number = 0;
+  int level = 0;
+  uint64_t entry_count = 0;
+  std::string smallest_key;
+  std::string largest_key;
+
+  friend bool operator==(const FileMeta&, const FileMeta&) = default;
+};
+
+/// Durable snapshot of the store's file layout. Rewritten atomically
+/// (write-temp + fsync + rename) after every flush/compaction, which
+/// keeps recovery trivial: the manifest on disk always describes a
+/// consistent set of immutable table files.
+struct Manifest {
+  uint64_t next_file_number = 1;
+  uint64_t wal_number = 0;
+  std::vector<FileMeta> files;
+
+  /// Serializes to the line-oriented text format (versioned, crc'd).
+  std::string Encode() const;
+
+  /// Parses Encode() output.
+  static Result<Manifest> Decode(std::string_view data);
+
+  /// Loads from `<dir>/MANIFEST`; NotFound if absent.
+  static Result<Manifest> Load(Env* env, const std::string& dir);
+
+  /// Atomically persists to `<dir>/MANIFEST`.
+  Status Save(Env* env, const std::string& dir) const;
+
+  /// Files in `level`, sorted newest-first (higher file number first)
+  /// for level 0 and by smallest key for level 1+.
+  std::vector<FileMeta> LevelFiles(int level) const;
+};
+
+/// Filename helpers.
+std::string TableFileName(const std::string& dir, uint64_t number);
+std::string WalFileName(const std::string& dir, uint64_t number);
+std::string ManifestFileName(const std::string& dir);
+
+}  // namespace authidx::storage
+
+#endif  // AUTHIDX_STORAGE_MANIFEST_H_

@@ -1,0 +1,152 @@
+#include "authidx/storage/memtable.h"
+
+#include <cstring>
+
+namespace authidx::storage {
+
+namespace {
+constexpr char kTagPut = 'P';
+constexpr char kTagDelete = 'D';
+}  // namespace
+
+struct MemTable::Node {
+  std::string_view key;
+  std::string_view value;  // Tagged (1 byte tag + payload).
+  int height;
+  // Flexible next array, allocated alongside the node in the arena.
+  Node* next[1];
+
+  Node* Next(int level) const { return next[level]; }
+  void SetNext(int level, Node* node) { next[level] = node; }
+};
+
+MemTable::MemTable() : rng_(0x6175746878ULL) {
+  head_ = NewNode("", "", kMaxHeight);
+  for (int i = 0; i < kMaxHeight; ++i) {
+    head_->SetNext(i, nullptr);
+  }
+}
+
+MemTable::Node* MemTable::NewNode(std::string_view key,
+                                  std::string_view tagged_value, int height) {
+  size_t bytes = sizeof(Node) + sizeof(Node*) * (static_cast<size_t>(height) - 1);
+  char* mem = arena_.AllocateAligned(bytes);
+  Node* node = reinterpret_cast<Node*>(mem);
+  node->key = arena_.CopyString(key);
+  node->value = arena_.CopyString(tagged_value);
+  node->height = height;
+  return node;
+}
+
+int MemTable::RandomHeight() {
+  // Height h with probability 1/4^(h-1), capped.
+  int height = 1;
+  while (height < kMaxHeight && rng_.OneIn(4)) {
+    ++height;
+  }
+  return height;
+}
+
+MemTable::Node* MemTable::FindGreaterOrEqual(std::string_view key,
+                                             Node** prev) const {
+  Node* node = head_;
+  int level = height_ - 1;
+  while (true) {
+    Node* next = node->Next(level);
+    if (next != nullptr && next->key < key) {
+      node = next;
+    } else {
+      if (prev != nullptr) {
+        prev[level] = node;
+      }
+      if (level == 0) {
+        return next;
+      }
+      --level;
+    }
+  }
+}
+
+void MemTable::Upsert(std::string_view key, std::string_view tagged_value) {
+  Node* prev[kMaxHeight];
+  for (int i = height_; i < kMaxHeight; ++i) {
+    prev[i] = head_;
+  }
+  Node* node = FindGreaterOrEqual(key, prev);
+  if (node != nullptr && node->key == key) {
+    node->value = arena_.CopyString(tagged_value);
+    return;
+  }
+  int height = RandomHeight();
+  if (height > height_) {
+    height_ = height;
+  }
+  Node* fresh = NewNode(key, tagged_value, height);
+  for (int i = 0; i < height; ++i) {
+    fresh->SetNext(i, prev[i]->Next(i));
+    prev[i]->SetNext(i, fresh);
+  }
+  ++count_;
+}
+
+void MemTable::Put(std::string_view key, std::string_view value) {
+  Upsert(key, TagPut(value));
+}
+
+void MemTable::Delete(std::string_view key) { Upsert(key, TagTombstone()); }
+
+MemTable::GetResult MemTable::Get(std::string_view key,
+                                  std::string* value) const {
+  Node* node = FindGreaterOrEqual(key, nullptr);
+  if (node == nullptr || node->key != key) {
+    return GetResult::kNotFound;
+  }
+  if (IsTombstoneValue(node->value)) {
+    return GetResult::kDeleted;
+  }
+  value->assign(StripTag(node->value));
+  return GetResult::kFound;
+}
+
+std::string_view MemTable::StripTag(std::string_view tagged) {
+  return tagged.empty() ? tagged : tagged.substr(1);
+}
+
+bool MemTable::IsTombstoneValue(std::string_view tagged) {
+  return !tagged.empty() && tagged.front() == kTagDelete;
+}
+
+std::string MemTable::TagPut(std::string_view value) {
+  std::string out;
+  out.reserve(value.size() + 1);
+  out.push_back(kTagPut);
+  out.append(value);
+  return out;
+}
+
+std::string MemTable::TagTombstone() { return std::string(1, kTagDelete); }
+
+class MemTable::Iter final : public Iterator {
+ public:
+  explicit Iter(const MemTable* table) : table_(table) {}
+
+  bool Valid() const override { return node_ != nullptr; }
+  void SeekToFirst() override { node_ = table_->head_->Next(0); }
+  void Seek(std::string_view target) override {
+    node_ = table_->FindGreaterOrEqual(target, nullptr);
+  }
+  void Next() override { node_ = node_->Next(0); }
+  std::string_view key() const override { return node_->key; }
+  std::string_view value() const override { return node_->value; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  const MemTable* table_;
+  const Node* node_ = nullptr;
+};
+
+std::unique_ptr<Iterator> MemTable::NewIterator() const {
+  return std::make_unique<Iter>(this);
+}
+
+}  // namespace authidx::storage

@@ -1,0 +1,74 @@
+#ifndef AUTHIDX_STORAGE_MEMTABLE_H_
+#define AUTHIDX_STORAGE_MEMTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "authidx/common/arena.h"
+#include "authidx/common/random.h"
+#include "authidx/storage/iterator.h"
+
+namespace authidx::storage {
+
+/// Mutable in-memory write buffer: an arena-backed skiplist from user key
+/// to value-or-tombstone. Overwrites update the node's value view in
+/// place (the superseded copy stays in the arena until the memtable is
+/// dropped, the usual arena trade-off).
+class MemTable {
+ public:
+  MemTable();
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Inserts or overwrites `key` -> `value`.
+  void Put(std::string_view key, std::string_view value);
+
+  /// Records a deletion marker for `key` (shadows older tables).
+  void Delete(std::string_view key);
+
+  /// Lookup outcome distinguishing "no knowledge" from "known deleted".
+  enum class GetResult { kFound, kDeleted, kNotFound };
+
+  /// Point lookup; fills `*value` only for kFound.
+  GetResult Get(std::string_view key, std::string* value) const;
+
+  size_t entry_count() const { return count_; }
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
+  /// Iterator yielding keys in order. Tombstones appear with
+  /// `IsTombstoneValue(value()) == true`; callers (flush, merging reads)
+  /// decide how to interpret them.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  /// Tag helpers for the internal value encoding (1 tag byte + payload).
+  static std::string_view StripTag(std::string_view tagged);
+  static bool IsTombstoneValue(std::string_view tagged);
+  static std::string TagPut(std::string_view value);
+  static std::string TagTombstone();
+
+ private:
+  struct Node;
+  class Iter;
+
+  static constexpr int kMaxHeight = 12;
+
+  Node* NewNode(std::string_view key, std::string_view tagged_value,
+                int height);
+  int RandomHeight();
+  /// Returns first node with key >= `key`, filling prev[] when not null.
+  Node* FindGreaterOrEqual(std::string_view key, Node** prev) const;
+  void Upsert(std::string_view key, std::string_view tagged_value);
+
+  Arena arena_;
+  Random rng_;
+  Node* head_;
+  int height_ = 1;
+  size_t count_ = 0;
+};
+
+}  // namespace authidx::storage
+
+#endif  // AUTHIDX_STORAGE_MEMTABLE_H_

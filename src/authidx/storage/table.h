@@ -1,0 +1,128 @@
+#ifndef AUTHIDX_STORAGE_TABLE_H_
+#define AUTHIDX_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "authidx/common/env.h"
+#include "authidx/index/bloom.h"
+#include "authidx/storage/block.h"
+#include "authidx/storage/cache.h"
+#include "authidx/storage/iterator.h"
+
+namespace authidx::storage {
+
+/// Location of a block inside a table file.
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;  // Payload size, excluding the type/crc trailer.
+
+  void EncodeTo(std::string* dst) const;
+  static Result<BlockHandle> DecodeFrom(std::string_view* input);
+};
+
+/// Immutable sorted-run file ("SSTable"):
+///
+///   [data block]*  [bloom filter block]  [index block]  [footer]
+///
+/// Every block is stored as payload | type (1B) | masked crc32c (4B),
+/// where type 'R' is raw and 'L' is LzCompress'd (chosen per block by
+/// whichever is smaller when compression is enabled). The index block
+/// maps each data block's last key to its handle. The fixed-size footer
+/// holds the filter and index handles plus a magic number.
+class TableBuilder {
+ public:
+  struct Options {
+    size_t block_bytes = 4096;
+    int restart_interval = 16;
+    int bloom_bits_per_key = 10;
+    /// Compress data/index/filter blocks when it helps.
+    bool compress = false;
+  };
+
+  TableBuilder(Options options, WritableFile* file);
+  ~TableBuilder();
+
+  /// Adds a key strictly greater than all previous keys.
+  Status Add(std::string_view key, std::string_view value);
+
+  /// Flushes everything and writes filter/index/footer. The file is NOT
+  /// synced or closed; the caller owns that.
+  Status Finish();
+
+  uint64_t entry_count() const { return entry_count_; }
+  uint64_t file_bytes() const { return offset_; }
+  /// Blocks that were stored compressed (diagnostics).
+  uint64_t compressed_blocks() const { return compressed_blocks_; }
+
+ private:
+  Status FlushDataBlock();
+  Status WriteBlock(std::string_view contents, BlockHandle* handle);
+
+  Options options_;
+  WritableFile* file_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  std::vector<std::string> keys_for_filter_;
+  std::string last_key_;
+  std::string pending_index_key_;
+  BlockHandle pending_handle_;
+  bool pending_index_entry_ = false;
+  uint64_t offset_ = 0;
+  uint64_t entry_count_ = 0;
+  uint64_t compressed_blocks_ = 0;
+  bool finished_ = false;
+};
+
+/// Read side of a table file.
+class TableReader {
+ public:
+  /// Opens and validates footer, index and filter. When `cache` is
+  /// non-null, data blocks are served through it, keyed by
+  /// (`file_number`, offset).
+  static Result<std::unique_ptr<TableReader>> Open(
+      Env* env, const std::string& path, BlockCache* cache = nullptr,
+      uint64_t file_number = 0);
+
+  /// Point lookup. Returns nullopt when definitely absent. The bloom
+  /// filter short-circuits most absent keys without touching data blocks.
+  Result<std::optional<std::string>> Get(std::string_view key) const;
+
+  /// Ordered iterator over the whole table. The reader must outlive it.
+  /// `fill_cache` = false (bulk scans, compaction) still reads through
+  /// the cache but does not populate it, so scans cannot evict the hot
+  /// point-lookup working set.
+  std::unique_ptr<Iterator> NewIterator(bool fill_cache = true) const;
+
+  uint64_t file_bytes() const { return file_size_; }
+
+  /// Bloom filter hit statistics (diagnostics): lookups answered
+  /// "definitely absent" without reading a data block.
+  uint64_t bloom_negative_count() const { return bloom_negatives_; }
+
+ private:
+  class Iter;
+
+  TableReader() = default;
+
+  /// Reads, verifies and decompresses a block payload.
+  Result<std::string> ReadBlockContents(const BlockHandle& handle) const;
+  /// ReadBlockContents + parse, via the cache when configured.
+  Result<std::shared_ptr<Block>> ReadBlock(const BlockHandle& handle,
+                                           bool fill_cache = true) const;
+
+  std::unique_ptr<RandomAccessFile> file_;
+  uint64_t file_size_ = 0;
+  std::shared_ptr<Block> index_block_;
+  std::optional<BloomFilter> filter_;
+  BlockCache* cache_ = nullptr;  // Not owned; may be null.
+  uint64_t file_number_ = 0;
+  mutable uint64_t bloom_negatives_ = 0;
+};
+
+}  // namespace authidx::storage
+
+#endif  // AUTHIDX_STORAGE_TABLE_H_

@@ -1,0 +1,63 @@
+#include "authidx/storage/wal.h"
+
+#include "authidx/common/coding.h"
+#include "authidx/common/crc32c.h"
+
+namespace authidx::storage {
+
+namespace {
+constexpr size_t kHeaderSize = 8;  // crc (4) + length (4).
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env,
+                                                   const std::string& path) {
+  AUTHIDX_ASSIGN_OR_RETURN(auto file, env->NewWritableFile(path));
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file)));
+}
+
+Status WalWriter::Append(std::string_view record) {
+  std::string header;
+  uint32_t crc = crc32c::Mask(crc32c::Value(record));
+  PutFixed32(&header, crc);
+  PutFixed32(&header, static_cast<uint32_t>(record.size()));
+  AUTHIDX_RETURN_NOT_OK(file_->Append(header));
+  AUTHIDX_RETURN_NOT_OK(file_->Append(record));
+  bytes_written_ += kHeaderSize + record.size();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() { return file_->Sync(); }
+
+Status WalWriter::Close() { return file_->Close(); }
+
+Result<WalReplayStats> ReplayWal(
+    Env* env, const std::string& path,
+    const std::function<Status(std::string_view)>& sink) {
+  AUTHIDX_ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+  WalReplayStats stats;
+  std::string_view input = data;
+  while (!input.empty()) {
+    if (input.size() < kHeaderSize) {
+      stats.tail_corruption = true;
+      break;
+    }
+    uint32_t stored_crc = crc32c::Unmask(DecodeFixed32(input.data()));
+    uint32_t length = DecodeFixed32(input.data() + 4);
+    if (input.size() - kHeaderSize < length) {
+      stats.tail_corruption = true;  // Truncated payload.
+      break;
+    }
+    std::string_view payload = input.substr(kHeaderSize, length);
+    if (crc32c::Value(payload) != stored_crc) {
+      stats.tail_corruption = true;  // Bit rot or torn write.
+      break;
+    }
+    AUTHIDX_RETURN_NOT_OK(sink(payload));
+    ++stats.records;
+    stats.bytes += kHeaderSize + length;
+    input.remove_prefix(kHeaderSize + length);
+  }
+  return stats;
+}
+
+}  // namespace authidx::storage

@@ -1,0 +1,66 @@
+#ifndef AUTHIDX_STORAGE_WAL_H_
+#define AUTHIDX_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "authidx/common/env.h"
+#include "authidx/common/result.h"
+
+namespace authidx::storage {
+
+/// Write-ahead log. Each record is framed as
+///
+///   masked_crc32c (fixed32, over payload) | length (fixed32) | payload
+///
+/// The masked CRC (crc32c::Mask) prevents a log embedded in another log
+/// from validating. Readers stop cleanly at a truncated or corrupt tail,
+/// which is exactly the crash-recovery contract: everything before the
+/// damage is recovered, the damaged suffix is discarded and reported.
+class WalWriter {
+ public:
+  /// Creates (truncates) the log at `path`.
+  static Result<std::unique_ptr<WalWriter>> Open(Env* env,
+                                                 const std::string& path);
+
+  /// Appends one record. Durability requires Sync().
+  Status Append(std::string_view record);
+
+  /// fdatasyncs all appended records.
+  Status Sync();
+
+  Status Close();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  explicit WalWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Result of replaying a WAL.
+struct WalReplayStats {
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  /// True when the log ended with a damaged/truncated record that was
+  /// discarded (expected after a crash mid-append).
+  bool tail_corruption = false;
+};
+
+/// Reads `path`, invoking `sink` for each intact record in order.
+/// Corruption in the middle of the log (not merely the tail) still stops
+/// the replay but is reported identically; the stats tell callers how
+/// much was recovered.
+Result<WalReplayStats> ReplayWal(
+    Env* env, const std::string& path,
+    const std::function<Status(std::string_view)>& sink);
+
+}  // namespace authidx::storage
+
+#endif  // AUTHIDX_STORAGE_WAL_H_

@@ -1,0 +1,245 @@
+#include "authidx/text/phonetic.h"
+
+#include "authidx/text/normalize.h"
+
+namespace authidx::text {
+namespace {
+
+// Extracts lowercase a-z letters after folding.
+std::string LettersOnly(std::string_view word) {
+  std::string folded = FoldCase(word);
+  std::string out;
+  out.reserve(folded.size());
+  for (char c : folded) {
+    if (c >= 'a' && c <= 'z') {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'b': case 'f': case 'p': case 'v':
+      return '1';
+    case 'c': case 'g': case 'j': case 'k': case 'q': case 's': case 'x':
+    case 'z':
+      return '2';
+    case 'd': case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm': case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';  // Vowels, h, w, y: not coded.
+  }
+}
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  std::string letters = LettersOnly(word);
+  if (letters.empty()) {
+    return "";
+  }
+  std::string code;
+  code.push_back(static_cast<char>(letters[0] - 'a' + 'A'));
+  char prev_digit = SoundexDigit(letters[0]);
+  for (size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    char c = letters[i];
+    char d = SoundexDigit(c);
+    if (d != '0') {
+      // Letters separated by h/w that code identically count once.
+      if (d != prev_digit) {
+        code.push_back(d);
+      }
+      prev_digit = d;
+    } else if (c != 'h' && c != 'w') {
+      prev_digit = '0';  // Vowels reset the adjacency rule.
+    }
+  }
+  while (code.size() < 4) {
+    code.push_back('0');
+  }
+  return code;
+}
+
+std::string Metaphone(std::string_view word) {
+  std::string w = LettersOnly(word);
+  if (w.empty()) {
+    return "";
+  }
+  std::string out;
+  size_t n = w.size();
+
+  auto at = [&](size_t i) -> char { return i < n ? w[i] : '\0'; };
+
+  // Initial-letter exceptions.
+  size_t i = 0;
+  if (n >= 2) {
+    std::string_view head = std::string_view(w).substr(0, 2);
+    if (head == "kn" || head == "gn" || head == "pn" || head == "wr" ||
+        head == "ae") {
+      i = 1;  // Drop the first letter.
+    } else if (head == "wh") {
+      out.push_back('W');
+      i = 2;
+    } else if (w[0] == 'x') {
+      out.push_back('S');
+      i = 1;
+    }
+  }
+
+  for (; i < n && out.size() < 16; ++i) {
+    char c = w[i];
+    // Skip doubled letters except 'c' (e.g. "acceptance").
+    if (i > 0 && c == w[i - 1] && c != 'c') {
+      continue;
+    }
+    switch (c) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        if (i == 0) {
+          out.push_back(static_cast<char>(c - 'a' + 'A'));
+        }
+        break;
+      case 'b':
+        // Silent terminal b after m ("lamb").
+        if (!(i + 1 == n && at(i - 1) == 'm')) {
+          out.push_back('B');
+        }
+        break;
+      case 'c':
+        if (at(i + 1) == 'i' && at(i + 2) == 'a') {
+          out.push_back('X');  // -cia-
+        } else if (at(i + 1) == 'h') {
+          out.push_back('X');  // ch
+          ++i;
+        } else if (at(i + 1) == 'i' || at(i + 1) == 'e' ||
+                   at(i + 1) == 'y') {
+          out.push_back('S');
+        } else {
+          out.push_back('K');
+        }
+        break;
+      case 'd':
+        if (at(i + 1) == 'g' &&
+            (at(i + 2) == 'e' || at(i + 2) == 'i' || at(i + 2) == 'y')) {
+          out.push_back('J');  // dge
+          i += 1;
+        } else {
+          out.push_back('T');
+        }
+        break;
+      case 'f':
+        out.push_back('F');
+        break;
+      case 'g':
+        if (at(i + 1) == 'h' && !IsVowel(at(i + 2))) {
+          break;  // Silent gh ("night").
+        }
+        if (at(i + 1) == 'n') {
+          break;  // Silent gn ("sign").
+        }
+        if (at(i + 1) == 'e' || at(i + 1) == 'i' || at(i + 1) == 'y') {
+          out.push_back('J');
+        } else {
+          out.push_back('K');
+        }
+        break;
+      case 'h':
+        // h is audible only between vowel and non-vowel.
+        if (i > 0 && IsVowel(at(i - 1)) && IsVowel(at(i + 1))) {
+          out.push_back('H');
+        }
+        break;
+      case 'j':
+        out.push_back('J');
+        break;
+      case 'k':
+        if (at(i - 1) != 'c' || i == 0) {
+          out.push_back('K');
+        }
+        break;
+      case 'l':
+        out.push_back('L');
+        break;
+      case 'm':
+        out.push_back('M');
+        break;
+      case 'n':
+        out.push_back('N');
+        break;
+      case 'p':
+        if (at(i + 1) == 'h') {
+          out.push_back('F');
+          ++i;
+        } else {
+          out.push_back('P');
+        }
+        break;
+      case 'q':
+        out.push_back('K');
+        break;
+      case 'r':
+        out.push_back('R');
+        break;
+      case 's':
+        if (at(i + 1) == 'h') {
+          out.push_back('X');
+          ++i;
+        } else if (at(i + 1) == 'i' &&
+                   (at(i + 2) == 'o' || at(i + 2) == 'a')) {
+          out.push_back('X');  // -sio-, -sia-
+        } else if (at(i + 1) == 'c' && at(i + 2) == 'h') {
+          out.push_back('X');  // sch -> X (German names: Schmidt).
+          i += 2;
+        } else {
+          out.push_back('S');
+        }
+        break;
+      case 't':
+        if (at(i + 1) == 'h') {
+          out.push_back('0');  // 'th' sound.
+          ++i;
+        } else if (at(i + 1) == 'i' &&
+                   (at(i + 2) == 'o' || at(i + 2) == 'a')) {
+          out.push_back('X');  // -tio-, -tia-
+        } else {
+          out.push_back('T');
+        }
+        break;
+      case 'v':
+        out.push_back('F');
+        break;
+      case 'w':
+        if (IsVowel(at(i + 1))) {
+          out.push_back('W');
+        }
+        break;
+      case 'x':
+        out.push_back('K');
+        out.push_back('S');
+        break;
+      case 'y':
+        if (IsVowel(at(i + 1))) {
+          out.push_back('Y');
+        }
+        break;
+      case 'z':
+        out.push_back('S');
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace authidx::text

@@ -1,0 +1,25 @@
+#ifndef AUTHIDX_TEXT_PHONETIC_H_
+#define AUTHIDX_TEXT_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace authidx::text {
+
+/// Phonetic codes for "sounds-like" author lookup. Both functions fold
+/// case/accents first and operate on the letters only; non-letters are
+/// ignored. Empty input yields an empty code.
+
+/// American Soundex: one letter + three digits ("Robert" -> "R163",
+/// "Rupert" -> "R163"). The fixed 4-character code makes it a cheap
+/// bucketing key for candidate generation before edit-distance ranking.
+std::string Soundex(std::string_view word);
+
+/// Simplified Metaphone: variable-length consonant-skeleton code that is
+/// more discriminating than Soundex ("Knight" -> "NT", "Nite" -> "NT";
+/// "Schmidt" -> "XMT", "Smith" -> "SM0" where '0' is 'th').
+std::string Metaphone(std::string_view word);
+
+}  // namespace authidx::text
+
+#endif  // AUTHIDX_TEXT_PHONETIC_H_

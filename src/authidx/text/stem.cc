@@ -1,0 +1,278 @@
+#include "authidx/text/stem.h"
+
+namespace authidx::text {
+namespace {
+
+// Implementation of Porter, "An algorithm for suffix stripping" (1980),
+// following the original paper's step structure and reference C code.
+// Indices are signed because the paper's j can legitimately reach -1
+// (suffix spans the whole word).
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word) : b_(std::move(word)) {}
+
+  std::string Run() {
+    if (b_.size() <= 2) {
+      return b_;
+    }
+    k_ = static_cast<int>(b_.size()) - 1;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    b_.resize(static_cast<size_t>(k_ + 1));
+    return b_;
+  }
+
+ private:
+  char At(int i) const { return b_[static_cast<size_t>(i)]; }
+
+  // True if b_[i] is a consonant (paper's cons(i)).
+  bool Cons(int i) const {
+    switch (At(i)) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !Cons(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Number of consonant-vowel sequences in b_[0..j_].
+  int M() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!Cons(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (Cons(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!Cons(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!Cons(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleC(int j) const {
+    return j >= 1 && At(j) == At(j - 1) && Cons(j);
+  }
+
+  // cvc(i): consonant-vowel-consonant ending where the final consonant is
+  // not w, x or y. Detects e.g. "hop" in "hopping".
+  bool Cvc(int i) const {
+    if (i < 2 || !Cons(i) || Cons(i - 1) || !Cons(i - 2)) return false;
+    char c = At(i);
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool Ends(std::string_view s) {
+    int len = static_cast<int>(s.size());
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ + 1 - len), s.size(), s) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  void SetTo(std::string_view s) {
+    b_.replace(static_cast<size_t>(j_ + 1), static_cast<size_t>(k_ - j_), s);
+    k_ = j_ + static_cast<int>(s.size());
+  }
+
+  void R(std::string_view s) {
+    if (M() > 0) SetTo(s);
+  }
+
+  void Step1ab() {
+    // Step 1a: plurals.
+    if (At(k_) == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (At(k_ - 1) != 's') {
+        --k_;
+      }
+    }
+    // Step 1b: -ed / -ing.
+    if (Ends("eed")) {
+      if (M() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleC(k_)) {
+        char c = At(k_);
+        if (c != 'l' && c != 's' && c != 'z') --k_;
+      } else if (M() == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) {
+      b_[static_cast<size_t>(k_)] = 'i';
+    }
+  }
+
+  void Step2() {
+    if (k_ < 2) return;
+    switch (At(k_ - 1)) {
+      case 'a':
+        if (Ends("ational")) { R("ate"); break; }
+        if (Ends("tional")) { R("tion"); }
+        break;
+      case 'c':
+        if (Ends("enci")) { R("ence"); break; }
+        if (Ends("anci")) { R("ance"); }
+        break;
+      case 'e':
+        if (Ends("izer")) { R("ize"); }
+        break;
+      case 'l':
+        if (Ends("bli")) { R("ble"); break; }
+        if (Ends("alli")) { R("al"); break; }
+        if (Ends("entli")) { R("ent"); break; }
+        if (Ends("eli")) { R("e"); break; }
+        if (Ends("ousli")) { R("ous"); }
+        break;
+      case 'o':
+        if (Ends("ization")) { R("ize"); break; }
+        if (Ends("ation")) { R("ate"); break; }
+        if (Ends("ator")) { R("ate"); }
+        break;
+      case 's':
+        if (Ends("alism")) { R("al"); break; }
+        if (Ends("iveness")) { R("ive"); break; }
+        if (Ends("fulness")) { R("ful"); break; }
+        if (Ends("ousness")) { R("ous"); }
+        break;
+      case 't':
+        if (Ends("aliti")) { R("al"); break; }
+        if (Ends("iviti")) { R("ive"); break; }
+        if (Ends("biliti")) { R("ble"); }
+        break;
+      case 'g':
+        if (Ends("logi")) { R("log"); }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (At(k_)) {
+      case 'e':
+        if (Ends("icate")) { R("ic"); break; }
+        if (Ends("ative")) { R(""); break; }
+        if (Ends("alize")) { R("al"); }
+        break;
+      case 'i':
+        if (Ends("iciti")) { R("ic"); }
+        break;
+      case 'l':
+        if (Ends("ical")) { R("ic"); break; }
+        if (Ends("ful")) { R(""); }
+        break;
+      case 's':
+        if (Ends("ness")) { R(""); }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    if (k_ < 2) return;
+    switch (At(k_ - 1)) {
+      case 'a': if (Ends("al")) break; return;
+      case 'c': if (Ends("ance") || Ends("ence")) break; return;
+      case 'e': if (Ends("er")) break; return;
+      case 'i': if (Ends("ic")) break; return;
+      case 'l': if (Ends("able") || Ends("ible")) break; return;
+      case 'n':
+        if (Ends("ant") || Ends("ement") || Ends("ment") || Ends("ent"))
+          break;
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 && (At(j_) == 's' || At(j_) == 't')) break;
+        if (Ends("ou")) break;
+        return;
+      case 's': if (Ends("ism")) break; return;
+      case 't': if (Ends("ate") || Ends("iti")) break; return;
+      case 'u': if (Ends("ous")) break; return;
+      case 'v': if (Ends("ive")) break; return;
+      case 'z': if (Ends("ize")) break; return;
+      default: return;
+    }
+    if (M() > 1) {
+      k_ = j_;
+    }
+  }
+
+  void Step5() {
+    // Step 5a.
+    j_ = k_;
+    if (At(k_) == 'e') {
+      int m = M();
+      if (m > 1 || (m == 1 && !Cvc(k_ - 1))) {
+        --k_;
+      }
+    }
+    // Step 5b.
+    if (At(k_) == 'l' && DoubleC(k_) && M() > 1) {
+      --k_;
+    }
+  }
+
+  std::string b_;
+  int k_ = 0;  // Index of last letter.
+  int j_ = 0;  // Stem end set by Ends().
+};
+
+bool AllLowerAlpha(std::string_view w) {
+  for (char c : w) {
+    if (c < 'a' || c > 'z') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (!AllLowerAlpha(word)) {
+    return std::string(word);
+  }
+  return Stemmer(std::string(word)).Run();
+}
+
+}  // namespace authidx::text

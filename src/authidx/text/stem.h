@@ -1,0 +1,16 @@
+#ifndef AUTHIDX_TEXT_STEM_H_
+#define AUTHIDX_TEXT_STEM_H_
+
+#include <string>
+#include <string_view>
+
+namespace authidx::text {
+
+/// Classic Porter (1980) stemmer. Input must already be lowercase ASCII
+/// letters only (the tokenizer guarantees this); other inputs are
+/// returned unchanged. "mining" -> "mine", "regulations" -> "regul".
+std::string PorterStem(std::string_view word);
+
+}  // namespace authidx::text
+
+#endif  // AUTHIDX_TEXT_STEM_H_

@@ -1,0 +1,32 @@
+#ifndef AUTHIDX_TEXT_TOKENIZE_H_
+#define AUTHIDX_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace authidx::text {
+
+/// Options controlling `Tokenize`.
+struct TokenizeOptions {
+  /// Drop English stopwords ("the", "of", "and", ...).
+  bool remove_stopwords = true;
+  /// Apply the Porter stemmer to each token.
+  bool stem = true;
+  /// Tokens shorter than this (after stemming) are dropped.
+  size_t min_length = 1;
+};
+
+/// Splits `utf8` into normalized word tokens: case/accent folded,
+/// punctuation-separated, digits kept as standalone tokens. This is the
+/// analyzer used for title text feeding the inverted index; queries must
+/// use the same options to match.
+std::vector<std::string> Tokenize(std::string_view utf8,
+                                  const TokenizeOptions& options = {});
+
+/// True if the (already folded) word is an English stopword.
+bool IsStopword(std::string_view folded_word);
+
+}  // namespace authidx::text
+
+#endif  // AUTHIDX_TEXT_TOKENIZE_H_

@@ -1,0 +1,56 @@
+#include "authidx/workload/corpus.h"
+
+#include "authidx/common/random.h"
+#include "authidx/workload/namegen.h"
+
+namespace authidx::workload {
+
+std::vector<Entry> GenerateCorpus(const CorpusOptions& options) {
+  NameGenerator names(options.seed);
+  Random rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  size_t author_count = options.authors == 0 ? 1 : options.authors;
+  Zipf productivity(author_count, options.author_skew,
+                    options.seed ^ 0xdeadbeefULL);
+
+  // Fixed author population; suffix discriminates generated collisions so
+  // distinct population slots stay distinct people.
+  std::vector<AuthorName> population;
+  population.reserve(author_count);
+  for (size_t i = 0; i < author_count; ++i) {
+    population.push_back(names.NextAuthor());
+  }
+
+  uint32_t volumes =
+      options.last_volume >= options.first_volume
+          ? options.last_volume - options.first_volume + 1
+          : 1;
+
+  std::vector<Entry> entries;
+  entries.reserve(options.entries);
+  for (size_t i = 0; i < options.entries; ++i) {
+    Entry entry;
+    size_t author_idx = static_cast<size_t>(productivity.Next());
+    entry.author = population[author_idx];
+    // Student status attaches to the entry (a person can publish both
+    // student notes and later articles), as in the source.
+    entry.author.student_material = rng.OneIn(4);
+    entry.title = names.NextTitle();
+    uint32_t vol_off = static_cast<uint32_t>(rng.Uniform(volumes));
+    entry.citation.volume = options.first_volume + vol_off;
+    entry.citation.year = options.first_year + vol_off;
+    entry.citation.page = 1 + static_cast<uint32_t>(rng.Uniform(1500));
+    if (rng.OneIn(options.coauthor_one_in)) {
+      size_t n = 1 + rng.Uniform(2);
+      for (size_t c = 0; c < n; ++c) {
+        AuthorName coauthor =
+            population[rng.Uniform(population.size())];
+        coauthor.student_material = false;
+        entry.coauthors.push_back(coauthor.ToIndexForm());
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace authidx::workload

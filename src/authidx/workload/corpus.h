@@ -1,0 +1,33 @@
+#ifndef AUTHIDX_WORKLOAD_CORPUS_H_
+#define AUTHIDX_WORKLOAD_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "authidx/model/record.h"
+
+namespace authidx::workload {
+
+/// Parameters for synthetic corpus generation.
+struct CorpusOptions {
+  /// Number of entries (index lines) to generate.
+  size_t entries = 10000;
+  /// Size of the author population; author productivity is Zipfian, so a
+  /// few authors contribute many entries (as in real cumulative indexes).
+  size_t authors = 2000;
+  double author_skew = 0.8;
+  /// Volume range; years ascend one per volume starting at `first_year`.
+  uint32_t first_volume = 69;
+  uint32_t last_volume = 95;
+  uint32_t first_year = 1966;
+  /// Probability (in 1/n form) that an entry has coauthors.
+  uint64_t coauthor_one_in = 6;
+  uint64_t seed = 0x5eed;
+};
+
+/// Generates a deterministic corpus: same options -> identical entries.
+std::vector<Entry> GenerateCorpus(const CorpusOptions& options);
+
+}  // namespace authidx::workload
+
+#endif  // AUTHIDX_WORKLOAD_CORPUS_H_

@@ -1,0 +1,126 @@
+#include "authidx/workload/namegen.h"
+
+#include <array>
+
+namespace authidx::workload {
+namespace {
+
+constexpr std::array<const char*, 96> kSurnames = {
+    "Abbott",    "Abrams",     "Adler",     "Anderson",  "Archer",
+    "Bailey",    "Barnes",     "Barrett",   "Bastress",  "Bean",
+    "Beeson",    "Bell",       "Berry",     "Biddle",    "Bowman",
+    "Brown",     "Bryant",     "Burke",     "Byrd",      "Cady",
+    "Campbell",  "Cardi",      "Carey",     "Carter",    "Chapman",
+    "Clark",     "Cleckley",   "Cline",     "Collins",   "Cooper",
+    "Cox",       "Crandall",   "Curry",     "Davis",     "Deem",
+    "Denny",     "DiSalvo",    "Dobbs",     "Donley",    "Dunlap",
+    "Eaton",     "Elkins",     "Ellis",     "Epstein",   "Farrell",
+    "Fisher",    "FitzGerald", "Flannery",  "Fox",       "Friedberg",
+    "Galloway",  "Gardner",    "Gelb",      "Goodwin",   "Graham",
+    "Gray",      "Greer",      "Hall",      "Hardesty",  "Harris",
+    "Henshaw",   "Hogg",       "Holland",   "Hunt",      "Jackson",
+    "Johnson",   "Jones",      "Keeley",    "Kelly",     "Kennedy",
+    "King",      "Lewin",      "Lewis",     "Lorensen",  "Martin",
+    "McAteer",   "McGinley",   "McGraw",    "McLaughlin", "Means",
+    "Miller",    "Moore",      "Moran",     "Morris",    "Neely",
+    "Nichol",    "O'Brien",    "Olson",     "Price",     "Rice",
+    "Roberts",   "Robinson",   "Scott",     "Smith",     "Taylor",
+    "Thompson",
+};
+
+constexpr std::array<const char*, 48> kGivenNames = {
+    "Aaron",    "Alice",    "Andrew",  "Anne",    "Arthur",  "Barbara",
+    "Benjamin", "Bruce",    "Carl",    "Carol",   "Charles", "Christine",
+    "Daniel",   "David",    "Deborah", "Diana",   "Donald",  "Dorothy",
+    "Edward",   "Elizabeth", "Ellen",  "Eric",    "Frank",   "George",
+    "Harold",   "Helen",    "Henry",   "James",   "Jane",    "John",
+    "Joseph",   "Judith",   "Karen",   "Kenneth", "Laura",   "Linda",
+    "Margaret", "Mark",     "Martha",  "Mary",    "Michael", "Nancy",
+    "Patricia", "Paul",     "Richard", "Robert",  "Susan",   "Thomas",
+};
+
+constexpr std::array<const char*, 6> kSuffixes = {"Jr.", "Sr.", "II",
+                                                  "III", "IV",  "V"};
+
+constexpr std::array<const char*, 40> kTopics = {
+    "Surface Mining",       "Workers' Compensation", "Black Lung Benefits",
+    "Comparative Negligence", "the Clean Water Act", "Products Liability",
+    "Double Jeopardy",      "Habeas Corpus",         "Equitable Distribution",
+    "Mineral Rights",       "the Commerce Clause",   "Strict Liability",
+    "the Fourth Amendment", "Labor Arbitration",     "Medical Malpractice",
+    "Coal Leasing",         "Intestate Succession",  "Usury Law",
+    "Jury Selection",       "the Establishment Clause", "Insider Trading",
+    "Bankruptcy Reform",    "Acid Rain Control",     "Zoning Ordinances",
+    "Grievance Mediation",  "Pension Fund Liability", "Securities Regulation",
+    "Criminal Procedure",   "Water Resources",        "Due Process",
+    "Mine Safety",          "Unemployment Compensation", "Attorney Discipline",
+    "Environmental Liability", "the Uniform Commercial Code",
+    "Corporate Governance", "Freedom of Expression",  "Tax Assessment",
+    "Consumer Credit",      "Child Custody",
+};
+
+constexpr std::array<const char*, 20> kLeads = {
+    "A Critique of",      "An Analysis of",        "Reforming",
+    "The Future of",      "Rethinking",            "A Survey of",
+    "Developments in",    "The Law of",            "A Proposal for",
+    "Constitutional Limits on", "The Economics of", "Judicial Review of",
+    "Regulating",         "A Practitioner's Guide to", "The Evolution of",
+    "Problems in",        "Federal Preemption of", "Enforcement of",
+    "Liability Under",    "A Comparative Study of",
+};
+
+constexpr std::array<const char*, 16> kTails = {
+    "in West Virginia",
+    "After the 1977 Amendments",
+    "Under the Federal Act",
+    "A Case for Reform",
+    "An Empirical Study",
+    "Theory and Practice",
+    "The Unresolved Questions",
+    "Toward a New Standard",
+    "A Defense Perspective",
+    "and the Public Interest",
+    "in the Coal Fields",
+    "A Legislative History",
+    "The Courts Respond",
+    "Lessons from the Cases",
+    "and Its Discontents",
+    "Beyond the Statute",
+};
+
+}  // namespace
+
+AuthorName NameGenerator::NextAuthor() {
+  AuthorName name;
+  name.surname = kSurnames[rng_.Uniform(kSurnames.size())];
+  std::string given = kGivenNames[rng_.Uniform(kGivenNames.size())];
+  // Most entries carry a middle initial, as in the source index.
+  if (!rng_.OneIn(4)) {
+    given += ' ';
+    given += static_cast<char>('A' + rng_.Uniform(26));
+    given += '.';
+  }
+  name.given = given;
+  if (rng_.OneIn(12)) {
+    name.suffix = kSuffixes[rng_.Uniform(kSuffixes.size())];
+  }
+  name.student_material = rng_.OneIn(4);
+  return name;
+}
+
+std::string NameGenerator::NextTitle() {
+  std::string title = kLeads[rng_.Uniform(kLeads.size())];
+  title += ' ';
+  title += kTopics[rng_.Uniform(kTopics.size())];
+  if (rng_.OneIn(2)) {
+    title += ": ";
+    title += kTails[rng_.Uniform(kTails.size())];
+  }
+  return title;
+}
+
+std::string NameGenerator::NextSurname() {
+  return kSurnames[rng_.Uniform(kSurnames.size())];
+}
+
+}  // namespace authidx::workload

@@ -1,0 +1,35 @@
+#ifndef AUTHIDX_WORKLOAD_NAMEGEN_H_
+#define AUTHIDX_WORKLOAD_NAMEGEN_H_
+
+#include <string>
+
+#include "authidx/common/random.h"
+#include "authidx/model/record.h"
+
+namespace authidx::workload {
+
+/// Deterministic generator of plausible bibliographic author names and
+/// article titles, used to synthesize proceedings-scale corpora (the
+/// substitution for the unavailable VLDB 2000 metadata; see DESIGN.md §4).
+class NameGenerator {
+ public:
+  explicit NameGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// A full author name; ~8% carry a generational suffix, ~25% are
+  /// student authors (matching the source document's mix).
+  AuthorName NextAuthor();
+
+  /// A title assembled from a small grammar over legal/technical word
+  /// pools; 4-14 words.
+  std::string NextTitle();
+
+  /// Surname only (for fuzzy-search workloads).
+  std::string NextSurname();
+
+ private:
+  Random rng_;
+};
+
+}  // namespace authidx::workload
+
+#endif  // AUTHIDX_WORKLOAD_NAMEGEN_H_

@@ -1,0 +1,24 @@
+#ifndef AUTHIDX_WORKLOAD_SAMPLE_DATA_H_
+#define AUTHIDX_WORKLOAD_SAMPLE_DATA_H_
+
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/result.h"
+#include "authidx/model/record.h"
+
+namespace authidx::workload {
+
+/// The embedded sample corpus: a transcription of ~90 entries of the
+/// West Virginia Law Review cumulative Author Index (95 W. Va. L. Rev.
+/// 1365 (1993)) — the document supplied as the reproduction source.
+/// Serves as golden data for parser/typesetter tests and the
+/// `law_review_index` example.
+std::string_view SampleIndexTsv();
+
+/// Parsed form of SampleIndexTsv().
+Result<std::vector<Entry>> LoadSampleEntries();
+
+}  // namespace authidx::workload
+
+#endif  // AUTHIDX_WORKLOAD_SAMPLE_DATA_H_

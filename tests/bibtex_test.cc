@@ -1,0 +1,137 @@
+#include "authidx/parse/bibtex.h"
+
+#include <gtest/gtest.h>
+
+namespace authidx {
+namespace {
+
+constexpr const char* kDoc = R"bib(
+% A proceedings-style bibliography.
+This free text between entries is ignored, per BibTeX convention.
+
+@inproceedings{minow92,
+  author = {Minow, Martha},
+  title  = {All in the Family {\&} In All Families},
+  year   = 1992,
+  volume = {95},
+  pages  = {275--334},
+}
+
+@article{coal93,
+  author = "Webster J. Arceneaux and Philip B. Scott",
+  title  = "Potential Criminal Liability in the {Coal} Fields",
+  year   = "1993",
+  volume = "95",
+  pages  = "691-720"
+}
+
+@comment{this whole group is skipped}
+
+@book{noVolume,
+  author = {Alexandrov, Pavel},
+  title  = {Combinatorial Topology},
+  year   = {1947}
+}
+)bib";
+
+TEST(BibTexParseTest, ParsesEntriesAndFields) {
+  Result<std::vector<BibTexEntry>> parsed = ParseBibTex(kDoc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 3u);
+  const BibTexEntry& first = (*parsed)[0];
+  EXPECT_EQ(first.type, "inproceedings");
+  EXPECT_EQ(first.key, "minow92");
+  EXPECT_EQ(first.Field("author"), "Minow, Martha");
+  EXPECT_EQ(first.Field("year"), "1992");
+  EXPECT_EQ(first.Field("missing"), "");
+  const BibTexEntry& second = (*parsed)[1];
+  EXPECT_EQ(second.type, "article");
+  EXPECT_EQ(second.Field("title"),
+            "Potential Criminal Liability in the {Coal} Fields");
+}
+
+TEST(BibTexParseTest, BracesInsideValuesBalance) {
+  auto parsed = ParseBibTex("@misc{k, note = {a {b {c}} d} }");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ((*parsed)[0].Field("note"), "a {b {c}} d");
+}
+
+TEST(BibTexParseTest, Rejections) {
+  EXPECT_FALSE(ParseBibTex("@{k, a = {v}}").ok());         // No type.
+  EXPECT_FALSE(ParseBibTex("@misc{k, a = {v}").ok());      // Unterminated.
+  EXPECT_FALSE(ParseBibTex("@misc{k, a {v}}").ok());       // Missing '='.
+  EXPECT_FALSE(ParseBibTex("@misc{k, a = {v}, b = }").ok());
+  // @string macros declared unsupported, not silently wrong.
+  Result<std::vector<BibTexEntry>> macros =
+      ParseBibTex("@misc{k, a = somemacro }");
+  EXPECT_TRUE(macros.status().IsNotSupported());
+}
+
+TEST(BibTexParseTest, EmptyAndCommentOnlyDocs) {
+  EXPECT_TRUE(ParseBibTex("")->empty());
+  EXPECT_TRUE(ParseBibTex("% only a comment\nand free text")->empty());
+}
+
+TEST(BibTexConvertTest, OneEntryPerAuthorWithCoauthors) {
+  auto entries = ParseBibTexToEntries(kDoc);
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  // minow92 -> 1, coal93 -> 2, noVolume -> 1.
+  ASSERT_EQ(entries->size(), 4u);
+  const Entry& minow = (*entries)[0];
+  EXPECT_EQ(minow.author.surname, "Minow");
+  EXPECT_EQ(minow.author.given, "Martha");
+  EXPECT_EQ(minow.title, "All in the Family \\& In All Families");
+  EXPECT_EQ(minow.citation, (Citation{95, 275, 1992}));
+  EXPECT_TRUE(minow.coauthors.empty());
+
+  const Entry& arceneaux = (*entries)[1];
+  EXPECT_EQ(arceneaux.author.surname, "Arceneaux");
+  EXPECT_EQ(arceneaux.author.given, "Webster J.");
+  EXPECT_EQ(arceneaux.citation, (Citation{95, 691, 1993}));
+  ASSERT_EQ(arceneaux.coauthors.size(), 1u);
+  EXPECT_EQ(arceneaux.coauthors[0], "Scott, Philip B.");
+
+  const Entry& scott = (*entries)[2];
+  EXPECT_EQ(scott.author.surname, "Scott");
+  ASSERT_EQ(scott.coauthors.size(), 1u);
+  EXPECT_EQ(scott.coauthors[0], "Arceneaux, Webster J.");
+}
+
+TEST(BibTexConvertTest, DefaultsForMissingVolumeAndPages) {
+  auto entries = ParseBibTexToEntries(kDoc);
+  ASSERT_TRUE(entries.ok());
+  const Entry& book = entries->back();
+  EXPECT_EQ(book.author.surname, "Alexandrov");
+  EXPECT_EQ(book.citation.volume, 1u);
+  EXPECT_EQ(book.citation.page, 1u);
+  EXPECT_EQ(book.citation.year, 1947u);
+}
+
+TEST(BibTexConvertTest, MissingRequiredFieldsRejected) {
+  EXPECT_FALSE(
+      ParseBibTexToEntries("@misc{k, title = {T}, year = {1990}}").ok());
+  EXPECT_FALSE(
+      ParseBibTexToEntries("@misc{k, author = {A B}, year = {1990}}").ok());
+  EXPECT_FALSE(
+      ParseBibTexToEntries("@misc{k, author = {A B}, title = {T}}").ok());
+}
+
+TEST(BibTexConvertTest, AndInsideBracesIsNotASeparator) {
+  auto entries = ParseBibTexToEntries(
+      "@misc{k, author = {{Mining and Safety Commission}}, title = {T}, "
+      "year = {1990}}");
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].author.surname, "Commission");
+}
+
+TEST(BibTexConvertTest, TildeBecomesSpace) {
+  auto entries = ParseBibTexToEntries(
+      "@misc{k, author = {Donald~E. Knuth}, title = {T}, year = {1973}}");
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  EXPECT_EQ((*entries)[0].author.surname, "Knuth");
+  EXPECT_EQ((*entries)[0].author.given, "Donald E.");
+}
+
+}  // namespace
+}  // namespace authidx

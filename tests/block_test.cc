@@ -1,0 +1,168 @@
+#include "authidx/storage/block.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "authidx/common/random.h"
+#include "authidx/common/strings.h"
+
+namespace authidx::storage {
+namespace {
+
+std::unique_ptr<Block> Build(const std::map<std::string, std::string>& kvs,
+                             int restart_interval = 16) {
+  BlockBuilder builder(restart_interval);
+  for (const auto& [key, value] : kvs) {
+    builder.Add(key, value);
+  }
+  Result<std::unique_ptr<Block>> block =
+      Block::Parse(std::string(builder.Finish()));
+  EXPECT_TRUE(block.ok()) << block.status();
+  return std::move(block).value();
+}
+
+TEST(BlockTest, EmptyBlockIterates) {
+  BlockBuilder builder;
+  auto block = Block::Parse(std::string(builder.Finish()));
+  ASSERT_TRUE(block.ok());
+  auto it = (*block)->NewIterator();
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+  it->Seek("anything");
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(BlockTest, RoundTripInOrder) {
+  std::map<std::string, std::string> kvs;
+  for (int i = 0; i < 300; ++i) {
+    kvs[StringPrintf("key%05d", i)] = StringPrintf("value-%d", i * 7);
+  }
+  auto block = Build(kvs);
+  auto it = block->NewIterator();
+  auto expected = kvs.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++expected) {
+    ASSERT_NE(expected, kvs.end());
+    EXPECT_EQ(it->key(), expected->first);
+    EXPECT_EQ(it->value(), expected->second);
+  }
+  EXPECT_EQ(expected, kvs.end());
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST(BlockTest, PrefixCompressionShrinksSharedKeys) {
+  // Long shared prefixes compress well vs restart_interval=1 (none).
+  std::map<std::string, std::string> kvs;
+  for (int i = 0; i < 200; ++i) {
+    kvs[StringPrintf("averylongsharedprefixkey%05d", i)] = "v";
+  }
+  BlockBuilder compressed(16), uncompressed(1);
+  for (const auto& [key, value] : kvs) {
+    compressed.Add(key, value);
+    uncompressed.Add(key, value);
+  }
+  EXPECT_LT(compressed.Finish().size(), uncompressed.Finish().size() / 2);
+}
+
+TEST(BlockTest, SeekFindsFirstKeyGreaterOrEqual) {
+  std::map<std::string, std::string> kvs = {
+      {"b", "1"}, {"d", "2"}, {"f", "3"}, {"h", "4"}};
+  auto block = Build(kvs);
+  auto it = block->NewIterator();
+  it->Seek("d");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "d");
+  it->Seek("e");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "f");
+  it->Seek("a");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "b");
+  it->Seek("z");
+  EXPECT_FALSE(it->Valid());
+}
+
+// Parameterized over restart interval: behaviour must be identical.
+class BlockRestartTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockRestartTest, SeekEveryKeyAndMisses) {
+  std::map<std::string, std::string> kvs;
+  Random rng(42);
+  for (int i = 0; i < 500; ++i) {
+    std::string key;
+    for (size_t j = 1 + rng.Uniform(20); j > 0; --j) {
+      key += static_cast<char>('a' + rng.Uniform(8));
+    }
+    kvs[key] = StringPrintf("v%d", i);
+  }
+  BlockBuilder builder(GetParam());
+  for (const auto& [key, value] : kvs) {
+    builder.Add(key, value);
+  }
+  auto block = Block::Parse(std::string(builder.Finish()));
+  ASSERT_TRUE(block.ok());
+  auto it = (*block)->NewIterator();
+  for (const auto& [key, value] : kvs) {
+    it->Seek(key);
+    ASSERT_TRUE(it->Valid()) << key;
+    ASSERT_EQ(it->key(), key);
+    ASSERT_EQ(it->value(), value);
+    // Seeking just past the key lands on the successor.
+    std::string past = key + "\x01";
+    it->Seek(past);
+    auto successor = kvs.upper_bound(key);
+    if (successor == kvs.end()) {
+      ASSERT_FALSE(it->Valid());
+    } else {
+      ASSERT_TRUE(it->Valid());
+      ASSERT_EQ(it->key(), successor->first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RestartIntervals, BlockRestartTest,
+                         ::testing::Values(1, 2, 4, 16, 64, 1000));
+
+TEST(BlockTest, BinaryKeysAndValues) {
+  std::map<std::string, std::string> kvs = {
+      {std::string("\x00\x01", 2), std::string("\xff\x00z", 3)},
+      {std::string("\x00\x02", 2), ""},
+      {std::string("\xfe", 1), std::string(1000, '\x7f')},
+  };
+  auto block = Build(kvs);
+  auto it = block->NewIterator();
+  auto expected = kvs.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++expected) {
+    EXPECT_EQ(it->key(), expected->first);
+    EXPECT_EQ(it->value(), expected->second);
+  }
+  EXPECT_EQ(expected, kvs.end());
+}
+
+TEST(BlockTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Block::Parse("").ok());
+  EXPECT_FALSE(Block::Parse("abc").ok());
+  // num_restarts that exceeds the block size.
+  std::string bogus(8, '\xff');
+  EXPECT_TRUE(Block::Parse(bogus).status().IsCorruption());
+}
+
+TEST(BlockTest, BuilderReset) {
+  BlockBuilder builder;
+  builder.Add("a", "1");
+  builder.Finish();
+  builder.Reset();
+  EXPECT_TRUE(builder.empty());
+  builder.Add("b", "2");
+  auto block = Block::Parse(std::string(builder.Finish()));
+  ASSERT_TRUE(block.ok());
+  auto it = (*block)->NewIterator();
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "b");
+  it->Next();
+  EXPECT_FALSE(it->Valid());
+}
+
+}  // namespace
+}  // namespace authidx::storage

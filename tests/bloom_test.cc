@@ -1,0 +1,121 @@
+#include "authidx/index/bloom.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include <string>
+#include <vector>
+
+#include "authidx/common/strings.h"
+
+namespace authidx {
+namespace {
+
+std::vector<std::string> Keys(int n, const char* prefix) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    keys.push_back(StringPrintf("%s%07d", prefix, i));
+  }
+  return keys;
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter filter(10000, 10);
+  for (const std::string& key : Keys(10000, "in")) {
+    filter.Add(key);
+  }
+  for (const std::string& key : Keys(10000, "in")) {
+    EXPECT_TRUE(filter.MayContain(key)) << key;
+  }
+}
+
+TEST(BloomTest, EmptyFilterRejectsEverything) {
+  BloomFilter filter(100, 10);
+  int positives = 0;
+  for (const std::string& key : Keys(1000, "x")) {
+    positives += filter.MayContain(key);
+  }
+  EXPECT_EQ(positives, 0);
+}
+
+// FPR sweep: measured rate must be within ~2x of theory for the usual
+// bits-per-key settings (theory: (1 - e^{-kn/m})^k ~ 0.61^bits).
+class BloomFprTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BloomFprTest, FalsePositiveRateNearTheory) {
+  const int bits_per_key = GetParam();
+  constexpr int kKeys = 20000;
+  BloomFilter filter(kKeys, bits_per_key);
+  for (const std::string& key : Keys(kKeys, "member")) {
+    filter.Add(key);
+  }
+  int false_positives = 0;
+  constexpr int kProbes = 20000;
+  for (const std::string& key : Keys(kProbes, "absent")) {
+    false_positives += filter.MayContain(key);
+  }
+  double measured = static_cast<double>(false_positives) / kProbes;
+  double theory = std::pow(0.6185, bits_per_key);
+  EXPECT_LT(measured, theory * 2 + 0.002)
+      << "bits/key=" << bits_per_key << " measured=" << measured;
+  if (bits_per_key <= 8) {
+    // Sanity floor: the filter must actually be probabilistic, not
+    // degenerate (all bits set / all clear).
+    EXPECT_GT(measured, theory / 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsPerKey, BloomFprTest,
+                         ::testing::Values(4, 6, 8, 10, 16));
+
+TEST(BloomTest, SerializeDeserializePreservesBehaviour) {
+  BloomFilter filter(5000, 10);
+  for (const std::string& key : Keys(5000, "k")) {
+    filter.Add(key);
+  }
+  std::string bytes = filter.Serialize();
+  Result<BloomFilter> restored = BloomFilter::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->probe_count(), filter.probe_count());
+  EXPECT_EQ(restored->bit_count(), filter.bit_count());
+  for (const std::string& key : Keys(5000, "k")) {
+    EXPECT_TRUE(restored->MayContain(key));
+  }
+  // Same false-positive decisions bit-for-bit.
+  for (const std::string& key : Keys(2000, "probe")) {
+    EXPECT_EQ(filter.MayContain(key), restored->MayContain(key));
+  }
+}
+
+TEST(BloomTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(BloomFilter::Deserialize("").ok());
+  EXPECT_FALSE(BloomFilter::Deserialize("\x01").ok());
+  // Valid-looking header with wrong byte count.
+  std::string bad;
+  bad.push_back(7);    // probes.
+  bad.push_back(100);  // claims 100 bytes.
+  bad += "short";
+  EXPECT_TRUE(BloomFilter::Deserialize(bad).status().IsCorruption());
+}
+
+TEST(BloomTest, FillRatioReflectsLoad) {
+  BloomFilter filter(1000, 10);
+  EXPECT_DOUBLE_EQ(filter.FillRatio(), 0.0);
+  for (const std::string& key : Keys(1000, "f")) {
+    filter.Add(key);
+  }
+  // Optimal-k filters settle near 50% fill.
+  EXPECT_GT(filter.FillRatio(), 0.3);
+  EXPECT_LT(filter.FillRatio(), 0.7);
+}
+
+TEST(BloomTest, TinyAndZeroExpectedKeys) {
+  BloomFilter filter(0, 10);
+  filter.Add("a");
+  EXPECT_TRUE(filter.MayContain("a"));
+  EXPECT_GE(filter.bit_count(), 64u);
+}
+
+}  // namespace
+}  // namespace authidx

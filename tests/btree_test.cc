@@ -1,0 +1,173 @@
+#include "authidx/index/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "authidx/common/random.h"
+#include "authidx/common/strings.h"
+
+namespace authidx {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Get("x").has_value());
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_FALSE(tree.Seek("a").Valid());
+  std::string why;
+  EXPECT_TRUE(tree.CheckInvariants(&why)) << why;
+}
+
+TEST(BTreeTest, InsertGetOverwrite) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.Insert("k1", 1));
+  EXPECT_TRUE(tree.Insert("k2", 2));
+  EXPECT_FALSE(tree.Insert("k1", 10));  // Overwrite.
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(*tree.Get("k1"), 10u);
+  EXPECT_EQ(*tree.Get("k2"), 2u);
+  EXPECT_FALSE(tree.Get("k3").has_value());
+}
+
+TEST(BTreeTest, EraseAndLazyDeletion) {
+  BPlusTree tree;
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(StringPrintf("key%04d", i), static_cast<uint64_t>(i));
+  }
+  for (int i = 0; i < 500; i += 2) {
+    EXPECT_TRUE(tree.Erase(StringPrintf("key%04d", i)));
+  }
+  EXPECT_FALSE(tree.Erase("key0000"));  // Already gone.
+  EXPECT_EQ(tree.size(), 250u);
+  // Iteration sees exactly the odd keys, in order.
+  int expected = 1;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), StringPrintf("key%04d", expected));
+    expected += 2;
+  }
+  EXPECT_EQ(expected, 501);
+  std::string why;
+  EXPECT_TRUE(tree.CheckInvariants(&why)) << why;
+}
+
+TEST(BTreeTest, SeekSemantics) {
+  BPlusTree tree;
+  tree.Insert("b", 1);
+  tree.Insert("d", 2);
+  tree.Insert("f", 3);
+  auto it = tree.Seek("c");
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "d");  // First key >= target.
+  it = tree.Seek("d");
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "d");  // Exact hit.
+  it = tree.Seek("g");
+  EXPECT_FALSE(it.Valid());  // Past the end.
+  it = tree.Seek("");
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "b");
+}
+
+TEST(BTreeTest, PrefixScan) {
+  BPlusTree tree;
+  tree.Insert("mcateer", 1);
+  tree.Insert("mcginley", 2);
+  tree.Insert("mcgraw", 3);
+  tree.Insert("mclaughlin", 4);
+  tree.Insert("means", 5);
+  auto hits = tree.PrefixScan("mcg", 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].first, "mcginley");
+  EXPECT_EQ(hits[1].first, "mcgraw");
+  EXPECT_EQ(tree.PrefixScan("mc", 2).size(), 2u);  // Limit respected.
+  EXPECT_TRUE(tree.PrefixScan("zz", 10).empty());
+}
+
+TEST(BTreeTest, BinaryKeysWithEmbeddedZeros) {
+  BPlusTree tree;
+  std::string k1("a\0b", 3), k2("a\0c", 3), k3("a", 1);
+  tree.Insert(k1, 1);
+  tree.Insert(k2, 2);
+  tree.Insert(k3, 3);
+  EXPECT_EQ(*tree.Get(k1), 1u);
+  EXPECT_EQ(*tree.Get(k2), 2u);
+  auto it = tree.Begin();
+  EXPECT_EQ(it.key(), k3);  // "a" < "a\0b".
+}
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  BPlusTree tree;
+  for (int i = 0; i < 100000; ++i) {
+    tree.Insert(StringPrintf("%08d", i), static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(tree.size(), 100000u);
+  EXPECT_LE(tree.height(), 4);  // Fanout 64: 64^3 > 1e5.
+  EXPECT_GE(tree.height(), 3);
+}
+
+// Model test: random operations mirrored against std::map must agree on
+// every lookup, size, and full iteration. Parameterized over operation
+// mixes (insert-heavy vs delete-heavy) and seeds.
+struct ModelParam {
+  uint64_t seed;
+  int erase_percent;
+  int n_ops;
+};
+
+class BTreeModelTest : public ::testing::TestWithParam<ModelParam> {};
+
+TEST_P(BTreeModelTest, AgreesWithStdMap) {
+  const ModelParam param = GetParam();
+  Random rng(param.seed);
+  BPlusTree tree;
+  std::map<std::string, uint64_t> model;
+  for (int op = 0; op < param.n_ops; ++op) {
+    std::string key = StringPrintf("k%05llu",
+        static_cast<unsigned long long>(rng.Uniform(5000)));
+    if (static_cast<int>(rng.Uniform(100)) < param.erase_percent) {
+      bool tree_erased = tree.Erase(key);
+      bool model_erased = model.erase(key) > 0;
+      ASSERT_EQ(tree_erased, model_erased) << key;
+    } else {
+      uint64_t value = rng.Next64();
+      bool tree_new = tree.Insert(key, value);
+      bool model_new = model.insert_or_assign(key, value).second;
+      ASSERT_EQ(tree_new, model_new) << key;
+    }
+    if (op % 997 == 0) {
+      std::string probe = StringPrintf("k%05llu",
+          static_cast<unsigned long long>(rng.Uniform(5000)));
+      auto tree_hit = tree.Get(probe);
+      auto model_hit = model.find(probe);
+      ASSERT_EQ(tree_hit.has_value(), model_hit != model.end());
+      if (tree_hit) {
+        ASSERT_EQ(*tree_hit, model_hit->second);
+      }
+    }
+  }
+  ASSERT_EQ(tree.size(), model.size());
+  // Full ordered agreement.
+  auto it = tree.Begin();
+  for (const auto& [key, value] : model) {
+    ASSERT_TRUE(it.Valid());
+    ASSERT_EQ(it.key(), key);
+    ASSERT_EQ(it.value(), value);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+  std::string why;
+  EXPECT_TRUE(tree.CheckInvariants(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, BTreeModelTest,
+    ::testing::Values(ModelParam{1, 0, 20000}, ModelParam{2, 10, 20000},
+                      ModelParam{3, 40, 20000}, ModelParam{4, 60, 30000},
+                      ModelParam{5, 25, 50000}));
+
+}  // namespace
+}  // namespace authidx

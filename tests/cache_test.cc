@@ -1,0 +1,104 @@
+#include "authidx/storage/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "authidx/common/strings.h"
+
+namespace authidx::storage {
+namespace {
+
+std::shared_ptr<Block> MakeBlock(int n_entries) {
+  BlockBuilder builder;
+  for (int i = 0; i < n_entries; ++i) {
+    builder.Add(StringPrintf("key%05d", i), "value");
+  }
+  auto block = Block::Parse(std::string(builder.Finish()));
+  EXPECT_TRUE(block.ok());
+  return std::move(block).value();
+}
+
+TEST(BlockCacheTest, InsertGetAndRecency) {
+  BlockCache cache(1 << 20);
+  auto block = MakeBlock(10);
+  std::string key = BlockCache::MakeKey(1, 0);
+  EXPECT_EQ(cache.Get(key), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Insert(key, block);
+  EXPECT_EQ(cache.Get(key), block);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(BlockCacheTest, KeysDistinguishFileAndOffset) {
+  BlockCache cache(1 << 20);
+  cache.Insert(BlockCache::MakeKey(1, 0), MakeBlock(1));
+  cache.Insert(BlockCache::MakeKey(1, 4096), MakeBlock(2));
+  cache.Insert(BlockCache::MakeKey(2, 0), MakeBlock(3));
+  EXPECT_EQ(cache.entry_count(), 3u);
+  EXPECT_NE(cache.Get(BlockCache::MakeKey(1, 0)), nullptr);
+  EXPECT_NE(cache.Get(BlockCache::MakeKey(2, 0)), nullptr);
+  EXPECT_EQ(cache.Get(BlockCache::MakeKey(2, 4096)), nullptr);
+}
+
+TEST(BlockCacheTest, LruEvictionOrder) {
+  auto sample = MakeBlock(50);
+  size_t per_entry = sample->size_bytes() + 16 + 64;  // Rough charge.
+  BlockCache cache(per_entry * 3);
+  cache.Insert(BlockCache::MakeKey(1, 1), MakeBlock(50));
+  cache.Insert(BlockCache::MakeKey(1, 2), MakeBlock(50));
+  cache.Insert(BlockCache::MakeKey(1, 3), MakeBlock(50));
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_NE(cache.Get(BlockCache::MakeKey(1, 1)), nullptr);
+  cache.Insert(BlockCache::MakeKey(1, 4), MakeBlock(50));
+  EXPECT_EQ(cache.Get(BlockCache::MakeKey(1, 2)), nullptr);  // Evicted.
+  EXPECT_NE(cache.Get(BlockCache::MakeKey(1, 1)), nullptr);  // Kept.
+  EXPECT_NE(cache.Get(BlockCache::MakeKey(1, 4)), nullptr);
+}
+
+TEST(BlockCacheTest, ReplacingAKeyUpdatesCharge) {
+  BlockCache cache(1 << 20);
+  std::string key = BlockCache::MakeKey(1, 0);
+  cache.Insert(key, MakeBlock(1000));
+  size_t big = cache.size_bytes();
+  cache.Insert(key, MakeBlock(1));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_LT(cache.size_bytes(), big);
+}
+
+TEST(BlockCacheTest, EraseFileDropsOnlyThatFile) {
+  BlockCache cache(1 << 20);
+  cache.Insert(BlockCache::MakeKey(7, 0), MakeBlock(5));
+  cache.Insert(BlockCache::MakeKey(7, 100), MakeBlock(5));
+  cache.Insert(BlockCache::MakeKey(8, 0), MakeBlock(5));
+  cache.EraseFile(7);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.Get(BlockCache::MakeKey(7, 0)), nullptr);
+  EXPECT_NE(cache.Get(BlockCache::MakeKey(8, 0)), nullptr);
+}
+
+TEST(BlockCacheTest, ZeroCapacityDisables) {
+  BlockCache cache(0);
+  std::string key = BlockCache::MakeKey(1, 0);
+  cache.Insert(key, MakeBlock(5));
+  EXPECT_EQ(cache.Get(key), nullptr);
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(BlockCacheTest, EvictedBlockSurvivesWhilePinned) {
+  auto sample = MakeBlock(50);
+  BlockCache cache(sample->size_bytes() + 100);
+  std::string key = BlockCache::MakeKey(1, 0);
+  cache.Insert(key, MakeBlock(50));
+  std::shared_ptr<Block> pinned = cache.Get(key);
+  ASSERT_NE(pinned, nullptr);
+  // Force eviction of the pinned block.
+  cache.Insert(BlockCache::MakeKey(1, 1), MakeBlock(50));
+  EXPECT_EQ(cache.Get(key), nullptr);
+  // Still usable through the pin.
+  auto it = pinned->NewIterator();
+  it->SeekToFirst();
+  EXPECT_TRUE(it->Valid());
+}
+
+}  // namespace
+}  // namespace authidx::storage

@@ -1,0 +1,164 @@
+#include "authidx/common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include "authidx/common/random.h"
+
+namespace authidx {
+namespace {
+
+TEST(FixedCodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed32(&buf, UINT32_MAX);
+  ASSERT_EQ(buf.size(), 16u);
+  EXPECT_EQ(DecodeFixed32(buf.data()), 0u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 4), 1u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 8), 0xDEADBEEFu);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 12), UINT32_MAX);
+}
+
+TEST(FixedCodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFULL);
+  PutFixed64(&buf, UINT64_MAX);
+  EXPECT_EQ(DecodeFixed64(buf.data()), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(DecodeFixed64(buf.data() + 8), UINT64_MAX);
+}
+
+TEST(FixedCodingTest, LittleEndianLayout) {
+  std::string buf;
+  PutFixed32(&buf, 0x04030201);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(VarintTest, KnownEncodedLengths) {
+  EXPECT_EQ(VarintLength32(0), 1);
+  EXPECT_EQ(VarintLength32(127), 1);
+  EXPECT_EQ(VarintLength32(128), 2);
+  EXPECT_EQ(VarintLength32(16383), 2);
+  EXPECT_EQ(VarintLength32(16384), 3);
+  EXPECT_EQ(VarintLength32(UINT32_MAX), 5);
+  EXPECT_EQ(VarintLength64(UINT64_MAX), 10);
+}
+
+TEST(VarintTest, RoundTripBoundaries) {
+  std::string buf;
+  const uint64_t values[] = {0,       1,          127,        128,
+                             16383,   16384,      UINT32_MAX, 1ull << 32,
+                             1ull << 63, UINT64_MAX};
+  for (uint64_t v : values) {
+    PutVarint64(&buf, v);
+  }
+  std::string_view input = buf;
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(&input, &got).ok());
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(VarintTest, Varint32RejectsOversizedValue) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t{UINT32_MAX} + 1);
+  std::string_view input = buf;
+  uint32_t v = 0;
+  EXPECT_TRUE(GetVarint32(&input, &v).IsCorruption());
+}
+
+TEST(VarintTest, TruncatedInputIsCorruption) {
+  std::string buf;
+  PutVarint64(&buf, 1u << 20);
+  std::string_view input = std::string_view(buf).substr(0, 1);
+  uint64_t v = 0;
+  EXPECT_TRUE(GetVarint64(&input, &v).IsCorruption());
+}
+
+TEST(VarintTest, AllContinuationBytesIsCorruption) {
+  std::string buf(11, '\x80');
+  std::string_view input = buf;
+  uint64_t v = 0;
+  EXPECT_TRUE(GetVarint64(&input, &v).IsCorruption());
+}
+
+TEST(LengthPrefixedTest, RoundTripIncludingEmptyAndBinary) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, "hello");
+  std::string binary("\x00\x01\xFF", 3);
+  PutLengthPrefixed(&buf, binary);
+  std::string_view input = buf;
+  std::string_view piece;
+  ASSERT_TRUE(GetLengthPrefixed(&input, &piece).ok());
+  EXPECT_EQ(piece, "");
+  ASSERT_TRUE(GetLengthPrefixed(&input, &piece).ok());
+  EXPECT_EQ(piece, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&input, &piece).ok());
+  EXPECT_EQ(piece, binary);
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(LengthPrefixedTest, TruncatedBodyIsCorruption) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello world");
+  buf.resize(buf.size() - 3);
+  std::string_view input = buf;
+  std::string_view piece;
+  EXPECT_TRUE(GetLengthPrefixed(&input, &piece).IsCorruption());
+}
+
+TEST(ZigZagTest, KnownMappings) {
+  EXPECT_EQ(ZigZagEncode64(0), 0u);
+  EXPECT_EQ(ZigZagEncode64(-1), 1u);
+  EXPECT_EQ(ZigZagEncode64(1), 2u);
+  EXPECT_EQ(ZigZagEncode64(-2), 3u);
+  EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(INT64_MIN)), INT64_MIN);
+  EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(INT64_MAX)), INT64_MAX);
+}
+
+// Property sweep: random values of mixed magnitude round-trip through
+// varint64, preserving stream framing across many values.
+class VarintPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintPropertyTest, RandomStreamRoundTrips) {
+  Random rng(GetParam());
+  std::vector<uint64_t> values;
+  std::string buf;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.Skewed(63);
+    values.push_back(v);
+    PutVarint64(&buf, v);
+  }
+  std::string_view input = buf;
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(&input, &got).ok());
+    ASSERT_EQ(got, v);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarintPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 0xABCDEF));
+
+// ZigZag round-trips for random signed values.
+class ZigZagPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZigZagPropertyTest, RoundTrips) {
+  Random rng(GetParam());
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Next64());
+    EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(v)), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZigZagPropertyTest, ::testing::Values(7, 99));
+
+}  // namespace
+}  // namespace authidx

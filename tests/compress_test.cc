@@ -1,0 +1,142 @@
+#include "authidx/common/compress.h"
+
+#include <gtest/gtest.h>
+
+#include "authidx/common/random.h"
+#include "authidx/workload/namegen.h"
+
+namespace authidx {
+namespace {
+
+std::string RoundTrip(std::string_view input) {
+  std::string compressed;
+  LzCompress(input, &compressed);
+  Result<std::string> out = LzDecompress(compressed);
+  EXPECT_TRUE(out.ok()) << out.status();
+  return out.ok() ? *out : std::string();
+}
+
+TEST(CompressTest, EmptyAndTiny) {
+  EXPECT_EQ(RoundTrip(""), "");
+  EXPECT_EQ(RoundTrip("a"), "a");
+  EXPECT_EQ(RoundTrip("abc"), "abc");
+  EXPECT_EQ(RoundTrip("abcd"), "abcd");
+}
+
+TEST(CompressTest, HighlyRepetitiveShrinksALot) {
+  std::string input(100000, 'x');
+  std::string compressed;
+  LzCompress(input, &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 50);
+  EXPECT_EQ(*LzDecompress(compressed), input);
+}
+
+TEST(CompressTest, OverlappingMatchRle) {
+  // "abab..." forces offset < match length (replicating copy).
+  std::string input;
+  for (int i = 0; i < 5000; ++i) {
+    input += "ab";
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+  std::string compressed;
+  LzCompress(input, &compressed);
+  EXPECT_LT(compressed.size(), 200u);
+}
+
+TEST(CompressTest, TypicalBlockContentCompresses) {
+  // Block-like content: prefix-shared keys and small values.
+  workload::NameGenerator gen(5);
+  std::string input;
+  for (int i = 0; i < 500; ++i) {
+    input += gen.NextAuthor().ToIndexForm();
+    input += '\t';
+    input += gen.NextTitle();
+    input += '\n';
+  }
+  std::string compressed;
+  LzCompress(input, &compressed);
+  EXPECT_LT(compressed.size(), input.size() * 3 / 4);
+  EXPECT_EQ(*LzDecompress(compressed), input);
+}
+
+TEST(CompressTest, IncompressibleDataExpandsBoundedly) {
+  Random rng(42);
+  std::string input;
+  for (int i = 0; i < 50000; ++i) {
+    input.push_back(static_cast<char>(rng.Next64()));
+  }
+  std::string compressed;
+  LzCompress(input, &compressed);
+  EXPECT_LE(compressed.size(), LzMaxCompressedSize(input.size()));
+  EXPECT_EQ(*LzDecompress(compressed), input);
+}
+
+TEST(CompressTest, LongLiteralRunsAndLongMatches) {
+  Random rng(7);
+  // 1000 random bytes (literals) + the same 1000 repeated 20x (match
+  // lengths far beyond the 15-nibble).
+  std::string chunk;
+  for (int i = 0; i < 1000; ++i) {
+    chunk.push_back(static_cast<char>(rng.Next64()));
+  }
+  std::string input = chunk;
+  for (int i = 0; i < 20; ++i) {
+    input += chunk;
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(CompressTest, TruncationIsCorruption) {
+  std::string input = "the quick brown fox the quick brown fox";
+  std::string compressed;
+  LzCompress(input, &compressed);
+  for (size_t len = 0; len < compressed.size(); ++len) {
+    Result<std::string> out =
+        LzDecompress(std::string_view(compressed).substr(0, len));
+    EXPECT_FALSE(out.ok()) << "accepted truncation at " << len;
+  }
+}
+
+TEST(CompressTest, CorruptHeaderRejected) {
+  // Declared size absurdly larger than any expansion of the payload.
+  std::string bogus;
+  bogus.push_back('\xFF');
+  bogus.push_back('\xFF');
+  bogus.push_back('\xFF');
+  bogus.push_back('\x7F');
+  bogus += "xx";
+  EXPECT_TRUE(LzDecompress(bogus).status().IsCorruption());
+}
+
+TEST(CompressTest, BadOffsetRejected) {
+  // Token demanding a match before the start of output.
+  std::string bogus;
+  bogus.push_back(8);     // Decompressed size 8.
+  bogus.push_back(0x04);  // 0 literals, match_len 4+4.
+  bogus.push_back(5);     // Offset 5 > produced 0 bytes.
+  bogus.push_back(0);
+  EXPECT_TRUE(LzDecompress(bogus).status().IsCorruption());
+}
+
+// Property: random strings over small alphabets (match-rich) and large
+// alphabets (literal-rich) always round-trip.
+class CompressPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressPropertyTest, RandomRoundTrips) {
+  int alphabet = GetParam();
+  Random rng(1000 + alphabet);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    size_t len = rng.Uniform(5000);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>('a' + rng.Uniform(alphabet)));
+    }
+    ASSERT_EQ(RoundTrip(input), input) << "alphabet " << alphabet;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, CompressPropertyTest,
+                         ::testing::Values(1, 2, 4, 16, 26));
+
+}  // namespace
+}  // namespace authidx

@@ -1,0 +1,121 @@
+#include "authidx/workload/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "authidx/workload/namegen.h"
+
+namespace authidx::workload {
+namespace {
+
+TEST(NameGeneratorTest, DeterministicPerSeed) {
+  NameGenerator a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextAuthor(), b.NextAuthor());
+    EXPECT_EQ(a.NextTitle(), b.NextTitle());
+  }
+  NameGenerator a2(7);
+  EXPECT_NE(a2.NextAuthor(), c.NextAuthor());
+}
+
+TEST(NameGeneratorTest, AuthorsHavePlausibleShape) {
+  NameGenerator names(99);
+  int students = 0, suffixes = 0;
+  for (int i = 0; i < 1000; ++i) {
+    AuthorName name = names.NextAuthor();
+    EXPECT_FALSE(name.surname.empty());
+    EXPECT_FALSE(name.given.empty());
+    students += name.student_material;
+    suffixes += !name.suffix.empty();
+  }
+  EXPECT_GT(students, 150);
+  EXPECT_LT(students, 400);
+  EXPECT_GT(suffixes, 30);
+  EXPECT_LT(suffixes, 200);
+}
+
+TEST(NameGeneratorTest, TitlesAreNonTrivial) {
+  NameGenerator names(3);
+  std::set<std::string> titles;
+  for (int i = 0; i < 200; ++i) {
+    std::string title = names.NextTitle();
+    EXPECT_GT(title.size(), 10u);
+    titles.insert(title);
+  }
+  EXPECT_GT(titles.size(), 100u);  // Diverse.
+}
+
+TEST(CorpusTest, DeterministicAndValid) {
+  CorpusOptions options;
+  options.entries = 2000;
+  options.authors = 300;
+  std::vector<Entry> a = GenerateCorpus(options);
+  std::vector<Entry> b = GenerateCorpus(options);
+  ASSERT_EQ(a.size(), 2000u);
+  EXPECT_EQ(a, b);
+  for (const Entry& entry : a) {
+    EXPECT_TRUE(ValidateEntry(entry).ok()) << entry.title;
+  }
+  options.seed = 999;
+  EXPECT_NE(GenerateCorpus(options), a);
+}
+
+TEST(CorpusTest, VolumeYearCoupling) {
+  CorpusOptions options;
+  options.entries = 3000;
+  options.first_volume = 69;
+  options.last_volume = 95;
+  options.first_year = 1966;
+  for (const Entry& entry : GenerateCorpus(options)) {
+    EXPECT_GE(entry.citation.volume, 69u);
+    EXPECT_LE(entry.citation.volume, 95u);
+    EXPECT_EQ(entry.citation.year - 1966,
+              entry.citation.volume - 69);  // One volume per year.
+  }
+}
+
+TEST(CorpusTest, AuthorProductivityIsSkewed) {
+  CorpusOptions options;
+  options.entries = 20000;
+  options.authors = 1000;
+  options.author_skew = 0.9;
+  std::map<std::string, size_t> per_author;
+  for (const Entry& entry : GenerateCorpus(options)) {
+    ++per_author[entry.author.GroupKey()];
+  }
+  size_t max_count = 0;
+  for (const auto& [author, count] : per_author) {
+    max_count = std::max(max_count, count);
+  }
+  double avg = 20000.0 / static_cast<double>(per_author.size());
+  // Zipf head: most productive author far above average.
+  EXPECT_GT(static_cast<double>(max_count), avg * 10);
+}
+
+TEST(CorpusTest, SomeEntriesHaveCoauthors) {
+  CorpusOptions options;
+  options.entries = 1000;
+  options.coauthor_one_in = 4;
+  size_t with_coauthors = 0;
+  for (const Entry& entry : GenerateCorpus(options)) {
+    with_coauthors += !entry.coauthors.empty();
+  }
+  EXPECT_GT(with_coauthors, 150u);
+  EXPECT_LT(with_coauthors, 400u);
+}
+
+TEST(CorpusTest, TinyCorpusEdgeCases) {
+  CorpusOptions options;
+  options.entries = 1;
+  options.authors = 1;
+  auto entries = GenerateCorpus(options);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(ValidateEntry(entries[0]).ok());
+  options.entries = 0;
+  EXPECT_TRUE(GenerateCorpus(options).empty());
+}
+
+}  // namespace
+}  // namespace authidx::workload

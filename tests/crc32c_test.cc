@@ -1,0 +1,54 @@
+#include "authidx/common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace authidx::crc32c {
+namespace {
+
+TEST(Crc32cTest, StandardVectors) {
+  // Canonical CRC-32C test vectors (RFC 3720 / iSCSI appendix).
+  EXPECT_EQ(Value(""), 0u);
+  EXPECT_EQ(Value("123456789"), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Value(zeros), 0x8A9136AAu);
+  std::string ffs(32, '\xff');
+  EXPECT_EQ(Value(ffs), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendMatchesWholeBufferHash) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Value(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t partial = Extend(0, data.data(), split);
+    partial = Extend(partial, data.data() + split, data.size() - split);
+    EXPECT_EQ(partial, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, UnalignedStartMatches) {
+  // Force different alignments of the same logical bytes.
+  std::string padded = "xyz123456789";
+  for (int offset = 0; offset < 3; ++offset) {
+    EXPECT_EQ(Extend(0, padded.data() + offset + (3 - offset - (3 - offset)),
+                     0),
+              0u);
+  }
+  EXPECT_EQ(Extend(0, padded.data() + 3, 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(Value("hello"), Value("hellp"));
+  EXPECT_NE(Value("hello"), Value("hello "));
+}
+
+TEST(Crc32cTest, MaskUnmaskRoundTrip) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu}) {
+    EXPECT_EQ(Unmask(Mask(crc)), crc);
+    EXPECT_NE(Mask(crc), crc);  // Masking must change the value.
+  }
+}
+
+}  // namespace
+}  // namespace authidx::crc32c

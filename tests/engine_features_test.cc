@@ -1,0 +1,167 @@
+// Tests for the storage-engine extensions: per-block compression and the
+// shared block cache (ablations measured in bench_ablation).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "authidx/common/strings.h"
+#include "authidx/storage/engine.h"
+
+namespace authidx::storage {
+namespace {
+
+class EngineFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/engine_feat_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<StorageEngine> Open(EngineOptions options = {}) {
+    auto engine = StorageEngine::Open(dir_, options);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    return std::move(engine).value();
+  }
+
+  void FillCompressible(StorageEngine* engine, int n) {
+    for (int i = 0; i < n; ++i) {
+      // Repetitive values compress extremely well.
+      ASSERT_TRUE(engine
+                      ->Put(StringPrintf("author/%06d/entry", i),
+                            std::string(200, 'a' + (i % 3)))
+                      .ok());
+    }
+  }
+
+  uint64_t TableBytes() {
+    uint64_t total = 0;
+    auto names = Env::Default()->ListDir(dir_);
+    EXPECT_TRUE(names.ok());
+    for (const auto& name : *names) {
+      if (name.size() > 4 && name.substr(name.size() - 4) == ".tbl") {
+        total += *Env::Default()->FileSize(dir_ + "/" + name);
+      }
+    }
+    return total;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(EngineFeaturesTest, CompressionShrinksTablesAndRoundTrips) {
+  uint64_t raw_bytes, compressed_bytes;
+  {
+    auto engine = Open();
+    FillCompressible(engine.get(), 5000);
+    ASSERT_TRUE(engine->Compact().ok());
+    raw_bytes = TableBytes();
+    ASSERT_TRUE(engine->Close().ok());
+  }
+  std::filesystem::remove_all(dir_);
+  {
+    EngineOptions options;
+    options.compress_blocks = true;
+    auto engine = Open(options);
+    FillCompressible(engine.get(), 5000);
+    ASSERT_TRUE(engine->Compact().ok());
+    compressed_bytes = TableBytes();
+    // Everything readable while compressed.
+    for (int i = 0; i < 5000; i += 317) {
+      auto hit = engine->Get(StringPrintf("author/%06d/entry", i));
+      ASSERT_TRUE(hit.ok()) << hit.status();
+      ASSERT_TRUE(hit->has_value()) << i;
+      EXPECT_EQ((*hit)->size(), 200u);
+    }
+    ASSERT_TRUE(engine->Close().ok());
+  }
+  EXPECT_LT(compressed_bytes, raw_bytes / 2)
+      << "raw=" << raw_bytes << " compressed=" << compressed_bytes;
+  // Reopen compressed store (options do not need to match: block type is
+  // self-describing).
+  auto engine = Open();
+  EXPECT_EQ((*engine->Get("author/000000/entry"))->size(), 200u);
+  // Full scan decodes every compressed block.
+  auto it = engine->NewIterator();
+  size_t count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    ++count;
+  }
+  EXPECT_TRUE(it->status().ok()) << it->status();
+  EXPECT_EQ(count, 5000u);
+}
+
+TEST_F(EngineFeaturesTest, MixedCompressedAndRawRuns) {
+  {
+    auto engine = Open();  // Raw.
+    FillCompressible(engine.get(), 1000);
+    ASSERT_TRUE(engine->Close().ok());
+  }
+  EngineOptions options;
+  options.compress_blocks = true;
+  auto engine = Open(options);
+  for (int i = 1000; i < 2000; ++i) {
+    ASSERT_TRUE(engine
+                    ->Put(StringPrintf("author/%06d/entry", i),
+                          std::string(200, 'z'))
+                    .ok());
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  // Reads span a raw run and a compressed run.
+  EXPECT_TRUE((*engine->Get("author/000500/entry")).has_value());
+  EXPECT_TRUE((*engine->Get("author/001500/entry")).has_value());
+  ASSERT_TRUE(engine->Compact().ok());
+  EXPECT_TRUE((*engine->Get("author/000500/entry")).has_value());
+  EXPECT_TRUE((*engine->Get("author/001500/entry")).has_value());
+}
+
+TEST_F(EngineFeaturesTest, BlockCacheServesRepeatedReads) {
+  EngineOptions options;
+  options.block_cache_bytes = 4 << 20;
+  auto engine = Open(options);
+  FillCompressible(engine.get(), 2000);
+  ASSERT_TRUE(engine->Compact().ok());
+  // First read warms the cache; repeats must hit.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 2000; i += 100) {
+      ASSERT_TRUE(
+          (*engine->Get(StringPrintf("author/%06d/entry", i))).has_value());
+    }
+  }
+  EXPECT_GT(engine->block_cache().hits(), engine->block_cache().misses());
+  EXPECT_GT(engine->block_cache().entry_count(), 0u);
+}
+
+TEST_F(EngineFeaturesTest, CacheDisabledStillCorrect) {
+  EngineOptions options;
+  options.block_cache_bytes = 0;
+  auto engine = Open(options);
+  FillCompressible(engine.get(), 1000);
+  ASSERT_TRUE(engine->Compact().ok());
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_TRUE((*engine->Get("author/000123/entry")).has_value());
+  }
+  EXPECT_EQ(engine->block_cache().hits(), 0u);
+}
+
+TEST_F(EngineFeaturesTest, CompactionInvalidatesDeadCacheEntries) {
+  EngineOptions options;
+  options.l0_compaction_trigger = 1000;
+  auto engine = Open(options);
+  FillCompressible(engine.get(), 1000);
+  ASSERT_TRUE(engine->Flush().ok());
+  // Warm the cache from the L0 file.
+  EXPECT_TRUE((*engine->Get("author/000001/entry")).has_value());
+  size_t warmed = engine->block_cache().entry_count();
+  EXPECT_GT(warmed, 0u);
+  ASSERT_TRUE(engine->Compact().ok());
+  // Old file's entries were purged; reads now repopulate from the new
+  // run and remain correct.
+  EXPECT_TRUE((*engine->Get("author/000001/entry")).has_value());
+  EXPECT_EQ((*engine->Get("author/000001/entry"))->size(), 200u);
+}
+
+}  // namespace
+}  // namespace authidx::storage

@@ -1,0 +1,309 @@
+#include "authidx/storage/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "authidx/common/random.h"
+#include "authidx/common/strings.h"
+
+namespace authidx::storage {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/engine_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<StorageEngine> Open(EngineOptions options = {}) {
+    auto engine = StorageEngine::Open(dir_, options);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    return std::move(engine).value();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(EngineTest, PutGetDeleteInMemtable) {
+  auto engine = Open();
+  ASSERT_TRUE(engine->Put("k1", "v1").ok());
+  ASSERT_TRUE(engine->Put("k2", "v2").ok());
+  auto hit = engine->Get("k1");
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(hit->has_value());
+  EXPECT_EQ(**hit, "v1");
+  ASSERT_TRUE(engine->Delete("k1").ok());
+  hit = engine->Get("k1");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_FALSE(hit->has_value());
+  EXPECT_FALSE((*engine->Get("missing")).has_value());
+}
+
+TEST_F(EngineTest, FlushMovesDataToTables) {
+  auto engine = Open();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine->Put(StringPrintf("key%04d", i),
+                            StringPrintf("val%d", i)).ok());
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  EXPECT_EQ(engine->stats().flushes, 1u);
+  EXPECT_EQ(engine->stats().l0_files, 1);
+  for (int i = 0; i < 100; i += 9) {
+    auto hit = engine->Get(StringPrintf("key%04d", i));
+    ASSERT_TRUE(hit.ok());
+    ASSERT_TRUE(hit->has_value());
+    EXPECT_EQ(**hit, StringPrintf("val%d", i));
+  }
+}
+
+TEST_F(EngineTest, TombstonesShadowFlushedData) {
+  auto engine = Open();
+  ASSERT_TRUE(engine->Put("doomed", "alive").ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_TRUE(engine->Delete("doomed").ok());
+  // Newer memtable tombstone shadows the table value.
+  EXPECT_FALSE((*engine->Get("doomed")).has_value());
+  // Still shadowed after the tombstone itself is flushed.
+  ASSERT_TRUE(engine->Flush().ok());
+  EXPECT_FALSE((*engine->Get("doomed")).has_value());
+  // And still gone after compaction drops the tombstone.
+  ASSERT_TRUE(engine->Compact().ok());
+  EXPECT_FALSE((*engine->Get("doomed")).has_value());
+}
+
+TEST_F(EngineTest, OverwriteAcrossFlushesKeepsNewest) {
+  auto engine = Open();
+  ASSERT_TRUE(engine->Put("k", "v1").ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_TRUE(engine->Put("k", "v2").ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_TRUE(engine->Put("k", "v3").ok());
+  EXPECT_EQ(**engine->Get("k"), "v3");
+  ASSERT_TRUE(engine->Compact().ok());
+  EXPECT_EQ(**engine->Get("k"), "v3");
+}
+
+TEST_F(EngineTest, ReopenRecoversFlushedAndWalData) {
+  {
+    auto engine = Open();
+    ASSERT_TRUE(engine->Put("flushed", "f").ok());
+    ASSERT_TRUE(engine->Flush().ok());
+    ASSERT_TRUE(engine->Put("in_wal_only", "w").ok());
+    ASSERT_TRUE(engine->Close().ok());
+  }
+  auto engine = Open();
+  EXPECT_EQ(**engine->Get("flushed"), "f");
+  EXPECT_EQ(**engine->Get("in_wal_only"), "w");
+}
+
+TEST_F(EngineTest, CrashRecoveryFromWalWithoutClose) {
+  {
+    EngineOptions options;
+    options.sync_writes = true;
+    auto engine = Open(options);
+    ASSERT_TRUE(engine->Put("durable", "yes").ok());
+    ASSERT_TRUE(engine->Delete("durable2").ok());
+    // Simulate crash: drop the engine without Close() having flushed...
+    // Close() in the destructor flushes, so instead copy the directory
+    // state mid-life. Easiest honest crash test: kill the WAL tail.
+    ASSERT_TRUE(engine->Put("torn", std::string(1000, 'x')).ok());
+    // Leak-free "crash": release without Close by moving out and
+    // abandoning—destructor runs Close; so emulate the crash by
+    // truncating the WAL after reopening below instead.
+    ASSERT_TRUE(engine->Close().ok());
+  }
+  // Damage: append garbage to the live WAL to emulate a torn write that
+  // a crash left behind.
+  {
+    Manifest manifest = *Manifest::Load(Env::Default(), dir_);
+    // After Close() the WAL is fresh/empty; write garbage into it.
+    std::string wal_path = WalFileName(dir_, manifest.wal_number);
+    std::ofstream f(wal_path, std::ios::binary | std::ios::app);
+    f << "garbage-torn-record";
+  }
+  auto engine = Open();
+  EXPECT_TRUE(engine->stats().wal_tail_corruption);
+  EXPECT_EQ(**engine->Get("durable"), "yes");
+  EXPECT_EQ((*engine->Get("torn"))->size(), 1000u);
+}
+
+TEST_F(EngineTest, WalReplayRecoversUnflushedWrites) {
+  // Write without Flush/Close-path interference by making a WAL by hand:
+  // open engine, write, then simulate crash by copying WAL aside before
+  // Close and restoring it after.
+  std::string wal_copy;
+  uint64_t wal_number;
+  {
+    EngineOptions options;
+    options.sync_writes = true;  // Records must reach the file to copy it.
+    auto engine = Open(options);
+    ASSERT_TRUE(engine->Put("a", "1").ok());
+    ASSERT_TRUE(engine->Put("b", "2").ok());
+    ASSERT_TRUE(engine->Delete("a").ok());
+    Manifest manifest = *Manifest::Load(Env::Default(), dir_);
+    wal_number = manifest.wal_number;
+    wal_copy = *Env::Default()->ReadFileToString(
+        WalFileName(dir_, wal_number));
+    ASSERT_TRUE(engine->Close().ok());
+  }
+  // Rewind the directory to the pre-Close state: restore the WAL and the
+  // manifest pointing at it, and remove the table the Close-flush wrote.
+  {
+    Manifest manifest = *Manifest::Load(Env::Default(), dir_);
+    for (const FileMeta& meta : manifest.files) {
+      ASSERT_TRUE(Env::Default()
+                      ->RemoveFile(TableFileName(dir_, meta.file_number))
+                      .ok());
+    }
+    manifest.files.clear();
+    manifest.wal_number = wal_number;
+    ASSERT_TRUE(manifest.Save(Env::Default(), dir_).ok());
+    ASSERT_TRUE(Env::Default()
+                    ->WriteStringToFileSync(WalFileName(dir_, wal_number),
+                                            wal_copy)
+                    .ok());
+  }
+  auto engine = Open();
+  EXPECT_EQ(engine->stats().wal_replayed_records, 3u);
+  EXPECT_FALSE((*engine->Get("a")).has_value());  // Tombstone replayed.
+  EXPECT_EQ(**engine->Get("b"), "2");
+}
+
+TEST_F(EngineTest, AutomaticFlushOnMemtableFull) {
+  EngineOptions options;
+  options.memtable_bytes = 64 * 1024;
+  auto engine = Open(options);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(engine->Put(StringPrintf("key%05d", i),
+                            std::string(100, 'v')).ok());
+  }
+  EXPECT_GT(engine->stats().flushes, 0u);
+  // Everything still readable across memtable + L0 (+ L1 after auto
+  // compaction).
+  for (int i = 0; i < 2000; i += 113) {
+    auto hit = engine->Get(StringPrintf("key%05d", i));
+    ASSERT_TRUE(hit.ok());
+    EXPECT_TRUE(hit->has_value()) << i;
+  }
+}
+
+TEST_F(EngineTest, CompactionDropsTombstonesAndMergesRuns) {
+  EngineOptions options;
+  options.l0_compaction_trigger = 100;  // Manual compaction only.
+  auto engine = Open(options);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = round * 100; i < (round + 1) * 100; ++i) {
+      ASSERT_TRUE(engine->Put(StringPrintf("key%05d", i), "v").ok());
+    }
+    ASSERT_TRUE(engine->Flush().ok());
+  }
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(engine->Delete(StringPrintf("key%05d", i)).ok());
+  }
+  ASSERT_TRUE(engine->Compact().ok());
+  EXPECT_EQ(engine->stats().l0_files, 0);
+  EXPECT_EQ(engine->stats().l1_files, 1);
+  // Deleted half gone, surviving half intact.
+  EXPECT_FALSE((*engine->Get("key00000")).has_value());
+  EXPECT_FALSE((*engine->Get("key00149")).has_value());
+  EXPECT_TRUE((*engine->Get("key00150")).has_value());
+  EXPECT_TRUE((*engine->Get("key00299")).has_value());
+  // The compacted table no longer carries the dead keys at all: count
+  // live entries via iterator.
+  auto it = engine->NewIterator();
+  int live = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    ++live;
+  }
+  EXPECT_EQ(live, 150);
+}
+
+TEST_F(EngineTest, IteratorMergesAllLevelsNewestWins) {
+  EngineOptions options;
+  options.l0_compaction_trigger = 100;
+  auto engine = Open(options);
+  ASSERT_TRUE(engine->Put("a", "old").ok());
+  ASSERT_TRUE(engine->Put("b", "keep").ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_TRUE(engine->Put("a", "new").ok());
+  ASSERT_TRUE(engine->Put("c", "mem").ok());
+  ASSERT_TRUE(engine->Delete("b").ok());
+  auto it = engine->NewIterator();
+  std::vector<std::pair<std::string, std::string>> seen;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    seen.emplace_back(std::string(it->key()), std::string(it->value()));
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], std::make_pair(std::string("a"), std::string("new")));
+  EXPECT_EQ(seen[1], std::make_pair(std::string("c"), std::string("mem")));
+}
+
+TEST_F(EngineTest, RandomizedModelCheckWithReopen) {
+  Random rng(2024);
+  std::map<std::string, std::string> model;
+  EngineOptions options;
+  options.memtable_bytes = 16 * 1024;  // Frequent flushes.
+  options.l0_compaction_trigger = 3;   // Frequent compactions.
+  {
+    auto engine = Open(options);
+    for (int op = 0; op < 5000; ++op) {
+      std::string key = StringPrintf("k%03llu",
+          static_cast<unsigned long long>(rng.Uniform(500)));
+      if (rng.OneIn(4)) {
+        ASSERT_TRUE(engine->Delete(key).ok());
+        model.erase(key);
+      } else {
+        std::string value = StringPrintf("v%llu",
+            static_cast<unsigned long long>(rng.Next64() % 1000));
+        ASSERT_TRUE(engine->Put(key, value).ok());
+        model[key] = value;
+      }
+      if (op % 1000 == 999) {
+        std::string probe = StringPrintf("k%03llu",
+            static_cast<unsigned long long>(rng.Uniform(500)));
+        auto hit = engine->Get(probe);
+        ASSERT_TRUE(hit.ok());
+        auto expected = model.find(probe);
+        ASSERT_EQ(hit->has_value(), expected != model.end()) << probe;
+        if (hit->has_value()) {
+          ASSERT_EQ(**hit, expected->second);
+        }
+      }
+    }
+    ASSERT_TRUE(engine->Close().ok());
+  }
+  // Reopen and verify the full model via iterator.
+  auto engine = Open(options);
+  auto it = engine->NewIterator();
+  auto expected = model.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++expected) {
+    ASSERT_NE(expected, model.end());
+    ASSERT_EQ(it->key(), expected->first);
+    ASSERT_EQ(it->value(), expected->second);
+  }
+  EXPECT_EQ(expected, model.end());
+}
+
+TEST_F(EngineTest, SyncWritesModeWorks) {
+  EngineOptions options;
+  options.sync_writes = true;
+  auto engine = Open(options);
+  ASSERT_TRUE(engine->Put("k", "v").ok());
+  EXPECT_EQ(**engine->Get("k"), "v");
+}
+
+TEST_F(EngineTest, UseAfterCloseFails) {
+  auto engine = Open();
+  ASSERT_TRUE(engine->Close().ok());
+  EXPECT_TRUE(engine->Put("k", "v").IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace authidx::storage

@@ -1,0 +1,129 @@
+#include "authidx/common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace authidx {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/env_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(Env::Default()->CreateDirIfMissing(dir_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(EnvTest, WriteReadRoundTrip) {
+  std::string path = dir_ + "/file";
+  {
+    auto file = Env::Default()->NewWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("hello ").ok());
+    ASSERT_TRUE((*file)->Append("world").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto contents = Env::Default()->ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello world");
+}
+
+TEST_F(EnvTest, LargeAppendsSpillBuffer) {
+  std::string path = dir_ + "/big";
+  std::string chunk(200 * 1024, 'x');  // Larger than the 64K buffer.
+  {
+    auto file = Env::Default()->NewWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("head-").ok());
+    ASSERT_TRUE((*file)->Append(chunk).ok());
+    ASSERT_TRUE((*file)->Append("-tail").ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto size = Env::Default()->FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, chunk.size() + 10);
+}
+
+TEST_F(EnvTest, RandomAccessReadsAtOffsets) {
+  std::string path = dir_ + "/ra";
+  ASSERT_TRUE(
+      Env::Default()->WriteStringToFileSync(path, "0123456789abcdef").ok());
+  auto file = Env::Default()->NewRandomAccessFile(path);
+  ASSERT_TRUE(file.ok());
+  std::string scratch;
+  std::string_view out;
+  ASSERT_TRUE((*file)->Read(4, 6, &scratch, &out).ok());
+  EXPECT_EQ(out, "456789");
+  // Reading past EOF returns the available prefix.
+  ASSERT_TRUE((*file)->Read(12, 100, &scratch, &out).ok());
+  EXPECT_EQ(out, "cdef");
+  ASSERT_TRUE((*file)->Read(100, 10, &scratch, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(*(*file)->Size(), 16u);
+}
+
+TEST_F(EnvTest, AtomicWriteReplacesExisting) {
+  std::string path = dir_ + "/atomic";
+  ASSERT_TRUE(Env::Default()->WriteStringToFileSync(path, "old").ok());
+  ASSERT_TRUE(Env::Default()->WriteStringToFileSync(path, "new-data").ok());
+  EXPECT_EQ(*Env::Default()->ReadFileToString(path), "new-data");
+  // No temp file left behind.
+  EXPECT_FALSE(Env::Default()->FileExists(path + ".tmp"));
+}
+
+TEST_F(EnvTest, FileOpsAndErrors) {
+  std::string path = dir_ + "/ops";
+  EXPECT_FALSE(Env::Default()->FileExists(path));
+  EXPECT_TRUE(
+      Env::Default()->ReadFileToString(path).status().IsNotFound());
+  EXPECT_TRUE(Env::Default()->RemoveFile(path).IsNotFound());
+  ASSERT_TRUE(Env::Default()->WriteStringToFileSync(path, "x").ok());
+  EXPECT_TRUE(Env::Default()->FileExists(path));
+  ASSERT_TRUE(Env::Default()->RenameFile(path, path + "2").ok());
+  EXPECT_FALSE(Env::Default()->FileExists(path));
+  EXPECT_TRUE(Env::Default()->FileExists(path + "2"));
+  ASSERT_TRUE(Env::Default()->RemoveFile(path + "2").ok());
+}
+
+TEST_F(EnvTest, ListDirSkipsDotEntries) {
+  ASSERT_TRUE(Env::Default()->WriteStringToFileSync(dir_ + "/a", "1").ok());
+  ASSERT_TRUE(Env::Default()->WriteStringToFileSync(dir_ + "/b", "2").ok());
+  auto names = Env::Default()->ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 2u);
+  EXPECT_TRUE(Env::Default()->ListDir(dir_ + "/absent").status().IsNotFound());
+}
+
+TEST_F(EnvTest, CreateDirIfMissingIsIdempotent) {
+  std::string sub = dir_ + "/sub";
+  ASSERT_TRUE(Env::Default()->CreateDirIfMissing(sub).ok());
+  ASSERT_TRUE(Env::Default()->CreateDirIfMissing(sub).ok());
+}
+
+TEST_F(EnvTest, AppendAfterCloseFails) {
+  auto file = Env::Default()->NewWritableFile(dir_ + "/closed");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_TRUE((*file)->Append("x").IsFailedPrecondition());
+  EXPECT_TRUE((*file)->Close().ok());  // Idempotent.
+}
+
+TEST_F(EnvTest, BinaryContentPreserved) {
+  std::string path = dir_ + "/bin";
+  std::string data;
+  for (int i = 0; i < 256; ++i) {
+    data.push_back(static_cast<char>(i));
+  }
+  ASSERT_TRUE(Env::Default()->WriteStringToFileSync(path, data).ok());
+  EXPECT_EQ(*Env::Default()->ReadFileToString(path), data);
+}
+
+}  // namespace
+}  // namespace authidx

@@ -1,0 +1,100 @@
+#include "authidx/format/export.h"
+
+#include <gtest/gtest.h>
+
+#include "authidx/workload/sample_data.h"
+
+namespace authidx::format {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsUntouched) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape(""), "");
+  EXPECT_EQ(CsvEscape("with space"), "with space");
+}
+
+TEST(CsvEscapeTest, SpecialsQuoted) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(JsonEscapeTest, Escapes) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("q\"b\\"), "q\\\"b\\\\");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+  // UTF-8 passthrough.
+  EXPECT_EQ(JsonEscape("Dvořák"), "Dvořák");
+}
+
+std::unique_ptr<core::AuthorIndex> SampleCatalog() {
+  auto entries = authidx::workload::LoadSampleEntries();
+  EXPECT_TRUE(entries.ok());
+  auto catalog = core::AuthorIndex::Create();
+  EXPECT_TRUE(catalog->AddAll(std::move(entries).value()).ok());
+  return catalog;
+}
+
+TEST(CsvExportTest, HeaderAndRowCount) {
+  auto catalog = SampleCatalog();
+  std::string csv = CatalogToCsv(*catalog);
+  size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, catalog->entry_count() + 1);  // Header + rows.
+  EXPECT_EQ(csv.substr(0, 7), "surname");
+  // Titles containing commas are quoted; look for the Ashdown entry.
+  EXPECT_NE(csv.find("\"Drugs, Ideology, and the Deconstitutionalization "
+                     "of Criminal Procedure\""),
+            std::string::npos);
+}
+
+TEST(CsvExportTest, StudentFlagAndCitationsPresent) {
+  auto catalog = SampleCatalog();
+  std::string csv = CatalogToCsv(*catalog);
+  EXPECT_NE(csv.find("Abdalla,Tarek F.,,true"), std::string::npos);
+  EXPECT_NE(csv.find(",95,691,1993,"), std::string::npos);
+}
+
+TEST(JsonExportTest, WellFormedArrayWithAllEntries) {
+  auto catalog = SampleCatalog();
+  std::string json = CatalogToJson(*catalog);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  size_t objects = 0;
+  size_t pos = 0;
+  while ((pos = json.find("\"surname\":", pos)) != std::string::npos) {
+    ++objects;
+    pos += 1;
+  }
+  EXPECT_EQ(objects, catalog->entry_count());
+  // Balanced braces/brackets as a cheap well-formedness check (titles in
+  // the sample contain no braces).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(JsonExportTest, QuotesInTitlesEscaped) {
+  auto catalog = SampleCatalog();
+  std::string json = CatalogToJson(*catalog);
+  // The Archibald title contains quoted words in the source.
+  EXPECT_NE(json.find("\\\"Nonproduction\\\""), std::string::npos);
+}
+
+TEST(JsonExportTest, CoauthorsArrayPresentOnlyWhenNonEmpty) {
+  auto catalog = SampleCatalog();
+  std::string json = CatalogToJson(*catalog);
+  EXPECT_NE(json.find("\"coauthors\":[\"Lewin, Jeff L.\""),
+            std::string::npos);
+}
+
+TEST(ExportTest, EmptyCatalog) {
+  auto catalog = core::AuthorIndex::Create();
+  std::string csv = CatalogToCsv(*catalog);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);  // Header only.
+  EXPECT_EQ(CatalogToJson(*catalog), "[\n]\n");
+}
+
+}  // namespace
+}  // namespace authidx::format

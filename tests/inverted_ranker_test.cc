@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "authidx/index/inverted.h"
+#include "authidx/index/ranker.h"
+#include "authidx/text/stem.h"
+#include "authidx/text/tokenize.h"
+
+namespace authidx {
+namespace {
+
+InvertedIndex BuildSmallIndex() {
+  InvertedIndex index;
+  index.AddDocument(0, text::Tokenize("Strip Mining in West Virginia"));
+  index.AddDocument(1, text::Tokenize("Coal Mining Safety Regulation"));
+  index.AddDocument(2, text::Tokenize("The Law of Coal, Oil and Gas"));
+  index.AddDocument(3, text::Tokenize("Mining Mining Mining"));  // tf=3.
+  index.AddDocument(4, text::Tokenize("Comparative Negligence"));
+  return index;
+}
+
+TEST(InvertedTest, DocFreqAndPostings) {
+  InvertedIndex index = BuildSmallIndex();
+  std::string mine = text::PorterStem("mining");
+  EXPECT_EQ(index.DocFreq(mine), 3u);
+  EXPECT_EQ(index.DocFreq("coal"), 2u);
+  EXPECT_EQ(index.DocFreq("nonexistent"), 0u);
+  EXPECT_EQ(index.GetDocs(mine), (std::vector<EntryId>{0, 1, 3}));
+  auto postings = index.GetPostings(mine);
+  ASSERT_EQ(postings.size(), 3u);
+  EXPECT_EQ(postings[2].doc, 3u);
+  EXPECT_EQ(postings[2].freq, 3u);  // Repeated token counted.
+  EXPECT_EQ(postings[0].freq, 1u);
+}
+
+TEST(InvertedTest, CountersAndLengths) {
+  InvertedIndex index = BuildSmallIndex();
+  EXPECT_EQ(index.doc_count(), 5u);
+  EXPECT_GT(index.term_count(), 5u);
+  EXPECT_EQ(index.DocLength(3), 3u);
+  EXPECT_EQ(index.DocLength(999), 0u);
+  EXPECT_GT(index.total_tokens(), 10u);
+  EXPECT_GT(index.CompressedBytes(), 0u);
+}
+
+TEST(InvertedTest, OutOfOrderDocRejected) {
+  InvertedIndex index;
+  EXPECT_TRUE(index.AddDocument(5, {"a"}));
+  EXPECT_FALSE(index.AddDocument(3, {"b"}));
+  EXPECT_TRUE(index.AddDocument(5, {"c"}));  // Equal id allowed.
+  EXPECT_TRUE(index.AddDocument(9, {"d"}));
+}
+
+TEST(InvertedTest, UnknownTermIsEmptyNotError) {
+  InvertedIndex index = BuildSmallIndex();
+  EXPECT_TRUE(index.GetDocs("zzz").empty());
+  EXPECT_TRUE(index.GetPostings("zzz").empty());
+}
+
+TEST(InvertedTest, MatchesBruteForceOverCorpus) {
+  // Index 200 two-term docs; every term's postings must equal the
+  // brute-force scan.
+  InvertedIndex index;
+  std::vector<std::vector<std::string>> docs;
+  for (EntryId i = 0; i < 200; ++i) {
+    std::vector<std::string> tokens = {
+        "t" + std::to_string(i % 7), "t" + std::to_string(i % 13)};
+    index.AddDocument(i, tokens);
+    docs.push_back(tokens);
+  }
+  for (int t = 0; t < 13; ++t) {
+    std::string term = "t" + std::to_string(t);
+    std::vector<EntryId> expected;
+    for (EntryId i = 0; i < 200; ++i) {
+      const auto& tokens = docs[i];
+      if (std::find(tokens.begin(), tokens.end(), term) != tokens.end()) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(index.GetDocs(term), expected) << term;
+  }
+}
+
+TEST(RankerTest, EmptyInputs) {
+  InvertedIndex index = BuildSmallIndex();
+  EXPECT_TRUE(RankBm25(index, {"coal"}, 0).empty());
+  EXPECT_TRUE(RankBm25(index, {}, 10).empty());
+  EXPECT_TRUE(RankBm25(InvertedIndex(), {"coal"}, 10).empty());
+  EXPECT_TRUE(RankBm25(index, {"unknownterm"}, 10).empty());
+}
+
+TEST(RankerTest, HigherTfRanksHigherForEqualLengthDocs) {
+  InvertedIndex index;
+  index.AddDocument(0, {"coal", "mine", "law"});
+  index.AddDocument(1, {"coal", "coal", "coal"});
+  index.AddDocument(2, {"tax", "law", "act"});
+  auto ranked = RankBm25(index, {"coal"}, 10);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].doc, 1u);  // tf 3 beats tf 1.
+  EXPECT_GT(ranked[0].score, ranked[1].score);
+}
+
+TEST(RankerTest, RareTermsOutweighCommonOnes) {
+  InvertedIndex index;
+  // "common" in every doc; "rare" only in doc 7.
+  for (EntryId i = 0; i < 20; ++i) {
+    std::vector<std::string> tokens = {"common", "filler"};
+    if (i == 7) {
+      tokens.push_back("rare");
+    }
+    index.AddDocument(i, tokens);
+  }
+  auto ranked = RankBm25(index, {"common", "rare"}, 20);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].doc, 7u);  // The rare-term doc dominates.
+}
+
+TEST(RankerTest, TopKTruncatesAndOrdersDeterministically) {
+  InvertedIndex index;
+  for (EntryId i = 0; i < 50; ++i) {
+    index.AddDocument(i, {"same", "tokens"});
+  }
+  auto ranked = RankBm25(index, {"same"}, 5);
+  ASSERT_EQ(ranked.size(), 5u);
+  // Identical scores: doc id ascending breaks ties.
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i].doc, i);
+  }
+}
+
+TEST(RankerTest, LengthNormalizationPrefersShorterDocs) {
+  InvertedIndex index;
+  std::vector<std::string> shortdoc = {"coal"};
+  std::vector<std::string> longdoc = {"coal", "a", "b", "c", "d",
+                                      "e",    "f", "g", "h", "i"};
+  index.AddDocument(0, longdoc);
+  index.AddDocument(1, shortdoc);
+  auto ranked = RankBm25(index, {"coal"}, 2);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].doc, 1u);
+}
+
+}  // namespace
+}  // namespace authidx

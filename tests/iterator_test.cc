@@ -1,0 +1,142 @@
+#include "authidx/storage/iterator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace authidx::storage {
+namespace {
+
+// Simple in-memory iterator over a sorted vector, for driving the
+// merging iterator in isolation.
+class VectorIterator final : public Iterator {
+ public:
+  explicit VectorIterator(
+      std::vector<std::pair<std::string, std::string>> data)
+      : data_(std::move(data)) {}
+
+  bool Valid() const override { return pos_ < data_.size(); }
+  void SeekToFirst() override { pos_ = 0; }
+  void Seek(std::string_view target) override {
+    pos_ = 0;
+    while (pos_ < data_.size() && data_[pos_].first < target) {
+      ++pos_;
+    }
+  }
+  void Next() override { ++pos_; }
+  std::string_view key() const override { return data_[pos_].first; }
+  std::string_view value() const override { return data_[pos_].second; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> data_;
+  size_t pos_ = 0;
+};
+
+std::unique_ptr<Iterator> Vec(
+    std::vector<std::pair<std::string, std::string>> data) {
+  return std::make_unique<VectorIterator>(std::move(data));
+}
+
+std::vector<std::pair<std::string, std::string>> Drain(Iterator* it) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    out.emplace_back(std::string(it->key()), std::string(it->value()));
+  }
+  return out;
+}
+
+TEST(MergingIteratorTest, InterleavedStreams) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(Vec({{"a", "1"}, {"c", "3"}, {"e", "5"}}));
+  children.push_back(Vec({{"b", "2"}, {"d", "4"}}));
+  auto merged = NewMergingIterator(std::move(children));
+  EXPECT_EQ(Drain(merged.get()),
+            (std::vector<std::pair<std::string, std::string>>{
+                {"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"}, {"e", "5"}}));
+  EXPECT_TRUE(merged->status().ok());
+}
+
+TEST(MergingIteratorTest, EarlierChildWinsOnDuplicates) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(Vec({{"k", "newest"}, {"z", "n"}}));
+  children.push_back(Vec({{"k", "middle"}, {"m", "m"}}));
+  children.push_back(Vec({{"a", "o"}, {"k", "oldest"}}));
+  auto merged = NewMergingIterator(std::move(children));
+  auto out = Drain(merged.get());
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], std::make_pair(std::string("a"), std::string("o")));
+  EXPECT_EQ(out[1], std::make_pair(std::string("k"), std::string("newest")));
+  EXPECT_EQ(out[2], std::make_pair(std::string("m"), std::string("m")));
+  EXPECT_EQ(out[3], std::make_pair(std::string("z"), std::string("n")));
+}
+
+TEST(MergingIteratorTest, DuplicateInAllChildrenEmittedOnce) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(Vec({{"x", "1"}}));
+  children.push_back(Vec({{"x", "2"}}));
+  children.push_back(Vec({{"x", "3"}}));
+  auto merged = NewMergingIterator(std::move(children));
+  auto out = Drain(merged.get());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, "1");
+}
+
+TEST(MergingIteratorTest, EmptyChildrenAndEmptySet) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(Vec({}));
+  children.push_back(Vec({{"only", "v"}}));
+  children.push_back(Vec({}));
+  auto merged = NewMergingIterator(std::move(children));
+  auto out = Drain(merged.get());
+  ASSERT_EQ(out.size(), 1u);
+
+  auto empty = NewMergingIterator({});
+  empty->SeekToFirst();
+  EXPECT_FALSE(empty->Valid());
+}
+
+TEST(MergingIteratorTest, SeekLandsOnMergeOrder) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(Vec({{"b", "1"}, {"f", "1"}}));
+  children.push_back(Vec({{"d", "2"}, {"f", "2"}, {"h", "2"}}));
+  auto merged = NewMergingIterator(std::move(children));
+  merged->Seek("c");
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->key(), "d");
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->key(), "f");
+  EXPECT_EQ(merged->value(), "1");  // First child wins.
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->key(), "h");
+  merged->Next();
+  EXPECT_FALSE(merged->Valid());
+  merged->Seek("zzz");
+  EXPECT_FALSE(merged->Valid());
+}
+
+TEST(ErrorIteratorTest, CarriesStatusAndStaysInvalid) {
+  auto it = NewErrorIterator(Status::Corruption("broken table"));
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+  it->Seek("k");
+  EXPECT_FALSE(it->Valid());
+  EXPECT_TRUE(it->status().IsCorruption());
+  EXPECT_EQ(it->status().message(), "broken table");
+}
+
+TEST(MergingIteratorTest, ErrorChildPropagatesStatus) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(Vec({{"a", "1"}}));
+  children.push_back(NewErrorIterator(Status::IOError("disk gone")));
+  auto merged = NewMergingIterator(std::move(children));
+  auto out = Drain(merged.get());  // Healthy child still drains.
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(merged->status().IsIOError());
+}
+
+}  // namespace
+}  // namespace authidx::storage

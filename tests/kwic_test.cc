@@ -1,0 +1,126 @@
+#include "authidx/format/kwic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "authidx/parse/tsv.h"
+#include "authidx/text/collate.h"
+#include "authidx/workload/sample_data.h"
+
+namespace authidx::format {
+namespace {
+
+std::unique_ptr<core::AuthorIndex> SmallCatalog() {
+  const char* tsv =
+      "Minow, Martha\tAll in the Family\t95:275 (1992)\n"
+      "Lewin, Jeff L.\tThe Silent Revolution in Nuisance Law\t92:235 (1989)\n"
+      "Olson, Dale P.\tThin Copyrights\t95:147 (1992)\n";
+  auto entries = ParseTsv(tsv);
+  EXPECT_TRUE(entries.ok());
+  auto catalog = core::AuthorIndex::Create();
+  EXPECT_TRUE(catalog->AddAll(std::move(entries).value()).ok());
+  return catalog;
+}
+
+TEST(KwicTest, EveryContentWordBecomesALine) {
+  auto catalog = SmallCatalog();
+  auto lines = BuildKwicIndex(*catalog);
+  // Content words: all, family | silent, revolution, nuisance, law |
+  // thin, copyrights. ("in", "the" are stopwords/short.)
+  std::vector<std::string> keywords;
+  for (const auto& line : lines) {
+    keywords.push_back(line.keyword);
+  }
+  EXPECT_EQ(keywords,
+            (std::vector<std::string>{"all", "copyrights", "family", "law",
+                                      "nuisance", "revolution", "silent",
+                                      "thin"}));
+}
+
+TEST(KwicTest, KeywordsSortedByCollation) {
+  auto catalog = SmallCatalog();
+  auto lines = BuildKwicIndex(*catalog);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_LE(text::Compare(lines[i - 1].keyword, lines[i].keyword), 0);
+  }
+}
+
+TEST(KwicTest, KeywordIsCapitalizedWithContext) {
+  auto catalog = SmallCatalog();
+  KwicOptions options;
+  auto lines = BuildKwicIndex(*catalog, options);
+  // Find the "revolution" line: left context ends with "The Silent",
+  // keyword upcased, right context follows.
+  bool found = false;
+  for (const auto& line : lines) {
+    if (line.keyword == "revolution") {
+      found = true;
+      EXPECT_NE(line.text.find("The Silent REVOLUTION in Nuisance"),
+                std::string::npos)
+          << line.text;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(KwicTest, ContextRespectsWidths) {
+  auto catalog = SmallCatalog();
+  KwicOptions options;
+  options.left_width = 10;
+  options.right_width = 12;
+  for (const auto& line : BuildKwicIndex(*catalog, options)) {
+    EXPECT_LE(line.text.size(), options.left_width + 1 + options.right_width)
+        << line.text;
+    // Left part is right-aligned: the keyword column starts at
+    // left_width + 1.
+    EXPECT_GE(line.text.size(), options.left_width + 1);
+  }
+}
+
+TEST(KwicTest, MinKeywordLengthFilters) {
+  auto catalog = SmallCatalog();
+  KwicOptions options;
+  options.min_keyword_length = 7;
+  auto lines = BuildKwicIndex(*catalog, options);
+  for (const auto& line : lines) {
+    EXPECT_GE(line.keyword.size(), 7u);
+  }
+  EXPECT_FALSE(lines.empty());  // "copyrights", "revolution", "nuisance".
+}
+
+TEST(KwicTest, RenderedIndexCarriesCitations) {
+  auto catalog = SmallCatalog();
+  std::string rendered = KwicIndexToString(*catalog);
+  EXPECT_NE(rendered.find("95:147 (1992)"), std::string::npos);
+  EXPECT_NE(rendered.find("92:235 (1989)"), std::string::npos);
+  // One line per KWIC entry.
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(rendered.begin(), rendered.end(), '\n')),
+            BuildKwicIndex(*catalog).size());
+}
+
+TEST(KwicTest, SampleCorpusScale) {
+  auto entries = authidx::workload::LoadSampleEntries();
+  ASSERT_TRUE(entries.ok());
+  auto catalog = core::AuthorIndex::Create();
+  ASSERT_TRUE(catalog->AddAll(std::move(entries).value()).ok());
+  auto lines = BuildKwicIndex(*catalog);
+  // Far more keyword lines than entries (titles average ~8 words).
+  EXPECT_GT(lines.size(), catalog->entry_count() * 3);
+  // "coal" appears in many titles of the sample.
+  size_t coal_lines = 0;
+  for (const auto& line : lines) {
+    coal_lines += (line.keyword == "coal");
+  }
+  EXPECT_GE(coal_lines, 5u);
+}
+
+TEST(KwicTest, EmptyCatalog) {
+  auto catalog = core::AuthorIndex::Create();
+  EXPECT_TRUE(BuildKwicIndex(*catalog).empty());
+  EXPECT_EQ(KwicIndexToString(*catalog), "");
+}
+
+}  // namespace
+}  // namespace authidx::format

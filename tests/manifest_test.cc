@@ -1,0 +1,99 @@
+#include "authidx/storage/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace authidx::storage {
+namespace {
+
+Manifest MakeManifest() {
+  Manifest manifest;
+  manifest.next_file_number = 42;
+  manifest.wal_number = 17;
+  manifest.files.push_back(
+      FileMeta{3, 0, 100, "aaa", "mmm"});
+  manifest.files.push_back(
+      FileMeta{7, 0, 250, std::string("b\0in", 4), "zzz"});
+  manifest.files.push_back(FileMeta{5, 1, 9000, "a", "z"});
+  return manifest;
+}
+
+TEST(ManifestTest, EncodeDecodeRoundTrip) {
+  Manifest manifest = MakeManifest();
+  Result<Manifest> decoded = Manifest::Decode(manifest.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->next_file_number, 42u);
+  EXPECT_EQ(decoded->wal_number, 17u);
+  ASSERT_EQ(decoded->files.size(), 3u);
+  EXPECT_EQ(decoded->files[0], manifest.files[0]);
+  EXPECT_EQ(decoded->files[1], manifest.files[1]);  // Binary key intact.
+  EXPECT_EQ(decoded->files[2], manifest.files[2]);
+}
+
+TEST(ManifestTest, EmptyManifestRoundTrips) {
+  Manifest manifest;
+  Result<Manifest> decoded = Manifest::Decode(manifest.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->files.empty());
+  EXPECT_EQ(decoded->next_file_number, 1u);
+}
+
+TEST(ManifestTest, CrcDetectsEveryByteFlip) {
+  std::string encoded = MakeManifest().Encode();
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    std::string damaged = encoded;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x01);
+    Result<Manifest> decoded = Manifest::Decode(damaged);
+    EXPECT_FALSE(decoded.ok()) << "flip at " << i << " accepted";
+  }
+}
+
+TEST(ManifestTest, TruncationRejected) {
+  std::string encoded = MakeManifest().Encode();
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_FALSE(Manifest::Decode(encoded.substr(0, len)).ok()) << len;
+  }
+}
+
+TEST(ManifestTest, LevelFilesOrdering) {
+  Manifest manifest = MakeManifest();
+  auto l0 = manifest.LevelFiles(0);
+  ASSERT_EQ(l0.size(), 2u);
+  EXPECT_EQ(l0[0].file_number, 7u);  // Newest (highest number) first.
+  EXPECT_EQ(l0[1].file_number, 3u);
+  auto l1 = manifest.LevelFiles(1);
+  ASSERT_EQ(l1.size(), 1u);
+  EXPECT_EQ(l1[0].file_number, 5u);
+  EXPECT_TRUE(manifest.LevelFiles(2).empty());
+}
+
+TEST(ManifestTest, SaveLoadThroughFilesystem) {
+  std::string dir = ::testing::TempDir() + "/manifest_test_saveload";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  Manifest manifest = MakeManifest();
+  ASSERT_TRUE(manifest.Save(Env::Default(), dir).ok());
+  Result<Manifest> loaded = Manifest::Load(Env::Default(), dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->files.size(), 3u);
+  EXPECT_EQ(loaded->wal_number, 17u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ManifestTest, LoadMissingIsNotFound) {
+  std::string dir = ::testing::TempDir() + "/manifest_test_missing";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  EXPECT_TRUE(Manifest::Load(Env::Default(), dir).status().IsNotFound());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ManifestTest, FileNameHelpers) {
+  EXPECT_EQ(TableFileName("/db", 7), "/db/000007.tbl");
+  EXPECT_EQ(WalFileName("/db", 123456), "/db/123456.wal");
+  EXPECT_EQ(ManifestFileName("/db"), "/db/MANIFEST");
+}
+
+}  // namespace
+}  // namespace authidx::storage

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "authidx/parse/citation.h"
+#include "authidx/parse/name.h"
+#include "authidx/parse/tsv.h"
+#include "authidx/workload/sample_data.h"
+
+namespace authidx {
+namespace {
+
+TEST(CitationParseTest, SourceDocumentForms) {
+  Result<Citation> c = ParseCitation("95:691 (1993)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, (Citation{95, 691, 1993}));
+
+  EXPECT_EQ(*ParseCitation("69:1 (1966)"), (Citation{69, 1, 1966}));
+  EXPECT_EQ(*ParseCitation("  82:1241 (1980)  "), (Citation{82, 1241, 1980}));
+  EXPECT_EQ(*ParseCitation("91:973(1989)"), (Citation{91, 973, 1989}));
+  EXPECT_EQ(*ParseCitation("91:973 ( 1989 )"), (Citation{91, 973, 1989}));
+}
+
+TEST(CitationParseTest, Rejections) {
+  EXPECT_FALSE(ParseCitation("").ok());
+  EXPECT_FALSE(ParseCitation("95:691").ok());
+  EXPECT_FALSE(ParseCitation("95-691 (1993)").ok());
+  EXPECT_FALSE(ParseCitation("95:691 1993").ok());
+  EXPECT_FALSE(ParseCitation("95:691 (1993) extra").ok());
+  EXPECT_FALSE(ParseCitation("vol:691 (1993)").ok());
+  EXPECT_FALSE(ParseCitation("95:691 (1993").ok());
+}
+
+TEST(NameParseTest, SurnameGiven) {
+  Result<AuthorName> n = ParseAuthorName("Minow, Martha");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->surname, "Minow");
+  EXPECT_EQ(n->given, "Martha");
+  EXPECT_TRUE(n->suffix.empty());
+  EXPECT_FALSE(n->student_material);
+}
+
+TEST(NameParseTest, StudentAsterisk) {
+  Result<AuthorName> n = ParseAuthorName("Abdalla, Tarek F.*");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->surname, "Abdalla");
+  EXPECT_EQ(n->given, "Tarek F.");
+  EXPECT_TRUE(n->student_material);
+}
+
+TEST(NameParseTest, GenerationalSuffixes) {
+  Result<AuthorName> n = ParseAuthorName("Arceneaux, Webster J., III");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->suffix, "III");
+  EXPECT_EQ(n->given, "Webster J.");
+
+  n = ParseAuthorName("Bean, Ralph J., Jr.");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->suffix, "Jr.");
+
+  n = ParseAuthorName("Rockefeller, John D., IV*");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->suffix, "IV");
+  EXPECT_TRUE(n->student_material);
+}
+
+TEST(NameParseTest, HonorificsStayInGiven) {
+  Result<AuthorName> n = ParseAuthorName("Byrd, Hon. Robert C.");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->surname, "Byrd");
+  EXPECT_EQ(n->given, "Hon. Robert C.");
+  EXPECT_TRUE(n->suffix.empty());
+}
+
+TEST(NameParseTest, SurnameOnlyAndRejections) {
+  Result<AuthorName> n = ParseAuthorName("Cox");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->surname, "Cox");
+  EXPECT_TRUE(n->given.empty());
+
+  EXPECT_FALSE(ParseAuthorName("").ok());
+  EXPECT_FALSE(ParseAuthorName("*").ok());
+  EXPECT_FALSE(ParseAuthorName(", Martha").ok());
+}
+
+TEST(NameParseTest, RoundTripThroughIndexForm) {
+  const char* cases[] = {
+      "Minow, Martha",
+      "Abdalla, Tarek F.*",
+      "Arceneaux, Webster J., III",
+      "Bean, Ralph J., Jr.",
+      "Cox",
+      "Byrd, Hon. Robert C.",
+  };
+  for (const char* text : cases) {
+    Result<AuthorName> n = ParseAuthorName(text);
+    ASSERT_TRUE(n.ok()) << text;
+    EXPECT_EQ(n->ToIndexForm(), text);
+  }
+}
+
+TEST(TsvTest, LineRoundTrip) {
+  Entry entry;
+  entry.author = {"Lewin", "Jeff L.", "", false};
+  entry.title = "The Silent Revolution in West Virginia's Law of Nuisance";
+  entry.citation = {92, 235, 1989};
+  entry.coauthors = {"Peng, Syd S.", "Ameri, Samuel J."};
+  std::string line = EntryToTsvLine(entry);
+  Result<Entry> parsed = ParseTsvLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, entry);
+}
+
+TEST(TsvTest, DocumentRoundTripWithCommentsAndBlanks) {
+  std::string doc =
+      "# comment line\n"
+      "\n"
+      "Minow, Martha\tAll in the Family\t95:275 (1992)\n"
+      "\r\n"
+      "Cox, Archibald\tEthics in Government\t94:281 (1991)\tEllis, Larry R.\n";
+  Result<std::vector<Entry>> entries = ParseTsv(doc);
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].author.surname, "Minow");
+  EXPECT_EQ((*entries)[1].coauthors,
+            std::vector<std::string>{"Ellis, Larry R."});
+}
+
+TEST(TsvTest, ErrorsCarryLineNumbers) {
+  std::string doc =
+      "Minow, Martha\tAll in the Family\t95:275 (1992)\n"
+      "broken line without tabs\n";
+  Result<std::vector<Entry>> entries = ParseTsv(doc);
+  ASSERT_FALSE(entries.ok());
+  EXPECT_NE(entries.status().message().find("line 2"), std::string::npos)
+      << entries.status();
+}
+
+TEST(TsvTest, FieldCountValidation) {
+  EXPECT_FALSE(ParseTsvLine("one\ttwo").ok());
+  EXPECT_FALSE(ParseTsvLine("a\tb\tc\td\te").ok());
+}
+
+TEST(SampleDataTest, EmbeddedCorpusParsesCompletely) {
+  Result<std::vector<Entry>> entries = workload::LoadSampleEntries();
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  EXPECT_GE(entries->size(), 90u);
+  // Spot checks against the source document.
+  bool found_arceneaux = false, found_student = false, found_coauthors = false;
+  for (const Entry& e : *entries) {
+    EXPECT_TRUE(ValidateEntry(e).ok()) << e.title;
+    if (e.author.surname == "Arceneaux") {
+      found_arceneaux = true;
+      EXPECT_EQ(e.author.suffix, "III");
+      EXPECT_EQ(e.citation, (Citation{95, 691, 1993}));
+    }
+    if (e.author.student_material) {
+      found_student = true;
+    }
+    if (!e.coauthors.empty()) {
+      found_coauthors = true;
+    }
+  }
+  EXPECT_TRUE(found_arceneaux);
+  EXPECT_TRUE(found_student);
+  EXPECT_TRUE(found_coauthors);
+}
+
+}  // namespace
+}  // namespace authidx

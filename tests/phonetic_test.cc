@@ -1,0 +1,76 @@
+#include "authidx/text/phonetic.h"
+
+#include <gtest/gtest.h>
+
+namespace authidx::text {
+namespace {
+
+TEST(SoundexTest, ClassicVectors) {
+  // Canonical examples from the Soundex specification.
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, CaseAndAccentsIgnored) {
+  EXPECT_EQ(Soundex("robert"), Soundex("ROBERT"));
+  EXPECT_EQ(Soundex("Müller"), Soundex("Muller"));
+}
+
+TEST(SoundexTest, ShortNamesZeroPadded) {
+  EXPECT_EQ(Soundex("Lee"), "L000");
+  EXPECT_EQ(Soundex("Au"), "A000");
+  EXPECT_EQ(Soundex("E"), "E000");
+}
+
+TEST(SoundexTest, EmptyAndNonLetters) {
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("123"), "");
+  EXPECT_EQ(Soundex("O'Brien"), Soundex("OBrien"));
+}
+
+TEST(SoundexTest, SimilarSurnamesShareCode) {
+  EXPECT_EQ(Soundex("Smith"), Soundex("Smyth"));
+  EXPECT_EQ(Soundex("Johnson"), Soundex("Jonson"));
+  EXPECT_NE(Soundex("Smith"), Soundex("Jones"));
+}
+
+TEST(MetaphoneTest, SoundAlikesShareCode) {
+  EXPECT_EQ(Metaphone("Knight"), Metaphone("Nite"));
+  EXPECT_EQ(Metaphone("Smith"), Metaphone("Smyth"));
+  EXPECT_EQ(Metaphone("Phillip"), Metaphone("Filip"));
+  EXPECT_EQ(Metaphone("Wright"), Metaphone("Rite"));
+}
+
+TEST(MetaphoneTest, MoreDiscriminatingThanSoundex) {
+  // Soundex lumps these; Metaphone keeps them apart.
+  EXPECT_EQ(Soundex("Robert"), Soundex("Rupert"));
+  EXPECT_NE(Metaphone("Robert"), Metaphone("Rupert"));
+}
+
+TEST(MetaphoneTest, SpecificRules) {
+  EXPECT_EQ(Metaphone("Schmidt").substr(0, 1), "X");  // sch -> X.
+  EXPECT_EQ(Metaphone("Xavier").substr(0, 1), "S");   // Initial x -> S.
+  EXPECT_EQ(Metaphone("Thomas").substr(0, 1), "0");   // th -> '0'.
+  EXPECT_EQ(Metaphone("Church").substr(0, 1), "X");   // ch -> X.
+  EXPECT_EQ(Metaphone("Gem").substr(0, 1), "J");      // ge -> J.
+  EXPECT_EQ(Metaphone("Game").substr(0, 1), "K");     // ga -> K.
+}
+
+TEST(MetaphoneTest, SilentLetters) {
+  EXPECT_EQ(Metaphone("Gnome"), Metaphone("Nome"));
+  EXPECT_EQ(Metaphone("Pneumonia").substr(0, 1), "N");
+  EXPECT_EQ(Metaphone("Lamb"), Metaphone("Lam"));
+}
+
+TEST(MetaphoneTest, EmptyAndStability) {
+  EXPECT_EQ(Metaphone(""), "");
+  EXPECT_EQ(Metaphone("McGinley"), Metaphone("mcginley"));
+}
+
+}  // namespace
+}  // namespace authidx::text

@@ -1,0 +1,66 @@
+#include "authidx/query/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "authidx/query/parser.h"
+
+namespace authidx::query {
+namespace {
+
+PlannerStats StatsWith(size_t entries, size_t min_df, bool has_terms,
+                       bool unknown = false) {
+  PlannerStats stats;
+  stats.entry_count = entries;
+  stats.min_term_df = min_df;
+  stats.has_title_terms = has_terms;
+  stats.unknown_term = unknown;
+  return stats;
+}
+
+TEST(PlannerTest, AuthorClausesAlwaysWin) {
+  Query q = *ParseQuery("author:smith coal mining");
+  Plan plan = ChoosePlan(q, StatsWith(100000, 50000, true));
+  EXPECT_EQ(plan.kind, PlanKind::kAuthorExact);
+
+  q = *ParseQuery("author:sm* coal");
+  plan = ChoosePlan(q, StatsWith(100000, 1, true));
+  EXPECT_EQ(plan.kind, PlanKind::kAuthorPrefix);
+
+  q = *ParseQuery("author~smith coal");
+  plan = ChoosePlan(q, StatsWith(100000, 1, true));
+  EXPECT_EQ(plan.kind, PlanKind::kAuthorFuzzy);
+}
+
+TEST(PlannerTest, TitleTermsBeatFullScan) {
+  Query q = *ParseQuery("coal mining");
+  Plan plan = ChoosePlan(q, StatsWith(100000, 120, true));
+  EXPECT_EQ(plan.kind, PlanKind::kTitleTerms);
+  EXPECT_EQ(plan.estimated_candidates, 120u);
+  EXPECT_FALSE(plan.provably_empty);
+}
+
+TEST(PlannerTest, UnknownTermProvesEmpty) {
+  Query q = *ParseQuery("coal zzzunknown");
+  Plan plan = ChoosePlan(q, StatsWith(100000, 0, true, /*unknown=*/true));
+  EXPECT_EQ(plan.kind, PlanKind::kTitleTerms);
+  EXPECT_TRUE(plan.provably_empty);
+  EXPECT_EQ(plan.estimated_candidates, 0u);
+}
+
+TEST(PlannerTest, FilterOnlyQueriesFullScan) {
+  Query q = *ParseQuery("year:1980..1990");
+  Plan plan = ChoosePlan(q, StatsWith(5000, 0, false));
+  EXPECT_EQ(plan.kind, PlanKind::kFullScan);
+  EXPECT_EQ(plan.estimated_candidates, 5000u);
+}
+
+TEST(PlannerTest, PlanKindNames) {
+  EXPECT_EQ(PlanKindToString(PlanKind::kAuthorExact), "author-exact");
+  EXPECT_EQ(PlanKindToString(PlanKind::kAuthorPrefix), "author-prefix");
+  EXPECT_EQ(PlanKindToString(PlanKind::kAuthorFuzzy), "author-fuzzy");
+  EXPECT_EQ(PlanKindToString(PlanKind::kTitleTerms), "title-terms");
+  EXPECT_EQ(PlanKindToString(PlanKind::kFullScan), "full-scan");
+}
+
+}  // namespace
+}  // namespace authidx::query

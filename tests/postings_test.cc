@@ -1,0 +1,142 @@
+#include "authidx/index/postings.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "authidx/common/random.h"
+
+namespace authidx {
+namespace {
+
+std::vector<EntryId> RandomSortedIds(Random* rng, size_t n, EntryId max_id) {
+  std::set<EntryId> ids;
+  while (ids.size() < n) {
+    ids.insert(static_cast<EntryId>(rng->Uniform(max_id)));
+  }
+  return {ids.begin(), ids.end()};
+}
+
+TEST(PostingsCodecTest, RoundTrip) {
+  std::vector<Posting> postings = {
+      {0, 1}, {1, 3}, {7, 1}, {100, 2}, {1000000, 9}};
+  std::string encoded = EncodePostings(postings);
+  Result<std::vector<Posting>> decoded = DecodePostings(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, postings);
+}
+
+TEST(PostingsCodecTest, EmptyList) {
+  Result<std::vector<Posting>> decoded = DecodePostings(EncodePostings({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(PostingsCodecTest, DeltaCompressionIsCompact) {
+  // Dense small-gap lists should take ~2 bytes per posting.
+  std::vector<Posting> postings;
+  for (EntryId i = 0; i < 1000; ++i) {
+    postings.push_back({i * 2, 1});
+  }
+  std::string encoded = EncodePostings(postings);
+  EXPECT_LT(encoded.size(), 1000u * 3);
+}
+
+TEST(PostingsCodecTest, CorruptionRejected) {
+  std::string encoded = EncodePostings({{5, 1}, {9, 2}});
+  // Truncations.
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_FALSE(DecodePostings(encoded.substr(0, len)).ok()) << len;
+  }
+  // Trailing junk.
+  EXPECT_TRUE(DecodePostings(encoded + "x").status().IsCorruption());
+  // Absurd count with tiny buffer.
+  std::string absurd;
+  absurd.push_back('\xFF');
+  absurd.push_back('\xFF');
+  absurd.push_back('\x7F');
+  EXPECT_TRUE(DecodePostings(absurd).status().IsCorruption());
+}
+
+TEST(PostingsCodecTest, NonIncreasingDocsRejected) {
+  // Hand-craft: count 2, first doc 5, gap 0 (duplicate).
+  std::vector<Posting> good = {{5, 1}, {6, 1}};
+  std::string encoded = EncodePostings(good);
+  // Patch second gap byte (1) to 0: layout is [count][5][1][gap][1].
+  encoded[3] = 0;
+  EXPECT_TRUE(DecodePostings(encoded).status().IsCorruption());
+}
+
+TEST(IntersectTest, BasicCases) {
+  std::vector<EntryId> a = {1, 3, 5, 7, 9};
+  std::vector<EntryId> b = {3, 4, 5, 9, 11};
+  std::vector<EntryId> expected = {3, 5, 9};
+  EXPECT_EQ(IntersectLinear(a, b), expected);
+  EXPECT_EQ(IntersectGalloping(a, b), expected);
+  EXPECT_EQ(Intersect(a, b), expected);
+  EXPECT_EQ(Intersect(b, a), expected);
+  EXPECT_TRUE(Intersect(a, {}).empty());
+  EXPECT_TRUE(Intersect({}, b).empty());
+  EXPECT_EQ(Intersect(a, a), a);
+}
+
+TEST(UnionDifferenceTest, BasicCases) {
+  std::vector<EntryId> a = {1, 3, 5};
+  std::vector<EntryId> b = {2, 3, 6};
+  EXPECT_EQ(Union(a, b), (std::vector<EntryId>{1, 2, 3, 5, 6}));
+  EXPECT_EQ(Difference(a, b), (std::vector<EntryId>{1, 5}));
+  EXPECT_EQ(Difference(a, {}), a);
+  EXPECT_TRUE(Difference({}, b).empty());
+}
+
+// Property: all three intersection strategies agree with a brute-force
+// set intersection across size ratios (the galloping path must engage
+// at high ratios).
+struct RatioParam {
+  size_t small_size;
+  size_t large_size;
+  uint64_t seed;
+};
+
+class IntersectPropertyTest : public ::testing::TestWithParam<RatioParam> {};
+
+TEST_P(IntersectPropertyTest, StrategiesAgree) {
+  const RatioParam param = GetParam();
+  Random rng(param.seed);
+  std::vector<EntryId> small =
+      RandomSortedIds(&rng, param.small_size, 1 << 20);
+  std::vector<EntryId> large =
+      RandomSortedIds(&rng, param.large_size, 1 << 20);
+  std::vector<EntryId> expected;
+  std::set_intersection(small.begin(), small.end(), large.begin(),
+                        large.end(), std::back_inserter(expected));
+  EXPECT_EQ(IntersectLinear(small, large), expected);
+  EXPECT_EQ(IntersectGalloping(small, large), expected);
+  EXPECT_EQ(IntersectGalloping(large, small), expected);
+  EXPECT_EQ(Intersect(small, large), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, IntersectPropertyTest,
+    ::testing::Values(RatioParam{10, 10, 1}, RatioParam{100, 100, 2},
+                      RatioParam{10, 10000, 3}, RatioParam{3, 50000, 4},
+                      RatioParam{1000, 1000, 5}, RatioParam{1, 100000, 6}));
+
+TEST(CodecPropertyTest, RandomListsRoundTrip) {
+  Random rng(404);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<EntryId> ids = RandomSortedIds(&rng, rng.Uniform(500), 1 << 24);
+    std::vector<Posting> postings;
+    for (EntryId id : ids) {
+      postings.push_back({id, 1 + static_cast<uint32_t>(rng.Uniform(5))});
+    }
+    Result<std::vector<Posting>> decoded =
+        DecodePostings(EncodePostings(postings));
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(*decoded, postings);
+  }
+}
+
+}  // namespace
+}  // namespace authidx

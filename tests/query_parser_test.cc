@@ -1,0 +1,141 @@
+#include "authidx/query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "authidx/text/stem.h"
+
+namespace authidx::query {
+namespace {
+
+TEST(QueryParserTest, AuthorExact) {
+  Result<Query> q = ParseQuery("author:McGinley");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->author_exact.has_value());
+  EXPECT_EQ(*q->author_exact, "mcginley");  // Folded.
+  EXPECT_FALSE(q->author_prefix);
+  EXPECT_FALSE(q->author_fuzzy);
+}
+
+TEST(QueryParserTest, AuthorPrefixStar) {
+  Result<Query> q = ParseQuery("author:mc*");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->author_prefix.has_value());
+  EXPECT_EQ(*q->author_prefix, "mc");
+}
+
+TEST(QueryParserTest, AuthorFuzzyTilde) {
+  Result<Query> q = ParseQuery("author~Jonson");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->author_fuzzy.has_value());
+  EXPECT_EQ(*q->author_fuzzy, "jonson");
+}
+
+TEST(QueryParserTest, QuotedAuthorKeepsSpaces) {
+  Result<Query> q = ParseQuery("author:\"Minow, Martha\"");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->author_exact.has_value());
+  EXPECT_EQ(*q->author_exact, "minow, martha");
+}
+
+TEST(QueryParserTest, TitleTermsAnalyzed) {
+  Result<Query> q = ParseQuery("title:\"Surface Mining\" regulation");
+  ASSERT_TRUE(q.ok());
+  std::vector<std::string> expected = {"surfac", text::PorterStem("mining"),
+                                       text::PorterStem("regulation")};
+  EXPECT_EQ(q->title_terms, expected);
+}
+
+TEST(QueryParserTest, StopwordsDropFromBareTerms) {
+  Result<Query> q = ParseQuery("the law of coal");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->title_terms, (std::vector<std::string>{"law", "coal"}));
+}
+
+TEST(QueryParserTest, NegatedTerms) {
+  Result<Query> q = ParseQuery("coal -tax -mining");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->title_terms, std::vector<std::string>{"coal"});
+  ASSERT_EQ(q->not_terms.size(), 2u);
+  EXPECT_EQ(q->not_terms[0], "tax");
+  EXPECT_EQ(q->not_terms[1], text::PorterStem("mining"));
+}
+
+TEST(QueryParserTest, YearAndVolumeRanges) {
+  Result<Query> q = ParseQuery("year:1980..1990 vol:82");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->year.has_value());
+  EXPECT_EQ(q->year->lo, 1980u);
+  EXPECT_EQ(q->year->hi, 1990u);
+  ASSERT_TRUE(q->volume.has_value());
+  EXPECT_EQ(q->volume->lo, 82u);
+  EXPECT_EQ(q->volume->hi, 82u);
+}
+
+TEST(QueryParserTest, OpenEndedRanges) {
+  Result<Query> q = ParseQuery("year:1985..");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->year->lo, 1985u);
+  EXPECT_EQ(q->year->hi, UINT32_MAX);
+  q = ParseQuery("year:..1985");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->year->lo, 0u);
+  EXPECT_EQ(q->year->hi, 1985u);
+}
+
+TEST(QueryParserTest, StudentOrderLimitOffset) {
+  Result<Query> q = ParseQuery(
+      "student:yes order:relevance limit:25 offset:50 coal");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->student, true);
+  EXPECT_EQ(q->rank, RankMode::kRelevance);
+  EXPECT_EQ(q->limit, 25u);
+  EXPECT_EQ(q->offset, 50u);
+  q = ParseQuery("student:no order:index");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->student, false);
+  EXPECT_EQ(q->rank, RankMode::kCollation);
+}
+
+TEST(QueryParserTest, Rejections) {
+  EXPECT_FALSE(ParseQuery("unknownfield:x").ok());
+  EXPECT_FALSE(ParseQuery("year:abc").ok());
+  EXPECT_FALSE(ParseQuery("year:1990..1980").ok());
+  EXPECT_FALSE(ParseQuery("student:maybe").ok());
+  EXPECT_FALSE(ParseQuery("order:random").ok());
+  EXPECT_FALSE(ParseQuery("author:a author:b").ok());
+  EXPECT_FALSE(ParseQuery("author:a author~b").ok());
+  EXPECT_FALSE(ParseQuery("author:").ok());
+}
+
+TEST(QueryParserTest, CoauthorClause) {
+  Result<Query> q = ParseQuery("coauthor:\"Scott, Philip\"");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->coauthor.has_value());
+  EXPECT_EQ(*q->coauthor, "scott, philip");
+  EXPECT_FALSE(ParseQuery("coauthor:").ok());
+}
+
+TEST(QueryParserTest, EmptyQueryIsUnconstrained) {
+  Result<Query> q = ParseQuery("");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->IsUnconstrained());
+  q = ParseQuery("year:1990");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->IsUnconstrained());  // Filter-only.
+  q = ParseQuery("coal");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->IsUnconstrained());
+}
+
+TEST(QueryParserTest, ToStringIsStable) {
+  Result<Query> q =
+      ParseQuery("author:smith coal year:1980..1990 order:relevance");
+  ASSERT_TRUE(q.ok());
+  std::string s = q->ToString();
+  EXPECT_NE(s.find("author=smith"), std::string::npos);
+  EXPECT_NE(s.find("year=1980..1990"), std::string::npos);
+  EXPECT_NE(s.find("order=relevance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace authidx::query

@@ -1,0 +1,80 @@
+#include "authidx/core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "authidx/workload/sample_data.h"
+
+namespace authidx::core {
+namespace {
+
+std::unique_ptr<AuthorIndex> SampleCatalog() {
+  auto entries = workload::LoadSampleEntries();
+  EXPECT_TRUE(entries.ok());
+  auto catalog = AuthorIndex::Create();
+  EXPECT_TRUE(catalog->AddAll(std::move(entries).value()).ok());
+  return catalog;
+}
+
+TEST(StatsTest, EmptyCatalog) {
+  auto catalog = AuthorIndex::Create();
+  CatalogStats stats = ComputeStats(*catalog);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.distinct_authors, 0u);
+  EXPECT_TRUE(stats.volume_histogram.empty());
+  EXPECT_TRUE(stats.top_authors.empty());
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(StatsTest, SampleCorpusNumbers) {
+  auto catalog = SampleCatalog();
+  CatalogStats stats = ComputeStats(*catalog);
+  EXPECT_EQ(stats.entries, catalog->entry_count());
+  EXPECT_EQ(stats.distinct_authors, catalog->group_count());
+  EXPECT_LT(stats.distinct_authors, stats.entries);  // Repeat authors.
+  EXPECT_GT(stats.student_entries, 0u);
+  EXPECT_GT(stats.coauthored_entries, 0u);
+  // The sample spans volumes 69..95 and years 1966..1993.
+  EXPECT_EQ(stats.min_volume, 69u);
+  EXPECT_EQ(stats.max_volume, 95u);
+  EXPECT_GE(stats.min_year, 1966u);
+  EXPECT_LE(stats.max_year, 1993u);
+  EXPECT_GT(stats.avg_title_tokens, 2.0);
+  EXPECT_GT(stats.distinct_terms, 50u);
+}
+
+TEST(StatsTest, HistogramsSumToEntries) {
+  auto catalog = SampleCatalog();
+  CatalogStats stats = ComputeStats(*catalog);
+  size_t vol_sum = 0, year_sum = 0;
+  for (const auto& [vol, count] : stats.volume_histogram) {
+    vol_sum += count;
+  }
+  for (const auto& [year, count] : stats.year_histogram) {
+    year_sum += count;
+  }
+  EXPECT_EQ(vol_sum, stats.entries);
+  EXPECT_EQ(year_sum, stats.entries);
+}
+
+TEST(StatsTest, TopAuthorsDescendingAndCapped) {
+  auto catalog = SampleCatalog();
+  CatalogStats stats = ComputeStats(*catalog, /*top_k=*/5);
+  ASSERT_EQ(stats.top_authors.size(), 5u);
+  for (size_t i = 1; i < stats.top_authors.size(); ++i) {
+    EXPECT_GE(stats.top_authors[i - 1].second, stats.top_authors[i].second);
+  }
+  // Cady and Cardi have 3 entries each in the sample: top count >= 3.
+  EXPECT_GE(stats.top_authors[0].second, 3u);
+}
+
+TEST(StatsTest, ReportMentionsKeyNumbers) {
+  auto catalog = SampleCatalog();
+  CatalogStats stats = ComputeStats(*catalog);
+  std::string report = stats.ToString();
+  EXPECT_NE(report.find("entries:"), std::string::npos);
+  EXPECT_NE(report.find("69..95"), std::string::npos);
+  EXPECT_NE(report.find("top authors:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace authidx::core

@@ -1,0 +1,113 @@
+#include "authidx/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "authidx/common/result.h"
+
+namespace authidx {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCodesAndPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_FALSE(Status::NotFound("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::Corruption("bad block");
+  EXPECT_EQ(s.ToString(), "Corruption: bad block");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::IOError("disk full").WithContext("writing table 7");
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "writing table 7: disk full");
+  // OK statuses pass through unchanged.
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("k"), Status::NotFound("k"));
+  EXPECT_FALSE(Status::NotFound("k") == Status::NotFound("j"));
+  EXPECT_FALSE(Status::NotFound("k") == Status::Corruption("k"));
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) {
+    return Status::InvalidArgument("negative");
+  }
+  return Status::OK();
+}
+
+Status UsesReturnMacro(int x) {
+  AUTHIDX_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(UsesReturnMacro(1).ok());
+  EXPECT_TRUE(UsesReturnMacro(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return Status::OutOfRange("not positive");
+  }
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  AUTHIDX_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, ValueAndErrorStates) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err = ParsePositive(-3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsOutOfRange());
+  EXPECT_EQ(err.ValueOr(7), 7);
+  EXPECT_EQ(ok.ValueOr(7), 21);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_TRUE(Doubled(0).status().IsOutOfRange());
+}
+
+TEST(ResultTest, ConstructedFromOkStatusBecomesInternal) {
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r{std::make_unique<int>(5)};
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> moved = std::move(r).value();
+  EXPECT_EQ(*moved, 5);
+}
+
+}  // namespace
+}  // namespace authidx

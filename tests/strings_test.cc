@@ -1,0 +1,83 @@
+#include "authidx/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace authidx {
+namespace {
+
+TEST(StringsTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  hello  "), "hello");
+  EXPECT_EQ(StripAsciiWhitespace("\t\nhi\r\n"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace("a b"), "a b");
+}
+
+TEST(StringsTest, SplitPreservesEmptyPieces) {
+  auto pieces = SplitString("a,,b,", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "b");
+  EXPECT_EQ(pieces[3], "");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StringsTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringsTest, CaseConversionAsciiOnly) {
+  EXPECT_EQ(AsciiToLower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(AsciiToUpper("MiXeD 123"), "MIXED 123");
+}
+
+TEST(StringsTest, ParseUint64HappyPath) {
+  EXPECT_EQ(*ParseUint64("0"), 0u);
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), UINT64_MAX);
+  EXPECT_EQ(*ParseUint64("00042"), 42u);
+}
+
+TEST(StringsTest, ParseUint64Rejections) {
+  EXPECT_TRUE(ParseUint64("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseUint64("12a").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseUint64("-1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseUint64("18446744073709551616").status().IsOutOfRange());
+}
+
+TEST(StringsTest, ParseInt64SignHandling) {
+  EXPECT_EQ(*ParseInt64("-42"), -42);
+  EXPECT_EQ(*ParseInt64("+42"), 42);
+  EXPECT_EQ(*ParseInt64("-9223372036854775808"), INT64_MIN);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+  EXPECT_TRUE(ParseInt64("9223372036854775808").status().IsOutOfRange());
+  EXPECT_TRUE(ParseInt64("-9223372036854775809").status().IsOutOfRange());
+}
+
+TEST(StringsTest, StringPrintfFormats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%05u", 42u), "00042");
+  // Long outputs exceed any static buffer.
+  std::string long_out = StringPrintf("%0500d", 1);
+  EXPECT_EQ(long_out.size(), 500u);
+}
+
+TEST(StringsTest, CEscapeNonPrintables) {
+  EXPECT_EQ(CEscape("abc"), "abc");
+  EXPECT_EQ(CEscape(std::string("\x00\x1f", 2)), "\\x00\\x1f");
+  EXPECT_EQ(CEscape("a\"b"), "a\\x22b");
+}
+
+}  // namespace
+}  // namespace authidx

@@ -1,0 +1,202 @@
+#include "authidx/storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "authidx/common/strings.h"
+
+namespace authidx::storage {
+namespace {
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/table_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/test.tbl";
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Builds a table file from sorted kvs and returns a reader.
+  std::unique_ptr<TableReader> BuildAndOpen(
+      const std::map<std::string, std::string>& kvs,
+      TableBuilder::Options options = {}) {
+    auto file = Env::Default()->NewWritableFile(path_);
+    EXPECT_TRUE(file.ok());
+    TableBuilder builder(options, file->get());
+    for (const auto& [key, value] : kvs) {
+      EXPECT_TRUE(builder.Add(key, value).ok());
+    }
+    EXPECT_TRUE(builder.Finish().ok());
+    EXPECT_TRUE((*file)->Sync().ok());
+    EXPECT_TRUE((*file)->Close().ok());
+    auto reader = TableReader::Open(Env::Default(), path_);
+    EXPECT_TRUE(reader.ok()) << reader.status();
+    return std::move(reader).value();
+  }
+
+  std::map<std::string, std::string> ManyKvs(int n) {
+    std::map<std::string, std::string> kvs;
+    for (int i = 0; i < n; ++i) {
+      kvs[StringPrintf("key%06d", i)] = StringPrintf("value-%d", i);
+    }
+    return kvs;
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(TableTest, PointLookupsAcrossManyBlocks) {
+  TableBuilder::Options options;
+  options.block_bytes = 512;  // Force many data blocks.
+  auto kvs = ManyKvs(3000);
+  auto reader = BuildAndOpen(kvs, options);
+  for (int i = 0; i < 3000; i += 37) {
+    std::string key = StringPrintf("key%06d", i);
+    auto hit = reader->Get(key);
+    ASSERT_TRUE(hit.ok()) << hit.status();
+    ASSERT_TRUE(hit->has_value()) << key;
+    EXPECT_EQ(**hit, StringPrintf("value-%d", i));
+  }
+}
+
+TEST_F(TableTest, AbsentKeysReturnNulloptAndHitBloom) {
+  auto reader = BuildAndOpen(ManyKvs(2000));
+  uint64_t misses = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto hit = reader->Get(StringPrintf("absent%06d", i));
+    ASSERT_TRUE(hit.ok());
+    EXPECT_FALSE(hit->has_value());
+    ++misses;
+  }
+  // The Bloom filter must have short-circuited nearly all misses.
+  EXPECT_GT(reader->bloom_negative_count(), misses * 9 / 10);
+}
+
+TEST_F(TableTest, FullIterationInOrder) {
+  TableBuilder::Options options;
+  options.block_bytes = 256;
+  auto kvs = ManyKvs(1500);
+  auto reader = BuildAndOpen(kvs, options);
+  auto it = reader->NewIterator();
+  auto expected = kvs.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++expected) {
+    ASSERT_NE(expected, kvs.end());
+    ASSERT_EQ(it->key(), expected->first);
+    ASSERT_EQ(it->value(), expected->second);
+  }
+  EXPECT_EQ(expected, kvs.end());
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST_F(TableTest, IteratorSeekAcrossBlockBoundaries) {
+  TableBuilder::Options options;
+  options.block_bytes = 128;
+  auto kvs = ManyKvs(500);
+  auto reader = BuildAndOpen(kvs, options);
+  auto it = reader->NewIterator();
+  for (int i = 0; i < 500; i += 61) {
+    std::string key = StringPrintf("key%06d", i);
+    it->Seek(key);
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(it->key(), key);
+  }
+  it->Seek("key9");  // Past everything.
+  EXPECT_FALSE(it->Valid());
+  it->Seek("a");  // Before everything.
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "key000000");
+}
+
+TEST_F(TableTest, OutOfOrderAddRejected) {
+  auto file = Env::Default()->NewWritableFile(path_);
+  ASSERT_TRUE(file.ok());
+  TableBuilder builder({}, file->get());
+  ASSERT_TRUE(builder.Add("b", "1").ok());
+  EXPECT_TRUE(builder.Add("a", "2").IsInvalidArgument());
+  EXPECT_TRUE(builder.Add("b", "2").IsInvalidArgument());
+}
+
+TEST_F(TableTest, EmptyTableOpensAndIterates) {
+  auto reader = BuildAndOpen({});
+  auto it = reader->NewIterator();
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+  auto hit = reader->Get("anything");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_FALSE(hit->has_value());
+}
+
+TEST_F(TableTest, CorruptedDataBlockDetected) {
+  TableBuilder::Options options;
+  options.block_bytes = 256;
+  options.bloom_bits_per_key = 2;  // Weak filter: more reads reach data.
+  auto kvs = ManyKvs(500);
+  BuildAndOpen(kvs, options);
+  // Flip a byte early in the file (inside the first data block).
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);
+    char c;
+    f.seekg(20);
+    f.get(c);
+    f.seekp(20);
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  auto reader = TableReader::Open(Env::Default(), path_);
+  ASSERT_TRUE(reader.ok());  // Footer/index/filter are intact.
+  // A read touching the damaged block must report corruption, never
+  // wrong data.
+  bool saw_corruption = false;
+  for (int i = 0; i < 20 && !saw_corruption; ++i) {
+    auto hit = (*reader)->Get(StringPrintf("key%06d", i));
+    if (!hit.ok()) {
+      EXPECT_TRUE(hit.status().IsCorruption()) << hit.status();
+      saw_corruption = true;
+    }
+  }
+  EXPECT_TRUE(saw_corruption);
+}
+
+TEST_F(TableTest, TruncatedFileRejectedAtOpen) {
+  BuildAndOpen(ManyKvs(100));
+  std::filesystem::resize_file(path_, 10);
+  auto reader = TableReader::Open(Env::Default(), path_);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.status().IsCorruption()) << reader.status();
+}
+
+TEST_F(TableTest, BadMagicRejected) {
+  BuildAndOpen(ManyKvs(10));
+  uint64_t size = std::filesystem::file_size(path_);
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(size - 1));
+    f.put('\0');
+  }
+  auto reader = TableReader::Open(Env::Default(), path_);
+  EXPECT_TRUE(reader.status().IsCorruption());
+}
+
+TEST_F(TableTest, LargeValuesRoundTrip) {
+  std::map<std::string, std::string> kvs;
+  kvs["big1"] = std::string(100000, 'x');
+  kvs["big2"] = std::string(50000, 'y');
+  kvs["small"] = "s";
+  auto reader = BuildAndOpen(kvs);
+  auto hit = reader->Get("big1");
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(hit->has_value());
+  EXPECT_EQ(hit->value().size(), 100000u);
+  EXPECT_EQ((*reader->Get("small"))->front(), 's');
+}
+
+}  // namespace
+}  // namespace authidx::storage

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "authidx/format/subject_index.h"
+#include <set>
+#include "authidx/format/title_index.h"
+#include "authidx/parse/tsv.h"
+#include "authidx/text/collate.h"
+#include "authidx/workload/sample_data.h"
+
+namespace authidx::format {
+namespace {
+
+std::unique_ptr<core::AuthorIndex> SmallCatalog() {
+  const char* tsv =
+      "Ausness, Richard C.\tAdministering State Water Resources: The Need "
+      "for Long-Range Planning\t73:209 (1971)\tMaloney, Frank E.\n"
+      "Maloney, Frank E.\tAdministering State Water Resources: The Need "
+      "for Long-Range Planning\t73:209 (1971)\tAusness, Richard C.\n"
+      "Minow, Martha\tAll in the Family\t95:275 (1992)\n"
+      "Olson, Dale P.\tThin Copyrights\t95:147 (1992)\n"
+      "McGinley, Patrick C.\tThe Prohibition of Strip Mining\t78:445 (1976)\n"
+      "Neely, Richard\tA Theory of Taxation\t79:1 (1976)\n";
+  auto entries = ParseTsv(tsv);
+  EXPECT_TRUE(entries.ok());
+  auto catalog = core::AuthorIndex::Create();
+  EXPECT_TRUE(catalog->AddAll(std::move(entries).value()).ok());
+  return catalog;
+}
+
+TEST(TitleIndexTest, CoauthoredWorkAppearsOnceWithFullByline) {
+  auto catalog = SmallCatalog();
+  auto rows = BuildTitleIndex(*catalog);
+  // 6 entries but 5 distinct works (the water-resources article twice).
+  ASSERT_EQ(rows.size(), 5u);
+  size_t water = SIZE_MAX;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].title.rfind("Administering", 0) == 0) {
+      water = i;
+    }
+  }
+  ASSERT_NE(water, SIZE_MAX);
+  EXPECT_EQ(rows[water].byline,
+            "Ausness, Richard C.; Maloney, Frank E.");
+  EXPECT_EQ(rows[water].citation, (Citation{73, 209, 1971}));
+}
+
+TEST(TitleIndexTest, LeadingArticlesIgnoredInOrdering) {
+  auto catalog = SmallCatalog();
+  auto rows = BuildTitleIndex(*catalog);
+  std::vector<std::string> titles;
+  for (const auto& row : rows) {
+    titles.push_back(row.title);
+  }
+  // Order keys: administering, all, prohibition(The), theory(A), thin.
+  std::vector<std::string> expected = {
+      "Administering State Water Resources: The Need for Long-Range "
+      "Planning",
+      "All in the Family",
+      "The Prohibition of Strip Mining",
+      "A Theory of Taxation",
+      "Thin Copyrights",
+  };
+  EXPECT_EQ(titles, expected);
+}
+
+TEST(TitleIndexTest, TypesetPagesCarryHeadingAndRows) {
+  auto catalog = SmallCatalog();
+  TitleIndexOptions options;
+  auto pages = TypesetTitleIndex(*catalog, options);
+  ASSERT_FALSE(pages.empty());
+  const std::string& text = pages[0].text;
+  EXPECT_NE(text.find("TITLE INDEX"), std::string::npos);
+  EXPECT_NE(text.find("Thin Copyrights"), std::string::npos);
+  EXPECT_NE(text.find("95:147 (1992)"), std::string::npos);
+  // Coauthor byline wrapped into the author column.
+  EXPECT_NE(text.find("Ausness, Richard C.;"), std::string::npos);
+}
+
+TEST(TitleIndexTest, SampleCorpusDedupCount) {
+  auto entries = authidx::workload::LoadSampleEntries();
+  ASSERT_TRUE(entries.ok());
+  auto catalog = core::AuthorIndex::Create();
+  ASSERT_TRUE(catalog->AddAll(std::move(entries).value()).ok());
+  auto rows = BuildTitleIndex(*catalog);
+  // Every distinct (title, citation) exactly once, ordered by collation.
+  EXPECT_LE(rows.size(), catalog->entry_count());
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].sort_key.compare(rows[i].sort_key), 0);
+  }
+  std::set<std::pair<std::string, std::string>> distinct;
+  for (const auto& row : rows) {
+    EXPECT_TRUE(
+        distinct.emplace(row.title, row.citation.ToString()).second);
+  }
+}
+
+TEST(SubjectIndexTest, EntriesFileUnderMatchingHeadings) {
+  auto catalog = SmallCatalog();
+  auto sections =
+      BuildSubjectIndex(*catalog, SubjectVocabulary::LegalDefault());
+  auto find = [&](std::string_view heading) -> const SubjectSection* {
+    for (const auto& section : sections) {
+      if (section.heading == heading) {
+        return &section;
+      }
+    }
+    return nullptr;
+  };
+  const SubjectSection* mining = find("COAL AND MINING LAW");
+  ASSERT_NE(mining, nullptr);
+  ASSERT_EQ(mining->entries.size(), 1u);
+  EXPECT_EQ(catalog->GetEntry(mining->entries[0])->title,
+            "The Prohibition of Strip Mining");
+  const SubjectSection* tax = find("TAXATION");
+  ASSERT_NE(tax, nullptr);
+  EXPECT_EQ(tax->entries.size(), 1u);
+  // "Thin Copyrights" and "All in the Family" match nothing:
+  // both land in MISCELLANEOUS (with "family" though... "family" is a
+  // DOMESTIC RELATIONS term).
+  const SubjectSection* family = find("DOMESTIC RELATIONS");
+  ASSERT_NE(family, nullptr);
+  EXPECT_EQ(catalog->GetEntry(family->entries[0])->title,
+            "All in the Family");
+  const SubjectSection* misc = find("MISCELLANEOUS");
+  ASSERT_NE(misc, nullptr);
+  EXPECT_EQ(catalog->GetEntry(misc->entries[0])->title, "Thin Copyrights");
+}
+
+TEST(SubjectIndexTest, MultiHeadingAssignmentAndDedup) {
+  auto catalog = SmallCatalog();
+  auto sections =
+      BuildSubjectIndex(*catalog, SubjectVocabulary::LegalDefault());
+  // The water-resources article ("Administering State Water Resources")
+  // matches ENVIRONMENTAL LAW ("water") — and appears once there despite
+  // two coauthor entries.
+  for (const auto& section : sections) {
+    size_t count = 0;
+    for (EntryId id : section.entries) {
+      count += catalog->GetEntry(id)->title.rfind("Administering", 0) == 0;
+    }
+    EXPECT_LE(count, 1u) << section.heading;
+  }
+}
+
+TEST(SubjectIndexTest, SectionsSortedAndNonEmpty) {
+  auto entries = authidx::workload::LoadSampleEntries();
+  ASSERT_TRUE(entries.ok());
+  auto catalog = core::AuthorIndex::Create();
+  ASSERT_TRUE(catalog->AddAll(std::move(entries).value()).ok());
+  auto sections =
+      BuildSubjectIndex(*catalog, SubjectVocabulary::LegalDefault());
+  ASSERT_GT(sections.size(), 5u);  // The sample spans many subjects.
+  for (const auto& section : sections) {
+    EXPECT_FALSE(section.entries.empty()) << section.heading;
+  }
+  // Alphabetical except the trailing fallback.
+  for (size_t i = 2; i < sections.size(); ++i) {
+    if (sections[i].heading == "MISCELLANEOUS") {
+      continue;
+    }
+    EXPECT_LT(text::Compare(sections[i - 1].heading, sections[i].heading),
+              0);
+  }
+  // Coal heading must be rich in this corpus.
+  for (const auto& section : sections) {
+    if (section.heading == "COAL AND MINING LAW") {
+      EXPECT_GE(section.entries.size(), 10u);
+    }
+  }
+}
+
+TEST(SubjectIndexTest, CustomVocabularyAndNoFallback) {
+  auto catalog = SmallCatalog();
+  SubjectVocabulary vocab;
+  vocab.headings = {{"WATER LAW", {"water"}}};
+  vocab.fallback_heading.clear();  // Drop unmatched entries.
+  auto sections = BuildSubjectIndex(*catalog, vocab);
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].heading, "WATER LAW");
+  EXPECT_EQ(sections[0].entries.size(), 1u);
+}
+
+TEST(SubjectIndexTest, RenderedTextHasDotLeaders) {
+  auto catalog = SmallCatalog();
+  std::string rendered = SubjectIndexToString(
+      *catalog, SubjectVocabulary::LegalDefault(), 70);
+  EXPECT_NE(rendered.find("COAL AND MINING LAW"), std::string::npos);
+  EXPECT_NE(rendered.find("... "), std::string::npos);
+  EXPECT_NE(rendered.find("78:445 (1976)"), std::string::npos);
+  // Lines stay within the width budget.
+  size_t start = 0;
+  while (start < rendered.size()) {
+    size_t end = rendered.find('\n', start);
+    if (end == std::string::npos) {
+      end = rendered.size();
+    }
+    EXPECT_LE(end - start, 70u + 1);
+    start = end + 1;
+  }
+}
+
+TEST(EmptyCatalogTest, BothIndexesEmpty) {
+  auto catalog = core::AuthorIndex::Create();
+  EXPECT_TRUE(BuildTitleIndex(*catalog).empty());
+  EXPECT_TRUE(
+      BuildSubjectIndex(*catalog, SubjectVocabulary::LegalDefault())
+          .empty());
+}
+
+}  // namespace
+}  // namespace authidx::format

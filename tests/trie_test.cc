@@ -1,0 +1,146 @@
+#include "authidx/index/trie.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "authidx/common/random.h"
+#include "authidx/common/strings.h"
+
+namespace authidx {
+namespace {
+
+TEST(TrieTest, EmptyTrie) {
+  Trie trie;
+  uint64_t value = 0;
+  EXPECT_FALSE(trie.Get("x", &value));
+  EXPECT_TRUE(trie.PrefixScan("", 10).empty());
+  EXPECT_EQ(trie.CountPrefix(""), 0u);
+  EXPECT_EQ(trie.size(), 0u);
+}
+
+TEST(TrieTest, InsertGetOverwrite) {
+  Trie trie;
+  trie.Insert("mcginley", 1);
+  trie.Insert("mcgraw", 2);
+  trie.Insert("mcginley", 7);  // Overwrite.
+  EXPECT_EQ(trie.size(), 2u);
+  uint64_t value = 0;
+  ASSERT_TRUE(trie.Get("mcginley", &value));
+  EXPECT_EQ(value, 7u);
+  ASSERT_TRUE(trie.Get("mcgraw", &value));
+  EXPECT_EQ(value, 2u);
+  EXPECT_FALSE(trie.Get("mcg", &value));  // Interior node, no value.
+  EXPECT_FALSE(trie.Get("mcginleyx", &value));
+}
+
+TEST(TrieTest, EmptyKeyIsAllowed) {
+  Trie trie;
+  trie.Insert("", 42);
+  uint64_t value = 0;
+  ASSERT_TRUE(trie.Get("", &value));
+  EXPECT_EQ(value, 42u);
+  EXPECT_EQ(trie.CountPrefix(""), 1u);
+}
+
+TEST(TrieTest, PrefixScanLexicographicOrder) {
+  Trie trie;
+  trie.Insert("mcateer", 1);
+  trie.Insert("mcginley", 2);
+  trie.Insert("mcgraw", 3);
+  trie.Insert("mclaughlin", 4);
+  trie.Insert("means", 5);
+  auto hits = trie.PrefixScan("mc", 100);
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0].first, "mcateer");
+  EXPECT_EQ(hits[1].first, "mcginley");
+  EXPECT_EQ(hits[2].first, "mcgraw");
+  EXPECT_EQ(hits[3].first, "mclaughlin");
+  // A key that is itself a prefix of others appears first.
+  trie.Insert("mc", 0);
+  hits = trie.PrefixScan("mc", 100);
+  ASSERT_EQ(hits.size(), 5u);
+  EXPECT_EQ(hits[0].first, "mc");
+}
+
+TEST(TrieTest, PrefixScanLimit) {
+  Trie trie;
+  for (int i = 0; i < 100; ++i) {
+    trie.Insert(StringPrintf("key%03d", i), static_cast<uint64_t>(i));
+  }
+  auto hits = trie.PrefixScan("key", 7);
+  ASSERT_EQ(hits.size(), 7u);
+  EXPECT_EQ(hits[0].first, "key000");
+  EXPECT_EQ(hits[6].first, "key006");
+}
+
+TEST(TrieTest, CountPrefix) {
+  Trie trie;
+  trie.Insert("abc", 1);
+  trie.Insert("abd", 2);
+  trie.Insert("ab", 3);
+  trie.Insert("b", 4);
+  EXPECT_EQ(trie.CountPrefix("ab"), 3u);
+  EXPECT_EQ(trie.CountPrefix("abc"), 1u);
+  EXPECT_EQ(trie.CountPrefix(""), 4u);
+  EXPECT_EQ(trie.CountPrefix("z"), 0u);
+}
+
+TEST(TrieTest, BinaryKeysFullByteAlphabet) {
+  Trie trie;
+  std::string k1("\x00\x01", 2), k2("\x00\xff", 2), k3("\xff", 1);
+  trie.Insert(k1, 1);
+  trie.Insert(k2, 2);
+  trie.Insert(k3, 3);
+  uint64_t value = 0;
+  EXPECT_TRUE(trie.Get(k1, &value));
+  EXPECT_TRUE(trie.Get(k2, &value));
+  auto hits = trie.PrefixScan(std::string("\x00", 1), 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].first, k1);  // 0x01 < 0xff as unsigned bytes.
+  EXPECT_EQ(hits[1].first, k2);
+}
+
+// Model test against std::map (which is also lexicographic on bytes).
+class TrieModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrieModelTest, AgreesWithStdMap) {
+  Random rng(GetParam());
+  Trie trie;
+  std::map<std::string, uint64_t> model;
+  for (int i = 0; i < 20000; ++i) {
+    std::string key;
+    for (size_t j = rng.Uniform(10); j > 0; --j) {
+      key += static_cast<char>('a' + rng.Uniform(6));
+    }
+    uint64_t value = rng.Next64();
+    trie.Insert(key, value);
+    model[key] = value;
+  }
+  ASSERT_EQ(trie.size(), model.size());
+  for (const auto& [key, value] : model) {
+    uint64_t got = 0;
+    ASSERT_TRUE(trie.Get(key, &got)) << key;
+    ASSERT_EQ(got, value) << key;
+  }
+  // Prefix scans agree with model range scans.
+  for (const char* prefix : {"", "a", "ab", "abc", "ba", "fff"}) {
+    auto hits = trie.PrefixScan(prefix, SIZE_MAX);
+    std::vector<std::pair<std::string, uint64_t>> expected;
+    for (auto it = model.lower_bound(prefix); it != model.end(); ++it) {
+      if (it->first.compare(0, strlen(prefix), prefix) != 0) {
+        break;
+      }
+      expected.emplace_back(it->first, it->second);
+    }
+    ASSERT_EQ(hits, expected) << "prefix '" << prefix << "'";
+    ASSERT_EQ(trie.CountPrefix(prefix), expected.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieModelTest,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace authidx

@@ -1,0 +1,177 @@
+#include "authidx/storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace authidx::storage {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/wal_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/test.wal";
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::vector<std::string> Replay(WalReplayStats* stats) {
+    std::vector<std::string> records;
+    Result<WalReplayStats> result =
+        ReplayWal(Env::Default(), path_, [&](std::string_view record) {
+          records.emplace_back(record);
+          return Status::OK();
+        });
+    EXPECT_TRUE(result.ok()) << result.status();
+    if (result.ok() && stats != nullptr) {
+      *stats = *result;
+    }
+    return records;
+  }
+
+  void Truncate(uint64_t size) {
+    std::filesystem::resize_file(path_, size);
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, AppendAndReplay) {
+  {
+    auto writer = WalWriter::Open(Env::Default(), path_);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("first").ok());
+    ASSERT_TRUE((*writer)->Append("second record").ok());
+    ASSERT_TRUE((*writer)->Append("").ok());  // Empty payload is legal.
+    ASSERT_TRUE((*writer)->Sync().ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  WalReplayStats stats;
+  auto records = Replay(&stats);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], "first");
+  EXPECT_EQ(records[1], "second record");
+  EXPECT_EQ(records[2], "");
+  EXPECT_FALSE(stats.tail_corruption);
+  EXPECT_EQ(stats.records, 3u);
+}
+
+TEST_F(WalTest, BinaryPayloadsSurvive) {
+  std::string binary;
+  for (int i = 0; i < 256; ++i) {
+    binary.push_back(static_cast<char>(i));
+  }
+  {
+    auto writer = WalWriter::Open(Env::Default(), path_);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(binary).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto records = Replay(nullptr);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], binary);
+}
+
+TEST_F(WalTest, TruncatedTailIsToleratedAndReported) {
+  uint64_t bytes_after_two;
+  {
+    auto writer = WalWriter::Open(Env::Default(), path_);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("record one").ok());
+    ASSERT_TRUE((*writer)->Append("record two").ok());
+    bytes_after_two = (*writer)->bytes_written();
+    ASSERT_TRUE((*writer)->Append("record three (will be torn)").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  // Tear the last record mid-payload, as a crash would.
+  Truncate(bytes_after_two + 10);
+  WalReplayStats stats;
+  auto records = Replay(&stats);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1], "record two");
+  EXPECT_TRUE(stats.tail_corruption);
+}
+
+TEST_F(WalTest, TruncationInsideHeaderIsTolerated) {
+  {
+    auto writer = WalWriter::Open(Env::Default(), path_);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("whole").ok());
+    ASSERT_TRUE((*writer)->Append("torn").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  uint64_t full = std::filesystem::file_size(path_);
+  Truncate(full - 4 - 6);  // Leaves 4 of the second record's 8B header.
+  WalReplayStats stats;
+  auto records = Replay(&stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "whole");
+  EXPECT_TRUE(stats.tail_corruption);
+}
+
+TEST_F(WalTest, BitFlipStopsReplayAtCorruption) {
+  {
+    auto writer = WalWriter::Open(Env::Default(), path_);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("aaaaaaaaaa").ok());
+    ASSERT_TRUE((*writer)->Append("bbbbbbbbbb").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  // Flip one payload byte of the first record.
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8);  // First payload byte.
+    f.put('X');
+  }
+  WalReplayStats stats;
+  auto records = Replay(&stats);
+  EXPECT_TRUE(records.empty());  // Nothing before the damage.
+  EXPECT_TRUE(stats.tail_corruption);
+}
+
+TEST_F(WalTest, SinkErrorAbortsReplay) {
+  {
+    auto writer = WalWriter::Open(Env::Default(), path_);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("one").ok());
+    ASSERT_TRUE((*writer)->Append("two").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  int seen = 0;
+  Result<WalReplayStats> result =
+      ReplayWal(Env::Default(), path_, [&](std::string_view) {
+        ++seen;
+        return Status::Corruption("sink says no");
+      });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(seen, 1);
+}
+
+TEST_F(WalTest, MissingFileIsNotFound) {
+  Result<WalReplayStats> result = ReplayWal(
+      Env::Default(), dir_ + "/absent.wal",
+      [](std::string_view) { return Status::OK(); });
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_F(WalTest, EmptyFileReplaysZeroRecords) {
+  {
+    auto writer = WalWriter::Open(Env::Default(), path_);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  WalReplayStats stats;
+  auto records = Replay(&stats);
+  EXPECT_TRUE(records.empty());
+  EXPECT_FALSE(stats.tail_corruption);
+}
+
+}  // namespace
+}  // namespace authidx::storage
