@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_coding.cc" "bench/CMakeFiles/bench_coding.dir/bench_coding.cc.o" "gcc" "bench/CMakeFiles/bench_coding.dir/bench_coding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/authidx_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coding.dir/bench_coding.cc.o"
+  "CMakeFiles/bench_coding.dir/bench_coding.cc.o.d"
+  "bench_coding"
+  "bench_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collation.dir/bench_collation.cc.o"
+  "CMakeFiles/bench_collation.dir/bench_collation.cc.o.d"
+  "bench_collation"
+  "bench_collation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fuzzy.dir/bench_fuzzy.cc.o"
+  "CMakeFiles/bench_fuzzy.dir/bench_fuzzy.cc.o.d"
+  "bench_fuzzy"
+  "bench_fuzzy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fuzzy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inverted.dir/bench_inverted.cc.o"
+  "CMakeFiles/bench_inverted.dir/bench_inverted.cc.o.d"
+  "bench_inverted"
+  "bench_inverted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inverted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

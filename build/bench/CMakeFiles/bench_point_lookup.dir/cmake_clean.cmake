@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_point_lookup.dir/bench_point_lookup.cc.o"
+  "CMakeFiles/bench_point_lookup.dir/bench_point_lookup.cc.o.d"
+  "bench_point_lookup"
+  "bench_point_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_point_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

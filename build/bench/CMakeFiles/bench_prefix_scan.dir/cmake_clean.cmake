@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prefix_scan.dir/bench_prefix_scan.cc.o"
+  "CMakeFiles/bench_prefix_scan.dir/bench_prefix_scan.cc.o.d"
+  "bench_prefix_scan"
+  "bench_prefix_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prefix_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_typeset.dir/bench_typeset.cc.o"
+  "CMakeFiles/bench_typeset.dir/bench_typeset.cc.o.d"
+  "bench_typeset"
+  "bench_typeset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_typeset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

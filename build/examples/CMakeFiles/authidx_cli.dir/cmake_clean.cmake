@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authidx_cli.dir/authidx_cli.cc.o"
+  "CMakeFiles/authidx_cli.dir/authidx_cli.cc.o.d"
+  "authidx_cli"
+  "authidx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authidx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibtex_import.dir/bibtex_import.cc.o"
+  "CMakeFiles/bibtex_import.dir/bibtex_import.cc.o.d"
+  "bibtex_import"
+  "bibtex_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibtex_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

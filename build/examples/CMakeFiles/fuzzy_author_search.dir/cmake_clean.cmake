@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_author_search.dir/fuzzy_author_search.cc.o"
+  "CMakeFiles/fuzzy_author_search.dir/fuzzy_author_search.cc.o.d"
+  "fuzzy_author_search"
+  "fuzzy_author_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_author_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

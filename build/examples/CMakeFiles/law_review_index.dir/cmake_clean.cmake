@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/law_review_index.dir/law_review_index.cc.o"
+  "CMakeFiles/law_review_index.dir/law_review_index.cc.o.d"
+  "law_review_index"
+  "law_review_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/law_review_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

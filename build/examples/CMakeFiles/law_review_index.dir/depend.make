@@ -1,0 +1,2 @@
+# Empty dependencies file for law_review_index.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proceedings_index.dir/proceedings_index.cc.o"
+  "CMakeFiles/proceedings_index.dir/proceedings_index.cc.o.d"
+  "proceedings_index"
+  "proceedings_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proceedings_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

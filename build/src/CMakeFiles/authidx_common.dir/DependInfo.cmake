@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/authidx/common/arena.cc" "src/CMakeFiles/authidx_common.dir/authidx/common/arena.cc.o" "gcc" "src/CMakeFiles/authidx_common.dir/authidx/common/arena.cc.o.d"
+  "/root/repo/src/authidx/common/coding.cc" "src/CMakeFiles/authidx_common.dir/authidx/common/coding.cc.o" "gcc" "src/CMakeFiles/authidx_common.dir/authidx/common/coding.cc.o.d"
+  "/root/repo/src/authidx/common/compress.cc" "src/CMakeFiles/authidx_common.dir/authidx/common/compress.cc.o" "gcc" "src/CMakeFiles/authidx_common.dir/authidx/common/compress.cc.o.d"
+  "/root/repo/src/authidx/common/crc32c.cc" "src/CMakeFiles/authidx_common.dir/authidx/common/crc32c.cc.o" "gcc" "src/CMakeFiles/authidx_common.dir/authidx/common/crc32c.cc.o.d"
+  "/root/repo/src/authidx/common/env.cc" "src/CMakeFiles/authidx_common.dir/authidx/common/env.cc.o" "gcc" "src/CMakeFiles/authidx_common.dir/authidx/common/env.cc.o.d"
+  "/root/repo/src/authidx/common/hash.cc" "src/CMakeFiles/authidx_common.dir/authidx/common/hash.cc.o" "gcc" "src/CMakeFiles/authidx_common.dir/authidx/common/hash.cc.o.d"
+  "/root/repo/src/authidx/common/random.cc" "src/CMakeFiles/authidx_common.dir/authidx/common/random.cc.o" "gcc" "src/CMakeFiles/authidx_common.dir/authidx/common/random.cc.o.d"
+  "/root/repo/src/authidx/common/status.cc" "src/CMakeFiles/authidx_common.dir/authidx/common/status.cc.o" "gcc" "src/CMakeFiles/authidx_common.dir/authidx/common/status.cc.o.d"
+  "/root/repo/src/authidx/common/strings.cc" "src/CMakeFiles/authidx_common.dir/authidx/common/strings.cc.o" "gcc" "src/CMakeFiles/authidx_common.dir/authidx/common/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

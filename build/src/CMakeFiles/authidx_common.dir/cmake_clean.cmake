@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authidx_common.dir/authidx/common/arena.cc.o"
+  "CMakeFiles/authidx_common.dir/authidx/common/arena.cc.o.d"
+  "CMakeFiles/authidx_common.dir/authidx/common/coding.cc.o"
+  "CMakeFiles/authidx_common.dir/authidx/common/coding.cc.o.d"
+  "CMakeFiles/authidx_common.dir/authidx/common/compress.cc.o"
+  "CMakeFiles/authidx_common.dir/authidx/common/compress.cc.o.d"
+  "CMakeFiles/authidx_common.dir/authidx/common/crc32c.cc.o"
+  "CMakeFiles/authidx_common.dir/authidx/common/crc32c.cc.o.d"
+  "CMakeFiles/authidx_common.dir/authidx/common/env.cc.o"
+  "CMakeFiles/authidx_common.dir/authidx/common/env.cc.o.d"
+  "CMakeFiles/authidx_common.dir/authidx/common/hash.cc.o"
+  "CMakeFiles/authidx_common.dir/authidx/common/hash.cc.o.d"
+  "CMakeFiles/authidx_common.dir/authidx/common/random.cc.o"
+  "CMakeFiles/authidx_common.dir/authidx/common/random.cc.o.d"
+  "CMakeFiles/authidx_common.dir/authidx/common/status.cc.o"
+  "CMakeFiles/authidx_common.dir/authidx/common/status.cc.o.d"
+  "CMakeFiles/authidx_common.dir/authidx/common/strings.cc.o"
+  "CMakeFiles/authidx_common.dir/authidx/common/strings.cc.o.d"
+  "libauthidx_common.a"
+  "libauthidx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authidx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authidx_core.dir/authidx/core/author_index.cc.o"
+  "CMakeFiles/authidx_core.dir/authidx/core/author_index.cc.o.d"
+  "CMakeFiles/authidx_core.dir/authidx/core/stats.cc.o"
+  "CMakeFiles/authidx_core.dir/authidx/core/stats.cc.o.d"
+  "libauthidx_core.a"
+  "libauthidx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authidx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authidx_format.dir/authidx/format/export.cc.o"
+  "CMakeFiles/authidx_format.dir/authidx/format/export.cc.o.d"
+  "CMakeFiles/authidx_format.dir/authidx/format/kwic.cc.o"
+  "CMakeFiles/authidx_format.dir/authidx/format/kwic.cc.o.d"
+  "CMakeFiles/authidx_format.dir/authidx/format/subject_index.cc.o"
+  "CMakeFiles/authidx_format.dir/authidx/format/subject_index.cc.o.d"
+  "CMakeFiles/authidx_format.dir/authidx/format/title_index.cc.o"
+  "CMakeFiles/authidx_format.dir/authidx/format/title_index.cc.o.d"
+  "CMakeFiles/authidx_format.dir/authidx/format/typeset.cc.o"
+  "CMakeFiles/authidx_format.dir/authidx/format/typeset.cc.o.d"
+  "libauthidx_format.a"
+  "libauthidx_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authidx_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/authidx/index/bloom.cc" "src/CMakeFiles/authidx_index.dir/authidx/index/bloom.cc.o" "gcc" "src/CMakeFiles/authidx_index.dir/authidx/index/bloom.cc.o.d"
+  "/root/repo/src/authidx/index/btree.cc" "src/CMakeFiles/authidx_index.dir/authidx/index/btree.cc.o" "gcc" "src/CMakeFiles/authidx_index.dir/authidx/index/btree.cc.o.d"
+  "/root/repo/src/authidx/index/inverted.cc" "src/CMakeFiles/authidx_index.dir/authidx/index/inverted.cc.o" "gcc" "src/CMakeFiles/authidx_index.dir/authidx/index/inverted.cc.o.d"
+  "/root/repo/src/authidx/index/postings.cc" "src/CMakeFiles/authidx_index.dir/authidx/index/postings.cc.o" "gcc" "src/CMakeFiles/authidx_index.dir/authidx/index/postings.cc.o.d"
+  "/root/repo/src/authidx/index/ranker.cc" "src/CMakeFiles/authidx_index.dir/authidx/index/ranker.cc.o" "gcc" "src/CMakeFiles/authidx_index.dir/authidx/index/ranker.cc.o.d"
+  "/root/repo/src/authidx/index/trie.cc" "src/CMakeFiles/authidx_index.dir/authidx/index/trie.cc.o" "gcc" "src/CMakeFiles/authidx_index.dir/authidx/index/trie.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/authidx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authidx_index.dir/authidx/index/bloom.cc.o"
+  "CMakeFiles/authidx_index.dir/authidx/index/bloom.cc.o.d"
+  "CMakeFiles/authidx_index.dir/authidx/index/btree.cc.o"
+  "CMakeFiles/authidx_index.dir/authidx/index/btree.cc.o.d"
+  "CMakeFiles/authidx_index.dir/authidx/index/inverted.cc.o"
+  "CMakeFiles/authidx_index.dir/authidx/index/inverted.cc.o.d"
+  "CMakeFiles/authidx_index.dir/authidx/index/postings.cc.o"
+  "CMakeFiles/authidx_index.dir/authidx/index/postings.cc.o.d"
+  "CMakeFiles/authidx_index.dir/authidx/index/ranker.cc.o"
+  "CMakeFiles/authidx_index.dir/authidx/index/ranker.cc.o.d"
+  "CMakeFiles/authidx_index.dir/authidx/index/trie.cc.o"
+  "CMakeFiles/authidx_index.dir/authidx/index/trie.cc.o.d"
+  "libauthidx_index.a"
+  "libauthidx_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authidx_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/authidx/model/record.cc" "src/CMakeFiles/authidx_model.dir/authidx/model/record.cc.o" "gcc" "src/CMakeFiles/authidx_model.dir/authidx/model/record.cc.o.d"
+  "/root/repo/src/authidx/model/serde.cc" "src/CMakeFiles/authidx_model.dir/authidx/model/serde.cc.o" "gcc" "src/CMakeFiles/authidx_model.dir/authidx/model/serde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/authidx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authidx_model.dir/authidx/model/record.cc.o"
+  "CMakeFiles/authidx_model.dir/authidx/model/record.cc.o.d"
+  "CMakeFiles/authidx_model.dir/authidx/model/serde.cc.o"
+  "CMakeFiles/authidx_model.dir/authidx/model/serde.cc.o.d"
+  "libauthidx_model.a"
+  "libauthidx_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authidx_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

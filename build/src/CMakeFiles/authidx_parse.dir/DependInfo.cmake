@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/authidx/parse/bibtex.cc" "src/CMakeFiles/authidx_parse.dir/authidx/parse/bibtex.cc.o" "gcc" "src/CMakeFiles/authidx_parse.dir/authidx/parse/bibtex.cc.o.d"
+  "/root/repo/src/authidx/parse/citation.cc" "src/CMakeFiles/authidx_parse.dir/authidx/parse/citation.cc.o" "gcc" "src/CMakeFiles/authidx_parse.dir/authidx/parse/citation.cc.o.d"
+  "/root/repo/src/authidx/parse/name.cc" "src/CMakeFiles/authidx_parse.dir/authidx/parse/name.cc.o" "gcc" "src/CMakeFiles/authidx_parse.dir/authidx/parse/name.cc.o.d"
+  "/root/repo/src/authidx/parse/tsv.cc" "src/CMakeFiles/authidx_parse.dir/authidx/parse/tsv.cc.o" "gcc" "src/CMakeFiles/authidx_parse.dir/authidx/parse/tsv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/authidx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authidx_parse.dir/authidx/parse/bibtex.cc.o"
+  "CMakeFiles/authidx_parse.dir/authidx/parse/bibtex.cc.o.d"
+  "CMakeFiles/authidx_parse.dir/authidx/parse/citation.cc.o"
+  "CMakeFiles/authidx_parse.dir/authidx/parse/citation.cc.o.d"
+  "CMakeFiles/authidx_parse.dir/authidx/parse/name.cc.o"
+  "CMakeFiles/authidx_parse.dir/authidx/parse/name.cc.o.d"
+  "CMakeFiles/authidx_parse.dir/authidx/parse/tsv.cc.o"
+  "CMakeFiles/authidx_parse.dir/authidx/parse/tsv.cc.o.d"
+  "libauthidx_parse.a"
+  "libauthidx_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authidx_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/authidx/query/ast.cc" "src/CMakeFiles/authidx_query.dir/authidx/query/ast.cc.o" "gcc" "src/CMakeFiles/authidx_query.dir/authidx/query/ast.cc.o.d"
+  "/root/repo/src/authidx/query/executor.cc" "src/CMakeFiles/authidx_query.dir/authidx/query/executor.cc.o" "gcc" "src/CMakeFiles/authidx_query.dir/authidx/query/executor.cc.o.d"
+  "/root/repo/src/authidx/query/parser.cc" "src/CMakeFiles/authidx_query.dir/authidx/query/parser.cc.o" "gcc" "src/CMakeFiles/authidx_query.dir/authidx/query/parser.cc.o.d"
+  "/root/repo/src/authidx/query/planner.cc" "src/CMakeFiles/authidx_query.dir/authidx/query/planner.cc.o" "gcc" "src/CMakeFiles/authidx_query.dir/authidx/query/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/authidx_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authidx_query.dir/authidx/query/ast.cc.o"
+  "CMakeFiles/authidx_query.dir/authidx/query/ast.cc.o.d"
+  "CMakeFiles/authidx_query.dir/authidx/query/executor.cc.o"
+  "CMakeFiles/authidx_query.dir/authidx/query/executor.cc.o.d"
+  "CMakeFiles/authidx_query.dir/authidx/query/parser.cc.o"
+  "CMakeFiles/authidx_query.dir/authidx/query/parser.cc.o.d"
+  "CMakeFiles/authidx_query.dir/authidx/query/planner.cc.o"
+  "CMakeFiles/authidx_query.dir/authidx/query/planner.cc.o.d"
+  "libauthidx_query.a"
+  "libauthidx_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authidx_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

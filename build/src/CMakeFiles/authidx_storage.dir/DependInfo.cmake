@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/authidx/storage/block.cc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/block.cc.o" "gcc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/block.cc.o.d"
+  "/root/repo/src/authidx/storage/cache.cc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/cache.cc.o" "gcc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/cache.cc.o.d"
+  "/root/repo/src/authidx/storage/engine.cc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/engine.cc.o" "gcc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/engine.cc.o.d"
+  "/root/repo/src/authidx/storage/iterator.cc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/iterator.cc.o" "gcc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/iterator.cc.o.d"
+  "/root/repo/src/authidx/storage/manifest.cc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/manifest.cc.o" "gcc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/manifest.cc.o.d"
+  "/root/repo/src/authidx/storage/memtable.cc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/memtable.cc.o" "gcc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/memtable.cc.o.d"
+  "/root/repo/src/authidx/storage/table.cc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/table.cc.o" "gcc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/table.cc.o.d"
+  "/root/repo/src/authidx/storage/wal.cc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/wal.cc.o" "gcc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/wal.cc.o.d"
+  "/root/repo/src/authidx/storage/write_batch.cc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/write_batch.cc.o" "gcc" "src/CMakeFiles/authidx_storage.dir/authidx/storage/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/authidx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/authidx_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authidx_storage.dir/authidx/storage/block.cc.o"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/block.cc.o.d"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/cache.cc.o"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/cache.cc.o.d"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/engine.cc.o"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/engine.cc.o.d"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/iterator.cc.o"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/iterator.cc.o.d"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/manifest.cc.o"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/manifest.cc.o.d"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/memtable.cc.o"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/memtable.cc.o.d"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/table.cc.o"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/table.cc.o.d"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/wal.cc.o"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/wal.cc.o.d"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/write_batch.cc.o"
+  "CMakeFiles/authidx_storage.dir/authidx/storage/write_batch.cc.o.d"
+  "libauthidx_storage.a"
+  "libauthidx_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authidx_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/authidx/text/collate.cc" "src/CMakeFiles/authidx_text.dir/authidx/text/collate.cc.o" "gcc" "src/CMakeFiles/authidx_text.dir/authidx/text/collate.cc.o.d"
+  "/root/repo/src/authidx/text/distance.cc" "src/CMakeFiles/authidx_text.dir/authidx/text/distance.cc.o" "gcc" "src/CMakeFiles/authidx_text.dir/authidx/text/distance.cc.o.d"
+  "/root/repo/src/authidx/text/normalize.cc" "src/CMakeFiles/authidx_text.dir/authidx/text/normalize.cc.o" "gcc" "src/CMakeFiles/authidx_text.dir/authidx/text/normalize.cc.o.d"
+  "/root/repo/src/authidx/text/phonetic.cc" "src/CMakeFiles/authidx_text.dir/authidx/text/phonetic.cc.o" "gcc" "src/CMakeFiles/authidx_text.dir/authidx/text/phonetic.cc.o.d"
+  "/root/repo/src/authidx/text/stem.cc" "src/CMakeFiles/authidx_text.dir/authidx/text/stem.cc.o" "gcc" "src/CMakeFiles/authidx_text.dir/authidx/text/stem.cc.o.d"
+  "/root/repo/src/authidx/text/tokenize.cc" "src/CMakeFiles/authidx_text.dir/authidx/text/tokenize.cc.o" "gcc" "src/CMakeFiles/authidx_text.dir/authidx/text/tokenize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/authidx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

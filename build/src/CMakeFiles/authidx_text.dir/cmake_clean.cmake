@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authidx_text.dir/authidx/text/collate.cc.o"
+  "CMakeFiles/authidx_text.dir/authidx/text/collate.cc.o.d"
+  "CMakeFiles/authidx_text.dir/authidx/text/distance.cc.o"
+  "CMakeFiles/authidx_text.dir/authidx/text/distance.cc.o.d"
+  "CMakeFiles/authidx_text.dir/authidx/text/normalize.cc.o"
+  "CMakeFiles/authidx_text.dir/authidx/text/normalize.cc.o.d"
+  "CMakeFiles/authidx_text.dir/authidx/text/phonetic.cc.o"
+  "CMakeFiles/authidx_text.dir/authidx/text/phonetic.cc.o.d"
+  "CMakeFiles/authidx_text.dir/authidx/text/stem.cc.o"
+  "CMakeFiles/authidx_text.dir/authidx/text/stem.cc.o.d"
+  "CMakeFiles/authidx_text.dir/authidx/text/tokenize.cc.o"
+  "CMakeFiles/authidx_text.dir/authidx/text/tokenize.cc.o.d"
+  "libauthidx_text.a"
+  "libauthidx_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authidx_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

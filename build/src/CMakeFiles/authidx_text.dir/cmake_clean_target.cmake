@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libauthidx_text.a"
+)

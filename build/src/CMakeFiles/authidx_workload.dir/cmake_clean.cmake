@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authidx_workload.dir/authidx/workload/corpus.cc.o"
+  "CMakeFiles/authidx_workload.dir/authidx/workload/corpus.cc.o.d"
+  "CMakeFiles/authidx_workload.dir/authidx/workload/namegen.cc.o"
+  "CMakeFiles/authidx_workload.dir/authidx/workload/namegen.cc.o.d"
+  "CMakeFiles/authidx_workload.dir/authidx/workload/sample_data.cc.o"
+  "CMakeFiles/authidx_workload.dir/authidx/workload/sample_data.cc.o.d"
+  "libauthidx_workload.a"
+  "libauthidx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authidx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/author_index_test.dir/author_index_test.cc.o"
+  "CMakeFiles/author_index_test.dir/author_index_test.cc.o.d"
+  "author_index_test"
+  "author_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/author_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibtex_test.dir/bibtex_test.cc.o"
+  "CMakeFiles/bibtex_test.dir/bibtex_test.cc.o.d"
+  "bibtex_test"
+  "bibtex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibtex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collate_test.dir/collate_test.cc.o"
+  "CMakeFiles/collate_test.dir/collate_test.cc.o.d"
+  "collate_test"
+  "collate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_random_test.dir/hash_random_test.cc.o"
+  "CMakeFiles/hash_random_test.dir/hash_random_test.cc.o.d"
+  "hash_random_test"
+  "hash_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverted_ranker_test.dir/inverted_ranker_test.cc.o"
+  "CMakeFiles/inverted_ranker_test.dir/inverted_ranker_test.cc.o.d"
+  "inverted_ranker_test"
+  "inverted_ranker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverted_ranker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwic_test.dir/kwic_test.cc.o"
+  "CMakeFiles/kwic_test.dir/kwic_test.cc.o.d"
+  "kwic_test"
+  "kwic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postings_test.dir/postings_test.cc.o"
+  "CMakeFiles/postings_test.dir/postings_test.cc.o.d"
+  "postings_test"
+  "postings_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

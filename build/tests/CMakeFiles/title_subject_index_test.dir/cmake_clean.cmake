@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/title_subject_index_test.dir/title_subject_index_test.cc.o"
+  "CMakeFiles/title_subject_index_test.dir/title_subject_index_test.cc.o.d"
+  "title_subject_index_test"
+  "title_subject_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/title_subject_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

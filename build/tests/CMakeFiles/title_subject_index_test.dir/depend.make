@@ -1,0 +1,2 @@
+# Empty dependencies file for title_subject_index_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenize_stem_test.dir/tokenize_stem_test.cc.o"
+  "CMakeFiles/tokenize_stem_test.dir/tokenize_stem_test.cc.o.d"
+  "tokenize_stem_test"
+  "tokenize_stem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenize_stem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typeset_test.dir/typeset_test.cc.o"
+  "CMakeFiles/typeset_test.dir/typeset_test.cc.o.d"
+  "typeset_test"
+  "typeset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typeset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
