@@ -23,13 +23,12 @@ std::string FreshDir(const char* tag) {
 
 void FillAndCompact(StorageEngine* engine, size_t n) {
   for (size_t i = 0; i < n; ++i) {
-    engine
-        ->Put(StringPrintf("author/%08zu/entry", i),
-              "surname given-names suffix title title title " +
-                  std::string(60, 'a' + (i % 7)))
-        .ok();
+    AUTHIDX_CHECK_OK(
+        engine->Put(StringPrintf("author/%08zu/entry", i),
+                    "surname given-names suffix title title title " +
+                        std::string(60, static_cast<char>('a' + (i % 7)))));
   }
-  engine->Compact().ok();
+  AUTHIDX_CHECK_OK(engine->Compact());
 }
 
 uint64_t DirBytes(const std::string& dir) {
@@ -58,7 +57,7 @@ void BM_AblateCompression(benchmark::State& state) {
     benchmark::DoNotOptimize(hit.ok());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
-  (*engine)->Close().ok();
+  AUTHIDX_CHECK_OK((*engine)->Close());
   engine->reset();
   std::filesystem::remove_all(dir);
 }
@@ -83,7 +82,7 @@ void BM_AblateBloomOnMisses(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
   state.counters["bits_per_key"] = bits;
-  (*engine)->Close().ok();
+  AUTHIDX_CHECK_OK((*engine)->Close());
   engine->reset();
   std::filesystem::remove_all(dir);
 }
@@ -114,7 +113,7 @@ void BM_AblateBlockCache(benchmark::State& state) {
                 static_cast<double>((*engine)->block_cache().hits() +
                                     (*engine)->block_cache().misses())
           : 0.0;
-  (*engine)->Close().ok();
+  AUTHIDX_CHECK_OK((*engine)->Close());
   engine->reset();
   std::filesystem::remove_all(dir);
 }
@@ -137,7 +136,7 @@ void BM_AblateRestartInterval(benchmark::State& state) {
     benchmark::DoNotOptimize(hit.ok());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
-  (*engine)->Close().ok();
+  AUTHIDX_CHECK_OK((*engine)->Close());
   engine->reset();
   std::filesystem::remove_all(dir);
 }
@@ -153,18 +152,18 @@ void BM_AblateBatchIngest(benchmark::State& state) {
   size_t i = 0;
   for (auto _ : state) {
     if (batch_size <= 1) {
-      (*engine)->Put(StringPrintf("key%010zu", i++), "value").ok();
+      AUTHIDX_CHECK_OK((*engine)->Put(StringPrintf("key%010zu", i++), "value"));
     } else {
       WriteBatch batch;
       for (size_t j = 0; j < batch_size; ++j) {
         batch.Put(StringPrintf("key%010zu", i++), "value");
       }
-      (*engine)->Apply(batch).ok();
+      AUTHIDX_CHECK_OK((*engine)->Apply(batch));
     }
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(batch_size ? batch_size : 1));
-  (*engine)->Close().ok();
+  AUTHIDX_CHECK_OK((*engine)->Close());
   engine->reset();
   std::filesystem::remove_all(dir);
 }

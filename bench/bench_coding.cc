@@ -34,7 +34,8 @@ void BM_VarintEncode(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(buf.size()));
   state.counters["values/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * values.size(),
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(values.size()),
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_VarintEncode);
@@ -102,7 +103,8 @@ void BM_ZigZag(benchmark::State& state) {
     benchmark::DoNotOptimize(sink);
   }
   state.counters["values/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * values.size(),
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(values.size()),
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ZigZag);

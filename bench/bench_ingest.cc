@@ -27,7 +27,7 @@ void BM_IngestInMemory(benchmark::State& state) {
   for (auto _ : state) {
     auto catalog = AuthorIndex::Create();
     for (size_t i = 0; i < n; ++i) {
-      catalog->Add(corpus[i % corpus.size()]).ok();
+      AUTHIDX_CHECK_OK(catalog->Add(corpus[i % corpus.size()]));
     }
     benchmark::DoNotOptimize(catalog->entry_count());
   }
@@ -49,9 +49,9 @@ void BM_IngestPersistent(benchmark::State& state) {
     {
       auto catalog = AuthorIndex::OpenPersistent(dir);
       for (size_t i = 0; i < n; ++i) {
-        (*catalog)->Add(corpus[i % corpus.size()]).ok();
+        AUTHIDX_CHECK_OK((*catalog)->Add(corpus[i % corpus.size()]));
       }
-      (*catalog)->Flush().ok();
+      AUTHIDX_CHECK_OK((*catalog)->Flush());
     }
     state.PauseTiming();
     std::filesystem::remove_all(dir);
@@ -73,9 +73,9 @@ void BM_ReopenPersistent(benchmark::State& state) {
   {
     auto catalog = AuthorIndex::OpenPersistent(dir);
     for (size_t i = 0; i < n; ++i) {
-      (*catalog)->Add(corpus[i % corpus.size()]).ok();
+      AUTHIDX_CHECK_OK((*catalog)->Add(corpus[i % corpus.size()]));
     }
-    (*catalog)->CompactStorage().ok();
+    AUTHIDX_CHECK_OK((*catalog)->CompactStorage());
   }
   for (auto _ : state) {
     auto catalog = AuthorIndex::OpenPersistent(dir);

@@ -16,7 +16,7 @@ AuthorIndex& Catalog() {
     options.entries = 100000;
     options.authors = 8000;
     auto c = AuthorIndex::Create();
-    c->AddAll(workload::GenerateCorpus(options)).ok();
+    AUTHIDX_CHECK_OK(c->AddAll(workload::GenerateCorpus(options)));
     return c.release();
   }();
   return *catalog;

@@ -31,7 +31,7 @@ void BM_WalAppendBuffered(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize((*writer)->Append(record).ok());
   }
-  (*writer)->Close().ok();
+  AUTHIDX_CHECK_OK((*writer)->Close());
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           state.range(0));
   std::filesystem::remove_all(dir);
@@ -43,10 +43,10 @@ void BM_WalAppendSynced(benchmark::State& state) {
   std::string record(static_cast<size_t>(state.range(0)), 'r');
   auto writer = WalWriter::Open(Env::Default(), dir + "/bench.wal");
   for (auto _ : state) {
-    (*writer)->Append(record).ok();
+    AUTHIDX_CHECK_OK((*writer)->Append(record));
     benchmark::DoNotOptimize((*writer)->Sync().ok());
   }
-  (*writer)->Close().ok();
+  AUTHIDX_CHECK_OK((*writer)->Close());
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           state.range(0));
   std::filesystem::remove_all(dir);
@@ -63,12 +63,12 @@ void BM_EngineFill(benchmark::State& state) {
     auto engine = StorageEngine::Open(dir, options);
     state.ResumeTiming();
     for (size_t i = 0; i < n; ++i) {
-      (*engine)->Put(StringPrintf("key%010zu", i), "value-payload-0123456789")
-          .ok();
+      AUTHIDX_CHECK_OK((*engine)->Put(StringPrintf("key%010zu", i),
+                                      "value-payload-0123456789"));
     }
-    (*engine)->Flush().ok();
+    AUTHIDX_CHECK_OK((*engine)->Flush());
     state.PauseTiming();
-    (*engine)->Close().ok();
+    AUTHIDX_CHECK_OK((*engine)->Close());
     engine->reset();
     std::filesystem::remove_all(dir);
     state.ResumeTiming();
@@ -91,10 +91,10 @@ struct ReadFixture {
     auto opened = StorageEngine::Open(dir, options);
     engine = std::move(opened).value();
     for (size_t i = 0; i < n; ++i) {
-      engine->Put(StringPrintf("key%010zu", i), "value-payload-0123456789")
-          .ok();
+      AUTHIDX_CHECK_OK(engine->Put(StringPrintf("key%010zu", i),
+                                   "value-payload-0123456789"));
     }
-    engine->Compact().ok();
+    AUTHIDX_CHECK_OK(engine->Compact());
   }
 };
 
@@ -149,13 +149,13 @@ void BM_CompactionThroughput(benchmark::State& state) {
     options.l0_compaction_trigger = 1000;  // Manual compaction only.
     auto engine = StorageEngine::Open(dir, options);
     for (size_t i = 0; i < 50000; ++i) {
-      (*engine)->Put(StringPrintf("key%010zu", i * 3 % 60000), "v").ok();
+      AUTHIDX_CHECK_OK((*engine)->Put(StringPrintf("key%010zu", i * 3 % 60000), "v"));
     }
-    (*engine)->Flush().ok();
+    AUTHIDX_CHECK_OK((*engine)->Flush());
     state.ResumeTiming();
-    (*engine)->Compact().ok();
+    AUTHIDX_CHECK_OK((*engine)->Compact());
     state.PauseTiming();
-    (*engine)->Close().ok();
+    AUTHIDX_CHECK_OK((*engine)->Close());
     engine->reset();
     std::filesystem::remove_all(dir);
     state.ResumeTiming();

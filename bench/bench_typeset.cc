@@ -21,7 +21,7 @@ core::AuthorIndex& Catalog(size_t entries) {
     options.entries = entries;
     options.authors = entries / 10 + 2;
     auto catalog = core::AuthorIndex::Create();
-    catalog->AddAll(workload::GenerateCorpus(options)).ok();
+    AUTHIDX_CHECK_OK(catalog->AddAll(workload::GenerateCorpus(options)));
     it = catalogs->emplace(entries, catalog.release()).first;
   }
   return *it->second;

@@ -30,6 +30,11 @@ char* Arena::AllocateAligned(size_t bytes) {
 }
 
 std::string_view Arena::CopyString(std::string_view s) {
+  if (s.empty()) {
+    // A default-constructed view has data() == nullptr; memcpy from a
+    // null source is UB even for zero bytes.
+    return std::string_view();
+  }
   char* dst = Allocate(s.size());
   std::memcpy(dst, s.data(), s.size());
   return std::string_view(dst, s.size());

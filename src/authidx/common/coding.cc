@@ -69,7 +69,14 @@ Status GetVarint64(std::string_view* input, uint64_t* value) {
   size_t i = 0;
   while (i < input->size() && shift <= 63) {
     unsigned char byte = static_cast<unsigned char>((*input)[i++]);
-    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    uint64_t bits = byte & 0x7F;
+    // The 10th byte holds only bit 63: any higher payload bits would be
+    // shifted out silently, making two distinct encodings decode to the
+    // same value. Reject instead of truncating.
+    if (shift == 63 && bits > 1) {
+      return Status::Corruption("varint64 overflow");
+    }
+    result |= bits << shift;
     if ((byte & 0x80) == 0) {
       *value = result;
       input->remove_prefix(i);

@@ -27,7 +27,9 @@ class PosixWritableFile final : public WritableFile {
     buffer_.reserve(kBufferSize);
   }
 
-  ~PosixWritableFile() override { Close().ok(); }
+  // Destructors cannot propagate errors; callers wanting the close
+  // status must call Close() explicitly before destruction.
+  ~PosixWritableFile() override { Close().IgnoreError(); }
 
   Status Append(std::string_view data) override {
     if (fd_ < 0) {

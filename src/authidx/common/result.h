@@ -1,7 +1,6 @@
 #ifndef AUTHIDX_COMMON_RESULT_H_
 #define AUTHIDX_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
@@ -19,8 +18,11 @@ namespace authidx {
 /// or with the propagation macro:
 ///
 ///   AUTHIDX_ASSIGN_OR_RETURN(Citation c, ParseCitation(text));
+///
+/// Like `Status`, the class is `[[nodiscard]]`: silently ignoring a
+/// returned Result fails to compile under -Werror.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit so functions can `return value;`).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -44,17 +46,19 @@ class Result {
   /// Returns the carried status: OK when a value is present.
   const Status& status() const { return status_; }
 
-  /// Accessors; must only be called when `ok()`.
+  /// Accessors; must only be called when `ok()`. Calling them in the
+  /// error state aborts with the carried status (in every build type —
+  /// never silent UB).
   const T& value() const& {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckHasValue();
     return std::move(*value_);
   }
 
@@ -68,6 +72,12 @@ class Result {
   T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
 
  private:
+  void CheckHasValue() const {
+    if (!ok()) {
+      internal::CheckOkFailed("Result::value()", __FILE__, __LINE__, status_);
+    }
+  }
+
   Status status_;  // OK iff value_ holds a value.
   std::optional<T> value_;
 };

@@ -1,6 +1,26 @@
 #include "authidx/common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace authidx {
+
+namespace internal {
+
+void CheckOkFailed(const char* expr, const char* file, int line,
+                   const Status& status) {
+  std::fprintf(stderr, "%s:%d: AUTHIDX_CHECK_OK(%s) failed: %s\n", file, line,
+               expr, status.ToString().c_str());
+  std::abort();
+}
+
+void InternalCheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "%s:%d: AUTHIDX_INTERNAL_CHECK(%s) failed\n", file,
+               line, expr);
+  std::abort();
+}
+
+}  // namespace internal
 
 std::string_view StatusCodeToString(StatusCode code) {
   switch (code) {

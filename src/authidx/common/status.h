@@ -42,7 +42,11 @@ std::string_view StatusCodeToString(StatusCode code);
 /// or via the propagation macro:
 ///
 ///   AUTHIDX_RETURN_NOT_OK(wal->Append(record));
-class Status {
+///
+/// The class is `[[nodiscard]]`: a call site that ignores a returned
+/// Status fails to compile under -Werror. Use `.IgnoreError()` (with a
+/// comment saying why) in the rare case dropping the error is intended.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -89,6 +93,10 @@ class Status {
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// Explicitly discards the status. The only sanctioned way to drop an
+  /// error; call sites should justify the drop with a comment.
+  void IgnoreError() const {}
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -134,6 +142,53 @@ std::ostream& operator<<(std::ostream& os, const Status& s);
     if (!_authidx_status_.ok()) {                   \
       return _authidx_status_;                      \
     }                                               \
+  } while (false)
+
+namespace internal {
+
+/// Aborts the process with the failed status. Out-of-line so the macro
+/// below stays cheap at every call site.
+[[noreturn]] void CheckOkFailed(const char* expr, const char* file, int line,
+                                const Status& status);
+
+/// Aborts the process for a violated internal invariant.
+[[noreturn]] void InternalCheckFailed(const char* expr, const char* file,
+                                      int line);
+
+// Extracts the Status from either a Status or a Result<T> (anything
+// with a `status()` accessor), so AUTHIDX_CHECK_OK accepts both.
+inline const Status& ToStatus(const Status& s) { return s; }
+template <typename R>
+auto ToStatus(const R& r) -> decltype(r.status()) {
+  return r.status();
+}
+
+}  // namespace internal
+
+/// Aborts (with the status message) when `expr` is a non-OK Status or
+/// Result<T>. For benchmarks, examples, and test fixtures where an
+/// error cannot be propagated and must not be silently dropped.
+/// Library code paths should propagate with AUTHIDX_RETURN_NOT_OK.
+#define AUTHIDX_CHECK_OK(expr)                                          \
+  do {                                                                  \
+    auto&& _authidx_check_res_ = (expr);                                \
+    if (!_authidx_check_res_.ok()) {                                    \
+      ::authidx::internal::CheckOkFailed(                               \
+          #expr, __FILE__, __LINE__,                                    \
+          ::authidx::internal::ToStatus(_authidx_check_res_));          \
+    }                                                                   \
+  } while (false)
+
+/// Aborts when an internal invariant does not hold. Unlike `assert`,
+/// the check stays active in release builds — library code must use
+/// this (tools/lint.py forbids `assert` under src/authidx/) so invariant
+/// violations surface as a diagnosed abort rather than silent UB.
+#define AUTHIDX_INTERNAL_CHECK(cond)                                    \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::authidx::internal::InternalCheckFailed(#cond, __FILE__,         \
+                                               __LINE__);               \
+    }                                                                   \
   } while (false)
 
 }  // namespace authidx

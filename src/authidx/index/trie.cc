@@ -58,9 +58,13 @@ void Trie::Insert(std::string_view key, uint64_t value) {
             arena_.Allocate(new_cap));
         auto* new_kids = reinterpret_cast<Node**>(
             arena_.AllocateAligned(new_cap * sizeof(Node*)));
-        std::memcpy(new_labels, node->labels, node->num_children);
-        std::memcpy(new_kids, node->kids,
-                    node->num_children * sizeof(Node*));
+        // labels/kids are null until the first child: memcpy from a
+        // null source is UB even for zero bytes.
+        if (node->num_children > 0) {
+          std::memcpy(new_labels, node->labels, node->num_children);
+          std::memcpy(new_kids, node->kids,
+                      node->num_children * sizeof(Node*));
+        }
         node->labels = new_labels;
         node->kids = new_kids;
         node->cap_children = new_cap;

@@ -1,9 +1,9 @@
 #include "authidx/storage/block.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "authidx/common/coding.h"
+#include "authidx/common/status.h"
 
 namespace authidx::storage {
 
@@ -13,8 +13,8 @@ BlockBuilder::BlockBuilder(int restart_interval)
 }
 
 void BlockBuilder::Add(std::string_view key, std::string_view value) {
-  assert(!finished_);
-  assert(counter_ == 0 || key >= std::string_view(last_key_));
+  AUTHIDX_INTERNAL_CHECK(!finished_);
+  AUTHIDX_INTERNAL_CHECK(counter_ == 0 || key >= std::string_view(last_key_));
   size_t shared = 0;
   if (counter_ < restart_interval_) {
     size_t max_shared = std::min(key.size(), last_key_.size());
@@ -126,8 +126,14 @@ class Block::Iter final : public Iterator {
   // Decodes the full (restart) key at restart index `i`.
   bool KeyAtRestart(uint32_t i, std::string_view* key) {
     size_t off = RestartOffset(i);
-    std::string_view input =
-        std::string_view(block_->contents_).substr(off);
+    // A corrupted restart array can hold any 32-bit offset; substr on an
+    // out-of-range offset throws. Clamp reads to the entry region.
+    if (off >= block_->restarts_offset_) {
+      status_ = Status::Corruption("restart offset out of range");
+      return false;
+    }
+    std::string_view input = std::string_view(block_->contents_)
+                                 .substr(off, block_->restarts_offset_ - off);
     uint32_t shared = 0, non_shared = 0, value_len = 0;
     if (!GetVarint32(&input, &shared).ok() ||
         !GetVarint32(&input, &non_shared).ok() ||

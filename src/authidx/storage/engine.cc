@@ -59,7 +59,9 @@ StorageEngine::StorageEngine(std::string dir, EngineOptions options)
 
 StorageEngine::~StorageEngine() {
   if (!closed_) {
-    Close().ok();
+    // Destructors cannot propagate errors; callers wanting the close
+    // status must call Close() explicitly before destruction.
+    Close().IgnoreError();
   }
 }
 

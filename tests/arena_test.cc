@@ -48,6 +48,15 @@ TEST(ArenaTest, CopyStringPreservesContentsStably) {
   EXPECT_EQ(copy, "persistent text");
 }
 
+// Regression: copying a default-constructed view used to memcpy from
+// its null data() pointer — UB flagged by UBSan's nonnull checks.
+TEST(ArenaTest, CopyStringHandlesEmptyAndNullViews) {
+  Arena arena;
+  EXPECT_EQ(arena.CopyString(std::string_view()), "");
+  EXPECT_EQ(arena.CopyString(""), "");
+  EXPECT_TRUE(arena.CopyString(std::string_view()).empty());
+}
+
 TEST(ArenaTest, MemoryUsageGrowsMonotonically) {
   Arena arena;
   size_t prev = arena.MemoryUsage();

@@ -164,5 +164,33 @@ TEST(BlockTest, BuilderReset) {
   EXPECT_FALSE(it->Valid());
 }
 
+// Regression: a corrupted restart array used to make Seek call
+// substr() with an out-of-range offset, throwing std::out_of_range
+// instead of reporting Corruption through the iterator status.
+TEST(BlockTest, CorruptRestartOffsetIsCorruptionNotCrash) {
+  BlockBuilder builder(/*restart_interval=*/1);  // Every entry restarts.
+  builder.Add("aaa", "1");
+  builder.Add("bbb", "2");
+  builder.Add("ccc", "3");
+  builder.Add("ddd", "4");
+  std::string contents(builder.Finish());
+
+  // Layout: entries | restarts[4 x uint32] | num_restarts. Smash the
+  // middle restart offset (the first probe of the binary search) to an
+  // address far outside the block.
+  const size_t restarts_offset = contents.size() - 4 - 4 * 4;
+  std::string corrupted = contents;
+  for (int i = 0; i < 4; ++i) {
+    corrupted[restarts_offset + 4 * 2 + static_cast<size_t>(i)] = '\xFF';
+  }
+
+  Result<std::unique_ptr<Block>> block = Block::Parse(std::move(corrupted));
+  ASSERT_TRUE(block.ok()) << block.status();  // Trailer itself is intact.
+  auto it = (*block)->NewIterator();
+  it->Seek("ccc");  // Binary search reads the smashed restart entry.
+  EXPECT_FALSE(it->Valid());
+  EXPECT_TRUE(it->status().IsCorruption()) << it->status();
+}
+
 }  // namespace
 }  // namespace authidx::storage

@@ -87,6 +87,33 @@ TEST(VarintTest, AllContinuationBytesIsCorruption) {
   EXPECT_TRUE(GetVarint64(&input, &v).IsCorruption());
 }
 
+// Regression: the 10th byte of a varint64 holds only bit 63. Payload
+// bits above it used to be shifted out silently, so a non-canonical
+// encoding decoded to a wrong value instead of failing.
+TEST(VarintTest, Varint64OverflowBitsAreCorruption) {
+  // Nine continuation bytes, then a final byte with payload 0x02: the
+  // encoded value would need bit 64.
+  std::string buf(9, '\x81');
+  buf.push_back('\x02');
+  std::string_view input = buf;
+  uint64_t v = 0;
+  EXPECT_TRUE(GetVarint64(&input, &v).IsCorruption());
+
+  // The same prefix with final payload 0x01 (bit 63 set) is the
+  // canonical encoding of a valid value and must still decode.
+  buf[9] = '\x01';
+  input = buf;
+  EXPECT_TRUE(GetVarint64(&input, &v).ok());
+  EXPECT_EQ(v >> 63, 1u);
+
+  // UINT64_MAX itself still round-trips.
+  std::string max;
+  PutVarint64(&max, UINT64_MAX);
+  input = max;
+  EXPECT_TRUE(GetVarint64(&input, &v).ok());
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
 TEST(LengthPrefixedTest, RoundTripIncludingEmptyAndBinary) {
   std::string buf;
   PutLengthPrefixed(&buf, "");

@@ -31,7 +31,7 @@ class EngineFeaturesTest : public ::testing::Test {
       // Repetitive values compress extremely well.
       ASSERT_TRUE(engine
                       ->Put(StringPrintf("author/%06d/entry", i),
-                            std::string(200, 'a' + (i % 3)))
+                            std::string(200, static_cast<char>('a' + (i % 3))))
                       .ok());
     }
   }

@@ -1,0 +1,118 @@
+// Deterministic corpus-driven fuzzing of the BibTeX and TSV parsers:
+// mutated documents must never crash the parser (errors must surface as
+// Status), and successful parses must survive a print -> re-parse round
+// trip. Run under the asan-ubsan preset for full effect.
+
+#include <gtest/gtest.h>
+
+#include "authidx/parse/bibtex.h"
+#include "authidx/parse/tsv.h"
+#include "fuzz_util.h"
+
+namespace authidx {
+namespace {
+
+std::vector<std::string> BibTexCorpus() {
+  return {
+      R"(@article{coal93,
+  author = "Webster J. Arceneaux and Philip B. Scott",
+  title  = "Potential Criminal Liability in the {Coal} Fields",
+  year   = "1993",
+  volume = "95",
+  pages  = "691-720"
+})",
+      R"(@inproceedings{minow92,
+  author = {Minow, Martha},
+  title  = {All in the Family {\&} In All Families},
+  year   = 1992,
+  volume = {95},
+  pages  = {275--334},
+})",
+      R"(% comment line
+free text between entries
+@book{topo47,
+  author = {Alexandrov, Pavel},
+  title  = {Combinatorial Topology},
+  year   = {1947}
+})",
+      R"(@comment{skipped}
+@preamble{"also skipped"}
+@misc{k, author={A, B and C, D}, title={{Nested {Braces}}}, year=2000})",
+      "@article{x, author={Solo, Han}, title={Kessel Run}, year=1977,"
+      " volume=12, pages=1}",
+  };
+}
+
+TEST(FuzzBibTex, MutatedDocumentsNeverCrash) {
+  CorpusMutator mutator(BibTexCorpus(), /*seed=*/0xb1b7e4);
+  int iters = FuzzIterations();
+  for (int i = 0; i < iters; ++i) {
+    std::string doc = mutator.Next();
+    SCOPED_TRACE("case " + std::to_string(i));
+    Result<std::vector<BibTexEntry>> parsed = ParseBibTex(doc);
+    if (!parsed.ok()) {
+      continue;  // Rejection must be a Status, never a crash.
+    }
+    // Raw entries that parsed must also convert without crashing.
+    BibTexToEntries(*parsed).status().IgnoreError();
+  }
+}
+
+TEST(FuzzBibTex, AcceptedEntriesRoundTripThroughTsv) {
+  CorpusMutator mutator(BibTexCorpus(), /*seed=*/0xcafe01);
+  int iters = FuzzIterations();
+  for (int i = 0; i < iters; ++i) {
+    std::string doc = mutator.Next();
+    Result<std::vector<Entry>> entries = ParseBibTexToEntries(doc);
+    if (!entries.ok()) {
+      continue;
+    }
+    for (const Entry& entry : *entries) {
+      if (!ValidateEntry(entry).ok()) {
+        continue;  // TSV only guarantees round trips for valid entries.
+      }
+      SCOPED_TRACE("case " + std::to_string(i) + " entry " +
+                   entry.author.ToIndexForm());
+      std::string line = EntryToTsvLine(entry);
+      Result<Entry> reparsed = ParseTsvLine(line);
+      ASSERT_TRUE(reparsed.ok())
+          << "print -> parse failed for '" << line
+          << "': " << reparsed.status();
+      EXPECT_EQ(EntryToTsvLine(*reparsed), line)
+          << "print -> parse -> print not stable";
+    }
+  }
+}
+
+std::vector<std::string> TsvCorpus() {
+  return {
+      "Arceneaux, Webster J.\tPotential Criminal Liability\t95:691 (1993)\t"
+      "Scott, Philip B.",
+      "Minow, Martha\tAll in the Family\t95:275 (1992)",
+      "# comment\n\nMcGinley, Patrick C.*\tSurface Mining\t82:1 (1976)",
+      "A, B\tT\t1:1 (1900)\tC, D;E, F",
+  };
+}
+
+TEST(FuzzTsv, MutatedDocumentsNeverCrashAndReparseStably) {
+  CorpusMutator mutator(TsvCorpus(), /*seed=*/0x75f5a1);
+  int iters = FuzzIterations();
+  for (int i = 0; i < iters; ++i) {
+    std::string doc = mutator.Next();
+    SCOPED_TRACE("case " + std::to_string(i));
+    Result<std::vector<Entry>> parsed = ParseTsv(doc);
+    if (!parsed.ok()) {
+      continue;
+    }
+    // Whatever the parser accepted must print and re-parse to the same
+    // entries: the printed form is the interchange format of record.
+    std::string printed = EntriesToTsv(*parsed);
+    Result<std::vector<Entry>> reparsed = ParseTsv(printed);
+    ASSERT_TRUE(reparsed.ok())
+        << "re-parse of printed TSV failed: " << reparsed.status();
+    EXPECT_EQ(*reparsed, *parsed);
+  }
+}
+
+}  // namespace
+}  // namespace authidx

@@ -1,0 +1,89 @@
+// Deterministic corpus-driven fuzzing of the query-string parser:
+// mutated queries must never crash (rejection is a Status), accepted
+// queries must satisfy the Query invariants documented in ast.h, and
+// parsing must be deterministic (same input -> same debug rendering).
+// Run under the asan-ubsan preset for full effect.
+
+#include <gtest/gtest.h>
+
+#include "authidx/query/parser.h"
+#include "fuzz_util.h"
+
+namespace authidx::query {
+namespace {
+
+std::vector<std::string> QueryCorpus() {
+  return {
+      "author:mcginley title:\"surface mining\" year:1976..1985 -tax",
+      "author:sm* vol:82 student:yes order:relevance limit:20",
+      "author~jonson",
+      "coauthor:scott year:1993 offset:10 limit:5",
+      "title:liability vol:95..96 order:collation student:no",
+      "\"all in the family\" -topology year:1992",
+      "author:\"Arceneaux, Webster J.\" vol:95",
+  };
+}
+
+void CheckInvariants(const Query& q, const std::string& input) {
+  // At most one author-match mode (documented in ast.h).
+  int author_modes = (q.author_exact ? 1 : 0) + (q.author_prefix ? 1 : 0) +
+                     (q.author_fuzzy ? 1 : 0);
+  EXPECT_LE(author_modes, 1) << "query: " << input;
+  if (q.year) {
+    EXPECT_LE(q.year->lo, q.year->hi) << "query: " << input;
+  }
+  if (q.volume) {
+    EXPECT_LE(q.volume->lo, q.volume->hi) << "query: " << input;
+  }
+  // ToString on an accepted query must not crash and must be stable.
+  EXPECT_EQ(q.ToString(), q.ToString()) << "query: " << input;
+}
+
+TEST(FuzzQueryParser, MutatedQueriesNeverCrash) {
+  CorpusMutator mutator(QueryCorpus(), /*seed=*/0x9e41f);
+  int iters = FuzzIterations();
+  for (int i = 0; i < iters; ++i) {
+    std::string text = mutator.Next();
+    SCOPED_TRACE("case " + std::to_string(i));
+    Result<Query> q = ParseQuery(text);
+    if (!q.ok()) {
+      continue;  // Rejection must be a Status, never a crash.
+    }
+    CheckInvariants(*q, text);
+  }
+}
+
+TEST(FuzzQueryParser, ParseIsDeterministic) {
+  CorpusMutator mutator(QueryCorpus(), /*seed=*/0x517e9);
+  int iters = FuzzIterations();
+  for (int i = 0; i < iters; ++i) {
+    std::string text = mutator.Next();
+    SCOPED_TRACE("case " + std::to_string(i));
+    Result<Query> a = ParseQuery(text);
+    Result<Query> b = ParseQuery(text);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_EQ(a->ToString(), b->ToString());
+    } else {
+      EXPECT_EQ(a.status(), b.status());
+    }
+  }
+}
+
+// Random garbage (not derived from the corpus) exercises the lexer's
+// first-byte dispatch harder than mutations of well-formed queries.
+TEST(FuzzQueryParser, RandomGarbageNeverCrashes) {
+  Random rng(0xdead11);
+  int iters = FuzzIterations();
+  for (int i = 0; i < iters; ++i) {
+    std::string text = RandomBytes(&rng, 64);
+    SCOPED_TRACE("case " + std::to_string(i));
+    Result<Query> q = ParseQuery(text);
+    if (q.ok()) {
+      CheckInvariants(*q, text);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace authidx::query

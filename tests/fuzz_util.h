@@ -1,0 +1,141 @@
+#ifndef AUTHIDX_TESTS_FUZZ_UTIL_H_
+#define AUTHIDX_TESTS_FUZZ_UTIL_H_
+
+// Shared machinery for the deterministic fuzz harnesses
+// (fuzz_bibtex_test.cc, fuzz_query_parser_test.cc, fuzz_serde_test.cc).
+//
+// These are not libFuzzer drivers: they are ordinary gtest binaries that
+// mutate a seed corpus with the repo's own deterministic PRNG, so a
+// failure reproduces bit-for-bit from the case number printed on
+// failure. Run them under the `asan-ubsan` preset to give "no crash"
+// real teeth (see docs/TOOLING.md). AUTHIDX_FUZZ_ITERS scales the
+// iteration count (default kDefaultIters) for soak runs.
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/random.h"
+
+namespace authidx {
+
+inline constexpr int kDefaultIters = 3000;
+
+/// Iteration count: AUTHIDX_FUZZ_ITERS when set and positive, else
+/// `fallback`.
+inline int FuzzIterations(int fallback = kDefaultIters) {
+  const char* env = std::getenv("AUTHIDX_FUZZ_ITERS");
+  if (env != nullptr) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  return fallback;
+}
+
+/// Corpus-driven mutator. Each call to Next() picks a corpus seed and
+/// applies a random number of byte-level mutations (flip, insert,
+/// delete, duplicate-span, splice-from-other-seed, truncate, append
+/// noise) — the classic dumb-fuzzer repertoire, enough to exercise every
+/// error path in a recursive-descent parser.
+class CorpusMutator {
+ public:
+  CorpusMutator(std::vector<std::string> corpus, uint64_t seed)
+      : corpus_(std::move(corpus)), rng_(seed) {}
+
+  std::string Next() {
+    std::string input = corpus_[rng_.Uniform(corpus_.size())];
+    uint64_t rounds = rng_.UniformRange(1, 8);
+    for (uint64_t i = 0; i < rounds; ++i) {
+      Mutate(&input);
+    }
+    return input;
+  }
+
+  Random& rng() { return rng_; }
+
+ private:
+  void Mutate(std::string* s) {
+    switch (rng_.Uniform(7)) {
+      case 0:  // Flip one byte to a random value.
+        if (!s->empty()) {
+          (*s)[rng_.Uniform(s->size())] =
+              static_cast<char>(rng_.Uniform(256));
+        }
+        break;
+      case 1: {  // Insert a random byte.
+        size_t pos = rng_.Uniform(s->size() + 1);
+        s->insert(pos, 1, static_cast<char>(rng_.Uniform(256)));
+        break;
+      }
+      case 2:  // Delete a byte.
+        if (!s->empty()) {
+          s->erase(rng_.Uniform(s->size()), 1);
+        }
+        break;
+      case 3: {  // Duplicate a short span in place.
+        if (!s->empty()) {
+          size_t pos = rng_.Uniform(s->size());
+          size_t len = rng_.UniformRange(1, 16);
+          std::string span = s->substr(pos, len);
+          s->insert(pos, span);
+        }
+        break;
+      }
+      case 4: {  // Splice a span from another corpus seed.
+        const std::string& other = corpus_[rng_.Uniform(corpus_.size())];
+        if (!other.empty()) {
+          size_t from = rng_.Uniform(other.size());
+          size_t len = rng_.UniformRange(1, 32);
+          size_t pos = rng_.Uniform(s->size() + 1);
+          s->insert(pos, other.substr(from, len));
+        }
+        break;
+      }
+      case 5:  // Truncate.
+        if (!s->empty()) {
+          s->resize(rng_.Uniform(s->size()));
+        }
+        break;
+      default: {  // Append structural noise characters.
+        static constexpr char kNoise[] = "{}\"@,=:;*~-..()\t\n\\ %";
+        size_t n = rng_.UniformRange(1, 8);
+        for (size_t i = 0; i < n; ++i) {
+          s->push_back(kNoise[rng_.Uniform(sizeof(kNoise) - 1)]);
+        }
+        break;
+      }
+    }
+  }
+
+  std::vector<std::string> corpus_;
+  Random rng_;
+};
+
+/// Random byte string (any value 0..255), for structured serde fuzzing.
+inline std::string RandomBytes(Random* rng, size_t max_len) {
+  std::string out;
+  size_t len = rng->Uniform(max_len + 1);
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng->Uniform(256)));
+  }
+  return out;
+}
+
+/// Random mostly-printable string, for fields that parsers re-tokenize.
+inline std::string RandomPrintable(Random* rng, size_t max_len) {
+  std::string out;
+  size_t len = rng->Uniform(max_len + 1);
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng->UniformRange(' ', '~')));
+  }
+  return out;
+}
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_TESTS_FUZZ_UTIL_H_

@@ -142,5 +142,24 @@ TEST_P(TrieModelTest, AgreesWithStdMap) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TrieModelTest,
                          ::testing::Values(11, 22, 33));
 
+// Regression: growing a node's child arrays from capacity 0 used to
+// memcpy from the null labels/kids pointers — UB flagged by UBSan's
+// nonnull checks. Exercises first-child growth at the root and at
+// interior nodes, plus the 2->4 capacity doubling.
+TEST(TrieTest, ChildArrayGrowthFromEmptyNode) {
+  Trie trie;
+  trie.Insert("a", 1);        // Root grows 0 -> 2.
+  trie.Insert("ab", 2);       // Node 'a' grows 0 -> 2.
+  trie.Insert("ac", 3);
+  trie.Insert("ad", 4);       // Node 'a' doubles 2 -> 4.
+  trie.Insert("ae", 5);
+  uint64_t v = 0;
+  EXPECT_TRUE(trie.Get("a", &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(trie.Get("ae", &v));
+  EXPECT_EQ(v, 5u);
+  EXPECT_EQ(trie.size(), 5u);
+}
+
 }  // namespace
 }  // namespace authidx

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Repo-invariant checker for authidx (see docs/TOOLING.md).
+
+Enforces the rules clang-tidy cannot express:
+
+  1. Include-guard hygiene: every header under src/authidx/ carries the
+     canonical guard derived from its path (AUTHIDX_COMMON_STATUS_H_ for
+     src/authidx/common/status.h), with matching #ifndef/#define and a
+     trailing "#endif  // GUARD" comment.
+  2. Header hygiene: no `using namespace` at namespace scope in headers,
+     no tabs, no trailing whitespace in src/.
+  3. No `assert(` in library code (src/authidx/): invariants must use
+     AUTHIDX_INTERNAL_CHECK, which stays active under NDEBUG.
+  4. Build completeness: every .cc under src/authidx/ is listed in
+     src/CMakeLists.txt (an unlisted file silently never builds).
+  5. No std::cout/std::cerr writes in library code; user-facing output
+     belongs in examples/. (std::cerr is allowed in status.cc's abort
+     helpers via the explicit allowlist below.)
+
+Exit status: 0 when clean, 1 when any invariant is violated.
+Run from the repo root (or pass --root): python3 tools/lint.py
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Files allowed to bypass specific rules, with the reason recorded here.
+ASSERT_ALLOWLIST: set = set()  # No exceptions: use AUTHIDX_INTERNAL_CHECK.
+STREAM_ALLOWLIST = {
+    # CheckOkFailed/InternalCheckFailed write to stderr via fprintf, not
+    # iostreams; nothing currently needs an exception. Kept for future use.
+}
+
+
+def iter_source_files(root: Path, subdir: str, suffixes=(".h", ".cc")):
+    base = root / subdir
+    for path in sorted(base.rglob("*")):
+        if path.suffix in suffixes and path.is_file():
+            yield path
+
+
+def expected_guard(root: Path, header: Path) -> str:
+    rel = header.relative_to(root / "src")
+    return re.sub(r"[^A-Za-z0-9]", "_", str(rel)).upper() + "_"
+
+
+def check_include_guards(root: Path, errors: list) -> None:
+    for header in iter_source_files(root, "src/authidx", suffixes=(".h",)):
+        rel = header.relative_to(root)
+        text = header.read_text()
+        lines = text.splitlines()
+        guard = expected_guard(root, header)
+
+        ifndef = f"#ifndef {guard}"
+        define = f"#define {guard}"
+        endif = f"#endif  // {guard}"
+
+        code_lines = [
+            (i, l) for i, l in enumerate(lines, 1)
+            if l.strip() and not l.lstrip().startswith("//")
+        ]
+        if not code_lines:
+            errors.append(f"{rel}:1: empty header")
+            continue
+        first_no, first = code_lines[0]
+        if first.strip() != ifndef:
+            errors.append(
+                f"{rel}:{first_no}: first directive must be '{ifndef}' "
+                f"(found {first.strip()!r})")
+            continue
+        second_no, second = code_lines[1]
+        if second.strip() != define:
+            errors.append(
+                f"{rel}:{second_no}: '{ifndef}' must be followed by "
+                f"'{define}' (found {second.strip()!r})")
+        last_no, last = code_lines[-1]
+        if last.strip() != endif:
+            errors.append(
+                f"{rel}:{last_no}: header must end with '{endif}' "
+                f"(found {last.strip()!r})")
+
+
+def check_header_hygiene(root: Path, errors: list) -> None:
+    for path in iter_source_files(root, "src/authidx"):
+        rel = path.relative_to(root)
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if "\t" in line:
+                errors.append(f"{rel}:{lineno}: tab character")
+            if line != line.rstrip():
+                errors.append(f"{rel}:{lineno}: trailing whitespace")
+            if path.suffix == ".h" and re.search(
+                    r"^\s*using\s+namespace\s", line):
+                errors.append(
+                    f"{rel}:{lineno}: 'using namespace' in a header "
+                    "leaks into every includer")
+
+
+def check_no_assert(root: Path, errors: list) -> None:
+    pattern = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+    for path in iter_source_files(root, "src/authidx"):
+        rel = path.relative_to(root)
+        if str(rel) in ASSERT_ALLOWLIST:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            stripped = line.split("//", 1)[0]
+            if "static_assert" in stripped:
+                stripped = stripped.replace("static_assert", "")
+            if pattern.search(stripped):
+                errors.append(
+                    f"{rel}:{lineno}: assert() compiles out under NDEBUG; "
+                    "use AUTHIDX_INTERNAL_CHECK")
+
+
+def check_cc_listed(root: Path, errors: list) -> None:
+    cmake = (root / "src/CMakeLists.txt").read_text()
+    listed = set(re.findall(r"authidx/[\w/]+\.cc", cmake))
+    for path in iter_source_files(root, "src/authidx", suffixes=(".cc",)):
+        rel_src = path.relative_to(root / "src")
+        if str(rel_src) not in listed:
+            errors.append(
+                f"{path.relative_to(root)}:1: not listed in "
+                "src/CMakeLists.txt — it will never be compiled")
+
+
+def check_no_cout(root: Path, errors: list) -> None:
+    pattern = re.compile(r"std::(cout|cerr)\b")
+    for subdir in ("src/authidx", "tests", "bench"):
+        for path in iter_source_files(root, subdir):
+            rel = path.relative_to(root)
+            if str(rel) in STREAM_ALLOWLIST:
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                stripped = line.split("//", 1)[0]
+                m = pattern.search(stripped)
+                if m:
+                    errors.append(
+                        f"{rel}:{lineno}: std::{m.group(1)} outside "
+                        "examples/ — return a Status or use the logging "
+                        "seam instead")
+
+
+CHECKS = (
+    check_include_guards,
+    check_header_hygiene,
+    check_no_assert,
+    check_cc_listed,
+    check_no_cout,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", type=Path, default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: parent of tools/)")
+    args = parser.parse_args()
+
+    errors: list = []
+    for check in CHECKS:
+        check(args.root, errors)
+
+    for err in errors:
+        print(err)
+    if errors:
+        print(f"lint.py: {len(errors)} problem(s) found", file=sys.stderr)
+        return 1
+    print("lint.py: all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
