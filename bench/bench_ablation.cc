@@ -82,6 +82,18 @@ void BM_AblateBloomOnMisses(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
   state.counters["bits_per_key"] = bits;
+  // Cross-check via the obs registry: every probe key is absent, so
+  // filter consultations that were NOT short-circuited are false
+  // positives — the measured FPR regenerates from the counters alone.
+  {
+    auto snap = (*engine)->metrics().Snapshot();
+    double checks = static_cast<double>(
+        snap.Find("authidx_bloom_checks_total")->counter);
+    double negatives = static_cast<double>(
+        snap.Find("authidx_bloom_negatives_total")->counter);
+    state.counters["obs_bloom_fpr"] =
+        checks > 0 ? (checks - negatives) / checks : 0.0;
+  }
   AUTHIDX_CHECK_OK((*engine)->Close());
   engine->reset();
   std::filesystem::remove_all(dir);
@@ -113,6 +125,18 @@ void BM_AblateBlockCache(benchmark::State& state) {
                 static_cast<double>((*engine)->block_cache().hits() +
                                     (*engine)->block_cache().misses())
           : 0.0;
+  // Same rate recomputed from the obs registry (independent plumbing:
+  // BlockCache mirrors into bound registry counters) — the two must
+  // agree, which EXPERIMENTS.md B11 records as the metrics check.
+  {
+    auto snap = (*engine)->metrics().Snapshot();
+    double hits = static_cast<double>(
+        snap.Find("authidx_block_cache_hits_total")->counter);
+    double misses = static_cast<double>(
+        snap.Find("authidx_block_cache_misses_total")->counter);
+    state.counters["obs_cache_hit_rate"] =
+        hits + misses > 0 ? hits / (hits + misses) : 0.0;
+  }
   AUTHIDX_CHECK_OK((*engine)->Close());
   engine->reset();
   std::filesystem::remove_all(dir);

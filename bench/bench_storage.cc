@@ -117,11 +117,26 @@ BENCHMARK(BM_EnginePointGetHit);
 void BM_EnginePointGetMiss(benchmark::State& state) {
   ReadFixture& f = Reads();
   Random rng(4);
+  // The fixture is shared with the hit bench, so take counter deltas
+  // around this bench's own probes.
+  auto before = f.engine->metrics().Snapshot();
   for (auto _ : state) {
     auto hit = f.engine->Get(StringPrintf("absent%08zu", rng.Uniform(f.n)));
     benchmark::DoNotOptimize(hit.ok());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  // Fraction of misses the Bloom filter short-circuited before any
+  // block read, from the obs registry — the "misses are ~10x cheaper
+  // than hits" claim in EXPERIMENTS.md B7 rests on this being ~1.
+  auto after = f.engine->metrics().Snapshot();
+  double checks = static_cast<double>(
+      after.Find("authidx_bloom_checks_total")->counter -
+      before.Find("authidx_bloom_checks_total")->counter);
+  double negatives = static_cast<double>(
+      after.Find("authidx_bloom_negatives_total")->counter -
+      before.Find("authidx_bloom_negatives_total")->counter);
+  state.counters["obs_bloom_negative_share"] =
+      checks > 0 ? negatives / checks : 0.0;
 }
 BENCHMARK(BM_EnginePointGetMiss);
 

@@ -4,7 +4,8 @@
 //   authidx_cli query   --db DIR 'QUERY'             structured search
 //   authidx_cli typeset --db DIR [--kwic|--titles|--subjects]
 //   authidx_cli export  --db DIR --format csv|json   dump the catalog
-//   authidx_cli stats   --db DIR                     corpus statistics
+//   authidx_cli stats   --db DIR [--metrics]         corpus statistics
+//   authidx_cli trace   --db DIR 'QUERY'             query with span tree
 //   authidx_cli compact --db DIR                     storage maintenance
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
@@ -19,9 +20,11 @@
 #include "authidx/core/stats.h"
 #include "authidx/format/export.h"
 #include "authidx/format/kwic.h"
+#include "authidx/format/metrics_text.h"
 #include "authidx/format/subject_index.h"
 #include "authidx/format/title_index.h"
 #include "authidx/format/typeset.h"
+#include "authidx/obs/trace.h"
 #include "authidx/parse/bibtex.h"
 #include "authidx/parse/tsv.h"
 #include "authidx/query/planner.h"
@@ -39,7 +42,9 @@ int Usage() {
       "  typeset --db DIR [--kwic|--titles|--subjects]\n"
       "                             print the author/KWIC/title/subject index\n"
       "  export  --db DIR --format csv|json\n"
-      "  stats   --db DIR\n"
+      "  stats   --db DIR [--metrics]\n"
+      "                             --metrics: Prometheus text exposition\n"
+      "  trace   --db DIR 'QUERY'   run QUERY and print its span tree\n"
       "  compact --db DIR\n");
   return 1;
 }
@@ -56,6 +61,7 @@ struct Args {
   bool kwic = false;
   bool titles = false;
   bool subjects = false;
+  bool metrics = false;
   std::vector<std::string> positional;
 };
 
@@ -76,6 +82,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->titles = true;
     } else if (arg == "--subjects") {
       args->subjects = true;
+    } else if (arg == "--metrics") {
+      args->metrics = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -135,6 +143,22 @@ int RunQuery(core::AuthorIndex* catalog, const Args& args) {
   return 0;
 }
 
+int RunTrace(core::AuthorIndex* catalog, const Args& args) {
+  if (args.positional.size() != 1) {
+    return Usage();
+  }
+  obs::Trace trace;
+  Result<query::QueryResult> result =
+      catalog->SearchTraced(args.positional[0], &trace);
+  if (!result.ok()) {
+    return Fail(result.status());
+  }
+  std::printf("%zu match(es) via %s\n\n", result->total_matches,
+              std::string(query::PlanKindToString(result->plan)).c_str());
+  std::printf("%s", trace.ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,12 +209,21 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (args.command == "stats") {
+    if (args.metrics) {
+      std::printf("%s", format::MetricsToPrometheusText(
+                            (*catalog)->GetMetricsSnapshot())
+                            .c_str());
+      return 0;
+    }
     std::printf("%s", core::ComputeStats(**catalog).ToString().c_str());
     auto storage = (*catalog)->StorageStats();
     std::printf("storage: l0=%d l1=%d puts=%llu\n", storage.l0_files,
                 storage.l1_files,
                 static_cast<unsigned long long>(storage.puts));
     return 0;
+  }
+  if (args.command == "trace") {
+    return RunTrace(catalog->get(), args);
   }
   if (args.command == "compact") {
     Status s = (*catalog)->CompactStorage();

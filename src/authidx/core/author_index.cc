@@ -41,6 +41,36 @@ std::string OrderKey(std::string_view sort_key, EntryId id) {
 
 AuthorIndex::~AuthorIndex() = default;
 
+AuthorIndex::AuthorIndex() : metrics_(std::make_unique<obs::MetricsRegistry>()) {
+  queries_total_ =
+      metrics_->RegisterCounter("authidx_queries_total", "Queries executed");
+  query_ns_ = metrics_->RegisterLatencyHistogram(
+      "authidx_query_duration_ns", "End-to-end query execution latency, ns");
+  exec_obs_.stage_plan_ns = metrics_->RegisterLatencyHistogram(
+      "authidx_query_stage_plan_duration_ns",
+      "Query planning stage latency, ns");
+  exec_obs_.stage_candidates_ns = metrics_->RegisterLatencyHistogram(
+      "authidx_query_stage_candidates_duration_ns",
+      "Candidate-generation stage latency, ns");
+  exec_obs_.stage_filter_ns = metrics_->RegisterLatencyHistogram(
+      "authidx_query_stage_filter_duration_ns",
+      "Residual-filter stage latency, ns");
+  exec_obs_.stage_order_ns = metrics_->RegisterLatencyHistogram(
+      "authidx_query_stage_order_duration_ns",
+      "Ordering/pagination stage latency, ns");
+  static constexpr const char* kPlanCounterNames[query::kPlanKindCount] = {
+      "authidx_query_plan_author_exact_total",
+      "authidx_query_plan_author_prefix_total",
+      "authidx_query_plan_author_fuzzy_total",
+      "authidx_query_plan_title_terms_total",
+      "authidx_query_plan_full_scan_total",
+  };
+  for (size_t kind = 0; kind < query::kPlanKindCount; ++kind) {
+    exec_obs_.plan_chosen[kind] = metrics_->RegisterCounter(
+        kPlanCounterNames[kind], "Queries the planner routed to this path");
+  }
+}
+
 std::unique_ptr<AuthorIndex> AuthorIndex::Create() {
   return std::unique_ptr<AuthorIndex>(new AuthorIndex());
 }
@@ -48,6 +78,11 @@ std::unique_ptr<AuthorIndex> AuthorIndex::Create() {
 Result<std::unique_ptr<AuthorIndex>> AuthorIndex::OpenPersistent(
     const std::string& dir, storage::EngineOptions options) {
   auto catalog = std::unique_ptr<AuthorIndex>(new AuthorIndex());
+  if (options.metrics == nullptr) {
+    // Storage metrics land in the catalog's registry so one snapshot
+    // covers every layer.
+    options.metrics = catalog->metrics_.get();
+  }
   AUTHIDX_ASSIGN_OR_RETURN(catalog->engine_,
                            storage::StorageEngine::Open(dir, options));
   // Rebuild the in-memory indexes from storage, in id (ingest) order —
@@ -137,12 +172,35 @@ Status AuthorIndex::AddAll(std::vector<Entry> entries) {
 
 Result<query::QueryResult> AuthorIndex::Search(
     std::string_view query_text) const {
-  AUTHIDX_ASSIGN_OR_RETURN(query::Query q, query::ParseQuery(query_text));
-  return Run(q);
+  return SearchTraced(query_text, nullptr);
+}
+
+Result<query::QueryResult> AuthorIndex::SearchTraced(
+    std::string_view query_text, obs::Trace* trace) const {
+  obs::TraceSpan root(trace, nullptr, "query");
+  query::Query q;
+  {
+    obs::TraceSpan span(trace, nullptr, "parse");
+    AUTHIDX_ASSIGN_OR_RETURN(q, query::ParseQuery(query_text));
+  }
+  return RunTraced(q, trace);
 }
 
 Result<query::QueryResult> AuthorIndex::Run(const query::Query& q) const {
-  return query::Execute(q, *this);
+  return RunTraced(q, nullptr);
+}
+
+Result<query::QueryResult> AuthorIndex::RunTraced(const query::Query& q,
+                                                  obs::Trace* trace) const {
+  queries_total_->Inc();
+  obs::TraceSpan span(trace, query_ns_, "execute");
+  query::ExecObs hooks = exec_obs_;
+  hooks.trace = trace;
+  return query::Execute(q, *this, &hooks);
+}
+
+obs::MetricsSnapshot AuthorIndex::GetMetricsSnapshot() const {
+  return metrics_->Snapshot();
 }
 
 const Entry* AuthorIndex::GetEntry(EntryId id) const {

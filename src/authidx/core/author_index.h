@@ -9,6 +9,8 @@
 
 #include "authidx/common/result.h"
 #include "authidx/index/btree.h"
+#include "authidx/obs/metrics.h"
+#include "authidx/obs/trace.h"
 #include "authidx/index/inverted.h"
 #include "authidx/index/trie.h"
 #include "authidx/model/record.h"
@@ -52,8 +54,27 @@ class AuthorIndex final : public query::CatalogView {
   /// Parses and runs a query string (see query::ParseQuery grammar).
   Result<query::QueryResult> Search(std::string_view query_text) const;
 
+  /// Search() plus per-request tracing: parse/execute/stage spans are
+  /// appended to `trace` (caller-owned; may be null for plain Search
+  /// behaviour). The trace buffer is single-threaded.
+  Result<query::QueryResult> SearchTraced(std::string_view query_text,
+                                          obs::Trace* trace) const;
+
   /// Runs an already-parsed query.
   Result<query::QueryResult> Run(const query::Query& query) const;
+
+  /// Run() with per-request tracing into `trace` (may be null).
+  Result<query::QueryResult> RunTraced(const query::Query& query,
+                                       obs::Trace* trace) const;
+
+  /// Point-in-time view of every metric this catalog records: query
+  /// counters and stage latencies, plus — for persistent catalogs — the
+  /// storage engine's WAL/flush/compaction/cache/Bloom instruments (see
+  /// docs/OBSERVABILITY.md for the full name table). Thread-safe.
+  obs::MetricsSnapshot GetMetricsSnapshot() const;
+
+  /// The registry behind GetMetricsSnapshot(); outlives the engine.
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
   // --- CatalogView ---
   const Entry* GetEntry(EntryId id) const override;
@@ -101,7 +122,7 @@ class AuthorIndex final : public query::CatalogView {
     std::vector<EntryId> entries;
   };
 
-  AuthorIndex() = default;
+  AuthorIndex();
 
   /// Index-maintenance shared by Add and recovery (no storage write).
   EntryId IndexEntry(Entry entry);
@@ -117,6 +138,13 @@ class AuthorIndex final : public query::CatalogView {
   BPlusTree author_order_;  // sortkey + id -> id (printed order).
   Trie author_trie_;        // folded group key -> group index.
   InvertedIndex inverted_;  // analyzed titles.
+
+  // Declared before engine_: the engine records into this registry, so
+  // it must be destroyed after the engine.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  query::ExecObs exec_obs_;  // Pre-registered executor instruments.
+  obs::Counter* queries_total_ = nullptr;
+  obs::LatencyHistogram* query_ns_ = nullptr;
 
   std::unique_ptr<storage::StorageEngine> engine_;  // Null if in-memory.
 };

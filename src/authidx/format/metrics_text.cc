@@ -1,0 +1,75 @@
+#include "authidx/format/metrics_text.h"
+
+#include "authidx/common/strings.h"
+
+namespace authidx::format {
+
+namespace {
+
+// Escapes a HELP line per the exposition format (backslash, newline).
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+const char* TypeName(obs::MetricType type) {
+  switch (type) {
+    case obs::MetricType::kCounter:
+      return "counter";
+    case obs::MetricType::kGauge:
+      return "gauge";
+    case obs::MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string MetricsToPrometheusText(const obs::MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const obs::MetricValue& metric : snapshot.metrics) {
+    out += "# HELP " + metric.name + " " + EscapeHelp(metric.help) + "\n";
+    out += "# TYPE " + metric.name + " " + TypeName(metric.type) + "\n";
+    switch (metric.type) {
+      case obs::MetricType::kCounter:
+        out += StringPrintf("%s %llu\n", metric.name.c_str(),
+                            static_cast<unsigned long long>(metric.counter));
+        break;
+      case obs::MetricType::kGauge:
+        out += StringPrintf("%s %lld\n", metric.name.c_str(),
+                            static_cast<long long>(metric.gauge));
+        break;
+      case obs::MetricType::kHistogram: {
+        const obs::HistogramSnapshot& hist = metric.histogram;
+        for (size_t i = 0; i < hist.bounds.size(); ++i) {
+          out += StringPrintf(
+              "%s_bucket{le=\"%llu\"} %llu\n", metric.name.c_str(),
+              static_cast<unsigned long long>(hist.bounds[i]),
+              static_cast<unsigned long long>(hist.cumulative[i]));
+        }
+        out += StringPrintf("%s_bucket{le=\"+Inf\"} %llu\n",
+                            metric.name.c_str(),
+                            static_cast<unsigned long long>(hist.count));
+        out += StringPrintf("%s_sum %llu\n", metric.name.c_str(),
+                            static_cast<unsigned long long>(hist.sum));
+        out += StringPrintf("%s_count %llu\n", metric.name.c_str(),
+                            static_cast<unsigned long long>(hist.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace authidx::format

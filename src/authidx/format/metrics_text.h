@@ -1,0 +1,21 @@
+#ifndef AUTHIDX_FORMAT_METRICS_TEXT_H_
+#define AUTHIDX_FORMAT_METRICS_TEXT_H_
+
+#include <string>
+
+#include "authidx/obs/metrics.h"
+
+namespace authidx::format {
+
+/// Renders `snapshot` in the Prometheus text exposition format
+/// (version 0.0.4): one `# HELP` / `# TYPE` pair per metric, counters
+/// and gauges as single samples, histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`. Durations are
+/// integer nanoseconds (the repo-wide metric unit, see
+/// docs/OBSERVABILITY.md), not Prometheus' conventional seconds.
+/// Thread-safe (pure function of the snapshot).
+std::string MetricsToPrometheusText(const obs::MetricsSnapshot& snapshot);
+
+}  // namespace authidx::format
+
+#endif  // AUTHIDX_FORMAT_METRICS_TEXT_H_

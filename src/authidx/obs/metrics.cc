@@ -1,0 +1,253 @@
+#include "authidx/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "authidx/common/status.h"
+
+namespace authidx::obs {
+
+namespace {
+
+// Per-thread shard slot, assigned round-robin on first use so threads
+// spread across a counter's shards without hashing thread ids.
+uint32_t ThreadShardSlot() {
+  static std::atomic<uint32_t> next_slot{0};
+  thread_local uint32_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Counter::Inc(uint64_t delta) {
+  shards_[ThreadShardSlot() % kShards].value.fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::Set(int64_t value) {
+  value_.store(value, std::memory_order_relaxed);
+}
+
+void Gauge::Add(int64_t delta) {
+  value_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t Gauge::Value() const { return value_.load(std::memory_order_relaxed); }
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < 4) {
+    return static_cast<size_t>(value);
+  }
+  // 2^octave <= value < 2^(octave+1), octave in [2, 63].
+  int octave = 63 - std::countl_zero(value);
+  uint64_t sub = (value >> (octave - 2)) & 3;
+  return static_cast<size_t>(octave - 1) * 4 + static_cast<size_t>(sub);
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(size_t index) {
+  if (index < 4) {
+    return index;
+  }
+  size_t octave = index / 4 + 1;
+  uint64_t sub = index % 4;
+  return (4 + sub) << (octave - 2);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t index) {
+  if (index < 4) {
+    return index + 1;
+  }
+  size_t octave = index / 4 + 1;
+  uint64_t width = uint64_t{1} << (octave - 2);
+  uint64_t lower = BucketLowerBound(index);
+  // The topmost bucket's upper bound is 2^64; saturate.
+  if (lower > std::numeric_limits<uint64_t>::max() - width) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return lower + width;
+}
+
+void LatencyHistogram::Record(uint64_t value_ns) {
+  buckets_[BucketIndex(value_ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_ns, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::SumNs() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::QuantileNs(double q) const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      uint64_t lower = BucketLowerBound(i);
+      uint64_t upper = BucketUpperBound(i);
+      return lower + (upper - lower - 1) / 2;
+    }
+  }
+  return BucketLowerBound(kBuckets - 1);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.p50 = QuantileNs(0.50);
+  snap.p90 = QuantileNs(0.90);
+  snap.p99 = QuantileNs(0.99);
+  // Coarse cumulative buckets at powers of 4 ns, 1 ns .. ~275 s. Powers
+  // of 4 are always fine-bucket boundaries, so no fine bucket straddles
+  // a coarse bound.
+  uint64_t bound = 1;
+  size_t fine = 0;
+  uint64_t cumulative = 0;
+  for (int k = 0; k < 20; ++k) {
+    while (fine < kBuckets && BucketUpperBound(fine) <= bound + 1) {
+      cumulative += counts[fine];
+      ++fine;
+    }
+    snap.bounds.push_back(bound);
+    snap.cumulative.push_back(cumulative);
+    bound *= 4;
+  }
+  return snap;
+}
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricValue& metric : metrics) {
+    if (metric.name == name) {
+      return &metric;
+    }
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Registered* MetricsRegistry::FindLocked(std::string_view name,
+                                                         MetricType type) {
+  for (const auto& metric : metrics_) {
+    if (metric->name == name) {
+      AUTHIDX_INTERNAL_CHECK(metric->type == type);
+      return metric.get();
+    }
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::RegisterCounter(std::string_view name,
+                                          std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Registered* existing = FindLocked(name, MetricType::kCounter)) {
+    return existing->counter.get();
+  }
+  auto metric = std::make_unique<Registered>();
+  metric->name = std::string(name);
+  metric->help = std::string(help);
+  metric->type = MetricType::kCounter;
+  metric->counter = std::make_unique<Counter>();
+  Counter* out = metric->counter.get();
+  metrics_.push_back(std::move(metric));
+  return out;
+}
+
+Gauge* MetricsRegistry::RegisterGauge(std::string_view name,
+                                      std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Registered* existing = FindLocked(name, MetricType::kGauge)) {
+    return existing->gauge.get();
+  }
+  auto metric = std::make_unique<Registered>();
+  metric->name = std::string(name);
+  metric->help = std::string(help);
+  metric->type = MetricType::kGauge;
+  metric->gauge = std::make_unique<Gauge>();
+  Gauge* out = metric->gauge.get();
+  metrics_.push_back(std::move(metric));
+  return out;
+}
+
+LatencyHistogram* MetricsRegistry::RegisterLatencyHistogram(
+    std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Registered* existing = FindLocked(name, MetricType::kHistogram)) {
+    return existing->histogram.get();
+  }
+  auto metric = std::make_unique<Registered>();
+  metric->name = std::string(name);
+  metric->help = std::string(help);
+  metric->type = MetricType::kHistogram;
+  metric->histogram = std::make_unique<LatencyHistogram>();
+  LatencyHistogram* out = metric->histogram.get();
+  metrics_.push_back(std::move(metric));
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.metrics.reserve(metrics_.size());
+  for (const auto& metric : metrics_) {
+    MetricValue value;
+    value.name = metric->name;
+    value.help = metric->help;
+    value.type = metric->type;
+    switch (metric->type) {
+      case MetricType::kCounter:
+        value.counter = metric->counter->Value();
+        break;
+      case MetricType::kGauge:
+        value.gauge = metric->gauge->Value();
+        break;
+      case MetricType::kHistogram:
+        value.histogram = metric->histogram->Snapshot();
+        break;
+    }
+    snap.metrics.push_back(std::move(value));
+  }
+  return snap;
+}
+
+}  // namespace authidx::obs

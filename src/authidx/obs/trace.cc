@@ -1,0 +1,129 @@
+#include "authidx/obs/trace.h"
+
+#include "authidx/common/strings.h"
+
+namespace authidx::obs {
+
+namespace {
+
+// "184.2 us" style human duration.
+std::string FormatNs(uint64_t ns) {
+  if (ns < 1000) {
+    return StringPrintf("%llu ns", static_cast<unsigned long long>(ns));
+  }
+  double value = static_cast<double>(ns);
+  if (ns < 1000 * 1000) {
+    return StringPrintf("%.1f us", value / 1e3);
+  }
+  if (ns < 1000ULL * 1000 * 1000) {
+    return StringPrintf("%.2f ms", value / 1e6);
+  }
+  return StringPrintf("%.3f s", value / 1e9);
+}
+
+}  // namespace
+
+size_t Trace::StartSpan(std::string_view name) {
+  Span span;
+  span.name = std::string(name);
+  span.depth = depth_++;
+  span.start_ns = MonotonicNowNs();
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void Trace::EndSpan(size_t index, uint64_t duration_ns) {
+  if (index >= spans_.size()) {
+    return;
+  }
+  spans_[index].duration_ns = duration_ns;
+  if (depth_ > 0) {
+    --depth_;
+  }
+}
+
+std::string Trace::ToString() const {
+  if (spans_.empty()) {
+    return "(empty trace)\n";
+  }
+  // A span is the last child of its parent when no later span reaches
+  // its depth again before the tree pops above it.
+  std::vector<bool> is_last(spans_.size(), true);
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    for (size_t j = i + 1; j < spans_.size(); ++j) {
+      if (spans_[j].depth < spans_[i].depth) {
+        break;
+      }
+      if (spans_[j].depth == spans_[i].depth) {
+        is_last[i] = false;
+        break;
+      }
+    }
+  }
+  uint64_t root_ns = spans_.front().duration_ns;
+  std::string out;
+  std::vector<bool> ancestor_last;  // Per depth level above the current.
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& span = spans_[i];
+    size_t depth = static_cast<size_t>(span.depth);
+    ancestor_last.resize(depth);
+    // Box-drawing characters are multi-byte, so pad by display columns
+    // (3 per tree level), not by byte count.
+    std::string prefix;
+    size_t prefix_cols = 0;
+    for (size_t level = 1; level < depth; ++level) {
+      prefix += ancestor_last[level] ? "   " : "│  ";
+      prefix_cols += 3;
+    }
+    if (depth > 0) {
+      prefix += is_last[i] ? "└─ " : "├─ ";
+      prefix_cols += 3;
+      ancestor_last.resize(depth + 1);
+      ancestor_last[depth] = is_last[i];
+    }
+    double percent =
+        root_ns > 0 ? 100.0 * static_cast<double>(span.duration_ns) /
+                          static_cast<double>(root_ns)
+                    : 0.0;
+    size_t label_cols = prefix_cols + span.name.size();
+    std::string pad(label_cols < 40 ? 40 - label_cols : 1, ' ');
+    out += prefix + span.name + pad +
+           StringPrintf("%12s %6.1f%%\n",
+                        FormatNs(span.duration_ns).c_str(), percent);
+  }
+  return out;
+}
+
+TraceSpan::TraceSpan(Trace* trace, LatencyHistogram* histogram,
+                     std::string_view name)
+    : trace_(trace), histogram_(histogram) {
+  if (trace_ == nullptr && histogram_ == nullptr) {
+    return;
+  }
+  active_ = true;
+  if (trace_ != nullptr) {
+    span_index_ = trace_->StartSpan(name);
+    start_ns_ = trace_->spans()[span_index_].start_ns;
+  } else {
+    start_ns_ = MonotonicNowNs();
+  }
+}
+
+TraceSpan::~TraceSpan() { Stop(); }
+
+uint64_t TraceSpan::Stop() {
+  if (!active_) {
+    return 0;
+  }
+  active_ = false;
+  uint64_t elapsed = MonotonicNowNs() - start_ns_;
+  if (histogram_ != nullptr) {
+    histogram_->Record(elapsed);
+  }
+  if (trace_ != nullptr) {
+    trace_->EndSpan(span_index_, elapsed);
+  }
+  return elapsed;
+}
+
+}  // namespace authidx::obs

@@ -1,0 +1,88 @@
+#ifndef AUTHIDX_OBS_TRACE_H_
+#define AUTHIDX_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "authidx/obs/metrics.h"
+
+namespace authidx::obs {
+
+/// Per-request buffer of completed spans forming a tree (parents open
+/// before and close after their children). NOT thread-safe: one Trace
+/// belongs to one request on one thread; unlike the metric instruments
+/// it allocates freely, which is fine off the always-on hot path.
+class Trace {
+ public:
+  /// One timed region. Spans appear in start order; `depth` encodes the
+  /// tree (a span's parent is the nearest preceding span with a smaller
+  /// depth).
+  struct Span {
+    /// Call-site label (e.g. "parse", "candidates").
+    std::string name;
+    /// Nesting depth; the root span is 0.
+    int depth = 0;
+    /// MonotonicNowNs() at span start.
+    uint64_t start_ns = 0;
+    /// Elapsed ns; 0 until the span ends.
+    uint64_t duration_ns = 0;
+  };
+
+  Trace() = default;
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Opens a span at the current depth; returns its index for EndSpan.
+  /// Used by TraceSpan; call directly only for hand-built traces.
+  size_t StartSpan(std::string_view name);
+
+  /// Closes the span returned by StartSpan with its elapsed time.
+  void EndSpan(size_t index, uint64_t duration_ns);
+
+  /// Completed and still-open spans, in start order.
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// Renders the span tree with per-span durations and percent of the
+  /// root span's duration, one span per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<Span> spans_;
+  int depth_ = 0;
+};
+
+/// RAII timer for one span. Records the elapsed time into `histogram`
+/// (when non-null, thread-safe, allocation-free) and appends a span to
+/// `trace` (when non-null, single-threaded). With both null the
+/// stopwatch is inactive and never reads the clock, so always-on call
+/// sites pay nothing when no one is listening.
+class TraceSpan {
+ public:
+  /// Starts timing. Either pointer may be null.
+  TraceSpan(Trace* trace, LatencyHistogram* histogram,
+            std::string_view name);
+
+  /// Stops (if still running) and records.
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Stops early and records; returns the elapsed ns (0 if inactive or
+  /// already stopped).
+  uint64_t Stop();
+
+ private:
+  Trace* trace_;
+  LatencyHistogram* histogram_;
+  size_t span_index_ = 0;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace authidx::obs
+
+#endif  // AUTHIDX_OBS_TRACE_H_

@@ -91,25 +91,39 @@ bool PassesFilters(const Query& query, const Plan& plan,
 
 }  // namespace
 
-Result<QueryResult> Execute(const Query& query, const CatalogView& catalog) {
+Result<QueryResult> Execute(const Query& query, const CatalogView& catalog,
+                            const ExecObs* hooks) {
+  static const ExecObs kNoObs;
+  if (hooks == nullptr) {
+    hooks = &kNoObs;
+  }
+
   // Plan.
   PlannerStats stats;
-  stats.entry_count = catalog.entry_count();
-  stats.has_title_terms = !query.title_terms.empty();
-  if (stats.has_title_terms) {
-    stats.min_term_df = std::numeric_limits<size_t>::max();
-    for (const std::string& term : query.title_terms) {
-      size_t df = catalog.title_index().DocFreq(term);
-      stats.min_term_df = std::min(stats.min_term_df, df);
-      if (df == 0) {
-        stats.unknown_term = true;
+  Plan plan;
+  {
+    obs::TraceSpan span(hooks->trace, hooks->stage_plan_ns, "plan");
+    stats.entry_count = catalog.entry_count();
+    stats.has_title_terms = !query.title_terms.empty();
+    if (stats.has_title_terms) {
+      stats.min_term_df = std::numeric_limits<size_t>::max();
+      for (const std::string& term : query.title_terms) {
+        size_t df = catalog.title_index().DocFreq(term);
+        stats.min_term_df = std::min(stats.min_term_df, df);
+        if (df == 0) {
+          stats.unknown_term = true;
+        }
+      }
+      if (stats.unknown_term) {
+        stats.min_term_df = 0;
       }
     }
-    if (stats.unknown_term) {
-      stats.min_term_df = 0;
-    }
+    plan = ChoosePlan(query, stats);
   }
-  Plan plan = ChoosePlan(query, stats);
+  if (obs::Counter* chosen =
+          hooks->plan_chosen[static_cast<size_t>(plan.kind)]) {
+    chosen->Inc();
+  }
 
   QueryResult result;
   result.plan = plan.kind;
@@ -118,25 +132,33 @@ Result<QueryResult> Execute(const Query& query, const CatalogView& catalog) {
   }
 
   // Candidates, minus exclusions, through residual filters.
-  AUTHIDX_ASSIGN_OR_RETURN(std::vector<EntryId> candidates,
-                           Candidates(query, plan, catalog));
-  if (!query.not_terms.empty()) {
-    std::vector<EntryId> excluded;
-    for (const std::string& term : query.not_terms) {
-      excluded = Union(excluded, catalog.title_index().GetDocs(term));
+  std::vector<EntryId> candidates;
+  {
+    obs::TraceSpan span(hooks->trace, hooks->stage_candidates_ns,
+                        "candidates");
+    AUTHIDX_ASSIGN_OR_RETURN(candidates, Candidates(query, plan, catalog));
+    if (!query.not_terms.empty()) {
+      std::vector<EntryId> excluded;
+      for (const std::string& term : query.not_terms) {
+        excluded = Union(excluded, catalog.title_index().GetDocs(term));
+      }
+      candidates = Difference(candidates, excluded);
     }
-    candidates = Difference(candidates, excluded);
   }
   std::vector<EntryId> matches;
-  matches.reserve(candidates.size());
-  for (EntryId id : candidates) {
-    if (PassesFilters(query, plan, catalog, id)) {
-      matches.push_back(id);
+  {
+    obs::TraceSpan span(hooks->trace, hooks->stage_filter_ns, "filter");
+    matches.reserve(candidates.size());
+    for (EntryId id : candidates) {
+      if (PassesFilters(query, plan, catalog, id)) {
+        matches.push_back(id);
+      }
     }
   }
   result.total_matches = matches.size();
 
   // Order.
+  obs::TraceSpan order_span(hooks->trace, hooks->stage_order_ns, "order");
   std::vector<Hit> ordered;
   ordered.reserve(matches.size());
   if (query.rank == RankMode::kRelevance && !query.title_terms.empty()) {

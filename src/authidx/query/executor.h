@@ -8,6 +8,8 @@
 #include "authidx/common/result.h"
 #include "authidx/index/inverted.h"
 #include "authidx/model/record.h"
+#include "authidx/obs/metrics.h"
+#include "authidx/obs/trace.h"
 #include "authidx/query/ast.h"
 #include "authidx/query/planner.h"
 
@@ -66,8 +68,28 @@ struct QueryResult {
   PlanKind plan = PlanKind::kFullScan;
 };
 
-/// Plans and runs `query` against `catalog`.
-Result<QueryResult> Execute(const Query& query, const CatalogView& catalog);
+/// Optional observability hooks for Execute. Histogram/counter pointers
+/// are instruments owned by a caller's obs::MetricsRegistry (recorded
+/// into without allocation, thread-safe); `trace` is a per-request span
+/// buffer (single-threaded, owned by the caller). Any field may be
+/// null; a default-constructed ExecObs disables everything.
+struct ExecObs {
+  /// Per-request span buffer; receives one span per executor stage.
+  obs::Trace* trace = nullptr;
+  /// Stage latency histograms, all in ns.
+  obs::LatencyHistogram* stage_plan_ns = nullptr;
+  obs::LatencyHistogram* stage_candidates_ns = nullptr;
+  obs::LatencyHistogram* stage_filter_ns = nullptr;
+  obs::LatencyHistogram* stage_order_ns = nullptr;
+  /// Chosen-access-path counters, indexed by static_cast<size_t>(PlanKind).
+  obs::Counter* plan_chosen[kPlanKindCount] = {};
+};
+
+/// Plans and runs `query` against `catalog`. When `hooks` is non-null,
+/// stage timings, the chosen plan, and (if hooks->trace is set) a span
+/// tree are recorded into it.
+Result<QueryResult> Execute(const Query& query, const CatalogView& catalog,
+                            const ExecObs* hooks = nullptr);
 
 }  // namespace authidx::query
 

@@ -17,6 +17,9 @@ enum class PlanKind {
   kFullScan,      // Filter-only query: scan all entries.
 };
 
+/// Number of PlanKind values (for per-kind metric arrays).
+inline constexpr size_t kPlanKindCount = 5;
+
 std::string_view PlanKindToString(PlanKind kind);
 
 /// Statistics the planner consults (doc frequencies of the query terms,

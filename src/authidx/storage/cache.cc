@@ -12,13 +12,34 @@ std::string BlockCache::MakeKey(uint64_t file_number, uint64_t offset) {
   return key;
 }
 
+void BlockCache::BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                             obs::Counter* evictions, obs::Gauge* bytes) {
+  metric_hits_ = hits;
+  metric_misses_ = misses;
+  metric_evictions_ = evictions;
+  metric_bytes_ = bytes;
+  SyncBytesGauge();
+}
+
+void BlockCache::SyncBytesGauge() {
+  if (metric_bytes_ != nullptr) {
+    metric_bytes_->Set(static_cast<int64_t>(size_bytes_));
+  }
+}
+
 std::shared_ptr<Block> BlockCache::Get(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
+    if (metric_misses_ != nullptr) {
+      metric_misses_->Inc();
+    }
     return nullptr;
   }
   ++hits_;
+  if (metric_hits_ != nullptr) {
+    metric_hits_->Inc();
+  }
   // Move to front.
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->block;
@@ -40,6 +61,7 @@ void BlockCache::Insert(const std::string& key,
   entries_[key] = lru_.begin();
   size_bytes_ += charge;
   EvictIfNeeded();
+  SyncBytesGauge();
 }
 
 void BlockCache::EraseFile(uint64_t file_number) {
@@ -54,6 +76,7 @@ void BlockCache::EraseFile(uint64_t file_number) {
       ++it;
     }
   }
+  SyncBytesGauge();
 }
 
 void BlockCache::EvictIfNeeded() {
@@ -62,6 +85,10 @@ void BlockCache::EvictIfNeeded() {
     size_bytes_ -= victim.charge;
     entries_.erase(victim.key);
     lru_.pop_back();
+    ++evictions_;
+    if (metric_evictions_ != nullptr) {
+      metric_evictions_->Inc();
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "authidx/obs/metrics.h"
 #include "authidx/storage/block.h"
 
 namespace authidx::storage {
@@ -39,10 +40,17 @@ class BlockCache {
   /// file is deleted by compaction).
   void EraseFile(uint64_t file_number);
 
+  /// Mirrors cache activity into registry instruments (all owned by the
+  /// caller's MetricsRegistry; any pointer may be null). The internal
+  /// counters below keep working either way.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                   obs::Counter* evictions, obs::Gauge* bytes);
+
   size_t size_bytes() const { return size_bytes_; }
   size_t entry_count() const { return entries_.size(); }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
 
  private:
   struct Entry {
@@ -52,11 +60,17 @@ class BlockCache {
   };
 
   void EvictIfNeeded();
+  void SyncBytesGauge();
 
   size_t capacity_bytes_;
   size_t size_bytes_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  obs::Counter* metric_hits_ = nullptr;       // Not owned; may be null.
+  obs::Counter* metric_misses_ = nullptr;     // Not owned; may be null.
+  obs::Counter* metric_evictions_ = nullptr;  // Not owned; may be null.
+  obs::Gauge* metric_bytes_ = nullptr;        // Not owned; may be null.
   std::list<Entry> lru_;  // Front = most recent.
   std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
 };

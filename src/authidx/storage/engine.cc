@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "authidx/common/coding.h"
+#include "authidx/obs/trace.h"
 
 namespace authidx::storage {
 
@@ -54,8 +55,69 @@ StorageEngine::StorageEngine(std::string dir, EngineOptions options)
     : dir_(std::move(dir)),
       options_(options),
       env_(options.env != nullptr ? options.env : Env::Default()),
+      owned_metrics_(options.metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : owned_metrics_.get()),
       cache_(options.block_cache_bytes),
-      memtable_(std::make_unique<MemTable>()) {}
+      memtable_(std::make_unique<MemTable>()) {
+  RegisterInstruments();
+}
+
+void StorageEngine::RegisterInstruments() {
+  m_.wal_appends = metrics_->RegisterCounter(
+      "authidx_wal_appends_total", "WAL records appended");
+  m_.wal_append_bytes = metrics_->RegisterCounter(
+      "authidx_wal_append_bytes_total", "WAL record payload bytes appended");
+  m_.wal_syncs = metrics_->RegisterCounter(
+      "authidx_wal_syncs_total", "WAL fdatasync calls");
+  m_.wal_append_ns = metrics_->RegisterLatencyHistogram(
+      "authidx_wal_append_duration_ns", "Latency of one WAL append, ns");
+  m_.wal_sync_ns = metrics_->RegisterLatencyHistogram(
+      "authidx_wal_sync_duration_ns", "Latency of one WAL fdatasync, ns");
+  m_.flushes = metrics_->RegisterCounter(
+      "authidx_memtable_flushes_total", "Memtable flushes to level-0 tables");
+  m_.flush_bytes = metrics_->RegisterCounter(
+      "authidx_memtable_flush_bytes_total",
+      "Approximate memtable bytes at each flush");
+  m_.flush_ns = metrics_->RegisterLatencyHistogram(
+      "authidx_memtable_flush_duration_ns", "Latency of one flush, ns");
+  m_.compactions = metrics_->RegisterCounter(
+      "authidx_compactions_total", "Level-0 -> level-1 compactions");
+  m_.compaction_bytes_in = metrics_->RegisterCounter(
+      "authidx_compaction_bytes_in_total",
+      "Table-file bytes read by compactions");
+  m_.compaction_bytes_out = metrics_->RegisterCounter(
+      "authidx_compaction_bytes_out_total",
+      "Table-file bytes written by compactions");
+  m_.compaction_ns = metrics_->RegisterLatencyHistogram(
+      "authidx_compaction_duration_ns", "Latency of one compaction, ns");
+  m_.cache_hits = metrics_->RegisterCounter(
+      "authidx_block_cache_hits_total", "Block cache hits");
+  m_.cache_misses = metrics_->RegisterCounter(
+      "authidx_block_cache_misses_total", "Block cache misses");
+  m_.cache_evictions = metrics_->RegisterCounter(
+      "authidx_block_cache_evictions_total", "Block cache LRU evictions");
+  m_.cache_bytes = metrics_->RegisterGauge(
+      "authidx_block_cache_bytes", "Block cache bytes currently resident");
+  m_.bloom_checks = metrics_->RegisterCounter(
+      "authidx_bloom_checks_total", "Bloom filter consultations");
+  m_.bloom_negatives = metrics_->RegisterCounter(
+      "authidx_bloom_negatives_total",
+      "Bloom filter definite-absent short-circuits");
+  m_.puts = metrics_->RegisterCounter(
+      "authidx_storage_puts_total", "Engine Put operations (incl. batched)");
+  m_.deletes = metrics_->RegisterCounter(
+      "authidx_storage_deletes_total",
+      "Engine Delete operations (incl. batched)");
+  m_.gets = metrics_->RegisterCounter(
+      "authidx_storage_gets_total", "Engine point lookups");
+  m_.get_ns = metrics_->RegisterLatencyHistogram(
+      "authidx_storage_get_duration_ns", "Latency of one point lookup, ns");
+  cache_.BindMetrics(m_.cache_hits, m_.cache_misses, m_.cache_evictions,
+                     m_.cache_bytes);
+}
 
 StorageEngine::~StorageEngine() {
   if (!closed_) {
@@ -148,6 +210,8 @@ Status StorageEngine::OpenTables() {
                                          std::to_string(meta.file_number));
     }
     readers_.emplace_back(meta.file_number, std::move(reader).value());
+    readers_.back().second->BindBloomMetrics(m_.bloom_checks,
+                                             m_.bloom_negatives);
     (meta.level == 0 ? stats_.l0_files : stats_.l1_files) += 1;
   }
   return Status::OK();
@@ -160,6 +224,23 @@ Status StorageEngine::SwitchToFreshWal() {
   return manifest_.Save(env_, dir_);
 }
 
+// Timed WAL append (plus the per-write fdatasync when configured),
+// shared by single ops and batches.
+Status StorageEngine::AppendWalRecord(std::string_view record) {
+  {
+    obs::TraceSpan timer(nullptr, m_.wal_append_ns, "wal_append");
+    AUTHIDX_RETURN_NOT_OK(wal_->Append(record));
+  }
+  m_.wal_appends->Inc();
+  m_.wal_append_bytes->Inc(record.size());
+  if (options_.sync_writes) {
+    obs::TraceSpan timer(nullptr, m_.wal_sync_ns, "wal_sync");
+    AUTHIDX_RETURN_NOT_OK(wal_->Sync());
+    m_.wal_syncs->Inc();
+  }
+  return Status::OK();
+}
+
 Status StorageEngine::WriteRecord(char op, std::string_view key,
                                   std::string_view value) {
   if (closed_) {
@@ -170,17 +251,14 @@ Status StorageEngine::WriteRecord(char op, std::string_view key,
   if (op == kOpPut) {
     PutLengthPrefixed(&record, value);
   }
-  AUTHIDX_RETURN_NOT_OK(wal_->Append(record));
-  if (options_.sync_writes) {
-    AUTHIDX_RETURN_NOT_OK(wal_->Sync());
-  }
-  return Status::OK();
+  return AppendWalRecord(record);
 }
 
 Status StorageEngine::Put(std::string_view key, std::string_view value) {
   AUTHIDX_RETURN_NOT_OK(WriteRecord(kOpPut, key, value));
   memtable_->Put(key, value);
   ++stats_.puts;
+  m_.puts->Inc();
   return MaybeFlushAndCompact();
 }
 
@@ -188,6 +266,7 @@ Status StorageEngine::Delete(std::string_view key) {
   AUTHIDX_RETURN_NOT_OK(WriteRecord(kOpDelete, key, {}));
   memtable_->Delete(key);
   ++stats_.deletes;
+  m_.deletes->Inc();
   return MaybeFlushAndCompact();
 }
 
@@ -201,19 +280,18 @@ Status StorageEngine::Apply(const WriteBatch& batch) {
   // One WAL record for the whole batch: atomic under recovery.
   std::string record(1, kOpBatch);
   record += batch.rep();
-  AUTHIDX_RETURN_NOT_OK(wal_->Append(record));
-  if (options_.sync_writes) {
-    AUTHIDX_RETURN_NOT_OK(wal_->Sync());
-  }
+  AUTHIDX_RETURN_NOT_OK(AppendWalRecord(record));
   AUTHIDX_RETURN_NOT_OK(WriteBatch::Iterate(
       batch.rep(),
       [this](std::string_view k, std::string_view v) {
         memtable_->Put(k, v);
         ++stats_.puts;
+        m_.puts->Inc();
       },
       [this](std::string_view k) {
         memtable_->Delete(k);
         ++stats_.deletes;
+        m_.deletes->Inc();
       }));
   return MaybeFlushAndCompact();
 }
@@ -231,6 +309,8 @@ Status StorageEngine::MaybeFlushAndCompact() {
 
 Result<std::optional<std::string>> StorageEngine::Get(std::string_view key) {
   ++stats_.gets;
+  m_.gets->Inc();
+  obs::TraceSpan timer(nullptr, m_.get_ns, "storage_get");
   std::string value;
   switch (memtable_->Get(key, &value)) {
     case MemTable::GetResult::kFound:
@@ -330,6 +410,8 @@ Status StorageEngine::Flush() {
     }
     return Status::OK();
   }
+  obs::TraceSpan timer(nullptr, m_.flush_ns, "flush");
+  m_.flush_bytes->Inc(memtable_->ApproximateMemoryUsage());
   auto mem_iter = memtable_->NewIterator();
   // Keep tombstones: they must shadow older runs until compaction.
   AUTHIDX_ASSIGN_OR_RETURN(
@@ -347,6 +429,8 @@ Status StorageEngine::Flush() {
                           &cache_, meta.file_number);
     AUTHIDX_RETURN_NOT_OK(reader.status());
     readers_.emplace_back(meta.file_number, std::move(reader).value());
+    readers_.back().second->BindBloomMetrics(m_.bloom_checks,
+                                             m_.bloom_negatives);
     ++stats_.l0_files;
   }
   uint64_t old_wal = manifest_.wal_number;
@@ -363,11 +447,13 @@ Status StorageEngine::Flush() {
     }
   }
   ++stats_.flushes;
+  m_.flushes->Inc();
   return Status::OK();
 }
 
 Status StorageEngine::Compact() {
   AUTHIDX_RETURN_NOT_OK(Flush());
+  obs::TraceSpan timer(nullptr, m_.compaction_ns, "compaction");
   if (manifest_.files.size() <= 1 && stats_.l0_files == 0) {
     // Zero or one run and nothing pending: only rewrite if that run is
     // in level 0 (to drop tombstones and renumber into level 1).
@@ -385,6 +471,7 @@ Status StorageEngine::Compact() {
   for (const FileMeta& meta : manifest_.LevelFiles(1)) {
     ordered.push_back(meta);
   }
+  uint64_t bytes_in = 0;
   for (const FileMeta& meta : ordered) {
     auto it = std::find_if(readers_.begin(), readers_.end(),
                            [&](const auto& r) {
@@ -394,6 +481,7 @@ Status StorageEngine::Compact() {
       return Status::Internal("missing reader for table " +
                               std::to_string(meta.file_number));
     }
+    bytes_in += it->second->file_bytes();
     children.push_back(it->second->NewIterator(/*fill_cache=*/false));
   }
   auto merged = NewMergingIterator(std::move(children));
@@ -420,6 +508,14 @@ Status StorageEngine::Compact() {
   }
   AUTHIDX_RETURN_NOT_OK(OpenTables());
   ++stats_.compactions;
+  m_.compactions->Inc();
+  m_.compaction_bytes_in->Inc(bytes_in);
+  if (meta.entry_count > 0) {
+    AUTHIDX_ASSIGN_OR_RETURN(
+        uint64_t bytes_out,
+        env_->FileSize(TableFileName(dir_, meta.file_number)));
+    m_.compaction_bytes_out->Inc(bytes_out);
+  }
   return Status::OK();
 }
 

@@ -10,6 +10,7 @@
 
 #include "authidx/common/env.h"
 #include "authidx/common/result.h"
+#include "authidx/obs/metrics.h"
 #include "authidx/storage/manifest.h"
 #include "authidx/storage/memtable.h"
 #include "authidx/storage/table.h"
@@ -37,6 +38,10 @@ struct EngineOptions {
   size_t block_cache_bytes = 8 * 1024 * 1024;
   /// Filesystem to use (tests inject fault-injecting ones).
   Env* env = nullptr;  // nullptr = Env::Default().
+  /// Registry to record WAL/flush/compaction/cache/Bloom metrics into
+  /// (see docs/OBSERVABILITY.md); must outlive the engine. nullptr gives
+  /// the engine a private registry, readable via metrics().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Counters exposed for tests and benchmarks.
@@ -110,9 +115,43 @@ class StorageEngine {
   const std::string& dir() const { return dir_; }
   const BlockCache& block_cache() const { return cache_; }
 
+  /// The registry this engine records into (the one from EngineOptions,
+  /// or the engine-private one). Thread-safe to snapshot.
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
+  // Registry instruments for the storage hot paths (all owned by
+  // *metrics_; registered once at construction, recorded into without
+  // allocation afterwards).
+  struct Instruments {
+    obs::Counter* wal_appends = nullptr;
+    obs::Counter* wal_append_bytes = nullptr;
+    obs::Counter* wal_syncs = nullptr;
+    obs::LatencyHistogram* wal_append_ns = nullptr;
+    obs::LatencyHistogram* wal_sync_ns = nullptr;
+    obs::Counter* flushes = nullptr;
+    obs::Counter* flush_bytes = nullptr;
+    obs::LatencyHistogram* flush_ns = nullptr;
+    obs::Counter* compactions = nullptr;
+    obs::Counter* compaction_bytes_in = nullptr;
+    obs::Counter* compaction_bytes_out = nullptr;
+    obs::LatencyHistogram* compaction_ns = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* cache_evictions = nullptr;
+    obs::Gauge* cache_bytes = nullptr;
+    obs::Counter* bloom_checks = nullptr;
+    obs::Counter* bloom_negatives = nullptr;
+    obs::Counter* puts = nullptr;
+    obs::Counter* deletes = nullptr;
+    obs::Counter* gets = nullptr;
+    obs::LatencyHistogram* get_ns = nullptr;
+  };
+
   StorageEngine(std::string dir, EngineOptions options);
 
+  void RegisterInstruments();
+  Status AppendWalRecord(std::string_view record);
   Status ReplayWalIntoMemtable(uint64_t wal_number);
   Status OpenTables();
   Status SwitchToFreshWal();
@@ -124,6 +163,9 @@ class StorageEngine {
   std::string dir_;
   EngineOptions options_;
   Env* env_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;  // == options.metrics or owned_metrics_.
+  Instruments m_;
   BlockCache cache_;
   Manifest manifest_;
   std::unique_ptr<MemTable> memtable_;

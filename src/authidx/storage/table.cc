@@ -216,11 +216,25 @@ Result<std::shared_ptr<Block>> TableReader::ReadBlock(
   return block;
 }
 
+void TableReader::BindBloomMetrics(obs::Counter* checks,
+                                   obs::Counter* negatives) {
+  metric_bloom_checks_ = checks;
+  metric_bloom_negatives_ = negatives;
+}
+
 Result<std::optional<std::string>> TableReader::Get(
     std::string_view key) const {
-  if (filter_.has_value() && !filter_->MayContain(key)) {
-    ++bloom_negatives_;
-    return std::optional<std::string>();
+  if (filter_.has_value()) {
+    if (metric_bloom_checks_ != nullptr) {
+      metric_bloom_checks_->Inc();
+    }
+    if (!filter_->MayContain(key)) {
+      ++bloom_negatives_;
+      if (metric_bloom_negatives_ != nullptr) {
+        metric_bloom_negatives_->Inc();
+      }
+      return std::optional<std::string>();
+    }
   }
   auto index_iter = index_block_->NewIterator();
   index_iter->Seek(key);

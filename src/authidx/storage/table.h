@@ -9,6 +9,7 @@
 
 #include "authidx/common/env.h"
 #include "authidx/index/bloom.h"
+#include "authidx/obs/metrics.h"
 #include "authidx/storage/block.h"
 #include "authidx/storage/cache.h"
 #include "authidx/storage/iterator.h"
@@ -103,6 +104,12 @@ class TableReader {
   /// "definitely absent" without reading a data block.
   uint64_t bloom_negative_count() const { return bloom_negatives_; }
 
+  /// Mirrors Bloom filter activity into registry counters (owned by the
+  /// caller's MetricsRegistry; either pointer may be null): `checks`
+  /// counts every filter consultation, `negatives` the definite-absent
+  /// short-circuits.
+  void BindBloomMetrics(obs::Counter* checks, obs::Counter* negatives);
+
  private:
   class Iter;
 
@@ -121,6 +128,8 @@ class TableReader {
   BlockCache* cache_ = nullptr;  // Not owned; may be null.
   uint64_t file_number_ = 0;
   mutable uint64_t bloom_negatives_ = 0;
+  obs::Counter* metric_bloom_checks_ = nullptr;     // Not owned; may be null.
+  obs::Counter* metric_bloom_negatives_ = nullptr;  // Not owned; may be null.
 };
 
 }  // namespace authidx::storage

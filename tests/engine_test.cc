@@ -305,5 +305,77 @@ TEST_F(EngineTest, UseAfterCloseFails) {
   EXPECT_TRUE(engine->Put("k", "v").IsFailedPrecondition());
 }
 
+TEST_F(EngineTest, CacheCountersMoveOnHotReRead) {
+  auto engine = Open();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(engine->Put(StringPrintf("key%04d", i),
+                            StringPrintf("val%d", i)).ok());
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+
+  auto counter = [&](const char* name) {
+    auto snap = engine->metrics().Snapshot();
+    const obs::MetricValue* metric = snap.Find(name);
+    EXPECT_NE(metric, nullptr) << name;
+    return metric == nullptr ? 0 : metric->counter;
+  };
+
+  // Cold read: the table block is not cached yet.
+  uint64_t misses_before = counter("authidx_block_cache_misses_total");
+  ASSERT_TRUE(engine->Get("key0042").ok());
+  EXPECT_GT(counter("authidx_block_cache_misses_total"), misses_before);
+
+  // Hot re-reads of the same key only move the hit counter.
+  uint64_t hits_before = counter("authidx_block_cache_hits_total");
+  uint64_t misses_after_cold = counter("authidx_block_cache_misses_total");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine->Get("key0042").ok());
+  }
+  EXPECT_GT(counter("authidx_block_cache_hits_total"), hits_before);
+  EXPECT_EQ(counter("authidx_block_cache_misses_total"), misses_after_cold);
+
+  // WAL and flush instruments saw the writes above.
+  EXPECT_EQ(counter("authidx_storage_puts_total"), 200u);
+  EXPECT_GE(counter("authidx_wal_appends_total"), 200u);
+  EXPECT_EQ(counter("authidx_memtable_flushes_total"), 1u);
+}
+
+TEST_F(EngineTest, BloomCountersMoveOnMissingKeyLookups) {
+  auto engine = Open();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine->Put(StringPrintf("key%04d", i), "v").ok());
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+
+  auto counter = [&](const char* name) {
+    auto snap = engine->metrics().Snapshot();
+    const obs::MetricValue* metric = snap.Find(name);
+    EXPECT_NE(metric, nullptr) << name;
+    return metric == nullptr ? 0 : metric->counter;
+  };
+
+  uint64_t checks_before = counter("authidx_bloom_checks_total");
+  uint64_t negatives_before = counter("authidx_bloom_negatives_total");
+  for (int i = 0; i < 50; ++i) {
+    auto hit = engine->Get(StringPrintf("absent%04d", i));
+    ASSERT_TRUE(hit.ok());
+    EXPECT_FALSE(hit->has_value());
+  }
+  EXPECT_GT(counter("authidx_bloom_checks_total"), checks_before);
+  EXPECT_GT(counter("authidx_bloom_negatives_total"), negatives_before);
+}
+
+TEST_F(EngineTest, SharedRegistryReceivesEngineMetrics) {
+  obs::MetricsRegistry registry;
+  EngineOptions options;
+  options.metrics = &registry;
+  auto engine = Open(options);
+  ASSERT_TRUE(engine->Put("k", "v").ok());
+  auto snap = registry.Snapshot();
+  const obs::MetricValue* puts = snap.Find("authidx_storage_puts_total");
+  ASSERT_NE(puts, nullptr);
+  EXPECT_EQ(puts->counter, 1u);
+}
+
 }  // namespace
 }  // namespace authidx::storage

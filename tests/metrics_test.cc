@@ -1,0 +1,290 @@
+#include "authidx/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "authidx/core/author_index.h"
+#include "authidx/format/metrics_text.h"
+
+// Global allocation counter: the no-allocation tests below snapshot it
+// around hot-path calls (Inc/Set/Add/Record) to prove they never touch
+// the heap. Every other test tolerates the counting overhead.
+namespace {
+std::atomic<uint64_t> g_heap_allocations{0};
+}  // namespace
+
+// noinline: when GCC inlines replaced global operators it pairs the
+// caller's new with the inlined free() and emits a spurious
+// -Wmismatched-new-delete.
+[[gnu::noinline]] void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* ptr = std::malloc(size)) {
+    return ptr;
+  }
+  throw std::bad_alloc();
+}
+
+[[gnu::noinline]] void operator delete(void* ptr) noexcept { std::free(ptr); }
+[[gnu::noinline]] void operator delete(void* ptr, std::size_t) noexcept {
+  std::free(ptr);
+}
+
+namespace authidx::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Inc();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(100);
+  EXPECT_EQ(g.Value(), 100);
+  g.Add(-30);
+  EXPECT_EQ(g.Value(), 70);
+  g.Add(5);
+  EXPECT_EQ(g.Value(), 75);
+}
+
+TEST(HistogramTest, BucketBoundsPartitionTheRange) {
+  // Every probe value must land in a bucket whose [lower, upper) range
+  // contains it, and bucket indices must be monotone in the value.
+  std::vector<uint64_t> probes = {0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100,
+                                  1000, 4095, 4096, 1 << 20, 123456789,
+                                  (1ull << 40) + 17, UINT64_MAX};
+  size_t prev_index = 0;
+  for (uint64_t v : probes) {
+    size_t index = LatencyHistogram::BucketIndex(v);
+    uint64_t upper = LatencyHistogram::BucketUpperBound(index);
+    EXPECT_GE(v, LatencyHistogram::BucketLowerBound(index)) << v;
+    if (upper == UINT64_MAX) {
+      EXPECT_LE(v, upper) << v;  // Top bucket saturates (inclusive).
+    } else {
+      EXPECT_LT(v, upper) << v;
+    }
+    EXPECT_GE(index, prev_index) << v;
+    prev_index = index;
+  }
+}
+
+TEST(HistogramTest, BucketWidthBoundsQuantileError) {
+  // The documented error bound: above the exact range, bucket width is
+  // at most 1/4 of the lower bound, so the midpoint is within 12.5%.
+  for (size_t index = 4; index < 250; ++index) {
+    uint64_t lower = LatencyHistogram::BucketLowerBound(index);
+    uint64_t upper = LatencyHistogram::BucketUpperBound(index);
+    EXPECT_LE(upper - lower, lower / 4 + 1) << index;
+  }
+}
+
+TEST(HistogramTest, CountAndSum) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.QuantileNs(0.5), 0u);
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.SumNs(), 60u);
+}
+
+TEST(HistogramTest, QuantilesWithinErrorBoundOfExactReference) {
+  // Compare histogram quantiles against the exact answer from a sorted
+  // copy of the same samples. A deterministic LCG spreads samples over
+  // ~4 decades so many octaves are exercised.
+  LatencyHistogram h;
+  std::vector<uint64_t> exact;
+  uint64_t state = 12345;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    uint64_t sample = 50 + (state >> 33) % 1000000;
+    h.Record(sample);
+    exact.push_back(sample);
+  }
+  std::sort(exact.begin(), exact.end());
+  for (double q : {0.50, 0.90, 0.99}) {
+    uint64_t estimate = h.QuantileNs(q);
+    uint64_t truth =
+        exact[std::min(exact.size() - 1,
+                       static_cast<size_t>(q * static_cast<double>(
+                                                   exact.size())))];
+    double rel_error =
+        std::abs(static_cast<double>(estimate) - static_cast<double>(truth)) /
+        static_cast<double>(truth);
+    EXPECT_LE(rel_error, 0.125) << "q=" << q << " estimate=" << estimate
+                                << " truth=" << truth;
+  }
+}
+
+TEST(HistogramTest, SnapshotCumulativeBucketsAreMonotone) {
+  LatencyHistogram h;
+  for (uint64_t v : {1u, 10u, 100u, 1000u, 10000u, 100000u}) {
+    h.Record(v);
+  }
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 6u);
+  ASSERT_EQ(snap.bounds.size(), snap.cumulative.size());
+  uint64_t prev = 0;
+  for (size_t i = 0; i < snap.cumulative.size(); ++i) {
+    EXPECT_GE(snap.cumulative[i], prev);
+    prev = snap.cumulative[i];
+  }
+  EXPECT_EQ(snap.cumulative.back(), snap.count);
+  EXPECT_EQ(snap.p50, h.QuantileNs(0.5));
+}
+
+TEST(HistogramTest, ConcurrentRecordStress) {
+  // Run under `ctest -L sanitize` with the tsan preset to prove the
+  // wait-free Record path is race-free.
+  LatencyHistogram h;
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, &c, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t * kPerThread + i));
+        c.Inc();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, h.Count());
+}
+
+TEST(HistogramTest, HotPathDoesNotAllocate) {
+  MetricsRegistry registry;
+  Counter* counter = registry.RegisterCounter("c", "help");
+  Gauge* gauge = registry.RegisterGauge("g", "help");
+  LatencyHistogram* hist = registry.RegisterLatencyHistogram("h", "help");
+  // Warm the thread-local shard slot outside the measured window.
+  counter->Inc();
+  hist->Record(1);
+  uint64_t before = g_heap_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    counter->Inc(2);
+    gauge->Set(i);
+    gauge->Add(-1);
+    hist->Record(static_cast<uint64_t>(i) * 977);
+  }
+  uint64_t after = g_heap_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "metrics hot path allocated";
+}
+
+TEST(RegistryTest, ReRegistrationReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.RegisterCounter("authidx_x_total", "first");
+  Counter* b = registry.RegisterCounter("authidx_x_total", "second");
+  EXPECT_EQ(a, b);
+  a->Inc(7);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  EXPECT_EQ(snap.metrics[0].counter, 7u);
+  EXPECT_EQ(snap.metrics[0].help, "first");
+}
+
+TEST(RegistryTest, SnapshotPreservesRegistrationOrderAndFind) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("one", "1");
+  registry.RegisterGauge("two", "2")->Set(-5);
+  registry.RegisterLatencyHistogram("three", "3")->Record(42);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "one");
+  EXPECT_EQ(snap.metrics[1].name, "two");
+  EXPECT_EQ(snap.metrics[2].name, "three");
+  const MetricValue* gauge = snap.Find("two");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->type, MetricType::kGauge);
+  EXPECT_EQ(gauge->gauge, -5);
+  EXPECT_EQ(snap.Find("missing"), nullptr);
+}
+
+TEST(PrometheusTextTest, EmitsWellFormedExposition) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("authidx_demo_total", "A demo counter")->Inc(3);
+  registry.RegisterGauge("authidx_demo_bytes", "A demo gauge")->Set(-12);
+  registry.RegisterLatencyHistogram("authidx_demo_ns", "A demo histogram")
+      ->Record(100);
+  std::string text =
+      format::MetricsToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP authidx_demo_total A demo counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE authidx_demo_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("authidx_demo_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("authidx_demo_bytes -12\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE authidx_demo_ns histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("authidx_demo_ns_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("authidx_demo_ns_sum 100\n"), std::string::npos);
+  EXPECT_NE(text.find("authidx_demo_ns_count 1\n"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+// Every metric a persistent catalog registers must be documented in
+// docs/OBSERVABILITY.md — the doc is the contract for dashboards.
+TEST(DocSyncTest, ObservabilityDocListsEveryRegisteredMetric) {
+  std::string doc_path =
+      std::string(AUTHIDX_REPO_ROOT) + "/docs/OBSERVABILITY.md";
+  std::ifstream doc_file(doc_path);
+  ASSERT_TRUE(doc_file.is_open()) << "missing " << doc_path;
+  std::stringstream doc;
+  doc << doc_file.rdbuf();
+  std::string doc_text = doc.str();
+
+  std::string dir = ::testing::TempDir() + "/metrics_doc_sync";
+  std::filesystem::remove_all(dir);
+  auto catalog = core::AuthorIndex::OpenPersistent(dir);
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  MetricsSnapshot snap = (*catalog)->GetMetricsSnapshot();
+  EXPECT_GE(snap.metrics.size(), 30u);
+  for (const MetricValue& metric : snap.metrics) {
+    EXPECT_NE(doc_text.find("`" + metric.name + "`"), std::string::npos)
+        << "metric `" << metric.name
+        << "` is registered but not documented in docs/OBSERVABILITY.md";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace authidx::obs

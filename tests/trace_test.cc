@@ -1,0 +1,159 @@
+#include "authidx/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "authidx/core/author_index.h"
+#include "authidx/model/record.h"
+
+namespace authidx::obs {
+namespace {
+
+Entry MakeEntry(const std::string& surname, const std::string& given,
+                const std::string& title, uint32_t volume, uint32_t page,
+                uint32_t year) {
+  Entry entry;
+  entry.author.surname = surname;
+  entry.author.given = given;
+  entry.title = title;
+  entry.citation.volume = volume;
+  entry.citation.page = page;
+  entry.citation.year = year;
+  return entry;
+}
+
+TEST(TraceTest, NestedSpansRecordDepths) {
+  Trace trace;
+  {
+    TraceSpan root(&trace, nullptr, "root");
+    {
+      TraceSpan child_a(&trace, nullptr, "child_a");
+      TraceSpan grandchild(&trace, nullptr, "grandchild");
+    }
+    TraceSpan child_b(&trace, nullptr, "child_b");
+  }
+  const std::vector<Trace::Span>& spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "child_a");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "grandchild");
+  EXPECT_EQ(spans[2].depth, 2);
+  EXPECT_EQ(spans[3].name, "child_b");
+  EXPECT_EQ(spans[3].depth, 1);
+  for (const Trace::Span& span : spans) {
+    EXPECT_GT(span.duration_ns, 0u) << span.name;
+  }
+  // Parents cover their children.
+  EXPECT_GE(spans[0].duration_ns, spans[1].duration_ns);
+  EXPECT_GE(spans[1].duration_ns, spans[2].duration_ns);
+}
+
+TEST(TraceTest, InactiveSpanIsFree) {
+  // Null trace + null histogram: must be safe and record nowhere.
+  TraceSpan inactive(nullptr, nullptr, "nothing");
+  EXPECT_EQ(inactive.Stop(), 0u);
+}
+
+TEST(TraceTest, StopIsIdempotentAndRecordsToHistogram) {
+  LatencyHistogram hist;
+  Trace trace;
+  TraceSpan span(&trace, &hist, "timed");
+  uint64_t elapsed = span.Stop();
+  EXPECT_GT(elapsed, 0u);
+  EXPECT_EQ(span.Stop(), 0u);  // Second stop is a no-op.
+  EXPECT_EQ(hist.Count(), 1u);
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].duration_ns, elapsed);
+}
+
+TEST(TraceTest, HistogramOnlySpanSkipsTraceBuffer) {
+  LatencyHistogram hist;
+  {
+    TraceSpan span(nullptr, &hist, "histogram_only");
+  }
+  EXPECT_EQ(hist.Count(), 1u);
+}
+
+TEST(TraceTest, ToStringRendersTree) {
+  Trace trace;
+  size_t root = trace.StartSpan("query");
+  size_t parse = trace.StartSpan("parse");
+  trace.EndSpan(parse, 400);
+  size_t execute = trace.StartSpan("execute");
+  size_t plan = trace.StartSpan("plan");
+  trace.EndSpan(plan, 100);
+  trace.EndSpan(execute, 500);
+  trace.EndSpan(root, 1000);
+
+  std::string rendered = trace.ToString();
+  EXPECT_NE(rendered.find("query"), std::string::npos);
+  EXPECT_NE(rendered.find("├─ parse"), std::string::npos);
+  EXPECT_NE(rendered.find("└─ execute"), std::string::npos);
+  EXPECT_NE(rendered.find("└─ plan"), std::string::npos);
+  EXPECT_NE(rendered.find("100.0%"), std::string::npos);  // Root.
+  EXPECT_NE(rendered.find("50.0%"), std::string::npos);   // Execute.
+}
+
+TEST(TraceTest, SearchTracedAttachesExecutorStageSpans) {
+  auto catalog = core::AuthorIndex::Create();
+  ASSERT_TRUE(catalog->Add(MakeEntry("Doe", "Jane", "Coal Mining Economics",
+                                     12, 345, 1975))
+                  .ok());
+  ASSERT_TRUE(catalog->Add(MakeEntry("Doe", "John", "River Hydrology", 12,
+                                     400, 1975))
+                  .ok());
+
+  Trace trace;
+  auto result = catalog->SearchTraced("author:doe coal", &trace);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->total_matches, 1u);
+
+  std::vector<std::string> names;
+  for (const Trace::Span& span : trace.spans()) {
+    names.push_back(span.name);
+  }
+  const std::vector<std::string> expected = {
+      "query", "parse", "execute", "plan", "candidates", "filter", "order"};
+  EXPECT_EQ(names, expected);
+  // Stage spans sit beneath execute, which sits beneath the root.
+  EXPECT_EQ(trace.spans()[0].depth, 0);  // query
+  EXPECT_EQ(trace.spans()[1].depth, 1);  // parse
+  EXPECT_EQ(trace.spans()[2].depth, 1);  // execute
+  EXPECT_EQ(trace.spans()[3].depth, 2);  // plan
+  EXPECT_EQ(trace.spans()[6].depth, 2);  // order
+
+  // The same run also fed the always-on metric instruments.
+  MetricsSnapshot snap = catalog->GetMetricsSnapshot();
+  const MetricValue* queries = snap.Find("authidx_queries_total");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->counter, 1u);
+  const MetricValue* stage_plan =
+      snap.Find("authidx_query_stage_plan_duration_ns");
+  ASSERT_NE(stage_plan, nullptr);
+  EXPECT_EQ(stage_plan->histogram.count, 1u);
+}
+
+TEST(TraceTest, UntracedSearchStillCountsMetrics) {
+  auto catalog = core::AuthorIndex::Create();
+  ASSERT_TRUE(
+      catalog->Add(MakeEntry("Roe", "Ada", "Delta Soils", 3, 14, 1980)).ok());
+  ASSERT_TRUE(catalog->Search("author:roe").ok());
+  ASSERT_TRUE(catalog->Search("soils").ok());
+  MetricsSnapshot snap = catalog->GetMetricsSnapshot();
+  const MetricValue* queries = snap.Find("authidx_queries_total");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->counter, 2u);
+  const MetricValue* duration = snap.Find("authidx_query_duration_ns");
+  ASSERT_NE(duration, nullptr);
+  EXPECT_EQ(duration->histogram.count, 2u);
+  const MetricValue* exact = snap.Find("authidx_query_plan_author_exact_total");
+  ASSERT_NE(exact, nullptr);
+  EXPECT_EQ(exact->counter, 1u);
+}
+
+}  // namespace
+}  // namespace authidx::obs

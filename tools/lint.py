@@ -16,9 +16,17 @@ Enforces the rules clang-tidy cannot express:
   5. No std::cout/std::cerr writes in library code; user-facing output
      belongs in examples/. (std::cerr is allowed in status.cc's abort
      helpers via the explicit allowlist below.)
+  6. Observability doc comments: every public declaration in
+     src/authidx/obs/ headers carries a `///` doc comment — the obs API
+     is the contract dashboards are built on. Defaulted/deleted special
+     members and enumerators are exempt (nothing to document).
+  7. Markdown link integrity: every intra-repo link target in tracked
+     .md files must exist (broken pointers rot fastest in docs).
 
 Exit status: 0 when clean, 1 when any invariant is violated.
 Run from the repo root (or pass --root): python3 tools/lint.py
+Docs-only subset (checks 6–7, used by the CI docs job):
+python3 tools/lint.py --docs
 """
 
 import argparse
@@ -141,12 +149,112 @@ def check_no_cout(root: Path, errors: list) -> None:
                         "seam instead")
 
 
+def check_obs_doc_comments(root: Path, errors: list) -> None:
+    """Public declarations in obs headers must carry /// doc comments."""
+    exempt = re.compile(r"=\s*(default|delete)\s*;?\s*$")
+    opener = re.compile(
+        r"^(class|struct)\s+(\w+\s+)*\w+\s*(final\s*)?({|$)")
+    for header in iter_source_files(root, "src/authidx/obs",
+                                    suffixes=(".h",)):
+        rel = header.relative_to(root)
+        # Each stack entry is the kind of the enclosing brace scope:
+        # 'ns' (namespace), 'pub'/'priv' (class body by current access),
+        # 'enum', or 'other' (function bodies, initializers).
+        stack: list = []
+        prev_doc = False
+        continuation = False
+        for lineno, raw in enumerate(header.read_text().splitlines(), 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                prev_doc = False
+                continue
+            if line.startswith("///"):
+                prev_doc = True
+                continue
+            if line.startswith("//"):
+                continue  # Plain comments neither document nor reset.
+            if line in ("public:", "protected:", "private:"):
+                if stack and stack[-1] in ("pub", "priv"):
+                    stack[-1] = "pub" if line == "public:" else "priv"
+                prev_doc = False
+                continue
+            if line.startswith("}"):
+                if stack:
+                    stack.pop()
+                prev_doc = False
+                continuation = False
+                continue
+
+            scope = stack[-1] if stack else None
+            documented_scope = scope == "ns" or scope == "pub"
+            needs_doc = (documented_scope and not continuation
+                         and not exempt.search(line))
+            if needs_doc and not prev_doc:
+                errors.append(
+                    f"{rel}:{lineno}: public declaration without a /// "
+                    "doc comment (rule 6: the obs API is documented)")
+
+            # Maintain scope for the next line. A type nested in an
+            # undocumented scope (private section, function body) is
+            # itself undocumented.
+            if line.endswith("{"):
+                if line.startswith("namespace"):
+                    stack.append("ns")
+                elif line.startswith("enum"):
+                    stack.append("enum")
+                elif opener.match(line) and documented_scope:
+                    stack.append("priv" if line.startswith("class")
+                                 else "pub")
+                else:
+                    stack.append("other")
+            continuation = not line.endswith((";", "{", "}", ":"))
+            prev_doc = False
+
+
+MD_SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def check_markdown_links(root: Path, errors: list) -> None:
+    """Intra-repo markdown link targets must exist."""
+    link = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+    md_files = [p for p in sorted(root.rglob("*.md"))
+                if not any(part.startswith((".", "build"))
+                           for part in p.relative_to(root).parts)]
+    for path in md_files:
+        rel = path.relative_to(root)
+        in_fence = False
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in link.findall(line):
+                if target.startswith(MD_SKIP_SCHEMES):
+                    continue
+                target_path = target.split("#", 1)[0]
+                if not target_path:
+                    continue
+                resolved = (path.parent / target_path).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{rel}:{lineno}: broken intra-repo link "
+                        f"'{target}'")
+
+
 CHECKS = (
     check_include_guards,
     check_header_hygiene,
     check_no_assert,
     check_cc_listed,
     check_no_cout,
+    check_obs_doc_comments,
+    check_markdown_links,
+)
+
+DOCS_CHECKS = (
+    check_obs_doc_comments,
+    check_markdown_links,
 )
 
 
@@ -155,10 +263,14 @@ def main() -> int:
     parser.add_argument(
         "--root", type=Path, default=Path(__file__).resolve().parent.parent,
         help="repository root (default: parent of tools/)")
+    parser.add_argument(
+        "--docs", action="store_true",
+        help="run only the documentation checks (obs doc comments, "
+             "markdown link integrity)")
     args = parser.parse_args()
 
     errors: list = []
-    for check in CHECKS:
+    for check in (DOCS_CHECKS if args.docs else CHECKS):
         check(args.root, errors)
 
     for err in errors:
