@@ -7,15 +7,22 @@
 //   authidx_cli stats   --db DIR [--metrics]         corpus statistics
 //   authidx_cli trace   --db DIR 'QUERY'             query with span tree
 //   authidx_cli compact --db DIR                     storage maintenance
+//   authidx_cli serve   --db DIR --port N            HTTP observability
+//   authidx_cli slowlog --db DIR 'QUERY'...          slow-query capture
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "authidx/common/env.h"
+#include "authidx/common/strings.h"
 #include "authidx/core/author_index.h"
 #include "authidx/core/stats.h"
 #include "authidx/format/export.h"
@@ -24,6 +31,9 @@
 #include "authidx/format/subject_index.h"
 #include "authidx/format/title_index.h"
 #include "authidx/format/typeset.h"
+#include "authidx/obs/http_server.h"
+#include "authidx/obs/log.h"
+#include "authidx/obs/slowlog.h"
 #include "authidx/obs/trace.h"
 #include "authidx/parse/bibtex.h"
 #include "authidx/parse/tsv.h"
@@ -45,7 +55,12 @@ int Usage() {
       "  stats   --db DIR [--metrics]\n"
       "                             --metrics: Prometheus text exposition\n"
       "  trace   --db DIR 'QUERY'   run QUERY and print its span tree\n"
-      "  compact --db DIR\n");
+      "  compact --db DIR\n"
+      "  serve   --db DIR [--port N] [--slow-ms N]\n"
+      "                             HTTP /metrics /healthz /varz /slowlog\n"
+      "  slowlog --db DIR [--slow-ms N] 'QUERY'...\n"
+      "                             run queries, print captured slow log\n"
+      "common flags: --log-level debug|info|warn|error, --log-file PATH\n");
   return 1;
 }
 
@@ -62,6 +77,10 @@ struct Args {
   bool titles = false;
   bool subjects = false;
   bool metrics = false;
+  int port = 8080;
+  int64_t slow_ms = -1;  // -1 = not set.
+  std::string log_level;
+  std::string log_file;
   std::vector<std::string> positional;
 };
 
@@ -84,6 +103,24 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->subjects = true;
     } else if (arg == "--metrics") {
       args->metrics = true;
+    } else if (arg == "--port" && i + 1 < argc) {
+      Result<int64_t> port = ParseInt64(argv[++i]);
+      if (!port.ok() || *port < 0 || *port > 65535) {
+        std::fprintf(stderr, "bad --port value\n");
+        return false;
+      }
+      args->port = static_cast<int>(*port);
+    } else if (arg == "--slow-ms" && i + 1 < argc) {
+      Result<int64_t> ms = ParseInt64(argv[++i]);
+      if (!ms.ok() || *ms < 0) {
+        std::fprintf(stderr, "bad --slow-ms value\n");
+        return false;
+      }
+      args->slow_ms = *ms;
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      args->log_level = argv[++i];
+    } else if (arg == "--log-file" && i + 1 < argc) {
+      args->log_file = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -143,6 +180,102 @@ int RunQuery(core::AuthorIndex* catalog, const Args& args) {
   return 0;
 }
 
+// Set by SIGINT/SIGTERM so the serve loop can exit cleanly.
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+int RunServe(core::AuthorIndex* catalog, obs::Logger* logger,
+             const Args& args) {
+  if (args.slow_ms >= 0) {
+    // 0 ms arms capture-everything (1 ns floor), matching slowlog.
+    catalog->SetSlowQueryThreshold(
+        args.slow_ms > 0 ? static_cast<uint64_t>(args.slow_ms) * 1000000u
+                         : 1);
+  }
+  uint64_t start_ns = obs::MonotonicNowNs();
+  obs::HttpServer server;
+  server.Route("/metrics", [catalog] {
+    obs::HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = format::MetricsToPrometheusText(catalog->GetMetricsSnapshot());
+    return r;
+  });
+  server.Route("/healthz", [logger] {
+    obs::HttpResponse r;
+    if (logger->error_count() == 0) {
+      r.body = "ok\n";
+    } else {
+      r.status = 503;
+      r.body = "degraded: " + logger->last_error() + "\n";
+    }
+    return r;
+  });
+  server.Route("/varz", [catalog, logger, start_ns] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    std::string body = "{\"build\":{\"compiler\":";
+    body += JsonQuote(__VERSION__);
+    body += ",\"cplusplus\":" + std::to_string(__cplusplus) + "}";
+    body += ",\"uptime_ms\":" +
+            std::to_string((obs::MonotonicNowNs() - start_ns) / 1000000u);
+    body += ",\"log_errors\":" + std::to_string(logger->error_count());
+    body += ",\"last_error\":" + JsonQuote(logger->last_error());
+    body += ",\"slow_query_threshold_ns\":" +
+            std::to_string(catalog->slow_query_threshold_ns());
+    body += ",\"slow_queries_total\":" +
+            std::to_string(catalog->slow_query_log().total_recorded());
+    body += ",\"stats\":" + core::ComputeStats(*catalog).ToJson();
+    body += "}";
+    r.body = std::move(body);
+    return r;
+  });
+  server.Route("/slowlog", [catalog] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = obs::SlowQueryLog::ToJson(catalog->SlowQueries());
+    return r;
+  });
+  Status s = server.Start(args.port);
+  if (!s.ok()) {
+    return Fail(s);
+  }
+  std::printf("serving on http://127.0.0.1:%d (/metrics /healthz /varz "
+              "/slowlog); Ctrl-C stops\n",
+              server.port());
+  std::fflush(stdout);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  std::printf("stopped after %llu request(s)\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}
+
+int RunSlowlog(core::AuthorIndex* catalog, const Args& args) {
+  if (args.positional.empty()) {
+    return Usage();
+  }
+  // Default threshold 0 ms -> capture every query (1 ns floor keeps the
+  // capture path armed).
+  uint64_t threshold_ns =
+      args.slow_ms > 0 ? static_cast<uint64_t>(args.slow_ms) * 1000000u : 1;
+  catalog->SetSlowQueryThreshold(threshold_ns);
+  for (const std::string& query_text : args.positional) {
+    Result<query::QueryResult> result = catalog->Search(query_text);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query '%s' failed: %s\n", query_text.c_str(),
+                   result.status().ToString().c_str());
+    }
+  }
+  std::printf("%s\n",
+              obs::SlowQueryLog::ToJson(catalog->SlowQueries()).c_str());
+  return 0;
+}
+
 int RunTrace(core::AuthorIndex* catalog, const Args& args) {
   if (args.positional.size() != 1) {
     return Usage();
@@ -166,8 +299,33 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     return Usage();
   }
+
+  // The logger is silent unless serve is running or the user asked for
+  // it, so batch commands keep their exact historical output.
+  obs::LogLevel level = obs::LogLevel::kInfo;
+  if (!args.log_level.empty() &&
+      !obs::ParseLogLevel(args.log_level, &level)) {
+    std::fprintf(stderr, "unknown --log-level: %s\n",
+                 args.log_level.c_str());
+    return Usage();
+  }
+  obs::Logger logger(level);
+  if (args.command == "serve" || !args.log_level.empty()) {
+    logger.AddSink(std::make_unique<obs::StderrSink>());
+  }
+  if (!args.log_file.empty()) {
+    Result<std::unique_ptr<obs::RotatingFileSink>> sink =
+        obs::RotatingFileSink::Open(Env::Default(), args.log_file);
+    if (!sink.ok()) {
+      return Fail(sink.status());
+    }
+    logger.AddSink(std::move(sink).value());
+  }
+
+  storage::EngineOptions options;
+  options.logger = &logger;
   Result<std::unique_ptr<core::AuthorIndex>> catalog =
-      core::AuthorIndex::OpenPersistent(args.db);
+      core::AuthorIndex::OpenPersistent(args.db, options);
   if (!catalog.ok()) {
     return Fail(catalog.status());
   }
@@ -224,6 +382,12 @@ int main(int argc, char** argv) {
   }
   if (args.command == "trace") {
     return RunTrace(catalog->get(), args);
+  }
+  if (args.command == "serve") {
+    return RunServe(catalog->get(), &logger, args);
+  }
+  if (args.command == "slowlog") {
+    return RunSlowlog(catalog->get(), args);
   }
   if (args.command == "compact") {
     Status s = (*catalog)->CompactStorage();

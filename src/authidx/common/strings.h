@@ -45,6 +45,14 @@ std::string StringPrintf(const char* format, ...)
 /// Escapes non-printable bytes as \xNN for error messages and dumps.
 std::string CEscape(std::string_view s);
 
+/// Appends `s` to `*out` escaped for use inside a JSON string literal
+/// (quotes, backslashes, control bytes; the surrounding quotes are the
+/// caller's job).
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// Returns `s` as a quoted JSON string literal.
+std::string JsonQuote(std::string_view s);
+
 }  // namespace authidx
 
 #endif  // AUTHIDX_COMMON_STRINGS_H_

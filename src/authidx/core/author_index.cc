@@ -41,9 +41,15 @@ std::string OrderKey(std::string_view sort_key, EntryId id) {
 
 AuthorIndex::~AuthorIndex() = default;
 
-AuthorIndex::AuthorIndex() : metrics_(std::make_unique<obs::MetricsRegistry>()) {
+AuthorIndex::AuthorIndex()
+    : metrics_(std::make_unique<obs::MetricsRegistry>()),
+      slowlog_(std::make_unique<obs::SlowQueryLog>()),
+      log_(obs::Logger::Disabled()) {
   queries_total_ =
       metrics_->RegisterCounter("authidx_queries_total", "Queries executed");
+  slow_queries_total_ = metrics_->RegisterCounter(
+      "authidx_slow_queries_total",
+      "Queries exceeding the slow-query threshold");
   query_ns_ = metrics_->RegisterLatencyHistogram(
       "authidx_query_duration_ns", "End-to-end query execution latency, ns");
   exec_obs_.stage_plan_ns = metrics_->RegisterLatencyHistogram(
@@ -69,6 +75,19 @@ AuthorIndex::AuthorIndex() : metrics_(std::make_unique<obs::MetricsRegistry>()) 
     exec_obs_.plan_chosen[kind] = metrics_->RegisterCounter(
         kPlanCounterNames[kind], "Queries the planner routed to this path");
   }
+  // Index-layer instruments, recorded into by the structures themselves.
+  author_trie_.BindMetrics(
+      metrics_->RegisterGauge("authidx_trie_nodes",
+                              "Author trie nodes currently allocated"),
+      metrics_->RegisterLatencyHistogram(
+          "authidx_trie_prefix_scan_duration_ns",
+          "Latency of one trie prefix scan, ns"));
+  inverted_.BindMetrics(metrics_->RegisterCounter(
+      "authidx_inverted_postings_decoded_total",
+      "Postings decoded by title-index lookups"));
+  author_order_.BindMetrics(metrics_->RegisterCounter(
+      "authidx_btree_page_reads_total",
+      "B+-tree nodes visited during root-to-leaf descents"));
 }
 
 std::unique_ptr<AuthorIndex> AuthorIndex::Create() {
@@ -82,6 +101,10 @@ Result<std::unique_ptr<AuthorIndex>> AuthorIndex::OpenPersistent(
     // Storage metrics land in the catalog's registry so one snapshot
     // covers every layer.
     options.metrics = catalog->metrics_.get();
+  }
+  if (options.logger != nullptr) {
+    // Catalog-level events (slow queries) share the engine's logger.
+    catalog->log_ = options.logger;
   }
   AUTHIDX_ASSIGN_OR_RETURN(catalog->engine_,
                            storage::StorageEngine::Open(dir, options));
@@ -177,6 +200,26 @@ Result<query::QueryResult> AuthorIndex::Search(
 
 Result<query::QueryResult> AuthorIndex::SearchTraced(
     std::string_view query_text, obs::Trace* trace) const {
+  uint64_t threshold = slow_threshold_ns_.load(std::memory_order_relaxed);
+  if (threshold == 0) {
+    return SearchInternal(query_text, trace);
+  }
+  // Armed: trace opportunistically (into a local buffer when the caller
+  // brought none) so a slow query's span tree is always available. This
+  // branch may allocate — acceptable, the threshold was opted into.
+  obs::Trace local_trace;
+  obs::Trace* capture = trace != nullptr ? trace : &local_trace;
+  uint64_t start_ns = obs::MonotonicNowNs();
+  Result<query::QueryResult> result = SearchInternal(query_text, capture);
+  uint64_t duration_ns = obs::MonotonicNowNs() - start_ns;
+  if (duration_ns >= threshold) {
+    RecordSlowQuery(query_text, duration_ns, *capture, result);
+  }
+  return result;
+}
+
+Result<query::QueryResult> AuthorIndex::SearchInternal(
+    std::string_view query_text, obs::Trace* trace) const {
   obs::TraceSpan root(trace, nullptr, "query");
   query::Query q;
   {
@@ -184,6 +227,39 @@ Result<query::QueryResult> AuthorIndex::SearchTraced(
     AUTHIDX_ASSIGN_OR_RETURN(q, query::ParseQuery(query_text));
   }
   return RunTraced(q, trace);
+}
+
+void AuthorIndex::RecordSlowQuery(
+    std::string_view query_text, uint64_t duration_ns,
+    const obs::Trace& trace,
+    const Result<query::QueryResult>& result) const {
+  slow_queries_total_->Inc();
+  obs::SlowQueryEntry entry;
+  entry.unix_ms = obs::WallUnixMillis();
+  entry.duration_ns = duration_ns;
+  entry.query = std::string(query_text);
+  entry.plan = result.ok()
+                   ? std::string(query::PlanKindToString(result->plan))
+                   : "error: " + result.status().message();
+  entry.spans = trace.spans();
+  log_->Log(obs::LogLevel::kWarn, "slow_query",
+            {{"query", entry.query},
+             {"plan", entry.plan},
+             {"duration_ns", duration_ns},
+             {"spans", static_cast<uint64_t>(entry.spans.size())}});
+  slowlog_->Record(std::move(entry));
+}
+
+void AuthorIndex::SetSlowQueryThreshold(uint64_t threshold_ns) {
+  slow_threshold_ns_.store(threshold_ns, std::memory_order_relaxed);
+}
+
+std::vector<obs::SlowQueryEntry> AuthorIndex::SlowQueries() const {
+  return slowlog_->Snapshot();
+}
+
+void AuthorIndex::SetLogger(obs::Logger* logger) {
+  log_ = logger != nullptr ? logger : obs::Logger::Disabled();
 }
 
 Result<query::QueryResult> AuthorIndex::Run(const query::Query& q) const {

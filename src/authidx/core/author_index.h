@@ -1,6 +1,7 @@
 #ifndef AUTHIDX_CORE_AUTHOR_INDEX_H_
 #define AUTHIDX_CORE_AUTHOR_INDEX_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -9,7 +10,9 @@
 
 #include "authidx/common/result.h"
 #include "authidx/index/btree.h"
+#include "authidx/obs/log.h"
 #include "authidx/obs/metrics.h"
+#include "authidx/obs/slowlog.h"
 #include "authidx/obs/trace.h"
 #include "authidx/index/inverted.h"
 #include "authidx/index/trie.h"
@@ -76,6 +79,30 @@ class AuthorIndex final : public query::CatalogView {
   /// The registry behind GetMetricsSnapshot(); outlives the engine.
   const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
+  /// Arms the slow-query log: any Search/SearchTraced/Run slower than
+  /// `threshold_ns` is captured into the ring buffer with its query
+  /// text, chosen plan, and full span tree (a trace is created
+  /// opportunistically when the caller brought none). 0 — the default —
+  /// disarms it and keeps the query path allocation-free. Thread-safe.
+  void SetSlowQueryThreshold(uint64_t threshold_ns);
+
+  /// Current slow-query threshold in ns (0 = disarmed).
+  uint64_t slow_query_threshold_ns() const {
+    return slow_threshold_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the captured slow queries, oldest first.
+  std::vector<obs::SlowQueryEntry> SlowQueries() const;
+
+  /// The ring buffer behind SlowQueries() (thread-safe).
+  const obs::SlowQueryLog& slow_query_log() const { return *slowlog_; }
+
+  /// Routes catalog-level events (slow queries) to `logger`, which must
+  /// outlive this index. Persistent catalogs inherit the engine logger
+  /// from EngineOptions automatically; this override is for in-memory
+  /// catalogs or tests. Not thread-safe: call during setup.
+  void SetLogger(obs::Logger* logger);
+
   // --- CatalogView ---
   const Entry* GetEntry(EntryId id) const override;
   size_t entry_count() const override { return entries_.size(); }
@@ -127,6 +154,15 @@ class AuthorIndex final : public query::CatalogView {
   /// Index-maintenance shared by Add and recovery (no storage write).
   EntryId IndexEntry(Entry entry);
 
+  /// SearchTraced body without the slow-query envelope.
+  Result<query::QueryResult> SearchInternal(std::string_view query_text,
+                                            obs::Trace* trace) const;
+
+  /// Captures one over-threshold query into the ring + logger.
+  void RecordSlowQuery(std::string_view query_text, uint64_t duration_ns,
+                       const obs::Trace& trace,
+                       const Result<query::QueryResult>& result) const;
+
   std::vector<Entry> entries_;
   std::vector<std::string> sort_keys_;  // Parallel to entries_.
 
@@ -145,6 +181,11 @@ class AuthorIndex final : public query::CatalogView {
   query::ExecObs exec_obs_;  // Pre-registered executor instruments.
   obs::Counter* queries_total_ = nullptr;
   obs::LatencyHistogram* query_ns_ = nullptr;
+  obs::Counter* slow_queries_total_ = nullptr;
+
+  std::unique_ptr<obs::SlowQueryLog> slowlog_;
+  std::atomic<uint64_t> slow_threshold_ns_{0};
+  obs::Logger* log_;  // Never null (Logger::Disabled() by default).
 
   std::unique_ptr<storage::StorageEngine> engine_;  // Null if in-memory.
 };

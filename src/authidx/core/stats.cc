@@ -74,4 +74,53 @@ std::string CatalogStats::ToString() const {
   return out;
 }
 
+namespace {
+
+void AppendHistogramJson(std::string* out,
+                         const std::map<uint32_t, size_t>& histogram) {
+  *out += '{';
+  bool first = true;
+  for (const auto& [key, count] : histogram) {
+    if (!first) {
+      *out += ',';
+    }
+    first = false;
+    *out += '"';
+    *out += std::to_string(key);
+    *out += "\":";
+    *out += std::to_string(count);
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string CatalogStats::ToJson() const {
+  std::string out = "{";
+  out += "\"entries\":" + std::to_string(entries);
+  out += ",\"distinct_authors\":" + std::to_string(distinct_authors);
+  out += ",\"student_entries\":" + std::to_string(student_entries);
+  out += ",\"coauthored_entries\":" + std::to_string(coauthored_entries);
+  out += ",\"min_volume\":" + std::to_string(min_volume);
+  out += ",\"max_volume\":" + std::to_string(max_volume);
+  out += ",\"min_year\":" + std::to_string(min_year);
+  out += ",\"max_year\":" + std::to_string(max_year);
+  out += ",\"distinct_terms\":" + std::to_string(distinct_terms);
+  out += ",\"avg_title_tokens\":" + StringPrintf("%.6g", avg_title_tokens);
+  out += ",\"volume_histogram\":";
+  AppendHistogramJson(&out, volume_histogram);
+  out += ",\"year_histogram\":";
+  AppendHistogramJson(&out, year_histogram);
+  out += ",\"top_authors\":[";
+  for (size_t i = 0; i < top_authors.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"name\":" + JsonQuote(top_authors[i].first) +
+           ",\"entries\":" + std::to_string(top_authors[i].second) + '}';
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace authidx::core

@@ -33,6 +33,11 @@ struct CatalogStats {
 
   /// Human-readable multi-line report.
   std::string ToString() const;
+
+  /// Single JSON object with the same numbers (scalar fields, the two
+  /// histograms as {"<key>": count} objects, top_authors as an array of
+  /// {"name", "entries"}). Stable field order; reused by /varz.
+  std::string ToJson() const;
 };
 
 /// Computes statistics over `catalog` (top_k bounds top_authors).

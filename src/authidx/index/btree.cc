@@ -47,14 +47,23 @@ BPlusTree::~BPlusTree() { delete root_; }
 
 BPlusTree::LeafNode* BPlusTree::FindLeaf(std::string_view key) const {
   Node* node = root_;
+  uint64_t visited = 1;  // The root counts as a page read.
   while (!node->is_leaf) {
     auto* internal = static_cast<InternalNode*>(node);
     size_t i = static_cast<size_t>(
         std::upper_bound(internal->keys.begin(), internal->keys.end(), key) -
         internal->keys.begin());
     node = internal->children[i];
+    ++visited;
+  }
+  if (page_reads_ != nullptr) {
+    page_reads_->Inc(visited);
   }
   return static_cast<LeafNode*>(node);
+}
+
+void BPlusTree::BindMetrics(obs::Counter* page_reads) {
+  page_reads_ = page_reads;
 }
 
 void BPlusTree::SplitChild(InternalNode* parent, size_t child_idx) {

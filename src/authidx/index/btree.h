@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "authidx/obs/metrics.h"
+
 namespace authidx {
 
 /// In-memory B+-tree mapping byte-string keys to uint64 values, with
@@ -76,6 +78,11 @@ class BPlusTree {
   /// and fills `*why` on violation.
   bool CheckInvariants(std::string* why) const;
 
+  /// Points the tree at a registry counter (may be null) counting node
+  /// visits ("page reads") during root-to-leaf descents. See
+  /// docs/OBSERVABILITY.md.
+  void BindMetrics(obs::Counter* page_reads);
+
  private:
   struct Node;
   struct InternalNode;
@@ -89,6 +96,7 @@ class BPlusTree {
   LeafNode* first_leaf_;
   size_t size_ = 0;
   int height_ = 1;
+  obs::Counter* page_reads_ = nullptr;
 };
 
 }  // namespace authidx

@@ -56,7 +56,14 @@ std::vector<Posting> InvertedIndex::GetPostings(std::string_view term) const {
     postings.push_back(Posting{doc, freq});
     prev = doc;
   }
+  if (postings_decoded_ != nullptr) {
+    postings_decoded_->Inc(postings.size());
+  }
   return postings;
+}
+
+void InvertedIndex::BindMetrics(obs::Counter* postings_decoded) {
+  postings_decoded_ = postings_decoded;
 }
 
 std::vector<EntryId> InvertedIndex::GetDocs(std::string_view term) const {

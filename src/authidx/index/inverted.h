@@ -9,6 +9,7 @@
 
 #include "authidx/index/postings.h"
 #include "authidx/model/record.h"
+#include "authidx/obs/metrics.h"
 
 namespace authidx {
 
@@ -52,6 +53,10 @@ class InvertedIndex {
   /// All terms (unsorted); mainly for tests and stats.
   std::vector<std::string> Terms() const;
 
+  /// Points the index at a registry counter (may be null) counting
+  /// postings decoded by GetPostings/GetDocs. See docs/OBSERVABILITY.md.
+  void BindMetrics(obs::Counter* postings_decoded);
+
  private:
   struct TermEntry {
     // Encoded (gap, freq) varint postings, appended incrementally.
@@ -66,6 +71,7 @@ class InvertedIndex {
   uint64_t total_tokens_ = 0;
   EntryId max_doc_ = 0;
   bool any_doc_ = false;
+  obs::Counter* postings_decoded_ = nullptr;
 };
 
 }  // namespace authidx

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "authidx/obs/trace.h"
+
 namespace authidx {
 
 // Children are parallel arrays (labels_, kids_) sorted by label and grown
@@ -41,7 +43,19 @@ Trie::Node* Trie::NewNode() {
   char* mem = arena_.AllocateAligned(sizeof(Node));
   Node* node = new (mem) Node();
   ++node_count_;
+  if (nodes_gauge_ != nullptr) {
+    nodes_gauge_->Set(static_cast<int64_t>(node_count_));
+  }
   return node;
+}
+
+void Trie::BindMetrics(obs::Gauge* nodes,
+                       obs::LatencyHistogram* prefix_scan_ns) {
+  nodes_gauge_ = nodes;
+  prefix_scan_ns_ = prefix_scan_ns;
+  if (nodes_gauge_ != nullptr) {
+    nodes_gauge_->Set(static_cast<int64_t>(node_count_));
+  }
 }
 
 void Trie::Insert(std::string_view key, uint64_t value) {
@@ -127,6 +141,7 @@ void Trie::Collect(const Node* node, std::string* scratch,
 
 std::vector<std::pair<std::string, uint64_t>> Trie::PrefixScan(
     std::string_view prefix, size_t limit) const {
+  obs::TraceSpan timer(nullptr, prefix_scan_ns_, "trie_prefix_scan");
   std::vector<std::pair<std::string, uint64_t>> out;
   const Node* node = Descend(prefix);
   if (node == nullptr) {

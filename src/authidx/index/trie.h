@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "authidx/common/arena.h"
+#include "authidx/obs/metrics.h"
 
 namespace authidx {
 
@@ -39,6 +40,11 @@ class Trie {
   size_t node_count() const { return node_count_; }
   size_t MemoryUsage() const { return arena_.MemoryUsage(); }
 
+  /// Points the trie at registry instruments (either may be null):
+  /// `nodes` tracks node_count(), `prefix_scan_ns` records PrefixScan
+  /// latency. See docs/OBSERVABILITY.md.
+  void BindMetrics(obs::Gauge* nodes, obs::LatencyHistogram* prefix_scan_ns);
+
  private:
   struct Node;
 
@@ -52,6 +58,8 @@ class Trie {
   Node* root_;
   size_t size_ = 0;
   size_t node_count_ = 0;
+  obs::Gauge* nodes_gauge_ = nullptr;
+  obs::LatencyHistogram* prefix_scan_ns_ = nullptr;
 };
 
 }  // namespace authidx

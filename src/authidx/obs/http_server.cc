@@ -1,0 +1,241 @@
+#include "authidx/obs/http_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+
+namespace authidx::obs {
+
+namespace {
+
+// Reason phrases for the statuses the observability routes use.
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+// Writes all of `data`, retrying on short writes and EINTR.
+void WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // Peer went away; nothing useful to do.
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+void WriteResponse(int fd, const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  WriteAll(fd, out);
+}
+
+}  // namespace
+
+HttpServer::HttpServer() = default;
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Route(std::string path, Handler handler) {
+  routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+Status HttpServer::Start(int port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("http server already running");
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::IOError("pipe: " + std::string(std::strerror(errno)));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    Status s =
+        Status::IOError("socket: " + std::string(std::strerror(errno)));
+    Stop();
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status s = Status::IOError("bind port " + std::to_string(port) + ": " +
+                               std::strerror(errno));
+    Stop();
+    return s;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    Status s =
+        Status::IOError("listen: " + std::string(std::strerror(errno)));
+    Stop();
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    Status s =
+        Status::IOError("getsockname: " + std::string(std::strerror(errno)));
+    Stop();
+    return s;
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    // Wake the poll() so the worker observes running_ == false.
+    char byte = 'q';
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void HttpServer::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0 ||
+        !running_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  // A stalled client must not wedge the serial accept loop forever.
+  timeval timeout;
+  timeout.tv_sec = 5;
+  timeout.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the end of the request headers; the body (if any) is
+  // ignored since only GET is served.
+  char buf[8192];
+  size_t len = 0;
+  while (len < sizeof(buf)) {
+    ssize_t n = ::read(fd, buf + len, sizeof(buf) - len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return;  // Timeout or close before a full request: drop.
+    }
+    len += static_cast<size_t>(n);
+    if (std::string_view(buf, len).find("\r\n\r\n") !=
+        std::string_view::npos) {
+      break;
+    }
+  }
+  std::string_view request(buf, len);
+  if (request.find("\r\n\r\n") == std::string_view::npos) {
+    WriteResponse(fd, {431, "text/plain; charset=utf-8",
+                       "request headers too large\n"});
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  size_t line_end = request.find("\r\n");
+  std::string_view line = request.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.rfind(' ');
+  HttpResponse response;
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    response = {400, "text/plain; charset=utf-8", "malformed request\n"};
+  } else {
+    std::string_view method = line.substr(0, sp1);
+    std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    size_t query_pos = target.find('?');
+    if (query_pos != std::string_view::npos) {
+      target = target.substr(0, query_pos);
+    }
+    if (method != "GET") {
+      response = {405, "text/plain; charset=utf-8",
+                  "only GET is supported\n"};
+    } else {
+      response = {404, "text/plain; charset=utf-8", "not found\n"};
+      for (const auto& [path, handler] : routes_) {
+        if (target == path) {
+          response = handler();
+          break;
+        }
+      }
+    }
+  }
+  WriteResponse(fd, response);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace authidx::obs

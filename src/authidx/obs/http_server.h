@@ -1,0 +1,87 @@
+#ifndef AUTHIDX_OBS_HTTP_SERVER_H_
+#define AUTHIDX_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "authidx/common/status.h"
+
+namespace authidx::obs {
+
+/// What a route handler returns; serialized as an HTTP/1.1 response
+/// with Content-Length and Connection: close.
+struct HttpResponse {
+  /// HTTP status code (200, 404, 503, ...).
+  int status = 200;
+  /// Content-Type header value.
+  std::string content_type = "text/plain; charset=utf-8";
+  /// Response body.
+  std::string body;
+};
+
+/// Minimal dependency-free blocking HTTP/1.1 server for observability
+/// endpoints (POSIX sockets only). One worker thread accepts and
+/// serves connections serially — correct and TSan-clean, sized for an
+/// operator curling /metrics, not for traffic. Only GET is supported;
+/// the query string is stripped before route lookup; unknown paths get
+/// 404 and non-GET methods 405. Register every route before Start().
+class HttpServer {
+ public:
+  /// Computes the response for one GET request. Called on the server
+  /// thread; must be thread-safe against the rest of the process.
+  using Handler = std::function<HttpResponse()>;
+
+  /// Server with no routes, not yet listening.
+  HttpServer();
+
+  /// Stops the server if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Mounts `handler` at exact path `path` (e.g. "/metrics"). Not
+  /// thread-safe; call before Start().
+  void Route(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()),
+  /// starts the worker thread, and returns. Fails if already started
+  /// or the bind/listen fails.
+  Status Start(int port);
+
+  /// Port actually bound, valid after a successful Start().
+  int port() const { return port_; }
+
+  /// True between a successful Start() and Stop().
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Wakes the worker, joins it, and closes the listening socket.
+  /// Idempotent.
+  void Stop();
+
+  /// Requests served since Start() (any status).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  std::vector<std::pair<std::string, Handler>> routes_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // Self-pipe: Stop() unblocks poll().
+  int port_ = 0;
+};
+
+}  // namespace authidx::obs
+
+#endif  // AUTHIDX_OBS_HTTP_SERVER_H_

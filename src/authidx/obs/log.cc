@@ -1,0 +1,380 @@
+#include "authidx/obs/log.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include "authidx/common/strings.h"
+
+namespace authidx::obs {
+
+namespace {
+
+// Fixed-capacity line builder: appends clamp at the buffer end and set
+// a truncation flag, so formatting never allocates and never overruns.
+class LineBuffer {
+ public:
+  void Append(std::string_view s) {
+    size_t room = kCapacity - len_;
+    if (s.size() > room) {
+      s = s.substr(0, room);
+      truncated_ = true;
+    }
+    std::memcpy(data_ + len_, s.data(), s.size());
+    len_ += s.size();
+  }
+
+  void AppendChar(char c) {
+    if (len_ < kCapacity) {
+      data_[len_++] = c;
+    } else {
+      truncated_ = true;
+    }
+  }
+
+  void AppendPrintf(const char* format, ...)
+      __attribute__((format(printf, 2, 3))) {
+    va_list args;
+    va_start(args, format);
+    size_t room = kCapacity - len_;
+    int n = std::vsnprintf(data_ + len_, room + 1, format, args);
+    va_end(args);
+    if (n < 0) {
+      return;
+    }
+    if (static_cast<size_t>(n) > room) {
+      len_ = kCapacity;
+      truncated_ = true;
+    } else {
+      len_ += static_cast<size_t>(n);
+    }
+  }
+
+  std::string_view Finish() {
+    if (truncated_) {
+      // Overwrite the tail with a marker so truncation is visible.
+      static constexpr char kMarker[] = "...";
+      size_t marker_len = sizeof(kMarker) - 1;
+      size_t at = kCapacity - marker_len;
+      std::memcpy(data_ + at, kMarker, marker_len);
+      len_ = kCapacity;
+    }
+    return std::string_view(data_, len_);
+  }
+
+ private:
+  // One line: timestamp + level + event + a handful of fields. 1 KiB
+  // covers every engine event; longer lines truncate visibly.
+  static constexpr size_t kCapacity = 1024;
+
+  char data_[kCapacity + 1];
+  size_t len_ = 0;
+  bool truncated_ = false;
+};
+
+// True when a string value can be emitted bare (no quotes): non-empty
+// printable ASCII without spaces, quotes, '=' or backslashes.
+bool IsBareValue(std::string_view s) {
+  if (s.empty() || s.size() > 64) {
+    return false;
+  }
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u <= ' ' || u >= 0x7F || c == '"' || c == '\\' || c == '=') {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AppendQuoted(LineBuffer* line, std::string_view s) {
+  line->AppendChar('"');
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      line->AppendChar('\\');
+      line->AppendChar(c);
+    } else if (u < 0x20) {
+      line->AppendPrintf("\\x%02x", u);
+    } else {
+      line->AppendChar(c);
+    }
+  }
+  line->AppendChar('"');
+}
+
+void AppendField(LineBuffer* line, const LogField& field) {
+  line->AppendChar(' ');
+  line->Append(field.key);
+  line->AppendChar('=');
+  switch (field.kind) {
+    case LogField::Kind::kString:
+      if (IsBareValue(field.str)) {
+        line->Append(field.str);
+      } else {
+        AppendQuoted(line, field.str);
+      }
+      break;
+    case LogField::Kind::kInt:
+      line->AppendPrintf("%" PRId64, field.i);
+      break;
+    case LogField::Kind::kUint:
+      line->AppendPrintf("%" PRIu64, field.u);
+      break;
+    case LogField::Kind::kDouble:
+      line->AppendPrintf("%.6g", field.d);
+      break;
+    case LogField::Kind::kBool:
+      line->Append(field.b ? "true" : "false");
+      break;
+  }
+}
+
+void AppendTimestamp(LineBuffer* line, uint64_t unix_ms) {
+  std::time_t seconds = static_cast<std::time_t>(unix_ms / 1000);
+  std::tm parts;
+  gmtime_r(&seconds, &parts);
+  line->AppendPrintf("ts=%04d-%02d-%02dT%02d:%02d:%02d.%03uZ",
+                     parts.tm_year + 1900, parts.tm_mon + 1, parts.tm_mday,
+                     parts.tm_hour, parts.tm_min, parts.tm_sec,
+                     static_cast<unsigned>(unix_ms % 1000));
+}
+
+}  // namespace
+
+std::string_view LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* level) {
+  std::string lower = AsciiToLower(text);
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *level = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+uint64_t WallUnixMillis() {
+  std::timespec ts;
+  std::timespec_get(&ts, TIME_UTC);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+Status LogSink::Flush() { return Status::OK(); }
+
+void StderrSink::Write(LogLevel level, std::string_view line) {
+  (void)level;
+  // One fwrite per line keeps concurrent processes' lines intact too
+  // (stderr is unbuffered, and POSIX write atomicity covers this size).
+  char buf[1200];
+  size_t n = std::min(line.size(), sizeof(buf) - 1);
+  std::memcpy(buf, line.data(), n);
+  buf[n] = '\n';
+  std::fwrite(buf, 1, n + 1, stderr);
+}
+
+void VectorSink::Write(LogLevel level, std::string_view line) {
+  (void)level;
+  lines_.emplace_back(line);
+}
+
+bool VectorSink::Contains(std::string_view needle) const {
+  for (const std::string& line : lines_) {
+    if (line.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+RotatingFileSink::RotatingFileSink(Env* env, std::string path,
+                                   Options options)
+    : env_(env), path_(std::move(path)), options_(options) {}
+
+RotatingFileSink::~RotatingFileSink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    // Last-ditch flush; errors are already latched or unreportable.
+    file_->Close().IgnoreError();
+  }
+}
+
+Result<std::unique_ptr<RotatingFileSink>> RotatingFileSink::Open(
+    Env* env, std::string path) {
+  return Open(env, std::move(path), Options());
+}
+
+Result<std::unique_ptr<RotatingFileSink>> RotatingFileSink::Open(
+    Env* env, std::string path, Options options) {
+  if (env == nullptr) {
+    env = Env::Default();
+  }
+  if (options.max_files < 1) {
+    options.max_files = 1;
+  }
+  auto sink = std::unique_ptr<RotatingFileSink>(
+      new RotatingFileSink(env, std::move(path), options));
+  std::lock_guard<std::mutex> lock(sink->mu_);
+  if (env->FileExists(sink->path_)) {
+    AUTHIDX_RETURN_NOT_OK(sink->RotateLocked());
+  } else {
+    AUTHIDX_RETURN_NOT_OK(sink->OpenActiveLocked());
+  }
+  return sink;
+}
+
+Status RotatingFileSink::OpenActiveLocked() {
+  AUTHIDX_ASSIGN_OR_RETURN(file_, env_->NewWritableFile(path_));
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+Status RotatingFileSink::RotateLocked() {
+  if (file_ != nullptr) {
+    AUTHIDX_RETURN_NOT_OK(file_->Close());
+    file_ = nullptr;
+  }
+  // Shift path.(N-1) -> path.N .. path -> path.1; the oldest falls off.
+  std::string oldest =
+      path_ + "." + std::to_string(options_.max_files);
+  if (env_->FileExists(oldest)) {
+    AUTHIDX_RETURN_NOT_OK(env_->RemoveFile(oldest));
+  }
+  for (int i = options_.max_files - 1; i >= 1; --i) {
+    std::string from = path_ + "." + std::to_string(i);
+    if (env_->FileExists(from)) {
+      AUTHIDX_RETURN_NOT_OK(
+          env_->RenameFile(from, path_ + "." + std::to_string(i + 1)));
+    }
+  }
+  if (env_->FileExists(path_)) {
+    AUTHIDX_RETURN_NOT_OK(env_->RenameFile(path_, path_ + ".1"));
+  }
+  return OpenActiveLocked();
+}
+
+void RotatingFileSink::Write(LogLevel level, std::string_view line) {
+  (void)level;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!first_error_.ok() || file_ == nullptr) {
+    return;  // Latched failure: drop (cannot report from void Write).
+  }
+  if (bytes_written_ >= options_.max_file_bytes) {
+    Status s = RotateLocked();
+    if (!s.ok()) {
+      first_error_ = s;
+      return;
+    }
+  }
+  Status s = file_->Append(line);
+  if (s.ok()) {
+    s = file_->Append("\n");
+  }
+  if (s.ok()) {
+    // Per-line OS flush: a crash loses at most the in-flight line.
+    s = file_->Flush();
+  }
+  if (!s.ok()) {
+    first_error_ = s;
+    return;
+  }
+  bytes_written_ += line.size() + 1;
+}
+
+Status RotatingFileSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  AUTHIDX_RETURN_NOT_OK(first_error_);
+  if (file_ == nullptr) {
+    return Status::OK();
+  }
+  return file_->Flush();
+}
+
+Status RotatingFileSink::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+Logger::Logger(LogLevel min_level)
+    : min_level_(static_cast<int>(min_level)) {}
+
+void Logger::AddSink(std::unique_ptr<LogSink> sink) {
+  sinks_.push_back(sink.get());
+  owned_sinks_.push_back(std::move(sink));
+}
+
+void Logger::AddBorrowedSink(LogSink* sink) { sinks_.push_back(sink); }
+
+void Logger::Log(LogLevel level, std::string_view event,
+                 std::initializer_list<LogField> fields) {
+  if (!Enabled(level)) {
+    return;
+  }
+  LineBuffer line;
+  AppendTimestamp(&line, WallUnixMillis());
+  line.Append(" level=");
+  line.Append(LogLevelToString(level));
+  line.Append(" event=");
+  line.Append(event);
+  for (const LogField& field : fields) {
+    AppendField(&line, field);
+  }
+  std::string_view text = line.Finish();
+  if (level == LogLevel::kError) {
+    error_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (level == LogLevel::kError) {
+    last_error_len_ = std::min(text.size(), sizeof(last_error_));
+    std::memcpy(last_error_, text.data(), last_error_len_);
+  }
+  for (LogSink* sink : sinks_) {
+    sink->Write(level, text);
+  }
+}
+
+Status Logger::FlushSinks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status first;
+  for (LogSink* sink : sinks_) {
+    Status s = sink->Flush();
+    if (first.ok() && !s.ok()) {
+      first = s;
+    }
+  }
+  return first;
+}
+
+std::string Logger::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::string(last_error_, last_error_len_);
+}
+
+Logger* Logger::Disabled() {
+  // No sinks: Enabled() is always false, Log() returns immediately.
+  static Logger* disabled = new Logger(LogLevel::kError);
+  return disabled;
+}
+
+}  // namespace authidx::obs

@@ -1,0 +1,267 @@
+#ifndef AUTHIDX_OBS_LOG_H_
+#define AUTHIDX_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "authidx/common/env.h"
+#include "authidx/common/result.h"
+#include "authidx/common/status.h"
+
+namespace authidx::obs {
+
+/// Severity of a structured log event, ordered ascending. A Logger
+/// drops events below its minimum level after one atomic load, before
+/// any formatting work happens.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Stable upper-case name for `level` ("DEBUG", "INFO", "WARN",
+/// "ERROR").
+std::string_view LogLevelToString(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error" (ASCII case-insensitive) into
+/// `*level`; returns false (leaving `*level` untouched) on unknown
+/// names.
+bool ParseLogLevel(std::string_view text, LogLevel* level);
+
+/// One key=value pair of a structured event. Holds views and scalars
+/// only — no ownership, no allocation; any referenced string storage
+/// must outlive the Log() call that formats it.
+struct LogField {
+  /// Value representations a field can carry.
+  enum class Kind { kString, kInt, kUint, kDouble, kBool };
+
+  /// String value (quoted and escaped on output).
+  LogField(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kString), str(v) {}
+
+  /// C-string value (kept distinct so it does not convert to bool).
+  LogField(std::string_view k, const char* v)
+      : key(k), kind(Kind::kString), str(v) {}
+
+  /// Boolean value, rendered as true/false.
+  LogField(std::string_view k, bool v)
+      : key(k), kind(Kind::kBool), b(v) {}
+
+  /// Floating-point value, rendered with %.6g.
+  LogField(std::string_view k, double v)
+      : key(k), kind(Kind::kDouble), d(v) {}
+
+  /// Integral value (any width; signedness is preserved).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  LogField(std::string_view k, T v)
+      : key(k), kind(std::is_signed_v<T> ? Kind::kInt : Kind::kUint) {
+    if constexpr (std::is_signed_v<T>) {
+      i = static_cast<int64_t>(v);
+    } else {
+      u = static_cast<uint64_t>(v);
+    }
+  }
+
+  /// Field name, emitted verbatim (use lower_snake_case).
+  std::string_view key;
+  /// Which union member below is active.
+  Kind kind;
+  /// Active when kind == kString.
+  std::string_view str;
+  /// Active union of the scalar kinds.
+  union {
+    int64_t i;
+    uint64_t u;
+    double d;
+    bool b;
+  };
+};
+
+/// Destination for formatted log lines. Write() receives one complete
+/// line without a trailing newline and is always invoked under the
+/// owning Logger's sink mutex, so implementations need no locking of
+/// their own against sibling writes.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+
+  /// Emits one formatted line (no trailing newline; the sink frames).
+  virtual void Write(LogLevel level, std::string_view line) = 0;
+
+  /// Pushes buffered lines toward the medium. Default: no-op OK.
+  virtual Status Flush();
+};
+
+/// Sink writing each line to stderr via fwrite — no iostreams, no
+/// allocation (lint rule 5 keeps std::cerr out of library code).
+class StderrSink final : public LogSink {
+ public:
+  StderrSink() = default;
+
+  /// Writes `line` plus '\n' to stderr in a single fwrite.
+  void Write(LogLevel level, std::string_view line) override;
+};
+
+/// Sink accumulating lines in memory; for tests asserting on emitted
+/// events. Allocates (it is a test double, not a production sink).
+class VectorSink final : public LogSink {
+ public:
+  VectorSink() = default;
+
+  /// Stores a copy of `line`.
+  void Write(LogLevel level, std::string_view line) override;
+
+  /// All lines written so far, in order.
+  const std::vector<std::string>& lines() const { return lines_; }
+
+  /// True if any stored line contains `needle`.
+  bool Contains(std::string_view needle) const;
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// Sink appending lines to a file through common/env.h, rotating when
+/// the active file exceeds a size budget: `path` is the live log,
+/// `path.1` the most recently rotated, up to `path.<max_files>`.
+/// Lines are Flush()ed to the OS after every write so a crash loses at
+/// most the line being written. Write errors cannot propagate from the
+/// void interface; the first one is latched in status() and later
+/// lines are dropped.
+class RotatingFileSink final : public LogSink {
+ public:
+  /// Rotation policy.
+  struct Options {
+    /// Rotate once the active file exceeds this many bytes.
+    uint64_t max_file_bytes = 8 * 1024 * 1024;
+    /// Rotated files kept (path.1 .. path.N); older ones are removed.
+    int max_files = 3;
+  };
+
+  /// Opens the sink over `path` (an existing live file is rotated away
+  /// first, so every process start begins a fresh file). `env` must
+  /// outlive the sink; nullptr means Env::Default().
+  static Result<std::unique_ptr<RotatingFileSink>> Open(
+      Env* env, std::string path, Options options);
+
+  /// Open() with default Options.
+  static Result<std::unique_ptr<RotatingFileSink>> Open(Env* env,
+                                                        std::string path);
+
+  ~RotatingFileSink() override;
+
+  /// Appends `line` plus '\n', rotating first when over budget.
+  void Write(LogLevel level, std::string_view line) override;
+
+  /// Flushes the active file.
+  Status Flush() override;
+
+  /// First write/rotation error, or OK. Latched; never resets.
+  Status status() const;
+
+ private:
+  RotatingFileSink(Env* env, std::string path, Options options);
+
+  Status RotateLocked();
+  Status OpenActiveLocked();
+
+  Env* const env_;
+  const std::string path_;
+  const Options options_;
+  mutable std::mutex mu_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t bytes_written_ = 0;
+  Status first_error_;
+};
+
+/// Leveled structured logger. Log() formats `event` plus key=value
+/// fields into a fixed stack buffer — no allocation on any level — and
+/// hands the line to every attached sink under a mutex (lines from
+/// concurrent threads never interleave). Disabled levels cost one
+/// relaxed atomic load. Sinks are attached before concurrent use;
+/// everything else is thread-safe.
+class Logger {
+ public:
+  /// Logger with the given minimum level and no sinks (events are
+  /// formatted only when at least one sink is attached).
+  explicit Logger(LogLevel min_level = LogLevel::kInfo);
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Attaches an owned sink. Not thread-safe: attach during setup.
+  void AddSink(std::unique_ptr<LogSink> sink);
+
+  /// Attaches a caller-owned sink (must outlive the logger). Not
+  /// thread-safe: attach during setup.
+  void AddBorrowedSink(LogSink* sink);
+
+  /// True when events at `level` would be emitted.
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+               min_level_.load(std::memory_order_relaxed) &&
+           !sinks_.empty();
+  }
+
+  /// Adjusts the minimum level (thread-safe).
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+  /// Current minimum level.
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(
+        min_level_.load(std::memory_order_relaxed));
+  }
+
+  /// Emits one structured event:
+  ///   ts=<UTC ISO-8601 ms> level=<LEVEL> event=<event> k1=v1 k2="v 2"
+  /// String values are quoted and minimally escaped; an over-long line
+  /// is truncated with a trailing "..." marker. Allocation-free.
+  void Log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields);
+
+  /// Flushes every sink; first failure wins.
+  Status FlushSinks();
+
+  /// kError events emitted since construction (for health surfaces).
+  uint64_t error_count() const {
+    return error_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy of the most recent kError line ("" when none). Allocates;
+  /// diagnostic surface, not hot path.
+  std::string last_error() const;
+
+  /// Process-wide logger with no sinks that drops every event; use as
+  /// the default so call sites never null-check.
+  static Logger* Disabled();
+
+ private:
+  std::atomic<int> min_level_;
+  std::atomic<uint64_t> error_count_{0};
+  mutable std::mutex mu_;  // Serializes sink writes + last_error_.
+  std::vector<std::unique_ptr<LogSink>> owned_sinks_;
+  std::vector<LogSink*> sinks_;
+  char last_error_[512] = {};
+  size_t last_error_len_ = 0;
+};
+
+/// Wall-clock time in milliseconds since the Unix epoch (CLOCK_REALTIME;
+/// the timestamp base for log lines and slow-query capture times).
+uint64_t WallUnixMillis();
+
+}  // namespace authidx::obs
+
+#endif  // AUTHIDX_OBS_LOG_H_

@@ -1,0 +1,79 @@
+#include "authidx/obs/slowlog.h"
+
+#include <utility>
+
+#include "authidx/common/strings.h"
+
+namespace authidx::obs {
+
+SlowQueryLog::SlowQueryLog(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (size_ < capacity_) {
+    ring_.push_back(std::move(entry));
+    ++size_;
+    return;
+  }
+  ring_[start_] = std::move(entry);
+  start_ = (start_ + 1) % capacity_;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryEntry> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start_ + i) % capacity_]);
+  }
+  return out;
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string SlowQueryLog::ToJson(
+    const std::vector<SlowQueryEntry>& entries) {
+  std::string out = "[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SlowQueryEntry& e = entries[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"unix_ms\":";
+    out += std::to_string(e.unix_ms);
+    out += ",\"duration_ns\":";
+    out += std::to_string(e.duration_ns);
+    out += ",\"query\":";
+    out += JsonQuote(e.query);
+    out += ",\"plan\":";
+    out += JsonQuote(e.plan);
+    out += ",\"spans\":[";
+    for (size_t j = 0; j < e.spans.size(); ++j) {
+      const Trace::Span& span = e.spans[j];
+      if (j > 0) {
+        out += ',';
+      }
+      out += "{\"name\":";
+      out += JsonQuote(span.name);
+      out += ",\"depth\":";
+      out += std::to_string(span.depth);
+      out += ",\"start_ns\":";
+      out += std::to_string(span.start_ns);
+      out += ",\"duration_ns\":";
+      out += std::to_string(span.duration_ns);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace authidx::obs

@@ -1,0 +1,68 @@
+#ifndef AUTHIDX_OBS_SLOWLOG_H_
+#define AUTHIDX_OBS_SLOWLOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "authidx/obs/trace.h"
+
+namespace authidx::obs {
+
+/// One captured slow query: what ran, how long it took, which plan the
+/// planner chose, and the full span tree recorded while it executed.
+struct SlowQueryEntry {
+  /// Wall-clock capture time, milliseconds since the Unix epoch.
+  uint64_t unix_ms = 0;
+  /// End-to-end query duration in nanoseconds.
+  uint64_t duration_ns = 0;
+  /// The query text as submitted.
+  std::string query;
+  /// Planner's chosen plan kind (query::PlanKindToString).
+  std::string plan;
+  /// Copy of the trace span tree (see Trace::Span for the encoding).
+  std::vector<Trace::Span> spans;
+};
+
+/// Fixed-capacity ring buffer of the most recent slow queries.
+/// Record() overwrites the oldest entry once full; Snapshot() returns
+/// the retained entries oldest-first. Thread-safe (mutex; this is the
+/// slow path by definition, so a lock is fine).
+class SlowQueryLog {
+ public:
+  /// Ring with room for `capacity` entries (minimum 1).
+  explicit SlowQueryLog(size_t capacity = 32);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Appends one captured query, evicting the oldest when full.
+  void Record(SlowQueryEntry entry);
+
+  /// Copies the retained entries, oldest first.
+  std::vector<SlowQueryEntry> Snapshot() const;
+
+  /// Slow queries ever recorded (including evicted ones).
+  uint64_t total_recorded() const;
+
+  /// Maximum entries retained.
+  size_t capacity() const { return capacity_; }
+
+  /// Renders entries as a JSON array of objects with keys `unix_ms`,
+  /// `duration_ns`, `query`, `plan`, and `spans` (array of
+  /// {name, depth, start_ns, duration_ns}). Stable field order.
+  static std::string ToJson(const std::vector<SlowQueryEntry>& entries);
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> ring_;  // ring_[ (start_ + i) % capacity_ ]
+  size_t start_ = 0;
+  size_t size_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace authidx::obs
+
+#endif  // AUTHIDX_OBS_SLOWLOG_H_

@@ -60,6 +60,8 @@ StorageEngine::StorageEngine(std::string dir, EngineOptions options)
                          : nullptr),
       metrics_(options.metrics != nullptr ? options.metrics
                                           : owned_metrics_.get()),
+      log_(options.logger != nullptr ? options.logger
+                                     : obs::Logger::Disabled()),
       cache_(options.block_cache_bytes),
       memtable_(std::make_unique<MemTable>()) {
   RegisterInstruments();
@@ -115,6 +117,9 @@ void StorageEngine::RegisterInstruments() {
       "authidx_storage_gets_total", "Engine point lookups");
   m_.get_ns = metrics_->RegisterLatencyHistogram(
       "authidx_storage_get_duration_ns", "Latency of one point lookup, ns");
+  m_.recovery_records = metrics_->RegisterCounter(
+      "authidx_engine_recovery_records_total",
+      "WAL records replayed during recovery");
   cache_.BindMetrics(m_.cache_hits, m_.cache_misses, m_.cache_evictions,
                      m_.cache_bytes);
 }
@@ -155,6 +160,12 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
       AUTHIDX_RETURN_NOT_OK(engine->env_->RemoveFile(old_path));
     }
   }
+  engine->log_->Log(
+      obs::LogLevel::kInfo, "engine_open",
+      {{"dir", engine->dir_},
+       {"l0_files", engine->stats_.l0_files},
+       {"l1_files", engine->stats_.l1_files},
+       {"wal_replayed_records", engine->stats_.wal_replayed_records}});
   return engine;
 }
 
@@ -194,6 +205,17 @@ Status StorageEngine::ReplayWalIntoMemtable(uint64_t wal_number) {
   AUTHIDX_RETURN_NOT_OK(stats.status());
   stats_.wal_replayed_records = stats->records;
   stats_.wal_tail_corruption = stats->tail_corruption;
+  m_.recovery_records->Inc(stats->records);
+  if (stats->records > 0 || stats->tail_corruption) {
+    log_->Log(obs::LogLevel::kInfo, "wal_recovery",
+              {{"wal", wal_number},
+               {"records_replayed", stats->records},
+               {"tail_corruption", stats->tail_corruption}});
+  }
+  if (stats->tail_corruption) {
+    log_->Log(obs::LogLevel::kWarn, "wal_tail_truncated",
+              {{"wal", wal_number}, {"records_kept", stats->records}});
+  }
   return Status::OK();
 }
 
@@ -221,7 +243,16 @@ Status StorageEngine::SwitchToFreshWal() {
   uint64_t number = manifest_.next_file_number++;
   AUTHIDX_ASSIGN_OR_RETURN(wal_, WalWriter::Open(env_, WalFileName(dir_, number)));
   manifest_.wal_number = number;
-  return manifest_.Save(env_, dir_);
+  Status s = manifest_.Save(env_, dir_);
+  if (!s.ok()) {
+    log_->Log(obs::LogLevel::kError, "manifest_save_failed",
+              {{"wal", number}, {"status", s.message()}});
+    return s;
+  }
+  log_->Log(obs::LogLevel::kDebug, "manifest_saved",
+            {{"wal", number},
+             {"files", static_cast<uint64_t>(manifest_.files.size())}});
+  return Status::OK();
 }
 
 // Timed WAL append (plus the per-write fdatasync when configured),
@@ -229,7 +260,12 @@ Status StorageEngine::SwitchToFreshWal() {
 Status StorageEngine::AppendWalRecord(std::string_view record) {
   {
     obs::TraceSpan timer(nullptr, m_.wal_append_ns, "wal_append");
-    AUTHIDX_RETURN_NOT_OK(wal_->Append(record));
+    Status s = wal_->Append(record);
+    if (!s.ok()) {
+      log_->Log(obs::LogLevel::kError, "wal_append_failed",
+                {{"bytes", record.size()}, {"status", s.message()}});
+      return s;
+    }
   }
   m_.wal_appends->Inc();
   m_.wal_append_bytes->Inc(record.size());
@@ -335,8 +371,17 @@ Result<std::optional<std::string>> StorageEngine::Get(std::string_view key) {
         return Status::Internal("missing reader for table " +
                                 std::to_string(meta.file_number));
       }
-      AUTHIDX_ASSIGN_OR_RETURN(std::optional<std::string> tagged,
-                               it->second->Get(key));
+      Result<std::optional<std::string>> lookup = it->second->Get(key);
+      if (!lookup.ok()) {
+        // Corruption (bad block checksum, truncated table) surfaces
+        // here; flag the file so an operator can quarantine it.
+        log_->Log(obs::LogLevel::kError, "table_get_failed",
+                  {{"table", meta.file_number},
+                   {"level", meta.level},
+                   {"status", lookup.status().message()}});
+        return lookup.status();
+      }
+      std::optional<std::string> tagged = std::move(lookup).value();
       if (tagged.has_value()) {
         if (MemTable::IsTombstoneValue(*tagged)) {
           return std::optional<std::string>();
@@ -411,7 +456,9 @@ Status StorageEngine::Flush() {
     return Status::OK();
   }
   obs::TraceSpan timer(nullptr, m_.flush_ns, "flush");
-  m_.flush_bytes->Inc(memtable_->ApproximateMemoryUsage());
+  uint64_t flushed_bytes = memtable_->ApproximateMemoryUsage();
+  uint64_t flushed_entries = memtable_->entry_count();
+  m_.flush_bytes->Inc(flushed_bytes);
   auto mem_iter = memtable_->NewIterator();
   // Keep tombstones: they must shadow older runs until compaction.
   AUTHIDX_ASSIGN_OR_RETURN(
@@ -448,6 +495,12 @@ Status StorageEngine::Flush() {
   }
   ++stats_.flushes;
   m_.flushes->Inc();
+  log_->Log(obs::LogLevel::kInfo, "memtable_flush",
+            {{"table", meta.file_number},
+             {"entries", flushed_entries},
+             {"bytes", flushed_bytes},
+             {"duration_ns", timer.Stop()},
+             {"l0_files", stats_.l0_files}});
   return Status::OK();
 }
 
@@ -510,12 +563,18 @@ Status StorageEngine::Compact() {
   ++stats_.compactions;
   m_.compactions->Inc();
   m_.compaction_bytes_in->Inc(bytes_in);
+  uint64_t bytes_out = 0;
   if (meta.entry_count > 0) {
     AUTHIDX_ASSIGN_OR_RETURN(
-        uint64_t bytes_out,
-        env_->FileSize(TableFileName(dir_, meta.file_number)));
+        bytes_out, env_->FileSize(TableFileName(dir_, meta.file_number)));
     m_.compaction_bytes_out->Inc(bytes_out);
   }
+  log_->Log(obs::LogLevel::kInfo, "compaction",
+            {{"inputs", static_cast<uint64_t>(old_files.size())},
+             {"bytes_in", bytes_in},
+             {"bytes_out", bytes_out},
+             {"entries_out", meta.entry_count},
+             {"duration_ns", timer.Stop()}});
   return Status::OK();
 }
 
@@ -556,6 +615,12 @@ Status StorageEngine::Close() {
     }
   }
   closed_ = true;
+  if (s.ok()) {
+    log_->Log(obs::LogLevel::kInfo, "engine_close", {{"dir", dir_}});
+  } else {
+    log_->Log(obs::LogLevel::kError, "engine_close_failed",
+              {{"dir", dir_}, {"status", s.message()}});
+  }
   return s;
 }
 

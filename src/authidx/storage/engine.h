@@ -10,6 +10,7 @@
 
 #include "authidx/common/env.h"
 #include "authidx/common/result.h"
+#include "authidx/obs/log.h"
 #include "authidx/obs/metrics.h"
 #include "authidx/storage/manifest.h"
 #include "authidx/storage/memtable.h"
@@ -42,6 +43,10 @@ struct EngineOptions {
   /// (see docs/OBSERVABILITY.md); must outlive the engine. nullptr gives
   /// the engine a private registry, readable via metrics().
   obs::MetricsRegistry* metrics = nullptr;
+  /// Logger for recovery/flush/compaction/error events (must outlive
+  /// the engine). nullptr means obs::Logger::Disabled() — every event
+  /// is dropped after one atomic load.
+  obs::Logger* logger = nullptr;
 };
 
 /// Counters exposed for tests and benchmarks.
@@ -146,6 +151,7 @@ class StorageEngine {
     obs::Counter* deletes = nullptr;
     obs::Counter* gets = nullptr;
     obs::LatencyHistogram* get_ns = nullptr;
+    obs::Counter* recovery_records = nullptr;
   };
 
   StorageEngine(std::string dir, EngineOptions options);
@@ -165,6 +171,7 @@ class StorageEngine {
   Env* env_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_;  // == options.metrics or owned_metrics_.
+  obs::Logger* log_;  // == options.logger or Logger::Disabled().
   Instruments m_;
   BlockCache cache_;
   Manifest manifest_;

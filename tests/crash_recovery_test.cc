@@ -166,6 +166,83 @@ TEST_F(CrashRecoveryTest, CheckpointIsConsistentAndIndependent) {
   std::filesystem::remove_all(checkpoint_dir);
 }
 
+// Recovery after a simulated crash must announce itself: structured
+// wal_recovery / wal_tail_truncated events on the engine logger and a
+// bumped authidx_engine_recovery_records_total counter.
+TEST_F(CrashRecoveryTest, RecoveryEmitsStructuredEventsAndCounter) {
+  std::string wal_bytes;
+  uint64_t wal_number;
+  {
+    EngineOptions options;
+    options.sync_writes = true;
+    auto engine = StorageEngine::Open(dir_, options);
+    ASSERT_TRUE(engine.ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE((*engine)
+                      ->Put(StringPrintf("key%02d", i),
+                            StringPrintf("value%02d", i))
+                      .ok());
+    }
+    Manifest manifest = *Manifest::Load(Env::Default(), dir_);
+    wal_number = manifest.wal_number;
+    wal_bytes =
+        *Env::Default()->ReadFileToString(WalFileName(dir_, wal_number));
+    ASSERT_TRUE((*engine)->Close().ok());
+  }
+  // Recreate the pre-crash directory: manifest referencing no tables
+  // plus the WAL cut mid-record (a torn tail).
+  {
+    Manifest manifest = *Manifest::Load(Env::Default(), dir_);
+    for (const FileMeta& meta : manifest.files) {
+      ASSERT_TRUE(Env::Default()
+                      ->RemoveFile(TableFileName(dir_, meta.file_number))
+                      .ok());
+    }
+    manifest.files.clear();
+    manifest.wal_number = wal_number;
+    ASSERT_TRUE(Env::Default()
+                    ->WriteStringToFileSync(ManifestFileName(dir_),
+                                            manifest.Encode())
+                    .ok());
+    ASSERT_TRUE(Env::Default()
+                    ->WriteStringToFileSync(
+                        WalFileName(dir_, wal_number),
+                        wal_bytes.substr(0, wal_bytes.size() - 3))
+                    .ok());
+  }
+
+  obs::Logger logger(obs::LogLevel::kInfo);
+  auto sink = std::make_unique<obs::VectorSink>();
+  obs::VectorSink* lines = sink.get();
+  logger.AddSink(std::move(sink));
+  EngineOptions options;
+  options.logger = &logger;
+  auto engine = StorageEngine::Open(dir_, options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  uint64_t replayed = (*engine)->stats().wal_replayed_records;
+  EXPECT_GT(replayed, 0u);
+  EXPECT_LT(replayed, 20u);  // The torn tail dropped the last record.
+  EXPECT_TRUE((*engine)->stats().wal_tail_corruption);
+
+  EXPECT_TRUE(lines->Contains("event=wal_recovery"));
+  EXPECT_TRUE(lines->Contains(
+      StringPrintf("records_replayed=%llu",
+                   static_cast<unsigned long long>(replayed))));
+  EXPECT_TRUE(lines->Contains("tail_corruption=true"));
+  EXPECT_TRUE(lines->Contains("level=WARN event=wal_tail_truncated"));
+  EXPECT_TRUE(lines->Contains("event=engine_open"));
+
+  obs::MetricsSnapshot snapshot = (*engine)->metrics().Snapshot();
+  const obs::MetricValue* counter =
+      snapshot.Find("authidx_engine_recovery_records_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->counter, replayed);
+
+  ASSERT_TRUE((*engine)->Close().ok());
+  EXPECT_TRUE(lines->Contains("event=engine_close"));
+}
+
 TEST_F(CrashRecoveryTest, CheckpointOntoExistingStoreRefused) {
   auto engine = StorageEngine::Open(dir_, EngineOptions{});
   ASSERT_TRUE(engine.ok());

@@ -76,5 +76,41 @@ TEST(StatsTest, ReportMentionsKeyNumbers) {
   EXPECT_NE(report.find("top authors:"), std::string::npos);
 }
 
+TEST(StatsTest, ToJsonCarriesSameNumbers) {
+  auto catalog = SampleCatalog();
+  CatalogStats stats = ComputeStats(*catalog, /*top_k=*/3);
+  std::string json = stats.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"entries\":" + std::to_string(stats.entries)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"distinct_authors\":" +
+                      std::to_string(stats.distinct_authors)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"min_volume\":69"), std::string::npos);
+  EXPECT_NE(json.find("\"max_volume\":95"), std::string::npos);
+  // Histograms render as {"<key>":count} objects keyed by the numbers.
+  EXPECT_NE(json.find("\"volume_histogram\":{\"69\":"), std::string::npos);
+  EXPECT_NE(json.find("\"year_histogram\":{"), std::string::npos);
+  // top_authors as [{"name":...,"entries":...}] with quoted names.
+  ASSERT_EQ(stats.top_authors.size(), 3u);
+  EXPECT_NE(json.find("\"top_authors\":[{\"name\":\""), std::string::npos);
+  EXPECT_NE(
+      json.find("\"entries\":" +
+                std::to_string(stats.top_authors[0].second) + "}"),
+      std::string::npos);
+  // No stray control characters: the whole thing must stay one line.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(StatsTest, ToJsonEmptyCatalogIsWellFormed) {
+  auto catalog = AuthorIndex::Create();
+  std::string json = ComputeStats(*catalog).ToJson();
+  EXPECT_NE(json.find("\"entries\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"volume_histogram\":{}"), std::string::npos);
+  EXPECT_NE(json.find("\"top_authors\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"avg_title_tokens\":0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace authidx::core

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Run the benchmark suite and merge results into one JSON artifact.
+
+Runs every `bench_*` binary under the build directory with
+`--benchmark_format=json` and merges the outputs into a single file,
+`BENCH_<date>.json` at the repo root by default. The merged document
+keeps one machine `context` (they are identical across binaries on one
+host) and groups the per-benchmark entries by binary:
+
+    {
+      "date": "2026-08-06",
+      "context": { ...google-benchmark context of the first binary... },
+      "benchmarks": {
+        "bench_coding": [ {"name": ..., "real_time": ...}, ... ],
+        ...
+      }
+    }
+
+Usage:
+    python3 tools/bench_json.py                      # full suite
+    python3 tools/bench_json.py --only bench_coding,bench_collation
+    python3 tools/bench_json.py --benchmark-filter 'Varint' --out /tmp/b.json
+
+Exit status: 0 when every selected binary ran and parsed, 1 otherwise
+(partial results are still written so a long run is never wasted).
+"""
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def find_bench_binaries(build_dir: Path):
+    bench_dir = build_dir / "bench"
+    if not bench_dir.is_dir():
+        return []
+    binaries = []
+    for path in sorted(bench_dir.iterdir()):
+        if path.name.startswith("bench_") and path.is_file():
+            # Skip CMake build byproducts; binaries have the exec bit.
+            if path.stat().st_mode & 0o111:
+                binaries.append(path)
+    return binaries
+
+
+def run_one(binary: Path, benchmark_filter: str, timeout_s: int):
+    cmd = [str(binary), "--benchmark_format=json"]
+    if benchmark_filter:
+        cmd.append(f"--benchmark_filter={benchmark_filter}")
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, timeout=timeout_s
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{binary.name} exited {proc.returncode}: {proc.stderr.strip()}"
+        )
+    return json.loads(proc.stdout)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--build-dir",
+        default="build",
+        help="CMake build directory holding bench/ (default: build)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="Output path (default: BENCH_<date>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="Comma-separated binary names to run (default: all bench_*)",
+    )
+    parser.add_argument(
+        "--benchmark-filter",
+        default=None,
+        help="Regex forwarded to every binary as --benchmark_filter",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=int,
+        default=1800,
+        help="Per-binary timeout in seconds (default: 1800)",
+    )
+    args = parser.parse_args()
+
+    root = Path(__file__).resolve().parent.parent
+    build_dir = Path(args.build_dir)
+    if not build_dir.is_absolute():
+        build_dir = root / build_dir
+
+    binaries = find_bench_binaries(build_dir)
+    if args.only:
+        wanted = {name.strip() for name in args.only.split(",")}
+        binaries = [b for b in binaries if b.name in wanted]
+        missing = wanted - {b.name for b in binaries}
+        if missing:
+            print(f"error: no such bench binaries: {sorted(missing)}",
+                  file=sys.stderr)
+            return 1
+    if not binaries:
+        print(f"error: no bench_* binaries under {build_dir}/bench "
+              "(build the repo first)", file=sys.stderr)
+        return 1
+
+    date = datetime.date.today().isoformat()
+    out_path = Path(args.out) if args.out else root / f"BENCH_{date}.json"
+
+    merged = {"date": date, "context": None, "benchmarks": {}}
+    failures = []
+    for binary in binaries:
+        print(f"running {binary.name} ...", flush=True)
+        try:
+            doc = run_one(binary, args.benchmark_filter, args.timeout)
+        except (RuntimeError, subprocess.TimeoutExpired,
+                json.JSONDecodeError) as err:
+            print(f"  FAILED: {err}", file=sys.stderr)
+            failures.append(binary.name)
+            continue
+        if merged["context"] is None:
+            merged["context"] = doc.get("context")
+        merged["benchmarks"][binary.name] = doc.get("benchmarks", [])
+        print(f"  {len(merged['benchmarks'][binary.name])} benchmarks")
+
+    out_path.write_text(json.dumps(merged, indent=1) + "\n")
+    total = sum(len(v) for v in merged["benchmarks"].values())
+    print(f"wrote {out_path} ({total} benchmarks from "
+          f"{len(merged['benchmarks'])} binaries)")
+    if failures:
+        print(f"error: {len(failures)} binaries failed: {failures}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,9 @@ Enforces the rules clang-tidy cannot express:
      helpers via the explicit allowlist below.)
   6. Observability doc comments: every public declaration in
      src/authidx/obs/ headers carries a `///` doc comment — the obs API
-     is the contract dashboards are built on. Defaulted/deleted special
+     is the contract dashboards are built on. This covers the full
+     surface: metrics.h, trace.h, and the logging/serving additions
+     (log.h, slowlog.h, http_server.h). Defaulted/deleted special
      members and enumerators are exempt (nothing to document).
   7. Markdown link integrity: every intra-repo link target in tracked
      .md files must exist (broken pointers rot fastest in docs).
