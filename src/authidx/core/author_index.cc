@@ -263,7 +263,20 @@ void AuthorIndex::SetLogger(obs::Logger* logger) {
 }
 
 Result<query::QueryResult> AuthorIndex::Run(const query::Query& q) const {
-  return RunTraced(q, nullptr);
+  uint64_t threshold = slow_threshold_ns_.load(std::memory_order_relaxed);
+  if (threshold == 0) {
+    return RunTraced(q, nullptr);
+  }
+  // Armed: same capture envelope as SearchTraced, so pre-parsed queries
+  // show up in the slow-query log too (reconstructed via ToString()).
+  obs::Trace local_trace;
+  uint64_t start_ns = obs::MonotonicNowNs();
+  Result<query::QueryResult> result = RunTraced(q, &local_trace);
+  uint64_t duration_ns = obs::MonotonicNowNs() - start_ns;
+  if (duration_ns >= threshold) {
+    RecordSlowQuery(q.ToString(), duration_ns, local_trace, result);
+  }
+  return result;
 }
 
 Result<query::QueryResult> AuthorIndex::RunTraced(const query::Query& q,

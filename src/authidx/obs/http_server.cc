@@ -36,15 +36,18 @@ const char* ReasonPhrase(int status) {
 }
 
 // Writes all of `data`, retrying on short writes and EINTR.
+// MSG_NOSIGNAL: a peer that closed early must yield EPIPE, not a
+// process-killing SIGPIPE (the CLI does not install a handler).
 void WriteAll(int fd, std::string_view data) {
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
       }
-      return;  // Peer went away; nothing useful to do.
+      return;  // Peer went away (EPIPE et al.); nothing useful to do.
     }
     off += static_cast<size_t>(n);
   }
@@ -174,11 +177,15 @@ void HttpServer::Serve() {
 }
 
 void HttpServer::HandleConnection(int fd) {
-  // A stalled client must not wedge the serial accept loop forever.
+  // A stalled client must not wedge the serial accept loop forever —
+  // neither one that never finishes its request (recv timeout) nor one
+  // that never reads a response larger than the socket buffer (send
+  // timeout).
   timeval timeout;
   timeout.tv_sec = 5;
   timeout.tv_usec = 0;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
 
   // Read until the end of the request headers; the body (if any) is
   // ignored since only GET is served.

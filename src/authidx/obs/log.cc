@@ -66,8 +66,9 @@ class LineBuffer {
 
  private:
   // One line: timestamp + level + event + a handful of fields. 1 KiB
-  // covers every engine event; longer lines truncate visibly.
-  static constexpr size_t kCapacity = 1024;
+  // covers every engine event; longer lines truncate visibly. Shared
+  // with Logger::last_error_ so a latched error is never re-truncated.
+  static constexpr size_t kCapacity = Logger::kMaxLineBytes;
 
   char data_[kCapacity + 1];
   size_t len_ = 0;

@@ -193,6 +193,11 @@ class RotatingFileSink final : public LogSink {
 /// everything else is thread-safe.
 class Logger {
  public:
+  /// Formatted-line capacity: longer lines truncate with a visible
+  /// "..." marker. Also sizes the last-error buffer, so last_error()
+  /// always returns a full line.
+  static constexpr size_t kMaxLineBytes = 1024;
+
   /// Logger with the given minimum level and no sinks (events are
   /// formatted only when at least one sink is attached).
   explicit Logger(LogLevel min_level = LogLevel::kInfo);
@@ -254,7 +259,7 @@ class Logger {
   mutable std::mutex mu_;  // Serializes sink writes + last_error_.
   std::vector<std::unique_ptr<LogSink>> owned_sinks_;
   std::vector<LogSink*> sinks_;
-  char last_error_[512] = {};
+  char last_error_[kMaxLineBytes] = {};
   size_t last_error_len_ = 0;
 };
 

@@ -221,6 +221,45 @@ TEST(HttpServerTest, HandlesSequentialAndConcurrentClients) {
   server.Stop();
 }
 
+TEST(HttpServerTest, SurvivesClientAbortBeforeReadingLargeResponse) {
+  HttpServer server;
+  // Body far larger than the loopback socket buffers, so the worker is
+  // still mid-write when the client vanishes.
+  server.Route("/big", [] {
+    HttpResponse r;
+    r.body.assign(8 * 1024 * 1024, 'x');
+    return r;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Abort mid-response: send the request, then reset the connection
+  // without reading a byte (SO_LINGER 0 turns close() into an RST).
+  // The server's send must fail with EPIPE/ECONNRESET — a SIGPIPE
+  // would kill this whole test binary.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const char kRequest[] = "GET /big HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ASSERT_GT(::write(fd, kRequest, sizeof(kRequest) - 1), 0);
+  struct linger hard_reset = {1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset,
+               sizeof(hard_reset));
+  ::close(fd);
+
+  // The worker thread survives and keeps answering.
+  ClientResponse response;
+  ASSERT_TRUE(Get(server.port(), "/big", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body.size(), 8u * 1024 * 1024);
+  server.Stop();
+}
+
 // The full observability surface the CLI `serve` command wires up,
 // driven end-to-end over real sockets against an in-memory catalog.
 class ObservabilityEndpointsTest : public ::testing::Test {
@@ -351,6 +390,22 @@ TEST_F(ObservabilityEndpointsTest, SlowQueryAppearsInSlowlogWithSpans) {
   ASSERT_TRUE(Get(server_.port(), "/metrics", &response));
   EXPECT_NE(response.body.find("authidx_slow_queries_total 1"),
             std::string::npos);
+}
+
+TEST_F(ObservabilityEndpointsTest, RunCapturesSlowPreParsedQueries) {
+  // Pre-parsed queries go through the same capture envelope as
+  // Search/SearchTraced; the logged text is reconstructed via
+  // Query::ToString().
+  catalog_->SetSlowQueryThreshold(1);
+  auto parsed = query::ParseQuery("author:minow");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(catalog_->Run(*parsed).ok());
+
+  std::vector<SlowQueryEntry> entries = catalog_->SlowQueries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_NE(entries[0].query.find("author=minow"), std::string::npos);
+  EXPECT_FALSE(entries[0].spans.empty());
+  EXPECT_TRUE(lines_->Contains("event=slow_query"));
 }
 
 }  // namespace
