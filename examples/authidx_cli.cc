@@ -56,6 +56,8 @@ int Usage() {
       "                             --metrics: Prometheus text exposition\n"
       "  trace   --db DIR 'QUERY'   run QUERY and print its span tree\n"
       "  compact --db DIR\n"
+      "  verify  --db DIR           scan the store, re-checking every\n"
+      "                             block checksum and the manifest\n"
       "  serve   --db DIR [--port N] [--slow-ms N]\n"
       "                             HTTP /metrics /healthz /varz /slowlog\n"
       "  slowlog --db DIR [--slow-ms N] 'QUERY'...\n"
@@ -201,13 +203,19 @@ int RunServe(core::AuthorIndex* catalog, obs::Logger* logger,
     r.body = format::MetricsToPrometheusText(catalog->GetMetricsSnapshot());
     return r;
   });
-  server.Route("/healthz", [logger] {
+  server.Route("/healthz", [catalog, logger] {
     obs::HttpResponse r;
-    if (logger->error_count() == 0) {
-      r.body = "ok\n";
-    } else {
+    // A sticky storage error outranks logged errors: the store is
+    // read-only until reopened, so load balancers must drain writes.
+    if (catalog->StorageDegraded()) {
+      r.status = 503;
+      r.body =
+          "degraded: " + catalog->StorageBackgroundError().ToString() + "\n";
+    } else if (logger->error_count() != 0) {
       r.status = 503;
       r.body = "degraded: " + logger->last_error() + "\n";
+    } else {
+      r.body = "ok\n";
     }
     return r;
   });
@@ -395,6 +403,32 @@ int main(int argc, char** argv) {
       return Fail(s);
     }
     std::printf("compacted\n");
+    return 0;
+  }
+  if (args.command == "verify") {
+    Result<storage::IntegrityReport> report =
+        (*catalog)->VerifyStorageIntegrity();
+    if (!report.ok()) {
+      return Fail(report.status());
+    }
+    std::printf("manifest: %s\n", report->manifest_status.ok()
+                                      ? "ok"
+                                      : report->manifest_status.ToString()
+                                            .c_str());
+    for (const storage::FileIntegrity& file : report->files) {
+      std::printf("table %llu (level %d): %s (%llu entries)\n",
+                  static_cast<unsigned long long>(file.file_number),
+                  file.level,
+                  file.status.ok() ? "ok" : file.status.ToString().c_str(),
+                  static_cast<unsigned long long>(file.entries_scanned));
+    }
+    if (!report->clean()) {
+      std::fprintf(stderr, "error: integrity scan found damage (%llu "
+                   "corrupt table(s))\n",
+                   static_cast<unsigned long long>(report->corrupt_files));
+      return 2;
+    }
+    std::printf("verified: %zu table(s) clean\n", report->files.size());
     return 0;
   }
   return Usage();

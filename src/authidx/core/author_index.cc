@@ -436,4 +436,19 @@ storage::EngineStats AuthorIndex::StorageStats() const {
   return engine_ != nullptr ? engine_->stats() : storage::EngineStats{};
 }
 
+Status AuthorIndex::StorageBackgroundError() const {
+  return engine_ != nullptr ? engine_->background_error() : Status::OK();
+}
+
+bool AuthorIndex::StorageDegraded() const {
+  return engine_ != nullptr && engine_->degraded();
+}
+
+Result<storage::IntegrityReport> AuthorIndex::VerifyStorageIntegrity() {
+  if (engine_ == nullptr) {
+    return storage::IntegrityReport{};  // Nothing on disk: trivially clean.
+  }
+  return engine_->VerifyIntegrity();
+}
+
 }  // namespace authidx::core

@@ -141,6 +141,18 @@ class AuthorIndex final : public query::CatalogView {
   /// Underlying storage stats (empty struct for in-memory catalogs).
   storage::EngineStats StorageStats() const;
 
+  /// The storage engine's sticky background error (OK for healthy or
+  /// in-memory catalogs). See docs/ROBUSTNESS.md.
+  Status StorageBackgroundError() const;
+
+  /// True once the storage engine is degraded: writes fail fast, reads
+  /// serve the durable state. Always false for in-memory catalogs.
+  bool StorageDegraded() const;
+
+  /// Full-store integrity scan: re-reads and CRC-verifies every table
+  /// block plus the manifest (trivially clean for in-memory catalogs).
+  Result<storage::IntegrityReport> VerifyStorageIntegrity();
+
  private:
   struct GroupRecord {
     std::string folded;         // Normalized group key (lookup key).

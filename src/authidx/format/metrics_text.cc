@@ -34,13 +34,28 @@ const char* TypeName(obs::MetricType type) {
   return "untyped";
 }
 
+// A registered name may carry inline labels ("authidx_retries_total
+// {op=\"flush\"}"); HELP/TYPE lines must name the metric family, i.e.
+// the part before the label braces.
+std::string BaseName(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
 }  // namespace
 
 std::string MetricsToPrometheusText(const obs::MetricsSnapshot& snapshot) {
   std::string out;
+  std::string last_base;
   for (const obs::MetricValue& metric : snapshot.metrics) {
-    out += "# HELP " + metric.name + " " + EscapeHelp(metric.help) + "\n";
-    out += "# TYPE " + metric.name + " " + TypeName(metric.type) + "\n";
+    std::string base = BaseName(metric.name);
+    // Labeled series of one family register as separate metrics; emit
+    // the family header once (registration order keeps them adjacent).
+    if (base != last_base) {
+      out += "# HELP " + base + " " + EscapeHelp(metric.help) + "\n";
+      out += "# TYPE " + base + " " + TypeName(metric.type) + "\n";
+      last_base = base;
+    }
     switch (metric.type) {
       case obs::MetricType::kCounter:
         out += StringPrintf("%s %llu\n", metric.name.c_str(),

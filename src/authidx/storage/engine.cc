@@ -120,8 +120,164 @@ void StorageEngine::RegisterInstruments() {
   m_.recovery_records = metrics_->RegisterCounter(
       "authidx_engine_recovery_records_total",
       "WAL records replayed during recovery");
+  m_.bg_errors = metrics_->RegisterCounter(
+      "authidx_bg_errors_total",
+      "Background errors that tripped degraded mode");
+  m_.flush_retries = metrics_->RegisterCounter(
+      "authidx_retries_total{op=\"flush\"}",
+      "Transient memtable-flush failures retried with backoff");
+  m_.compaction_retries = metrics_->RegisterCounter(
+      "authidx_retries_total{op=\"compaction\"}",
+      "Transient compaction failures retried with backoff");
+  m_.corrupt_blocks = metrics_->RegisterCounter(
+      "authidx_corrupt_blocks_total",
+      "Table blocks failing CRC, framing, or decompression checks");
+  m_.gc_failures = metrics_->RegisterCounter(
+      "authidx_gc_failures_total",
+      "Obsolete-file removals that failed (retried after the next "
+      "successful flush or compaction)");
+  m_.degraded = metrics_->RegisterGauge(
+      "authidx_degraded",
+      "1 while a sticky background error has the engine degraded");
   cache_.BindMetrics(m_.cache_hits, m_.cache_misses, m_.cache_evictions,
                      m_.cache_bytes);
+}
+
+Status StorageEngine::WritableStatus() const {
+  if (closed_) {
+    return Status::FailedPrecondition("engine closed");
+  }
+  if (!bg_error_.ok()) {
+    return bg_error_.WithContext("write rejected: engine degraded");
+  }
+  return Status::OK();
+}
+
+void StorageEngine::SetBackgroundError(std::string_view op,
+                                       const Status& status) {
+  if (status.ok() || !bg_error_.ok()) {
+    return;  // First error wins; reopening the store is the only reset.
+  }
+  bg_error_ = status.WithContext(op);
+  m_.bg_errors->Inc();
+  m_.degraded->Set(1);
+  log_->Log(obs::LogLevel::kError, "engine_degraded",
+            {{"op", op},
+             {"status", status.message()},
+             {"paranoid", options_.paranoid_checks}});
+}
+
+Status StorageEngine::RunBackgroundOp(const char* op,
+                                      obs::Counter* retry_counter,
+                                      const std::function<Status()>& body) {
+  RetryPolicy policy;
+  policy.max_attempts = options_.background_retry_attempts;
+  policy.base_delay_us = options_.retry_base_delay_us;
+  policy.max_delay_us = options_.retry_max_delay_us;
+  Status s = RetryWithBackoff(
+      policy, &retry_rng_, body,
+      [&](int attempt, const Status& failure, uint64_t delay_us) {
+        retry_counter->Inc();
+        log_->Log(obs::LogLevel::kWarn, "retry_attempt",
+                  {{"op", op},
+                   {"attempt", attempt},
+                   {"status", failure.message()},
+                   {"backoff_us", delay_us}});
+      });
+  if (!s.ok()) {
+    SetBackgroundError(op, s);
+  }
+  return s;
+}
+
+void StorageEngine::ScheduleFileForRemoval(std::string path) {
+  if (std::find(pending_removals_.begin(), pending_removals_.end(), path) ==
+      pending_removals_.end()) {
+    pending_removals_.push_back(std::move(path));
+  }
+}
+
+void StorageEngine::RemoveObsoleteFiles() {
+  std::vector<std::string> still_pending;
+  for (std::string& path : pending_removals_) {
+    if (!env_->FileExists(path)) {
+      continue;
+    }
+    Status s = env_->RemoveFile(path);
+    if (!s.ok()) {
+      // Best-effort: disk-space leak, not a correctness problem. Count
+      // and log it so stuck files surface, and retry after the next
+      // successful flush/compaction.
+      m_.gc_failures->Inc();
+      log_->Log(obs::LogLevel::kWarn, "gc_failed",
+                {{"path", path}, {"status", s.message()}});
+      still_pending.push_back(std::move(path));
+    }
+  }
+  pending_removals_ = std::move(still_pending);
+}
+
+namespace {
+// Matches `<digits>.<ext>` (the TableFileName/WalFileName shapes) and
+// extracts the number; anything else — MANIFEST, foreign files — is
+// left alone by the sweep.
+bool ParseNumberedFile(const std::string& name, std::string_view ext,
+                       uint64_t* number) {
+  size_t dot = name.rfind('.');
+  if (dot == std::string::npos || dot == 0 ||
+      std::string_view(name).substr(dot) != ext) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = 0; i < dot; ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *number = value;
+  return true;
+}
+}  // namespace
+
+void StorageEngine::SweepUnreferencedFiles() {
+  Result<std::vector<std::string>> listing = env_->ListDir(dir_);
+  if (!listing.ok()) {
+    return;  // Best-effort, like every other GC path.
+  }
+  for (const std::string& name : *listing) {
+    uint64_t number = 0;
+    if (ParseNumberedFile(name, ".tbl", &number)) {
+      if (std::none_of(manifest_.files.begin(), manifest_.files.end(),
+                       [&](const FileMeta& f) {
+                         return f.file_number == number;
+                       })) {
+        ScheduleFileForRemoval(TableFileName(dir_, number));
+      }
+    } else if (ParseNumberedFile(name, ".wal", &number)) {
+      if (number != manifest_.wal_number) {
+        ScheduleFileForRemoval(WalFileName(dir_, number));
+      }
+    }
+  }
+}
+
+void StorageEngine::PruneReadersToManifest() {
+  readers_.erase(
+      std::remove_if(readers_.begin(), readers_.end(),
+                     [&](const auto& r) {
+                       return std::none_of(
+                           manifest_.files.begin(), manifest_.files.end(),
+                           [&](const FileMeta& f) {
+                             return f.file_number == r.first;
+                           });
+                     }),
+      readers_.end());
+  stats_.l0_files = 0;
+  stats_.l1_files = 0;
+  for (const FileMeta& meta : manifest_.files) {
+    (meta.level == 0 ? stats_.l0_files : stats_.l1_files) += 1;
+  }
 }
 
 StorageEngine::~StorageEngine() {
@@ -138,6 +294,7 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
       new StorageEngine(std::move(dir), options));
   AUTHIDX_RETURN_NOT_OK(engine->env_->CreateDirIfMissing(engine->dir_));
   Result<Manifest> manifest = Manifest::Load(engine->env_, engine->dir_);
+  const bool had_manifest = manifest.ok();
   if (manifest.ok()) {
     engine->manifest_ = std::move(manifest).value();
   } else if (!manifest.status().IsNotFound()) {
@@ -154,11 +311,15 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
   } else {
     AUTHIDX_RETURN_NOT_OK(engine->SwitchToFreshWal());
   }
-  if (old_wal != 0 && old_wal != engine->manifest_.wal_number) {
-    std::string old_path = WalFileName(engine->dir_, old_wal);
-    if (engine->env_->FileExists(old_path)) {
-      AUTHIDX_RETURN_NOT_OK(engine->env_->RemoveFile(old_path));
-    }
+  if (had_manifest) {
+    // Sweep orphans the previous process never got to unlink: the
+    // obsolete recovery WAL plus any file a failed flush/compaction
+    // attempt left behind (its removal queue died with the process).
+    // Skipped when no manifest was found — a stray data file in a
+    // manifest-less directory is evidence worth preserving, not
+    // garbage. Best-effort, never a reason to fail a healthy open.
+    engine->SweepUnreferencedFiles();
+    engine->RemoveObsoleteFiles();
   }
   engine->log_->Log(
       obs::LogLevel::kInfo, "engine_open",
@@ -234,21 +395,33 @@ Status StorageEngine::OpenTables() {
     readers_.emplace_back(meta.file_number, std::move(reader).value());
     readers_.back().second->BindBloomMetrics(m_.bloom_checks,
                                              m_.bloom_negatives);
+    readers_.back().second->BindCorruptionMetric(m_.corrupt_blocks);
     (meta.level == 0 ? stats_.l0_files : stats_.l1_files) += 1;
   }
   return Status::OK();
 }
 
 Status StorageEngine::SwitchToFreshWal() {
-  uint64_t number = manifest_.next_file_number++;
-  AUTHIDX_ASSIGN_OR_RETURN(wal_, WalWriter::Open(env_, WalFileName(dir_, number)));
-  manifest_.wal_number = number;
-  Status s = manifest_.Save(env_, dir_);
+  // Stage the change and commit in-memory state only after the manifest
+  // save succeeds: a retried caller must find the engine exactly as it
+  // was before the failed attempt, or synced writes landing in a WAL the
+  // durable manifest never heard of would be lost on crash.
+  Manifest pending = manifest_;
+  uint64_t number = pending.next_file_number++;
+  std::string path = WalFileName(dir_, number);
+  Result<std::unique_ptr<WalWriter>> fresh = WalWriter::Open(env_, path);
+  AUTHIDX_RETURN_NOT_OK(fresh.status());
+  pending.wal_number = number;
+  Status s = pending.Save(env_, dir_);
   if (!s.ok()) {
     log_->Log(obs::LogLevel::kError, "manifest_save_failed",
               {{"wal", number}, {"status", s.message()}});
+    (*fresh)->Close().IgnoreError();
+    ScheduleFileForRemoval(path);  // Orphan WAL nothing references.
     return s;
   }
+  wal_ = std::move(fresh).value();
+  manifest_ = std::move(pending);
   log_->Log(obs::LogLevel::kDebug, "manifest_saved",
             {{"wal", number},
              {"files", static_cast<uint64_t>(manifest_.files.size())}});
@@ -256,7 +429,10 @@ Status StorageEngine::SwitchToFreshWal() {
 }
 
 // Timed WAL append (plus the per-write fdatasync when configured),
-// shared by single ops and batches.
+// shared by single ops and batches. Any failure here trips the sticky
+// background error immediately, never a retry: re-appending could
+// duplicate a record that actually reached disk, and acknowledging a
+// write whose sync failed would break the durability contract.
 Status StorageEngine::AppendWalRecord(std::string_view record) {
   {
     obs::TraceSpan timer(nullptr, m_.wal_append_ns, "wal_append");
@@ -264,6 +440,7 @@ Status StorageEngine::AppendWalRecord(std::string_view record) {
     if (!s.ok()) {
       log_->Log(obs::LogLevel::kError, "wal_append_failed",
                 {{"bytes", record.size()}, {"status", s.message()}});
+      SetBackgroundError("wal_append", s);
       return s;
     }
   }
@@ -271,7 +448,13 @@ Status StorageEngine::AppendWalRecord(std::string_view record) {
   m_.wal_append_bytes->Inc(record.size());
   if (options_.sync_writes) {
     obs::TraceSpan timer(nullptr, m_.wal_sync_ns, "wal_sync");
-    AUTHIDX_RETURN_NOT_OK(wal_->Sync());
+    Status s = wal_->Sync();
+    if (!s.ok()) {
+      log_->Log(obs::LogLevel::kError, "wal_sync_failed",
+                {{"bytes", record.size()}, {"status", s.message()}});
+      SetBackgroundError("wal_sync", s);
+      return s;
+    }
     m_.wal_syncs->Inc();
   }
   return Status::OK();
@@ -279,9 +462,7 @@ Status StorageEngine::AppendWalRecord(std::string_view record) {
 
 Status StorageEngine::WriteRecord(char op, std::string_view key,
                                   std::string_view value) {
-  if (closed_) {
-    return Status::FailedPrecondition("engine closed");
-  }
+  AUTHIDX_RETURN_NOT_OK(WritableStatus());
   std::string record(1, op);
   PutLengthPrefixed(&record, key);
   if (op == kOpPut) {
@@ -307,9 +488,7 @@ Status StorageEngine::Delete(std::string_view key) {
 }
 
 Status StorageEngine::Apply(const WriteBatch& batch) {
-  if (closed_) {
-    return Status::FailedPrecondition("engine closed");
-  }
+  AUTHIDX_RETURN_NOT_OK(WritableStatus());
   if (batch.empty()) {
     return Status::OK();
   }
@@ -344,6 +523,16 @@ Status StorageEngine::MaybeFlushAndCompact() {
 }
 
 Result<std::optional<std::string>> StorageEngine::Get(std::string_view key) {
+  ReadOptions defaults;
+  defaults.verify_checksums = options_.verify_checksums;
+  return Get(key, defaults);
+}
+
+Result<std::optional<std::string>> StorageEngine::Get(
+    std::string_view key, const ReadOptions& options) {
+  if (options_.paranoid_checks && !bg_error_.ok()) {
+    return bg_error_.WithContext("read rejected: paranoid engine degraded");
+  }
   ++stats_.gets;
   m_.gets->Inc();
   obs::TraceSpan timer(nullptr, m_.get_ns, "storage_get");
@@ -371,7 +560,8 @@ Result<std::optional<std::string>> StorageEngine::Get(std::string_view key) {
         return Status::Internal("missing reader for table " +
                                 std::to_string(meta.file_number));
       }
-      Result<std::optional<std::string>> lookup = it->second->Get(key);
+      Result<std::optional<std::string>> lookup =
+          it->second->Get(key, options.verify_checksums);
       if (!lookup.ok()) {
         // Corruption (bad block checksum, truncated table) surfaces
         // here; flag the file so an operator can quarantine it.
@@ -395,6 +585,10 @@ Result<std::optional<std::string>> StorageEngine::Get(std::string_view key) {
 }
 
 std::unique_ptr<Iterator> StorageEngine::NewIterator() {
+  if (options_.paranoid_checks && !bg_error_.ok()) {
+    return NewErrorIterator(
+        bg_error_.WithContext("read rejected: paranoid engine degraded"));
+  }
   std::vector<std::unique_ptr<Iterator>> children;
   children.push_back(memtable_->NewIterator());
   for (int level = 0; level <= 1; ++level) {
@@ -407,7 +601,8 @@ std::unique_ptr<Iterator> StorageEngine::NewIterator() {
         return NewErrorIterator(Status::Internal(
             "missing reader for table " + std::to_string(meta.file_number)));
       }
-      children.push_back(it->second->NewIterator());
+      children.push_back(it->second->NewIterator(
+          /*fill_cache=*/true, options_.verify_checksums));
     }
   }
   return std::make_unique<LiveIterator>(
@@ -449,6 +644,23 @@ Result<FileMeta> StorageEngine::WriteTableFromIterator(Iterator* it,
 }
 
 Status StorageEngine::Flush() {
+  AUTHIDX_RETURN_NOT_OK(WritableStatus());
+  return RunBackgroundOp("flush", m_.flush_retries,
+                         [this] { return FlushImpl(); });
+}
+
+Status StorageEngine::Compact() {
+  AUTHIDX_RETURN_NOT_OK(Flush());
+  return RunBackgroundOp("compaction", m_.compaction_retries,
+                         [this] { return CompactImpl(); });
+}
+
+// Retry-safe: the memtable, live WAL, manifest, and reader set are only
+// mutated after the last fallible step (the manifest save that commits
+// both the new table and the fresh WAL), so a failed attempt leaves the
+// engine exactly as it was and a re-run starts from scratch. Files
+// orphaned by failed attempts are queued for best-effort removal.
+Status StorageEngine::FlushImpl() {
   if (memtable_->entry_count() == 0) {
     if (wal_ == nullptr) {
       return SwitchToFreshWal();
@@ -458,43 +670,76 @@ Status StorageEngine::Flush() {
   obs::TraceSpan timer(nullptr, m_.flush_ns, "flush");
   uint64_t flushed_bytes = memtable_->ApproximateMemoryUsage();
   uint64_t flushed_entries = memtable_->entry_count();
-  m_.flush_bytes->Inc(flushed_bytes);
   auto mem_iter = memtable_->NewIterator();
   // Keep tombstones: they must shadow older runs until compaction.
   AUTHIDX_ASSIGN_OR_RETURN(
       FileMeta meta, WriteTableFromIterator(mem_iter.get(), /*level=*/0,
                                             /*drop_tombstones=*/false));
+  std::string table_path = TableFileName(dir_, meta.file_number);
+  std::unique_ptr<TableReader> reader;
   if (meta.entry_count == 0) {
-    // Nothing survived (possible only if memtable was all-tombstone and
-    // dropping was requested; defensive).
-    AUTHIDX_RETURN_NOT_OK(
-        env_->RemoveFile(TableFileName(dir_, meta.file_number)));
+    // Nothing survived (possible only if the memtable was all-tombstone
+    // and dropping was requested; defensive).
+    ScheduleFileForRemoval(table_path);
   } else {
-    manifest_.files.push_back(meta);
-    Result<std::unique_ptr<TableReader>> reader =
-        TableReader::Open(env_, TableFileName(dir_, meta.file_number),
-                          &cache_, meta.file_number);
-    AUTHIDX_RETURN_NOT_OK(reader.status());
-    readers_.emplace_back(meta.file_number, std::move(reader).value());
-    readers_.back().second->BindBloomMetrics(m_.bloom_checks,
-                                             m_.bloom_negatives);
+    Result<std::unique_ptr<TableReader>> opened =
+        TableReader::Open(env_, table_path, &cache_, meta.file_number);
+    if (!opened.ok()) {
+      ScheduleFileForRemoval(table_path);
+      return opened.status().WithContext("opening flushed table");
+    }
+    reader = std::move(opened).value();
+    reader->BindBloomMetrics(m_.bloom_checks, m_.bloom_negatives);
+    reader->BindCorruptionMetric(m_.corrupt_blocks);
+  }
+  // Stage the new table and a fresh WAL; one manifest save commits both.
+  Manifest pending = manifest_;
+  if (meta.entry_count > 0) {
+    pending.files.push_back(meta);
+  }
+  uint64_t new_wal = pending.next_file_number++;
+  std::string new_wal_path = WalFileName(dir_, new_wal);
+  Result<std::unique_ptr<WalWriter>> fresh =
+      WalWriter::Open(env_, new_wal_path);
+  if (!fresh.ok()) {
+    if (meta.entry_count > 0) {
+      ScheduleFileForRemoval(table_path);
+    }
+    return fresh.status().WithContext("opening fresh WAL");
+  }
+  pending.wal_number = new_wal;
+  Status s = pending.Save(env_, dir_);
+  if (!s.ok()) {
+    log_->Log(obs::LogLevel::kError, "manifest_save_failed",
+              {{"wal", new_wal}, {"status", s.message()}});
+    (*fresh)->Close().IgnoreError();
+    ScheduleFileForRemoval(new_wal_path);
+    if (meta.entry_count > 0) {
+      ScheduleFileForRemoval(table_path);
+    }
+    return s;
+  }
+  // Commit: the durable state now holds the table + fresh WAL.
+  uint64_t old_wal = manifest_.wal_number;
+  manifest_ = std::move(pending);
+  if (reader != nullptr) {
+    readers_.emplace_back(meta.file_number, std::move(reader));
     ++stats_.l0_files;
   }
-  uint64_t old_wal = manifest_.wal_number;
   if (wal_ != nullptr) {
-    AUTHIDX_RETURN_NOT_OK(wal_->Close());
+    // The old WAL is superseded; a failed close only delays its GC.
+    wal_->Close().IgnoreError();
   }
+  wal_ = std::move(fresh).value();
   memtable_ = std::make_unique<MemTable>();
   stats_.memtable_bytes = 0;
-  AUTHIDX_RETURN_NOT_OK(SwitchToFreshWal());  // Also saves the manifest.
   if (old_wal != 0) {
-    std::string old_path = WalFileName(dir_, old_wal);
-    if (env_->FileExists(old_path)) {
-      AUTHIDX_RETURN_NOT_OK(env_->RemoveFile(old_path));
-    }
+    ScheduleFileForRemoval(WalFileName(dir_, old_wal));
   }
   ++stats_.flushes;
   m_.flushes->Inc();
+  m_.flush_bytes->Inc(flushed_bytes);
+  RemoveObsoleteFiles();
   log_->Log(obs::LogLevel::kInfo, "memtable_flush",
             {{"table", meta.file_number},
              {"entries", flushed_entries},
@@ -504,8 +749,11 @@ Status StorageEngine::Flush() {
   return Status::OK();
 }
 
-Status StorageEngine::Compact() {
-  AUTHIDX_RETURN_NOT_OK(Flush());
+// Retry-safe on the same commit-ordering discipline as FlushImpl. The
+// surviving readers are reused (never closed and reopened), so even a
+// failed compaction leaves every live table servable — reads stay up
+// while the engine degrades.
+Status StorageEngine::CompactImpl() {
   obs::TraceSpan timer(nullptr, m_.compaction_ns, "compaction");
   if (manifest_.files.size() <= 1 && stats_.l0_files == 0) {
     // Zero or one run and nothing pending: only rewrite if that run is
@@ -541,34 +789,59 @@ Status StorageEngine::Compact() {
   AUTHIDX_ASSIGN_OR_RETURN(
       FileMeta meta, WriteTableFromIterator(merged.get(), /*level=*/1,
                                             /*drop_tombstones=*/true));
-  std::vector<FileMeta> old_files = std::move(manifest_.files);
-  manifest_.files.clear();
-  if (meta.entry_count > 0) {
-    manifest_.files.push_back(meta);
+  std::string table_path = TableFileName(dir_, meta.file_number);
+  std::unique_ptr<TableReader> reader;
+  if (meta.entry_count == 0) {
+    ScheduleFileForRemoval(table_path);
   } else {
-    AUTHIDX_RETURN_NOT_OK(
-        env_->RemoveFile(TableFileName(dir_, meta.file_number)));
+    Result<std::unique_ptr<TableReader>> opened =
+        TableReader::Open(env_, table_path, &cache_, meta.file_number);
+    if (!opened.ok()) {
+      ScheduleFileForRemoval(table_path);
+      return opened.status().WithContext("opening compacted table");
+    }
+    reader = std::move(opened).value();
+    reader->BindBloomMetrics(m_.bloom_checks, m_.bloom_negatives);
+    reader->BindCorruptionMetric(m_.corrupt_blocks);
   }
-  AUTHIDX_RETURN_NOT_OK(manifest_.Save(env_, dir_));
-  // Manifest is durable; now drop the superseded runs.
-  readers_.clear();
+  Manifest pending = manifest_;
+  pending.files.clear();
+  if (meta.entry_count > 0) {
+    pending.files.push_back(meta);
+  }
+  Status s = pending.Save(env_, dir_);
+  if (!s.ok()) {
+    log_->Log(obs::LogLevel::kError, "manifest_save_failed",
+              {{"compaction_output", meta.file_number},
+               {"status", s.message()}});
+    if (meta.entry_count > 0) {
+      ScheduleFileForRemoval(table_path);
+    }
+    return s;
+  }
+  // Commit: manifest is durable; drop the superseded runs.
+  std::vector<FileMeta> old_files = std::move(manifest_.files);
+  manifest_ = std::move(pending);
+  if (reader != nullptr) {
+    readers_.emplace_back(meta.file_number, std::move(reader));
+  }
+  PruneReadersToManifest();
   for (const FileMeta& old : old_files) {
     cache_.EraseFile(old.file_number);
-    std::string path = TableFileName(dir_, old.file_number);
-    if (env_->FileExists(path)) {
-      AUTHIDX_RETURN_NOT_OK(env_->RemoveFile(path));
-    }
+    ScheduleFileForRemoval(TableFileName(dir_, old.file_number));
   }
-  AUTHIDX_RETURN_NOT_OK(OpenTables());
   ++stats_.compactions;
   m_.compactions->Inc();
   m_.compaction_bytes_in->Inc(bytes_in);
   uint64_t bytes_out = 0;
   if (meta.entry_count > 0) {
-    AUTHIDX_ASSIGN_OR_RETURN(
-        bytes_out, env_->FileSize(TableFileName(dir_, meta.file_number)));
-    m_.compaction_bytes_out->Inc(bytes_out);
+    Result<uint64_t> size = env_->FileSize(table_path);
+    if (size.ok()) {  // Diagnostics only; never fail a committed compaction.
+      bytes_out = *size;
+      m_.compaction_bytes_out->Inc(bytes_out);
+    }
   }
+  RemoveObsoleteFiles();
   log_->Log(obs::LogLevel::kInfo, "compaction",
             {{"inputs", static_cast<uint64_t>(old_files.size())},
              {"bytes_in", bytes_in},
@@ -578,10 +851,91 @@ Status StorageEngine::Compact() {
   return Status::OK();
 }
 
-Status StorageEngine::CreateCheckpoint(const std::string& checkpoint_dir) {
+Result<IntegrityReport> StorageEngine::VerifyIntegrity() {
   if (closed_) {
     return Status::FailedPrecondition("engine closed");
   }
+  IntegrityReport report;
+  // The durable manifest must parse (Load re-checks its CRC) and agree
+  // with the live file set; a mismatch means the on-disk store would
+  // come back different from what this engine is serving.
+  Result<Manifest> disk = Manifest::Load(env_, dir_);
+  if (!disk.ok()) {
+    report.manifest_status = disk.status().WithContext("loading manifest");
+  } else {
+    auto file_set = [](const Manifest& m) {
+      std::vector<std::pair<uint64_t, int>> set;
+      set.reserve(m.files.size());
+      for (const FileMeta& f : m.files) {
+        set.emplace_back(f.file_number, f.level);
+      }
+      std::sort(set.begin(), set.end());
+      return set;
+    };
+    if (file_set(*disk) != file_set(manifest_) ||
+        disk->wal_number != manifest_.wal_number) {
+      report.manifest_status = Status::Corruption(
+          "on-disk manifest does not match the live engine state");
+    }
+  }
+  // Every table: fresh reader (footer/index/filter re-validated), full
+  // scan with the cache bypassed so each block's CRC is re-checked
+  // against the bytes on disk, plus order/range/count checks against
+  // the manifest. Per-file reporting: one corrupt table must not hide
+  // damage in the others.
+  for (const FileMeta& meta : manifest_.files) {
+    FileIntegrity file;
+    file.file_number = meta.file_number;
+    file.level = meta.level;
+    file.status = [&]() -> Status {
+      Result<std::unique_ptr<TableReader>> opened = TableReader::Open(
+          env_, TableFileName(dir_, meta.file_number));
+      AUTHIDX_RETURN_NOT_OK(opened.status());
+      (*opened)->BindCorruptionMetric(m_.corrupt_blocks);
+      auto it = (*opened)->NewIterator(/*fill_cache=*/false,
+                                       /*verify_checksums=*/true);
+      std::string last_key;
+      for (it->SeekToFirst(); it->Valid(); it->Next()) {
+        std::string_view key = it->key();
+        if (file.entries_scanned == 0) {
+          if (key != meta.smallest_key) {
+            return Status::Corruption("first key differs from manifest");
+          }
+        } else if (key <= last_key) {
+          return Status::Corruption("keys out of order");
+        }
+        last_key.assign(key.data(), key.size());
+        ++file.entries_scanned;
+      }
+      AUTHIDX_RETURN_NOT_OK(it->status());
+      if (file.entries_scanned != meta.entry_count) {
+        return Status::Corruption("entry count differs from manifest");
+      }
+      if (meta.entry_count > 0 && last_key != meta.largest_key) {
+        return Status::Corruption("last key differs from manifest");
+      }
+      return Status::OK();
+    }();
+    if (!file.status.ok()) {
+      ++report.corrupt_files;
+      log_->Log(obs::LogLevel::kError, "table_corrupt",
+                {{"table", meta.file_number},
+                 {"level", meta.level},
+                 {"entries_scanned", file.entries_scanned},
+                 {"status", file.status.message()}});
+    }
+    report.files.push_back(std::move(file));
+  }
+  log_->Log(report.clean() ? obs::LogLevel::kInfo : obs::LogLevel::kError,
+            "integrity_scan",
+            {{"tables", static_cast<uint64_t>(report.files.size())},
+             {"corrupt_tables", report.corrupt_files},
+             {"manifest_ok", report.manifest_status.ok()}});
+  return report;
+}
+
+Status StorageEngine::CreateCheckpoint(const std::string& checkpoint_dir) {
+  AUTHIDX_RETURN_NOT_OK(WritableStatus());
   if (env_->FileExists(ManifestFileName(checkpoint_dir))) {
     return Status::AlreadyExists("checkpoint target already holds a store: " +
                                  checkpoint_dir);
@@ -606,12 +960,15 @@ Status StorageEngine::Close() {
   if (closed_) {
     return Status::OK();
   }
-  Status s = Flush();
-  if (s.ok() && wal_ != nullptr) {
-    s = wal_->Sync();
+  // A degraded engine skips the flush (it would only re-fail) and
+  // reports the sticky error; the WAL is still synced and closed
+  // best-effort so appended records get their last push toward disk.
+  Status s = bg_error_.ok() ? Flush() : bg_error_;
+  if (wal_ != nullptr) {
+    Status sync = wal_->Sync();
     Status c = wal_->Close();
     if (s.ok()) {
-      s = c;
+      s = sync.ok() ? c : sync;
     }
   }
   closed_ = true;

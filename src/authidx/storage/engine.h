@@ -2,6 +2,7 @@
 #define AUTHIDX_STORAGE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -9,7 +10,9 @@
 #include <vector>
 
 #include "authidx/common/env.h"
+#include "authidx/common/random.h"
 #include "authidx/common/result.h"
+#include "authidx/common/retry.h"
 #include "authidx/obs/log.h"
 #include "authidx/obs/metrics.h"
 #include "authidx/storage/manifest.h"
@@ -47,6 +50,60 @@ struct EngineOptions {
   /// the engine). nullptr means obs::Logger::Disabled() — every event
   /// is dropped after one atomic load.
   obs::Logger* logger = nullptr;
+  /// Degradation policy once a background error is sticky: by default
+  /// reads keep serving the already-durable state (read-only
+  /// degradation); paranoid mode halts reads too, returning the sticky
+  /// error from Get/NewIterator until the store is reopened.
+  bool paranoid_checks = false;
+  /// Default for ReadOptions::verify_checksums on every read issued
+  /// through this engine.
+  bool verify_checksums = false;
+  /// Retry budget for *transient* background failures (memtable flush,
+  /// compaction): total attempts including the first. WAL append/sync
+  /// failures are never retried-and-acknowledged — a write whose sync
+  /// failed trips the sticky error immediately.
+  int background_retry_attempts = 3;
+  /// Backoff before the first background retry (doubled per retry).
+  uint64_t retry_base_delay_us = 100;
+  /// Saturation bound for the exponential backoff.
+  uint64_t retry_max_delay_us = 10000;
+};
+
+/// Per-read options.
+struct ReadOptions {
+  /// Re-verify the block CRC32C against the bytes on disk for every
+  /// block this read touches. Bypasses the decoded-block cache (a cache
+  /// hit would short-circuit the disk read the verification is about),
+  /// so verified reads trade speed for end-to-end integrity.
+  bool verify_checksums = false;
+};
+
+/// Per-table result of VerifyIntegrity().
+struct FileIntegrity {
+  /// Table file number (maps to `<dir>/<number>.tbl`).
+  uint64_t file_number = 0;
+  /// LSM level the manifest places the file in.
+  int level = 0;
+  /// Entries successfully scanned before the first error (equals the
+  /// manifest entry count when the file is clean).
+  uint64_t entries_scanned = 0;
+  /// OK, or the Corruption/IOError describing the damage.
+  Status status;
+};
+
+/// Result of a full-store integrity scan (see
+/// StorageEngine::VerifyIntegrity and docs/ROBUSTNESS.md).
+struct IntegrityReport {
+  /// OK when the on-disk manifest parses, passes its CRC, and matches
+  /// the live file set.
+  Status manifest_status;
+  /// One entry per table file in the manifest.
+  std::vector<FileIntegrity> files;
+  /// Count of entries in `files` with a non-OK status.
+  uint64_t corrupt_files = 0;
+
+  /// True when the manifest and every table verified clean.
+  bool clean() const { return manifest_status.ok() && corrupt_files == 0; }
 };
 
 /// Counters exposed for tests and benchmarks.
@@ -73,6 +130,15 @@ struct EngineStats {
 /// Recovery replays the newest WAL over the manifest state and tolerates
 /// a torn tail.
 ///
+/// Failure-handling contract (docs/ROBUSTNESS.md): any failed WAL
+/// append/sync, memtable flush, compaction, or manifest save sets a
+/// sticky *background error*. Transient flush/compaction failures are
+/// retried with exponential backoff first (`background_retry_attempts`).
+/// While the error is set the engine is *degraded*: every write fails
+/// fast with the sticky status, while reads keep serving the
+/// already-durable state (unless `paranoid_checks`). Reopening the
+/// store clears the state.
+///
 /// Single-writer; not internally synchronized.
 class StorageEngine {
  public:
@@ -92,8 +158,13 @@ class StorageEngine {
   /// of it or none).
   Status Apply(const WriteBatch& batch);
 
-  /// Point lookup across memtable and all levels (newest wins).
+  /// Point lookup across memtable and all levels (newest wins), using
+  /// the engine-default ReadOptions (`EngineOptions::verify_checksums`).
   Result<std::optional<std::string>> Get(std::string_view key);
+
+  /// Point lookup with explicit per-read options.
+  Result<std::optional<std::string>> Get(std::string_view key,
+                                         const ReadOptions& options);
 
   /// Ordered iterator over live (non-deleted) keys. Snapshot semantics
   /// are "as of iterator creation for flushed data, live for memtable";
@@ -115,6 +186,24 @@ class StorageEngine {
   /// checkpoint flushes first, then copies the manifest and table files;
   /// it can be opened later as an independent StorageEngine.
   Status CreateCheckpoint(const std::string& checkpoint_dir);
+
+  /// The sticky background error; OK while the engine is healthy. Set
+  /// by the first failed WAL append/sync, flush, compaction, or
+  /// manifest save (after retries for the transient subset) and never
+  /// cleared except by reopening the store.
+  const Status& background_error() const { return bg_error_; }
+
+  /// True once a background error is sticky: writes are rejected, reads
+  /// serve the durable state (or also fail under `paranoid_checks`).
+  bool degraded() const { return !bg_error_.ok(); }
+
+  /// Scans the manifest and every table file, re-reading and
+  /// CRC-verifying each block from disk (cache bypassed) and checking
+  /// key order, key ranges, and entry counts against the manifest.
+  /// Read-only: works on a degraded engine, reports per-file damage
+  /// instead of failing on the first corrupt file, and increments
+  /// `authidx_corrupt_blocks_total` for each damaged block it hits.
+  Result<IntegrityReport> VerifyIntegrity();
 
   const EngineStats& stats() const { return stats_; }
   const std::string& dir() const { return dir_; }
@@ -152,6 +241,12 @@ class StorageEngine {
     obs::Counter* gets = nullptr;
     obs::LatencyHistogram* get_ns = nullptr;
     obs::Counter* recovery_records = nullptr;
+    obs::Counter* bg_errors = nullptr;
+    obs::Counter* flush_retries = nullptr;
+    obs::Counter* compaction_retries = nullptr;
+    obs::Counter* corrupt_blocks = nullptr;
+    obs::Counter* gc_failures = nullptr;
+    obs::Gauge* degraded = nullptr;
   };
 
   StorageEngine(std::string dir, EngineOptions options);
@@ -165,6 +260,32 @@ class StorageEngine {
   Status MaybeFlushAndCompact();
   Result<FileMeta> WriteTableFromIterator(Iterator* it, int level,
                                           bool drop_tombstones);
+
+  // --- failure handling (docs/ROBUSTNESS.md) ---
+  // Non-OK when writes must be rejected (closed or degraded).
+  Status WritableStatus() const;
+  // Records the first background error; later calls are no-ops.
+  void SetBackgroundError(std::string_view op, const Status& status);
+  // Runs `body` under the transient-retry policy; on final failure the
+  // error becomes sticky. `retry_counter` counts each retry.
+  Status RunBackgroundOp(const char* op, obs::Counter* retry_counter,
+                         const std::function<Status()>& body);
+  // Retry-safe bodies: every mutation of engine state happens after the
+  // last fallible step, so a failed attempt can be re-run from scratch.
+  Status FlushImpl();
+  Status CompactImpl();
+  // Queues an obsolete file for removal and sweeps the queue.
+  // Best-effort: a failed unlink is logged + counted, never fatal.
+  void ScheduleFileForRemoval(std::string path);
+  void RemoveObsoleteFiles();
+  // Queues every engine-named file (NNNNNN.tbl / NNNNNN.wal) the
+  // manifest does not reference — orphans left by failed background
+  // attempts or a crash before their unlink. Called at open, where the
+  // in-memory removal queue of the previous process is lost.
+  void SweepUnreferencedFiles();
+  // Drops the readers whose file numbers left the manifest and
+  // recounts per-level stats.
+  void PruneReadersToManifest();
 
   std::string dir_;
   EngineOptions options_;
@@ -181,6 +302,14 @@ class StorageEngine {
   std::vector<std::pair<uint64_t, std::unique_ptr<TableReader>>> readers_;
   EngineStats stats_;
   bool closed_ = false;
+  // Sticky background error; OK while healthy. See background_error().
+  Status bg_error_;
+  // Jitter source for retry backoff (deterministic seed: backoff
+  // spreading needs no entropy, and reproducible tests matter more).
+  Random retry_rng_{0x9E3779B97F4A7C15ULL};
+  // Obsolete files whose removal failed; retried after the next
+  // successful flush/compaction.
+  std::vector<std::string> pending_removals_;
 };
 
 }  // namespace authidx::storage

@@ -169,12 +169,21 @@ Result<std::unique_ptr<TableReader>> TableReader::Open(
 
 Result<std::string> TableReader::ReadBlockContents(
     const BlockHandle& handle) const {
+  // Any failure below means the bytes on disk do not match what the
+  // builder wrote: count it so operators see corruption as a metric,
+  // not just a per-request error.
+  auto corrupt = [this](std::string msg) -> Status {
+    if (metric_corrupt_blocks_ != nullptr) {
+      metric_corrupt_blocks_->Inc();
+    }
+    return Status::Corruption(std::move(msg));
+  };
   std::string scratch;
   std::string_view data;
   AUTHIDX_RETURN_NOT_OK(file_->Read(
       handle.offset, handle.size + kBlockTrailerSize, &scratch, &data));
   if (data.size() != handle.size + kBlockTrailerSize) {
-    return Status::Corruption("short block read");
+    return corrupt("short block read");
   }
   std::string_view payload = data.substr(0, handle.size);
   char type = data[handle.size];
@@ -183,24 +192,33 @@ Result<std::string> TableReader::ReadBlockContents(
   uint32_t actual = crc32c::Extend(0, payload.data(), payload.size());
   actual = crc32c::Extend(actual, &type, 1);
   if (actual != expected) {
-    return Status::Corruption("block crc mismatch");
+    return corrupt("block crc mismatch");
   }
   switch (type) {
     case kBlockRaw:
       return std::string(payload);
-    case kBlockLz:
-      return LzDecompress(payload);
+    case kBlockLz: {
+      Result<std::string> decompressed = LzDecompress(payload);
+      if (!decompressed.ok()) {
+        return corrupt("block decompression failed: " +
+                       decompressed.status().message());
+      }
+      return decompressed;
+    }
     default:
-      return Status::Corruption("unknown block type");
+      return corrupt("unknown block type");
   }
 }
 
 Result<std::shared_ptr<Block>> TableReader::ReadBlock(
-    const BlockHandle& handle, bool fill_cache) const {
+    const BlockHandle& handle, bool fill_cache, bool verify_checksums) const {
   // Bulk scans (fill_cache == false) bypass the cache entirely so they
-  // neither evict the hot working set nor skew hit statistics.
+  // neither evict the hot working set nor skew hit statistics. Verified
+  // reads bypass it in both directions: the point is to re-check the
+  // bytes on disk, which a cache hit would short-circuit.
   std::string cache_key;
-  if (cache_ != nullptr && fill_cache) {
+  bool use_cache = cache_ != nullptr && fill_cache && !verify_checksums;
+  if (use_cache) {
     cache_key = BlockCache::MakeKey(file_number_, handle.offset);
     std::shared_ptr<Block> cached = cache_->Get(cache_key);
     if (cached != nullptr) {
@@ -208,9 +226,15 @@ Result<std::shared_ptr<Block>> TableReader::ReadBlock(
     }
   }
   AUTHIDX_ASSIGN_OR_RETURN(std::string contents, ReadBlockContents(handle));
-  AUTHIDX_ASSIGN_OR_RETURN(auto parsed, Block::Parse(std::move(contents)));
-  std::shared_ptr<Block> block = std::move(parsed);
-  if (cache_ != nullptr && fill_cache) {
+  Result<std::unique_ptr<Block>> parsed = Block::Parse(std::move(contents));
+  if (!parsed.ok()) {
+    if (parsed.status().IsCorruption() && metric_corrupt_blocks_ != nullptr) {
+      metric_corrupt_blocks_->Inc();
+    }
+    return parsed.status();
+  }
+  std::shared_ptr<Block> block = std::move(parsed).value();
+  if (use_cache) {
     cache_->Insert(cache_key, block);
   }
   return block;
@@ -222,8 +246,12 @@ void TableReader::BindBloomMetrics(obs::Counter* checks,
   metric_bloom_negatives_ = negatives;
 }
 
+void TableReader::BindCorruptionMetric(obs::Counter* corrupt_blocks) {
+  metric_corrupt_blocks_ = corrupt_blocks;
+}
+
 Result<std::optional<std::string>> TableReader::Get(
-    std::string_view key) const {
+    std::string_view key, bool verify_checksums) const {
   if (filter_.has_value()) {
     if (metric_bloom_checks_ != nullptr) {
       metric_bloom_checks_->Inc();
@@ -244,7 +272,8 @@ Result<std::optional<std::string>> TableReader::Get(
   std::string_view handle_data = index_iter->value();
   AUTHIDX_ASSIGN_OR_RETURN(BlockHandle handle,
                            BlockHandle::DecodeFrom(&handle_data));
-  AUTHIDX_ASSIGN_OR_RETURN(auto block, ReadBlock(handle));
+  AUTHIDX_ASSIGN_OR_RETURN(
+      auto block, ReadBlock(handle, /*fill_cache=*/true, verify_checksums));
   auto iter = block->NewIterator();
   iter->Seek(key);
   if (iter->Valid() && iter->key() == key) {
@@ -258,9 +287,10 @@ Result<std::optional<std::string>> TableReader::Get(
 // block at a time.
 class TableReader::Iter final : public Iterator {
  public:
-  Iter(const TableReader* table, bool fill_cache)
+  Iter(const TableReader* table, bool fill_cache, bool verify_checksums)
       : table_(table),
         fill_cache_(fill_cache),
+        verify_checksums_(verify_checksums),
         index_iter_(table->index_block_->NewIterator()) {}
 
   bool Valid() const override {
@@ -317,7 +347,7 @@ class TableReader::Iter final : public Iterator {
       return;
     }
     Result<std::shared_ptr<Block>> block =
-        table_->ReadBlock(*handle, fill_cache_);
+        table_->ReadBlock(*handle, fill_cache_, verify_checksums_);
     if (!block.ok()) {
       status_ = block.status();
       return;
@@ -343,14 +373,16 @@ class TableReader::Iter final : public Iterator {
 
   const TableReader* table_;
   bool fill_cache_;
+  bool verify_checksums_;
   std::unique_ptr<Iterator> index_iter_;
   std::shared_ptr<Block> data_block_;
   std::unique_ptr<Iterator> data_iter_;
   Status status_;
 };
 
-std::unique_ptr<Iterator> TableReader::NewIterator(bool fill_cache) const {
-  return std::make_unique<Iter>(this, fill_cache);
+std::unique_ptr<Iterator> TableReader::NewIterator(
+    bool fill_cache, bool verify_checksums) const {
+  return std::make_unique<Iter>(this, fill_cache, verify_checksums);
 }
 
 }  // namespace authidx::storage

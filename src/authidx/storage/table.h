@@ -90,13 +90,19 @@ class TableReader {
 
   /// Point lookup. Returns nullopt when definitely absent. The bloom
   /// filter short-circuits most absent keys without touching data blocks.
-  Result<std::optional<std::string>> Get(std::string_view key) const;
+  /// `verify_checksums` forces every block this lookup touches to be
+  /// re-read from disk and CRC-verified (the decoded-block cache is
+  /// bypassed: a cache hit would skip exactly the check requested).
+  Result<std::optional<std::string>> Get(std::string_view key,
+                                         bool verify_checksums = false) const;
 
   /// Ordered iterator over the whole table. The reader must outlive it.
   /// `fill_cache` = false (bulk scans, compaction) still reads through
   /// the cache but does not populate it, so scans cannot evict the hot
-  /// point-lookup working set.
-  std::unique_ptr<Iterator> NewIterator(bool fill_cache = true) const;
+  /// point-lookup working set. `verify_checksums` re-reads and
+  /// CRC-verifies every block from disk, bypassing the cache.
+  std::unique_ptr<Iterator> NewIterator(bool fill_cache = true,
+                                        bool verify_checksums = false) const;
 
   uint64_t file_bytes() const { return file_size_; }
 
@@ -110,6 +116,11 @@ class TableReader {
   /// short-circuits.
   void BindBloomMetrics(obs::Counter* checks, obs::Counter* negatives);
 
+  /// Mirrors block-integrity failures into a registry counter (owned by
+  /// the caller; may be null): incremented once per block whose CRC,
+  /// framing, or decompression check fails.
+  void BindCorruptionMetric(obs::Counter* corrupt_blocks);
+
  private:
   class Iter;
 
@@ -118,8 +129,12 @@ class TableReader {
   /// Reads, verifies and decompresses a block payload.
   Result<std::string> ReadBlockContents(const BlockHandle& handle) const;
   /// ReadBlockContents + parse, via the cache when configured.
+  /// `verify_checksums` bypasses the cache in both directions so the
+  /// on-disk bytes are re-checked.
   Result<std::shared_ptr<Block>> ReadBlock(const BlockHandle& handle,
-                                           bool fill_cache = true) const;
+                                           bool fill_cache = true,
+                                           bool verify_checksums = false)
+      const;
 
   std::unique_ptr<RandomAccessFile> file_;
   uint64_t file_size_ = 0;
@@ -130,6 +145,7 @@ class TableReader {
   mutable uint64_t bloom_negatives_ = 0;
   obs::Counter* metric_bloom_checks_ = nullptr;     // Not owned; may be null.
   obs::Counter* metric_bloom_negatives_ = nullptr;  // Not owned; may be null.
+  obs::Counter* metric_corrupt_blocks_ = nullptr;   // Not owned; may be null.
 };
 
 }  // namespace authidx::storage

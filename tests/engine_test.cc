@@ -8,6 +8,7 @@
 
 #include "authidx/common/random.h"
 #include "authidx/common/strings.h"
+#include "fault_env.h"
 
 namespace authidx::storage {
 namespace {
@@ -375,6 +376,157 @@ TEST_F(EngineTest, SharedRegistryReceivesEngineMetrics) {
   const obs::MetricValue* puts = snap.Find("authidx_storage_puts_total");
   ASSERT_NE(puts, nullptr);
   EXPECT_EQ(puts->counter, 1u);
+}
+
+// --- background-error / degraded-mode contract ---
+//
+// These tests trip the sticky error with a FaultEnv; the systematic
+// harness lives in fault_injection_test.cc and fault_sweep_test.cc.
+
+TEST_F(EngineTest, DegradedEngineRejectsWritesButServesReads) {
+  tests::FaultEnv env;
+  EngineOptions options;
+  options.env = &env;
+  options.retry_base_delay_us = 0;
+  auto engine = Open(options);
+  ASSERT_TRUE(engine->Put("k", "v").ok());
+  EXPECT_FALSE(engine->degraded());
+  EXPECT_TRUE(engine->background_error().ok());
+
+  env.FailAllFromNow();
+  EXPECT_TRUE(engine->Put("k2", "x").IsIOError());
+  EXPECT_TRUE(engine->degraded());
+  EXPECT_TRUE(engine->background_error().IsIOError());
+  env.StopFailing();
+
+  // Sticky: the filesystem recovered, but the engine stays read-only
+  // until reopen. Writes fail fast with the original cause attached.
+  Status rejected = engine->Put("k3", "x");
+  EXPECT_TRUE(rejected.IsIOError());
+  EXPECT_NE(rejected.ToString().find("degraded"), std::string::npos)
+      << rejected;
+  EXPECT_TRUE(engine->Delete("k").IsIOError());
+  EXPECT_TRUE(engine->Flush().IsIOError());
+
+  // Reads keep working by default, point lookups and scans alike.
+  EXPECT_EQ(**engine->Get("k"), "v");
+  auto it = engine->NewIterator();
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "k");
+
+  // The degraded gauge is visible to scrapers.
+  auto snap = engine->metrics().Snapshot();
+  const obs::MetricValue* degraded = snap.Find("authidx_degraded");
+  ASSERT_NE(degraded, nullptr);
+  EXPECT_EQ(degraded->gauge, 1.0);
+}
+
+TEST_F(EngineTest, ParanoidChecksHaltReadsWhenDegraded) {
+  tests::FaultEnv env;
+  EngineOptions options;
+  options.env = &env;
+  options.paranoid_checks = true;
+  options.retry_base_delay_us = 0;
+  auto engine = Open(options);
+  ASSERT_TRUE(engine->Put("k", "v").ok());
+  env.FailAllFromNow();
+  ASSERT_TRUE(engine->Put("k2", "x").IsIOError());
+  env.StopFailing();
+  // Paranoid engines refuse reads too once degraded.
+  EXPECT_TRUE(engine->Get("k").status().IsIOError());
+  auto it = engine->NewIterator();
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+  EXPECT_TRUE(it->status().IsIOError());
+}
+
+TEST_F(EngineTest, ReopenClearsBackgroundError) {
+  tests::FaultEnv env;
+  {
+    EngineOptions options;
+    options.env = &env;
+    options.sync_writes = true;
+    options.retry_base_delay_us = 0;
+    auto engine = Open(options);
+    ASSERT_TRUE(engine->Put("k", "v").ok());
+    env.FailAllFromNow();
+    ASSERT_TRUE(engine->Put("k2", "x").IsIOError());
+    ASSERT_TRUE(engine->degraded());
+  }
+  env.StopFailing();
+  auto engine = Open();
+  EXPECT_FALSE(engine->degraded());
+  EXPECT_TRUE(engine->background_error().ok());
+  EXPECT_EQ(**engine->Get("k"), "v");
+  ASSERT_TRUE(engine->Put("k2", "now-works").ok());
+  EXPECT_EQ(**engine->Get("k2"), "now-works");
+}
+
+TEST_F(EngineTest, VerifyChecksumReadsAndIntegrityScanOnHealthyStore) {
+  EngineOptions options;
+  options.verify_checksums = true;  // Every read re-reads disk bytes.
+  auto engine = Open(options);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(engine->Put(StringPrintf("key%04d", i),
+                            StringPrintf("val%d", i)).ok());
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  for (int i = 0; i < 200; i += 17) {
+    auto hit = engine->Get(StringPrintf("key%04d", i));
+    ASSERT_TRUE(hit.ok());
+    EXPECT_EQ(**hit, StringPrintf("val%d", i));
+  }
+  // Per-call override works regardless of the engine default.
+  ReadOptions verify;
+  verify.verify_checksums = true;
+  EXPECT_EQ(**engine->Get("key0000", verify), "val0");
+  auto report = engine->VerifyIntegrity();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->clean());
+  EXPECT_GT(report->files.size(), 0u);
+  auto snap = engine->metrics().Snapshot();
+  const obs::MetricValue* corrupt = snap.Find("authidx_corrupt_blocks_total");
+  ASSERT_NE(corrupt, nullptr);
+  EXPECT_EQ(corrupt->counter, 0u);
+}
+
+TEST_F(EngineTest, VerifyIntegrityDetectsBitFlippedTable) {
+  auto engine = Open();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(engine->Put(StringPrintf("key%04d", i),
+                            StringPrintf("val%d", i)).ok());
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  // Flip a byte in the middle of the only table file on disk.
+  std::string table_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".tbl") {
+      table_path = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(table_path.empty());
+  {
+    std::fstream f(table_path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(
+        std::filesystem::file_size(table_path) / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  auto report = engine->VerifyIntegrity();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->clean());
+  EXPECT_EQ(report->corrupt_files, 1);
+  ASSERT_EQ(report->files.size(), 1u);
+  EXPECT_FALSE(report->files[0].status.ok());
+  auto snap = engine->metrics().Snapshot();
+  const obs::MetricValue* corrupt = snap.Find("authidx_corrupt_blocks_total");
+  ASSERT_NE(corrupt, nullptr);
+  EXPECT_GE(corrupt->counter, 1u);
 }
 
 }  // namespace

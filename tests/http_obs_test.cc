@@ -15,11 +15,15 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "authidx/core/author_index.h"
 #include "authidx/core/stats.h"
 #include "authidx/format/metrics_text.h"
 #include "authidx/obs/log.h"
 #include "authidx/obs/slowlog.h"
+#include "authidx/storage/engine.h"
+#include "fault_env.h"
 
 namespace authidx::obs {
 namespace {
@@ -291,13 +295,18 @@ class ObservabilityEndpointsTest : public ::testing::Test {
       r.body = format::MetricsToPrometheusText(catalog->GetMetricsSnapshot());
       return r;
     });
-    server_.Route("/healthz", [logger] {
+    server_.Route("/healthz", [catalog, logger] {
       HttpResponse r;
-      if (logger->error_count() == 0) {
-        r.body = "ok\n";
-      } else {
+      // Mirrors the CLI: a sticky storage error outranks logged errors.
+      if (catalog->StorageDegraded()) {
+        r.status = 503;
+        r.body = "degraded: " +
+                 catalog->StorageBackgroundError().ToString() + "\n";
+      } else if (logger->error_count() != 0) {
         r.status = 503;
         r.body = "degraded: " + logger->last_error() + "\n";
+      } else {
+        r.body = "ok\n";
       }
       return r;
     });
@@ -349,6 +358,68 @@ TEST_F(ObservabilityEndpointsTest, HealthzReflectsLoggerErrors) {
   EXPECT_EQ(response.status, 503);
   EXPECT_NE(response.body.find("degraded"), std::string::npos);
   EXPECT_NE(response.body.find("table_get_failed"), std::string::npos);
+}
+
+// /healthz against a persistent catalog whose storage engine trips its
+// sticky background error: the endpoint must flip to 503 and name the
+// cause, exactly as load balancers rely on to drain a degraded node.
+TEST(HealthzDegradedTest, Returns503WhileStorageDegraded) {
+  std::string dir = ::testing::TempDir() + "/http_obs_degraded";
+  std::filesystem::remove_all(dir);
+  tests::FaultEnv env;
+  storage::EngineOptions options;
+  options.env = &env;
+  options.retry_base_delay_us = 0;
+  auto catalog = core::AuthorIndex::OpenPersistent(dir, options);
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  Entry entry;
+  entry.author = {"Minow", "Martha", "", false};
+  entry.title = "All in the Family and in All Families";
+  entry.citation = {95, 275, 1992};
+  ASSERT_TRUE((*catalog)->Add(std::move(entry)).ok());
+
+  Logger logger(LogLevel::kError);
+  core::AuthorIndex* cat = catalog->get();
+  Logger* log = &logger;
+  HttpServer server;
+  server.Route("/healthz", [cat, log] {
+    HttpResponse r;
+    if (cat->StorageDegraded()) {
+      r.status = 503;
+      r.body = "degraded: " + cat->StorageBackgroundError().ToString() + "\n";
+    } else if (log->error_count() != 0) {
+      r.status = 503;
+      r.body = "degraded: " + log->last_error() + "\n";
+    } else {
+      r.body = "ok\n";
+    }
+    return r;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  ClientResponse response;
+  ASSERT_TRUE(Get(server.port(), "/healthz", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "ok\n");
+
+  env.FailAllFromNow();
+  Entry doomed;
+  doomed.author = {"Arceneaux", "Webster J.", "III", false};
+  doomed.title = "Potential Criminal Liability in the Coal Fields";
+  doomed.citation = {95, 691, 1993};
+  EXPECT_FALSE((*catalog)->Add(std::move(doomed)).ok());
+  env.StopFailing();
+  ASSERT_TRUE(cat->StorageDegraded());
+
+  ASSERT_TRUE(Get(server.port(), "/healthz", &response));
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("degraded"), std::string::npos);
+  EXPECT_NE(response.body.find("IOError"), std::string::npos)
+      << response.body;
+
+  server.Stop();
+  catalog->reset();
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(ObservabilityEndpointsTest, VarzServesCatalogStatsJson) {

@@ -1,0 +1,130 @@
+// Unit tests for the bounded-retry helper (common/retry.h): transient
+// classification, exponential backoff shape, jitter bounds, and the
+// retry loop's give-up/observer behavior.
+
+#include "authidx/common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "authidx/common/random.h"
+#include "authidx/common/status.h"
+
+namespace authidx {
+namespace {
+
+TEST(IsTransientErrorTest, ClassifiesCodes) {
+  EXPECT_TRUE(IsTransientError(Status::IOError("disk blip")));
+  EXPECT_TRUE(IsTransientError(Status::ResourceExhausted("pressure")));
+  EXPECT_FALSE(IsTransientError(Status::OK()));
+  EXPECT_FALSE(IsTransientError(Status::Corruption("bad crc")));
+  EXPECT_FALSE(IsTransientError(Status::InvalidArgument("bad arg")));
+  EXPECT_FALSE(IsTransientError(Status::NotFound("gone")));
+  EXPECT_FALSE(IsTransientError(Status::FailedPrecondition("closed")));
+}
+
+TEST(RetryBackoffTest, DoublesAndSaturatesWithoutJitter) {
+  RetryPolicy policy;
+  policy.base_delay_us = 100;
+  policy.max_delay_us = 1000;
+  policy.jitter = 0.0;
+  EXPECT_EQ(RetryBackoffDelayUs(policy, 1, nullptr), 100u);
+  EXPECT_EQ(RetryBackoffDelayUs(policy, 2, nullptr), 200u);
+  EXPECT_EQ(RetryBackoffDelayUs(policy, 3, nullptr), 400u);
+  EXPECT_EQ(RetryBackoffDelayUs(policy, 4, nullptr), 800u);
+  EXPECT_EQ(RetryBackoffDelayUs(policy, 5, nullptr), 1000u);  // Saturated.
+  EXPECT_EQ(RetryBackoffDelayUs(policy, 60, nullptr), 1000u);
+  EXPECT_EQ(RetryBackoffDelayUs(policy, 100, nullptr), 1000u);  // No UB shift.
+}
+
+TEST(RetryBackoffTest, JitterStaysInsideEqualJitterWindow) {
+  RetryPolicy policy;
+  policy.base_delay_us = 1000;
+  policy.max_delay_us = 100000;
+  policy.jitter = 0.5;
+  Random rng(42);
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    uint64_t full = RetryBackoffDelayUs(
+        [&] {
+          RetryPolicy unjittered = policy;
+          unjittered.jitter = 0.0;
+          return unjittered;
+        }(),
+        attempt, nullptr);
+    for (int trial = 0; trial < 100; ++trial) {
+      uint64_t delay = RetryBackoffDelayUs(policy, attempt, &rng);
+      EXPECT_GE(delay, full / 2);
+      EXPECT_LE(delay, full);
+    }
+  }
+}
+
+TEST(RetryWithBackoffTest, ReturnsFirstSuccess) {
+  int calls = 0;
+  Random rng(1);
+  Status s = RetryWithBackoff(
+      RetryPolicy{}, &rng,
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::IOError("flaky") : Status::OK();
+      },
+      nullptr, [](uint64_t) {});
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryWithBackoffTest, GivesUpAfterMaxAttempts) {
+  int calls = 0;
+  std::vector<int> observed_attempts;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  Random rng(1);
+  Status s = RetryWithBackoff(
+      policy, &rng,
+      [&] {
+        ++calls;
+        return Status::IOError("still down");
+      },
+      [&](int attempt, const Status& failure, uint64_t delay_us) {
+        observed_attempts.push_back(attempt);
+        EXPECT_TRUE(failure.IsIOError());
+        EXPECT_LE(delay_us, policy.max_delay_us);
+      },
+      [](uint64_t) {});
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 4);
+  // The observer fires before each retry sleep: attempts 1..3.
+  EXPECT_EQ(observed_attempts, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RetryWithBackoffTest, PermanentErrorIsNotRetried) {
+  int calls = 0;
+  Random rng(1);
+  Status s = RetryWithBackoff(
+      RetryPolicy{}, &rng,
+      [&] {
+        ++calls;
+        return Status::Corruption("deterministic");
+      },
+      nullptr, [](uint64_t) {});
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryWithBackoffTest, SingleAttemptPolicyDisablesRetry) {
+  int calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  Random rng(1);
+  Status s = RetryWithBackoff(
+      policy, &rng, [&] {
+        ++calls;
+        return Status::IOError("down");
+      });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace authidx

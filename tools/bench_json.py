@@ -16,10 +16,19 @@ host) and groups the per-benchmark entries by binary:
       }
     }
 
+With `--diff BASELINE.json`, the freshly merged results are also
+compared against a previous artifact: every benchmark present in both
+files is matched by (binary, name) and its real_time delta reported
+when it moved more than `--diff-threshold` percent (default 10) in
+either direction. The diff is a report, not a gate — timing noise on
+shared CI runners would make a hard threshold flaky — so it never
+changes the exit status.
+
 Usage:
     python3 tools/bench_json.py                      # full suite
     python3 tools/bench_json.py --only bench_coding,bench_collation
     python3 tools/bench_json.py --benchmark-filter 'Varint' --out /tmp/b.json
+    python3 tools/bench_json.py --diff BENCH_2026-08-06.json
 
 Exit status: 0 when every selected binary ran and parsed, 1 otherwise
 (partial results are still written so a long run is never wasted).
@@ -60,6 +69,44 @@ def run_one(binary: Path, benchmark_filter: str, timeout_s: int):
     return json.loads(proc.stdout)
 
 
+def diff_against_baseline(merged, baseline_path: Path, threshold_pct: float):
+    """Prints real_time deltas beyond the threshold. Report-only."""
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"diff: cannot read baseline {baseline_path}: {err}",
+              file=sys.stderr)
+        return
+    base_times = {}
+    for binary, entries in baseline.get("benchmarks", {}).items():
+        for entry in entries:
+            if "real_time" in entry and "name" in entry:
+                base_times[(binary, entry["name"])] = entry["real_time"]
+
+    moved = []
+    compared = 0
+    for binary, entries in merged["benchmarks"].items():
+        for entry in entries:
+            key = (binary, entry.get("name"))
+            base = base_times.get(key)
+            now = entry.get("real_time")
+            if base is None or now is None or base <= 0:
+                continue
+            compared += 1
+            delta_pct = (now - base) / base * 100.0
+            if abs(delta_pct) > threshold_pct:
+                moved.append((delta_pct, binary, entry["name"], base, now))
+
+    date = baseline.get("date", "?")
+    print(f"diff vs {baseline_path.name} (baseline date {date}): "
+          f"{compared} comparable benchmarks, {len(moved)} moved more than "
+          f"{threshold_pct:g}%")
+    for delta_pct, binary, name, base, now in sorted(moved, reverse=True):
+        direction = "slower" if delta_pct > 0 else "faster"
+        print(f"  {binary}/{name}: {base:.0f} -> {now:.0f} ns "
+              f"({abs(delta_pct):.1f}% {direction})")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -87,6 +134,21 @@ def main() -> int:
         type=int,
         default=1800,
         help="Per-binary timeout in seconds (default: 1800)",
+    )
+    parser.add_argument(
+        "--diff",
+        default=None,
+        metavar="BASELINE",
+        help="Previous merged artifact to compare real_time against "
+             "(report-only, never affects the exit status)",
+    )
+    parser.add_argument(
+        "--diff-threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="Report benchmarks whose real_time moved more than PCT "
+             "percent vs the --diff baseline (default: 10)",
     )
     args = parser.parse_args()
 
@@ -132,6 +194,8 @@ def main() -> int:
     total = sum(len(v) for v in merged["benchmarks"].values())
     print(f"wrote {out_path} ({total} benchmarks from "
           f"{len(merged['benchmarks'])} binaries)")
+    if args.diff:
+        diff_against_baseline(merged, Path(args.diff), args.diff_threshold)
     if failures:
         print(f"error: {len(failures)} binaries failed: {failures}",
               file=sys.stderr)
