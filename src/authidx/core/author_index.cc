@@ -163,6 +163,9 @@ EntryId AuthorIndex::IndexEntry(Entry entry) {
 
 Result<EntryId> AuthorIndex::Add(Entry entry) {
   AUTHIDX_RETURN_NOT_OK(ValidateEntry(entry));
+  // Exclusive: id assignment, the durable write, and index maintenance
+  // must be one atomic step or concurrent Adds could interleave ids.
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
   EntryId id = static_cast<EntryId>(entries_.size());
   if (engine_ != nullptr) {
     AUTHIDX_RETURN_NOT_OK(
@@ -177,6 +180,7 @@ Status AuthorIndex::AddAll(std::vector<Entry> entries) {
   for (const Entry& entry : entries) {
     AUTHIDX_RETURN_NOT_OK(ValidateEntry(entry));
   }
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
   if (engine_ != nullptr) {
     // One atomic storage batch per AddAll: amortizes WAL framing/syncs
     // and recovers all-or-nothing (bench_ablation BM_AblateBatchIngest).
@@ -279,13 +283,53 @@ Result<query::QueryResult> AuthorIndex::Run(const query::Query& q) const {
   return result;
 }
 
+// Pre-locked CatalogView the query entry points hand to the executor:
+// RunTraced already holds index_mu_ shared for the whole plan+execute
+// pass, so the callbacks must not re-acquire it (recursive shared
+// locking is UB and can deadlock against a queued writer).
+class AuthorIndex::RawView final : public query::CatalogView {
+ public:
+  explicit RawView(const AuthorIndex& index) : index_(index) {}
+
+  const Entry* GetEntry(EntryId id) const override {
+    return index_.GetEntryUnlocked(id);
+  }
+  size_t entry_count() const override { return index_.entries_.size(); }
+  const InvertedIndex& title_index() const override {
+    return index_.inverted_;
+  }
+  std::vector<EntryId> AuthorExact(
+      std::string_view folded_group) const override {
+    return index_.AuthorExactUnlocked(folded_group);
+  }
+  std::vector<EntryId> AuthorPrefix(std::string_view folded_prefix,
+                                    size_t max_groups) const override {
+    return index_.AuthorPrefixUnlocked(folded_prefix, max_groups);
+  }
+  std::vector<EntryId> AuthorFuzzy(std::string_view folded_name,
+                                   size_t max_edits) const override {
+    return index_.AuthorFuzzyUnlocked(folded_name, max_edits);
+  }
+  std::string_view SortKey(EntryId id) const override {
+    return index_.SortKeyUnlocked(id);
+  }
+
+ private:
+  const AuthorIndex& index_;
+};
+
 Result<query::QueryResult> AuthorIndex::RunTraced(const query::Query& q,
                                                   obs::Trace* trace) const {
   queries_total_->Inc();
   obs::TraceSpan span(trace, query_ns_, "execute");
   query::ExecObs hooks = exec_obs_;
   hooks.trace = trace;
-  return query::Execute(q, *this, &hooks);
+  // Shared for the whole plan+execute pass: the executor's CatalogView
+  // callbacks (and the index structures they walk) see one consistent
+  // catalog while ingests are excluded.
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  RawView view(*this);
+  return query::Execute(q, view, &hooks);
 }
 
 obs::MetricsSnapshot AuthorIndex::GetMetricsSnapshot() const {
@@ -293,10 +337,43 @@ obs::MetricsSnapshot AuthorIndex::GetMetricsSnapshot() const {
 }
 
 const Entry* AuthorIndex::GetEntry(EntryId id) const {
-  return id < entries_.size() ? &entries_[id] : nullptr;
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return GetEntryUnlocked(id);
+}
+
+size_t AuthorIndex::entry_count() const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return entries_.size();
 }
 
 std::vector<EntryId> AuthorIndex::AuthorExact(
+    std::string_view folded_group) const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return AuthorExactUnlocked(folded_group);
+}
+
+std::vector<EntryId> AuthorIndex::AuthorPrefix(std::string_view folded_prefix,
+                                               size_t max_groups) const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return AuthorPrefixUnlocked(folded_prefix, max_groups);
+}
+
+std::vector<EntryId> AuthorIndex::AuthorFuzzy(std::string_view folded_name,
+                                              size_t max_edits) const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return AuthorFuzzyUnlocked(folded_name, max_edits);
+}
+
+std::string_view AuthorIndex::SortKey(EntryId id) const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return SortKeyUnlocked(id);
+}
+
+const Entry* AuthorIndex::GetEntryUnlocked(EntryId id) const {
+  return id < entries_.size() ? &entries_[id] : nullptr;
+}
+
+std::vector<EntryId> AuthorIndex::AuthorExactUnlocked(
     std::string_view folded_group) const {
   std::vector<EntryId> out;
   auto it = group_by_folded_.find(std::string(folded_group));
@@ -317,8 +394,8 @@ std::vector<EntryId> AuthorIndex::AuthorExact(
   return out;
 }
 
-std::vector<EntryId> AuthorIndex::AuthorPrefix(std::string_view folded_prefix,
-                                               size_t max_groups) const {
+std::vector<EntryId> AuthorIndex::AuthorPrefixUnlocked(
+    std::string_view folded_prefix, size_t max_groups) const {
   std::vector<EntryId> out;
   for (const auto& [key, group_idx] :
        author_trie_.PrefixScan(folded_prefix, max_groups)) {
@@ -330,8 +407,8 @@ std::vector<EntryId> AuthorIndex::AuthorPrefix(std::string_view folded_prefix,
   return out;
 }
 
-std::vector<EntryId> AuthorIndex::AuthorFuzzy(std::string_view folded_name,
-                                              size_t max_edits) const {
+std::vector<EntryId> AuthorIndex::AuthorFuzzyUnlocked(
+    std::string_view folded_name, size_t max_edits) const {
   // Phonetic bucket prefilter, then exact bounded edit distance on the
   // folded surname. Also probe the Soundex-distinct-but-close cases by
   // scanning the candidate's own bucket only — a deliberate recall
@@ -370,13 +447,19 @@ std::vector<EntryId> AuthorIndex::AuthorFuzzy(std::string_view folded_name,
   return out;
 }
 
-std::string_view AuthorIndex::SortKey(EntryId id) const {
+std::string_view AuthorIndex::SortKeyUnlocked(EntryId id) const {
   static const std::string kEmpty;
   return id < sort_keys_.size() ? std::string_view(sort_keys_[id])
                                 : std::string_view(kEmpty);
 }
 
+size_t AuthorIndex::group_count() const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return groups_.size();
+}
+
 std::vector<AuthorIndex::Group> AuthorIndex::GroupsInOrder() const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
   // Walk the order B+-tree (collation order) and coalesce consecutive
   // entries of the same group.
   std::vector<Group> out;
@@ -409,6 +492,7 @@ std::vector<AuthorIndex::Group> AuthorIndex::GroupsInOrder() const {
 
 std::vector<std::string> AuthorIndex::CoauthorsOf(
     std::string_view folded_group) const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
   std::vector<std::string> out;
   auto it = group_by_folded_.find(std::string(folded_group));
   if (it == group_by_folded_.end()) {

@@ -2,7 +2,9 @@
 #define AUTHIDX_CORE_AUTHOR_INDEX_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -33,6 +35,22 @@ namespace authidx::core {
 ///    the LSM storage engine; reopening the same directory recovers the
 ///    full catalog (including from a WAL after a crash) and rebuilds the
 ///    in-memory indexes.
+///
+/// Thread safety: Add/AddAll take the catalog lock exclusively; every
+/// query entry point (Search/SearchTraced/Run/RunTraced) holds it
+/// shared across the whole plan+execute pass (the executor's catalog
+/// callbacks go through an internal pre-locked view, so they are not
+/// re-locked per call), and the group accessors
+/// (GroupsInOrder/group_count/CoauthorsOf) plus the public CatalogView
+/// overrides (GetEntry, AuthorExact, ...) each take it shared
+/// themselves — so any number of queries and point accessors run in
+/// parallel with each other and with the storage engine's background
+/// work. Entry storage is append-only (deque), so `GetEntry` pointers
+/// and `SortKey` views stay valid across later ingests and may be used
+/// after the accessor returns. Exception: `title_index()` hands out a
+/// reference into live index state — walking it concurrently with
+/// ingest requires external synchronization (queries go through the
+/// locked executor path and are safe).
 class AuthorIndex final : public query::CatalogView {
  public:
   /// In-memory catalog.
@@ -105,7 +123,7 @@ class AuthorIndex final : public query::CatalogView {
 
   // --- CatalogView ---
   const Entry* GetEntry(EntryId id) const override;
-  size_t entry_count() const override { return entries_.size(); }
+  size_t entry_count() const override;
   const InvertedIndex& title_index() const override { return inverted_; }
   std::vector<EntryId> AuthorExact(
       std::string_view folded_group) const override;
@@ -125,8 +143,8 @@ class AuthorIndex final : public query::CatalogView {
   /// exactly the order of the printed author index.
   std::vector<Group> GroupsInOrder() const;
 
-  /// Number of distinct author groups.
-  size_t group_count() const { return groups_.size(); }
+  /// Number of distinct author groups. Thread-safe.
+  size_t group_count() const;
 
   /// Authors who co-published with the given folded group key, as
   /// display names (cross-reference support).
@@ -175,8 +193,33 @@ class AuthorIndex final : public query::CatalogView {
                        const obs::Trace& trace,
                        const Result<query::QueryResult>& result) const;
 
-  std::vector<Entry> entries_;
-  std::vector<std::string> sort_keys_;  // Parallel to entries_.
+  /// CatalogView adapter that forwards to the *Unlocked impls; the
+  /// query entry points hand it to the executor while already holding
+  /// index_mu_ shared, so callbacks don't re-lock (recursive
+  /// shared_mutex acquisition is undefined behavior).
+  class RawView;
+
+  // Lock-free bodies of the CatalogView callbacks; caller must hold
+  // index_mu_ (shared suffices — they only read).
+  const Entry* GetEntryUnlocked(EntryId id) const;
+  std::vector<EntryId> AuthorExactUnlocked(
+      std::string_view folded_group) const;
+  std::vector<EntryId> AuthorPrefixUnlocked(std::string_view folded_prefix,
+                                            size_t max_groups) const;
+  std::vector<EntryId> AuthorFuzzyUnlocked(std::string_view folded_name,
+                                           size_t max_edits) const;
+  std::string_view SortKeyUnlocked(EntryId id) const;
+
+  /// Guards the in-memory indexes (entries_, groups_, trie, B+-tree,
+  /// inverted index). Exclusive for ingest, shared for query execution.
+  /// The storage engine synchronizes itself; its Put/Apply happen inside
+  /// the exclusive section so entry ids and durable keys stay aligned.
+  mutable std::shared_mutex index_mu_;
+
+  // Deques, not vectors: appends never move existing elements, so Entry
+  // pointers and sort-key views handed out earlier survive later Adds.
+  std::deque<Entry> entries_;
+  std::deque<std::string> sort_keys_;  // Parallel to entries_.
 
   std::vector<GroupRecord> groups_;
   std::unordered_map<std::string, size_t> group_by_folded_;

@@ -1,14 +1,21 @@
 #include "authidx/storage/cache.h"
 
-#include "authidx/common/coding.h"
-#include "authidx/common/strings.h"
+#include "authidx/common/hash.h"
 
 namespace authidx::storage {
 
-std::string BlockCache::MakeKey(uint64_t file_number, uint64_t offset) {
-  std::string key;
-  PutFixed64(&key, file_number);
-  PutFixed64(&key, offset);
+BlockCache::BlockCache(size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes),
+      shard_capacity_bytes_(capacity_bytes / kNumShards) {}
+
+BlockCacheKey BlockCache::MakeKey(uint64_t file_number, uint64_t offset) {
+  BlockCacheKey key;
+  key.file_number = file_number;
+  key.offset = offset;
+  // Two rounds of splitmix64 finalizer: cheap, and mixes the file number
+  // into every bit so both the shard (top bits) and the map bucket (low
+  // bits) spread well even for sequential offsets.
+  key.hash = Mix64(offset + Mix64(file_number ^ 0x9E3779B97F4A7C15ULL));
   return key;
 }
 
@@ -23,69 +30,91 @@ void BlockCache::BindMetrics(obs::Counter* hits, obs::Counter* misses,
 
 void BlockCache::SyncBytesGauge() {
   if (metric_bytes_ != nullptr) {
-    metric_bytes_->Set(static_cast<int64_t>(size_bytes_));
+    metric_bytes_->Set(
+        static_cast<int64_t>(size_bytes_.load(std::memory_order_relaxed)));
   }
 }
 
-std::shared_ptr<Block> BlockCache::Get(const std::string& key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++misses_;
+std::shared_ptr<Block> BlockCache::Get(const BlockCacheKey& key) {
+  Shard& shard = shards_[ShardIndex(key)];
+  std::shared_ptr<Block> block;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      // Move to front.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      block = it->second->block;
+    }
+  }
+  if (block == nullptr) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     if (metric_misses_ != nullptr) {
       metric_misses_->Inc();
     }
     return nullptr;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   if (metric_hits_ != nullptr) {
     metric_hits_->Inc();
   }
-  // Move to front.
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->block;
+  return block;
 }
 
-void BlockCache::Insert(const std::string& key,
+void BlockCache::Insert(const BlockCacheKey& key,
                         std::shared_ptr<Block> block) {
   if (capacity_bytes_ == 0) {
     return;
   }
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    size_bytes_ -= it->second->charge;
-    lru_.erase(it->second);
-    entries_.erase(it);
+  Shard& shard = shards_[ShardIndex(key)];
+  size_t charge = block->size_bytes() + sizeof(BlockCacheKey) + sizeof(Entry);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      shard.size_bytes -= it->second->charge;
+      size_bytes_.fetch_sub(it->second->charge, std::memory_order_relaxed);
+      entry_count_.fetch_sub(1, std::memory_order_relaxed);
+      shard.lru.erase(it->second);
+      shard.entries.erase(it);
+    }
+    shard.lru.push_front(Entry{key, std::move(block), charge});
+    shard.entries[key] = shard.lru.begin();
+    shard.size_bytes += charge;
+    size_bytes_.fetch_add(charge, std::memory_order_relaxed);
+    entry_count_.fetch_add(1, std::memory_order_relaxed);
+    EvictShardIfNeeded(shard);
   }
-  size_t charge = block->size_bytes() + key.size() + sizeof(Entry);
-  lru_.push_front(Entry{key, std::move(block), charge});
-  entries_[key] = lru_.begin();
-  size_bytes_ += charge;
-  EvictIfNeeded();
   SyncBytesGauge();
 }
 
 void BlockCache::EraseFile(uint64_t file_number) {
-  std::string prefix;
-  PutFixed64(&prefix, file_number);
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->key.compare(0, prefix.size(), prefix) == 0) {
-      size_bytes_ -= it->charge;
-      entries_.erase(it->key);
-      it = lru_.erase(it);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.file_number == file_number) {
+        shard.size_bytes -= it->charge;
+        size_bytes_.fetch_sub(it->charge, std::memory_order_relaxed);
+        entry_count_.fetch_sub(1, std::memory_order_relaxed);
+        shard.entries.erase(it->key);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   SyncBytesGauge();
 }
 
-void BlockCache::EvictIfNeeded() {
-  while (size_bytes_ > capacity_bytes_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    size_bytes_ -= victim.charge;
-    entries_.erase(victim.key);
-    lru_.pop_back();
-    ++evictions_;
+void BlockCache::EvictShardIfNeeded(Shard& shard) {
+  while (shard.size_bytes > shard_capacity_bytes_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.size_bytes -= victim.charge;
+    size_bytes_.fetch_sub(victim.charge, std::memory_order_relaxed);
+    entry_count_.fetch_sub(1, std::memory_order_relaxed);
+    shard.entries.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     if (metric_evictions_ != nullptr) {
       metric_evictions_->Inc();
     }

@@ -1,10 +1,11 @@
 #ifndef AUTHIDX_STORAGE_CACHE_H_
 #define AUTHIDX_STORAGE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <string>
+#include <mutex>
 #include <unordered_map>
 
 #include "authidx/obs/metrics.h"
@@ -12,67 +13,117 @@
 
 namespace authidx::storage {
 
+/// Cache key for a decoded block: owning file number + block offset,
+/// with the shard/bucket hash computed exactly once at construction so
+/// the lookup hot path never hashes (or allocates) per operation.
+struct BlockCacheKey {
+  uint64_t file_number = 0;
+  uint64_t offset = 0;
+  uint64_t hash = 0;
+
+  friend bool operator==(const BlockCacheKey& a, const BlockCacheKey& b) {
+    return a.file_number == b.file_number && a.offset == b.offset;
+  }
+};
+
 /// LRU cache of decoded blocks, shared by a store's table readers so hot
 /// data blocks are parsed once. Capacity is in block bytes; eviction is
-/// strict LRU. Entries are shared_ptr so an evicted block stays alive
-/// while an iterator still pins it. Not thread-safe (single-writer
-/// engine).
+/// strict LRU within each shard. Entries are shared_ptr so an evicted
+/// block stays alive while an iterator still pins it.
+///
+/// Thread-safe: the cache is split into `kNumShards` independently
+/// mutexed LRU shards selected by the key's precomputed hash, so
+/// concurrent readers on different shards never contend. Aggregate
+/// counters (hits/misses/evictions/bytes) are lock-free atomics.
 class BlockCache {
  public:
+  /// Independently locked LRU shards; the shard index comes from the top
+  /// bits of the key hash (the bucket index inside a shard's map uses
+  /// the low bits, keeping the two selections uncorrelated).
+  static constexpr size_t kNumShards = 16;
+
   /// `capacity_bytes` of zero disables caching (every Get misses).
-  explicit BlockCache(size_t capacity_bytes)
-      : capacity_bytes_(capacity_bytes) {}
+  explicit BlockCache(size_t capacity_bytes);
 
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
 
-  /// Cache key for a block: owning file number + block offset.
-  static std::string MakeKey(uint64_t file_number, uint64_t offset);
+  /// Builds a key, hashing (file_number, offset) once.
+  static BlockCacheKey MakeKey(uint64_t file_number, uint64_t offset);
+
+  /// The shard a key maps to (exposed for tests that need shard-local
+  /// LRU behaviour).
+  static size_t ShardIndex(const BlockCacheKey& key) {
+    return (key.hash >> 60) & (kNumShards - 1);
+  }
 
   /// Returns the cached block or nullptr, updating recency.
-  std::shared_ptr<Block> Get(const std::string& key);
+  std::shared_ptr<Block> Get(const BlockCacheKey& key);
 
   /// Inserts (replacing any previous entry) and evicts LRU entries until
-  /// within capacity.
-  void Insert(const std::string& key, std::shared_ptr<Block> block);
+  /// the shard is within its capacity share.
+  void Insert(const BlockCacheKey& key, std::shared_ptr<Block> block);
 
   /// Drops every cached block for `file_number` (called when a table
   /// file is deleted by compaction).
   void EraseFile(uint64_t file_number);
 
   /// Mirrors cache activity into registry instruments (all owned by the
-  /// caller's MetricsRegistry; any pointer may be null). The internal
+  /// caller's MetricsRegistry; any pointer may be null). Not thread-safe
+  /// against concurrent cache use: bind during setup. The internal
   /// counters below keep working either way.
   void BindMetrics(obs::Counter* hits, obs::Counter* misses,
                    obs::Counter* evictions, obs::Gauge* bytes);
 
-  size_t size_bytes() const { return size_bytes_; }
-  size_t entry_count() const { return entries_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  size_t size_bytes() const {
+    return size_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t entry_count() const {
+    return entry_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
-    std::string key;
+    BlockCacheKey key;
     std::shared_ptr<Block> block;
     size_t charge;
   };
 
-  void EvictIfNeeded();
+  struct KeyHasher {
+    size_t operator()(const BlockCacheKey& key) const {
+      return static_cast<size_t>(key.hash);  // Precomputed, never re-mixed.
+    }
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // Front = most recent.
+    std::unordered_map<BlockCacheKey, std::list<Entry>::iterator, KeyHasher>
+        entries;
+    size_t size_bytes = 0;
+  };
+
+  // Evicts from `shard` (mu held) until it fits its capacity share.
+  void EvictShardIfNeeded(Shard& shard);
   void SyncBytesGauge();
 
   size_t capacity_bytes_;
-  size_t size_bytes_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  size_t shard_capacity_bytes_;
+  std::atomic<size_t> size_bytes_{0};
+  std::atomic<size_t> entry_count_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
   obs::Counter* metric_hits_ = nullptr;       // Not owned; may be null.
   obs::Counter* metric_misses_ = nullptr;     // Not owned; may be null.
   obs::Counter* metric_evictions_ = nullptr;  // Not owned; may be null.
   obs::Gauge* metric_bytes_ = nullptr;        // Not owned; may be null.
-  std::list<Entry> lru_;  // Front = most recent.
-  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  Shard shards_[kNumShards];
 };
 
 }  // namespace authidx::storage

@@ -1,12 +1,17 @@
 #ifndef AUTHIDX_STORAGE_ENGINE_H_
 #define AUTHIDX_STORAGE_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "authidx/common/env.h"
@@ -29,6 +34,8 @@ struct EngineOptions {
   /// Flush the memtable to a level-0 table once it holds this much.
   size_t memtable_bytes = 4 * 1024 * 1024;
   /// fdatasync the WAL on every write (durability vs throughput).
+  /// Concurrent synced writers are group-committed: one leader appends
+  /// and fsyncs the whole batch, so the cost amortizes across writers.
   bool sync_writes = false;
   /// Compact level 0 into level 1 when it accumulates this many runs.
   int l0_compaction_trigger = 4;
@@ -114,6 +121,7 @@ struct EngineStats {
   uint64_t flushes = 0;
   uint64_t compactions = 0;
   uint64_t wal_replayed_records = 0;
+  uint64_t write_stalls = 0;
   bool wal_tail_corruption = false;
   int l0_files = 0;
   int l1_files = 0;
@@ -127,19 +135,29 @@ struct EngineStats {
 ///
 /// Crash-safety contract: a Put/Delete is durable once it returns when
 /// `sync_writes` is true; otherwise once Flush()/Close() returns.
-/// Recovery replays the newest WAL over the manifest state and tolerates
-/// a torn tail.
+/// Recovery replays the immutable-memtable WAL (if a flush was in
+/// flight) and then the live WAL over the manifest state, tolerating a
+/// torn tail in the live WAL.
 ///
 /// Failure-handling contract (docs/ROBUSTNESS.md): any failed WAL
 /// append/sync, memtable flush, compaction, or manifest save sets a
-/// sticky *background error*. Transient flush/compaction failures are
-/// retried with exponential backoff first (`background_retry_attempts`).
-/// While the error is set the engine is *degraded*: every write fails
-/// fast with the sticky status, while reads keep serving the
-/// already-durable state (unless `paranoid_checks`). Reopening the
-/// store clears the state.
+/// sticky *background error* — including failures on the background
+/// maintenance thread. Transient flush/compaction failures are retried
+/// with exponential backoff first (`background_retry_attempts`). While
+/// the error is set the engine is *degraded*: every write fails fast
+/// with the sticky status, while reads keep serving the already-durable
+/// state (unless `paranoid_checks`). Reopening the store clears the
+/// state.
 ///
-/// Single-writer; not internally synchronized.
+/// Threading model (docs/ARCHITECTURE.md): fully thread-safe. One
+/// engine mutex guards metadata and a LevelDB-style writer queue; the
+/// queue's front writer group-commits every queued write with a single
+/// WAL append pass + one fsync. Reads pin a snapshot of
+/// {memtable, immutable memtable, table-file version} under the mutex
+/// and then run lock-free. A single background thread runs flush and
+/// compaction off the write path; writers that fill the memtable while
+/// the previous one is still flushing stall (counted + logged) until
+/// the flush lands.
 class StorageEngine {
  public:
   /// Opens (creating if needed) a store in directory `dir`.
@@ -166,19 +184,23 @@ class StorageEngine {
   Result<std::optional<std::string>> Get(std::string_view key,
                                          const ReadOptions& options);
 
-  /// Ordered iterator over live (non-deleted) keys. Snapshot semantics
-  /// are "as of iterator creation for flushed data, live for memtable";
-  /// callers in this codebase never mutate while iterating.
+  /// Ordered iterator over live (non-deleted) keys. The iterator pins
+  /// the table files and memtables that existed at creation, so flushes
+  /// and compactions never invalidate it; writes landing in the pinned
+  /// memtable after creation may or may not be observed.
   std::unique_ptr<Iterator> NewIterator();
 
-  /// Forces the memtable into a level-0 table (no-op when empty).
+  /// Forces the memtable into a level-0 table (no-op when empty) and
+  /// waits for the background flush to land.
   Status Flush();
 
   /// Merges all level-0 tables plus level 1 into a single level-1 run,
-  /// dropping tombstones and shadowed versions.
+  /// dropping tombstones and shadowed versions. Runs on the background
+  /// thread; this call waits for the result.
   Status Compact();
 
-  /// Flushes and fsyncs everything.
+  /// Flushes and fsyncs everything, stops the background thread, and
+  /// rejects all writes from the first moment of the call.
   Status Close();
 
   /// Creates a consistent point-in-time copy of the store in
@@ -191,11 +213,14 @@ class StorageEngine {
   /// by the first failed WAL append/sync, flush, compaction, or
   /// manifest save (after retries for the transient subset) and never
   /// cleared except by reopening the store.
-  const Status& background_error() const { return bg_error_; }
+  Status background_error() const;
 
   /// True once a background error is sticky: writes are rejected, reads
   /// serve the durable state (or also fail under `paranoid_checks`).
-  bool degraded() const { return !bg_error_.ok(); }
+  /// Lock-free (one atomic load).
+  bool degraded() const {
+    return degraded_flag_.load(std::memory_order_acquire);
+  }
 
   /// Scans the manifest and every table file, re-reading and
   /// CRC-verifying each block from disk (cache bypassed) and checking
@@ -203,9 +228,12 @@ class StorageEngine {
   /// Read-only: works on a degraded engine, reports per-file damage
   /// instead of failing on the first corrupt file, and increments
   /// `authidx_corrupt_blocks_total` for each damaged block it hits.
+  /// Safe to run while writing; a concurrent compaction may surface as
+  /// a transient missing-file error for a superseded table.
   Result<IntegrityReport> VerifyIntegrity();
 
-  const EngineStats& stats() const { return stats_; }
+  /// Consistent point-in-time snapshot of the counters.
+  EngineStats stats() const;
   const std::string& dir() const { return dir_; }
   const BlockCache& block_cache() const { return cache_; }
 
@@ -247,45 +275,104 @@ class StorageEngine {
     obs::Counter* corrupt_blocks = nullptr;
     obs::Counter* gc_failures = nullptr;
     obs::Gauge* degraded = nullptr;
+    obs::Counter* write_stalls = nullptr;
+    obs::LatencyHistogram* write_stall_ns = nullptr;
+    obs::Gauge* bg_queue_depth = nullptr;
+    obs::Counter* group_commit_batches = nullptr;
+    obs::Counter* group_commit_writes = nullptr;
+  };
+
+  // One queued write (or control sentinel) in the LevelDB-style writer
+  // queue. Stack-allocated by the issuing thread, which blocks on `cv`
+  // until it reaches the queue front or a leader commits it.
+  struct Writer {
+    enum class Kind { kWrite, kSeal, kBarrier };
+    Kind kind = Kind::kWrite;
+    std::string record;  // Full WAL record (op byte + payload).
+    bool done = false;
+    Status status;
+    std::condition_variable cv;
+  };
+
+  // One open table file with its manifest metadata.
+  struct TableEntry {
+    FileMeta meta;
+    std::shared_ptr<TableReader> reader;
+  };
+
+  // Immutable snapshot of the table-file set. Readers pin it with a
+  // shared_ptr and then never need the engine mutex again; flush and
+  // compaction publish a fresh Version instead of mutating this one.
+  struct Version {
+    std::vector<TableEntry> level0;  // Newest first.
+    std::vector<TableEntry> level1;  // Sorted by smallest_key.
+  };
+
+  // Completion slot for a Compact() call waiting on the bg thread.
+  struct ManualCompaction {
+    bool done = false;
+    Status status;
   };
 
   StorageEngine(std::string dir, EngineOptions options);
 
   void RegisterInstruments();
-  Status AppendWalRecord(std::string_view record);
+  void StartBackgroundThread();
+  void BackgroundThreadMain();
+  bool HasBackgroundWorkLocked() const;
+  void UpdateQueueDepthLocked();
+
   Status ReplayWalIntoMemtable(uint64_t wal_number);
   Status OpenTables();
-  Status SwitchToFreshWal();
-  Status WriteRecord(char op, std::string_view key, std::string_view value);
-  Status MaybeFlushAndCompact();
+  Status ApplyRecordToMemtable(MemTable& mem, std::string_view record,
+                               uint64_t* puts, uint64_t* deletes);
+  // Enqueues one write, waits for commit (as leader or group member).
+  Status QueueWrite(std::string record);
+  // Leader-side: stalls/seals until the memtable can take the write.
+  Status MakeRoomForWriteLocked(std::unique_lock<std::mutex>& lock);
   Result<FileMeta> WriteTableFromIterator(Iterator* it, int level,
-                                          bool drop_tombstones);
+                                          bool drop_tombstones,
+                                          uint64_t file_number);
+  Result<std::shared_ptr<TableReader>> OpenTableReader(uint64_t file_number);
+  // Rebuilds the published Version from manifest_ + readers_.
+  void RebuildVersionLocked();
 
   // --- failure handling (docs/ROBUSTNESS.md) ---
-  // Non-OK when writes must be rejected (closed or degraded).
-  Status WritableStatus() const;
-  // Records the first background error; later calls are no-ops.
-  void SetBackgroundError(std::string_view op, const Status& status);
-  // Runs `body` under the transient-retry policy; on final failure the
-  // error becomes sticky. `retry_counter` counts each retry.
-  Status RunBackgroundOp(const char* op, obs::Counter* retry_counter,
-                         const std::function<Status()>& body);
-  // Retry-safe bodies: every mutation of engine state happens after the
-  // last fallible step, so a failed attempt can be re-run from scratch.
-  Status FlushImpl();
-  Status CompactImpl();
+  // Non-OK when writes must be rejected (closed or degraded). mu_ held.
+  Status WritableStatusLocked() const;
+  // Records the first background error; later calls are no-ops. mu_
+  // held; wakes every stalled writer and pending waiter.
+  void SetBackgroundErrorLocked(std::string_view op, const Status& status);
+  // Runs `body` (which may unlock/relock `lock` internally) under the
+  // transient-retry policy, releasing the mutex across backoff sleeps;
+  // on final failure the error becomes sticky. `retry_counter` counts
+  // each retry.
+  Status RunRetriesLocked(const char* op, obs::Counter* retry_counter,
+                          std::unique_lock<std::mutex>& lock,
+                          const std::function<Status()>& body);
+  // Seals the memtable: stages a fresh WAL plus a manifest recording
+  // the handoff (imm_wal_number = old WAL), commits only after the
+  // manifest save. Caller must be the queue front (no WAL I/O races).
+  Status SealMemtableLocked();
+  // Opens the very first WAL of a store whose recovery left nothing to
+  // flush. mu_ conceptually held (single-threaded open path).
+  Status SwitchToFreshWalLocked();
+  // Writes the sealed memtable to a level-0 table. Releases `lock`
+  // across the table write; commits (manifest save + state swap) with
+  // it held. Retry-safe: a failed attempt leaves state unchanged.
+  Status FlushImmLocked(std::unique_lock<std::mutex>& lock);
+  // Merges all runs into one level-1 table. Same locking discipline and
+  // retry-safety as FlushImmLocked.
+  Status CompactImplLocked(std::unique_lock<std::mutex>& lock);
   // Queues an obsolete file for removal and sweeps the queue.
   // Best-effort: a failed unlink is logged + counted, never fatal.
-  void ScheduleFileForRemoval(std::string path);
-  void RemoveObsoleteFiles();
+  void ScheduleFileForRemovalLocked(std::string path);
+  void RemoveObsoleteFilesLocked();
   // Queues every engine-named file (NNNNNN.tbl / NNNNNN.wal) the
   // manifest does not reference — orphans left by failed background
   // attempts or a crash before their unlink. Called at open, where the
   // in-memory removal queue of the previous process is lost.
-  void SweepUnreferencedFiles();
-  // Drops the readers whose file numbers left the manifest and
-  // recounts per-level stats.
-  void PruneReadersToManifest();
+  void SweepUnreferencedFilesLocked();
 
   std::string dir_;
   EngineOptions options_;
@@ -295,21 +382,39 @@ class StorageEngine {
   obs::Logger* log_;  // == options.logger or Logger::Disabled().
   Instruments m_;
   BlockCache cache_;
+
+  // One mutex guards all metadata below plus the writer queue. Reads
+  // hold it only long enough to pin {mem_, imm_, version_}; writers
+  // release it during WAL I/O (queue-front discipline makes that safe);
+  // background jobs release it during table writes.
+  mutable std::mutex mu_;
+  std::condition_variable bg_cv_;       // Wakes the background thread.
+  std::condition_variable bg_done_cv_;  // Flush/compaction landed; stalls.
+  std::deque<Writer*> writers_;
+
   Manifest manifest_;
-  std::unique_ptr<MemTable> memtable_;
+  std::shared_ptr<MemTable> mem_;
+  std::shared_ptr<MemTable> imm_;  // Sealed, being flushed; may be null.
   std::unique_ptr<WalWriter> wal_;
-  // Open readers keyed by file number.
-  std::vector<std::pair<uint64_t, std::unique_ptr<TableReader>>> readers_;
+  // Open readers keyed by file number (ownership registry).
+  std::vector<std::pair<uint64_t, std::shared_ptr<TableReader>>> readers_;
+  // Published table-file snapshot; replaced wholesale on commit.
+  std::shared_ptr<const Version> version_;
   EngineStats stats_;
+  bool closing_ = false;   // Close() barrier passed: no further writes.
   bool closed_ = false;
+  bool shutdown_ = false;  // Background thread exit flag.
   // Sticky background error; OK while healthy. See background_error().
   Status bg_error_;
+  std::atomic<bool> degraded_flag_{false};
+  ManualCompaction* manual_compaction_ = nullptr;
   // Jitter source for retry backoff (deterministic seed: backoff
   // spreading needs no entropy, and reproducible tests matter more).
   Random retry_rng_{0x9E3779B97F4A7C15ULL};
   // Obsolete files whose removal failed; retried after the next
   // successful flush/compaction.
   std::vector<std::string> pending_removals_;
+  std::thread bg_thread_;
 };
 
 }  // namespace authidx::storage

@@ -9,7 +9,10 @@
 namespace authidx::storage {
 
 namespace {
-constexpr uint32_t kManifestVersion = 1;
+// Version 2 appends imm_wal_number after wal_number; version-1 manifests
+// (no immutable-memtable handoff) still decode, with imm_wal_number = 0.
+constexpr uint32_t kManifestVersion = 2;
+constexpr uint32_t kManifestVersionV1 = 1;
 // Defensive cap against corrupt counts.
 constexpr uint64_t kMaxFiles = 1 << 20;
 }  // namespace
@@ -19,6 +22,7 @@ std::string Manifest::Encode() const {
   PutVarint32(&body, kManifestVersion);
   PutVarint64(&body, next_file_number);
   PutVarint64(&body, wal_number);
+  PutVarint64(&body, imm_wal_number);
   PutVarint64(&body, files.size());
   for (const FileMeta& meta : files) {
     PutVarint64(&body, meta.file_number);
@@ -45,12 +49,15 @@ Result<Manifest> Manifest::Decode(std::string_view data) {
   Manifest manifest;
   uint32_t version = 0;
   AUTHIDX_RETURN_NOT_OK(GetVarint32(&body, &version));
-  if (version != kManifestVersion) {
+  if (version != kManifestVersion && version != kManifestVersionV1) {
     return Status::Corruption("unknown manifest version " +
                               std::to_string(version));
   }
   AUTHIDX_RETURN_NOT_OK(GetVarint64(&body, &manifest.next_file_number));
   AUTHIDX_RETURN_NOT_OK(GetVarint64(&body, &manifest.wal_number));
+  if (version >= kManifestVersion) {
+    AUTHIDX_RETURN_NOT_OK(GetVarint64(&body, &manifest.imm_wal_number));
+  }
   uint64_t count = 0;
   AUTHIDX_RETURN_NOT_OK(GetVarint64(&body, &count));
   if (count > kMaxFiles) {

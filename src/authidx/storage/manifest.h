@@ -28,6 +28,11 @@ struct FileMeta {
 struct Manifest {
   uint64_t next_file_number = 1;
   uint64_t wal_number = 0;
+  /// WAL backing the sealed (immutable) memtable while its flush is in
+  /// flight; 0 when no immutable memtable exists. Recovery replays this
+  /// WAL before `wal_number` so the handoff survives a crash between
+  /// the seal and the flush commit.
+  uint64_t imm_wal_number = 0;
   std::vector<FileMeta> files;
 
   /// Serializes to the line-oriented text format (versioned, crc'd).

@@ -1,6 +1,7 @@
 #include "authidx/storage/memtable.h"
 
 #include <cstring>
+#include <mutex>
 
 namespace authidx::storage {
 
@@ -90,13 +91,18 @@ void MemTable::Upsert(std::string_view key, std::string_view tagged_value) {
 }
 
 void MemTable::Put(std::string_view key, std::string_view value) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   Upsert(key, TagPut(value));
 }
 
-void MemTable::Delete(std::string_view key) { Upsert(key, TagTombstone()); }
+void MemTable::Delete(std::string_view key) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Upsert(key, TagTombstone());
+}
 
 MemTable::GetResult MemTable::Get(std::string_view key,
                                   std::string* value) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   Node* node = FindGreaterOrEqual(key, nullptr);
   if (node == nullptr || node->key != key) {
     return GetResult::kNotFound;
@@ -126,18 +132,36 @@ std::string MemTable::TagPut(std::string_view value) {
 
 std::string MemTable::TagTombstone() { return std::string(1, kTagDelete); }
 
+// Each operation takes the table's lock in shared mode: node links and
+// value views may be written concurrently by Upsert (exclusive), but a
+// node, its key, and any value bytes ever published stay valid for the
+// memtable's lifetime (arena memory is never reclaimed), so a view read
+// under the lock can be used after the lock is released.
 class MemTable::Iter final : public Iterator {
  public:
   explicit Iter(const MemTable* table) : table_(table) {}
 
   bool Valid() const override { return node_ != nullptr; }
-  void SeekToFirst() override { node_ = table_->head_->Next(0); }
+  void SeekToFirst() override {
+    std::shared_lock<std::shared_mutex> lock(table_->mu_);
+    node_ = table_->head_->Next(0);
+  }
   void Seek(std::string_view target) override {
+    std::shared_lock<std::shared_mutex> lock(table_->mu_);
     node_ = table_->FindGreaterOrEqual(target, nullptr);
   }
-  void Next() override { node_ = node_->Next(0); }
-  std::string_view key() const override { return node_->key; }
-  std::string_view value() const override { return node_->value; }
+  void Next() override {
+    std::shared_lock<std::shared_mutex> lock(table_->mu_);
+    node_ = node_->Next(0);
+  }
+  std::string_view key() const override {
+    std::shared_lock<std::shared_mutex> lock(table_->mu_);
+    return node_->key;
+  }
+  std::string_view value() const override {
+    std::shared_lock<std::shared_mutex> lock(table_->mu_);
+    return node_->value;
+  }
   Status status() const override { return Status::OK(); }
 
  private:

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 
@@ -16,6 +17,12 @@ namespace authidx::storage {
 /// to value-or-tombstone. Overwrites update the node's value view in
 /// place (the superseded copy stays in the arena until the memtable is
 /// dropped, the usual arena trade-off).
+///
+/// Thread-safe via an internal shared_mutex: Put/Delete take it
+/// exclusively, Get/iterators/size accessors take it shared, so any
+/// number of readers proceed in parallel with each other. Arena memory
+/// is never freed while the memtable lives, so string_views handed out
+/// to readers stay valid even if the entry is overwritten afterwards.
 class MemTable {
  public:
   MemTable();
@@ -35,8 +42,14 @@ class MemTable {
   /// Point lookup; fills `*value` only for kFound.
   GetResult Get(std::string_view key, std::string* value) const;
 
-  size_t entry_count() const { return count_; }
-  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+  size_t entry_count() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return count_;
+  }
+  size_t ApproximateMemoryUsage() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return arena_.MemoryUsage();
+  }
 
   /// Iterator yielding keys in order. Tombstones appear with
   /// `IsTombstoneValue(value()) == true`; callers (flush, merging reads)
@@ -62,6 +75,7 @@ class MemTable {
   Node* FindGreaterOrEqual(std::string_view key, Node** prev) const;
   void Upsert(std::string_view key, std::string_view tagged_value);
 
+  mutable std::shared_mutex mu_;
   Arena arena_;
   Random rng_;
   Node* head_;

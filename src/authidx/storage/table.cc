@@ -216,7 +216,7 @@ Result<std::shared_ptr<Block>> TableReader::ReadBlock(
   // neither evict the hot working set nor skew hit statistics. Verified
   // reads bypass it in both directions: the point is to re-check the
   // bytes on disk, which a cache hit would short-circuit.
-  std::string cache_key;
+  BlockCacheKey cache_key;
   bool use_cache = cache_ != nullptr && fill_cache && !verify_checksums;
   if (use_cache) {
     cache_key = BlockCache::MakeKey(file_number_, handle.offset);
@@ -257,7 +257,7 @@ Result<std::optional<std::string>> TableReader::Get(
       metric_bloom_checks_->Inc();
     }
     if (!filter_->MayContain(key)) {
-      ++bloom_negatives_;
+      bloom_negatives_.fetch_add(1, std::memory_order_relaxed);
       if (metric_bloom_negatives_ != nullptr) {
         metric_bloom_negatives_->Inc();
       }

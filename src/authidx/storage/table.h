@@ -1,6 +1,7 @@
 #ifndef AUTHIDX_STORAGE_TABLE_H_
 #define AUTHIDX_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -108,7 +109,9 @@ class TableReader {
 
   /// Bloom filter hit statistics (diagnostics): lookups answered
   /// "definitely absent" without reading a data block.
-  uint64_t bloom_negative_count() const { return bloom_negatives_; }
+  uint64_t bloom_negative_count() const {
+    return bloom_negatives_.load(std::memory_order_relaxed);
+  }
 
   /// Mirrors Bloom filter activity into registry counters (owned by the
   /// caller's MetricsRegistry; either pointer may be null): `checks`
@@ -142,7 +145,7 @@ class TableReader {
   std::optional<BloomFilter> filter_;
   BlockCache* cache_ = nullptr;  // Not owned; may be null.
   uint64_t file_number_ = 0;
-  mutable uint64_t bloom_negatives_ = 0;
+  mutable std::atomic<uint64_t> bloom_negatives_{0};
   obs::Counter* metric_bloom_checks_ = nullptr;     // Not owned; may be null.
   obs::Counter* metric_bloom_negatives_ = nullptr;  // Not owned; may be null.
   obs::Counter* metric_corrupt_blocks_ = nullptr;   // Not owned; may be null.

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <thread>
+#include <vector>
+
 #include "authidx/common/strings.h"
 
 namespace authidx::storage {
@@ -17,10 +21,32 @@ std::shared_ptr<Block> MakeBlock(int n_entries) {
   return std::move(block).value();
 }
 
+// Actual charge of one cached MakeBlock(n_entries) block, measured via a
+// probe cache so tests don't hard-code the charge formula.
+size_t ChargeOf(int n_entries) {
+  BlockCache probe(1 << 20);
+  probe.Insert(BlockCache::MakeKey(1, 0), MakeBlock(n_entries));
+  return probe.size_bytes();
+}
+
+// First `count` offsets of `file` whose keys land in the same shard, so
+// LRU-eviction tests exercise one shard deterministically.
+std::vector<BlockCacheKey> SameShardKeys(uint64_t file, size_t count) {
+  std::vector<BlockCacheKey> keys;
+  size_t shard = BlockCache::ShardIndex(BlockCache::MakeKey(file, 0));
+  for (uint64_t offset = 0; keys.size() < count; ++offset) {
+    BlockCacheKey key = BlockCache::MakeKey(file, offset);
+    if (BlockCache::ShardIndex(key) == shard) {
+      keys.push_back(key);
+    }
+  }
+  return keys;
+}
+
 TEST(BlockCacheTest, InsertGetAndRecency) {
   BlockCache cache(1 << 20);
   auto block = MakeBlock(10);
-  std::string key = BlockCache::MakeKey(1, 0);
+  BlockCacheKey key = BlockCache::MakeKey(1, 0);
   EXPECT_EQ(cache.Get(key), nullptr);
   EXPECT_EQ(cache.misses(), 1u);
   cache.Insert(key, block);
@@ -40,24 +66,43 @@ TEST(BlockCacheTest, KeysDistinguishFileAndOffset) {
   EXPECT_EQ(cache.Get(BlockCache::MakeKey(2, 4096)), nullptr);
 }
 
-TEST(BlockCacheTest, LruEvictionOrder) {
-  auto sample = MakeBlock(50);
-  size_t per_entry = sample->size_bytes() + 16 + 64;  // Rough charge.
-  BlockCache cache(per_entry * 3);
-  cache.Insert(BlockCache::MakeKey(1, 1), MakeBlock(50));
-  cache.Insert(BlockCache::MakeKey(1, 2), MakeBlock(50));
-  cache.Insert(BlockCache::MakeKey(1, 3), MakeBlock(50));
-  // Touch 1 so 2 becomes the LRU victim.
-  EXPECT_NE(cache.Get(BlockCache::MakeKey(1, 1)), nullptr);
-  cache.Insert(BlockCache::MakeKey(1, 4), MakeBlock(50));
-  EXPECT_EQ(cache.Get(BlockCache::MakeKey(1, 2)), nullptr);  // Evicted.
-  EXPECT_NE(cache.Get(BlockCache::MakeKey(1, 1)), nullptr);  // Kept.
-  EXPECT_NE(cache.Get(BlockCache::MakeKey(1, 4)), nullptr);
+TEST(BlockCacheTest, KeyHashIsPrecomputedAndStable) {
+  BlockCacheKey a = BlockCache::MakeKey(7, 4096);
+  BlockCacheKey b = BlockCache::MakeKey(7, 4096);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.hash, BlockCache::MakeKey(7, 8192).hash);
+}
+
+TEST(BlockCacheTest, KeysSpreadAcrossShards) {
+  // Sequential offsets within one file must not all pile onto one shard.
+  std::set<size_t> shards;
+  for (uint64_t offset = 0; offset < 64; ++offset) {
+    shards.insert(BlockCache::ShardIndex(BlockCache::MakeKey(3, offset * 4096)));
+  }
+  EXPECT_GT(shards.size(), BlockCache::kNumShards / 2);
+}
+
+TEST(BlockCacheTest, LruEvictionOrderWithinShard) {
+  size_t charge = ChargeOf(50);
+  // Shard capacity = total / kNumShards = exactly three entries.
+  BlockCache cache(charge * 3 * BlockCache::kNumShards);
+  std::vector<BlockCacheKey> keys = SameShardKeys(1, 4);
+  cache.Insert(keys[0], MakeBlock(50));
+  cache.Insert(keys[1], MakeBlock(50));
+  cache.Insert(keys[2], MakeBlock(50));
+  // Touch keys[0] so keys[1] becomes the LRU victim.
+  EXPECT_NE(cache.Get(keys[0]), nullptr);
+  cache.Insert(keys[3], MakeBlock(50));
+  EXPECT_EQ(cache.Get(keys[1]), nullptr);  // Evicted.
+  EXPECT_NE(cache.Get(keys[0]), nullptr);  // Kept.
+  EXPECT_NE(cache.Get(keys[3]), nullptr);
+  EXPECT_GE(cache.evictions(), 1u);
 }
 
 TEST(BlockCacheTest, ReplacingAKeyUpdatesCharge) {
   BlockCache cache(1 << 20);
-  std::string key = BlockCache::MakeKey(1, 0);
+  BlockCacheKey key = BlockCache::MakeKey(1, 0);
   cache.Insert(key, MakeBlock(1000));
   size_t big = cache.size_bytes();
   cache.Insert(key, MakeBlock(1));
@@ -78,26 +123,58 @@ TEST(BlockCacheTest, EraseFileDropsOnlyThatFile) {
 
 TEST(BlockCacheTest, ZeroCapacityDisables) {
   BlockCache cache(0);
-  std::string key = BlockCache::MakeKey(1, 0);
+  BlockCacheKey key = BlockCache::MakeKey(1, 0);
   cache.Insert(key, MakeBlock(5));
   EXPECT_EQ(cache.Get(key), nullptr);
   EXPECT_EQ(cache.entry_count(), 0u);
 }
 
 TEST(BlockCacheTest, EvictedBlockSurvivesWhilePinned) {
-  auto sample = MakeBlock(50);
-  BlockCache cache(sample->size_bytes() + 100);
-  std::string key = BlockCache::MakeKey(1, 0);
-  cache.Insert(key, MakeBlock(50));
-  std::shared_ptr<Block> pinned = cache.Get(key);
+  size_t charge = ChargeOf(50);
+  // Shard capacity fits one entry but not two.
+  BlockCache cache((charge + 100) * BlockCache::kNumShards);
+  std::vector<BlockCacheKey> keys = SameShardKeys(1, 2);
+  cache.Insert(keys[0], MakeBlock(50));
+  std::shared_ptr<Block> pinned = cache.Get(keys[0]);
   ASSERT_NE(pinned, nullptr);
   // Force eviction of the pinned block.
-  cache.Insert(BlockCache::MakeKey(1, 1), MakeBlock(50));
-  EXPECT_EQ(cache.Get(key), nullptr);
+  cache.Insert(keys[1], MakeBlock(50));
+  EXPECT_EQ(cache.Get(keys[0]), nullptr);
   // Still usable through the pin.
   auto it = pinned->NewIterator();
   it->SeekToFirst();
   EXPECT_TRUE(it->Valid());
+}
+
+TEST(BlockCacheTest, ConcurrentMixedUseIsSafe) {
+  BlockCache cache(1 << 16);  // Small enough to force evictions.
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        BlockCacheKey key = BlockCache::MakeKey(t % 2, (i % 64) * 4096);
+        if (i % 3 == 0) {
+          cache.Insert(key, MakeBlock(8));
+        } else if (i % 7 == 0) {
+          cache.EraseFile(t % 2);
+        } else {
+          std::shared_ptr<Block> block = cache.Get(key);
+          if (block != nullptr) {
+            auto it = block->NewIterator();
+            it->SeekToFirst();
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+  EXPECT_LE(cache.size_bytes(), (1u << 16));
 }
 
 }  // namespace

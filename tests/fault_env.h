@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -47,34 +48,57 @@ class FaultEnv final : public Env {
       : base_(base != nullptr ? base : Env::Default()) {}
 
   // --- fault plan ---
+  // All plan state is guarded by one mutex: the engine's background
+  // thread and foreground writers consult the plan concurrently, and the
+  // op counter must stay a single global sequence.
   void FailFrom(uint64_t k) {
+    std::lock_guard<std::mutex> lock(mu_);
     mode_ = Mode::kFailFrom;
     target_ = k;
   }
-  void FailAllFromNow() { FailFrom(write_ops_); }
+  void FailAllFromNow() {
+    std::lock_guard<std::mutex> lock(mu_);
+    mode_ = Mode::kFailFrom;
+    target_ = write_ops_;
+  }
   void FailOnceAt(uint64_t k) {
+    std::lock_guard<std::mutex> lock(mu_);
     mode_ = Mode::kFailOnce;
     target_ = k;
   }
   void FailWithProbability(double p, uint64_t seed) {
+    std::lock_guard<std::mutex> lock(mu_);
     mode_ = Mode::kProbabilistic;
     probability_ = p;
     rng_ = Random(seed);
   }
   void StopFailing() {
+    std::lock_guard<std::mutex> lock(mu_);
     mode_ = Mode::kNone;
     fail_removes_ = false;
   }
-  void set_torn_writes(bool torn) { torn_writes_ = torn; }
+  void set_torn_writes(bool torn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    torn_writes_ = torn;
+  }
   /// Orthogonal to the plan: every RemoveFile fails (tests best-effort
   /// GC in isolation while all other ops keep succeeding).
-  void set_fail_removes(bool fail) { fail_removes_ = fail; }
+  void set_fail_removes(bool fail) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_removes_ = fail;
+  }
 
   /// Write-path ops observed so far (the index space FailFrom/FailOnceAt
   /// select from).
-  uint64_t write_ops() const { return write_ops_; }
+  uint64_t write_ops() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return write_ops_;
+  }
   /// Ops that were made to fail.
-  uint64_t faults_injected() const { return faults_; }
+  uint64_t faults_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_;
+  }
 
   // --- Env ---
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
@@ -110,10 +134,15 @@ class FaultEnv final : public Env {
   }
   Status RemoveFile(const std::string& path) override {
     bool planned = NextOpFails();
-    if (planned || fail_removes_) {
-      if (!planned) {
+    bool forced = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      forced = fail_removes_;
+      if (!planned && forced) {
         ++faults_;
       }
+    }
+    if (planned || forced) {
       return Status::IOError("injected remove failure: " + path);
     }
     return base_->RemoveFile(path);
@@ -144,7 +173,7 @@ class FaultEnv final : public Env {
 
     Status Append(std::string_view data) override {
       if (env_->NextOpFails()) {
-        if (env_->torn_writes_ && !data.empty()) {
+        if (env_->torn_writes() && !data.empty()) {
           // Half the payload reaches the platter before the device
           // dies; recovery must detect and discard the torn record.
           base_->Append(data.substr(0, data.size() / 2)).IgnoreError();
@@ -182,9 +211,15 @@ class FaultEnv final : public Env {
     FaultEnv* env_;
   };
 
+  bool torn_writes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return torn_writes_;
+  }
+
   // One global decision point: assigns the op its index and consults
   // the plan.
   bool NextOpFails() {
+    std::lock_guard<std::mutex> lock(mu_);
     uint64_t index = write_ops_++;
     bool fail = false;
     switch (mode_) {
@@ -207,6 +242,7 @@ class FaultEnv final : public Env {
   }
 
   Env* base_;
+  mutable std::mutex mu_;
   Mode mode_ = Mode::kNone;
   uint64_t target_ = 0;
   double probability_ = 0.0;
