@@ -12,8 +12,22 @@
 namespace authidx {
 namespace {
 
+// Overload dispatch for the two strerror_r flavors: glibc's GNU variant
+// returns a char* (possibly pointing at its static table, ignoring the
+// buffer), POSIX's returns int and always fills the buffer. Selecting on
+// the return type at overload resolution works with either libc without
+// feature-test-macro gymnastics.
+[[maybe_unused]] std::string ErrnoTextFrom(const char* result,
+                                           const char* /*buf*/) {
+  return std::string(result);
+}
+[[maybe_unused]] std::string ErrnoTextFrom(int /*result*/,
+                                           const char* buf) {
+  return std::string(buf);
+}
+
 Status ErrnoStatus(const std::string& context, int err) {
-  std::string msg = context + ": " + std::strerror(err);
+  std::string msg = context + ": " + ErrnoMessage(err);
   if (err == ENOENT) {
     return Status::NotFound(std::move(msg));
   }
@@ -202,6 +216,10 @@ class PosixEnv final : public Env {
     }
     std::vector<std::string> names;
     struct dirent* entry;
+    // readdir is only mt-unsafe when two threads share one DIR* stream;
+    // this stream is function-local, and glibc's readdir on distinct
+    // streams is thread-safe (readdir_r is deprecated for this reason).
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     while ((entry = ::readdir(d)) != nullptr) {
       std::string name = entry->d_name;
       if (name != "." && name != "..") {
@@ -243,6 +261,12 @@ class PosixEnv final : public Env {
 };
 
 }  // namespace
+
+std::string ErrnoMessage(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return ErrnoTextFrom(::strerror_r(err, buf, sizeof(buf)), buf);
+}
 
 Env* Env::Default() {
   static PosixEnv* env = new PosixEnv();  // Intentionally leaked.

@@ -12,6 +12,12 @@
 
 namespace authidx {
 
+/// Thread-safe strerror: renders `err` (an errno value) via strerror_r
+/// into an owned string. Use this instead of std::strerror, whose
+/// returned buffer may be shared between threads
+/// (clang-tidy concurrency-mt-unsafe).
+std::string ErrnoMessage(int err);
+
 /// Sequential append-only file with an application-side write buffer.
 /// Created via Env::NewWritableFile. Close() (or the destructor) flushes;
 /// only Sync() provides durability.

@@ -1,0 +1,152 @@
+#ifndef AUTHIDX_COMMON_MUTEX_H_
+#define AUTHIDX_COMMON_MUTEX_H_
+
+// Annotated mutex wrappers: the only lock types permitted in library
+// code (tools/lint.py rule 8 bans raw std::mutex / std::shared_mutex /
+// std::condition_variable in src/ outside this header). The wrappers
+// add zero state and zero overhead over the std types; what they add is
+// the capability vocabulary from thread_annotations.h, so Clang's
+// -Wthread-safety analysis (the `thread-safety` preset) can prove every
+// GUARDED_BY / REQUIRES contract at compile time.
+//
+// Conventions the analysis imposes on call sites:
+//   * Condition waits are explicit loops — `while (!pred) cv.Wait(mu);`
+//     — because the analysis cannot see through a predicate lambda.
+//   * Helpers that run under a caller's lock take no lock parameter;
+//     they are annotated AUTHIDX_REQUIRES(mu_) and, when they must drop
+//     the lock around I/O, call mu_.Unlock()/mu_.Lock() in balanced
+//     pairs.
+//   * Code the analysis cannot see into (std::function bodies executed
+//     under a caller's lock) opens with mu_.AssertHeld() to re-inject
+//     the capability.
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "authidx/common/thread_annotations.h"
+
+namespace authidx {
+
+class CondVar;
+
+// Exclusive mutex. Non-reentrant, non-copyable, same semantics as the
+// std::mutex it wraps.
+class AUTHIDX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AUTHIDX_ACQUIRE() { mu_.lock(); }
+  void Unlock() AUTHIDX_RELEASE() { mu_.unlock(); }
+  bool TryLock() AUTHIDX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // No-op at runtime; tells the analysis the lock is held on paths it
+  // cannot trace (e.g. the body of a std::function invoked by a
+  // function that holds the lock).
+  void AssertHeld() AUTHIDX_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Reader/writer mutex wrapping std::shared_mutex. Exclusive side uses
+// Lock/Unlock, shared side ReaderLock/ReaderUnlock.
+class AUTHIDX_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() AUTHIDX_ACQUIRE() { mu_.lock(); }
+  void Unlock() AUTHIDX_RELEASE() { mu_.unlock(); }
+  bool TryLock() AUTHIDX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void ReaderLock() AUTHIDX_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() AUTHIDX_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool ReaderTryLock() AUTHIDX_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  void AssertHeld() AUTHIDX_ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() AUTHIDX_ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// Scoped exclusive lock over Mutex (the std::lock_guard replacement).
+class AUTHIDX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AUTHIDX_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() AUTHIDX_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Scoped shared (reader) lock over SharedMutex.
+class AUTHIDX_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) AUTHIDX_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~ReaderMutexLock() AUTHIDX_RELEASE() { mu_.ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Scoped exclusive (writer) lock over SharedMutex.
+class AUTHIDX_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) AUTHIDX_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() AUTHIDX_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Condition variable bound to Mutex. Wait() atomically releases the
+// mutex, blocks, and reacquires before returning — so from the
+// analysis's point of view the capability is held across the call
+// (REQUIRES). Spurious wakeups are possible exactly as with
+// std::condition_variable: always wait in a `while (!pred)` loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) AUTHIDX_REQUIRES(mu) {
+    // Adopt the already-held mutex for the duration of the wait, then
+    // release ownership back to the caller without unlocking.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace authidx
+
+#endif  // AUTHIDX_COMMON_MUTEX_H_

@@ -1,0 +1,106 @@
+#ifndef AUTHIDX_COMMON_THREAD_ANNOTATIONS_H_
+#define AUTHIDX_COMMON_THREAD_ANNOTATIONS_H_
+
+// Capability annotations for Clang Thread Safety Analysis
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), the
+// compile-time checker behind the `thread-safety` preset (see
+// docs/TOOLING.md). Under Clang with -Wthread-safety these attach the
+// locking protocol to the code itself so every build re-proves it; on
+// every other compiler they expand to nothing and the tree builds
+// exactly as before.
+//
+// The vocabulary, applied via common/mutex.h wrappers:
+//
+//   AUTHIDX_GUARDED_BY(mu)   field may only be touched while mu is held
+//   AUTHIDX_REQUIRES(mu)     function must be called with mu held
+//   AUTHIDX_REQUIRES_SHARED  same, shared (reader) mode suffices
+//   AUTHIDX_ACQUIRE/RELEASE  function takes/drops mu itself
+//   AUTHIDX_EXCLUDES(mu)     function must NOT be called with mu held
+//   AUTHIDX_NO_THREAD_SAFETY_ANALYSIS
+//                            opt one function out; every use carries a
+//                            justifying comment and a tracking note in
+//                            docs/ROBUSTNESS.md
+
+#if defined(__clang__)
+#define AUTHIDX_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AUTHIDX_THREAD_ANNOTATION_(x)  // Expands to nothing off Clang.
+#endif
+
+// --- type annotations -----------------------------------------------------
+
+// Marks a type as a capability (a lock). The string names the
+// capability kind in diagnostics ("mutex", "shared_mutex").
+#define AUTHIDX_CAPABILITY(x) AUTHIDX_THREAD_ANNOTATION_(capability(x))
+
+// Marks an RAII type whose constructor acquires and destructor releases
+// a capability (MutexLock and friends).
+#define AUTHIDX_SCOPED_CAPABILITY AUTHIDX_THREAD_ANNOTATION_(scoped_lockable)
+
+// --- data annotations -----------------------------------------------------
+
+// The field may only be read or written while holding `x` (shared mode
+// suffices for reads).
+#define AUTHIDX_GUARDED_BY(x) AUTHIDX_THREAD_ANNOTATION_(guarded_by(x))
+
+// The data *pointed to* by the field may only be touched while holding
+// `x`; the pointer itself is unguarded.
+#define AUTHIDX_PT_GUARDED_BY(x) AUTHIDX_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Lock-ordering declarations (deadlock prevention).
+#define AUTHIDX_ACQUIRED_BEFORE(...) \
+  AUTHIDX_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define AUTHIDX_ACQUIRED_AFTER(...) \
+  AUTHIDX_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// --- function annotations -------------------------------------------------
+
+// Caller must hold the capability exclusively / at least shared.
+#define AUTHIDX_REQUIRES(...) \
+  AUTHIDX_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define AUTHIDX_REQUIRES_SHARED(...) \
+  AUTHIDX_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// The function itself acquires / releases the capability.
+#define AUTHIDX_ACQUIRE(...) \
+  AUTHIDX_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define AUTHIDX_ACQUIRE_SHARED(...) \
+  AUTHIDX_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define AUTHIDX_RELEASE(...) \
+  AUTHIDX_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define AUTHIDX_RELEASE_SHARED(...) \
+  AUTHIDX_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define AUTHIDX_RELEASE_GENERIC(...) \
+  AUTHIDX_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+// The function attempts the acquisition; the first argument is the
+// return value that means success.
+#define AUTHIDX_TRY_ACQUIRE(...) \
+  AUTHIDX_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define AUTHIDX_TRY_ACQUIRE_SHARED(...) \
+  AUTHIDX_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (guards against self-deadlock on
+// non-reentrant locks).
+#define AUTHIDX_EXCLUDES(...) \
+  AUTHIDX_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Injects "capability is held" into the analysis at a call site the
+// checker cannot see through (e.g. a std::function body running under a
+// lock its caller took). Backed by Mutex::AssertHeld().
+#define AUTHIDX_ASSERT_CAPABILITY(x) \
+  AUTHIDX_THREAD_ANNOTATION_(assert_capability(x))
+#define AUTHIDX_ASSERT_SHARED_CAPABILITY(x) \
+  AUTHIDX_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+// The function returns a reference to the given capability.
+#define AUTHIDX_RETURN_CAPABILITY(x) \
+  AUTHIDX_THREAD_ANNOTATION_(lock_returned(x))
+
+// Turns the analysis off for one function. Every use must carry a
+// one-line rationale comment and a row in docs/ROBUSTNESS.md's
+// suppression table.
+#define AUTHIDX_NO_THREAD_SAFETY_ANALYSIS \
+  AUTHIDX_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // AUTHIDX_COMMON_THREAD_ANNOTATIONS_H_

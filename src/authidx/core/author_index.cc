@@ -111,13 +111,19 @@ Result<std::unique_ptr<AuthorIndex>> AuthorIndex::OpenPersistent(
   // Rebuild the in-memory indexes from storage, in id (ingest) order —
   // entry keys are big-endian ids, so engine iteration order is id order.
   auto it = catalog->engine_->NewIterator();
-  for (it->SeekToFirst(); it->Valid(); it->Next()) {
-    std::string_view key = it->key();
-    if (key.empty() || key.front() != 'e') {
-      continue;
+  {
+    // Exclusive for the whole rebuild: nothing else can reference the
+    // catalog yet, but IndexEntry's contract (REQUIRES(index_mu_)) is
+    // uniform whether it runs under recovery or a live Add.
+    WriterMutexLock lock(catalog->index_mu_);
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      std::string_view key = it->key();
+      if (key.empty() || key.front() != 'e') {
+        continue;
+      }
+      AUTHIDX_ASSIGN_OR_RETURN(Entry entry, DecodeEntryExact(it->value()));
+      catalog->IndexEntry(std::move(entry));
     }
-    AUTHIDX_ASSIGN_OR_RETURN(Entry entry, DecodeEntryExact(it->value()));
-    catalog->IndexEntry(std::move(entry));
   }
   AUTHIDX_RETURN_NOT_OK(it->status());
   return catalog;
@@ -165,7 +171,7 @@ Result<EntryId> AuthorIndex::Add(Entry entry) {
   AUTHIDX_RETURN_NOT_OK(ValidateEntry(entry));
   // Exclusive: id assignment, the durable write, and index maintenance
   // must be one atomic step or concurrent Adds could interleave ids.
-  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  WriterMutexLock lock(index_mu_);
   EntryId id = static_cast<EntryId>(entries_.size());
   if (engine_ != nullptr) {
     AUTHIDX_RETURN_NOT_OK(
@@ -180,7 +186,7 @@ Status AuthorIndex::AddAll(std::vector<Entry> entries) {
   for (const Entry& entry : entries) {
     AUTHIDX_RETURN_NOT_OK(ValidateEntry(entry));
   }
-  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  WriterMutexLock lock(index_mu_);
   if (engine_ != nullptr) {
     // One atomic storage batch per AddAll: amortizes WAL framing/syncs
     // and recovers all-or-nothing (bench_ablation BM_AblateBatchIngest).
@@ -286,31 +292,45 @@ Result<query::QueryResult> AuthorIndex::Run(const query::Query& q) const {
 // Pre-locked CatalogView the query entry points hand to the executor:
 // RunTraced already holds index_mu_ shared for the whole plan+execute
 // pass, so the callbacks must not re-acquire it (recursive shared
-// locking is UB and can deadlock against a queued writer).
+// locking is UB and can deadlock against a queued writer). The analysis
+// cannot see that invariant across the executor's virtual calls, so
+// every callback re-states it with AssertReaderHeld() — a no-op at
+// runtime that re-establishes the shared capability for the checker.
 class AuthorIndex::RawView final : public query::CatalogView {
  public:
-  explicit RawView(const AuthorIndex& index) : index_(index) {}
+  explicit RawView(const AuthorIndex& index)
+      AUTHIDX_REQUIRES_SHARED(index.index_mu_)
+      : index_(index) {}
 
   const Entry* GetEntry(EntryId id) const override {
+    index_.index_mu_.AssertReaderHeld();
     return index_.GetEntryUnlocked(id);
   }
-  size_t entry_count() const override { return index_.entries_.size(); }
+  size_t entry_count() const override {
+    index_.index_mu_.AssertReaderHeld();
+    return index_.entries_.size();
+  }
   const InvertedIndex& title_index() const override {
+    index_.index_mu_.AssertReaderHeld();
     return index_.inverted_;
   }
   std::vector<EntryId> AuthorExact(
       std::string_view folded_group) const override {
+    index_.index_mu_.AssertReaderHeld();
     return index_.AuthorExactUnlocked(folded_group);
   }
   std::vector<EntryId> AuthorPrefix(std::string_view folded_prefix,
                                     size_t max_groups) const override {
+    index_.index_mu_.AssertReaderHeld();
     return index_.AuthorPrefixUnlocked(folded_prefix, max_groups);
   }
   std::vector<EntryId> AuthorFuzzy(std::string_view folded_name,
                                    size_t max_edits) const override {
+    index_.index_mu_.AssertReaderHeld();
     return index_.AuthorFuzzyUnlocked(folded_name, max_edits);
   }
   std::string_view SortKey(EntryId id) const override {
+    index_.index_mu_.AssertReaderHeld();
     return index_.SortKeyUnlocked(id);
   }
 
@@ -327,7 +347,7 @@ Result<query::QueryResult> AuthorIndex::RunTraced(const query::Query& q,
   // Shared for the whole plan+execute pass: the executor's CatalogView
   // callbacks (and the index structures they walk) see one consistent
   // catalog while ingests are excluded.
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  ReaderMutexLock lock(index_mu_);
   RawView view(*this);
   return query::Execute(q, view, &hooks);
 }
@@ -337,35 +357,35 @@ obs::MetricsSnapshot AuthorIndex::GetMetricsSnapshot() const {
 }
 
 const Entry* AuthorIndex::GetEntry(EntryId id) const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  ReaderMutexLock lock(index_mu_);
   return GetEntryUnlocked(id);
 }
 
 size_t AuthorIndex::entry_count() const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  ReaderMutexLock lock(index_mu_);
   return entries_.size();
 }
 
 std::vector<EntryId> AuthorIndex::AuthorExact(
     std::string_view folded_group) const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  ReaderMutexLock lock(index_mu_);
   return AuthorExactUnlocked(folded_group);
 }
 
 std::vector<EntryId> AuthorIndex::AuthorPrefix(std::string_view folded_prefix,
                                                size_t max_groups) const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  ReaderMutexLock lock(index_mu_);
   return AuthorPrefixUnlocked(folded_prefix, max_groups);
 }
 
 std::vector<EntryId> AuthorIndex::AuthorFuzzy(std::string_view folded_name,
                                               size_t max_edits) const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  ReaderMutexLock lock(index_mu_);
   return AuthorFuzzyUnlocked(folded_name, max_edits);
 }
 
 std::string_view AuthorIndex::SortKey(EntryId id) const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  ReaderMutexLock lock(index_mu_);
   return SortKeyUnlocked(id);
 }
 
@@ -454,12 +474,12 @@ std::string_view AuthorIndex::SortKeyUnlocked(EntryId id) const {
 }
 
 size_t AuthorIndex::group_count() const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  ReaderMutexLock lock(index_mu_);
   return groups_.size();
 }
 
 std::vector<AuthorIndex::Group> AuthorIndex::GroupsInOrder() const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  ReaderMutexLock lock(index_mu_);
   // Walk the order B+-tree (collation order) and coalesce consecutive
   // entries of the same group.
   std::vector<Group> out;
@@ -480,6 +500,9 @@ std::vector<AuthorIndex::Group> AuthorIndex::GroupsInOrder() const {
   for (Group& group : out) {
     std::sort(group.entries.begin(), group.entries.end(),
               [&](EntryId a, EntryId b) {
+                // Lambda bodies are analyzed standalone; re-state the
+                // shared lock held by the enclosing scope.
+                index_mu_.AssertReaderHeld();
                 const Citation& ca = entries_[a].citation;
                 const Citation& cb = entries_[b].citation;
                 if (ca.volume != cb.volume) return ca.volume < cb.volume;
@@ -492,7 +515,7 @@ std::vector<AuthorIndex::Group> AuthorIndex::GroupsInOrder() const {
 
 std::vector<std::string> AuthorIndex::CoauthorsOf(
     std::string_view folded_group) const {
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  ReaderMutexLock lock(index_mu_);
   std::vector<std::string> out;
   auto it = group_by_folded_.find(std::string(folded_group));
   if (it == group_by_folded_.end()) {

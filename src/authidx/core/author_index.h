@@ -4,13 +4,14 @@
 #include <atomic>
 #include <deque>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "authidx/common/mutex.h"
 #include "authidx/common/result.h"
+#include "authidx/common/thread_annotations.h"
 #include "authidx/index/btree.h"
 #include "authidx/obs/log.h"
 #include "authidx/obs/metrics.h"
@@ -51,6 +52,11 @@ namespace authidx::core {
 /// reference into live index state — walking it concurrently with
 /// ingest requires external synchronization (queries go through the
 /// locked executor path and are safe).
+///
+/// The protocol is machine-checked: every index member is
+/// AUTHIDX_GUARDED_BY(index_mu_) and the internal helpers carry
+/// REQUIRES annotations, so Clang Thread Safety Analysis rejects any
+/// unlocked access at compile time (see docs/TOOLING.md).
 class AuthorIndex final : public query::CatalogView {
  public:
   /// In-memory catalog.
@@ -124,6 +130,11 @@ class AuthorIndex final : public query::CatalogView {
   // --- CatalogView ---
   const Entry* GetEntry(EntryId id) const override;
   size_t entry_count() const override;
+  // Analysis waiver: hands out a reference into guarded index state
+  // without holding index_mu_ past the return — the documented contract
+  // (class comment above) makes the caller responsible for external
+  // synchronization. Tracked in docs/ROBUSTNESS.md.
+  AUTHIDX_NO_THREAD_SAFETY_ANALYSIS
   const InvertedIndex& title_index() const override { return inverted_; }
   std::vector<EntryId> AuthorExact(
       std::string_view folded_group) const override;
@@ -182,7 +193,7 @@ class AuthorIndex final : public query::CatalogView {
   AuthorIndex();
 
   /// Index-maintenance shared by Add and recovery (no storage write).
-  EntryId IndexEntry(Entry entry);
+  EntryId IndexEntry(Entry entry) AUTHIDX_REQUIRES(index_mu_);
 
   /// SearchTraced body without the slow-query envelope.
   Result<query::QueryResult> SearchInternal(std::string_view query_text,
@@ -201,34 +212,45 @@ class AuthorIndex final : public query::CatalogView {
 
   // Lock-free bodies of the CatalogView callbacks; caller must hold
   // index_mu_ (shared suffices — they only read).
-  const Entry* GetEntryUnlocked(EntryId id) const;
-  std::vector<EntryId> AuthorExactUnlocked(
-      std::string_view folded_group) const;
+  const Entry* GetEntryUnlocked(EntryId id) const
+      AUTHIDX_REQUIRES_SHARED(index_mu_);
+  std::vector<EntryId> AuthorExactUnlocked(std::string_view folded_group)
+      const AUTHIDX_REQUIRES_SHARED(index_mu_);
   std::vector<EntryId> AuthorPrefixUnlocked(std::string_view folded_prefix,
-                                            size_t max_groups) const;
+                                            size_t max_groups) const
+      AUTHIDX_REQUIRES_SHARED(index_mu_);
   std::vector<EntryId> AuthorFuzzyUnlocked(std::string_view folded_name,
-                                           size_t max_edits) const;
-  std::string_view SortKeyUnlocked(EntryId id) const;
+                                           size_t max_edits) const
+      AUTHIDX_REQUIRES_SHARED(index_mu_);
+  std::string_view SortKeyUnlocked(EntryId id) const
+      AUTHIDX_REQUIRES_SHARED(index_mu_);
 
   /// Guards the in-memory indexes (entries_, groups_, trie, B+-tree,
   /// inverted index). Exclusive for ingest, shared for query execution.
   /// The storage engine synchronizes itself; its Put/Apply happen inside
   /// the exclusive section so entry ids and durable keys stay aligned.
-  mutable std::shared_mutex index_mu_;
+  mutable SharedMutex index_mu_;
 
   // Deques, not vectors: appends never move existing elements, so Entry
   // pointers and sort-key views handed out earlier survive later Adds.
-  std::deque<Entry> entries_;
-  std::deque<std::string> sort_keys_;  // Parallel to entries_.
+  std::deque<Entry> entries_ AUTHIDX_GUARDED_BY(index_mu_);
+  // Parallel to entries_.
+  std::deque<std::string> sort_keys_ AUTHIDX_GUARDED_BY(index_mu_);
 
-  std::vector<GroupRecord> groups_;
-  std::unordered_map<std::string, size_t> group_by_folded_;
-  std::unordered_map<std::string, std::vector<size_t>> groups_by_surname_;
-  std::unordered_map<std::string, std::vector<size_t>> groups_by_phonetic_;
+  std::vector<GroupRecord> groups_ AUTHIDX_GUARDED_BY(index_mu_);
+  std::unordered_map<std::string, size_t> group_by_folded_
+      AUTHIDX_GUARDED_BY(index_mu_);
+  std::unordered_map<std::string, std::vector<size_t>> groups_by_surname_
+      AUTHIDX_GUARDED_BY(index_mu_);
+  std::unordered_map<std::string, std::vector<size_t>> groups_by_phonetic_
+      AUTHIDX_GUARDED_BY(index_mu_);
 
-  BPlusTree author_order_;  // sortkey + id -> id (printed order).
-  Trie author_trie_;        // folded group key -> group index.
-  InvertedIndex inverted_;  // analyzed titles.
+  // sortkey + id -> id (printed order).
+  BPlusTree author_order_ AUTHIDX_GUARDED_BY(index_mu_);
+  // Folded group key -> group index.
+  Trie author_trie_ AUTHIDX_GUARDED_BY(index_mu_);
+  // Analyzed titles.
+  InvertedIndex inverted_ AUTHIDX_GUARDED_BY(index_mu_);
 
   // Declared before engine_: the engine records into this registry, so
   // it must be destroyed after the engine.

@@ -11,6 +11,8 @@
 #include <cstring>
 #include <string_view>
 
+#include "authidx/common/env.h"
+
 namespace authidx::obs {
 
 namespace {
@@ -78,12 +80,12 @@ Status HttpServer::Start(int port) {
     return Status::FailedPrecondition("http server already running");
   }
   if (::pipe(wake_pipe_) != 0) {
-    return Status::IOError("pipe: " + std::string(std::strerror(errno)));
+    return Status::IOError("pipe: " + ErrnoMessage(errno));
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     Status s =
-        Status::IOError("socket: " + std::string(std::strerror(errno)));
+        Status::IOError("socket: " + ErrnoMessage(errno));
     Stop();
     return s;
   }
@@ -98,13 +100,13 @@ Status HttpServer::Start(int port) {
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     Status s = Status::IOError("bind port " + std::to_string(port) + ": " +
-                               std::strerror(errno));
+                               ErrnoMessage(errno));
     Stop();
     return s;
   }
   if (::listen(listen_fd_, 16) != 0) {
     Status s =
-        Status::IOError("listen: " + std::string(std::strerror(errno)));
+        Status::IOError("listen: " + ErrnoMessage(errno));
     Stop();
     return s;
   }
@@ -112,7 +114,7 @@ Status HttpServer::Start(int port) {
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
                     &addr_len) != 0) {
     Status s =
-        Status::IOError("getsockname: " + std::string(std::strerror(errno)));
+        Status::IOError("getsockname: " + ErrnoMessage(errno));
     Stop();
     return s;
   }

@@ -214,7 +214,7 @@ RotatingFileSink::RotatingFileSink(Env* env, std::string path,
     : env_(env), path_(std::move(path)), options_(options) {}
 
 RotatingFileSink::~RotatingFileSink() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ != nullptr) {
     // Last-ditch flush; errors are already latched or unreportable.
     file_->Close().IgnoreError();
@@ -236,7 +236,7 @@ Result<std::unique_ptr<RotatingFileSink>> RotatingFileSink::Open(
   }
   auto sink = std::unique_ptr<RotatingFileSink>(
       new RotatingFileSink(env, std::move(path), options));
-  std::lock_guard<std::mutex> lock(sink->mu_);
+  MutexLock lock(sink->mu_);
   if (env->FileExists(sink->path_)) {
     AUTHIDX_RETURN_NOT_OK(sink->RotateLocked());
   } else {
@@ -277,7 +277,7 @@ Status RotatingFileSink::RotateLocked() {
 
 void RotatingFileSink::Write(LogLevel level, std::string_view line) {
   (void)level;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!first_error_.ok() || file_ == nullptr) {
     return;  // Latched failure: drop (cannot report from void Write).
   }
@@ -304,7 +304,7 @@ void RotatingFileSink::Write(LogLevel level, std::string_view line) {
 }
 
 Status RotatingFileSink::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AUTHIDX_RETURN_NOT_OK(first_error_);
   if (file_ == nullptr) {
     return Status::OK();
@@ -313,7 +313,7 @@ Status RotatingFileSink::Flush() {
 }
 
 Status RotatingFileSink::status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return first_error_;
 }
 
@@ -345,7 +345,7 @@ void Logger::Log(LogLevel level, std::string_view event,
   if (level == LogLevel::kError) {
     error_count_.fetch_add(1, std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (level == LogLevel::kError) {
     last_error_len_ = std::min(text.size(), sizeof(last_error_));
     std::memcpy(last_error_, text.data(), last_error_len_);
@@ -356,7 +356,7 @@ void Logger::Log(LogLevel level, std::string_view event,
 }
 
 Status Logger::FlushSinks() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Status first;
   for (LogSink* sink : sinks_) {
     Status s = sink->Flush();
@@ -368,7 +368,7 @@ Status Logger::FlushSinks() {
 }
 
 std::string Logger::last_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::string(last_error_, last_error_len_);
 }
 

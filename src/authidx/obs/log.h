@@ -5,15 +5,16 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
 #include <vector>
 
 #include "authidx/common/env.h"
+#include "authidx/common/mutex.h"
 #include "authidx/common/result.h"
 #include "authidx/common/status.h"
+#include "authidx/common/thread_annotations.h"
 
 namespace authidx::obs {
 
@@ -173,16 +174,16 @@ class RotatingFileSink final : public LogSink {
  private:
   RotatingFileSink(Env* env, std::string path, Options options);
 
-  Status RotateLocked();
-  Status OpenActiveLocked();
+  Status RotateLocked() AUTHIDX_REQUIRES(mu_);
+  Status OpenActiveLocked() AUTHIDX_REQUIRES(mu_);
 
   Env* const env_;
   const std::string path_;
   const Options options_;
-  mutable std::mutex mu_;
-  std::unique_ptr<WritableFile> file_;
-  uint64_t bytes_written_ = 0;
-  Status first_error_;
+  mutable Mutex mu_;
+  std::unique_ptr<WritableFile> file_ AUTHIDX_GUARDED_BY(mu_);
+  uint64_t bytes_written_ AUTHIDX_GUARDED_BY(mu_) = 0;
+  Status first_error_ AUTHIDX_GUARDED_BY(mu_);
 };
 
 /// Leveled structured logger. Log() formats `event` plus key=value
@@ -256,11 +257,15 @@ class Logger {
  private:
   std::atomic<int> min_level_;
   std::atomic<uint64_t> error_count_{0};
-  mutable std::mutex mu_;  // Serializes sink writes + last_error_.
+  mutable Mutex mu_;  // Serializes sink writes + last_error_.
+  // Deliberately unguarded: sinks are attached during single-threaded
+  // setup (documented on AddSink/AddBorrowedSink) and only read
+  // afterwards, so guarding them would force Enabled() — a hot-path
+  // pre-check — to take the lock.
   std::vector<std::unique_ptr<LogSink>> owned_sinks_;
   std::vector<LogSink*> sinks_;
-  char last_error_[kMaxLineBytes] = {};
-  size_t last_error_len_ = 0;
+  char last_error_[kMaxLineBytes] AUTHIDX_GUARDED_BY(mu_) = {};
+  size_t last_error_len_ AUTHIDX_GUARDED_BY(mu_) = 0;
 };
 
 /// Wall-clock time in milliseconds since the Unix epoch (CLOCK_REALTIME;

@@ -179,7 +179,7 @@ MetricsRegistry::Registered* MetricsRegistry::FindLocked(std::string_view name,
 
 Counter* MetricsRegistry::RegisterCounter(std::string_view name,
                                           std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Registered* existing = FindLocked(name, MetricType::kCounter)) {
     return existing->counter.get();
   }
@@ -195,7 +195,7 @@ Counter* MetricsRegistry::RegisterCounter(std::string_view name,
 
 Gauge* MetricsRegistry::RegisterGauge(std::string_view name,
                                       std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Registered* existing = FindLocked(name, MetricType::kGauge)) {
     return existing->gauge.get();
   }
@@ -211,7 +211,7 @@ Gauge* MetricsRegistry::RegisterGauge(std::string_view name,
 
 LatencyHistogram* MetricsRegistry::RegisterLatencyHistogram(
     std::string_view name, std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (Registered* existing = FindLocked(name, MetricType::kHistogram)) {
     return existing->histogram.get();
   }
@@ -226,7 +226,7 @@ LatencyHistogram* MetricsRegistry::RegisterLatencyHistogram(
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.metrics.reserve(metrics_.size());
   for (const auto& metric : metrics_) {

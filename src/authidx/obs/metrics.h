@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "authidx/common/mutex.h"
+#include "authidx/common/thread_annotations.h"
 
 namespace authidx::obs {
 
@@ -204,10 +206,11 @@ class MetricsRegistry {
     std::unique_ptr<LatencyHistogram> histogram;
   };
 
-  Registered* FindLocked(std::string_view name, MetricType type);
+  Registered* FindLocked(std::string_view name, MetricType type)
+      AUTHIDX_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Registered>> metrics_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Registered>> metrics_ AUTHIDX_GUARDED_BY(mu_);
 };
 
 }  // namespace authidx::obs

@@ -12,7 +12,7 @@ SlowQueryLog::SlowQueryLog(size_t capacity)
 }
 
 void SlowQueryLog::Record(SlowQueryEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++total_;
   if (size_ < capacity_) {
     ring_.push_back(std::move(entry));
@@ -24,7 +24,7 @@ void SlowQueryLog::Record(SlowQueryEntry entry) {
 }
 
 std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SlowQueryEntry> out;
   out.reserve(size_);
   for (size_t i = 0; i < size_; ++i) {
@@ -34,7 +34,7 @@ std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
 }
 
 uint64_t SlowQueryLog::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_;
 }
 

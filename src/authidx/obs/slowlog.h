@@ -2,10 +2,11 @@
 #define AUTHIDX_OBS_SLOWLOG_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "authidx/common/mutex.h"
+#include "authidx/common/thread_annotations.h"
 #include "authidx/obs/trace.h"
 
 namespace authidx::obs {
@@ -56,11 +57,12 @@ class SlowQueryLog {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<SlowQueryEntry> ring_;  // ring_[ (start_ + i) % capacity_ ]
-  size_t start_ = 0;
-  size_t size_ = 0;
-  uint64_t total_ = 0;
+  mutable Mutex mu_;
+  // ring_[ (start_ + i) % capacity_ ]
+  std::vector<SlowQueryEntry> ring_ AUTHIDX_GUARDED_BY(mu_);
+  size_t start_ AUTHIDX_GUARDED_BY(mu_) = 0;
+  size_t size_ AUTHIDX_GUARDED_BY(mu_) = 0;
+  uint64_t total_ AUTHIDX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace authidx::obs

@@ -39,7 +39,7 @@ std::shared_ptr<Block> BlockCache::Get(const BlockCacheKey& key) {
   Shard& shard = shards_[ShardIndex(key)];
   std::shared_ptr<Block> block;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       // Move to front.
@@ -69,7 +69,7 @@ void BlockCache::Insert(const BlockCacheKey& key,
   Shard& shard = shards_[ShardIndex(key)];
   size_t charge = block->size_bytes() + sizeof(BlockCacheKey) + sizeof(Entry);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       shard.size_bytes -= it->second->charge;
@@ -90,7 +90,7 @@ void BlockCache::Insert(const BlockCacheKey& key,
 
 void BlockCache::EraseFile(uint64_t file_number) {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (it->key.file_number == file_number) {
         shard.size_bytes -= it->charge;

@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "authidx/common/mutex.h"
+#include "authidx/common/thread_annotations.h"
 #include "authidx/obs/metrics.h"
 #include "authidx/storage/block.h"
 
@@ -101,15 +102,15 @@ class BlockCache {
   };
 
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // Front = most recent.
+    Mutex mu;
+    std::list<Entry> lru AUTHIDX_GUARDED_BY(mu);  // Front = most recent.
     std::unordered_map<BlockCacheKey, std::list<Entry>::iterator, KeyHasher>
-        entries;
-    size_t size_bytes = 0;
+        entries AUTHIDX_GUARDED_BY(mu);
+    size_t size_bytes AUTHIDX_GUARDED_BY(mu) = 0;
   };
 
-  // Evicts from `shard` (mu held) until it fits its capacity share.
-  void EvictShardIfNeeded(Shard& shard);
+  // Evicts from `shard` until it fits its capacity share.
+  void EvictShardIfNeeded(Shard& shard) AUTHIDX_REQUIRES(shard.mu);
   void SyncBytesGauge();
 
   size_t capacity_bytes_;

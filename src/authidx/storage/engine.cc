@@ -223,13 +223,12 @@ void StorageEngine::SetBackgroundErrorLocked(std::string_view op,
              {"paranoid", options_.paranoid_checks}});
   // Every stalled writer and flush/compaction waiter must re-evaluate:
   // the work they are waiting for will never complete now.
-  bg_cv_.notify_all();
-  bg_done_cv_.notify_all();
+  bg_cv_.NotifyAll();
+  bg_done_cv_.NotifyAll();
 }
 
 Status StorageEngine::RunRetriesLocked(const char* op,
                                        obs::Counter* retry_counter,
-                                       std::unique_lock<std::mutex>& lock,
                                        const std::function<Status()>& body) {
   RetryPolicy policy;
   policy.max_attempts = options_.background_retry_attempts;
@@ -251,9 +250,9 @@ Status StorageEngine::RunRetriesLocked(const char* op,
     if (delay_us > 0) {
       // Never sleep while holding the engine mutex: reads and the
       // background thread keep running through the backoff.
-      lock.unlock();
+      mu_.Unlock();
       std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
-      lock.lock();
+      mu_.Lock();
     }
   }
   if (!s.ok()) {
@@ -357,7 +356,7 @@ bool StorageEngine::HasBackgroundWorkLocked() const {
 StorageEngine::~StorageEngine() {
   bool need_close;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     need_close = !closed_;
   }
   if (need_close) {
@@ -372,9 +371,11 @@ void StorageEngine::StartBackgroundThread() {
 }
 
 void StorageEngine::BackgroundThreadMain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
-    bg_cv_.wait(lock, [&] { return shutdown_ || HasBackgroundWorkLocked(); });
+    while (!shutdown_ && !HasBackgroundWorkLocked()) {
+      bg_cv_.Wait(mu_);
+    }
     if (shutdown_) {
       if (manual_compaction_ != nullptr) {
         // Close() won the race; the waiter still gets a definite answer.
@@ -382,20 +383,23 @@ void StorageEngine::BackgroundThreadMain() {
             Status::FailedPrecondition("engine closed");
         manual_compaction_->done = true;
         manual_compaction_ = nullptr;
-        bg_done_cv_.notify_all();
+        bg_done_cv_.NotifyAll();
       }
       return;
     }
     if (imm_ != nullptr && bg_error_.ok()) {
-      RunRetriesLocked("flush", m_.flush_retries, lock, [&] {
-        return FlushImmLocked(lock);
+      RunRetriesLocked("flush", m_.flush_retries, [this] {
+        mu_.AssertHeld();
+        return FlushImmLocked();
       }).IgnoreError();
     } else if (manual_compaction_ != nullptr) {
       ManualCompaction* mc = manual_compaction_;
       Status s = bg_error_;
       if (s.ok()) {
-        s = RunRetriesLocked("compaction", m_.compaction_retries, lock,
-                             [&] { return CompactImplLocked(lock); });
+        s = RunRetriesLocked("compaction", m_.compaction_retries, [this] {
+          mu_.AssertHeld();
+          return CompactImplLocked();
+        });
       } else {
         s = s.WithContext("compaction skipped: engine degraded");
       }
@@ -404,12 +408,13 @@ void StorageEngine::BackgroundThreadMain() {
       manual_compaction_ = nullptr;
     } else if (bg_error_.ok() && options_.l0_compaction_trigger > 0 &&
                stats_.l0_files >= options_.l0_compaction_trigger) {
-      RunRetriesLocked("compaction", m_.compaction_retries, lock, [&] {
-        return CompactImplLocked(lock);
+      RunRetriesLocked("compaction", m_.compaction_retries, [this] {
+        mu_.AssertHeld();
+        return CompactImplLocked();
       }).IgnoreError();
     }
     UpdateQueueDepthLocked();
-    bg_done_cv_.notify_all();
+    bg_done_cv_.NotifyAll();
   }
 }
 
@@ -420,17 +425,18 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
   AUTHIDX_RETURN_NOT_OK(engine->env_->CreateDirIfMissing(engine->dir_));
   Result<Manifest> manifest = Manifest::Load(engine->env_, engine->dir_);
   const bool had_manifest = manifest.ok();
+  // Recovery is single-threaded (the background thread starts last and
+  // immediately blocks on mu_, which this scope holds until return), so
+  // holding the mutex across the WAL replay I/O costs nothing — and it
+  // keeps every touch of guarded state on a path the analysis proves.
+  MutexLock lock(engine->mu_);
   if (manifest.ok()) {
     engine->manifest_ = std::move(manifest).value();
   } else if (!manifest.status().IsNotFound()) {
     return manifest.status().WithContext("loading manifest");
   }
   AUTHIDX_RETURN_NOT_OK(engine->OpenTables());
-  // Recovery is single-threaded: the background thread starts last, so
-  // the locked helpers below run uncontended.
-  std::unique_lock<std::mutex> lock(engine->mu_);
   engine->RebuildVersionLocked();
-  lock.unlock();
   if (engine->manifest_.imm_wal_number != 0) {
     // A crash landed between a memtable handoff and its flush; the
     // sealed memtable's WAL replays first so live-WAL records win.
@@ -441,15 +447,19 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
     AUTHIDX_RETURN_NOT_OK(
         engine->ReplayWalIntoMemtable(engine->manifest_.wal_number));
   }
-  lock.lock();
   if (engine->mem_->entry_count() > 0) {
     // Recovered writes: persist them as a table so the old WALs can go.
     Status s = engine->RunRetriesLocked(
-        "flush", engine->m_.flush_retries, lock,
-        [&] { return engine->SealMemtableLocked(); });
+        "flush", engine->m_.flush_retries, [&engine] {
+          engine->mu_.AssertHeld();
+          return engine->SealMemtableLocked();
+        });
     if (s.ok()) {
-      s = engine->RunRetriesLocked("flush", engine->m_.flush_retries, lock,
-                                   [&] { return engine->FlushImmLocked(lock); });
+      s = engine->RunRetriesLocked(
+          "flush", engine->m_.flush_retries, [&engine] {
+            engine->mu_.AssertHeld();
+            return engine->FlushImmLocked();
+          });
     }
     AUTHIDX_RETURN_NOT_OK(s);
   } else {
@@ -464,7 +474,6 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
     engine->SweepUnreferencedFilesLocked();
     engine->RemoveObsoleteFilesLocked();
   }
-  lock.unlock();
   engine->log_->Log(
       obs::LogLevel::kInfo, "engine_open",
       {{"dir", engine->dir_},
@@ -635,8 +644,7 @@ Status StorageEngine::SealMemtableLocked() {
   return Status::OK();
 }
 
-Status StorageEngine::MakeRoomForWriteLocked(
-    std::unique_lock<std::mutex>& lock) {
+Status StorageEngine::MakeRoomForWriteLocked() {
   while (true) {
     if (closing_ || closed_) {
       return Status::FailedPrecondition("engine closed");
@@ -654,13 +662,15 @@ Status StorageEngine::MakeRoomForWriteLocked(
     if (imm_ == nullptr) {
       // Hand the full memtable to the background thread and switch to a
       // fresh one; the write then proceeds without waiting for I/O.
-      Status s = RunRetriesLocked("flush", m_.flush_retries, lock,
-                                  [this] { return SealMemtableLocked(); });
+      Status s = RunRetriesLocked("flush", m_.flush_retries, [this] {
+        mu_.AssertHeld();
+        return SealMemtableLocked();
+      });
       if (!s.ok()) {
         return s;
       }
       UpdateQueueDepthLocked();
-      bg_cv_.notify_one();
+      bg_cv_.NotifyOne();
       continue;
     }
     // Backpressure: the previous handoff has not flushed yet. Writers
@@ -672,9 +682,9 @@ Status StorageEngine::MakeRoomForWriteLocked(
                 static_cast<uint64_t>(mem_->ApproximateMemoryUsage())},
                {"l0_files", stats_.l0_files}});
     uint64_t start_ns = NowNs();
-    bg_done_cv_.wait(lock, [&] {
-      return imm_ == nullptr || !bg_error_.ok() || closing_ || shutdown_;
-    });
+    while (!(imm_ == nullptr || !bg_error_.ok() || closing_ || shutdown_)) {
+      bg_done_cv_.Wait(mu_);
+    }
     m_.write_stall_ns->Record(NowNs() - start_ns);
   }
 }
@@ -683,22 +693,24 @@ Status StorageEngine::QueueWrite(std::string record) {
   Writer w;
   w.kind = Writer::Kind::kWrite;
   w.record = std::move(record);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   writers_.push_back(&w);
-  w.cv.wait(lock, [&] { return w.done || writers_.front() == &w; });
+  while (!w.done && writers_.front() != &w) {
+    w.cv.Wait(mu_);
+  }
   if (w.done) {
     return w.status;  // A leader committed (or failed) this write.
   }
   // This writer is the leader for the group at the queue front.
   Status s = WritableStatusLocked();
   if (s.ok()) {
-    s = MakeRoomForWriteLocked(lock);
+    s = MakeRoomForWriteLocked();
   }
   if (!s.ok()) {
     // Fail only this write; the next writer re-evaluates for itself.
     writers_.pop_front();
     if (!writers_.empty()) {
-      writers_.front()->cv.notify_one();
+      writers_.front()->cv.NotifyOne();
     }
     return s;
   }
@@ -722,8 +734,9 @@ Status StorageEngine::QueueWrite(std::string record) {
   // The WAL and memtable are safe to touch without the mutex: only the
   // queue-front writer appends to the WAL, the memtable pointer cannot
   // be resealed while this writer holds the front, and MemTable is
-  // internally synchronized against concurrent readers.
-  lock.unlock();
+  // internally synchronized against concurrent readers. Relocked below
+  // (balanced pair under the scoped MutexLock).
+  mu_.Unlock();
 
   Status commit;
   const char* fail_op = "wal_append";
@@ -773,7 +786,7 @@ Status StorageEngine::QueueWrite(std::string record) {
     }
   }
 
-  lock.lock();
+  mu_.Lock();
   if (!commit.ok()) {
     log_->Log(obs::LogLevel::kError,
               std::string_view(fail_op) == "wal_sync" ? "wal_sync_failed"
@@ -797,16 +810,18 @@ Status StorageEngine::QueueWrite(std::string record) {
   if (commit.ok() && bg_error_.ok() && !closing_ && !closed_ &&
       imm_ == nullptr && mem_->entry_count() > 0 &&
       mem_->ApproximateMemoryUsage() >= options_.memtable_bytes) {
-    Status sealed = RunRetriesLocked("flush", m_.flush_retries, lock,
-                                     [this] { return SealMemtableLocked(); });
+    Status sealed = RunRetriesLocked("flush", m_.flush_retries, [this] {
+      mu_.AssertHeld();
+      return SealMemtableLocked();
+    });
     if (sealed.ok()) {
       sealed_here = true;
-      bg_cv_.notify_one();
+      bg_cv_.NotifyOne();
     }
   }
   if (bg_error_.ok() && options_.l0_compaction_trigger > 0 &&
       stats_.l0_files >= options_.l0_compaction_trigger) {
-    bg_cv_.notify_one();
+    bg_cv_.NotifyOne();
   }
   UpdateQueueDepthLocked();
   // Pop the whole group (it occupies the queue front in order) and wake
@@ -816,18 +831,18 @@ Status StorageEngine::QueueWrite(std::string record) {
     if (peer != &w) {
       peer->status = commit;
       peer->done = true;
-      peer->cv.notify_one();
+      peer->cv.NotifyOne();
     }
   }
   if (!writers_.empty()) {
-    writers_.front()->cv.notify_one();
+    writers_.front()->cv.NotifyOne();
   }
   if (sealed_here) {
     // The queue front has already moved on; this writer alone absorbs
     // the flush latency as backpressure.
-    bg_done_cv_.wait(lock, [&] {
-      return imm_ == nullptr || !bg_error_.ok() || shutdown_;
-    });
+    while (!(imm_ == nullptr || !bg_error_.ok() || shutdown_)) {
+      bg_done_cv_.Wait(mu_);
+    }
   }
   return commit;
 }
@@ -847,7 +862,7 @@ Status StorageEngine::Delete(std::string_view key) {
 
 Status StorageEngine::Apply(const WriteBatch& batch) {
   if (batch.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return WritableStatusLocked();
   }
   // One WAL record for the whole batch: atomic under recovery.
@@ -870,7 +885,7 @@ Result<std::optional<std::string>> StorageEngine::Get(
     // Pin a consistent snapshot; everything after runs without the lock,
     // so reads never serialize behind flushes, compactions, or each
     // other's I/O.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (options_.paranoid_checks && !bg_error_.ok()) {
       return bg_error_.WithContext("read rejected: paranoid engine degraded");
     }
@@ -942,7 +957,7 @@ std::unique_ptr<Iterator> StorageEngine::NewIterator() {
   std::shared_ptr<MemTable> mem, imm;
   std::shared_ptr<const Version> version;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (options_.paranoid_checks && !bg_error_.ok()) {
       return NewErrorIterator(
           bg_error_.WithContext("read rejected: paranoid engine degraded"));
@@ -1015,7 +1030,7 @@ Result<FileMeta> StorageEngine::WriteTableFromIterator(Iterator* it,
 // re-run starts from scratch. The table write runs without the mutex;
 // the imm_ slot cannot change meanwhile (a second seal is blocked on
 // imm_ != nullptr and compaction shares this thread).
-Status StorageEngine::FlushImmLocked(std::unique_lock<std::mutex>& lock) {
+Status StorageEngine::FlushImmLocked() {
   obs::TraceSpan timer(nullptr, m_.flush_ns, "flush");
   std::shared_ptr<MemTable> imm = imm_;
   uint64_t flushed_bytes = imm->ApproximateMemoryUsage();
@@ -1023,7 +1038,7 @@ Status StorageEngine::FlushImmLocked(std::unique_lock<std::mutex>& lock) {
   uint64_t file_number = manifest_.next_file_number++;
   std::string table_path = TableFileName(dir_, file_number);
 
-  lock.unlock();
+  mu_.Unlock();
   auto imm_iter = imm->NewIterator();
   // Keep tombstones: they must shadow older runs until compaction.
   Result<FileMeta> written =
@@ -1044,7 +1059,7 @@ Status StorageEngine::FlushImmLocked(std::unique_lock<std::mutex>& lock) {
       }
     }
   }
-  lock.lock();
+  mu_.Lock();
 
   if (!s.ok()) {
     ScheduleFileForRemovalLocked(std::move(table_path));
@@ -1097,7 +1112,7 @@ Status StorageEngine::FlushImmLocked(std::unique_lock<std::mutex>& lock) {
 // while the engine degrades. The merge runs without the mutex; the file
 // set cannot change meanwhile (flush shares this thread and seals only
 // touch WAL state).
-Status StorageEngine::CompactImplLocked(std::unique_lock<std::mutex>& lock) {
+Status StorageEngine::CompactImplLocked() {
   obs::TraceSpan timer(nullptr, m_.compaction_ns, "compaction");
   if (manifest_.files.empty()) {
     return Status::OK();
@@ -1129,7 +1144,7 @@ Status StorageEngine::CompactImplLocked(std::unique_lock<std::mutex>& lock) {
   uint64_t file_number = manifest_.next_file_number++;
   std::string table_path = TableFileName(dir_, file_number);
 
-  lock.unlock();
+  mu_.Unlock();
   std::vector<std::unique_ptr<Iterator>> children;
   children.reserve(inputs.size());
   for (const std::shared_ptr<TableReader>& input : inputs) {
@@ -1153,7 +1168,7 @@ Status StorageEngine::CompactImplLocked(std::unique_lock<std::mutex>& lock) {
       }
     }
   }
-  lock.lock();
+  mu_.Lock();
 
   if (!s.ok()) {
     ScheduleFileForRemovalLocked(std::move(table_path));
@@ -1221,19 +1236,21 @@ Status StorageEngine::CompactImplLocked(std::unique_lock<std::mutex>& lock) {
 Status StorageEngine::Flush() {
   Writer w;
   w.kind = Writer::Kind::kSeal;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   writers_.push_back(&w);
   // Sentinels are never group-committed by a leader; they always reach
   // the front and process themselves.
-  w.cv.wait(lock, [&] { return writers_.front() == &w; });
+  while (writers_.front() != &w) {
+    w.cv.Wait(mu_);
+  }
   Status s = WritableStatusLocked();
   bool sealed = false;
   if (s.ok() && imm_ != nullptr) {
     // A previous handoff is still flushing; it must land before the
     // memtable can seal again.
-    bg_done_cv_.wait(lock, [&] {
-      return imm_ == nullptr || !bg_error_.ok() || shutdown_;
-    });
+    while (!(imm_ == nullptr || !bg_error_.ok() || shutdown_)) {
+      bg_done_cv_.Wait(mu_);
+    }
     if (!bg_error_.ok()) {
       s = bg_error_;
     } else if (imm_ != nullptr) {
@@ -1241,24 +1258,26 @@ Status StorageEngine::Flush() {
     }
   }
   if (s.ok() && mem_->entry_count() > 0) {
-    s = RunRetriesLocked("flush", m_.flush_retries, lock,
-                         [this] { return SealMemtableLocked(); });
+    s = RunRetriesLocked("flush", m_.flush_retries, [this] {
+      mu_.AssertHeld();
+      return SealMemtableLocked();
+    });
     if (s.ok()) {
       sealed = true;
       UpdateQueueDepthLocked();
-      bg_cv_.notify_one();
+      bg_cv_.NotifyOne();
     }
   }
   // Hand the queue front to the next writer before waiting for the
   // background flush: later writes proceed while this one blocks.
   writers_.pop_front();
   if (!writers_.empty()) {
-    writers_.front()->cv.notify_one();
+    writers_.front()->cv.NotifyOne();
   }
   if (s.ok() && sealed) {
-    bg_done_cv_.wait(lock, [&] {
-      return imm_ == nullptr || !bg_error_.ok() || shutdown_;
-    });
+    while (!(imm_ == nullptr || !bg_error_.ok() || shutdown_)) {
+      bg_done_cv_.Wait(mu_);
+    }
     if (!bg_error_.ok()) {
       s = bg_error_;
     } else if (imm_ != nullptr) {
@@ -1270,22 +1289,24 @@ Status StorageEngine::Flush() {
 
 Status StorageEngine::Compact() {
   AUTHIDX_RETURN_NOT_OK(Flush());
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Serialize manual compactions; each waiter gets its own completion.
-  bg_done_cv_.wait(lock, [&] {
-    return manual_compaction_ == nullptr || shutdown_;
-  });
+  while (!(manual_compaction_ == nullptr || shutdown_)) {
+    bg_done_cv_.Wait(mu_);
+  }
   if (closing_ || closed_ || shutdown_) {
     return Status::FailedPrecondition("engine closed");
   }
   ManualCompaction mc;
   manual_compaction_ = &mc;
   UpdateQueueDepthLocked();
-  bg_cv_.notify_one();
+  bg_cv_.NotifyOne();
   // The background thread always completes a pending manual compaction —
   // degraded engines get the sticky error, shutdown gets a rejection —
   // so this wait cannot hang.
-  bg_done_cv_.wait(lock, [&] { return mc.done; });
+  while (!mc.done) {
+    bg_done_cv_.Wait(mu_);
+  }
   return mc.status;
 }
 
@@ -1293,7 +1314,7 @@ Result<IntegrityReport> StorageEngine::VerifyIntegrity() {
   IntegrityReport report;
   std::vector<FileMeta> files;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) {
       return Status::FailedPrecondition("engine closed");
     }
@@ -1382,7 +1403,7 @@ Result<IntegrityReport> StorageEngine::VerifyIntegrity() {
 
 Status StorageEngine::CreateCheckpoint(const std::string& checkpoint_dir) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     AUTHIDX_RETURN_NOT_OK(WritableStatusLocked());
   }
   if (env_->FileExists(ManifestFileName(checkpoint_dir))) {
@@ -1396,7 +1417,7 @@ Status StorageEngine::CreateCheckpoint(const std::string& checkpoint_dir) {
   // Copy under the mutex: commits (and the unlinks that follow them)
   // cannot interleave, so the manifest snapshot and the files it names
   // stay consistent for the duration of the copy.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Manifest snapshot = manifest_;
   snapshot.wal_number = 0;      // The copy starts with no WAL...
   snapshot.imm_wal_number = 0;  // ...and no handoff in flight.
@@ -1411,37 +1432,43 @@ Status StorageEngine::CreateCheckpoint(const std::string& checkpoint_dir) {
 }
 
 Status StorageEngine::Close() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) {
     return Status::OK();
   }
   Writer w;
   w.kind = Writer::Kind::kBarrier;
   writers_.push_back(&w);
-  w.cv.wait(lock, [&] { return writers_.front() == &w; });
+  while (writers_.front() != &w) {
+    w.cv.Wait(mu_);
+  }
   if (closing_ || closed_) {
     // Lost the race to a concurrent Close; wait for it to finish.
     writers_.pop_front();
     if (!writers_.empty()) {
-      writers_.front()->cv.notify_one();
+      writers_.front()->cv.NotifyOne();
     }
-    bg_done_cv_.wait(lock, [&] { return closed_; });
+    while (!closed_) {
+      bg_done_cv_.Wait(mu_);
+    }
     return Status::OK();
   }
   // From this moment every queued or future write is rejected.
   closing_ = true;
   writers_.pop_front();
   if (!writers_.empty()) {
-    writers_.front()->cv.notify_one();
+    writers_.front()->cv.NotifyOne();
   }
   shutdown_ = true;
-  bg_cv_.notify_all();
-  bg_done_cv_.notify_all();
-  lock.unlock();
+  bg_cv_.NotifyAll();
+  bg_done_cv_.NotifyAll();
+  // Joining with the mutex held would deadlock (the background thread
+  // needs it to observe shutdown_); relocked below in a balanced pair.
+  mu_.Unlock();
   if (bg_thread_.joinable()) {
     bg_thread_.join();
   }
-  lock.lock();
+  mu_.Lock();
   // Finalize inline: the background thread is gone, so any leftover
   // handoff and the live memtable flush here. A degraded engine skips
   // the flush (it would only re-fail) and reports the sticky error; the
@@ -1449,15 +1476,21 @@ Status StorageEngine::Close() {
   // their last push toward disk.
   Status s = bg_error_;
   if (s.ok() && imm_ != nullptr) {
-    s = RunRetriesLocked("flush", m_.flush_retries, lock,
-                         [&] { return FlushImmLocked(lock); });
+    s = RunRetriesLocked("flush", m_.flush_retries, [this] {
+      mu_.AssertHeld();
+      return FlushImmLocked();
+    });
   }
   if (s.ok() && mem_->entry_count() > 0) {
-    s = RunRetriesLocked("flush", m_.flush_retries, lock,
-                         [this] { return SealMemtableLocked(); });
+    s = RunRetriesLocked("flush", m_.flush_retries, [this] {
+      mu_.AssertHeld();
+      return SealMemtableLocked();
+    });
     if (s.ok()) {
-      s = RunRetriesLocked("flush", m_.flush_retries, lock,
-                           [&] { return FlushImmLocked(lock); });
+      s = RunRetriesLocked("flush", m_.flush_retries, [this] {
+        mu_.AssertHeld();
+        return FlushImmLocked();
+      });
     }
   }
   if (wal_ != nullptr) {
@@ -1468,7 +1501,7 @@ Status StorageEngine::Close() {
     }
   }
   closed_ = true;
-  bg_done_cv_.notify_all();
+  bg_done_cv_.NotifyAll();
   if (s.ok()) {
     log_->Log(obs::LogLevel::kInfo, "engine_close", {{"dir", dir_}});
   } else {
@@ -1479,12 +1512,12 @@ Status StorageEngine::Close() {
 }
 
 Status StorageEngine::background_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bg_error_;
 }
 
 EngineStats StorageEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   EngineStats copy = stats_;
   if (mem_ != nullptr) {
     copy.memtable_bytes = mem_->ApproximateMemoryUsage();

@@ -2,12 +2,10 @@
 #define AUTHIDX_STORAGE_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -15,6 +13,8 @@
 #include <vector>
 
 #include "authidx/common/env.h"
+#include "authidx/common/mutex.h"
+#include "authidx/common/thread_annotations.h"
 #include "authidx/common/random.h"
 #include "authidx/common/result.h"
 #include "authidx/common/retry.h"
@@ -157,7 +157,10 @@ struct EngineStats {
 /// and then run lock-free. A single background thread runs flush and
 /// compaction off the write path; writers that fill the memtable while
 /// the previous one is still flushing stall (counted + logged) until
-/// the flush lands.
+/// the flush lands. The entire protocol is machine-checked: every
+/// mu_-protected member is AUTHIDX_GUARDED_BY(mu_) and every *Locked
+/// helper carries AUTHIDX_REQUIRES(mu_), verified by Clang
+/// -Wthread-safety in the `thread-safety` preset.
 class StorageEngine {
  public:
   /// Opens (creating if needed) a store in directory `dir`.
@@ -169,51 +172,55 @@ class StorageEngine {
   StorageEngine(const StorageEngine&) = delete;
   StorageEngine& operator=(const StorageEngine&) = delete;
 
-  Status Put(std::string_view key, std::string_view value);
-  Status Delete(std::string_view key);
+  Status Put(std::string_view key, std::string_view value)
+      AUTHIDX_EXCLUDES(mu_);
+  Status Delete(std::string_view key) AUTHIDX_EXCLUDES(mu_);
 
   /// Applies a batch atomically (one WAL record; recovery replays all
   /// of it or none).
-  Status Apply(const WriteBatch& batch);
+  Status Apply(const WriteBatch& batch) AUTHIDX_EXCLUDES(mu_);
 
   /// Point lookup across memtable and all levels (newest wins), using
   /// the engine-default ReadOptions (`EngineOptions::verify_checksums`).
-  Result<std::optional<std::string>> Get(std::string_view key);
+  Result<std::optional<std::string>> Get(std::string_view key)
+      AUTHIDX_EXCLUDES(mu_);
 
   /// Point lookup with explicit per-read options.
   Result<std::optional<std::string>> Get(std::string_view key,
-                                         const ReadOptions& options);
+                                         const ReadOptions& options)
+      AUTHIDX_EXCLUDES(mu_);
 
   /// Ordered iterator over live (non-deleted) keys. The iterator pins
   /// the table files and memtables that existed at creation, so flushes
   /// and compactions never invalidate it; writes landing in the pinned
   /// memtable after creation may or may not be observed.
-  std::unique_ptr<Iterator> NewIterator();
+  std::unique_ptr<Iterator> NewIterator() AUTHIDX_EXCLUDES(mu_);
 
   /// Forces the memtable into a level-0 table (no-op when empty) and
   /// waits for the background flush to land.
-  Status Flush();
+  Status Flush() AUTHIDX_EXCLUDES(mu_);
 
   /// Merges all level-0 tables plus level 1 into a single level-1 run,
   /// dropping tombstones and shadowed versions. Runs on the background
   /// thread; this call waits for the result.
-  Status Compact();
+  Status Compact() AUTHIDX_EXCLUDES(mu_);
 
   /// Flushes and fsyncs everything, stops the background thread, and
   /// rejects all writes from the first moment of the call.
-  Status Close();
+  Status Close() AUTHIDX_EXCLUDES(mu_);
 
   /// Creates a consistent point-in-time copy of the store in
   /// `checkpoint_dir` (created; must not already contain a store). The
   /// checkpoint flushes first, then copies the manifest and table files;
   /// it can be opened later as an independent StorageEngine.
-  Status CreateCheckpoint(const std::string& checkpoint_dir);
+  Status CreateCheckpoint(const std::string& checkpoint_dir)
+      AUTHIDX_EXCLUDES(mu_);
 
   /// The sticky background error; OK while the engine is healthy. Set
   /// by the first failed WAL append/sync, flush, compaction, or
   /// manifest save (after retries for the transient subset) and never
   /// cleared except by reopening the store.
-  Status background_error() const;
+  Status background_error() const AUTHIDX_EXCLUDES(mu_);
 
   /// True once a background error is sticky: writes are rejected, reads
   /// serve the durable state (or also fail under `paranoid_checks`).
@@ -230,10 +237,10 @@ class StorageEngine {
   /// `authidx_corrupt_blocks_total` for each damaged block it hits.
   /// Safe to run while writing; a concurrent compaction may surface as
   /// a transient missing-file error for a superseded table.
-  Result<IntegrityReport> VerifyIntegrity();
+  Result<IntegrityReport> VerifyIntegrity() AUTHIDX_EXCLUDES(mu_);
 
   /// Consistent point-in-time snapshot of the counters.
-  EngineStats stats() const;
+  EngineStats stats() const AUTHIDX_EXCLUDES(mu_);
   const std::string& dir() const { return dir_; }
   const BlockCache& block_cache() const { return cache_; }
 
@@ -285,13 +292,21 @@ class StorageEngine {
   // One queued write (or control sentinel) in the LevelDB-style writer
   // queue. Stack-allocated by the issuing thread, which blocks on `cv`
   // until it reaches the queue front or a leader commits it.
+  //
+  // Deliberately unannotated: these fields are protected by the
+  // queue-front protocol, not by a single mutex the analysis could
+  // name. `kind`/`record` are written before the Writer enters
+  // `writers_` (single-owner), then read only by the queue-front
+  // leader; `done`/`status` are written by the leader and read by the
+  // owner, with every handoff made under mu_ (which `writers_` itself
+  // is guarded by), so the mutex still orders all cross-thread access.
   struct Writer {
     enum class Kind { kWrite, kSeal, kBarrier };
     Kind kind = Kind::kWrite;
     std::string record;  // Full WAL record (op byte + payload).
     bool done = false;
     Status status;
-    std::condition_variable cv;
+    CondVar cv;
   };
 
   // One open table file with its manifest metadata.
@@ -318,61 +333,68 @@ class StorageEngine {
 
   void RegisterInstruments();
   void StartBackgroundThread();
-  void BackgroundThreadMain();
-  bool HasBackgroundWorkLocked() const;
-  void UpdateQueueDepthLocked();
+  void BackgroundThreadMain() AUTHIDX_EXCLUDES(mu_);
+  bool HasBackgroundWorkLocked() const AUTHIDX_REQUIRES(mu_);
+  void UpdateQueueDepthLocked() AUTHIDX_REQUIRES(mu_);
 
-  Status ReplayWalIntoMemtable(uint64_t wal_number);
-  Status OpenTables();
+  Status ReplayWalIntoMemtable(uint64_t wal_number) AUTHIDX_REQUIRES(mu_);
+  Status OpenTables() AUTHIDX_REQUIRES(mu_);
+  // Touches only the passed memtable and out-params — no engine state —
+  // so it runs both under mu_ (recovery) and without it (the group
+  // leader applying committed records to a pinned memtable).
   Status ApplyRecordToMemtable(MemTable& mem, std::string_view record,
                                uint64_t* puts, uint64_t* deletes);
   // Enqueues one write, waits for commit (as leader or group member).
-  Status QueueWrite(std::string record);
+  Status QueueWrite(std::string record) AUTHIDX_EXCLUDES(mu_);
   // Leader-side: stalls/seals until the memtable can take the write.
-  Status MakeRoomForWriteLocked(std::unique_lock<std::mutex>& lock);
+  // Waits on bg_done_cv_ (releasing mu_) while stalled.
+  Status MakeRoomForWriteLocked() AUTHIDX_REQUIRES(mu_);
   Result<FileMeta> WriteTableFromIterator(Iterator* it, int level,
                                           bool drop_tombstones,
                                           uint64_t file_number);
   Result<std::shared_ptr<TableReader>> OpenTableReader(uint64_t file_number);
   // Rebuilds the published Version from manifest_ + readers_.
-  void RebuildVersionLocked();
+  void RebuildVersionLocked() AUTHIDX_REQUIRES(mu_);
 
   // --- failure handling (docs/ROBUSTNESS.md) ---
-  // Non-OK when writes must be rejected (closed or degraded). mu_ held.
-  Status WritableStatusLocked() const;
-  // Records the first background error; later calls are no-ops. mu_
-  // held; wakes every stalled writer and pending waiter.
-  void SetBackgroundErrorLocked(std::string_view op, const Status& status);
-  // Runs `body` (which may unlock/relock `lock` internally) under the
-  // transient-retry policy, releasing the mutex across backoff sleeps;
-  // on final failure the error becomes sticky. `retry_counter` counts
-  // each retry.
+  // Non-OK when writes must be rejected (closed or degraded).
+  Status WritableStatusLocked() const AUTHIDX_REQUIRES(mu_);
+  // Records the first background error; later calls are no-ops. Wakes
+  // every stalled writer and pending waiter.
+  void SetBackgroundErrorLocked(std::string_view op, const Status& status)
+      AUTHIDX_REQUIRES(mu_);
+  // Runs `body` (which may unlock/relock mu_ internally in balanced
+  // pairs) under the transient-retry policy, releasing the mutex across
+  // backoff sleeps; on final failure the error becomes sticky.
+  // `retry_counter` counts each retry. `body` is a std::function the
+  // analysis cannot see into: its body must start with
+  // mu_.AssertHeld().
   Status RunRetriesLocked(const char* op, obs::Counter* retry_counter,
-                          std::unique_lock<std::mutex>& lock,
-                          const std::function<Status()>& body);
+                          const std::function<Status()>& body)
+      AUTHIDX_REQUIRES(mu_);
   // Seals the memtable: stages a fresh WAL plus a manifest recording
   // the handoff (imm_wal_number = old WAL), commits only after the
   // manifest save. Caller must be the queue front (no WAL I/O races).
-  Status SealMemtableLocked();
+  Status SealMemtableLocked() AUTHIDX_REQUIRES(mu_);
   // Opens the very first WAL of a store whose recovery left nothing to
-  // flush. mu_ conceptually held (single-threaded open path).
-  Status SwitchToFreshWalLocked();
-  // Writes the sealed memtable to a level-0 table. Releases `lock`
-  // across the table write; commits (manifest save + state swap) with
-  // it held. Retry-safe: a failed attempt leaves state unchanged.
-  Status FlushImmLocked(std::unique_lock<std::mutex>& lock);
+  // flush. Single-threaded open path, mu_ held.
+  Status SwitchToFreshWalLocked() AUTHIDX_REQUIRES(mu_);
+  // Writes the sealed memtable to a level-0 table. Releases mu_ across
+  // the table write; commits (manifest save + state swap) with it held.
+  // Retry-safe: a failed attempt leaves state unchanged.
+  Status FlushImmLocked() AUTHIDX_REQUIRES(mu_);
   // Merges all runs into one level-1 table. Same locking discipline and
   // retry-safety as FlushImmLocked.
-  Status CompactImplLocked(std::unique_lock<std::mutex>& lock);
+  Status CompactImplLocked() AUTHIDX_REQUIRES(mu_);
   // Queues an obsolete file for removal and sweeps the queue.
   // Best-effort: a failed unlink is logged + counted, never fatal.
-  void ScheduleFileForRemovalLocked(std::string path);
-  void RemoveObsoleteFilesLocked();
+  void ScheduleFileForRemovalLocked(std::string path) AUTHIDX_REQUIRES(mu_);
+  void RemoveObsoleteFilesLocked() AUTHIDX_REQUIRES(mu_);
   // Queues every engine-named file (NNNNNN.tbl / NNNNNN.wal) the
   // manifest does not reference — orphans left by failed background
   // attempts or a crash before their unlink. Called at open, where the
   // in-memory removal queue of the previous process is lost.
-  void SweepUnreferencedFilesLocked();
+  void SweepUnreferencedFilesLocked() AUTHIDX_REQUIRES(mu_);
 
   std::string dir_;
   EngineOptions options_;
@@ -387,33 +409,40 @@ class StorageEngine {
   // hold it only long enough to pin {mem_, imm_, version_}; writers
   // release it during WAL I/O (queue-front discipline makes that safe);
   // background jobs release it during table writes.
-  mutable std::mutex mu_;
-  std::condition_variable bg_cv_;       // Wakes the background thread.
-  std::condition_variable bg_done_cv_;  // Flush/compaction landed; stalls.
-  std::deque<Writer*> writers_;
+  mutable Mutex mu_;
+  CondVar bg_cv_;       // Wakes the background thread.
+  CondVar bg_done_cv_;  // Flush/compaction landed; stalls.
+  std::deque<Writer*> writers_ AUTHIDX_GUARDED_BY(mu_);
 
-  Manifest manifest_;
-  std::shared_ptr<MemTable> mem_;
-  std::shared_ptr<MemTable> imm_;  // Sealed, being flushed; may be null.
-  std::unique_ptr<WalWriter> wal_;
+  Manifest manifest_ AUTHIDX_GUARDED_BY(mu_);
+  std::shared_ptr<MemTable> mem_ AUTHIDX_GUARDED_BY(mu_);
+  // Sealed, being flushed; may be null.
+  std::shared_ptr<MemTable> imm_ AUTHIDX_GUARDED_BY(mu_);
+  std::unique_ptr<WalWriter> wal_ AUTHIDX_GUARDED_BY(mu_);
   // Open readers keyed by file number (ownership registry).
-  std::vector<std::pair<uint64_t, std::shared_ptr<TableReader>>> readers_;
+  std::vector<std::pair<uint64_t, std::shared_ptr<TableReader>>> readers_
+      AUTHIDX_GUARDED_BY(mu_);
   // Published table-file snapshot; replaced wholesale on commit.
-  std::shared_ptr<const Version> version_;
-  EngineStats stats_;
-  bool closing_ = false;   // Close() barrier passed: no further writes.
-  bool closed_ = false;
-  bool shutdown_ = false;  // Background thread exit flag.
+  std::shared_ptr<const Version> version_ AUTHIDX_GUARDED_BY(mu_);
+  EngineStats stats_ AUTHIDX_GUARDED_BY(mu_);
+  // Close() barrier passed: no further writes.
+  bool closing_ AUTHIDX_GUARDED_BY(mu_) = false;
+  bool closed_ AUTHIDX_GUARDED_BY(mu_) = false;
+  // Background thread exit flag.
+  bool shutdown_ AUTHIDX_GUARDED_BY(mu_) = false;
   // Sticky background error; OK while healthy. See background_error().
-  Status bg_error_;
+  Status bg_error_ AUTHIDX_GUARDED_BY(mu_);
   std::atomic<bool> degraded_flag_{false};
-  ManualCompaction* manual_compaction_ = nullptr;
+  ManualCompaction* manual_compaction_ AUTHIDX_GUARDED_BY(mu_) = nullptr;
   // Jitter source for retry backoff (deterministic seed: backoff
   // spreading needs no entropy, and reproducible tests matter more).
-  Random retry_rng_{0x9E3779B97F4A7C15ULL};
+  Random retry_rng_ AUTHIDX_GUARDED_BY(mu_){0x9E3779B97F4A7C15ULL};
   // Obsolete files whose removal failed; retried after the next
   // successful flush/compaction.
-  std::vector<std::string> pending_removals_;
+  std::vector<std::string> pending_removals_ AUTHIDX_GUARDED_BY(mu_);
+  // Unannotated by design: written once by Open() before the engine is
+  // shared, joined by the single Close() winner (the closing_ barrier
+  // elects it under mu_). Never touched concurrently.
   std::thread bg_thread_;
 };
 

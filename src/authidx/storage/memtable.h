@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 
 #include "authidx/common/arena.h"
+#include "authidx/common/mutex.h"
 #include "authidx/common/random.h"
+#include "authidx/common/thread_annotations.h"
 #include "authidx/storage/iterator.h"
 
 namespace authidx::storage {
@@ -18,11 +19,14 @@ namespace authidx::storage {
 /// place (the superseded copy stays in the arena until the memtable is
 /// dropped, the usual arena trade-off).
 ///
-/// Thread-safe via an internal shared_mutex: Put/Delete take it
+/// Thread-safe via an internal SharedMutex: Put/Delete take it
 /// exclusively, Get/iterators/size accessors take it shared, so any
-/// number of readers proceed in parallel with each other. Arena memory
-/// is never freed while the memtable lives, so string_views handed out
-/// to readers stay valid even if the entry is overwritten afterwards.
+/// number of readers proceed in parallel with each other. The protocol
+/// is machine-checked: every skiplist field is AUTHIDX_GUARDED_BY(mu_)
+/// and the traversal/mutation helpers carry REQUIRES annotations. Arena
+/// memory is never freed while the memtable lives, so string_views
+/// handed out to readers stay valid even if the entry is overwritten
+/// afterwards.
 class MemTable {
  public:
   MemTable();
@@ -43,11 +47,11 @@ class MemTable {
   GetResult Get(std::string_view key, std::string* value) const;
 
   size_t entry_count() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     return count_;
   }
   size_t ApproximateMemoryUsage() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     return arena_.MemoryUsage();
   }
 
@@ -69,18 +73,20 @@ class MemTable {
   static constexpr int kMaxHeight = 12;
 
   Node* NewNode(std::string_view key, std::string_view tagged_value,
-                int height);
-  int RandomHeight();
+                int height) AUTHIDX_REQUIRES(mu_);
+  int RandomHeight() AUTHIDX_REQUIRES(mu_);
   /// Returns first node with key >= `key`, filling prev[] when not null.
-  Node* FindGreaterOrEqual(std::string_view key, Node** prev) const;
-  void Upsert(std::string_view key, std::string_view tagged_value);
+  Node* FindGreaterOrEqual(std::string_view key, Node** prev) const
+      AUTHIDX_REQUIRES_SHARED(mu_);
+  void Upsert(std::string_view key, std::string_view tagged_value)
+      AUTHIDX_REQUIRES(mu_);
 
-  mutable std::shared_mutex mu_;
-  Arena arena_;
-  Random rng_;
-  Node* head_;
-  int height_ = 1;
-  size_t count_ = 0;
+  mutable SharedMutex mu_;
+  Arena arena_ AUTHIDX_GUARDED_BY(mu_);
+  Random rng_ AUTHIDX_GUARDED_BY(mu_);
+  Node* head_ AUTHIDX_GUARDED_BY(mu_);
+  int height_ AUTHIDX_GUARDED_BY(mu_) = 1;
+  size_t count_ AUTHIDX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace authidx::storage

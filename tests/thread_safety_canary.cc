@@ -1,0 +1,33 @@
+// Negative-compile canary for Clang Thread Safety Analysis.
+//
+// This file is NOT part of any test binary. The root CMakeLists.txt
+// try_compiles it twice when AUTHIDX_THREAD_SAFETY is ON:
+//   1. without analysis flags — must SUCCEED (the file is valid C++);
+//   2. with -Wthread-safety -Werror=thread-safety-* — must FAIL.
+// If (2) ever succeeds, the analysis has been silently disarmed (wrong
+// compiler, macro stubs active, flags dropped) and configuration aborts.
+// Keep exactly one violation below so the failure mode stays precise.
+
+#include "authidx/common/mutex.h"
+#include "authidx/common/thread_annotations.h"
+
+namespace {
+
+class Canary {
+ public:
+  // VIOLATION: writes a guarded field without holding mu_. The analysis
+  // must reject this with -Wthread-safety-analysis.
+  void UnlockedWrite() { value_ = 1; }
+
+ private:
+  authidx::Mutex mu_;
+  int value_ AUTHIDX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Canary canary;
+  canary.UnlockedWrite();
+  return 0;
+}

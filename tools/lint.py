@@ -24,6 +24,15 @@ Enforces the rules clang-tidy cannot express:
      members and enumerators are exempt (nothing to document).
   7. Markdown link integrity: every intra-repo link target in tracked
      .md files must exist (broken pointers rot fastest in docs).
+  8. Lock-protocol hygiene: raw std::mutex / std::shared_mutex /
+     std::condition_variable are banned in src/ outside
+     common/mutex.h — library code must use the annotated Mutex /
+     SharedMutex / CondVar wrappers so Clang Thread Safety Analysis
+     (the thread-safety preset) can check the lock protocol. Every
+     Mutex/SharedMutex member declared in a src/ header must have at
+     least one AUTHIDX_GUARDED_BY sibling referencing it, or carry a
+     waiver comment containing "unguarded" on the lines above it
+     explaining why nothing is guarded (e.g. it only serializes calls).
 
 Exit status: 0 when clean, 1 when any invariant is violated.
 Run from the repo root (or pass --root): python3 tools/lint.py
@@ -213,6 +222,49 @@ def check_obs_doc_comments(root: Path, errors: list) -> None:
             prev_doc = False
 
 
+LOCK_WRAPPER_HEADER = "src/authidx/common/mutex.h"
+RAW_LOCK_PATTERN = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b")
+LOCK_MEMBER_PATTERN = re.compile(
+    r"^\s*(?:mutable\s+)?(?:Mutex|SharedMutex)\s+(\w+)\s*;")
+
+
+def check_lock_protocol(root: Path, errors: list) -> None:
+    """Annotated wrappers only; every lock member guards something."""
+    for path in iter_source_files(root, "src/authidx"):
+        rel = path.relative_to(root)
+        if str(rel) == LOCK_WRAPPER_HEADER:
+            continue  # The one place allowed to touch the std types.
+        text = path.read_text()
+        lines = text.splitlines()
+        for lineno, line in enumerate(lines, 1):
+            stripped = line.split("//", 1)[0]
+            m = RAW_LOCK_PATTERN.search(stripped)
+            if m:
+                errors.append(
+                    f"{rel}:{lineno}: raw std::{m.group(1)} in library "
+                    "code — use the annotated wrappers in common/mutex.h "
+                    "so the thread-safety analysis sees the lock (rule 8)")
+        if path.suffix != ".h":
+            continue
+        for lineno, line in enumerate(lines, 1):
+            m = LOCK_MEMBER_PATTERN.match(line.split("//", 1)[0])
+            if not m:
+                continue
+            name = m.group(1)
+            if f"AUTHIDX_GUARDED_BY({name})" in text:
+                continue
+            context = "\n".join(lines[max(0, lineno - 7):lineno])
+            if "unguarded" in context.lower():
+                continue  # Waiver comment explains why nothing is guarded.
+            errors.append(
+                f"{rel}:{lineno}: lock member '{name}' has no "
+                f"AUTHIDX_GUARDED_BY({name}) sibling and no 'unguarded' "
+                "waiver comment above it (rule 8)")
+
+
 MD_SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
 
 
@@ -252,6 +304,7 @@ CHECKS = (
     check_no_cout,
     check_obs_doc_comments,
     check_markdown_links,
+    check_lock_protocol,
 )
 
 DOCS_CHECKS = (
