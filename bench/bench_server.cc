@@ -1,0 +1,184 @@
+// B13: network serving — closed-loop client load against an in-process
+// authidx_server over real loopback sockets. Reports client-observed
+// p50/p99 round-trip latency at 1/4/8 concurrent connections, the
+// pipelining win at depth 8, and an overload phase that drives the
+// worker queue past its bound to demonstrate load shedding (the
+// "shed_total" counter must end > 0; see docs/SERVER.md).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "authidx/core/author_index.h"
+#include "authidx/net/client.h"
+#include "authidx/net/server.h"
+#include "authidx/workload/corpus.h"
+
+namespace authidx::net {
+namespace {
+
+// In-memory catalog + running server, shared by every benchmark thread
+// and leaked so teardown never lands in a timed region.
+struct ServerFixture {
+  std::unique_ptr<core::AuthorIndex> catalog;
+  std::unique_ptr<Server> server;
+
+  explicit ServerFixture(ServerOptions options) {
+    workload::CorpusOptions corpus;
+    corpus.entries = 20000;
+    corpus.authors = 2000;
+    catalog = core::AuthorIndex::Create();
+    AUTHIDX_CHECK_OK(catalog->AddAll(workload::GenerateCorpus(corpus)));
+    options.metrics = catalog->mutable_metrics();
+    server = std::make_unique<Server>(catalog.get(), options);
+    AUTHIDX_CHECK_OK(server->Start());
+  }
+};
+
+ServerFixture& QueryServer() {
+  static ServerFixture* fixture = new ServerFixture(ServerOptions{});
+  return *fixture;
+}
+
+Client MakeClient(int port, int max_attempts) {
+  ClientOptions options;
+  options.port = port;
+  options.retry.max_attempts = max_attempts;
+  return Client(options);
+}
+
+double PercentileUs(std::vector<uint64_t>* ns, double p) {
+  if (ns->empty()) {
+    return 0;
+  }
+  std::sort(ns->begin(), ns->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(ns->size() - 1));
+  return static_cast<double>((*ns)[idx]) / 1000.0;
+}
+
+// Closed loop: each benchmark thread is one connection issuing
+// synchronous queries back-to-back; latency is the full client-observed
+// round trip (serialize, loopback, queue, execute, respond, parse).
+void BM_ServerQueryClosedLoop(benchmark::State& state) {
+  ServerFixture& f = QueryServer();
+  Client client = MakeClient(f.server->port(), 3);
+  std::vector<uint64_t> latencies_ns;
+  for (auto _ : state) {
+    uint64_t start = obs::MonotonicNowNs();
+    auto result = client.Query("author:mc* limit:10");
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->hits.data());
+    latencies_ns.push_back(obs::MonotonicNowNs() - start);
+  }
+  state.counters["p50_us"] = benchmark::Counter(
+      PercentileUs(&latencies_ns, 0.50), benchmark::Counter::kAvgThreads);
+  state.counters["p99_us"] = benchmark::Counter(
+      PercentileUs(&latencies_ns, 0.99), benchmark::Counter::kAvgThreads);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerQueryClosedLoop)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// Pipelining: 8 requests on the wire before the first response is
+// collected; compare per-item time against the closed loop above to see
+// the per-round-trip overhead amortize away.
+void BM_ServerQueryPipelined(benchmark::State& state) {
+  ServerFixture& f = QueryServer();
+  constexpr size_t kDepth = 8;
+  Client client = MakeClient(f.server->port(), 1);
+  if (Status s = client.Connect(); !s.ok()) {
+    state.SkipWithError(s.ToString().c_str());
+    return;
+  }
+  std::string payload;
+  EncodeQueryRequest("author:mc* limit:10", &payload);
+  for (auto _ : state) {
+    for (size_t i = 0; i < kDepth; ++i) {
+      uint64_t id = 0;
+      if (Status s = client.SendRequest(Opcode::kQuery, payload, &id);
+          !s.ok()) {
+        state.SkipWithError(s.ToString().c_str());
+        return;
+      }
+    }
+    for (size_t i = 0; i < kDepth; ++i) {
+      uint64_t id = 0;
+      ResponsePayload response;
+      if (Status s = client.ReceiveResponse(&id, &response); !s.ok()) {
+        state.SkipWithError(s.ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(response.body.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kDepth));
+}
+BENCHMARK(BM_ServerQueryPipelined)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+ServerFixture& OverloadServer() {
+  static ServerFixture* fixture = [] {
+    ServerOptions options;
+    // One deliberately slow worker and a tiny queue: 8 closed-loop
+    // clients must overflow admission control.
+    options.num_workers = 1;
+    options.queue_limit = 2;
+    options.max_pipeline = 2;
+    options.handler_delay_ms_for_test = 1;
+    return new ServerFixture(options);
+  }();
+  return *fixture;
+}
+
+// Overload phase: more concurrent clients than the one slow worker can
+// serve. Shed requests come back RETRYABLE_BUSY in microseconds (the
+// point of shedding: reject fast, stay healthy); "shed_total" reports
+// the server-side counter and must be > 0 for the run to be meaningful.
+void BM_ServerOverloadShedding(benchmark::State& state) {
+  ServerFixture& f = OverloadServer();
+  Client client = MakeClient(f.server->port(), 1);
+  uint64_t ok = 0;
+  uint64_t busy = 0;
+  for (auto _ : state) {
+    Status s = client.Ping();
+    if (s.ok()) {
+      ++ok;
+    } else if (s.IsResourceExhausted()) {
+      ++busy;  // RETRYABLE_BUSY surfaced through StatusFromWire.
+    } else {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.counters["ok"] =
+      benchmark::Counter(static_cast<double>(ok), benchmark::Counter::kAvgThreads);
+  state.counters["busy"] =
+      benchmark::Counter(static_cast<double>(busy), benchmark::Counter::kAvgThreads);
+  if (state.thread_index() == 0) {
+    const obs::MetricValue* shed =
+        f.server->metrics().Snapshot().Find("authidx_shed_requests_total");
+    state.counters["shed_total"] = static_cast<double>(
+        shed != nullptr ? shed->counter : 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerOverloadShedding)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace authidx::net

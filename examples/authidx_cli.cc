@@ -9,6 +9,10 @@
 //   authidx_cli compact --db DIR                     storage maintenance
 //   authidx_cli serve   --db DIR --port N            HTTP observability
 //   authidx_cli slowlog --db DIR 'QUERY'...          slow-query capture
+//   authidx_cli remote  --port N <op> [args]         talk to authidx_server
+//
+// `remote` needs no --db: it speaks the binary wire protocol
+// (docs/PROTOCOL.md) to a running authidx_server.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
 
@@ -31,6 +35,7 @@
 #include "authidx/format/subject_index.h"
 #include "authidx/format/title_index.h"
 #include "authidx/format/typeset.h"
+#include "authidx/net/client.h"
 #include "authidx/obs/http_server.h"
 #include "authidx/obs/log.h"
 #include "authidx/obs/slowlog.h"
@@ -62,6 +67,10 @@ int Usage() {
       "                             HTTP /metrics /healthz /varz /slowlog\n"
       "  slowlog --db DIR [--slow-ms N] 'QUERY'...\n"
       "                             run queries, print captured slow log\n"
+      "  remote  [--host H] --port N ping|stats|flush\n"
+      "  remote  [--host H] --port N query 'QUERY'\n"
+      "  remote  [--host H] --port N add FILE.tsv\n"
+      "                             talk to a running authidx_server\n"
       "common flags: --log-level debug|info|warn|error, --log-file PATH\n");
   return 1;
 }
@@ -74,12 +83,14 @@ int Fail(const Status& status) {
 struct Args {
   std::string command;
   std::string db;
+  std::string host = "127.0.0.1";
   std::string format = "csv";
   bool kwic = false;
   bool titles = false;
   bool subjects = false;
   bool metrics = false;
   int port = 8080;
+  bool port_set = false;
   int64_t slow_ms = -1;  // -1 = not set.
   std::string log_level;
   std::string log_file;
@@ -95,6 +106,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::string arg = argv[i];
     if (arg == "--db" && i + 1 < argc) {
       args->db = argv[++i];
+    } else if (arg == "--host" && i + 1 < argc) {
+      args->host = argv[++i];
     } else if (arg == "--format" && i + 1 < argc) {
       args->format = argv[++i];
     } else if (arg == "--kwic") {
@@ -112,6 +125,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       args->port = static_cast<int>(*port);
+      args->port_set = true;
     } else if (arg == "--slow-ms" && i + 1 < argc) {
       Result<int64_t> ms = ParseInt64(argv[++i]);
       if (!ms.ok() || *ms < 0) {
@@ -130,7 +144,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->positional.push_back(std::move(arg));
     }
   }
-  return !args->db.empty();
+  // `remote` talks to a server instead of opening a catalog.
+  return !args->db.empty() || args->command == "remote";
 }
 
 int RunIngest(core::AuthorIndex* catalog, const Args& args) {
@@ -284,6 +299,94 @@ int RunSlowlog(core::AuthorIndex* catalog, const Args& args) {
   return 0;
 }
 
+int RunRemote(obs::Logger* logger, const Args& args) {
+  // The RPC port has no safe default (8080 is the HTTP observability
+  // convention), so remote requires an explicit --port.
+  if (args.positional.empty() || !args.port_set) {
+    return Usage();
+  }
+  net::ClientOptions options;
+  options.host = args.host;
+  options.port = args.port;
+  options.logger = logger;
+  net::Client client(options);
+  const std::string& op = args.positional[0];
+  if (op == "ping") {
+    if (Status s = client.Ping(); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("pong from %s:%d\n", args.host.c_str(), args.port);
+    return 0;
+  }
+  if (op == "query") {
+    if (args.positional.size() != 2) {
+      return Usage();
+    }
+    Result<net::WireQueryResult> result = client.Query(args.positional[1]);
+    if (!result.ok()) {
+      return Fail(result.status());
+    }
+    std::printf("%llu match(es)\n",
+                static_cast<unsigned long long>(result->total_matches));
+    for (const net::WireHit& hit : result->hits) {
+      std::printf("%-30s  %-50.50s  %s\n", hit.author.c_str(),
+                  hit.title.c_str(), hit.citation.c_str());
+    }
+    return 0;
+  }
+  if (op == "add") {
+    if (args.positional.size() != 2) {
+      return Usage();
+    }
+    Result<std::string> contents =
+        Env::Default()->ReadFileToString(args.positional[1]);
+    if (!contents.ok()) {
+      return Fail(contents.status());
+    }
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start <= contents->size()) {
+      size_t end = contents->find('\n', start);
+      if (end == std::string::npos) {
+        end = contents->size();
+      }
+      std::string line = contents->substr(start, end - start);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (!line.empty() && line[0] != '#') {
+        lines.push_back(std::move(line));
+      }
+      start = end + 1;
+    }
+    Result<uint64_t> added = client.Add(lines);
+    if (!added.ok()) {
+      return Fail(added.status());
+    }
+    std::printf("added %llu entries\n",
+                static_cast<unsigned long long>(*added));
+    return 0;
+  }
+  if (op == "stats") {
+    Result<net::WireStats> stats = client.Stats();
+    if (!stats.ok()) {
+      return Fail(stats.status());
+    }
+    std::printf("entries: %llu\nauthors: %llu\n",
+                static_cast<unsigned long long>(stats->entry_count),
+                static_cast<unsigned long long>(stats->group_count));
+    return 0;
+  }
+  if (op == "flush") {
+    if (Status s = client.Flush(); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("flushed\n");
+    return 0;
+  }
+  return Usage();
+}
+
 int RunTrace(core::AuthorIndex* catalog, const Args& args) {
   if (args.positional.size() != 1) {
     return Usage();
@@ -328,6 +431,10 @@ int main(int argc, char** argv) {
       return Fail(sink.status());
     }
     logger.AddSink(std::move(sink).value());
+  }
+
+  if (args.command == "remote") {
+    return RunRemote(&logger, args);
   }
 
   storage::EngineOptions options;

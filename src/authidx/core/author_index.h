@@ -103,6 +103,13 @@ class AuthorIndex final : public query::CatalogView {
   /// The registry behind GetMetricsSnapshot(); outlives the engine.
   const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
+  /// Non-const registry access so embedders (the network server, the
+  /// CLI's HTTP endpoint) can register their own instruments alongside
+  /// the engine's, keeping one /metrics page per process. The registry
+  /// synchronizes itself; returned instruments are valid for the
+  /// catalog's lifetime.
+  obs::MetricsRegistry* mutable_metrics() { return metrics_.get(); }
+
   /// Arms the slow-query log: any Search/SearchTraced/Run slower than
   /// `threshold_ns` is captured into the ring buffer with its query
   /// text, chosen plan, and full span tree (a trace is created

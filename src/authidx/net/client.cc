@@ -1,0 +1,239 @@
+#include "authidx/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "authidx/common/coding.h"
+#include "authidx/common/env.h"
+
+namespace authidx::net {
+
+namespace {
+
+bool WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)),
+      rng_(0x9e3779b97f4a7c15ull ^
+           static_cast<uint64_t>(options_.port)) {
+  log_ = options_.logger != nullptr ? options_.logger
+                                    : obs::Logger::Disabled();
+}
+
+Client::~Client() { Close(); }
+
+Status Client::Connect() {
+  if (fd_ >= 0) {
+    return Status::OK();
+  }
+  std::string host = options_.host == "localhost" ? "127.0.0.1"
+                                                  : options_.host;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable host: " + options_.host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket: " + ErrnoMessage(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::IOError("connect " + host + ":" +
+                                    std::to_string(options_.port) + ": " +
+                                    ErrnoMessage(errno));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval timeout;
+  timeout.tv_sec = options_.io_timeout_ms / 1000;
+  timeout.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  fd_ = fd;
+  read_buffer_.clear();
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  read_buffer_.clear();
+}
+
+Status Client::SendRequest(Opcode opcode, std::string_view payload,
+                           uint64_t* request_id) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  *request_id = next_request_id_++;
+  FrameHeader header;
+  header.opcode = opcode;
+  header.request_id = *request_id;
+  std::string frame;
+  EncodeFrame(header, payload, &frame);
+  if (!WriteAll(fd_, frame)) {
+    Close();
+    return Status::IOError("send: " + ErrnoMessage(errno));
+  }
+  return Status::OK();
+}
+
+Status Client::ReceiveResponse(uint64_t* request_id,
+                               ResponsePayload* response) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  while (true) {
+    DecodedFrame frame;
+    Status error;
+    DecodeOutcome outcome = DecodeFrame(
+        read_buffer_, options_.max_frame_bytes, &frame, &error);
+    if (outcome == DecodeOutcome::kError) {
+      Close();
+      return Status::Corruption("bad response frame: " + error.message());
+    }
+    if (outcome == DecodeOutcome::kFrame) {
+      if (frame.header.opcode != Opcode::kResponse) {
+        Close();
+        return Status::Corruption("server sent a non-RESPONSE frame");
+      }
+      *request_id = frame.header.request_id;
+      Status status = DecodeResponsePayload(frame.payload, response);
+      read_buffer_.erase(0, frame.frame_bytes);
+      if (!status.ok()) {
+        Close();
+      }
+      return status;
+    }
+    char buf[65536];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Close();
+      return Status::IOError("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      Close();
+      // EAGAIN/EWOULDBLOCK here means SO_RCVTIMEO expired.
+      return Status::IOError("recv: " + ErrnoMessage(errno));
+    }
+    read_buffer_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Status Client::CallOnce(Opcode opcode, std::string_view payload,
+                        ResponsePayload* response) {
+  AUTHIDX_RETURN_NOT_OK(Connect());
+  uint64_t sent_id = 0;
+  AUTHIDX_RETURN_NOT_OK(SendRequest(opcode, payload, &sent_id));
+  uint64_t got_id = 0;
+  AUTHIDX_RETURN_NOT_OK(ReceiveResponse(&got_id, response));
+  if (got_id != sent_id) {
+    // The synchronous path never pipelines, so any mismatch means the
+    // stream is out of step with a previous, abandoned call.
+    Close();
+    return Status::IOError("response id " + std::to_string(got_id) +
+                           " does not match request " +
+                           std::to_string(sent_id));
+  }
+  if (response->status != WireStatus::kOk) {
+    Status status = StatusFromWire(response->status,
+                                   std::move(response->message));
+    if (response->status == WireStatus::kBadFrame) {
+      // The server is about to close the stream; beat it to the punch
+      // so the next attempt starts on a fresh connection.
+      Close();
+    }
+    return status;
+  }
+  return Status::OK();
+}
+
+Status Client::Call(Opcode opcode, std::string_view payload,
+                    ResponsePayload* response) {
+  return RetryWithBackoff(
+      options_.retry, &rng_,
+      [&] { return CallOnce(opcode, payload, response); },
+      [this, opcode](int attempt, const Status& failure,
+                     uint64_t delay_us) {
+        log_->Log(obs::LogLevel::kWarn, "client_retry",
+                  {{"opcode", OpcodeName(opcode)},
+                   {"attempt", static_cast<uint64_t>(attempt)},
+                   {"error", failure.message()},
+                   {"delay_us", delay_us}});
+      });
+}
+
+Status Client::Ping() {
+  ResponsePayload response;
+  return Call(Opcode::kPing, {}, &response);
+}
+
+Result<WireQueryResult> Client::Query(std::string_view query_text) {
+  std::string payload;
+  EncodeQueryRequest(query_text, &payload);
+  ResponsePayload response;
+  AUTHIDX_RETURN_NOT_OK(Call(Opcode::kQuery, payload, &response));
+  WireQueryResult result;
+  AUTHIDX_RETURN_NOT_OK(DecodeQueryResult(response.body, &result));
+  return result;
+}
+
+Result<uint64_t> Client::Add(const std::vector<std::string>& tsv_lines) {
+  std::string payload;
+  EncodeAddRequest(tsv_lines, &payload);
+  ResponsePayload response;
+  AUTHIDX_RETURN_NOT_OK(Call(Opcode::kAdd, payload, &response));
+  std::string_view body = response.body;
+  uint64_t added = 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint64(&body, &added));
+  return added;
+}
+
+Status Client::Flush() {
+  ResponsePayload response;
+  return Call(Opcode::kFlush, {}, &response);
+}
+
+Result<WireStats> Client::Stats() {
+  ResponsePayload response;
+  AUTHIDX_RETURN_NOT_OK(Call(Opcode::kStats, {}, &response));
+  WireStats stats;
+  AUTHIDX_RETURN_NOT_OK(DecodeStats(response.body, &stats));
+  return stats;
+}
+
+}  // namespace authidx::net

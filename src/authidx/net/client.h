@@ -1,0 +1,122 @@
+#ifndef AUTHIDX_NET_CLIENT_H_
+#define AUTHIDX_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/random.h"
+#include "authidx/common/result.h"
+#include "authidx/common/retry.h"
+#include "authidx/common/status.h"
+#include "authidx/net/protocol.h"
+#include "authidx/obs/log.h"
+
+namespace authidx::net {
+
+/// Connection settings for a Client.
+struct ClientOptions {
+  /// Server host: a dotted IPv4 address or "localhost".
+  std::string host = "127.0.0.1";
+  /// Server TCP port.
+  int port = 0;
+  /// Bound on each socket send/receive; on expiry the call fails with
+  /// IOError (transient, so the retry layer reconnects and re-sends).
+  int io_timeout_ms = 5000;
+  /// Frames announcing more than this many bytes are rejected
+  /// client-side and the connection dropped.
+  size_t max_frame_bytes = kMaxFrameBytesDefault;
+  /// Backoff policy for transparent reconnect/retry: transient
+  /// failures (connection reset, timeout, server RETRYABLE_BUSY) are
+  /// retried up to max_attempts with exponential jittered backoff.
+  /// Set max_attempts = 1 to disable retrying.
+  RetryPolicy retry;
+  /// Logger for reconnect events (must outlive the client). nullptr
+  /// means obs::Logger::Disabled().
+  obs::Logger* logger = nullptr;
+};
+
+/// Blocking client for the authidx wire protocol (docs/PROTOCOL.md).
+///
+/// The high-level calls (Ping/Query/Add/Flush/Stats) are synchronous
+/// request/response: they connect lazily, and on a transient failure —
+/// dropped connection, I/O timeout, or a server-side RETRYABLE_BUSY
+/// shed — they reconnect and retry under the ClientOptions::retry
+/// backoff policy before giving up. Permanent errors (bad query,
+/// corruption, degraded storage) return immediately.
+///
+/// The raw frame layer (SendRequest/ReceiveResponse) is for pipelining:
+/// issue several requests back-to-back, then collect responses and
+/// match them by request id. No retrying happens at that layer.
+///
+/// Not thread-safe: one Client per thread (the server handles many
+/// connections; see bench/bench_server.cc for the multi-client shape).
+class Client {
+ public:
+  /// Client for `options.host:options.port`; does not connect yet.
+  explicit Client(ClientOptions options);
+
+  /// Closes the connection if open.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Explicitly establishes the connection (the high-level calls do
+  /// this lazily; Connect() is for surfacing setup errors early).
+  Status Connect();
+
+  /// Drops the connection; the next call reconnects.
+  void Close();
+
+  /// True while a connection is established.
+  bool connected() const { return fd_ >= 0; }
+
+  /// Liveness round-trip.
+  Status Ping();
+
+  /// Runs a query string on the server (authidx query grammar) and
+  /// returns the rendered hits.
+  Result<WireQueryResult> Query(std::string_view query_text);
+
+  /// Ingests a batch of TSV entry lines; returns the number added.
+  Result<uint64_t> Add(const std::vector<std::string>& tsv_lines);
+
+  /// Asks the server to persist pending writes.
+  Status Flush();
+
+  /// Fetches catalog size counters.
+  Result<WireStats> Stats();
+
+  /// Raw layer: sends one request frame without waiting for the
+  /// response; `*request_id` receives the frame's correlation id. The
+  /// caller must be connected (see Connect()).
+  Status SendRequest(Opcode opcode, std::string_view payload,
+                     uint64_t* request_id);
+
+  /// Raw layer: blocks for the next response frame (any request id).
+  /// `*request_id` receives the echoed correlation id.
+  Status ReceiveResponse(uint64_t* request_id, ResponsePayload* response);
+
+ private:
+  // One connect + send + receive pass; transient failures drop the
+  // connection so the retry wrapper reconnects.
+  Status CallOnce(Opcode opcode, std::string_view payload,
+                  ResponsePayload* response);
+
+  // CallOnce under the RetryPolicy; fills `*response` on success.
+  Status Call(Opcode opcode, std::string_view payload,
+              ResponsePayload* response);
+
+  ClientOptions options_;
+  obs::Logger* log_;  // Never null (Logger::Disabled()).
+  Random rng_;
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::string read_buffer_;
+};
+
+}  // namespace authidx::net
+
+#endif  // AUTHIDX_NET_CLIENT_H_

@@ -1,0 +1,582 @@
+#include "authidx/net/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "authidx/common/coding.h"
+#include "authidx/common/env.h"
+#include "authidx/parse/tsv.h"
+
+namespace authidx::net {
+
+namespace {
+
+// Writes all of `data`, retrying short writes and EINTR. The socket is
+// blocking with SO_SNDTIMEO, so a stalled peer fails the write after
+// the timeout instead of wedging the calling thread. MSG_NOSIGNAL: a
+// closed peer must yield EPIPE, not a process-killing SIGPIPE.
+bool WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;  // Timeout, EPIPE, reset: the connection is gone.
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IOError("fcntl O_NONBLOCK: " + ErrnoMessage(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// One accepted connection. The fd is owned here and closed by the
+// destructor, which runs when the last reference (event-loop map or
+// in-flight worker task) drops — so a worker finishing a response can
+// never write into a recycled descriptor.
+struct Server::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  const int fd;
+  // Bytes read but not yet parsed into frames (event loop only).
+  std::string read_buffer;
+  // Serializes whole-frame response writes: workers answer pipelined
+  // requests out of order, and interleaved partial frames would corrupt
+  // the stream.
+  Mutex write_mu;
+  // Set on write failure or protocol error; later writes are skipped.
+  std::atomic<bool> closed{false};
+  // Requests parsed but not yet answered (the max_pipeline limit).
+  std::atomic<size_t> in_flight{0};
+};
+
+Server::Server(core::AuthorIndex* catalog, ServerOptions options)
+    : catalog_(catalog), options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  log_ = options_.logger != nullptr ? options_.logger
+                                    : obs::Logger::Disabled();
+  connections_total_ = metrics_->RegisterCounter(
+      "authidx_server_connections_total",
+      "Connections accepted since the server started");
+  active_connections_ = metrics_->RegisterGauge(
+      "authidx_server_active_connections",
+      "Connections currently registered with the event loop");
+  rejected_connections_total_ = metrics_->RegisterCounter(
+      "authidx_server_rejected_connections_total",
+      "Connections closed at accept because max_connections was reached");
+  requests_total_ = metrics_->RegisterCounter(
+      "authidx_server_requests_total",
+      "Requests executed by the worker pool (any outcome)");
+  shed_requests_total_ = metrics_->RegisterCounter(
+      "authidx_shed_requests_total",
+      "Requests shed with RETRYABLE_BUSY by admission control");
+  bad_frames_total_ = metrics_->RegisterCounter(
+      "authidx_server_bad_frames_total",
+      "Frames rejected for length/version/CRC violations");
+  queue_depth_ = metrics_->RegisterGauge(
+      "authidx_server_queue_depth",
+      "Requests waiting in the worker queue");
+  request_ns_ = metrics_->RegisterLatencyHistogram(
+      "authidx_server_request_duration_ns",
+      "Server-side request latency from dequeue to response written");
+  bytes_in_total_ = metrics_->RegisterCounter(
+      "authidx_server_bytes_in_total", "Bytes read from clients");
+  bytes_out_total_ = metrics_->RegisterCounter(
+      "authidx_server_bytes_out_total", "Bytes written to clients");
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket: " + ErrnoMessage(errno));
+  }
+  auto fail = [this](Status status) {
+    Stop();
+    return status;
+  };
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  AUTHIDX_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail(Status::IOError("bind port " +
+                                std::to_string(options_.port) + ": " +
+                                ErrnoMessage(errno)));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return fail(Status::IOError("listen: " + ErrnoMessage(errno)));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return fail(Status::IOError("getsockname: " + ErrnoMessage(errno)));
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    return fail(Status::IOError("epoll_create1: " + ErrnoMessage(errno)));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return fail(Status::IOError("eventfd: " + ErrnoMessage(errno)));
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return fail(Status::IOError("epoll_ctl listen: " +
+                                ErrnoMessage(errno)));
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return fail(Status::IOError("epoll_ctl wake: " + ErrnoMessage(errno)));
+  }
+
+  {
+    MutexLock lock(queue_mu_);
+    stopping_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  event_thread_ = std::thread([this] { EventLoop(); });
+  int workers = options_.num_workers > 0 ? options_.num_workers : 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  log_->Log(obs::LogLevel::kInfo, "server_start",
+            {{"port", static_cast<uint64_t>(port_)},
+             {"workers", static_cast<uint64_t>(workers)}});
+  return Status::OK();
+}
+
+void Server::Stop() {
+  // A fully stopped server has no thread, workers, or fds left; a
+  // second Stop() (e.g. from the destructor after an explicit call)
+  // must not touch metrics or logs the caller may have torn down.
+  if (!event_thread_.joinable() && workers_.empty() && listen_fd_ < 0 &&
+      epoll_fd_ < 0 && wake_fd_ < 0) {
+    return;
+  }
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    uint64_t one = 1;
+    (void)!::write(wake_fd_, &one, sizeof(one));
+  }
+  if (event_thread_.joinable()) {
+    event_thread_.join();
+  }
+  {
+    MutexLock lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.NotifyAll();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  bool was_started = !workers_.empty();
+  workers_.clear();
+  {
+    MutexLock lock(conns_mu_);
+    conns_.clear();
+    active_connections_->Set(0);
+  }
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+  if (was_started) {
+    log_->Log(obs::LogLevel::kInfo, "server_stop",
+              {{"requests", requests_total_->Value()},
+               {"shed", shed_requests_total_->Value()}});
+  }
+}
+
+void Server::EventLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    epoll_event events[64];
+    int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        (void)!::read(wake_fd_, &drained, sizeof(drained));
+        continue;  // The loop condition re-checks running_.
+      }
+      if (fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      std::shared_ptr<Connection> conn;
+      {
+        MutexLock lock(conns_mu_);
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) {
+          conn = it->second;
+        }
+      }
+      if (conn == nullptr) {
+        continue;  // Unregistered by an earlier event this batch.
+      }
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        Unregister(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        (void)HandleReadable(conn);
+      }
+    }
+  }
+}
+
+void Server::AcceptPending() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN: backlog drained (or transient accept error).
+    }
+    connections_total_->Inc();
+    size_t live = 0;
+    {
+      MutexLock lock(conns_mu_);
+      live = conns_.size();
+    }
+    if (live >= options_.max_connections) {
+      rejected_connections_total_->Inc();
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // The accepted fd stays *blocking*: the event loop issues exactly
+    // one read() per readiness event, and workers write with a bounded
+    // SO_SNDTIMEO so a stalled reader drops the connection instead of
+    // holding a worker thread hostage.
+    timeval timeout;
+    timeout.tv_sec = options_.send_timeout_ms / 1000;
+    timeout.tv_usec = (options_.send_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+    auto conn = std::make_shared<Connection>(fd);
+    {
+      MutexLock lock(conns_mu_);
+      conns_.emplace(fd, conn);
+      active_connections_->Set(static_cast<int64_t>(conns_.size()));
+    }
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      Unregister(conn);
+    }
+  }
+}
+
+bool Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  char buf[65536];
+  ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+  if (n == 0) {
+    Unregister(conn);
+    return false;
+  }
+  if (n < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      return true;
+    }
+    Unregister(conn);
+    return false;
+  }
+  bytes_in_total_->Inc(static_cast<uint64_t>(n));
+  conn->read_buffer.append(buf, static_cast<size_t>(n));
+
+  while (true) {
+    DecodedFrame frame;
+    Status error;
+    DecodeOutcome outcome = DecodeFrame(conn->read_buffer,
+                                        options_.max_frame_bytes, &frame,
+                                        &error);
+    if (outcome == DecodeOutcome::kNeedMore) {
+      return true;
+    }
+    if (outcome == DecodeOutcome::kError) {
+      // The stream cannot be resynchronized: answer BAD_FRAME
+      // (request_id 0, best effort) and drop the connection.
+      bad_frames_total_->Inc();
+      log_->Log(obs::LogLevel::kWarn, "bad_frame",
+                {{"error", error.message()}});
+      ResponsePayload response;
+      response.status = WireStatus::kBadFrame;
+      response.message = error.message();
+      WriteResponse(conn, 0, response);
+      Unregister(conn);
+      return false;
+    }
+    if (frame.header.opcode == Opcode::kResponse ||
+        !IsKnownOpcode(static_cast<uint8_t>(frame.header.opcode))) {
+      // CRC-valid, so the stream stays in sync: answer and keep going.
+      ResponsePayload response;
+      response.status = WireStatus::kUnknownOpcode;
+      response.message =
+          "opcode " +
+          std::to_string(static_cast<int>(frame.header.opcode)) +
+          " is not a request";
+      WriteResponse(conn, frame.header.request_id, response);
+    } else {
+      EnqueueOrShed(conn, frame.header, frame.payload);
+    }
+    conn->read_buffer.erase(0, frame.frame_bytes);
+  }
+}
+
+void Server::EnqueueOrShed(const std::shared_ptr<Connection>& conn,
+                           const FrameHeader& header,
+                           std::string_view payload) {
+  const char* shed_reason = nullptr;
+  if (conn->in_flight.load(std::memory_order_relaxed) >=
+      options_.max_pipeline) {
+    shed_reason = "per-connection pipeline limit reached";
+  } else {
+    MutexLock lock(queue_mu_);
+    if (queue_.size() >= options_.queue_limit) {
+      shed_reason = "worker queue full";
+    } else {
+      conn->in_flight.fetch_add(1, std::memory_order_relaxed);
+      queue_.push_back(Task{conn, header, std::string(payload)});
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      queue_cv_.NotifyOne();
+    }
+  }
+  if (shed_reason != nullptr) {
+    shed_requests_total_->Inc();
+    ResponsePayload response;
+    response.status = WireStatus::kRetryableBusy;
+    response.message = shed_reason;
+    WriteResponse(conn, header.request_id, response);
+  }
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    Task task;
+    queue_mu_.Lock();
+    while (queue_.empty() && !stopping_) {
+      queue_cv_.Wait(queue_mu_);
+    }
+    if (queue_.empty()) {
+      queue_mu_.Unlock();
+      return;  // stopping_ and drained: exit.
+    }
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    queue_mu_.Unlock();
+    ExecuteTask(task);
+  }
+}
+
+void Server::ExecuteTask(const Task& task) {
+  uint64_t start_ns = obs::MonotonicNowNs();
+  if (options_.handler_delay_ms_for_test > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.handler_delay_ms_for_test));
+  }
+  ResponsePayload response = HandleRequest(task.header, task.payload);
+  // Count before writing: once the response is on the wire a client
+  // may immediately scrape /metrics and must see this request.
+  requests_total_->Inc();
+  WriteResponse(task.conn, task.header.request_id, response);
+  request_ns_->Record(obs::MonotonicNowNs() - start_ns);
+  task.conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
+}
+
+ResponsePayload Server::HandleRequest(const FrameHeader& header,
+                                      std::string_view payload) {
+  ResponsePayload response;
+  auto fail = [&response](const Status& status) {
+    response.status = WireStatusFromStatus(status);
+    response.message = status.ToString();
+  };
+  switch (header.opcode) {
+    case Opcode::kPing:
+      break;
+    case Opcode::kQuery: {
+      std::string_view query_text;
+      Status s = DecodeQueryRequest(payload, &query_text);
+      if (!s.ok()) {
+        fail(s);
+        break;
+      }
+      Result<query::QueryResult> result = catalog_->Search(query_text);
+      if (!result.ok()) {
+        fail(result.status());
+        break;
+      }
+      WireQueryResult wire;
+      wire.total_matches = result->total_matches;
+      wire.plan = static_cast<uint8_t>(result->plan);
+      wire.hits.reserve(result->hits.size());
+      for (const query::Hit& hit : result->hits) {
+        // Entry pointers are stable across later ingests (append-only
+        // deque), so reading them after Search returns is safe.
+        const Entry* entry = catalog_->GetEntry(hit.id);
+        if (entry == nullptr) {
+          continue;
+        }
+        WireHit wire_hit;
+        wire_hit.id = hit.id;
+        wire_hit.score = hit.score;
+        wire_hit.author = entry->author.ToIndexForm();
+        wire_hit.title = entry->title;
+        wire_hit.citation = entry->citation.ToString();
+        wire.hits.push_back(std::move(wire_hit));
+      }
+      EncodeQueryResult(wire, &response.body);
+      break;
+    }
+    case Opcode::kAdd: {
+      std::vector<std::string_view> lines;
+      Status s = DecodeAddRequest(payload, &lines);
+      if (!s.ok()) {
+        fail(s);
+        break;
+      }
+      std::vector<Entry> entries;
+      entries.reserve(lines.size());
+      for (std::string_view line : lines) {
+        Result<Entry> entry = ParseTsvLine(line);
+        if (!entry.ok()) {
+          fail(entry.status());
+          break;
+        }
+        entries.push_back(std::move(entry).value());
+      }
+      if (response.status != WireStatus::kOk) {
+        break;
+      }
+      uint64_t added = entries.size();
+      s = catalog_->AddAll(std::move(entries));
+      if (!s.ok()) {
+        fail(s);
+        break;
+      }
+      PutVarint64(&response.body, added);
+      break;
+    }
+    case Opcode::kFlush: {
+      Status s = catalog_->Flush();
+      if (!s.ok()) {
+        fail(s);
+      }
+      break;
+    }
+    case Opcode::kStats: {
+      WireStats stats;
+      stats.entry_count = catalog_->entry_count();
+      stats.group_count = catalog_->group_count();
+      EncodeStats(stats, &response.body);
+      break;
+    }
+    default:
+      // Unknown opcodes are answered by the event loop before
+      // enqueueing; this is unreachable but keeps the switch total.
+      response.status = WireStatus::kUnknownOpcode;
+      response.message = "unhandled opcode";
+      break;
+  }
+  return response;
+}
+
+void Server::WriteResponse(const std::shared_ptr<Connection>& conn,
+                           uint64_t request_id,
+                           const ResponsePayload& response) {
+  std::string payload;
+  EncodeResponsePayload(response, &payload);
+  FrameHeader header;
+  header.opcode = Opcode::kResponse;
+  header.request_id = request_id;
+  std::string frame;
+  EncodeFrame(header, payload, &frame);
+
+  MutexLock lock(conn->write_mu);
+  if (conn->closed.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (WriteAll(conn->fd, frame)) {
+    bytes_out_total_->Inc(frame.size());
+  } else {
+    // Peer gone or stalled past the send timeout: poison the
+    // connection; the event loop reaps it on the resulting HUP.
+    conn->closed.store(true, std::memory_order_relaxed);
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+}
+
+void Server::Unregister(const std::shared_ptr<Connection>& conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  conn->closed.store(true, std::memory_order_relaxed);
+  ::shutdown(conn->fd, SHUT_RDWR);
+  {
+    MutexLock lock(conns_mu_);
+    conns_.erase(conn->fd);
+    active_connections_->Set(static_cast<int64_t>(conns_.size()));
+  }
+}
+
+}  // namespace authidx::net

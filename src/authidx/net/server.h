@@ -1,0 +1,193 @@
+#ifndef AUTHIDX_NET_SERVER_H_
+#define AUTHIDX_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "authidx/common/mutex.h"
+#include "authidx/common/status.h"
+#include "authidx/common/thread_annotations.h"
+#include "authidx/core/author_index.h"
+#include "authidx/net/protocol.h"
+#include "authidx/obs/log.h"
+#include "authidx/obs/metrics.h"
+
+namespace authidx::net {
+
+/// Tuning knobs for a Server. Defaults suit tests and small
+/// deployments; docs/SERVER.md is the operator guide.
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (see
+  /// Server::port()).
+  int port = 0;
+  /// Worker threads executing requests against the catalog. The
+  /// catalog is already thread-safe, so queries in different workers
+  /// run in parallel.
+  int num_workers = 4;
+  /// Connections beyond this are accepted and immediately closed
+  /// (authidx_server_rejected_connections_total counts them).
+  size_t max_connections = 1024;
+  /// Frames announcing more than this many bytes (header + payload +
+  /// CRC) poison the connection before the payload is buffered.
+  size_t max_frame_bytes = kMaxFrameBytesDefault;
+  /// Per-connection pipelining cap: requests arriving while this many
+  /// are already in flight on the same connection are shed with
+  /// RETRYABLE_BUSY.
+  size_t max_pipeline = 64;
+  /// Admission control: requests arriving while the worker queue holds
+  /// this many are shed with RETRYABLE_BUSY instead of growing the
+  /// queue without bound (the RPC-layer analogue of the storage
+  /// engine's write-stall backpressure).
+  size_t queue_limit = 256;
+  /// Bound on a response write to a slow client; on expiry the
+  /// connection is dropped (a stalled reader must not hold a worker).
+  int send_timeout_ms = 5000;
+  /// Registry for the authidx_server_* / authidx_shed_* instruments
+  /// (must outlive the server). nullptr gives the server a private
+  /// registry, readable via metrics(). Pass the catalog's registry
+  /// (AuthorIndex::mutable_metrics()) so one /metrics page covers
+  /// engine and server.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Logger for lifecycle events (must outlive the server). nullptr
+  /// means obs::Logger::Disabled().
+  obs::Logger* logger = nullptr;
+  /// Test-only: every request handler sleeps this long before
+  /// executing, making "worker busy" states deterministic in shedding
+  /// and drain tests. 0 in production.
+  uint64_t handler_delay_ms_for_test = 0;
+};
+
+/// The authidx network front end: accepts loopback TCP connections
+/// speaking the framed wire protocol (net/protocol.h, docs/PROTOCOL.md)
+/// and executes requests against an AuthorIndex.
+///
+/// Threading: one event-loop thread owns the listening socket, an epoll
+/// set, and every connection's read side; it parses frames and either
+/// sheds them (RETRYABLE_BUSY, see ServerOptions::queue_limit /
+/// max_pipeline) or hands them to a pool of worker threads. Workers
+/// execute against the (already thread-safe) catalog and write the
+/// response frame back under a per-connection write lock — responses to
+/// pipelined requests may interleave in any order, which is why every
+/// frame echoes its request_id. Stop() drains: queued requests are
+/// still executed and answered before the workers exit.
+class Server {
+ public:
+  /// Server over `catalog` (caller-owned, must outlive the server).
+  /// Not yet listening; call Start().
+  Server(core::AuthorIndex* catalog, ServerOptions options);
+
+  /// Stops the server if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:options.port, spawns the event loop and workers,
+  /// and returns. Fails if already started or the bind fails.
+  Status Start();
+
+  /// Port actually bound; valid after a successful Start().
+  int port() const { return port_; }
+
+  /// True between a successful Start() and Stop().
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Stops accepting and reading, drains every already-queued request
+  /// (responses are written), then joins all threads and closes every
+  /// connection. Idempotent.
+  void Stop();
+
+  /// The registry holding this server's instruments (the one passed in
+  /// options, or the private default).
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
+ private:
+  struct Connection;  // Defined in server.cc (owns the fd).
+
+  // One parsed request frame awaiting a worker.
+  struct Task {
+    std::shared_ptr<Connection> conn;
+    FrameHeader header;
+    std::string payload;
+  };
+
+  void EventLoop();
+  void WorkerLoop();
+
+  // Accepts as many pending connections as the loopback backlog holds.
+  void AcceptPending();
+
+  // Reads available bytes, parses frames, enqueues or sheds them.
+  // Returns false when the connection died and was unregistered.
+  bool HandleReadable(const std::shared_ptr<Connection>& conn);
+
+  // Enqueues a parsed frame or sheds it with RETRYABLE_BUSY.
+  void EnqueueOrShed(const std::shared_ptr<Connection>& conn,
+                     const FrameHeader& header, std::string_view payload);
+
+  // Executes one request and writes its response frame.
+  void ExecuteTask(const Task& task);
+
+  // Builds the response payload for one request (no I/O).
+  ResponsePayload HandleRequest(const FrameHeader& header,
+                                std::string_view payload);
+
+  // Serializes and writes a response frame on `conn` (takes its write
+  // lock; drops the connection on write failure).
+  void WriteResponse(const std::shared_ptr<Connection>& conn,
+                     uint64_t request_id, const ResponsePayload& response);
+
+  // Removes `conn` from the epoll set and the live map.
+  void Unregister(const std::shared_ptr<Connection>& conn);
+
+  core::AuthorIndex* catalog_;
+  ServerOptions options_;
+
+  // Set when options.metrics == nullptr; metrics_ then points at it.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Logger* log_ = nullptr;  // Never null (Logger::Disabled()).
+
+  obs::Counter* connections_total_ = nullptr;
+  obs::Gauge* active_connections_ = nullptr;
+  obs::Counter* rejected_connections_total_ = nullptr;
+  obs::Counter* requests_total_ = nullptr;
+  obs::Counter* shed_requests_total_ = nullptr;
+  obs::Counter* bad_frames_total_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::LatencyHistogram* request_ns_ = nullptr;
+  obs::Counter* bytes_in_total_ = nullptr;
+  obs::Counter* bytes_out_total_ = nullptr;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Stop() unblocks epoll_wait().
+  int port_ = 0;
+
+  std::thread event_thread_;
+  std::vector<std::thread> workers_;
+
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<Task> queue_ AUTHIDX_GUARDED_BY(queue_mu_);
+  // Set by Stop() after the event loop exits; workers drain the queue
+  // and then return.
+  bool stopping_ AUTHIDX_GUARDED_BY(queue_mu_) = false;
+
+  Mutex conns_mu_;
+  // Live connections by fd. Only the event loop inserts; the event
+  // loop and Stop() erase.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_
+      AUTHIDX_GUARDED_BY(conns_mu_);
+};
+
+}  // namespace authidx::net
+
+#endif  // AUTHIDX_NET_SERVER_H_

@@ -120,8 +120,16 @@ Status HttpServer::Start(int port) {
   }
   port_ = static_cast<int>(ntohs(addr.sin_port));
 
+  {
+    MutexLock lock(queue_mu_);
+    stopping_ = false;
+  }
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Serve(); });
+  handlers_.reserve(kHandlerThreads);
+  for (int i = 0; i < kHandlerThreads; ++i) {
+    handlers_.emplace_back([this] { HandlerLoop(); });
+  }
   return Status::OK();
 }
 
@@ -133,6 +141,26 @@ void HttpServer::Stop() {
   }
   if (thread_.joinable()) {
     thread_.join();
+  }
+  {
+    MutexLock lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.NotifyAll();
+  for (std::thread& handler : handlers_) {
+    if (handler.joinable()) {
+      handler.join();
+    }
+  }
+  handlers_.clear();
+  {
+    // Handlers drain the queue before exiting, so anything left here
+    // means Stop() without Start(); close defensively anyway.
+    MutexLock lock(queue_mu_);
+    for (int fd : pending_) {
+      ::close(fd);
+    }
+    pending_.clear();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -173,6 +201,38 @@ void HttpServer::Serve() {
     if (conn < 0) {
       continue;
     }
+    bool enqueued = false;
+    {
+      MutexLock lock(queue_mu_);
+      if (pending_.size() < kAcceptBacklog) {
+        pending_.push_back(conn);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      queue_cv_.NotifyOne();
+    } else {
+      // Backlog full: shed at accept rather than queue unboundedly —
+      // a probe that cannot be served soon is better off retrying.
+      ::close(conn);
+    }
+  }
+}
+
+void HttpServer::HandlerLoop() {
+  while (true) {
+    int conn = -1;
+    queue_mu_.Lock();
+    while (pending_.empty() && !stopping_) {
+      queue_cv_.Wait(queue_mu_);
+    }
+    if (pending_.empty()) {
+      queue_mu_.Unlock();
+      return;  // stopping_ and drained: exit.
+    }
+    conn = pending_.front();
+    pending_.pop_front();
+    queue_mu_.Unlock();
     HandleConnection(conn);
     ::close(conn);
   }

@@ -3,13 +3,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "authidx/common/mutex.h"
 #include "authidx/common/status.h"
+#include "authidx/common/thread_annotations.h"
 
 namespace authidx::obs {
 
@@ -25,15 +28,20 @@ struct HttpResponse {
 };
 
 /// Minimal dependency-free blocking HTTP/1.1 server for observability
-/// endpoints (POSIX sockets only). One worker thread accepts and
-/// serves connections serially — correct and TSan-clean, sized for an
-/// operator curling /metrics, not for traffic. Only GET is supported;
-/// the query string is stripped before route lookup; unknown paths get
-/// 404 and non-GET methods 405. Register every route before Start().
+/// endpoints (POSIX sockets only). One thread accepts connections into
+/// a small bounded backlog drained by a few handler threads, so a slow
+/// /metrics scrape cannot starve a /healthz probe (the health check
+/// must stay responsive exactly when the process is struggling). When
+/// the backlog is full, further connections are closed immediately —
+/// sized for operators and probes, not for traffic. Only GET is
+/// supported; the query string is stripped before route lookup;
+/// unknown paths get 404 and non-GET methods 405. Register every route
+/// before Start().
 class HttpServer {
  public:
-  /// Computes the response for one GET request. Called on the server
-  /// thread; must be thread-safe against the rest of the process.
+  /// Computes the response for one GET request. Called on a handler
+  /// thread — concurrently with other handlers — so it must be
+  /// thread-safe against them and the rest of the process.
   using Handler = std::function<HttpResponse()>;
 
   /// Server with no routes, not yet listening.
@@ -70,16 +78,31 @@ class HttpServer {
   }
 
  private:
+  // Accepted connections waiting for a handler thread; more than this
+  // and new connections are shed at accept.
+  static constexpr size_t kAcceptBacklog = 32;
+  static constexpr int kHandlerThreads = 4;
+
   void Serve();
+  void HandlerLoop();
   void HandleConnection(int fd);
 
   std::vector<std::pair<std::string, Handler>> routes_;
   std::thread thread_;
+  std::vector<std::thread> handlers_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_served_{0};
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // Self-pipe: Stop() unblocks poll().
   int port_ = 0;
+
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  // Accepted fds awaiting a handler (bounded by kAcceptBacklog).
+  std::deque<int> pending_ AUTHIDX_GUARDED_BY(queue_mu_);
+  // Set by Stop() after the accept thread exits; handlers drain
+  // pending_ and return.
+  bool stopping_ AUTHIDX_GUARDED_BY(queue_mu_) = false;
 };
 
 }  // namespace authidx::obs

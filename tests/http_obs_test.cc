@@ -8,7 +8,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <future>
 #include <map>
 #include <memory>
 #include <string>
@@ -222,6 +224,58 @@ TEST(HttpServerTest, HandlesSequentialAndConcurrentClients) {
   EXPECT_EQ(ok_count.load(), kThreads * kPerThread);
   EXPECT_EQ(server.requests_served(),
             static_cast<uint64_t>(kThreads) * kPerThread);
+  server.Stop();
+}
+
+// Regression for the PR 3 documented limitation: the accept loop used
+// to serve connections serially, so one slow /metrics scrape starved
+// every /healthz probe behind it. With the handler pool, /healthz must
+// answer while slow requests are still blocked mid-handler.
+TEST(HttpServerTest, SlowScrapeDoesNotStarveHealthz) {
+  HttpServer server;
+  std::atomic<int> slow_active{0};
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  server.Route("/slow", [&slow_active, released] {
+    slow_active.fetch_add(1, std::memory_order_relaxed);
+    released.wait();  // Hold the handler thread until the test says so.
+    HttpResponse r;
+    r.body = "done";
+    return r;
+  });
+  server.Route("/healthz", [] {
+    HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Pin down all but one of the handler threads (the pool has four).
+  constexpr int kSlowClients = 3;
+  std::vector<std::thread> slow_clients;
+  for (int i = 0; i < kSlowClients; ++i) {
+    slow_clients.emplace_back([&server] {
+      ClientResponse response;
+      if (Get(server.port(), "/slow", &response)) {
+        EXPECT_EQ(response.body, "done");
+      }
+    });
+  }
+  while (slow_active.load(std::memory_order_relaxed) < kSlowClients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Old behavior: this Get would block behind the wedged scrapes and
+  // the test would hang until their 5s socket timeouts.
+  ClientResponse response;
+  ASSERT_TRUE(Get(server.port(), "/healthz", &response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "ok\n");
+
+  release.set_value();
+  for (std::thread& t : slow_clients) {
+    t.join();
+  }
   server.Stop();
 }
 

@@ -16,12 +16,15 @@ Enforces the rules clang-tidy cannot express:
   5. No std::cout/std::cerr writes in library code; user-facing output
      belongs in examples/. (std::cerr is allowed in status.cc's abort
      helpers via the explicit allowlist below.)
-  6. Observability doc comments: every public declaration in
-     src/authidx/obs/ headers carries a `///` doc comment — the obs API
-     is the contract dashboards are built on. This covers the full
-     surface: metrics.h, trace.h, and the logging/serving additions
-     (log.h, slowlog.h, http_server.h). Defaulted/deleted special
-     members and enumerators are exempt (nothing to document).
+  6. Contract-surface doc comments: every public declaration in
+     src/authidx/obs/ and src/authidx/net/ headers carries a `///` doc
+     comment — the obs API is the contract dashboards are built on, and
+     the net API is the contract remote clients are built on (its
+     opcode/status tables additionally doc-sync against
+     docs/PROTOCOL.md via tests/net_protocol_test.cc). Covers
+     metrics.h, trace.h, log.h, slowlog.h, http_server.h, protocol.h,
+     server.h, client.h. Defaulted/deleted special members and
+     enumerators are exempt (nothing to document).
   7. Markdown link integrity: every intra-repo link target in tracked
      .md files must exist (broken pointers rot fastest in docs).
   8. Lock-protocol hygiene: raw std::mutex / std::shared_mutex /
@@ -161,12 +164,15 @@ def check_no_cout(root: Path, errors: list) -> None:
 
 
 def check_obs_doc_comments(root: Path, errors: list) -> None:
-    """Public declarations in obs headers must carry /// doc comments."""
+    """Public declarations in obs/net headers must carry /// comments."""
     exempt = re.compile(r"=\s*(default|delete)\s*;?\s*$")
     opener = re.compile(
         r"^(class|struct)\s+(\w+\s+)*\w+\s*(final\s*)?({|$)")
-    for header in iter_source_files(root, "src/authidx/obs",
-                                    suffixes=(".h",)):
+    headers = [
+        *iter_source_files(root, "src/authidx/obs", suffixes=(".h",)),
+        *iter_source_files(root, "src/authidx/net", suffixes=(".h",)),
+    ]
+    for header in headers:
         rel = header.relative_to(root)
         # Each stack entry is the kind of the enclosing brace scope:
         # 'ns' (namespace), 'pub'/'priv' (class body by current access),
