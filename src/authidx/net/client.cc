@@ -7,8 +7,11 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "authidx/common/coding.h"
@@ -18,7 +21,9 @@ namespace authidx::net {
 
 namespace {
 
-bool WriteAll(int fd, std::string_view data) {
+// On failure `*err` holds the errno of the failing send, captured
+// before any later call (e.g. close()) can clobber it.
+bool WriteAll(int fd, std::string_view data, int* err) {
   size_t off = 0;
   while (off < data.size()) {
     ssize_t n =
@@ -27,6 +32,9 @@ bool WriteAll(int fd, std::string_view data) {
       if (n < 0 && errno == EINTR) {
         continue;
       }
+      // send() returning 0 leaves errno stale; report it as a reset
+      // rather than whatever the previous syscall happened to set.
+      *err = n == 0 ? ECONNRESET : errno;
       return false;
     }
     off += static_cast<size_t>(n);
@@ -102,9 +110,10 @@ Status Client::SendRequest(Opcode opcode, std::string_view payload,
   header.request_id = *request_id;
   std::string frame;
   EncodeFrame(header, payload, &frame);
-  if (!WriteAll(fd_, frame)) {
-    Close();
-    return Status::IOError("send: " + ErrnoMessage(errno));
+  int send_errno = 0;
+  if (!WriteAll(fd_, frame, &send_errno)) {
+    Close();  // close() may clobber errno; send_errno was saved first.
+    return Status::IOError("send: " + ErrnoMessage(send_errno));
   }
   return Status::OK();
 }
@@ -155,10 +164,17 @@ Status Client::ReceiveResponse(uint64_t* request_id,
 }
 
 Status Client::CallOnce(Opcode opcode, std::string_view payload,
-                        ResponsePayload* response) {
+                        ResponsePayload* response, bool* maybe_executed) {
+  *maybe_executed = false;
   AUTHIDX_RETURN_NOT_OK(Connect());
   uint64_t sent_id = 0;
+  // A SendRequest failure leaves at most a partial frame on the wire,
+  // which can never pass the server's CRC — the request provably did
+  // not execute. Once the whole frame is handed to the kernel, any
+  // later failure is ambiguous: the server may have executed the
+  // request and only the response was lost.
   AUTHIDX_RETURN_NOT_OK(SendRequest(opcode, payload, &sent_id));
+  *maybe_executed = true;
   uint64_t got_id = 0;
   AUTHIDX_RETURN_NOT_OK(ReceiveResponse(&got_id, response));
   if (got_id != sent_id) {
@@ -170,6 +186,12 @@ Status Client::CallOnce(Opcode opcode, std::string_view payload,
                            std::to_string(sent_id));
   }
   if (response->status != WireStatus::kOk) {
+    if (response->status == WireStatus::kRetryableBusy) {
+      // Admission control sheds before execution (docs/PROTOCOL.md),
+      // so a shed request is provably unexecuted despite the
+      // completed round trip.
+      *maybe_executed = false;
+    }
     Status status = StatusFromWire(response->status,
                                    std::move(response->message));
     if (response->status == WireStatus::kBadFrame) {
@@ -184,17 +206,38 @@ Status Client::CallOnce(Opcode opcode, std::string_view payload,
 
 Status Client::Call(Opcode opcode, std::string_view payload,
                     ResponsePayload* response) {
-  return RetryWithBackoff(
-      options_.retry, &rng_,
-      [&] { return CallOnce(opcode, payload, response); },
-      [this, opcode](int attempt, const Status& failure,
-                     uint64_t delay_us) {
-        log_->Log(obs::LogLevel::kWarn, "client_retry",
-                  {{"opcode", OpcodeName(opcode)},
-                   {"attempt", static_cast<uint64_t>(attempt)},
-                   {"error", failure.message()},
-                   {"delay_us", delay_us}});
-      });
+  // ADD mutates the catalog, so a blind re-send can duplicate entries;
+  // it is only retried when the failed attempt provably never executed
+  // (see the class comment in client.h).
+  const bool idempotent = opcode != Opcode::kAdd;
+  const int attempts = std::max(options_.retry.max_attempts, 1);
+  Status status;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    bool maybe_executed = false;
+    status = CallOnce(opcode, payload, response, &maybe_executed);
+    if (status.ok() || !IsTransientError(status)) {
+      return status;
+    }
+    if (!idempotent && maybe_executed) {
+      return Status(status.code(),
+                    std::string(status.message()) +
+                        " (not retried: the request was fully sent and "
+                        "may have executed server-side)");
+    }
+    if (attempt == attempts) {
+      break;
+    }
+    uint64_t delay_us = RetryBackoffDelayUs(options_.retry, attempt, &rng_);
+    log_->Log(obs::LogLevel::kWarn, "client_retry",
+              {{"opcode", OpcodeName(opcode)},
+               {"attempt", static_cast<uint64_t>(attempt)},
+               {"error", status.message()},
+               {"delay_us", delay_us}});
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+  }
+  return status;
 }
 
 Status Client::Ping() {

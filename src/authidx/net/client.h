@@ -22,7 +22,9 @@ struct ClientOptions {
   /// Server TCP port.
   int port = 0;
   /// Bound on each socket send/receive; on expiry the call fails with
-  /// IOError (transient, so the retry layer reconnects and re-sends).
+  /// IOError (transient, so the retry layer reconnects and re-sends —
+  /// except for a fully sent ADD, which is never blindly re-sent; see
+  /// the class comment).
   int io_timeout_ms = 5000;
   /// Frames announcing more than this many bytes are rejected
   /// client-side and the connection dropped.
@@ -45,6 +47,17 @@ struct ClientOptions {
 /// shed — they reconnect and retry under the ClientOptions::retry
 /// backoff policy before giving up. Permanent errors (bad query,
 /// corruption, degraded storage) return immediately.
+///
+/// Retry safety: ADD mutates the catalog and is not idempotent, so it
+/// is only retried when the failed attempt provably never executed —
+/// a connect/send failure (the server can't have seen a complete
+/// CRC-valid frame) or a RETRYABLE_BUSY shed (rejected before
+/// execution). A failure after the request was fully sent (e.g. a
+/// receive timeout) is ambiguous — the server may have ingested the
+/// batch and only the response was lost — and is returned to the
+/// caller unretried rather than risking duplicate entries. The
+/// read-only calls and the idempotent FLUSH retry on any transient
+/// failure.
 ///
 /// The raw frame layer (SendRequest/ReceiveResponse) is for pipelining:
 /// issue several requests back-to-back, then collect responses and
@@ -101,11 +114,16 @@ class Client {
 
  private:
   // One connect + send + receive pass; transient failures drop the
-  // connection so the retry wrapper reconnects.
+  // connection so the retry wrapper reconnects. `*maybe_executed` is
+  // set when the failure can no longer prove the server did not
+  // execute the request: the whole frame was handed to the kernel and
+  // the response was not a RETRYABLE_BUSY shed.
   Status CallOnce(Opcode opcode, std::string_view payload,
-                  ResponsePayload* response);
+                  ResponsePayload* response, bool* maybe_executed);
 
   // CallOnce under the RetryPolicy; fills `*response` on success.
+  // Non-idempotent opcodes (ADD) are not retried once an attempt
+  // reports maybe_executed (see the class comment).
   Status Call(Opcode opcode, std::string_view payload,
               ResponsePayload* response);
 

@@ -176,6 +176,16 @@ Status DecodeAddRequest(std::string_view payload,
                         std::vector<std::string_view>* tsv_lines) {
   uint32_t count = 0;
   AUTHIDX_RETURN_NOT_OK(GetVarint32(&payload, &count));
+  // Every line costs at least its 1-byte length prefix, so a count
+  // beyond the remaining payload is corrupt. Validating before the
+  // reserve() matters: the count is peer-controlled, and a tiny
+  // CRC-valid frame claiming 2^32-1 lines must not force a multi-GiB
+  // allocation (whose bad_alloc would escape the caller).
+  if (count > payload.size()) {
+    return Status::Corruption("ADD line count " + std::to_string(count) +
+                              " exceeds remaining payload of " +
+                              std::to_string(payload.size()) + " bytes");
+  }
   tsv_lines->clear();
   tsv_lines->reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -211,6 +221,14 @@ Status DecodeQueryResult(std::string_view body, WireQueryResult* result) {
   body.remove_prefix(1);
   uint32_t count = 0;
   AUTHIDX_RETURN_NOT_OK(GetVarint32(&body, &count));
+  // Every hit costs at least 12 encoded bytes; a count beyond the
+  // remaining body is corrupt. Same defense as DecodeAddRequest: a
+  // forged count must never size the reserve() below.
+  if (count > body.size()) {
+    return Status::Corruption("QUERY hit count " + std::to_string(count) +
+                              " exceeds remaining body of " +
+                              std::to_string(body.size()) + " bytes");
+  }
   result->hits.clear();
   result->hits.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {

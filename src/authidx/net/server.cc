@@ -77,6 +77,9 @@ struct Server::Connection {
   std::atomic<bool> closed{false};
   // Requests parsed but not yet answered (the max_pipeline limit).
   std::atomic<size_t> in_flight{0};
+  // Precomputed shed/error replies queued but not yet written; bounds
+  // the control queue per connection (see Server::EnqueueControl).
+  std::atomic<size_t> pending_control{0};
 };
 
 Server::Server(core::AuthorIndex* catalog, ServerOptions options)
@@ -357,15 +360,18 @@ bool Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
     }
     if (outcome == DecodeOutcome::kError) {
       // The stream cannot be resynchronized: answer BAD_FRAME
-      // (request_id 0, best effort) and drop the connection.
+      // (request_id 0, best effort) and drop the connection. A worker
+      // writes the reply — never this thread — so the connection is
+      // only quarantined here; the worker shuts it down after the
+      // write.
       bad_frames_total_->Inc();
       log_->Log(obs::LogLevel::kWarn, "bad_frame",
                 {{"error", error.message()}});
       ResponsePayload response;
       response.status = WireStatus::kBadFrame;
       response.message = error.message();
-      WriteResponse(conn, 0, response);
-      Unregister(conn);
+      Quarantine(conn);
+      EnqueueControl(conn, 0, std::move(response), /*close_after=*/true);
       return false;
     }
     if (frame.header.opcode == Opcode::kResponse ||
@@ -377,15 +383,18 @@ bool Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
           "opcode " +
           std::to_string(static_cast<int>(frame.header.opcode)) +
           " is not a request";
-      WriteResponse(conn, frame.header.request_id, response);
-    } else {
-      EnqueueOrShed(conn, frame.header, frame.payload);
+      if (!EnqueueControl(conn, frame.header.request_id,
+                          std::move(response), /*close_after=*/false)) {
+        return false;
+      }
+    } else if (!EnqueueOrShed(conn, frame.header, frame.payload)) {
+      return false;
     }
     conn->read_buffer.erase(0, frame.frame_bytes);
   }
 }
 
-void Server::EnqueueOrShed(const std::shared_ptr<Connection>& conn,
+bool Server::EnqueueOrShed(const std::shared_ptr<Connection>& conn,
                            const FrameHeader& header,
                            std::string_view payload) {
   const char* shed_reason = nullptr;
@@ -398,7 +407,11 @@ void Server::EnqueueOrShed(const std::shared_ptr<Connection>& conn,
       shed_reason = "worker queue full";
     } else {
       conn->in_flight.fetch_add(1, std::memory_order_relaxed);
-      queue_.push_back(Task{conn, header, std::string(payload)});
+      Task task;
+      task.conn = conn;
+      task.header = header;
+      task.payload = std::string(payload);
+      queue_.push_back(std::move(task));
       queue_depth_->Set(static_cast<int64_t>(queue_.size()));
       queue_cv_.NotifyOne();
     }
@@ -408,30 +421,80 @@ void Server::EnqueueOrShed(const std::shared_ptr<Connection>& conn,
     ResponsePayload response;
     response.status = WireStatus::kRetryableBusy;
     response.message = shed_reason;
-    WriteResponse(conn, header.request_id, response);
+    return EnqueueControl(conn, header.request_id, std::move(response),
+                          /*close_after=*/false);
   }
+  return true;
+}
+
+bool Server::EnqueueControl(const std::shared_ptr<Connection>& conn,
+                            uint64_t request_id, ResponsePayload response,
+                            bool close_after) {
+  // Writing from the event loop would let one peer that stops reading
+  // stall every connection for up to send_timeout_ms — precisely under
+  // overload, when sheds are generated. Hand the reply to a worker
+  // instead, bounded per connection: the bound is generous (a burst
+  // pipelined past max_pipeline legitimately pends that many shed
+  // replies, and every CRC-valid request is promised a response), but
+  // a peer far beyond it is flooding without reading — writing more at
+  // it is pointless, so drop it.
+  if (conn->pending_control.fetch_add(1, std::memory_order_relaxed) >=
+      options_.max_pipeline + options_.queue_limit) {
+    conn->pending_control.fetch_sub(1, std::memory_order_relaxed);
+    Unregister(conn);
+    return false;
+  }
+  Task task;
+  task.conn = conn;
+  task.header.request_id = request_id;
+  task.has_response = true;
+  task.response = std::move(response);
+  task.close_after = close_after;
+  {
+    MutexLock lock(queue_mu_);
+    control_queue_.push_back(std::move(task));
+    queue_cv_.NotifyOne();
+  }
+  return true;
 }
 
 void Server::WorkerLoop() {
   while (true) {
     Task task;
     queue_mu_.Lock();
-    while (queue_.empty() && !stopping_) {
+    while (queue_.empty() && control_queue_.empty() && !stopping_) {
       queue_cv_.Wait(queue_mu_);
     }
-    if (queue_.empty()) {
+    if (!control_queue_.empty()) {
+      // Control replies jump the queue: they are already built, and
+      // under overload (when they are generated) queue_ is full.
+      task = std::move(control_queue_.front());
+      control_queue_.pop_front();
+    } else if (!queue_.empty()) {
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    } else {
       queue_mu_.Unlock();
-      return;  // stopping_ and drained: exit.
+      return;  // stopping_ and both queues drained: exit.
     }
-    task = std::move(queue_.front());
-    queue_.pop_front();
-    queue_depth_->Set(static_cast<int64_t>(queue_.size()));
     queue_mu_.Unlock();
     ExecuteTask(task);
   }
 }
 
 void Server::ExecuteTask(const Task& task) {
+  if (task.has_response) {
+    // Precomputed shed/error reply: write it, and for BAD_FRAME shut
+    // the (already quarantined) connection down afterwards. Not a
+    // catalog request, so requests_total_/request_ns_ stay untouched.
+    WriteResponse(task.conn, task.header.request_id, task.response);
+    if (task.close_after) {
+      Unregister(task.conn);
+    }
+    task.conn->pending_control.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
   uint64_t start_ns = obs::MonotonicNowNs();
   if (options_.handler_delay_ms_for_test > 0) {
     std::this_thread::sleep_for(
@@ -472,6 +535,19 @@ ResponsePayload Server::HandleRequest(const FrameHeader& header,
       wire.total_matches = result->total_matches;
       wire.plan = static_cast<uint8_t>(result->plan);
       wire.hits.reserve(result->hits.size());
+      // Bound the encoded page so the response frame fits
+      // max_frame_bytes: the caps are symmetric by convention, so a
+      // frame this server would refuse to read, a default client
+      // refuses too — it would report Corruption and drop the
+      // connection. Budget = cap minus framing and worst-case fixed
+      // response fields; per-hit cost is worst-case varints plus the
+      // rendered strings. total_matches still reports every match.
+      const size_t reserved = kFrameOverheadBytes + 32;
+      const size_t budget = options_.max_frame_bytes > reserved
+                                ? options_.max_frame_bytes - reserved
+                                : 0;
+      size_t used = 0;
+      bool page_truncated = false;
       for (const query::Hit& hit : result->hits) {
         // Entry pointers are stable across later ingests (append-only
         // deque), so reading them after Search returns is safe.
@@ -485,7 +561,20 @@ ResponsePayload Server::HandleRequest(const FrameHeader& header,
         wire_hit.author = entry->author.ToIndexForm();
         wire_hit.title = entry->title;
         wire_hit.citation = entry->citation.ToString();
+        size_t cost = 28 + wire_hit.author.size() +
+                      wire_hit.title.size() + wire_hit.citation.size();
+        if (used + cost > budget) {
+          page_truncated = true;
+          break;
+        }
+        used += cost;
         wire.hits.push_back(std::move(wire_hit));
+      }
+      if (page_truncated) {
+        log_->Log(obs::LogLevel::kWarn, "query_result_truncated",
+                  {{"request_id", header.request_id},
+                   {"returned", static_cast<uint64_t>(wire.hits.size())},
+                   {"total_matches", wire.total_matches}});
       }
       EncodeQueryResult(wire, &response.body);
       break;
@@ -566,6 +655,13 @@ void Server::WriteResponse(const std::shared_ptr<Connection>& conn,
     conn->closed.store(true, std::memory_order_relaxed);
     ::shutdown(conn->fd, SHUT_RDWR);
   }
+}
+
+void Server::Quarantine(const std::shared_ptr<Connection>& conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  MutexLock lock(conns_mu_);
+  conns_.erase(conn->fd);
+  active_connections_->Set(static_cast<int64_t>(conns_.size()));
 }
 
 void Server::Unregister(const std::shared_ptr<Connection>& conn) {

@@ -70,9 +70,13 @@ struct ServerOptions {
 /// Threading: one event-loop thread owns the listening socket, an epoll
 /// set, and every connection's read side; it parses frames and either
 /// sheds them (RETRYABLE_BUSY, see ServerOptions::queue_limit /
-/// max_pipeline) or hands them to a pool of worker threads. Workers
-/// execute against the (already thread-safe) catalog and write the
-/// response frame back under a per-connection write lock — responses to
+/// max_pipeline) or hands them to a pool of worker threads. The event
+/// loop never writes to a socket — shed and protocol-error replies are
+/// handed to the workers as precomputed responses, so a peer that stops
+/// reading can stall at most one worker (for send_timeout_ms), never
+/// the loop that serves every other connection. Workers execute
+/// against the (already thread-safe) catalog and write the response
+/// frame back under a per-connection write lock — responses to
 /// pipelined requests may interleave in any order, which is why every
 /// frame echoes its request_id. Stop() drains: queued requests are
 /// still executed and answered before the workers exit.
@@ -110,11 +114,17 @@ class Server {
  private:
   struct Connection;  // Defined in server.cc (owns the fd).
 
-  // One parsed request frame awaiting a worker.
+  // One parsed request frame awaiting a worker — or, when has_response
+  // is set, a precomputed control reply (shed / protocol error) that a
+  // worker only needs to write (the event loop must never write).
   struct Task {
     std::shared_ptr<Connection> conn;
     FrameHeader header;
     std::string payload;
+    bool has_response = false;
+    ResponsePayload response;
+    // Shut the connection down after writing (BAD_FRAME semantics).
+    bool close_after = false;
   };
 
   void EventLoop();
@@ -127,9 +137,23 @@ class Server {
   // Returns false when the connection died and was unregistered.
   bool HandleReadable(const std::shared_ptr<Connection>& conn);
 
-  // Enqueues a parsed frame or sheds it with RETRYABLE_BUSY.
-  void EnqueueOrShed(const std::shared_ptr<Connection>& conn,
+  // Enqueues a parsed frame or sheds it with RETRYABLE_BUSY. Returns
+  // false when the connection was dropped (control-reply flood).
+  bool EnqueueOrShed(const std::shared_ptr<Connection>& conn,
                      const FrameHeader& header, std::string_view payload);
+
+  // Hands a precomputed reply (shed or protocol error) to the worker
+  // pool; the event loop must never block on a peer's socket itself.
+  // Returns false when the connection was dropped instead because too
+  // many control replies were already pending on it.
+  bool EnqueueControl(const std::shared_ptr<Connection>& conn,
+                      uint64_t request_id, ResponsePayload response,
+                      bool close_after);
+
+  // Stops watching `conn` (no further reads) without shutting the
+  // socket down, so an already-queued reply can still be written; the
+  // fd closes when the last shared_ptr drops.
+  void Quarantine(const std::shared_ptr<Connection>& conn);
 
   // Executes one request and writes its response frame.
   void ExecuteTask(const Task& task);
@@ -177,6 +201,9 @@ class Server {
   Mutex queue_mu_;
   CondVar queue_cv_;
   std::deque<Task> queue_ AUTHIDX_GUARDED_BY(queue_mu_);
+  // Precomputed shed/error replies; drained ahead of queue_ (cheap,
+  // already built, and generated precisely when queue_ is full).
+  std::deque<Task> control_queue_ AUTHIDX_GUARDED_BY(queue_mu_);
   // Set by Stop() after the event loop exits; workers drain the queue
   // and then return.
   bool stopping_ AUTHIDX_GUARDED_BY(queue_mu_) = false;

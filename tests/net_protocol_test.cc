@@ -226,6 +226,27 @@ TEST(SerdeTest, AddRequestRoundTrip) {
   EXPECT_FALSE(DecodeAddRequest(truncated, &decoded).ok());
 }
 
+TEST(SerdeTest, RejectsForgedCountsBeforeReserving) {
+  // A tiny CRC-valid payload claiming 2^32-1 items must fail count
+  // validation up front — not reserve() gigabytes and die on
+  // bad_alloc (the DoS this guards against).
+  std::string forged;
+  PutVarint32(&forged, 0xffffffffu);
+  std::vector<std::string_view> lines;
+  Status s = DecodeAddRequest(forged, &lines);
+  EXPECT_TRUE(s.IsCorruption()) << s;
+  EXPECT_NE(s.message().find("count"), std::string::npos) << s;
+
+  std::string body;
+  PutVarint64(&body, 1);  // total_matches
+  body.push_back('\0');   // plan
+  PutVarint32(&body, 0xffffffffu);  // forged hit count, empty body
+  WireQueryResult result;
+  s = DecodeQueryResult(body, &result);
+  EXPECT_TRUE(s.IsCorruption()) << s;
+  EXPECT_NE(s.message().find("count"), std::string::npos) << s;
+}
+
 TEST(SerdeTest, QueryResultRoundTripPreservesScoreBits) {
   WireQueryResult result;
   result.total_matches = 12345;

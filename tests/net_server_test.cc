@@ -57,8 +57,9 @@ struct TestServer {
   }
 
   uint64_t CounterValue(const std::string& name) const {
-    const obs::MetricValue* value =
-        server->metrics().Snapshot().Find(name);
+    // Keep the snapshot alive past Find(): the pointer aliases it.
+    obs::MetricsSnapshot snapshot = server->metrics().Snapshot();
+    const obs::MetricValue* value = snapshot.Find(name);
     return value != nullptr ? value->counter : 0;
   }
 };
@@ -347,6 +348,63 @@ TEST(NetServerTest, PerConnectionPipelineLimitSheds) {
     }
   }
   EXPECT_GE(busy, 1u);
+}
+
+// ADD is not idempotent: once the request is fully sent, a failure
+// while waiting for the response must NOT be blindly retried — the
+// server may have executed the ingest with only the reply lost, and a
+// re-send would duplicate entries.
+TEST(NetServerTest, AmbiguousAddFailureIsNotRetried) {
+  ServerOptions options;
+  options.handler_delay_ms_for_test = 100;  // Outlive the client's
+  TestServer fixture(options);              // receive timeout.
+  ClientOptions client_options;
+  client_options.port = fixture.server->port();
+  client_options.io_timeout_ms = 30;
+  client_options.retry.max_attempts = 5;
+  client_options.retry.base_delay_us = 100;
+  Client client(client_options);
+
+  Result<uint64_t> added = client.Add({kMinowTsv});
+  ASSERT_FALSE(added.ok());
+  EXPECT_TRUE(added.status().IsIOError()) << added.status();
+  EXPECT_NE(added.status().message().find("not retried"),
+            std::string::npos)
+      << added.status();
+
+  // The server executes the one ADD it received; a blind retry under
+  // max_attempts=5 would have ingested the line again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_EQ(fixture.catalog->entry_count(), 1u);
+}
+
+// A QUERY whose rendered hit page would overflow the frame cap must
+// not produce a frame the client rejects as corrupt: the server
+// truncates the page to fit while total_matches reports every match.
+TEST(NetServerTest, QueryHitPageIsTruncatedToFitTheFrameCap) {
+  ServerOptions options;
+  options.max_frame_bytes = 4096;
+  TestServer fixture(options);
+  std::vector<Entry> entries;
+  for (uint32_t i = 0; i < 40; ++i) {
+    Entry entry;
+    entry.author = {"Abbott", "A. " + std::to_string(i), "", false};
+    entry.title = "Title number " + std::to_string(i) +
+                  std::string(200, 'x');  // ~230 bytes per hit.
+    entry.citation = {90, i + 1, 1990};
+    entries.push_back(std::move(entry));
+  }
+  ASSERT_TRUE(fixture.catalog->AddAll(std::move(entries)).ok());
+
+  Client client = fixture.MakeClient();  // Default 1 MiB client cap.
+  Result<WireQueryResult> result = client.Query("author:abbott limit:40");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->total_matches, 40u);
+  EXPECT_LT(result->hits.size(), 40u);
+  EXPECT_GE(result->hits.size(), 1u);
+
+  // The connection survives: the response frame stayed under the cap.
+  EXPECT_TRUE(client.Ping().ok());
 }
 
 TEST(NetServerTest, ConnectionLimitRejectsTheOverflow) {
