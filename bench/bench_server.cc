@@ -168,10 +168,27 @@ void BM_ServerOverloadShedding(benchmark::State& state) {
   state.counters["busy"] =
       benchmark::Counter(static_cast<double>(busy), benchmark::Counter::kAvgThreads);
   if (state.thread_index() == 0) {
+    // Keep the snapshot alive past Find(): the pointers alias it.
+    obs::MetricsSnapshot snapshot = f.server->metrics().Snapshot();
     const obs::MetricValue* shed =
-        f.server->metrics().Snapshot().Find("authidx_shed_requests_total");
+        snapshot.Find("authidx_shed_requests_total");
     state.counters["shed_total"] = static_cast<double>(
         shed != nullptr ? shed->counter : 0);
+    // Where the admitted requests' time went: queue wait vs execute.
+    // Under overload queue_wait must dominate — that is what /rpcz
+    // surfaces live and what this counter pins in the bench record.
+    const obs::MetricValue* queue_wait =
+        snapshot.Find("authidx_server_queue_wait_ns");
+    if (queue_wait != nullptr) {
+      state.counters["queue_wait_sum_us"] = static_cast<double>(
+          queue_wait->histogram.sum) / 1000.0;
+    }
+    const obs::MetricValue* execute =
+        snapshot.Find("authidx_server_execute_ns");
+    if (execute != nullptr) {
+      state.counters["execute_sum_us"] = static_cast<double>(
+          execute->histogram.sum) / 1000.0;
+    }
   }
   state.SetItemsProcessed(state.iterations());
 }

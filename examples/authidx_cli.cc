@@ -68,9 +68,11 @@ int Usage() {
       "  slowlog --db DIR [--slow-ms N] 'QUERY'...\n"
       "                             run queries, print captured slow log\n"
       "  remote  [--host H] --port N ping|stats|flush\n"
-      "  remote  [--host H] --port N query 'QUERY'\n"
+      "  remote  [--host H] --port N [--trace] query 'QUERY'\n"
       "  remote  [--host H] --port N add FILE.tsv\n"
-      "                             talk to a running authidx_server\n"
+      "                             talk to a running authidx_server;\n"
+      "                             --trace prints the trace id and the\n"
+      "                             server-side span tree\n"
       "common flags: --log-level debug|info|warn|error, --log-file PATH\n");
   return 1;
 }
@@ -92,6 +94,7 @@ struct Args {
   int port = 8080;
   bool port_set = false;
   int64_t slow_ms = -1;  // -1 = not set.
+  bool trace = false;
   std::string log_level;
   std::string log_file;
   std::vector<std::string> positional;
@@ -118,6 +121,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->subjects = true;
     } else if (arg == "--metrics") {
       args->metrics = true;
+    } else if (arg == "--trace") {
+      args->trace = true;
     } else if (arg == "--port" && i + 1 < argc) {
       Result<int64_t> port = ParseInt64(argv[++i]);
       if (!port.ok() || *port < 0 || *port > 65535) {
@@ -309,6 +314,7 @@ int RunRemote(obs::Logger* logger, const Args& args) {
   options.host = args.host;
   options.port = args.port;
   options.logger = logger;
+  options.trace = args.trace;
   net::Client client(options);
   const std::string& op = args.positional[0];
   if (op == "ping") {
@@ -331,6 +337,21 @@ int RunRemote(obs::Logger* logger, const Args& args) {
     for (const net::WireHit& hit : result->hits) {
       std::printf("%-30s  %-50.50s  %s\n", hit.author.c_str(),
                   hit.title.c_str(), hit.citation.c_str());
+    }
+    if (args.trace) {
+      const net::RpcTrace& rpc_trace = client.last_trace();
+      if (rpc_trace.trace_id.IsZero()) {
+        std::printf("\n(no trace returned by the server)\n");
+      } else {
+        std::printf("\ntrace_id=%s\n",
+                    rpc_trace.trace_id.ToHex().c_str());
+        obs::Trace tree;
+        for (const obs::Trace::Span& span : rpc_trace.spans) {
+          tree.AppendSpan(span.name, span.depth, span.start_ns,
+                          span.duration_ns);
+        }
+        std::printf("%s", tree.ToString().c_str());
+      }
     }
     return 0;
   }

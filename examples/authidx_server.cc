@@ -4,13 +4,14 @@
 //   authidx_server --db DIR [--port N] [--workers N] [--queue-limit N]
 //                  [--max-conns N] [--max-pipeline N]
 //                  [--max-frame-bytes N] [--http-port N] [--slow-ms N]
+//                  [--trace-sample-every N]
 //                  [--log-level L] [--log-file PATH]
 //
 // Speaks the binary wire protocol (docs/PROTOCOL.md) on --port and,
 // when --http-port is given, serves the HTTP observability surface
-// (/metrics /healthz /varz /slowlog) from the same process — one
-// metrics registry covers the engine and the RPC layer. SIGINT/SIGTERM
-// stop accepting, drain queued requests, and exit 0.
+// (/metrics /healthz /varz /slowlog /rpcz /tracez) from the same
+// process — one metrics registry covers the engine and the RPC layer.
+// SIGINT/SIGTERM stop accepting, drain queued requests, and exit 0.
 //
 // Exit status: 0 on clean shutdown, 1 on usage errors, 2 on runtime
 // failures.
@@ -49,8 +50,10 @@ int Usage() {
       "(default 64)\n"
       "  --max-frame-bytes N  drop connections announcing bigger frames\n"
       "  --http-port N        also serve HTTP /metrics /healthz /varz "
-      "/slowlog\n"
+      "/slowlog /rpcz /tracez\n"
       "  --slow-ms N          arm the slow-query log at N ms\n"
+      "  --trace-sample-every N  record a span tree for 1 in N "
+      "untraced requests (0 = off)\n"
       "  --log-level L        debug|info|warn|error (default info)\n"
       "  --log-file PATH      also log to a rotating file\n");
   return 1;
@@ -71,6 +74,7 @@ struct Args {
   int64_t max_frame_bytes = 0;  // 0 = protocol default.
   int http_port = -1;           // -1 = no HTTP endpoint.
   int64_t slow_ms = -1;
+  int64_t trace_sample_every = 0;
   std::string log_level;
   std::string log_file;
 };
@@ -150,6 +154,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       args->slow_ms = *value;
+    } else if (arg == "--trace-sample-every") {
+      const char* text = next();
+      if (text == nullptr) {
+        return false;
+      }
+      Result<int64_t> value = ParseInt64(text);
+      if (!value.ok() || *value < 0) {
+        return false;
+      }
+      args->trace_sample_every = *value;
     } else if (arg == "--log-level") {
       const char* value = next();
       if (value == nullptr) {
@@ -223,6 +237,8 @@ int main(int argc, char** argv) {
   if (args.max_frame_bytes > 0) {
     options.max_frame_bytes = static_cast<size_t>(args.max_frame_bytes);
   }
+  options.trace_sample_every =
+      static_cast<uint64_t>(args.trace_sample_every);
   // Shared registry: engine and RPC instruments on one /metrics page.
   options.metrics = (*catalog)->mutable_metrics();
   options.logger = &logger;
@@ -261,6 +277,19 @@ int main(int argc, char** argv) {
       obs::HttpResponse r;
       r.content_type = "application/json";
       r.body = obs::SlowQueryLog::ToJson(raw->SlowQueries());
+      return r;
+    });
+    net::Server* rpc = &server;
+    http.Route("/rpcz", [rpc] {
+      obs::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = rpc->RpczJson();
+      return r;
+    });
+    http.Route("/tracez", [rpc] {
+      obs::HttpResponse r;
+      r.content_type = "text/plain; charset=utf-8";
+      r.body = rpc->TracezText();
       return r;
     });
     if (Status s = http.Start(args.http_port); !s.ok()) {

@@ -247,13 +247,17 @@ void AuthorIndex::RecordSlowQuery(
   obs::SlowQueryEntry entry;
   entry.unix_ms = obs::WallUnixMillis();
   entry.duration_ns = duration_ns;
+  if (!trace.trace_id().IsZero()) {
+    entry.trace_id = trace.trace_id().ToHex();
+  }
   entry.query = std::string(query_text);
   entry.plan = result.ok()
                    ? std::string(query::PlanKindToString(result->plan))
                    : "error: " + result.status().message();
   entry.spans = trace.spans();
   log_->Log(obs::LogLevel::kWarn, "slow_query",
-            {{"query", entry.query},
+            {{"trace_id", entry.trace_id},
+             {"query", entry.query},
              {"plan", entry.plan},
              {"duration_ns", duration_ns},
              {"spans", static_cast<uint64_t>(entry.spans.size())}});

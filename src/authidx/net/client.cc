@@ -100,7 +100,7 @@ void Client::Close() {
 }
 
 Status Client::SendRequest(Opcode opcode, std::string_view payload,
-                           uint64_t* request_id) {
+                           uint64_t* request_id, obs::TraceId* trace_id) {
   if (fd_ < 0) {
     return Status::FailedPrecondition("client not connected");
   }
@@ -109,7 +109,28 @@ Status Client::SendRequest(Opcode opcode, std::string_view payload,
   header.opcode = opcode;
   header.request_id = *request_id;
   std::string frame;
-  EncodeFrame(header, payload, &frame);
+  if (options_.trace) {
+    TraceContext ctx;
+    do {
+      ctx.trace_id.hi = rng_.Next64();
+      ctx.trace_id.lo = rng_.Next64();
+    } while (ctx.trace_id.IsZero());
+    ctx.sampled = true;
+    header.flags = kFlagTraceContext;
+    std::string prefixed;
+    prefixed.reserve(kTraceContextBytes + payload.size());
+    EncodeTraceContext(ctx, &prefixed);
+    prefixed.append(payload);
+    EncodeFrame(header, prefixed, &frame);
+    if (trace_id != nullptr) {
+      *trace_id = ctx.trace_id;
+    }
+  } else {
+    EncodeFrame(header, payload, &frame);
+    if (trace_id != nullptr) {
+      *trace_id = obs::TraceId{};
+    }
+  }
   int send_errno = 0;
   if (!WriteAll(fd_, frame, &send_errno)) {
     Close();  // close() may clobber errno; send_errno was saved first.
@@ -138,7 +159,23 @@ Status Client::ReceiveResponse(uint64_t* request_id,
         return Status::Corruption("server sent a non-RESPONSE frame");
       }
       *request_id = frame.header.request_id;
-      Status status = DecodeResponsePayload(frame.payload, response);
+      std::string_view payload = frame.payload;
+      last_trace_ = RpcTrace{};
+      if ((frame.header.flags & kFlagTraceContext) != 0) {
+        TraceContext ctx;
+        Status ts = DecodeTraceContext(&payload, &ctx);
+        if (ts.ok()) {
+          ts = DecodeTraceSpans(&payload, &last_trace_.spans);
+        }
+        if (!ts.ok()) {
+          Close();
+          return Status::Corruption("bad response trace context: " +
+                                    std::string(ts.message()));
+        }
+        last_trace_.trace_id = ctx.trace_id;
+        last_trace_.sampled = ctx.sampled;
+      }
+      Status status = DecodeResponsePayload(payload, response);
       read_buffer_.erase(0, frame.frame_bytes);
       if (!status.ok()) {
         Close();

@@ -37,6 +37,24 @@ struct ClientOptions {
   /// Logger for reconnect events (must outlive the client). nullptr
   /// means obs::Logger::Disabled().
   obs::Logger* logger = nullptr;
+  /// Propagate a trace context on every request: each frame carries a
+  /// fresh client-generated trace id with the sampled bit set, and the
+  /// server returns its lifecycle span tree on the response (see
+  /// Client::last_trace()).
+  bool trace = false;
+};
+
+/// The server-returned trace attached to the most recently received
+/// response (see Client::last_trace()).
+struct RpcTrace {
+  /// Correlation id the response carried; zero when the last response
+  /// had no trace context.
+  obs::TraceId trace_id;
+  /// True when the server sampled the request and returned spans.
+  bool sampled = false;
+  /// The server's lifecycle span tree, start times rebased to zero.
+  /// Rebuild a renderable tree with obs::Trace::AppendSpan.
+  std::vector<obs::Trace::Span> spans;
 };
 
 /// Blocking client for the authidx wire protocol (docs/PROTOCOL.md).
@@ -103,14 +121,24 @@ class Client {
   Result<WireStats> Stats();
 
   /// Raw layer: sends one request frame without waiting for the
-  /// response; `*request_id` receives the frame's correlation id. The
-  /// caller must be connected (see Connect()).
+  /// response; `*request_id` receives the frame's correlation id. With
+  /// ClientOptions::trace set, the frame carries a fresh trace
+  /// context, whose id `*trace_id` (optional) receives — the handle
+  /// for matching pipelined responses to their own trace. The caller
+  /// must be connected (see Connect()).
   Status SendRequest(Opcode opcode, std::string_view payload,
-                     uint64_t* request_id);
+                     uint64_t* request_id,
+                     obs::TraceId* trace_id = nullptr);
 
   /// Raw layer: blocks for the next response frame (any request id).
-  /// `*request_id` receives the echoed correlation id.
+  /// `*request_id` receives the echoed correlation id. When the
+  /// response carries a trace context it is captured into
+  /// last_trace(), which is reset otherwise.
   Status ReceiveResponse(uint64_t* request_id, ResponsePayload* response);
+
+  /// The trace returned on the most recently received response (empty
+  /// trace id when that response carried none).
+  const RpcTrace& last_trace() const { return last_trace_; }
 
  private:
   // One connect + send + receive pass; transient failures drop the
@@ -133,6 +161,7 @@ class Client {
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   std::string read_buffer_;
+  RpcTrace last_trace_;
 };
 
 }  // namespace authidx::net

@@ -142,13 +142,81 @@ DecodeOutcome DecodeFrame(std::string_view input, size_t max_frame_bytes,
     return fail("unsupported protocol version " +
                 std::to_string(header.version));
   }
-  if (header.flags != 0) {
-    return fail("nonzero reserved flags");
+  if ((header.flags & ~kKnownFlagsMask) != 0) {
+    return fail("unknown bits " +
+                std::to_string(header.flags & ~kKnownFlagsMask) +
+                " in flags field");
   }
   out->header = header;
   out->payload = body.substr(kFrameHeaderBytes - 4);
   out->frame_bytes = frame_bytes;
   return DecodeOutcome::kFrame;
+}
+
+void EncodeTraceContext(const TraceContext& ctx, std::string* dst) {
+  PutFixed64(dst, ctx.trace_id.hi);
+  PutFixed64(dst, ctx.trace_id.lo);
+  dst->push_back(ctx.sampled ? '\x01' : '\x00');
+}
+
+Status DecodeTraceContext(std::string_view* payload, TraceContext* ctx) {
+  if (payload->size() < kTraceContextBytes) {
+    return Status::Corruption("trace context of " +
+                              std::to_string(payload->size()) +
+                              " bytes, need " +
+                              std::to_string(kTraceContextBytes));
+  }
+  ctx->trace_id.hi = DecodeFixed64(payload->data());
+  ctx->trace_id.lo = DecodeFixed64(payload->data() + 8);
+  uint8_t sampled = static_cast<uint8_t>((*payload)[16]);
+  if (sampled > 1) {
+    return Status::Corruption("trace context sampling byte " +
+                              std::to_string(sampled) + " is not 0 or 1");
+  }
+  ctx->sampled = sampled == 1;
+  payload->remove_prefix(kTraceContextBytes);
+  return Status::OK();
+}
+
+void EncodeTraceSpans(const std::vector<obs::Trace::Span>& spans,
+                      std::string* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(spans.size()));
+  uint64_t base_ns = spans.empty() ? 0 : spans.front().start_ns;
+  for (const obs::Trace::Span& span : spans) {
+    PutLengthPrefixed(dst, span.name);
+    PutVarint32(dst, static_cast<uint32_t>(span.depth));
+    PutVarint64(dst, span.start_ns - base_ns);
+    PutVarint64(dst, span.duration_ns);
+  }
+}
+
+Status DecodeTraceSpans(std::string_view* payload,
+                        std::vector<obs::Trace::Span>* spans) {
+  uint32_t count = 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint32(payload, &count));
+  // Every span costs at least 4 encoded bytes; a count beyond the
+  // remaining payload is corrupt. Same peer-controlled-count defense
+  // as DecodeAddRequest: validate before the reserve().
+  if (count > payload->size()) {
+    return Status::Corruption("span count " + std::to_string(count) +
+                              " exceeds remaining payload of " +
+                              std::to_string(payload->size()) + " bytes");
+  }
+  spans->clear();
+  spans->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    obs::Trace::Span span;
+    std::string_view name;
+    AUTHIDX_RETURN_NOT_OK(GetLengthPrefixed(payload, &name));
+    span.name = std::string(name);
+    uint32_t depth = 0;
+    AUTHIDX_RETURN_NOT_OK(GetVarint32(payload, &depth));
+    span.depth = static_cast<int>(depth);
+    AUTHIDX_RETURN_NOT_OK(GetVarint64(payload, &span.start_ns));
+    AUTHIDX_RETURN_NOT_OK(GetVarint64(payload, &span.duration_ns));
+    spans->push_back(std::move(span));
+  }
+  return Status::OK();
 }
 
 void EncodeQueryRequest(std::string_view query_text, std::string* dst) {

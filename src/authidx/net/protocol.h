@@ -10,6 +10,7 @@
 #include "authidx/common/result.h"
 #include "authidx/common/status.h"
 #include "authidx/model/record.h"
+#include "authidx/obs/trace.h"
 
 namespace authidx::net {
 
@@ -136,6 +137,71 @@ inline constexpr WireStatusInfo kWireStatusTable[] = {
 /// Spec name of `status` ("RETRYABLE_BUSY"); "UNKNOWN" for unassigned.
 std::string_view WireStatusName(WireStatus status);
 
+/// Frame-header flag bit: when set, the payload begins with a
+/// kTraceContextBytes trace-context prefix (16-byte trace id + 1-byte
+/// sampling decision); the logical payload follows it. Valid on
+/// requests (client asks the server to trace) and responses (server
+/// returns the trace id plus its span tree ahead of the response
+/// payload). See docs/PROTOCOL.md "Trace context".
+inline constexpr uint16_t kFlagTraceContext = 0x0001;
+
+/// Every flag bit assigned in protocol version 1. DecodeFrame rejects
+/// frames with any bit outside this mask set (kError, connection
+/// closed) so unassigned bits stay meaningful for future versions.
+inline constexpr uint16_t kKnownFlagsMask = kFlagTraceContext;
+
+/// One row of the flag table: the bit and its spec name.
+struct FlagInfo {
+  /// Wire bit (a power of two).
+  uint16_t bit;
+  /// Name used in docs/PROTOCOL.md.
+  const char* name;
+};
+
+/// Every assigned flag bit, in bit order. docs/PROTOCOL.md's flag
+/// table is checked row-for-row against this array.
+inline constexpr FlagInfo kFlagTable[] = {
+    {kFlagTraceContext, "TRACE_CONTEXT"},
+};
+
+/// Bytes of the trace-context payload prefix: 16-byte trace id
+/// (hi u64 LE, lo u64 LE) + 1-byte sampling decision (0 or 1).
+inline constexpr size_t kTraceContextBytes = 17;
+
+/// The trace-context extension carried when kFlagTraceContext is set:
+/// the 128-bit correlation id plus whether the sender decided to
+/// sample (record spans for) this request.
+struct TraceContext {
+  /// Correlation id; the zero sentinel means "no trace".
+  obs::TraceId trace_id;
+  /// True when the sender sampled this request; the receiver records
+  /// spans and returns them on the response.
+  bool sampled = false;
+};
+
+/// Appends the kTraceContextBytes prefix encoding `ctx` to `*dst`.
+void EncodeTraceContext(const TraceContext& ctx, std::string* dst);
+
+/// Strips a trace-context prefix from the front of `*payload` into
+/// `*ctx`. Fails with Corruption when fewer than kTraceContextBytes
+/// remain or the sampling byte is not 0/1.
+Status DecodeTraceContext(std::string_view* payload, TraceContext* ctx);
+
+/// Appends a span list (the server's lifecycle span tree) to `*dst`:
+/// varint32 count, then per span a length-prefixed name, varint32
+/// depth, varint64 start offset (ns relative to the first span's
+/// start), varint64 duration ns. Start offsets keep the encoding
+/// compact and clock-domain free: the receiver rebases onto its own
+/// zero.
+void EncodeTraceSpans(const std::vector<obs::Trace::Span>& spans,
+                      std::string* dst);
+
+/// Decodes a span list from the front of `*payload` (consuming it),
+/// rebasing start times at zero. Fails with Corruption on truncation
+/// or when the count exceeds the remaining payload.
+Status DecodeTraceSpans(std::string_view* payload,
+                        std::vector<obs::Trace::Span>* spans);
+
 /// Maps an engine Status onto the wire (codes 0-10 map one-for-one).
 WireStatus WireStatusFromStatus(const Status& status);
 
@@ -153,7 +219,8 @@ struct FrameHeader {
   uint8_t version = kProtocolVersion;
   /// Operation selector.
   Opcode opcode = Opcode::kPing;
-  /// Reserved; must be zero in version 1.
+  /// Assigned bits in kKnownFlagsMask (kFlagTraceContext); all other
+  /// bits are reserved and must be zero in version 1.
   uint16_t flags = 0;
   /// Client-chosen correlation id, echoed verbatim in the response;
   /// what makes pipelining possible.

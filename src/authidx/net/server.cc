@@ -16,6 +16,7 @@
 
 #include "authidx/common/coding.h"
 #include "authidx/common/env.h"
+#include "authidx/common/strings.h"
 #include "authidx/parse/tsv.h"
 
 namespace authidx::net {
@@ -48,6 +49,25 @@ Status SetNonBlocking(int fd) {
     return Status::IOError("fcntl O_NONBLOCK: " + ErrnoMessage(errno));
   }
   return Status::OK();
+}
+
+// Dense index of a request opcode in the per-opcode instrument arrays
+// (kOpcodeTable order); -1 for RESPONSE and unassigned values.
+int OpIndex(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kPing:
+      return 0;
+    case Opcode::kQuery:
+      return 1;
+    case Opcode::kAdd:
+      return 2;
+    case Opcode::kFlush:
+      return 3;
+    case Opcode::kStats:
+      return 4;
+    default:
+      return -1;
+  }
 }
 
 }  // namespace
@@ -83,7 +103,11 @@ struct Server::Connection {
 };
 
 Server::Server(core::AuthorIndex* catalog, ServerOptions options)
-    : catalog_(catalog), options_(std::move(options)) {
+    : catalog_(catalog),
+      options_(std::move(options)),
+      sampler_(options_.trace_sample_every),
+      trace_store_(options_.trace_store_per_bucket),
+      trace_rng_(obs::MonotonicNowNs() | 1) {
   if (options_.metrics != nullptr) {
     metrics_ = options_.metrics;
   } else {
@@ -104,18 +128,51 @@ Server::Server(core::AuthorIndex* catalog, ServerOptions options)
   requests_total_ = metrics_->RegisterCounter(
       "authidx_server_requests_total",
       "Requests executed by the worker pool (any outcome)");
+  // Labeled per-opcode views registered right after their unlabeled
+  // aggregate so metrics_text groups each family under one HELP/TYPE.
+  for (size_t i = 0; i < kNumOps; ++i) {
+    op_requests_total_[i] = metrics_->RegisterCounter(
+        std::string("authidx_server_requests_total{op=\"") +
+            kOpcodeTable[i].name + "\"}",
+        "Requests executed by the worker pool (any outcome)");
+  }
+  errors_total_ = metrics_->RegisterCounter(
+      "authidx_server_errors_total",
+      "Requests answered with a non-OK wire status");
+  for (size_t i = 0; i < kNumOps; ++i) {
+    op_errors_total_[i] = metrics_->RegisterCounter(
+        std::string("authidx_server_errors_total{op=\"") +
+            kOpcodeTable[i].name + "\"}",
+        "Requests answered with a non-OK wire status");
+  }
   shed_requests_total_ = metrics_->RegisterCounter(
       "authidx_shed_requests_total",
       "Requests shed with RETRYABLE_BUSY by admission control");
   bad_frames_total_ = metrics_->RegisterCounter(
       "authidx_server_bad_frames_total",
       "Frames rejected for length/version/CRC violations");
+  truncated_results_total_ = metrics_->RegisterCounter(
+      "authidx_server_truncated_results_total",
+      "QUERY responses whose hit page was cut to fit max_frame_bytes");
   queue_depth_ = metrics_->RegisterGauge(
       "authidx_server_queue_depth",
       "Requests waiting in the worker queue");
   request_ns_ = metrics_->RegisterLatencyHistogram(
       "authidx_server_request_duration_ns",
       "Server-side request latency from dequeue to response written");
+  for (size_t i = 0; i < kNumOps; ++i) {
+    op_request_ns_[i] = metrics_->RegisterLatencyHistogram(
+        std::string("authidx_server_request_duration_ns{op=\"") +
+            kOpcodeTable[i].name + "\"}",
+        "Server-side request latency from dequeue to response written");
+  }
+  queue_wait_ns_ = metrics_->RegisterLatencyHistogram(
+      "authidx_server_queue_wait_ns",
+      "Time a request spent in the worker queue before execution");
+  execute_ns_ = metrics_->RegisterLatencyHistogram(
+      "authidx_server_execute_ns",
+      "Time a worker spent executing a request (excluding queue and "
+      "response write)");
   bytes_in_total_ = metrics_->RegisterCounter(
       "authidx_server_bytes_in_total", "Bytes read from clients");
   bytes_out_total_ = metrics_->RegisterCounter(
@@ -333,6 +390,7 @@ void Server::AcceptPending() {
 }
 
 bool Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  uint64_t read_ns = obs::MonotonicNowNs();
   char buf[65536];
   ssize_t n = ::read(conn->fd, buf, sizeof(buf));
   if (n == 0) {
@@ -346,6 +404,7 @@ bool Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
     Unregister(conn);
     return false;
   }
+  uint64_t read_done_ns = obs::MonotonicNowNs();
   bytes_in_total_->Inc(static_cast<uint64_t>(n));
   conn->read_buffer.append(buf, static_cast<size_t>(n));
 
@@ -374,6 +433,30 @@ bool Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
       EnqueueControl(conn, 0, std::move(response), /*close_after=*/true);
       return false;
     }
+    FrameMeta meta;
+    meta.read_ns = read_ns;
+    meta.read_done_ns = read_done_ns;
+    meta.decoded_ns = obs::MonotonicNowNs();
+    std::string_view payload = frame.payload;
+    if ((frame.header.flags & kFlagTraceContext) != 0) {
+      Status ts = DecodeTraceContext(&payload, &meta.trace_ctx);
+      if (!ts.ok()) {
+        // CRC-valid but the advertised extension is malformed; the
+        // payload boundary is untrustworthy, so treat it like a
+        // framing error: answer BAD_FRAME and drop the connection.
+        bad_frames_total_->Inc();
+        log_->Log(obs::LogLevel::kWarn, "bad_frame",
+                  {{"error", ts.message()}});
+        ResponsePayload response;
+        response.status = WireStatus::kBadFrame;
+        response.message = ts.message();
+        Quarantine(conn);
+        EnqueueControl(conn, frame.header.request_id, std::move(response),
+                       /*close_after=*/true);
+        return false;
+      }
+      meta.traced = true;
+    }
     if (frame.header.opcode == Opcode::kResponse ||
         !IsKnownOpcode(static_cast<uint8_t>(frame.header.opcode))) {
       // CRC-valid, so the stream stays in sync: answer and keep going.
@@ -387,7 +470,7 @@ bool Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
                           std::move(response), /*close_after=*/false)) {
         return false;
       }
-    } else if (!EnqueueOrShed(conn, frame.header, frame.payload)) {
+    } else if (!EnqueueOrShed(conn, frame.header, payload, meta)) {
       return false;
     }
     conn->read_buffer.erase(0, frame.frame_bytes);
@@ -396,7 +479,8 @@ bool Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
 
 bool Server::EnqueueOrShed(const std::shared_ptr<Connection>& conn,
                            const FrameHeader& header,
-                           std::string_view payload) {
+                           std::string_view payload,
+                           const FrameMeta& meta) {
   const char* shed_reason = nullptr;
   if (conn->in_flight.load(std::memory_order_relaxed) >=
       options_.max_pipeline) {
@@ -411,6 +495,17 @@ bool Server::EnqueueOrShed(const std::shared_ptr<Connection>& conn,
       task.conn = conn;
       task.header = header;
       task.payload = std::string(payload);
+      task.meta = meta;
+      // A client-supplied trace context owns the sampling decision;
+      // otherwise the head sampler takes one in every
+      // trace_sample_every. Sample() and the id check are
+      // allocation-free, so the unsampled hot path stays clean.
+      task.sampled =
+          meta.traced ? meta.trace_ctx.sampled : sampler_.Sample();
+      if (task.sampled && task.meta.trace_ctx.trace_id.IsZero()) {
+        task.meta.trace_ctx.trace_id = GenerateTraceId();
+      }
+      task.enqueue_ns = obs::MonotonicNowNs();
       queue_.push_back(std::move(task));
       queue_depth_->Set(static_cast<int64_t>(queue_.size()));
       queue_cv_.NotifyOne();
@@ -488,29 +583,149 @@ void Server::ExecuteTask(const Task& task) {
     // Precomputed shed/error reply: write it, and for BAD_FRAME shut
     // the (already quarantined) connection down afterwards. Not a
     // catalog request, so requests_total_/request_ns_ stay untouched.
-    WriteResponse(task.conn, task.header.request_id, task.response);
+    WriteResponse(task.conn, task.header.request_id, task.response, {});
     if (task.close_after) {
       Unregister(task.conn);
     }
     task.conn->pending_control.fetch_sub(1, std::memory_order_relaxed);
     return;
   }
-  uint64_t start_ns = obs::MonotonicNowNs();
+  uint64_t dequeue_ns = obs::MonotonicNowNs();
+  uint64_t queue_wait_ns =
+      dequeue_ns >= task.enqueue_ns ? dequeue_ns - task.enqueue_ns : 0;
+  queue_wait_ns_->Record(queue_wait_ns);
+  int op = OpIndex(task.header.opcode);
+  if (op >= 0) {
+    op_queue_wait_sum_ns_[op].fetch_add(queue_wait_ns,
+                                        std::memory_order_relaxed);
+  }
   if (options_.handler_delay_ms_for_test > 0) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(options_.handler_delay_ms_for_test));
   }
-  ResponsePayload response = HandleRequest(task.header, task.payload);
+  // The engine appends its spans here for sampled requests; default
+  // construction allocates nothing, so unsampled requests pay only the
+  // null check.
+  obs::Trace engine_trace;
+  engine_trace.set_trace_id(task.meta.trace_ctx.trace_id);
+  uint64_t exec_start_ns = obs::MonotonicNowNs();
+  ResponsePayload response =
+      HandleRequest(task, task.sampled ? &engine_trace : nullptr);
+  uint64_t exec_ns = obs::MonotonicNowNs() - exec_start_ns;
+  execute_ns_->Record(exec_ns);
   // Count before writing: once the response is on the wire a client
   // may immediately scrape /metrics and must see this request.
   requests_total_->Inc();
-  WriteResponse(task.conn, task.header.request_id, response);
-  request_ns_->Record(obs::MonotonicNowNs() - start_ns);
+  if (op >= 0) {
+    op_execute_sum_ns_[op].fetch_add(exec_ns, std::memory_order_relaxed);
+    op_requests_total_[op]->Inc();
+    if (response.status != WireStatus::kOk) {
+      errors_total_->Inc();
+      op_errors_total_[op]->Inc();
+    }
+  }
+
+  // Sampled requests get the lifecycle span tree assembled; it ships
+  // back ahead of the response payload only when the request carried
+  // trace context (head sampling is a server-local decision — untraced
+  // clients never see trace bytes). Traced-but-unsampled requests get
+  // their context echoed with an empty span list so the client can
+  // still correlate. Untraced, unsampled requests skip all of this —
+  // no allocation, no encoding.
+  std::string trace_prefix;
+  obs::Trace tree;
+  size_t root_index = 0;
+  if (task.sampled) {
+    tree.set_trace_id(task.meta.trace_ctx.trace_id);
+    std::string root_name =
+        "rpc/" + std::string(OpcodeName(task.header.opcode));
+    root_index = tree.AppendSpan(root_name, 0, task.meta.read_ns, 0);
+    tree.AppendSpan("socket_read", 1, task.meta.read_ns,
+                    task.meta.read_done_ns - task.meta.read_ns);
+    tree.AppendSpan("decode", 1, task.meta.read_done_ns,
+                    task.meta.decoded_ns - task.meta.read_done_ns);
+    tree.AppendSpan("queue_wait", 1, task.enqueue_ns, queue_wait_ns);
+    tree.AppendSpan("execute", 1, exec_start_ns, exec_ns);
+    for (const obs::Trace::Span& span : engine_trace.spans()) {
+      tree.AppendSpan(span.name, span.depth + 2, span.start_ns,
+                      span.duration_ns);
+    }
+    // The wire copy of the tree necessarily ends here: the encode
+    // and send spans cannot be inside the bytes they produce. The
+    // stored /tracez copy is finalized with them after the write.
+    tree.EndSpan(root_index, obs::MonotonicNowNs() - task.meta.read_ns);
+  }
+  if (task.meta.traced) {
+    TraceContext out_ctx = task.meta.trace_ctx;
+    out_ctx.sampled = task.sampled;
+    uint64_t encode_start_ns = obs::MonotonicNowNs();
+    EncodeTraceContext(out_ctx, &trace_prefix);
+    EncodeTraceSpans(tree.spans(), &trace_prefix);
+    if (task.sampled) {
+      tree.AppendSpan("encode", 1, encode_start_ns,
+                      obs::MonotonicNowNs() - encode_start_ns);
+    }
+  }
+
+  uint64_t send_start_ns = obs::MonotonicNowNs();
+  WriteResponse(task.conn, task.header.request_id, response, trace_prefix);
+  uint64_t send_end_ns = obs::MonotonicNowNs();
+  request_ns_->Record(send_end_ns - dequeue_ns);
+  if (op >= 0) {
+    op_request_ns_[op]->Record(send_end_ns - dequeue_ns);
+  }
   task.conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
+
+  // Retain the trace when sampled — and always when the whole RPC
+  // crossed the engine's slow-query threshold, so the tail is captured
+  // even at a 1-in-N sampling rate (the skeleton built here has no
+  // engine spans; the allocation only happens on the already-slow
+  // path).
+  uint64_t total_ns = send_end_ns - task.meta.read_ns;
+  uint64_t slow_ns = catalog_->slow_query_threshold_ns();
+  bool slow = slow_ns > 0 && total_ns >= slow_ns;
+  if (task.sampled || slow) {
+    obs::TraceId id = task.meta.trace_ctx.trace_id;
+    if (id.IsZero()) {
+      id = GenerateTraceId();
+    }
+    if (!task.sampled) {
+      tree.set_trace_id(id);
+      std::string root_name =
+          "rpc/" + std::string(OpcodeName(task.header.opcode));
+      root_index = tree.AppendSpan(root_name, 0, task.meta.read_ns, 0);
+      tree.AppendSpan("socket_read", 1, task.meta.read_ns,
+                      task.meta.read_done_ns - task.meta.read_ns);
+      tree.AppendSpan("decode", 1, task.meta.read_done_ns,
+                      task.meta.decoded_ns - task.meta.read_done_ns);
+      tree.AppendSpan("queue_wait", 1, task.enqueue_ns, queue_wait_ns);
+      tree.AppendSpan("execute", 1, exec_start_ns, exec_ns);
+    }
+    tree.AppendSpan("send", 1, send_start_ns,
+                    send_end_ns - send_start_ns);
+    tree.EndSpan(root_index, total_ns);
+    obs::StoredTrace stored;
+    stored.id = id;
+    stored.unix_ms = obs::WallUnixMillis();
+    stored.opcode = std::string(OpcodeName(task.header.opcode));
+    stored.duration_ns = total_ns;
+    stored.spans = tree.spans();
+    trace_store_.Record(std::move(stored));
+    std::string id_hex = id.ToHex();
+    log_->Log(obs::LogLevel::kInfo, "rpc",
+              {{"trace_id", id_hex},
+               {"op", OpcodeName(task.header.opcode)},
+               {"status", WireStatusName(response.status)},
+               {"duration_ns", total_ns},
+               {"queue_wait_ns", queue_wait_ns},
+               {"execute_ns", exec_ns},
+               {"sampled", task.sampled}});
+  }
 }
 
-ResponsePayload Server::HandleRequest(const FrameHeader& header,
-                                      std::string_view payload) {
+ResponsePayload Server::HandleRequest(const Task& task, obs::Trace* trace) {
+  const FrameHeader& header = task.header;
+  std::string_view payload = task.payload;
   ResponsePayload response;
   auto fail = [&response](const Status& status) {
     response.status = WireStatusFromStatus(status);
@@ -526,7 +741,8 @@ ResponsePayload Server::HandleRequest(const FrameHeader& header,
         fail(s);
         break;
       }
-      Result<query::QueryResult> result = catalog_->Search(query_text);
+      Result<query::QueryResult> result =
+          catalog_->SearchTraced(query_text, trace);
       if (!result.ok()) {
         fail(result.status());
         break;
@@ -541,8 +757,13 @@ ResponsePayload Server::HandleRequest(const FrameHeader& header,
       // refuses too — it would report Corruption and drop the
       // connection. Budget = cap minus framing and worst-case fixed
       // response fields; per-hit cost is worst-case varints plus the
-      // rendered strings. total_matches still reports every match.
-      const size_t reserved = kFrameOverheadBytes + 32;
+      // rendered strings. total_matches still reports every match. A
+      // traced response also carries the trace-context prefix and the
+      // lifecycle span tree ahead of the payload, so reserve room for
+      // them too (span names are short; 1 KiB covers a deep tree).
+      const size_t reserved =
+          kFrameOverheadBytes + 32 +
+          (task.meta.traced ? kTraceContextBytes + 1024 : 0);
       const size_t budget = options_.max_frame_bytes > reserved
                                 ? options_.max_frame_bytes - reserved
                                 : 0;
@@ -571,8 +792,13 @@ ResponsePayload Server::HandleRequest(const FrameHeader& header,
         wire.hits.push_back(std::move(wire_hit));
       }
       if (page_truncated) {
+        truncated_results_total_->Inc();
+        std::string id_hex = task.meta.trace_ctx.trace_id.ToHex();
         log_->Log(obs::LogLevel::kWarn, "query_result_truncated",
                   {{"request_id", header.request_id},
+                   {"trace_id", task.meta.trace_ctx.trace_id.IsZero()
+                                    ? std::string_view()
+                                    : std::string_view(id_hex)},
                    {"returned", static_cast<uint64_t>(wire.hits.size())},
                    {"total_matches", wire.total_matches}});
       }
@@ -634,11 +860,13 @@ ResponsePayload Server::HandleRequest(const FrameHeader& header,
 
 void Server::WriteResponse(const std::shared_ptr<Connection>& conn,
                            uint64_t request_id,
-                           const ResponsePayload& response) {
-  std::string payload;
+                           const ResponsePayload& response,
+                           std::string_view trace_prefix) {
+  std::string payload(trace_prefix);
   EncodeResponsePayload(response, &payload);
   FrameHeader header;
   header.opcode = Opcode::kResponse;
+  header.flags = trace_prefix.empty() ? 0 : kFlagTraceContext;
   header.request_id = request_id;
   std::string frame;
   EncodeFrame(header, payload, &frame);
@@ -655,6 +883,70 @@ void Server::WriteResponse(const std::shared_ptr<Connection>& conn,
     conn->closed.store(true, std::memory_order_relaxed);
     ::shutdown(conn->fd, SHUT_RDWR);
   }
+}
+
+obs::TraceId Server::GenerateTraceId() {
+  MutexLock lock(trace_mu_);
+  obs::TraceId id;
+  do {
+    id.hi = trace_rng_.Next64();
+    id.lo = trace_rng_.Next64();
+  } while (id.IsZero());
+  return id;
+}
+
+std::string Server::RpczJson() const {
+  std::string out = "{\"ops\":[";
+  for (size_t i = 0; i < kNumOps; ++i) {
+    obs::HistogramSnapshot latency = op_request_ns_[i]->Snapshot();
+    if (i > 0) {
+      out += ",";
+    }
+    out += StringPrintf(
+        "{\"op\":\"%s\",\"requests\":%llu,\"errors\":%llu,"
+        "\"p50_ns\":%llu,\"p90_ns\":%llu,\"p99_ns\":%llu,"
+        "\"latency_sum_ns\":%llu,\"queue_wait_sum_ns\":%llu,"
+        "\"execute_sum_ns\":%llu}",
+        kOpcodeTable[i].name,
+        static_cast<unsigned long long>(op_requests_total_[i]->Value()),
+        static_cast<unsigned long long>(op_errors_total_[i]->Value()),
+        static_cast<unsigned long long>(latency.p50),
+        static_cast<unsigned long long>(latency.p90),
+        static_cast<unsigned long long>(latency.p99),
+        static_cast<unsigned long long>(latency.sum),
+        static_cast<unsigned long long>(
+            op_queue_wait_sum_ns_[i].load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            op_execute_sum_ns_[i].load(std::memory_order_relaxed)));
+  }
+  obs::HistogramSnapshot queue_wait = queue_wait_ns_->Snapshot();
+  obs::HistogramSnapshot execute = execute_ns_->Snapshot();
+  out += StringPrintf(
+      "],\"requests\":%llu,\"errors\":%llu,\"shed_requests\":%llu,"
+      "\"bad_frames\":%llu,\"truncated_results\":%llu,"
+      "\"queue_wait\":{\"count\":%llu,\"sum_ns\":%llu,\"p50_ns\":%llu,"
+      "\"p90_ns\":%llu,\"p99_ns\":%llu},"
+      "\"execute\":{\"count\":%llu,\"sum_ns\":%llu,\"p50_ns\":%llu,"
+      "\"p90_ns\":%llu,\"p99_ns\":%llu},"
+      "\"traces_recorded\":%llu,\"traces_retained\":%zu}",
+      static_cast<unsigned long long>(requests_total_->Value()),
+      static_cast<unsigned long long>(errors_total_->Value()),
+      static_cast<unsigned long long>(shed_requests_total_->Value()),
+      static_cast<unsigned long long>(bad_frames_total_->Value()),
+      static_cast<unsigned long long>(truncated_results_total_->Value()),
+      static_cast<unsigned long long>(queue_wait.count),
+      static_cast<unsigned long long>(queue_wait.sum),
+      static_cast<unsigned long long>(queue_wait.p50),
+      static_cast<unsigned long long>(queue_wait.p90),
+      static_cast<unsigned long long>(queue_wait.p99),
+      static_cast<unsigned long long>(execute.count),
+      static_cast<unsigned long long>(execute.sum),
+      static_cast<unsigned long long>(execute.p50),
+      static_cast<unsigned long long>(execute.p90),
+      static_cast<unsigned long long>(execute.p99),
+      static_cast<unsigned long long>(trace_store_.total_recorded()),
+      trace_store_.size());
+  return out;
 }
 
 void Server::Quarantine(const std::shared_ptr<Connection>& conn) {

@@ -11,12 +11,14 @@
 #include <vector>
 
 #include "authidx/common/mutex.h"
+#include "authidx/common/random.h"
 #include "authidx/common/status.h"
 #include "authidx/common/thread_annotations.h"
 #include "authidx/core/author_index.h"
 #include "authidx/net/protocol.h"
 #include "authidx/obs/log.h"
 #include "authidx/obs/metrics.h"
+#include "authidx/obs/trace_store.h"
 
 namespace authidx::net {
 
@@ -57,6 +59,15 @@ struct ServerOptions {
   /// Logger for lifecycle events (must outlive the server). nullptr
   /// means obs::Logger::Disabled().
   obs::Logger* logger = nullptr;
+  /// Head sampling: record a full lifecycle span tree for one request
+  /// in every this-many that arrive without a client trace context
+  /// (requests whose frame carries one follow the client's sampling
+  /// decision instead). 0 disables server-side head sampling; requests
+  /// slower than the catalog's slow-query threshold are still sampled.
+  uint64_t trace_sample_every = 0;
+  /// Sampled traces retained per latency-decade bucket of the trace
+  /// store (see obs::TraceStore; total capacity is 6x this).
+  size_t trace_store_per_bucket = 8;
   /// Test-only: every request handler sleeps this long before
   /// executing, making "worker busy" states deterministic in shedding
   /// and drain tests. 0 in production.
@@ -111,8 +122,34 @@ class Server {
   /// options, or the private default).
   const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
+  /// The store of sampled completed RPC traces backing /tracez.
+  const obs::TraceStore& trace_store() const { return trace_store_; }
+
+  /// The /rpcz page: a JSON object with one RED row per opcode
+  /// (request count, error count, latency quantiles, queue-wait vs
+  /// execute time) plus aggregate shed/bad-frame/truncation counters
+  /// and the queue-wait and execute histograms. Thread-safe.
+  std::string RpczJson() const;
+
+  /// The /tracez page: recent sampled traces bucketed by latency
+  /// decade, rendered as span trees with trace ids. Thread-safe.
+  std::string TracezText() const { return trace_store_.RenderText(); }
+
  private:
   struct Connection;  // Defined in server.cc (owns the fd).
+
+  // Per-frame context captured by the event loop before enqueueing:
+  // the decoded trace extension (if any) and lifecycle timestamps.
+  // All POD — carrying it through the queue never allocates.
+  struct FrameMeta {
+    TraceContext trace_ctx;
+    // The request frame carried kFlagTraceContext; the response must
+    // carry the context back regardless of the sampling decision.
+    bool traced = false;
+    uint64_t read_ns = 0;       // Before the read() that completed it.
+    uint64_t read_done_ns = 0;  // After that read() returned.
+    uint64_t decoded_ns = 0;    // After DecodeFrame accepted it.
+  };
 
   // One parsed request frame awaiting a worker — or, when has_response
   // is set, a precomputed control reply (shed / protocol error) that a
@@ -121,6 +158,11 @@ class Server {
     std::shared_ptr<Connection> conn;
     FrameHeader header;
     std::string payload;
+    FrameMeta meta;
+    // Record a lifecycle span tree for this request (client decision
+    // when traced, head sampler otherwise).
+    bool sampled = false;
+    uint64_t enqueue_ns = 0;
     bool has_response = false;
     ResponsePayload response;
     // Shut the connection down after writing (BAD_FRAME semantics).
@@ -140,7 +182,8 @@ class Server {
   // Enqueues a parsed frame or sheds it with RETRYABLE_BUSY. Returns
   // false when the connection was dropped (control-reply flood).
   bool EnqueueOrShed(const std::shared_ptr<Connection>& conn,
-                     const FrameHeader& header, std::string_view payload);
+                     const FrameHeader& header, std::string_view payload,
+                     const FrameMeta& meta);
 
   // Hands a precomputed reply (shed or protocol error) to the worker
   // pool; the event loop must never block on a peer's socket itself.
@@ -158,14 +201,20 @@ class Server {
   // Executes one request and writes its response frame.
   void ExecuteTask(const Task& task);
 
-  // Builds the response payload for one request (no I/O).
-  ResponsePayload HandleRequest(const FrameHeader& header,
-                                std::string_view payload);
+  // Builds the response payload for one request (no I/O). Engine spans
+  // are appended to `trace` when non-null (sampled requests only).
+  ResponsePayload HandleRequest(const Task& task, obs::Trace* trace);
 
   // Serializes and writes a response frame on `conn` (takes its write
-  // lock; drops the connection on write failure).
+  // lock; drops the connection on write failure). A non-empty
+  // trace_prefix (encoded trace context + span list) is spliced ahead
+  // of the response payload with kFlagTraceContext set.
   void WriteResponse(const std::shared_ptr<Connection>& conn,
-                     uint64_t request_id, const ResponsePayload& response);
+                     uint64_t request_id, const ResponsePayload& response,
+                     std::string_view trace_prefix);
+
+  // A fresh nonzero trace id from the server's RNG. Thread-safe.
+  obs::TraceId GenerateTraceId();
 
   // Removes `conn` from the epoll set and the live map.
   void Unregister(const std::shared_ptr<Connection>& conn);
@@ -178,16 +227,40 @@ class Server {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Logger* log_ = nullptr;  // Never null (Logger::Disabled()).
 
+  // Request opcodes get a dense index (PING=0 .. STATS=4) for the
+  // per-opcode instrument arrays below.
+  static constexpr size_t kNumOps = 5;
+
   obs::Counter* connections_total_ = nullptr;
   obs::Gauge* active_connections_ = nullptr;
   obs::Counter* rejected_connections_total_ = nullptr;
   obs::Counter* requests_total_ = nullptr;
+  obs::Counter* errors_total_ = nullptr;
   obs::Counter* shed_requests_total_ = nullptr;
   obs::Counter* bad_frames_total_ = nullptr;
+  obs::Counter* truncated_results_total_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
   obs::LatencyHistogram* request_ns_ = nullptr;
+  obs::LatencyHistogram* queue_wait_ns_ = nullptr;
+  obs::LatencyHistogram* execute_ns_ = nullptr;
   obs::Counter* bytes_in_total_ = nullptr;
   obs::Counter* bytes_out_total_ = nullptr;
+  // Per-opcode views of the request/error/latency families (labeled
+  // `{op="QUERY"}` etc. on /metrics).
+  obs::Counter* op_requests_total_[kNumOps] = {};
+  obs::Counter* op_errors_total_[kNumOps] = {};
+  obs::LatencyHistogram* op_request_ns_[kNumOps] = {};
+  // Per-opcode queue-wait vs execute time for the /rpcz breakdown
+  // (plain relaxed sums; the aggregate histograms carry the quantiles).
+  std::atomic<uint64_t> op_queue_wait_sum_ns_[kNumOps] = {};
+  std::atomic<uint64_t> op_execute_sum_ns_[kNumOps] = {};
+
+  obs::TraceSampler sampler_;
+  obs::TraceStore trace_store_;
+  Mutex trace_mu_;
+  // Generates trace ids for head-sampled requests that arrived without
+  // a client context (and for slow-path always-samples).
+  Random trace_rng_ AUTHIDX_GUARDED_BY(trace_mu_);
 
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;

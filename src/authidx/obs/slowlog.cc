@@ -50,6 +50,8 @@ std::string SlowQueryLog::ToJson(
     out += std::to_string(e.unix_ms);
     out += ",\"duration_ns\":";
     out += std::to_string(e.duration_ns);
+    out += ",\"trace_id\":";
+    out += JsonQuote(e.trace_id);
     out += ",\"query\":";
     out += JsonQuote(e.query);
     out += ",\"plan\":";

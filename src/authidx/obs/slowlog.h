@@ -18,6 +18,10 @@ struct SlowQueryEntry {
   uint64_t unix_ms = 0;
   /// End-to-end query duration in nanoseconds.
   uint64_t duration_ns = 0;
+  /// Hex trace id of the RPC this query served (TraceId::ToHex), so
+  /// one grep correlates /slowlog with server logs and /tracez; empty
+  /// when the query carried no trace context.
+  std::string trace_id;
   /// The query text as submitted.
   std::string query;
   /// Planner's chosen plan kind (query::PlanKindToString).
@@ -51,7 +55,7 @@ class SlowQueryLog {
   size_t capacity() const { return capacity_; }
 
   /// Renders entries as a JSON array of objects with keys `unix_ms`,
-  /// `duration_ns`, `query`, `plan`, and `spans` (array of
+  /// `duration_ns`, `trace_id`, `query`, `plan`, and `spans` (array of
   /// {name, depth, start_ns, duration_ns}). Stable field order.
   static std::string ToJson(const std::vector<SlowQueryEntry>& entries);
 

@@ -23,11 +23,28 @@ std::string FormatNs(uint64_t ns) {
 
 }  // namespace
 
+std::string TraceId::ToHex() const {
+  return StringPrintf("%016llx%016llx",
+                      static_cast<unsigned long long>(hi),
+                      static_cast<unsigned long long>(lo));
+}
+
 size_t Trace::StartSpan(std::string_view name) {
   Span span;
   span.name = std::string(name);
   span.depth = depth_++;
   span.start_ns = MonotonicNowNs();
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+size_t Trace::AppendSpan(std::string_view name, int depth,
+                         uint64_t start_ns, uint64_t duration_ns) {
+  Span span;
+  span.name = std::string(name);
+  span.depth = depth;
+  span.start_ns = start_ns;
+  span.duration_ns = duration_ns;
   spans_.push_back(std::move(span));
   return spans_.size() - 1;
 }

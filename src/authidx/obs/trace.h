@@ -10,6 +10,37 @@
 
 namespace authidx::obs {
 
+/// 128-bit request correlation id. Generated at the edge that first
+/// samples a request (net::Client when tracing is enabled, the server
+/// head-sampler otherwise), propagated across the wire in the frame
+/// trace-context extension (docs/PROTOCOL.md), and stamped into
+/// structured log events, slowlog entries, and /tracez — so one
+/// `grep trace_id=<hex>` reconstructs a request end to end. The
+/// all-zero value is the "no trace" sentinel and is never generated.
+struct TraceId {
+  /// Most significant 8 bytes.
+  uint64_t hi = 0;
+  /// Least significant 8 bytes.
+  uint64_t lo = 0;
+
+  /// True for the all-zero "no trace" sentinel.
+  bool IsZero() const { return hi == 0 && lo == 0; }
+
+  /// 32 lowercase hex characters, hi half first — the rendering every
+  /// log line, CLI output, and HTTP surface uses, so grep matches.
+  std::string ToHex() const;
+
+  /// Value equality.
+  friend bool operator==(const TraceId& a, const TraceId& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+
+  /// Value inequality.
+  friend bool operator!=(const TraceId& a, const TraceId& b) {
+    return !(a == b);
+  }
+};
+
 /// Per-request buffer of completed spans forming a tree (parents open
 /// before and close after their children). NOT thread-safe: one Trace
 /// belongs to one request on one thread; unlike the metric instruments
@@ -42,8 +73,25 @@ class Trace {
   /// Closes the span returned by StartSpan with its elapsed time.
   void EndSpan(size_t index, uint64_t duration_ns);
 
+  /// Appends one fully-specified span (explicit depth and timing)
+  /// without touching the StartSpan/EndSpan depth counter. For
+  /// assembling a tree from spans timed elsewhere — the RPC server
+  /// grafts the engine's spans under its lifecycle spans this way, and
+  /// the client rebuilds the server's tree from the wire. Spans must be
+  /// appended in start order for ToString() to render the tree
+  /// correctly. Returns the span's index (usable with EndSpan to set a
+  /// duration known only later).
+  size_t AppendSpan(std::string_view name, int depth, uint64_t start_ns,
+                    uint64_t duration_ns);
+
   /// Completed and still-open spans, in start order.
   const std::vector<Span>& spans() const { return spans_; }
+
+  /// Stamps the correlation id carried by this trace (see TraceId).
+  void set_trace_id(TraceId id) { trace_id_ = id; }
+
+  /// The correlation id, or the zero sentinel when never stamped.
+  TraceId trace_id() const { return trace_id_; }
 
   /// Renders the span tree with per-span durations and percent of the
   /// root span's duration, one span per line.
@@ -52,6 +100,7 @@ class Trace {
  private:
   std::vector<Span> spans_;
   int depth_ = 0;
+  TraceId trace_id_;
 };
 
 /// RAII timer for one span. Records the elapsed time into `histogram`

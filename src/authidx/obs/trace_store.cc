@@ -1,0 +1,124 @@
+#include "authidx/obs/trace_store.h"
+
+#include <utility>
+
+#include "authidx/common/strings.h"
+
+namespace authidx::obs {
+
+namespace {
+
+// Bucket upper bounds in ns; the last bucket is unbounded.
+constexpr uint64_t kBucketUpperNs[TraceStore::kBuckets - 1] = {
+    100ULL * 1000,                // 100 us
+    1000ULL * 1000,               // 1 ms
+    10ULL * 1000 * 1000,          // 10 ms
+    100ULL * 1000 * 1000,         // 100 ms
+    1000ULL * 1000 * 1000,        // 1 s
+};
+
+constexpr std::string_view kBucketLabels[TraceStore::kBuckets] = {
+    "[0, 100us)",  "[100us, 1ms)", "[1ms, 10ms)",
+    "[10ms, 100ms)", "[100ms, 1s)", "[1s, inf)",
+};
+
+}  // namespace
+
+TraceStore::TraceStore(size_t per_bucket_capacity)
+    : per_bucket_(per_bucket_capacity == 0 ? 1 : per_bucket_capacity) {}
+
+size_t TraceStore::BucketIndex(uint64_t duration_ns) {
+  for (size_t i = 0; i < kBuckets - 1; ++i) {
+    if (duration_ns < kBucketUpperNs[i]) {
+      return i;
+    }
+  }
+  return kBuckets - 1;
+}
+
+std::string_view TraceStore::BucketLabel(size_t index) {
+  return kBucketLabels[index < kBuckets ? index : kBuckets - 1];
+}
+
+void TraceStore::Record(StoredTrace trace) {
+  size_t index = BucketIndex(trace.duration_ns);
+  MutexLock lock(mu_);
+  Bucket& bucket = buckets_[index];
+  ++total_;
+  if (bucket.ring.size() < per_bucket_) {
+    bucket.ring.push_back(std::move(trace));
+    return;
+  }
+  bucket.ring[bucket.start] = std::move(trace);
+  bucket.start = (bucket.start + 1) % per_bucket_;
+}
+
+std::vector<StoredTrace> TraceStore::Snapshot() const {
+  std::vector<StoredTrace> out;
+  MutexLock lock(mu_);
+  for (size_t b = kBuckets; b-- > 0;) {
+    const Bucket& bucket = buckets_[b];
+    for (size_t i = 0; i < bucket.ring.size(); ++i) {
+      out.push_back(bucket.ring[(bucket.start + i) % bucket.ring.size()]);
+    }
+  }
+  return out;
+}
+
+uint64_t TraceStore::total_recorded() const {
+  MutexLock lock(mu_);
+  return total_;
+}
+
+size_t TraceStore::size() const {
+  MutexLock lock(mu_);
+  size_t n = 0;
+  for (const Bucket& bucket : buckets_) {
+    n += bucket.ring.size();
+  }
+  return n;
+}
+
+std::string TraceStore::RenderText() const {
+  std::string out = "tracez: recent sampled traces, slowest bucket first\n";
+  uint64_t total;
+  size_t retained = 0;
+  std::vector<StoredTrace> traces;
+  {
+    MutexLock lock(mu_);
+    total = total_;
+    for (size_t b = kBuckets; b-- > 0;) {
+      const Bucket& bucket = buckets_[b];
+      retained += bucket.ring.size();
+      for (size_t i = 0; i < bucket.ring.size(); ++i) {
+        traces.push_back(bucket.ring[(bucket.start + i) % bucket.ring.size()]);
+      }
+    }
+  }
+  out += StringPrintf("recorded=%llu retained=%zu capacity=%zu\n",
+                      static_cast<unsigned long long>(total), retained,
+                      capacity());
+  size_t current_bucket = kBuckets;  // Sentinel: no heading printed yet.
+  for (const StoredTrace& trace : traces) {
+    size_t bucket = BucketIndex(trace.duration_ns);
+    if (bucket != current_bucket) {
+      current_bucket = bucket;
+      out += StringPrintf("\n== latency %.*s ==\n",
+                          static_cast<int>(BucketLabel(bucket).size()),
+                          BucketLabel(bucket).data());
+    }
+    out += StringPrintf(
+        "\ntrace_id=%s op=%s unix_ms=%llu duration_ns=%llu\n",
+        trace.id.ToHex().c_str(), trace.opcode.c_str(),
+        static_cast<unsigned long long>(trace.unix_ms),
+        static_cast<unsigned long long>(trace.duration_ns));
+    Trace tree;
+    for (const Trace::Span& span : trace.spans) {
+      tree.AppendSpan(span.name, span.depth, span.start_ns, span.duration_ns);
+    }
+    out += tree.ToString();
+  }
+  return out;
+}
+
+}  // namespace authidx::obs

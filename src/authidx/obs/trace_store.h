@@ -1,0 +1,127 @@
+#ifndef AUTHIDX_OBS_TRACE_STORE_H_
+#define AUTHIDX_OBS_TRACE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "authidx/common/mutex.h"
+#include "authidx/common/thread_annotations.h"
+#include "authidx/obs/trace.h"
+
+namespace authidx::obs {
+
+/// Head-sampling decision maker: Sample() returns true for exactly one
+/// request in every `every` (a round-robin over an atomic counter, so
+/// the rate is exact even under concurrent callers — no RNG, no
+/// clock). `every` == 0 disables sampling (Sample() is always false),
+/// `every` == 1 samples everything. The negative path is one relaxed
+/// fetch_add: wait-free and allocation-free, safe on the request hot
+/// path.
+class TraceSampler {
+ public:
+  /// Sampler taking every `every`-th request (0 = never).
+  explicit TraceSampler(uint64_t every) : every_(every) {}
+
+  TraceSampler(const TraceSampler&) = delete;
+  TraceSampler& operator=(const TraceSampler&) = delete;
+
+  /// True when this request should be traced. Wait-free,
+  /// allocation-free, thread-safe.
+  bool Sample() {
+    if (every_ == 0) {
+      return false;
+    }
+    return counter_.fetch_add(1, std::memory_order_relaxed) % every_ == 0;
+  }
+
+  /// The configured rate (0 = disabled).
+  uint64_t every() const { return every_; }
+
+ private:
+  const uint64_t every_;
+  std::atomic<uint64_t> counter_{0};
+};
+
+/// One completed, sampled RPC retained for /tracez.
+struct StoredTrace {
+  /// Correlation id (never zero for a stored trace).
+  TraceId id;
+  /// Wall-clock completion time, milliseconds since the Unix epoch.
+  uint64_t unix_ms = 0;
+  /// Opcode spec name ("QUERY", "PING", ...).
+  std::string opcode;
+  /// End-to-end server-side duration (socket read to response sent).
+  uint64_t duration_ns = 0;
+  /// Full span tree, start order (see Trace::Span for the encoding).
+  std::vector<Trace::Span> spans;
+};
+
+/// Thread-safe bounded store of recent sampled traces, bucketed by
+/// latency decade so one flood of fast requests cannot evict the slow
+/// outliers an operator is hunting (the same reasoning as rpcz/tracez
+/// in production RPC stacks: tails are the signal). Each bucket is a
+/// small ring overwriting its own oldest entry; the whole store never
+/// holds more than kBuckets * per_bucket_capacity traces, no matter
+/// how many writers race. Record() takes a mutex and copies — it runs
+/// only for sampled requests, which are off the hot path by
+/// construction.
+class TraceStore {
+ public:
+  /// Latency-decade buckets: [0, 100us), [100us, 1ms), [1ms, 10ms),
+  /// [10ms, 100ms), [100ms, 1s), [1s, inf).
+  static constexpr size_t kBuckets = 6;
+
+  /// Store retaining up to `per_bucket_capacity` traces per latency
+  /// decade (minimum 1).
+  explicit TraceStore(size_t per_bucket_capacity = 8);
+
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  /// Retains `trace`, evicting the oldest entry of its latency bucket
+  /// when that bucket is full. Thread-safe.
+  void Record(StoredTrace trace);
+
+  /// Copies every retained trace, slowest bucket first, oldest first
+  /// within a bucket. Thread-safe.
+  std::vector<StoredTrace> Snapshot() const;
+
+  /// Traces ever recorded, including evicted ones. Thread-safe.
+  uint64_t total_recorded() const;
+
+  /// Retained traces right now (never exceeds capacity()). Thread-safe.
+  size_t size() const;
+
+  /// Hard bound on retained traces: kBuckets * per_bucket_capacity.
+  size_t capacity() const { return kBuckets * per_bucket_; }
+
+  /// The latency bucket `duration_ns` lands in (exposed for tests and
+  /// the /tracez renderer).
+  static size_t BucketIndex(uint64_t duration_ns);
+
+  /// Human label of bucket `index` ("[1ms, 10ms)").
+  static std::string_view BucketLabel(size_t index);
+
+  /// Renders the retained traces as the /tracez text page: one section
+  /// per non-empty latency bucket (slowest first), each trace with its
+  /// id, opcode, capture time, duration, and span tree. Thread-safe.
+  std::string RenderText() const;
+
+ private:
+  struct Bucket {
+    // ring[(start + i) % per_bucket_]
+    std::vector<StoredTrace> ring;
+    size_t start = 0;
+  };
+
+  const size_t per_bucket_;
+  mutable Mutex mu_;
+  Bucket buckets_[kBuckets] AUTHIDX_GUARDED_BY(mu_);
+  uint64_t total_ AUTHIDX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace authidx::obs
+
+#endif  // AUTHIDX_OBS_TRACE_STORE_H_

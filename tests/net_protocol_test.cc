@@ -172,8 +172,9 @@ TEST(FrameTest, RejectsBadVersionLengthAndFlags) {
       DecodeOutcome::kError);
   EXPECT_NE(error.message().find("version"), std::string::npos) << error;
 
+  // Bit 15 is outside kKnownFlagsMask; bit 0 (TRACE_CONTEXT) is legal.
   std::string bad_flags = frame;
-  bad_flags[6] = 1;
+  bad_flags[7] = static_cast<char>(0x80);
   crc = crc32c::Value(
       std::string_view(bad_flags).substr(4, bad_flags.size() - 8));
   fixed_crc.clear();
@@ -191,6 +192,99 @@ TEST(FrameTest, RejectsBadVersionLengthAndFlags) {
             DecodeOutcome::kError);
   EXPECT_NE(error.message().find("below minimum"), std::string::npos)
       << error;
+}
+
+TEST(FrameTest, AcceptsAssignedFlagBits) {
+  FrameHeader header;
+  header.opcode = Opcode::kQuery;
+  header.flags = kFlagTraceContext;
+  header.request_id = 11;
+  std::string frame;
+  EncodeFrame(header, "body", &frame);
+  DecodedFrame decoded;
+  Status error;
+  ASSERT_EQ(DecodeFrame(frame, kMaxFrameBytesDefault, &decoded, &error),
+            DecodeOutcome::kFrame)
+      << error;
+  EXPECT_EQ(decoded.header.flags, kFlagTraceContext);
+}
+
+TEST(TraceContextTest, RoundTrip) {
+  TraceContext ctx;
+  ctx.trace_id = obs::TraceId{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  ctx.sampled = true;
+  std::string wire;
+  EncodeTraceContext(ctx, &wire);
+  ASSERT_EQ(wire.size(), kTraceContextBytes);
+  wire += "payload after the prefix";
+
+  std::string_view view = wire;
+  TraceContext decoded;
+  ASSERT_TRUE(DecodeTraceContext(&view, &decoded).ok());
+  EXPECT_EQ(decoded.trace_id, ctx.trace_id);
+  EXPECT_TRUE(decoded.sampled);
+  // The prefix — and only the prefix — is consumed.
+  EXPECT_EQ(view, "payload after the prefix");
+}
+
+TEST(TraceContextTest, RejectsShortPrefixAndBadSamplingByte) {
+  TraceContext ctx;
+  ctx.trace_id = obs::TraceId{1, 2};
+  std::string wire;
+  EncodeTraceContext(ctx, &wire);
+
+  std::string_view truncated = std::string_view(wire).substr(0, 16);
+  TraceContext decoded;
+  EXPECT_TRUE(DecodeTraceContext(&truncated, &decoded).IsCorruption());
+
+  std::string bad = wire;
+  bad[16] = 2;  // Sampling byte must be 0 or 1.
+  std::string_view view = bad;
+  EXPECT_TRUE(DecodeTraceContext(&view, &decoded).IsCorruption());
+}
+
+TEST(TraceContextTest, SpanListRoundTripPreservesTreeShape) {
+  obs::Trace trace;
+  trace.AppendSpan("rpc/QUERY", 0, 5'000'000, 900);
+  trace.AppendSpan("execute", 1, 5'000'100, 200);
+  ASSERT_EQ(trace.spans().size(), 2u);
+
+  std::string wire;
+  EncodeTraceSpans(trace.spans(), &wire);
+  wire += "rest";
+  std::string_view view = wire;
+  std::vector<obs::Trace::Span> decoded;
+  ASSERT_TRUE(DecodeTraceSpans(&view, &decoded).ok());
+  EXPECT_EQ(view, "rest");
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].name, "rpc/QUERY");
+  EXPECT_EQ(decoded[0].depth, 0);
+  EXPECT_EQ(decoded[1].name, "execute");
+  EXPECT_EQ(decoded[1].depth, 1);
+  // Start offsets are relative to the first span, so the root is 0 and
+  // children keep their distance from it.
+  EXPECT_EQ(decoded[0].start_ns, 0u);
+  EXPECT_EQ(decoded[1].start_ns,
+            trace.spans()[1].start_ns - trace.spans()[0].start_ns);
+  EXPECT_EQ(decoded[1].duration_ns, trace.spans()[1].duration_ns);
+
+  // Empty list is a single zero count byte.
+  std::string empty;
+  EncodeTraceSpans({}, &empty);
+  EXPECT_EQ(empty.size(), 1u);
+  std::string_view empty_view = empty;
+  ASSERT_TRUE(DecodeTraceSpans(&empty_view, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(TraceContextTest, RejectsForgedSpanCountBeforeReserving) {
+  std::string forged;
+  PutVarint32(&forged, 0xffffffffu);
+  std::string_view view = forged;
+  std::vector<obs::Trace::Span> spans;
+  Status s = DecodeTraceSpans(&view, &spans);
+  EXPECT_TRUE(s.IsCorruption()) << s;
+  EXPECT_NE(s.message().find("count"), std::string::npos) << s;
 }
 
 TEST(SerdeTest, QueryRequestRoundTrip) {
@@ -413,6 +507,31 @@ TEST(DocSyncTest, ProtocolDocListsEveryWireStatus) {
   }
   EXPECT_EQ(doc_rows, rows)
       << "docs/PROTOCOL.md has extra or missing status rows";
+}
+
+// The flag table is normative the same way: every assigned bit in the
+// header must appear in the doc (bit index, value, and name), and the
+// doc must not invent bits the header does not assign.
+TEST(DocSyncTest, ProtocolDocListsEveryFlagBit) {
+  std::string doc = ReadDoc("docs/PROTOCOL.md");
+  uint16_t mask = 0;
+  for (const FlagInfo& info : kFlagTable) {
+    unsigned index = 0;
+    while ((info.bit >> index) != 1u) {
+      ++index;
+    }
+    std::string row =
+        StringPrintf("| bit %u (value %u) | `%s` |", index,
+                     static_cast<unsigned>(info.bit), info.name);
+    EXPECT_NE(doc.find(row), std::string::npos)
+        << "docs/PROTOCOL.md is missing the flag row: " << row;
+    mask = static_cast<uint16_t>(mask | info.bit);
+  }
+  // The table and the mask must agree, or DecodeFrame rejects (or
+  // accepts) bits the doc says otherwise about.
+  EXPECT_EQ(mask, kKnownFlagsMask);
+  EXPECT_EQ(CountTableRows(doc, "| bit "), std::size(kFlagTable))
+      << "docs/PROTOCOL.md has extra or missing flag rows";
 }
 
 // The frame constants quoted in the doc's layout section must match.

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -61,6 +62,20 @@ struct TestServer {
     obs::MetricsSnapshot snapshot = server->metrics().Snapshot();
     const obs::MetricValue* value = snapshot.Find(name);
     return value != nullptr ? value->counter : 0;
+  }
+
+  // The worker records a trace AFTER writing the response, so a client
+  // that just received its reply can race the store briefly; poll.
+  uint64_t WaitForTraces(uint64_t at_least) const {
+    uint64_t recorded = 0;
+    for (int i = 0; i < 400; ++i) {
+      recorded = server->trace_store().total_recorded();
+      if (recorded >= at_least) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return recorded;
   }
 };
 
@@ -505,6 +520,119 @@ TEST(NetServerTest, DegradedEngineSurfacesStickyErrorOverRpc) {
   server.Stop();
   catalog->reset();
   std::filesystem::remove_all(dir);
+}
+
+// A traced query must come back with the client's trace id and the
+// server's span tree, and the same id must be findable server-side in
+// /tracez and /rpcz — that is the whole point of wire propagation.
+TEST(NetServerTest, TracedQueryPropagatesIdAndReturnsSpanTree) {
+  TestServer fixture;
+  ASSERT_TRUE(fixture.catalog
+                  ->AddAll(*ParseTsv(std::string(kMinowTsv) + "\n"))
+                  .ok());
+  ClientOptions options;
+  options.port = fixture.server->port();
+  options.retry.max_attempts = 1;
+  options.trace = true;
+  Client client(options);
+
+  Result<WireQueryResult> result = client.Query("author:minow");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->hits.size(), 1u);
+
+  const RpcTrace& trace = client.last_trace();
+  EXPECT_FALSE(trace.trace_id.IsZero());
+  EXPECT_TRUE(trace.sampled);
+  ASSERT_FALSE(trace.spans.empty());
+  EXPECT_EQ(trace.spans[0].name, "rpc/QUERY");
+  EXPECT_EQ(trace.spans[0].depth, 0);
+  std::set<std::string> names;
+  for (const obs::Trace::Span& span : trace.spans) {
+    names.insert(span.name);
+  }
+  // The RPC lifecycle children are always present...
+  EXPECT_TRUE(names.count("socket_read")) << "missing socket_read";
+  EXPECT_TRUE(names.count("decode")) << "missing decode";
+  EXPECT_TRUE(names.count("queue_wait")) << "missing queue_wait";
+  EXPECT_TRUE(names.count("execute")) << "missing execute";
+  // ...with the engine's own spans grafted beneath "execute".
+  EXPECT_TRUE(names.count("query")) << "missing engine query span";
+  EXPECT_TRUE(names.count("parse")) << "missing engine parse span";
+
+  // The same trace id is recoverable server-side.
+  EXPECT_GE(fixture.WaitForTraces(1), 1u);
+  std::string hex = trace.trace_id.ToHex();
+  EXPECT_NE(fixture.server->TracezText().find(hex), std::string::npos)
+      << "trace " << hex << " not in /tracez";
+  std::string rpcz = fixture.server->RpczJson();
+  EXPECT_NE(rpcz.find("\"QUERY\""), std::string::npos) << rpcz;
+}
+
+// Out-of-order pipelined responses must each carry the trace id of
+// their own request — a server that answers from one shared slot (or
+// cross-wires trace prefixes between connections' in-flight requests)
+// fails this.
+TEST(NetServerTest, PipelinedTracesMatchTheirOwnRequests) {
+  TestServer fixture;
+  ASSERT_TRUE(fixture.catalog
+                  ->AddAll(*ParseTsv(std::string(kMinowTsv) + "\n" +
+                                     kArceneauxTsv + "\n"))
+                  .ok());
+  ClientOptions options;
+  options.port = fixture.server->port();
+  options.retry.max_attempts = 1;
+  options.trace = true;
+  Client client(options);
+  ASSERT_TRUE(client.Connect().ok());
+
+  std::string query_payload;
+  EncodeQueryRequest("author:minow", &query_payload);
+  constexpr size_t kDepth = 8;
+  std::map<uint64_t, obs::TraceId> sent;  // request_id -> trace id
+  std::map<uint64_t, std::string> root;   // request_id -> root span
+  for (size_t i = 0; i < kDepth; ++i) {
+    uint64_t id = 0;
+    obs::TraceId trace_id;
+    Status s = (i % 2 == 0)
+                   ? client.SendRequest(Opcode::kQuery, query_payload,
+                                        &id, &trace_id)
+                   : client.SendRequest(Opcode::kPing, {}, &id, &trace_id);
+    ASSERT_TRUE(s.ok()) << s;
+    EXPECT_FALSE(trace_id.IsZero());
+    ASSERT_TRUE(sent.emplace(id, trace_id).second);
+    root.emplace(id, i % 2 == 0 ? "rpc/QUERY" : "rpc/PING");
+  }
+  for (size_t i = 0; i < kDepth; ++i) {
+    uint64_t id = 0;
+    ResponsePayload response;
+    ASSERT_TRUE(client.ReceiveResponse(&id, &response).ok());
+    EXPECT_EQ(response.status, WireStatus::kOk);
+    ASSERT_EQ(sent.count(id), 1u) << "unknown response id " << id;
+    // The response's trace context is the one this request carried,
+    // independent of the order responses came back in.
+    EXPECT_EQ(client.last_trace().trace_id, sent[id])
+        << "trace id mismatch on request " << id;
+    ASSERT_FALSE(client.last_trace().spans.empty());
+    EXPECT_EQ(client.last_trace().spans[0].name, root[id]);
+    sent.erase(id);
+  }
+  EXPECT_TRUE(sent.empty());
+  EXPECT_GE(fixture.WaitForTraces(kDepth), kDepth);
+}
+
+// Head sampling without client trace context: the server records 1 in
+// N requests into its own store, and responses stay flag-free (the
+// decision is local; untraced clients never see trace bytes).
+TEST(NetServerTest, HeadSamplingRecordsUntracedRequests) {
+  ServerOptions options;
+  options.trace_sample_every = 1;  // Sample everything.
+  TestServer fixture(options);
+  Client client = fixture.MakeClient();
+  ASSERT_TRUE(client.Ping().ok());
+  EXPECT_GE(fixture.WaitForTraces(1), 1u);
+  // The client saw no trace context on the wire.
+  EXPECT_TRUE(client.last_trace().trace_id.IsZero());
+  EXPECT_TRUE(client.last_trace().spans.empty());
 }
 
 TEST(NetServerTest, StartStopLifecycle) {

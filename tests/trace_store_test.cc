@@ -1,0 +1,204 @@
+#include "authidx/obs/trace_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+// Global allocation counter: the no-allocation test below snapshots it
+// around TraceSampler::Sample to prove the disabled/untraced hot path
+// never touches the heap. Every other test tolerates the counting.
+namespace {
+std::atomic<uint64_t> g_heap_allocations{0};
+}  // namespace
+
+// noinline: when GCC inlines replaced global operators it pairs the
+// caller's new with the inlined free() and emits a spurious
+// -Wmismatched-new-delete.
+[[gnu::noinline]] void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* ptr = std::malloc(size)) {
+    return ptr;
+  }
+  throw std::bad_alloc();
+}
+
+[[gnu::noinline]] void operator delete(void* ptr) noexcept { std::free(ptr); }
+[[gnu::noinline]] void operator delete(void* ptr, std::size_t) noexcept {
+  std::free(ptr);
+}
+
+namespace authidx::obs {
+namespace {
+
+StoredTrace MakeTrace(uint64_t lo, uint64_t duration_ns) {
+  StoredTrace trace;
+  trace.id = TraceId{0xabcdull, lo};
+  trace.unix_ms = 1700000000000ull;
+  trace.opcode = "QUERY";
+  trace.duration_ns = duration_ns;
+  Trace tree;
+  tree.AppendSpan("rpc/QUERY", 0, 0, duration_ns);
+  trace.spans = tree.spans();
+  return trace;
+}
+
+TEST(TraceSamplerTest, ZeroRateNeverSamples) {
+  TraceSampler sampler(0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(sampler.Sample());
+  }
+}
+
+TEST(TraceSamplerTest, RateOneAlwaysSamples) {
+  TraceSampler sampler(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(sampler.Sample());
+  }
+}
+
+TEST(TraceSamplerTest, SamplesExactlyOneInN) {
+  TraceSampler sampler(4);
+  int sampled = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (sampler.Sample()) {
+      ++sampled;
+    }
+  }
+  EXPECT_EQ(sampled, 100);
+}
+
+// The atomic ticket makes the rate exact even under contention: T
+// threads drawing S tickets each sample exactly T*S/every requests
+// between them, never more (no double-sampled ticket, TSan-checked).
+TEST(TraceSamplerTest, ConcurrentRateStaysExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  TraceSampler sampler(4);
+  std::atomic<int> sampled{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      int mine = 0;
+      for (int i = 0; i < kPerThread; ++i) {
+        if (sampler.Sample()) {
+          ++mine;
+        }
+      }
+      sampled.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(sampled.load(), kThreads * kPerThread / 4);
+}
+
+// Sampling is on the hot path of every request when enabled, and the
+// not-sampled outcome is the overwhelmingly common one: it must stay
+// allocation-free.
+TEST(TraceSamplerTest, SampleDoesNotAllocate) {
+  TraceSampler off(0);
+  TraceSampler on(128);
+  uint64_t before = g_heap_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    off.Sample();
+    on.Sample();
+  }
+  EXPECT_EQ(g_heap_allocations.load(std::memory_order_relaxed), before);
+}
+
+TEST(TraceStoreTest, BucketIndexSplitsByLatencyDecade) {
+  EXPECT_EQ(TraceStore::BucketIndex(0), 0u);
+  EXPECT_EQ(TraceStore::BucketIndex(99'999), 0u);
+  EXPECT_EQ(TraceStore::BucketIndex(100'000), 1u);
+  EXPECT_EQ(TraceStore::BucketIndex(999'999), 1u);
+  EXPECT_EQ(TraceStore::BucketIndex(1'000'000), 2u);
+  EXPECT_EQ(TraceStore::BucketIndex(10'000'000), 3u);
+  EXPECT_EQ(TraceStore::BucketIndex(100'000'000), 4u);
+  EXPECT_EQ(TraceStore::BucketIndex(1'000'000'000), 5u);
+  EXPECT_EQ(TraceStore::BucketIndex(~0ull), 5u);
+  for (size_t i = 0; i < TraceStore::kBuckets; ++i) {
+    EXPECT_FALSE(TraceStore::BucketLabel(i).empty());
+  }
+}
+
+TEST(TraceStoreTest, SnapshotReturnsSlowestBucketFirst) {
+  TraceStore store(4);
+  store.Record(MakeTrace(1, 50'000));          // [0, 100us)
+  store.Record(MakeTrace(2, 2'000'000));       // [1ms, 10ms)
+  store.Record(MakeTrace(3, 1'500'000'000));   // [1s, inf)
+  ASSERT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.total_recorded(), 3u);
+
+  std::vector<StoredTrace> snapshot = store.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].duration_ns, 1'500'000'000u);
+  EXPECT_EQ(snapshot[1].duration_ns, 2'000'000u);
+  EXPECT_EQ(snapshot[2].duration_ns, 50'000u);
+}
+
+TEST(TraceStoreTest, EachBucketEvictsItsOldestAtCapacity) {
+  TraceStore store(2);
+  EXPECT_EQ(store.capacity(), 2 * TraceStore::kBuckets);
+  // Five traces land in the same [0, 100us) bucket; only the two most
+  // recent survive, but the total keeps counting.
+  for (uint64_t i = 1; i <= 5; ++i) {
+    store.Record(MakeTrace(i, 1'000 * i));
+  }
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.total_recorded(), 5u);
+  std::vector<StoredTrace> snapshot = store.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].id.lo, 4u);
+  EXPECT_EQ(snapshot[1].id.lo, 5u);
+}
+
+// Worker threads record concurrently; the store must never hold more
+// than its capacity and must count every record (TSan-checked under
+// the sanitize label).
+TEST(TraceStoreTest, ConcurrentRecordRespectsCapacity) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  TraceStore store(4);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Spread across buckets so every ring sees contention.
+        uint64_t duration =
+            (i % 2 == 0) ? 1'000u : 1'000'000'000u * (t % 2 + 1);
+        store.Record(
+            MakeTrace(static_cast<uint64_t>(t * kPerThread + i), duration));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(store.total_recorded(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_LE(store.size(), store.capacity());
+  EXPECT_LE(store.Snapshot().size(), store.capacity());
+}
+
+TEST(TraceStoreTest, RenderTextShowsIdsOpcodesAndSpans) {
+  TraceStore store(4);
+  StoredTrace trace = MakeTrace(0xbeef, 2'000'000);
+  std::string hex = trace.id.ToHex();
+  store.Record(trace);
+  std::string text = store.RenderText();
+  EXPECT_NE(text.find(hex), std::string::npos) << text;
+  EXPECT_NE(text.find("QUERY"), std::string::npos) << text;
+  EXPECT_NE(text.find("rpc/QUERY"), std::string::npos) << text;
+  EXPECT_NE(text.find("recorded=1"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace authidx::obs
