@@ -4,18 +4,26 @@
 // pipelining win at depth 8, and an overload phase that drives the
 // worker queue past its bound to demonstrate load shedding (the
 // "shed_total" counter must end > 0; see docs/SERVER.md).
+//
+// B14: replication — write-to-replica propagation lag against a live
+// WAL-shipping follower, and bulk catch-up throughput over a cold
+// subscription (see docs/REPLICATION.md).
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "authidx/core/author_index.h"
 #include "authidx/net/client.h"
+#include "authidx/net/replica.h"
 #include "authidx/net/server.h"
+#include "authidx/parse/tsv.h"
 #include "authidx/workload/corpus.h"
 
 namespace authidx::net {
@@ -196,6 +204,116 @@ BENCHMARK(BM_ServerOverloadShedding)
     ->Threads(8)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
+
+// Persistent primary + server + persistent follower over loopback,
+// leaked like the fixtures above. The entry pool is pre-generated so
+// corpus synthesis never lands in a timed region.
+struct ReplFixture {
+  std::string primary_dir;
+  std::string replica_dir;
+  std::unique_ptr<core::AuthorIndex> primary;
+  std::unique_ptr<Server> server;
+  std::unique_ptr<core::AuthorIndex> replica;
+  std::unique_ptr<ReplicationFollower> follower;
+  std::vector<Entry> pool;
+  size_t next = 0;
+
+  explicit ReplFixture(const char* tag) {
+    std::string base = std::filesystem::temp_directory_path().string() +
+                       "/authidx_bench_repl_" + tag;
+    primary_dir = base + "_primary";
+    replica_dir = base + "_replica";
+    std::filesystem::remove_all(primary_dir);
+    std::filesystem::remove_all(replica_dir);
+
+    workload::CorpusOptions corpus;
+    corpus.entries = 50000;
+    pool = workload::GenerateCorpus(corpus);
+
+    primary = *core::AuthorIndex::OpenPersistent(primary_dir);
+    ServerOptions options;
+    options.metrics = primary->mutable_metrics();
+    server = std::make_unique<Server>(primary.get(), options);
+    AUTHIDX_CHECK_OK(server->Start());
+
+    replica = *core::AuthorIndex::OpenReplica(replica_dir);
+    ReplicaOptions replica_options;
+    replica_options.primary_port = server->port();
+    replica_options.metrics = replica->mutable_metrics();
+    follower = std::make_unique<ReplicationFollower>(
+        replica.get(), replica_dir, replica_options);
+  }
+
+  Entry Next() { return pool[next++ % pool.size()]; }
+};
+
+// Propagation lag: one ADD over RPC (the production mutation path —
+// the server kicks the replication feeder on commit), then spin until
+// the live follower's applied position reaches the primary's committed
+// frontier. This is the freshness window a replica-served read can lag
+// behind an acked write (the follower applies with synced writes, so
+// each sample includes its group-commit fsync).
+void BM_ReplicationPropagation(benchmark::State& state) {
+  static ReplFixture* f = [] {
+    auto* fixture = new ReplFixture("prop");
+    AUTHIDX_CHECK_OK(fixture->follower->Start());
+    return fixture;
+  }();
+  Client client = MakeClient(f->server->port(), 3);
+  std::vector<uint64_t> latencies_ns;
+  for (auto _ : state) {
+    std::string line = EntryToTsvLine(f->Next());
+    uint64_t start = obs::MonotonicNowNs();
+    auto added = client.Add({line});
+    if (!added.ok()) {
+      state.SkipWithError(added.status().ToString().c_str());
+      return;
+    }
+    storage::WalPosition target =
+        f->primary->storage_engine()->CommittedWalPosition();
+    while (f->follower->applied_position() < target) {
+      std::this_thread::yield();
+    }
+    latencies_ns.push_back(obs::MonotonicNowNs() - start);
+  }
+  state.counters["p50_us"] = PercentileUs(&latencies_ns, 0.50);
+  state.counters["p99_us"] = PercentileUs(&latencies_ns, 0.99);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReplicationPropagation)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// Bulk catch-up: the follower is offline while the primary ingests a
+// batch, then one synchronous CatchUpOnce() subscribes and drains the
+// backlog. Items/s is replicated records applied per second, connection
+// setup amortized over the batch.
+void BM_ReplicationCatchUp(benchmark::State& state) {
+  static ReplFixture* f = new ReplFixture("catchup");
+  constexpr size_t kBatch = 512;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Entry> batch;
+    batch.reserve(kBatch);
+    for (size_t i = 0; i < kBatch; ++i) {
+      batch.push_back(f->Next());
+    }
+    if (Status s = f->primary->AddAll(std::move(batch)); !s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    state.ResumeTiming();
+    if (Status s = f->follower->CatchUpOnce(); !s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatch));
+}
+BENCHMARK(BM_ReplicationCatchUp)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace authidx::net

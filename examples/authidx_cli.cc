@@ -72,7 +72,10 @@ int Usage() {
       "  remote  [--host H] --port N add FILE.tsv\n"
       "                             talk to a running authidx_server;\n"
       "                             --trace prints the trace id and the\n"
-      "                             server-side span tree\n"
+      "                             server-side span tree;\n"
+      "                             --deadline-ms N bounds each call;\n"
+      "                             --replica HOST:PORT (repeatable) adds\n"
+      "                             read-failover endpoints\n"
       "common flags: --log-level debug|info|warn|error, --log-file PATH\n");
   return 1;
 }
@@ -94,6 +97,8 @@ struct Args {
   int port = 8080;
   bool port_set = false;
   int64_t slow_ms = -1;  // -1 = not set.
+  int64_t deadline_ms = 0;  // 0 = no per-call deadline.
+  std::vector<std::string> replicas;
   bool trace = false;
   std::string log_level;
   std::string log_file;
@@ -131,6 +136,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
       args->port = static_cast<int>(*port);
       args->port_set = true;
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      Result<int64_t> ms = ParseInt64(argv[++i]);
+      if (!ms.ok() || *ms <= 0) {
+        std::fprintf(stderr, "bad --deadline-ms value\n");
+        return false;
+      }
+      args->deadline_ms = *ms;
+    } else if (arg == "--replica" && i + 1 < argc) {
+      args->replicas.emplace_back(argv[++i]);
     } else if (arg == "--slow-ms" && i + 1 < argc) {
       Result<int64_t> ms = ParseInt64(argv[++i]);
       if (!ms.ok() || *ms < 0) {
@@ -313,6 +327,8 @@ int RunRemote(obs::Logger* logger, const Args& args) {
   net::ClientOptions options;
   options.host = args.host;
   options.port = args.port;
+  options.deadline_ms = static_cast<int>(args.deadline_ms);
+  options.replicas = args.replicas;
   options.logger = logger;
   options.trace = args.trace;
   net::Client client(options);
@@ -331,6 +347,9 @@ int RunRemote(obs::Logger* logger, const Args& args) {
     Result<net::WireQueryResult> result = client.Query(args.positional[1]);
     if (!result.ok()) {
       return Fail(result.status());
+    }
+    if (!args.replicas.empty()) {
+      std::printf("answered by %s\n", client.current_endpoint().c_str());
     }
     std::printf("%llu match(es)\n",
                 static_cast<unsigned long long>(result->total_matches));

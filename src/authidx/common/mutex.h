@@ -20,7 +20,9 @@
 //     under a caller's lock) opens with mu_.AssertHeld() to re-inject
 //     the capability.
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 
@@ -138,6 +140,19 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  // Timed wait: returns false on timeout, true when notified (or on a
+  // spurious wakeup — re-check the predicate either way). Same adopted
+  // locking discipline as Wait(), so the capability is held across the
+  // call. For periodic work (heartbeats) that must still wake promptly
+  // on shutdown.
+  bool WaitFor(Mutex& mu, uint64_t timeout_us) AUTHIDX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status =
+        cv_.wait_for(lock, std::chrono::microseconds(timeout_us));
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

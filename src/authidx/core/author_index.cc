@@ -37,6 +37,19 @@ std::string OrderKey(std::string_view sort_key, EntryId id) {
   return key;
 }
 
+// Inverse of EntryKey: true when `key` is an entry key, extracting the
+// dense id.
+bool ParseEntryKey(std::string_view key, EntryId* id) {
+  if (key.size() != 5 || key.front() != 'e') {
+    return false;
+  }
+  *id = (static_cast<EntryId>(static_cast<unsigned char>(key[1])) << 24) |
+        (static_cast<EntryId>(static_cast<unsigned char>(key[2])) << 16) |
+        (static_cast<EntryId>(static_cast<unsigned char>(key[3])) << 8) |
+        static_cast<EntryId>(static_cast<unsigned char>(key[4]));
+  return true;
+}
+
 }  // namespace
 
 AuthorIndex::~AuthorIndex() = default;
@@ -127,6 +140,83 @@ Result<std::unique_ptr<AuthorIndex>> AuthorIndex::OpenPersistent(
   }
   AUTHIDX_RETURN_NOT_OK(it->status());
   return catalog;
+}
+
+Result<std::unique_ptr<AuthorIndex>> AuthorIndex::OpenReplica(
+    const std::string& dir, storage::EngineOptions options) {
+  options.apply_only = true;
+  // A follower acks nothing to clients, but its durable position must
+  // never run ahead of its WAL: synced applies keep the
+  // "position committed after data" invariant cheap to reason about.
+  options.sync_writes = true;
+  AUTHIDX_ASSIGN_OR_RETURN(std::unique_ptr<AuthorIndex> catalog,
+                           OpenPersistent(dir, options));
+  catalog->is_replica_ = true;
+  return catalog;
+}
+
+Status AuthorIndex::ApplyReplicatedRecord(std::string_view record) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition(
+        "in-memory catalog cannot apply replicated records");
+  }
+  // Decode outside the lock: collect the entry puts the record carries.
+  struct PendingEntry {
+    EntryId id;
+    Entry entry;
+  };
+  std::vector<PendingEntry> pending;
+  bool has_foreign_ops = false;  // Deletes / non-entry keys.
+  Status decode_error;
+  Status parsed = storage::StorageEngine::ForEachRecordOp(
+      record,
+      [&](std::string_view key, std::string_view value) {
+        if (!decode_error.ok()) {
+          return;
+        }
+        EntryId id = 0;
+        if (!ParseEntryKey(key, &id)) {
+          has_foreign_ops = true;
+          return;
+        }
+        Result<Entry> entry = DecodeEntryExact(value);
+        if (!entry.ok()) {
+          decode_error =
+              entry.status().WithContext("decoding replicated entry");
+          return;
+        }
+        pending.push_back({id, std::move(entry).value()});
+      },
+      [&](std::string_view) { has_foreign_ops = true; });
+  AUTHIDX_RETURN_NOT_OK(parsed);
+  AUTHIDX_RETURN_NOT_OK(decode_error);
+
+  WriterMutexLock lock(index_mu_);
+  const EntryId next_id = static_cast<EntryId>(entries_.size());
+  bool any_new = has_foreign_ops;
+  for (const PendingEntry& p : pending) {
+    if (p.id >= next_id) {
+      any_new = true;
+    }
+  }
+  if (!any_new) {
+    // Duplicate delivery: every entry in the record is already durable
+    // and indexed (ids are dense and assigned in WAL order, and records
+    // are atomic). Re-delivery after a follower crash lands here.
+    return Status::OK();
+  }
+  AUTHIDX_RETURN_NOT_OK(engine_->ApplyReplicated(record));
+  for (PendingEntry& p : pending) {
+    if (p.id < next_id) {
+      continue;  // Already indexed half of a replayed prefix.
+    }
+    if (p.id != static_cast<EntryId>(entries_.size())) {
+      return Status::Corruption(
+          "replicated record carries a non-dense entry id");
+    }
+    IndexEntry(std::move(p.entry));
+  }
+  return Status::OK();
 }
 
 EntryId AuthorIndex::IndexEntry(Entry entry) {

@@ -66,6 +66,15 @@ class AuthorIndex final : public query::CatalogView {
   static Result<std::unique_ptr<AuthorIndex>> OpenPersistent(
       const std::string& dir, storage::EngineOptions options = {});
 
+  /// Storage-backed *replication follower* in `dir`: the engine opens
+  /// apply-only (direct Add/AddAll fail with FailedPrecondition) with
+  /// synced writes forced on, and the only ingest path is
+  /// ApplyReplicatedRecord. Reopening recovers exactly like
+  /// OpenPersistent — the follower's own WAL makes it crash-consistent
+  /// independently of the primary.
+  static Result<std::unique_ptr<AuthorIndex>> OpenReplica(
+      const std::string& dir, storage::EngineOptions options = {});
+
   ~AuthorIndex() override;
 
   AuthorIndex(const AuthorIndex&) = delete;
@@ -167,6 +176,23 @@ class AuthorIndex final : public query::CatalogView {
   /// Authors who co-published with the given folded group key, as
   /// display names (cross-reference support).
   std::vector<std::string> CoauthorsOf(std::string_view folded_group) const;
+
+  /// Applies one primary-originated WAL record (as shipped by a
+  /// storage::ReplicationSource) to a follower catalog: the record goes
+  /// through the engine's own WAL and every new entry it carries is
+  /// indexed. Idempotent — entry ids are dense and assigned in WAL
+  /// order, so a record whose entries the catalog already holds is
+  /// recognized as a duplicate delivery and skipped whole (records are
+  /// atomic: they are re-delivered entirely or not at all).
+  Status ApplyReplicatedRecord(std::string_view record);
+
+  /// True for catalogs opened with OpenReplica.
+  bool is_replica() const { return is_replica_; }
+
+  /// The backing engine (null for in-memory catalogs). For replication
+  /// plumbing — feeding a ReplicationSource on the primary, reading
+  /// committed positions on either side.
+  storage::StorageEngine* storage_engine() { return engine_.get(); }
 
   /// Persists pending writes (no-op for in-memory catalogs).
   Status Flush();
@@ -272,6 +298,7 @@ class AuthorIndex final : public query::CatalogView {
   obs::Logger* log_;  // Never null (Logger::Disabled() by default).
 
   std::unique_ptr<storage::StorageEngine> engine_;  // Null if in-memory.
+  bool is_replica_ = false;  // Set once by OpenReplica before sharing.
 };
 
 }  // namespace authidx::core

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <utility>
@@ -42,6 +43,13 @@ bool WriteAll(int fd, std::string_view data, int* err) {
   return true;
 }
 
+uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 Client::Client(ClientOptions options)
@@ -50,22 +58,73 @@ Client::Client(ClientOptions options)
            static_cast<uint64_t>(options_.port)) {
   log_ = options_.logger != nullptr ? options_.logger
                                     : obs::Logger::Disabled();
+  endpoints_.push_back({options_.host, options_.port});
+  for (const std::string& replica : options_.replicas) {
+    size_t colon = replica.rfind(':');
+    Endpoint endpoint;
+    if (colon == std::string::npos) {
+      // Unparseable entries stay in rotation and fail at connect time
+      // with a clear InvalidArgument instead of being silently dropped.
+      endpoint.host = replica;
+    } else {
+      endpoint.host = replica.substr(0, colon);
+      endpoint.port = std::atoi(replica.c_str() + colon + 1);
+    }
+    endpoints_.push_back(std::move(endpoint));
+  }
 }
 
 Client::~Client() { Close(); }
+
+std::string Client::current_endpoint() const {
+  const Endpoint& endpoint = endpoints_[current_endpoint_];
+  return endpoint.host + ":" + std::to_string(endpoint.port);
+}
+
+uint64_t Client::RemainingDeadlineNs() const {
+  if (deadline_at_ns_ == 0) {
+    return UINT64_MAX;
+  }
+  uint64_t now = MonotonicNs();
+  return deadline_at_ns_ > now ? deadline_at_ns_ - now : 0;
+}
+
+void Client::ApplyIoTimeouts() {
+  if (fd_ < 0) {
+    return;
+  }
+  uint64_t ms = static_cast<uint64_t>(
+      options_.io_timeout_ms > 0 ? options_.io_timeout_ms : 0);
+  uint64_t remaining = RemainingDeadlineNs();
+  if (remaining != UINT64_MAX) {
+    // Clamp to the remaining budget so a wedged server cannot hold the
+    // call past its deadline; never 0 (0 would mean "block forever").
+    uint64_t remaining_ms = remaining / 1000000;
+    if (remaining_ms < 1) {
+      remaining_ms = 1;
+    }
+    ms = ms == 0 ? remaining_ms : std::min(ms, remaining_ms);
+  }
+  timeval timeout;
+  timeout.tv_sec = static_cast<time_t>(ms / 1000);
+  timeout.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+}
 
 Status Client::Connect() {
   if (fd_ >= 0) {
     return Status::OK();
   }
-  std::string host = options_.host == "localhost" ? "127.0.0.1"
-                                                  : options_.host;
+  const Endpoint& endpoint = endpoints_[current_endpoint_];
+  std::string host = endpoint.host == "localhost" ? "127.0.0.1"
+                                                  : endpoint.host;
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  addr.sin_port = htons(static_cast<uint16_t>(endpoint.port));
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("unparseable host: " + options_.host);
+    return Status::InvalidArgument("unparseable host: " + endpoint.host);
   }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -74,19 +133,15 @@ Status Client::Connect() {
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     Status status = Status::IOError("connect " + host + ":" +
-                                    std::to_string(options_.port) + ": " +
+                                    std::to_string(endpoint.port) + ": " +
                                     ErrnoMessage(errno));
     ::close(fd);
     return status;
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  timeval timeout;
-  timeout.tv_sec = options_.io_timeout_ms / 1000;
-  timeout.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
   fd_ = fd;
+  ApplyIoTimeouts();
   read_buffer_.clear();
   return Status::OK();
 }
@@ -200,10 +255,54 @@ Status Client::ReceiveResponse(uint64_t* request_id,
   }
 }
 
+Status Client::ReceiveStreamFrame(FrameHeader* header, std::string* payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  while (true) {
+    DecodedFrame frame;
+    Status error;
+    DecodeOutcome outcome = DecodeFrame(
+        read_buffer_, options_.max_frame_bytes, &frame, &error);
+    if (outcome == DecodeOutcome::kError) {
+      Close();
+      return Status::Corruption("bad stream frame: " + error.message());
+    }
+    if (outcome == DecodeOutcome::kFrame) {
+      *header = frame.header;
+      payload->assign(frame.payload);
+      read_buffer_.erase(0, frame.frame_bytes);
+      return Status::OK();
+    }
+    char buf[65536];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Close();
+      return Status::IOError("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      Close();
+      return Status::IOError("recv: " + ErrnoMessage(errno));
+    }
+    read_buffer_.append(buf, static_cast<size_t>(n));
+  }
+}
+
 Status Client::CallOnce(Opcode opcode, std::string_view payload,
                         ResponsePayload* response, bool* maybe_executed) {
   *maybe_executed = false;
+  if (RemainingDeadlineNs() == 0) {
+    // IOError, like a socket timeout: the same transient class, so the
+    // caller's failover logic treats both uniformly.
+    return Status::IOError("call deadline of " +
+                           std::to_string(options_.deadline_ms) +
+                           " ms exceeded");
+  }
   AUTHIDX_RETURN_NOT_OK(Connect());
+  ApplyIoTimeouts();
   uint64_t sent_id = 0;
   // A SendRequest failure leaves at most a partial frame on the wire,
   // which can never pass the server's CRC — the request provably did
@@ -247,24 +346,52 @@ Status Client::Call(Opcode opcode, std::string_view payload,
   // it is only retried when the failed attempt provably never executed
   // (see the class comment in client.h).
   const bool idempotent = opcode != Opcode::kAdd;
+  // Mutations are pinned to the primary: a replica would reject them
+  // with NOT_PRIMARY, and silently "failing over" a write is exactly
+  // the split-brain a replica set must not allow.
+  const bool mutation =
+      opcode == Opcode::kAdd || opcode == Opcode::kFlush;
+  deadline_at_ns_ =
+      options_.deadline_ms > 0
+          ? MonotonicNs() +
+                static_cast<uint64_t>(options_.deadline_ms) * 1000000
+          : 0;
+  if (mutation && current_endpoint_ != 0) {
+    Close();
+    current_endpoint_ = 0;
+  }
   const int attempts = std::max(options_.retry.max_attempts, 1);
   Status status;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     bool maybe_executed = false;
     status = CallOnce(opcode, payload, response, &maybe_executed);
     if (status.ok() || !IsTransientError(status)) {
+      deadline_at_ns_ = 0;
       return status;
     }
     if (!idempotent && maybe_executed) {
+      deadline_at_ns_ = 0;
       return Status(status.code(),
                     std::string(status.message()) +
                         " (not retried: the request was fully sent and "
                         "may have executed server-side)");
     }
-    if (attempt == attempts) {
+    if (attempt == attempts || RemainingDeadlineNs() == 0) {
       break;
     }
+    if (!mutation && endpoints_.size() > 1) {
+      // Read failover: the next attempt targets the next endpoint in
+      // the rotation (wrapping back through the primary).
+      Close();
+      current_endpoint_ = (current_endpoint_ + 1) % endpoints_.size();
+      log_->Log(obs::LogLevel::kWarn, "client_failover",
+                {{"opcode", OpcodeName(opcode)},
+                 {"endpoint", current_endpoint()},
+                 {"error", status.message()}});
+    }
     uint64_t delay_us = RetryBackoffDelayUs(options_.retry, attempt, &rng_);
+    // Never sleep past the deadline.
+    delay_us = std::min(delay_us, RemainingDeadlineNs() / 1000);
     log_->Log(obs::LogLevel::kWarn, "client_retry",
               {{"opcode", OpcodeName(opcode)},
                {"attempt", static_cast<uint64_t>(attempt)},
@@ -274,6 +401,7 @@ Status Client::Call(Opcode opcode, std::string_view payload,
       std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
     }
   }
+  deadline_at_ns_ = 0;
   return status;
 }
 

@@ -26,6 +26,20 @@ struct ClientOptions {
   /// except for a fully sent ADD, which is never blindly re-sent; see
   /// the class comment).
   int io_timeout_ms = 5000;
+  /// Total wall-clock budget for one high-level call, spanning every
+  /// retry and failover attempt; 0 disables it. Enforced through
+  /// SO_RCVTIMEO/SO_SNDTIMEO (clamped to the remaining budget before
+  /// each attempt), so even a wedged server cannot hold the call past
+  /// the deadline. Expiry surfaces as IOError — transient — so read
+  /// failover kicks in instead of hanging.
+  int deadline_ms = 0;
+  /// Read-failover endpoints ("host:port"). When a read-only call
+  /// (PING/QUERY/STATS) hits a transient failure — primary unreachable,
+  /// reset, deadline expired — the client rotates to the next endpoint
+  /// (primary, then each replica, round-robin) before retrying.
+  /// Mutations (ADD/FLUSH) never fail over: they are pinned to the
+  /// primary, and a follower would reject them with NOT_PRIMARY.
+  std::vector<std::string> replicas;
   /// Frames announcing more than this many bytes are rejected
   /// client-side and the connection dropped.
   size_t max_frame_bytes = kMaxFrameBytesDefault;
@@ -136,6 +150,16 @@ class Client {
   /// last_trace(), which is reset otherwise.
   Status ReceiveResponse(uint64_t* request_id, ResponsePayload* response);
 
+  /// Raw layer: blocks for the next frame of *any* opcode, without
+  /// interpreting it. For replication followers consuming the
+  /// REPL_RECORDS / REPL_HEARTBEAT / REPL_SNAPSHOT stream after a
+  /// REPL_SUBSCRIBE. `*payload` is copied out of the read buffer.
+  Status ReceiveStreamFrame(FrameHeader* header, std::string* payload);
+
+  /// The endpoint the client currently targets, as "host:port" (index 0
+  /// is the primary; reads may have rotated onto a replica).
+  std::string current_endpoint() const;
+
   /// The trace returned on the most recently received response (empty
   /// trace id when that response carried none).
   const RpcTrace& last_trace() const { return last_trace_; }
@@ -151,13 +175,34 @@ class Client {
 
   // CallOnce under the RetryPolicy; fills `*response` on success.
   // Non-idempotent opcodes (ADD) are not retried once an attempt
-  // reports maybe_executed (see the class comment).
+  // reports maybe_executed (see the class comment). Read-only opcodes
+  // rotate endpoints between transient failures; mutations are pinned
+  // to the primary. Arms the per-call deadline.
   Status Call(Opcode opcode, std::string_view payload,
               ResponsePayload* response);
+
+  // Re-applies SO_SNDTIMEO/SO_RCVTIMEO: io_timeout_ms clamped to
+  // whatever remains of the armed deadline.
+  void ApplyIoTimeouts();
+
+  // Nanoseconds to the armed deadline; UINT64_MAX when none is armed.
+  uint64_t RemainingDeadlineNs() const;
+
+  struct Endpoint {
+    std::string host;
+    int port = 0;
+  };
 
   ClientOptions options_;
   obs::Logger* log_;  // Never null (Logger::Disabled()).
   Random rng_;
+  // endpoints_[0] is the primary (options.host:port); the rest parse
+  // from options.replicas.
+  std::vector<Endpoint> endpoints_;
+  size_t current_endpoint_ = 0;
+  // Absolute monotonic deadline for the in-flight high-level call; 0
+  // when disarmed (no ClientOptions::deadline_ms or raw-layer use).
+  uint64_t deadline_at_ns_ = 0;
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   std::string read_buffer_;

@@ -69,6 +69,10 @@ Status StatusFromWire(WireStatus status, std::string message) {
       return Status::InvalidArgument("BAD_FRAME: " + std::move(message));
     case WireStatus::kUnknownOpcode:
       return Status::NotSupported("UNKNOWN_OPCODE: " + std::move(message));
+    case WireStatus::kNotPrimary:
+      // FailedPrecondition is non-transient under common/retry.h, so
+      // the client never retries or fails over a rejected mutation.
+      return Status::FailedPrecondition("NOT_PRIMARY: " + std::move(message));
     default:
       break;
   }
@@ -332,6 +336,159 @@ Status DecodeStats(std::string_view body, WireStats* stats) {
   AUTHIDX_RETURN_NOT_OK(GetVarint64(&body, &stats->group_count));
   if (!body.empty()) {
     return Status::Corruption("trailing bytes after STATS body");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void EncodeWirePosition(const WirePosition& pos, std::string* dst) {
+  PutFixed64(dst, pos.wal_number);
+  PutFixed64(dst, pos.offset);
+}
+
+Status DecodeWirePosition(std::string_view* input, WirePosition* pos) {
+  if (input->size() < 16) {
+    return Status::Corruption("truncated WAL position");
+  }
+  pos->wal_number = DecodeFixed64(input->data());
+  pos->offset = DecodeFixed64(input->data() + 8);
+  input->remove_prefix(16);
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeReplSubscribe(const WirePosition& position, std::string* dst) {
+  EncodeWirePosition(position, dst);
+}
+
+Status DecodeReplSubscribe(std::string_view payload, WirePosition* position) {
+  AUTHIDX_RETURN_NOT_OK(DecodeWirePosition(&payload, position));
+  if (!payload.empty()) {
+    return Status::Corruption("trailing bytes after REPL_SUBSCRIBE request");
+  }
+  return Status::OK();
+}
+
+void EncodeReplSubscribeAck(const WireReplSubscribeAck& ack,
+                            std::string* dst) {
+  dst->push_back(static_cast<char>(ack.mode));
+  EncodeWirePosition(ack.start, dst);
+}
+
+Status DecodeReplSubscribeAck(std::string_view body,
+                              WireReplSubscribeAck* ack) {
+  if (body.empty()) {
+    return Status::Corruption("empty REPL_SUBSCRIBE ack");
+  }
+  ack->mode = static_cast<uint8_t>(body[0]);
+  if (ack->mode > 1) {
+    return Status::Corruption("REPL_SUBSCRIBE ack mode " +
+                              std::to_string(ack->mode) + " is not 0 or 1");
+  }
+  body.remove_prefix(1);
+  AUTHIDX_RETURN_NOT_OK(DecodeWirePosition(&body, &ack->start));
+  if (!body.empty()) {
+    return Status::Corruption("trailing bytes after REPL_SUBSCRIBE ack");
+  }
+  return Status::OK();
+}
+
+void EncodeReplRecords(const WireReplRecords& batch, std::string* dst) {
+  EncodeWirePosition(batch.end, dst);
+  EncodeWirePosition(batch.committed, dst);
+  PutVarint32(dst, static_cast<uint32_t>(batch.records.size()));
+  for (const std::string& record : batch.records) {
+    PutLengthPrefixed(dst, record);
+  }
+}
+
+Status DecodeReplRecords(std::string_view payload, WireReplRecords* batch) {
+  AUTHIDX_RETURN_NOT_OK(DecodeWirePosition(&payload, &batch->end));
+  AUTHIDX_RETURN_NOT_OK(DecodeWirePosition(&payload, &batch->committed));
+  uint32_t count = 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint32(&payload, &count));
+  // Every record costs at least its 1-byte length prefix; a count
+  // beyond the remaining payload is corrupt. Same peer-controlled-count
+  // defense as DecodeAddRequest: validate before the reserve().
+  if (count > payload.size()) {
+    return Status::Corruption("REPL record count " + std::to_string(count) +
+                              " exceeds remaining payload of " +
+                              std::to_string(payload.size()) + " bytes");
+  }
+  batch->records.clear();
+  batch->records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view record;
+    AUTHIDX_RETURN_NOT_OK(GetLengthPrefixed(&payload, &record));
+    batch->records.emplace_back(record);
+  }
+  if (!payload.empty()) {
+    return Status::Corruption("trailing bytes after REPL_RECORDS payload");
+  }
+  return Status::OK();
+}
+
+void EncodeReplHeartbeat(const WireReplHeartbeat& hb, std::string* dst) {
+  EncodeWirePosition(hb.committed, dst);
+  dst->push_back(static_cast<char>(hb.degraded));
+}
+
+Status DecodeReplHeartbeat(std::string_view payload, WireReplHeartbeat* hb) {
+  AUTHIDX_RETURN_NOT_OK(DecodeWirePosition(&payload, &hb->committed));
+  if (payload.size() != 1) {
+    return Status::Corruption("malformed REPL_HEARTBEAT payload");
+  }
+  hb->degraded = static_cast<uint8_t>(payload[0]);
+  if (hb->degraded > 1) {
+    return Status::Corruption("REPL_HEARTBEAT degraded byte " +
+                              std::to_string(hb->degraded) + " is not 0 or 1");
+  }
+  return Status::OK();
+}
+
+void EncodeReplSnapshot(const WireReplSnapshot& chunk, std::string* dst) {
+  dst->push_back(static_cast<char>(chunk.done));
+  EncodeWirePosition(chunk.resume, dst);
+  PutVarint32(dst, static_cast<uint32_t>(chunk.pairs.size()));
+  for (const auto& [key, value] : chunk.pairs) {
+    PutLengthPrefixed(dst, key);
+    PutLengthPrefixed(dst, value);
+  }
+}
+
+Status DecodeReplSnapshot(std::string_view payload, WireReplSnapshot* chunk) {
+  if (payload.empty()) {
+    return Status::Corruption("empty REPL_SNAPSHOT payload");
+  }
+  chunk->done = static_cast<uint8_t>(payload[0]);
+  if (chunk->done > 1) {
+    return Status::Corruption("REPL_SNAPSHOT done byte " +
+                              std::to_string(chunk->done) + " is not 0 or 1");
+  }
+  payload.remove_prefix(1);
+  AUTHIDX_RETURN_NOT_OK(DecodeWirePosition(&payload, &chunk->resume));
+  uint32_t count = 0;
+  AUTHIDX_RETURN_NOT_OK(GetVarint32(&payload, &count));
+  // Forged-count defense, as in DecodeReplRecords: each pair costs at
+  // least two 1-byte length prefixes.
+  if (count > payload.size()) {
+    return Status::Corruption("REPL snapshot pair count " +
+                              std::to_string(count) +
+                              " exceeds remaining payload of " +
+                              std::to_string(payload.size()) + " bytes");
+  }
+  chunk->pairs.clear();
+  chunk->pairs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view key, value;
+    AUTHIDX_RETURN_NOT_OK(GetLengthPrefixed(&payload, &key));
+    AUTHIDX_RETURN_NOT_OK(GetLengthPrefixed(&payload, &value));
+    chunk->pairs.emplace_back(std::string(key), std::string(value));
+  }
+  if (!payload.empty()) {
+    return Status::Corruption("trailing bytes after REPL_SNAPSHOT payload");
   }
   return Status::OK();
 }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "authidx/common/result.h"
@@ -43,8 +44,10 @@ inline constexpr size_t kFrameOverheadBytes =
 inline constexpr size_t kMaxFrameBytesDefault = 1u << 20;
 
 /// Operation selector carried in byte 5 of every frame. Requests use
-/// the 0x01-0x7f range; the single server->client opcode RESPONSE has
-/// the high bit set.
+/// the 0x01-0x7f range; server->client opcodes have the high bit set:
+/// RESPONSE answers one request, while the REPL_* stream opcodes are
+/// pushed to a subscribed follower (echoing the REPL_SUBSCRIBE
+/// request_id) for the life of the subscription.
 enum class Opcode : uint8_t {
   /// Liveness probe; empty payload both ways.
   kPing = 0x01,
@@ -56,8 +59,16 @@ enum class Opcode : uint8_t {
   kFlush = 0x04,
   /// Catalog size counters.
   kStats = 0x05,
+  /// Follower subscribes for WAL shipping from a position cursor.
+  kReplSubscribe = 0x06,
   /// Server->client reply; request_id echoes the request.
   kResponse = 0x80,
+  /// Stream: a batch of committed WAL records.
+  kReplRecords = 0x81,
+  /// Stream: the primary's committed position (liveness + lag signal).
+  kReplHeartbeat = 0x82,
+  /// Stream: a chunk of snapshot key/value pairs (follower bootstrap).
+  kReplSnapshot = 0x83,
 };
 
 /// One row of the opcode table: the value and its spec name.
@@ -71,10 +82,22 @@ struct OpcodeInfo {
 /// Every opcode, in wire-value order. docs/PROTOCOL.md's opcode table
 /// is checked row-for-row against this array.
 inline constexpr OpcodeInfo kOpcodeTable[] = {
-    {Opcode::kPing, "PING"},     {Opcode::kQuery, "QUERY"},
-    {Opcode::kAdd, "ADD"},       {Opcode::kFlush, "FLUSH"},
-    {Opcode::kStats, "STATS"},   {Opcode::kResponse, "RESPONSE"},
+    {Opcode::kPing, "PING"},
+    {Opcode::kQuery, "QUERY"},
+    {Opcode::kAdd, "ADD"},
+    {Opcode::kFlush, "FLUSH"},
+    {Opcode::kStats, "STATS"},
+    {Opcode::kReplSubscribe, "REPL_SUBSCRIBE"},
+    {Opcode::kResponse, "RESPONSE"},
+    {Opcode::kReplRecords, "REPL_RECORDS"},
+    {Opcode::kReplHeartbeat, "REPL_HEARTBEAT"},
+    {Opcode::kReplSnapshot, "REPL_SNAPSHOT"},
 };
+
+/// Number of *request* opcodes (the 0x01-0x7f range): the first
+/// kRequestOpcodeCount rows of kOpcodeTable, which is kept in
+/// wire-value order so requests precede the high-bit stream opcodes.
+inline constexpr size_t kRequestOpcodeCount = 6;
 
 /// Spec name of `opcode` ("PING"); "UNKNOWN" for unassigned values.
 std::string_view OpcodeName(Opcode opcode);
@@ -105,6 +128,10 @@ enum class WireStatus : uint8_t {
   kBadFrame = 101,
   /// The request opcode is not assigned in this protocol version.
   kUnknownOpcode = 102,
+  /// A mutation (ADD) or replication subscription was sent to a node
+  /// that is not the primary. Never retried and never failed over:
+  /// clients surface it so the operator redirects writes.
+  kNotPrimary = 103,
 };
 
 /// One row of the status table: the value and its spec name.
@@ -132,6 +159,7 @@ inline constexpr WireStatusInfo kWireStatusTable[] = {
     {WireStatus::kRetryableBusy, "RETRYABLE_BUSY"},
     {WireStatus::kBadFrame, "BAD_FRAME"},
     {WireStatus::kUnknownOpcode, "UNKNOWN_OPCODE"},
+    {WireStatus::kNotPrimary, "NOT_PRIMARY"},
 };
 
 /// Spec name of `status` ("RETRYABLE_BUSY"); "UNKNOWN" for unassigned.
@@ -209,7 +237,9 @@ WireStatus WireStatusFromStatus(const Status& status);
 /// `message`. Transport-level conditions map onto the closest engine
 /// code — RETRYABLE_BUSY becomes ResourceExhausted (transient under
 /// common/retry.h, so RetryWithBackoff retries it), BAD_FRAME becomes
-/// InvalidArgument, UNKNOWN_OPCODE becomes NotSupported.
+/// InvalidArgument, UNKNOWN_OPCODE becomes NotSupported, NOT_PRIMARY
+/// becomes FailedPrecondition (non-transient: never retried, never
+/// failed over).
 Status StatusFromWire(WireStatus status, std::string message);
 
 /// Decoded fixed prologue of one frame (the length field is implicit
@@ -320,6 +350,96 @@ void EncodeStats(const WireStats& stats, std::string* dst);
 
 /// Decodes a STATS response body.
 Status DecodeStats(std::string_view body, WireStats* stats);
+
+/// A WAL position on the wire: two fixed64s (wal file number, byte
+/// offset). {0, 0} from a subscriber means "I have nothing — bootstrap
+/// me with a snapshot".
+struct WirePosition {
+  /// WAL file number (strictly increasing across switches).
+  uint64_t wal_number = 0;
+  /// Byte offset into that WAL file.
+  uint64_t offset = 0;
+};
+
+/// REPL_SUBSCRIBE request payload: the follower's durable cursor (next
+/// unread WAL byte).
+void EncodeReplSubscribe(const WirePosition& position, std::string* dst);
+
+/// Decodes a REPL_SUBSCRIBE request payload.
+Status DecodeReplSubscribe(std::string_view payload, WirePosition* position);
+
+/// RESPONSE body answering an accepted REPL_SUBSCRIBE: how the stream
+/// will start.
+struct WireReplSubscribeAck {
+  /// 0 = records from `start` onward; 1 = snapshot chunks first, then
+  /// records from `start` (which is the snapshot's consistent point).
+  uint8_t mode = 0;
+  /// Position the stream starts (or resumes) from.
+  WirePosition start;
+};
+
+/// Encodes a REPL_SUBSCRIBE ack body.
+void EncodeReplSubscribeAck(const WireReplSubscribeAck& ack,
+                            std::string* dst);
+/// Decodes a REPL_SUBSCRIBE ack body (rejects unknown modes).
+Status DecodeReplSubscribeAck(std::string_view body,
+                              WireReplSubscribeAck* ack);
+
+/// REPL_RECORDS stream payload: a batch of committed WAL records plus
+/// the cursor after them and the primary's committed frontier (for lag
+/// accounting).
+struct WireReplRecords {
+  /// Cursor after the last record in this batch.
+  WirePosition end;
+  /// The primary's committed frontier when the batch was read.
+  WirePosition committed;
+  /// Full WAL records (op byte + payload), in commit order.
+  std::vector<std::string> records;
+};
+
+/// Encodes a REPL_RECORDS stream payload.
+void EncodeReplRecords(const WireReplRecords& batch, std::string* dst);
+
+/// Decodes a REPL_RECORDS payload. The record count is validated
+/// against the remaining payload before any allocation (forged-count
+/// defense), and every record is bounds-checked.
+Status DecodeReplRecords(std::string_view payload, WireReplRecords* batch);
+
+/// REPL_HEARTBEAT stream payload: primary liveness plus its committed
+/// position and degradation state.
+struct WireReplHeartbeat {
+  /// The primary's committed frontier.
+  WirePosition committed;
+  /// 1 when the primary's storage engine is degraded (sticky background
+  /// error): the follower should surface it and clients may prefer
+  /// replicas for reads.
+  uint8_t degraded = 0;
+};
+
+/// Encodes a REPL_HEARTBEAT stream payload.
+void EncodeReplHeartbeat(const WireReplHeartbeat& hb, std::string* dst);
+/// Decodes a REPL_HEARTBEAT payload (rejects non-boolean degraded).
+Status DecodeReplHeartbeat(std::string_view payload, WireReplHeartbeat* hb);
+
+/// REPL_SNAPSHOT stream payload: one chunk of a consistent iterator
+/// snapshot bootstrapping an empty follower. The final chunk has
+/// `done = 1`, zero pairs, and `resume`, the position record shipping
+/// resumes from.
+struct WireReplSnapshot {
+  /// 1 on the final chunk (which carries zero pairs).
+  uint8_t done = 0;
+  /// Position record shipping resumes from after the snapshot.
+  WirePosition resume;
+  /// Key/value pairs, in key order.
+  std::vector<std::pair<std::string, std::string>> pairs;
+};
+
+/// Encodes a REPL_SNAPSHOT stream payload.
+void EncodeReplSnapshot(const WireReplSnapshot& chunk, std::string* dst);
+
+/// Decodes a REPL_SNAPSHOT payload with the same forged-count defense
+/// as DecodeReplRecords.
+Status DecodeReplSnapshot(std::string_view payload, WireReplSnapshot* chunk);
 
 /// Payload of every RESPONSE frame: a status, a human-readable message
 /// (empty on OK), and an opcode-specific body (empty on error).

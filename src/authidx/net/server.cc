@@ -9,6 +9,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -65,6 +66,8 @@ int OpIndex(Opcode opcode) {
       return 3;
     case Opcode::kStats:
       return 4;
+    case Opcode::kReplSubscribe:
+      return 5;
     default:
       return -1;
   }
@@ -100,6 +103,30 @@ struct Server::Connection {
   // Precomputed shed/error replies queued but not yet written; bounds
   // the control queue per connection (see Server::EnqueueControl).
   std::atomic<size_t> pending_control{0};
+};
+
+// One replication subscriber (a follower that sent REPL_SUBSCRIBE).
+// Membership in Server::subscribers_ is guarded by feeder_mu_; the
+// mutable cursor and snapshot state are touched only by the feeder
+// thread once `active` is set (the registering worker owns them before
+// that). `pin_wal` crosses threads (feeder advances it, any registrar
+// reads it for the pin computation), hence atomic.
+struct Server::Subscriber {
+  std::shared_ptr<Connection> conn;
+  // REPL_SUBSCRIBE correlation id, echoed on every stream frame.
+  uint64_t request_id = 0;
+  // Next unread WAL byte to ship (feeder thread only once active).
+  storage::WalPosition pos;
+  // Snapshot bootstrap: pairs still to stream before records start.
+  std::unique_ptr<storage::Iterator> snap_it;
+  bool snapshot_pending = false;
+  // Oldest WAL this subscriber still needs; feeds the engine pin.
+  std::atomic<uint64_t> pin_wal{UINT64_MAX};
+  // Set once the ack RESPONSE is on the wire; the feeder skips
+  // inactive subscribers (their stream must not precede the ack).
+  std::atomic<bool> active{false};
+  // When this subscriber last got a heartbeat (0 = never).
+  uint64_t last_heartbeat_ns = 0;
 };
 
 Server::Server(core::AuthorIndex* catalog, ServerOptions options)
@@ -177,6 +204,15 @@ Server::Server(core::AuthorIndex* catalog, ServerOptions options)
       "authidx_server_bytes_in_total", "Bytes read from clients");
   bytes_out_total_ = metrics_->RegisterCounter(
       "authidx_server_bytes_out_total", "Bytes written to clients");
+  repl_records_shipped_total_ = metrics_->RegisterCounter(
+      "authidx_repl_records_shipped_total",
+      "WAL records shipped to replication subscribers");
+  repl_snapshot_pairs_shipped_total_ = metrics_->RegisterCounter(
+      "authidx_repl_snapshot_pairs_shipped_total",
+      "Snapshot key/value pairs shipped to bootstrapping subscribers");
+  repl_subscribers_ = metrics_->RegisterGauge(
+      "authidx_repl_subscribers",
+      "Replication subscribers currently registered");
 }
 
 Server::~Server() { Stop(); }
@@ -250,6 +286,16 @@ Status Server::Start() {
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  // The replication feeder only exists on a storage-backed primary:
+  // replicas must not cascade, and an in-memory catalog has no WAL.
+  if (!options_.replica && !catalog_->is_replica() &&
+      catalog_->storage_engine() != nullptr) {
+    {
+      MutexLock lock(feeder_mu_);
+      feeder_stop_ = false;
+    }
+    feeder_thread_ = std::thread([this] { FeederLoop(); });
+  }
   log_->Log(obs::LogLevel::kInfo, "server_start",
             {{"port", static_cast<uint64_t>(port_)},
              {"workers", static_cast<uint64_t>(workers)}});
@@ -260,8 +306,9 @@ void Server::Stop() {
   // A fully stopped server has no thread, workers, or fds left; a
   // second Stop() (e.g. from the destructor after an explicit call)
   // must not touch metrics or logs the caller may have torn down.
-  if (!event_thread_.joinable() && workers_.empty() && listen_fd_ < 0 &&
-      epoll_fd_ < 0 && wake_fd_ < 0) {
+  if (!event_thread_.joinable() && workers_.empty() &&
+      !feeder_thread_.joinable() && listen_fd_ < 0 && epoll_fd_ < 0 &&
+      wake_fd_ < 0) {
     return;
   }
   if (running_.exchange(false, std::memory_order_acq_rel)) {
@@ -270,6 +317,14 @@ void Server::Stop() {
   }
   if (event_thread_.joinable()) {
     event_thread_.join();
+  }
+  {
+    MutexLock lock(feeder_mu_);
+    feeder_stop_ = true;
+  }
+  feeder_cv_.NotifyAll();
+  if (feeder_thread_.joinable()) {
+    feeder_thread_.join();
   }
   {
     MutexLock lock(queue_mu_);
@@ -283,6 +338,15 @@ void Server::Stop() {
   }
   bool was_started = !workers_.empty();
   workers_.clear();
+  {
+    // After the workers are gone nothing can register a subscriber
+    // anymore: drop them all and release the WAL pin so the engine
+    // (which outlives the server) resumes normal garbage collection.
+    MutexLock lock(feeder_mu_);
+    subscribers_.clear();
+    UpdateWalPinLocked();
+    repl_subscribers_->Set(0);
+  }
   {
     MutexLock lock(conns_mu_);
     conns_.clear();
@@ -609,8 +673,9 @@ void Server::ExecuteTask(const Task& task) {
   obs::Trace engine_trace;
   engine_trace.set_trace_id(task.meta.trace_ctx.trace_id);
   uint64_t exec_start_ns = obs::MonotonicNowNs();
-  ResponsePayload response =
-      HandleRequest(task, task.sampled ? &engine_trace : nullptr);
+  std::shared_ptr<Subscriber> pending_sub;
+  ResponsePayload response = HandleRequest(
+      task, task.sampled ? &engine_trace : nullptr, &pending_sub);
   uint64_t exec_ns = obs::MonotonicNowNs() - exec_start_ns;
   execute_ns_->Record(exec_ns);
   // Count before writing: once the response is on the wire a client
@@ -669,6 +734,11 @@ void Server::ExecuteTask(const Task& task) {
 
   uint64_t send_start_ns = obs::MonotonicNowNs();
   WriteResponse(task.conn, task.header.request_id, response, trace_prefix);
+  if (pending_sub != nullptr) {
+    // The subscribe ack is on the wire (or the connection is poisoned,
+    // which the feeder notices); the stream may start now.
+    ActivateSubscriber(pending_sub);
+  }
   uint64_t send_end_ns = obs::MonotonicNowNs();
   request_ns_->Record(send_end_ns - dequeue_ns);
   if (op >= 0) {
@@ -723,7 +793,9 @@ void Server::ExecuteTask(const Task& task) {
   }
 }
 
-ResponsePayload Server::HandleRequest(const Task& task, obs::Trace* trace) {
+ResponsePayload Server::HandleRequest(
+    const Task& task, obs::Trace* trace,
+    std::shared_ptr<Subscriber>* pending_sub) {
   const FrameHeader& header = task.header;
   std::string_view payload = task.payload;
   ResponsePayload response;
@@ -806,6 +878,12 @@ ResponsePayload Server::HandleRequest(const Task& task, obs::Trace* trace) {
       break;
     }
     case Opcode::kAdd: {
+      if (options_.replica || catalog_->is_replica()) {
+        response.status = WireStatus::kNotPrimary;
+        response.message =
+            "this node is a read replica; send mutations to the primary";
+        break;
+      }
       std::vector<std::string_view> lines;
       Status s = DecodeAddRequest(payload, &lines);
       if (!s.ok()) {
@@ -832,13 +910,18 @@ ResponsePayload Server::HandleRequest(const Task& task, obs::Trace* trace) {
         break;
       }
       PutVarint64(&response.body, added);
+      KickFeeder();
       break;
     }
     case Opcode::kFlush: {
       Status s = catalog_->Flush();
       if (!s.ok()) {
         fail(s);
+        break;
       }
+      // A flush can switch WALs; wake the feeder so subscribers cross
+      // the switch (and learn the new frontier) without waiting a tick.
+      KickFeeder();
       break;
     }
     case Opcode::kStats: {
@@ -848,6 +931,9 @@ ResponsePayload Server::HandleRequest(const Task& task, obs::Trace* trace) {
       EncodeStats(stats, &response.body);
       break;
     }
+    case Opcode::kReplSubscribe:
+      response = HandleReplSubscribe(task, pending_sub);
+      break;
     default:
       // Unknown opcodes are answered by the event loop before
       // enqueueing; this is unreachable but keeps the switch total.
@@ -856,6 +942,296 @@ ResponsePayload Server::HandleRequest(const Task& task, obs::Trace* trace) {
       break;
   }
   return response;
+}
+
+ResponsePayload Server::HandleReplSubscribe(
+    const Task& task, std::shared_ptr<Subscriber>* pending_sub) {
+  ResponsePayload response;
+  if (options_.replica || catalog_->is_replica()) {
+    response.status = WireStatus::kNotPrimary;
+    response.message =
+        "this node is a read replica; subscribe to the primary";
+    return response;
+  }
+  storage::StorageEngine* engine = catalog_->storage_engine();
+  if (engine == nullptr) {
+    response.status = WireStatus::kFailedPrecondition;
+    response.message =
+        "this server fronts an in-memory catalog (no WAL to ship)";
+    return response;
+  }
+  WirePosition wire_pos;
+  Status s = DecodeReplSubscribe(task.payload, &wire_pos);
+  if (!s.ok()) {
+    response.status = WireStatusFromStatus(s);
+    response.message = s.ToString();
+    return response;
+  }
+  auto sub = std::make_shared<Subscriber>();
+  sub->conn = task.conn;
+  sub->request_id = task.header.request_id;
+  storage::WalPosition pos{wire_pos.wal_number, wire_pos.offset};
+  WireReplSubscribeAck ack;
+  bool bootstrap = pos == storage::WalPosition{};
+  if (!bootstrap) {
+    sub->pos = pos;
+    sub->pin_wal.store(pos.wal_number, std::memory_order_relaxed);
+    RegisterSubscriber(sub);
+    // Trial read under the pin: is the cursor still servable?
+    // Corruption below the frontier is surfaced as-is. NOT_FOUND splits
+    // two ways: a cursor at or behind the committed frontier sits on a
+    // WAL that was flushed and garbage-collected (a primary restart
+    // does this) — every record it needs is in the SSTs, so fall back
+    // to a snapshot bootstrap, which is idempotent over whatever the
+    // follower already holds. A cursor *ahead* of the frontier belongs
+    // to some other store (or a primary restored from backup) and the
+    // follower must reseed.
+    storage::ReplicationSource source(engine);
+    Result<storage::ReplicationBatch> trial =
+        source.ReadBatch(pos, 1, options_.repl_max_batch_bytes);
+    if (!trial.ok()) {
+      RemoveSubscriber(sub);
+      if (trial.status().code() == StatusCode::kNotFound &&
+          !(engine->CommittedWalPosition() < pos)) {
+        bootstrap = true;
+      } else {
+        response.status = WireStatusFromStatus(trial.status());
+        response.message = trial.status().ToString();
+        return response;
+      }
+    } else {
+      ack.mode = 0;
+      ack.start = wire_pos;
+    }
+  }
+  if (bootstrap) {
+    // Snapshot bootstrap. Ordering matters: pin the committed WAL
+    // *before* registering, register *before* capturing the resume
+    // point, and open the iterator *after* the capture — so every
+    // record at or after `resume` is either in the snapshot or still on
+    // a pinned WAL when record shipping starts.
+    storage::WalPosition committed = engine->CommittedWalPosition();
+    sub->pin_wal.store(committed.wal_number, std::memory_order_relaxed);
+    RegisterSubscriber(sub);
+    storage::WalPosition resume = engine->CommittedWalPosition();
+    sub->pos = resume;
+    sub->snap_it = engine->NewIterator();
+    sub->snap_it->SeekToFirst();
+    sub->snapshot_pending = true;
+    ack.mode = 1;
+    ack.start = {resume.wal_number, resume.offset};
+  }
+  EncodeReplSubscribeAck(ack, &response.body);
+  *pending_sub = std::move(sub);
+  return response;
+}
+
+void Server::RegisterSubscriber(const std::shared_ptr<Subscriber>& sub) {
+  MutexLock lock(feeder_mu_);
+  subscribers_.push_back(sub);
+  UpdateWalPinLocked();
+  repl_subscribers_->Set(static_cast<int64_t>(subscribers_.size()));
+}
+
+void Server::ActivateSubscriber(const std::shared_ptr<Subscriber>& sub) {
+  sub->active.store(true, std::memory_order_release);
+  // Best-effort kick; a notify the feeder misses between its pass and
+  // its wait only delays the first frames by one heartbeat interval.
+  feeder_cv_.NotifyAll();
+}
+
+void Server::RemoveSubscriber(const std::shared_ptr<Subscriber>& sub) {
+  MutexLock lock(feeder_mu_);
+  auto it = std::find(subscribers_.begin(), subscribers_.end(), sub);
+  if (it != subscribers_.end()) {
+    subscribers_.erase(it);
+  }
+  UpdateWalPinLocked();
+  repl_subscribers_->Set(static_cast<int64_t>(subscribers_.size()));
+}
+
+void Server::KickFeeder() {
+  MutexLock lock(feeder_mu_);
+  if (!subscribers_.empty()) {
+    feeder_cv_.NotifyAll();
+  }
+}
+
+void Server::UpdateWalPinLocked() {
+  storage::StorageEngine* engine = catalog_->storage_engine();
+  if (engine == nullptr) {
+    return;
+  }
+  uint64_t pin = UINT64_MAX;
+  for (const std::shared_ptr<Subscriber>& sub : subscribers_) {
+    pin = std::min(pin, sub->pin_wal.load(std::memory_order_relaxed));
+  }
+  engine->PinWalsFrom(pin);
+}
+
+void Server::FeederLoop() {
+  storage::StorageEngine* engine = catalog_->storage_engine();
+  storage::ReplicationSource source(engine);
+  const uint64_t interval_us =
+      options_.repl_heartbeat_interval_ms > 0
+          ? static_cast<uint64_t>(options_.repl_heartbeat_interval_ms) * 1000
+          : 1000;
+  for (;;) {
+    std::vector<std::shared_ptr<Subscriber>> subs;
+    {
+      MutexLock lock(feeder_mu_);
+      if (feeder_stop_) {
+        return;
+      }
+      subs = subscribers_;
+    }
+    std::vector<std::shared_ptr<Subscriber>> dead;
+    for (const std::shared_ptr<Subscriber>& sub : subs) {
+      if (!sub->active.load(std::memory_order_acquire)) {
+        continue;
+      }
+      if (sub->conn->closed.load(std::memory_order_relaxed) ||
+          !FeedSubscriber(sub, &source)) {
+        dead.push_back(sub);
+      }
+    }
+    for (const std::shared_ptr<Subscriber>& sub : dead) {
+      RemoveSubscriber(sub);
+      // Closing the connection tells the follower to reconnect (and,
+      // if its cursor became unservable, to reseed).
+      Unregister(sub->conn);
+    }
+    {
+      MutexLock lock(feeder_mu_);
+      if (feeder_stop_) {
+        return;
+      }
+      feeder_cv_.WaitFor(feeder_mu_, interval_us);
+      if (feeder_stop_) {
+        return;
+      }
+    }
+  }
+}
+
+bool Server::FeedSubscriber(const std::shared_ptr<Subscriber>& sub,
+                            storage::ReplicationSource* source) {
+  storage::StorageEngine* engine = catalog_->storage_engine();
+  // Snapshot bootstrap: stream the pinned iterator in bounded chunks,
+  // closing with an empty done-chunk carrying the resume position.
+  while (sub->snapshot_pending) {
+    WireReplSnapshot chunk;
+    size_t chunk_bytes = 0;
+    storage::Iterator* it = sub->snap_it.get();
+    while (it->Valid() && chunk_bytes < options_.repl_snapshot_chunk_bytes) {
+      chunk.pairs.emplace_back(std::string(it->key()),
+                               std::string(it->value()));
+      chunk_bytes += it->key().size() + it->value().size() + 16;
+      it->Next();
+    }
+    if (!it->status().ok()) {
+      log_->Log(obs::LogLevel::kWarn, "repl_snapshot_failed",
+                {{"error", it->status().message()}});
+      return false;
+    }
+    if (chunk.pairs.empty()) {
+      chunk.done = 1;
+      chunk.resume = {sub->pos.wal_number, sub->pos.offset};
+    }
+    size_t pair_count = chunk.pairs.size();
+    std::string payload;
+    EncodeReplSnapshot(chunk, &payload);
+    if (!WriteStreamFrame(sub->conn, Opcode::kReplSnapshot,
+                          sub->request_id, payload)) {
+      return false;
+    }
+    repl_snapshot_pairs_shipped_total_->Inc(pair_count);
+    if (chunk.done != 0) {
+      sub->snapshot_pending = false;
+      sub->snap_it.reset();
+    }
+  }
+
+  // Ship committed records until this subscriber is caught up.
+  bool advanced = false;
+  for (;;) {
+    Result<storage::ReplicationBatch> batch = source->ReadBatch(
+        sub->pos, options_.repl_max_batch_records,
+        options_.repl_max_batch_bytes);
+    if (!batch.ok()) {
+      log_->Log(obs::LogLevel::kWarn, "repl_feed_failed",
+                {{"error", batch.status().message()},
+                 {"wal", sub->pos.wal_number},
+                 {"offset", sub->pos.offset}});
+      return false;
+    }
+    if (batch->records.empty()) {
+      break;
+    }
+    WireReplRecords wire;
+    wire.end = {batch->end.wal_number, batch->end.offset};
+    wire.committed = {batch->committed.wal_number,
+                      batch->committed.offset};
+    wire.records = std::move(batch->records);
+    size_t record_count = wire.records.size();
+    std::string payload;
+    EncodeReplRecords(wire, &payload);
+    if (!WriteStreamFrame(sub->conn, Opcode::kReplRecords,
+                          sub->request_id, payload)) {
+      return false;
+    }
+    repl_records_shipped_total_->Inc(record_count);
+    sub->pos = batch->end;
+    sub->pin_wal.store(sub->pos.wal_number, std::memory_order_relaxed);
+    advanced = true;
+  }
+  if (advanced) {
+    // The cursor may have crossed a WAL switch; let the engine release
+    // files no subscriber needs anymore.
+    MutexLock lock(feeder_mu_);
+    UpdateWalPinLocked();
+  }
+
+  uint64_t now = obs::MonotonicNowNs();
+  uint64_t interval_ns =
+      static_cast<uint64_t>(options_.repl_heartbeat_interval_ms) * 1000000;
+  if (sub->last_heartbeat_ns == 0 ||
+      now - sub->last_heartbeat_ns >= interval_ns) {
+    WireReplHeartbeat hb;
+    storage::WalPosition committed = engine->CommittedWalPosition();
+    hb.committed = {committed.wal_number, committed.offset};
+    hb.degraded = engine->degraded() ? 1 : 0;
+    std::string payload;
+    EncodeReplHeartbeat(hb, &payload);
+    if (!WriteStreamFrame(sub->conn, Opcode::kReplHeartbeat,
+                          sub->request_id, payload)) {
+      return false;
+    }
+    sub->last_heartbeat_ns = now;
+  }
+  return true;
+}
+
+bool Server::WriteStreamFrame(const std::shared_ptr<Connection>& conn,
+                              Opcode opcode, uint64_t request_id,
+                              std::string_view payload) {
+  FrameHeader header;
+  header.opcode = opcode;
+  header.request_id = request_id;
+  std::string frame;
+  EncodeFrame(header, payload, &frame);
+
+  MutexLock lock(conn->write_mu);
+  if (conn->closed.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  if (WriteAll(conn->fd, frame)) {
+    bytes_out_total_->Inc(frame.size());
+    return true;
+  }
+  conn->closed.store(true, std::memory_order_relaxed);
+  ::shutdown(conn->fd, SHUT_RDWR);
+  return false;
 }
 
 void Server::WriteResponse(const std::shared_ptr<Connection>& conn,

@@ -19,6 +19,7 @@
 #include "authidx/obs/log.h"
 #include "authidx/obs/metrics.h"
 #include "authidx/obs/trace_store.h"
+#include "authidx/storage/replication.h"
 
 namespace authidx::net {
 
@@ -72,6 +73,22 @@ struct ServerOptions {
   /// executing, making "worker busy" states deterministic in shedding
   /// and drain tests. 0 in production.
   uint64_t handler_delay_ms_for_test = 0;
+  /// Replica mode: this server fronts a follower catalog, so ADD and
+  /// REPL_SUBSCRIBE are answered NOT_PRIMARY (no cascading replication)
+  /// and the feeder thread is never started. Read paths (PING/QUERY/
+  /// STATS) and FLUSH serve normally. Forced on automatically when the
+  /// catalog reports is_replica().
+  bool replica = false;
+  /// Replication feeder cadence: how often a subscribed follower gets a
+  /// REPL_HEARTBEAT (and how quickly freshly committed records ship
+  /// when the feeder was idle).
+  int repl_heartbeat_interval_ms = 500;
+  /// Caps on one REPL_RECORDS batch read from the WAL per feeder pass.
+  size_t repl_max_batch_records = 512;
+  /// Byte sibling of repl_max_batch_records; whichever trips first.
+  size_t repl_max_batch_bytes = 256 * 1024;
+  /// Cap on the encoded pairs in one REPL_SNAPSHOT bootstrap chunk.
+  size_t repl_snapshot_chunk_bytes = 256 * 1024;
 };
 
 /// The authidx network front end: accepts loopback TCP connections
@@ -137,6 +154,7 @@ class Server {
 
  private:
   struct Connection;  // Defined in server.cc (owns the fd).
+  struct Subscriber;  // Defined in server.cc (a replication follower).
 
   // Per-frame context captured by the event loop before enqueueing:
   // the decoded trace extension (if any) and lifecycle timestamps.
@@ -201,9 +219,57 @@ class Server {
   // Executes one request and writes its response frame.
   void ExecuteTask(const Task& task);
 
-  // Builds the response payload for one request (no I/O). Engine spans
-  // are appended to `trace` when non-null (sampled requests only).
-  ResponsePayload HandleRequest(const Task& task, obs::Trace* trace);
+  // Builds the response payload for one request (no I/O except the
+  // replication-subscribe setup). Engine spans are appended to `trace`
+  // when non-null (sampled requests only). An accepted REPL_SUBSCRIBE
+  // fills `*pending_sub` (registered but inactive); ExecuteTask
+  // activates it only after the ack response is on the wire, so the
+  // RESPONSE frame always precedes the stream.
+  ResponsePayload HandleRequest(const Task& task, obs::Trace* trace,
+                                std::shared_ptr<Subscriber>* pending_sub);
+
+  // --- replication feeder (primary side of WAL shipping) ---
+
+  // Handles one REPL_SUBSCRIBE: validates the cursor (or sets up a
+  // snapshot bootstrap), registers the subscriber inactive, and builds
+  // the ack. On a non-OK response nothing stays registered.
+  ResponsePayload HandleReplSubscribe(
+      const Task& task, std::shared_ptr<Subscriber>* pending_sub);
+
+  // Streams records/snapshot chunks/heartbeats to every active
+  // subscriber at the repl_heartbeat_interval_ms cadence.
+  void FeederLoop();
+
+  // One feeder pass over `sub`. Returns false when the subscriber is
+  // dead (connection closed or unservable) and must be dropped.
+  bool FeedSubscriber(const std::shared_ptr<Subscriber>& sub,
+                      storage::ReplicationSource* source);
+
+  // Registers `sub` (inactive) and re-pins WALs to cover it.
+  void RegisterSubscriber(const std::shared_ptr<Subscriber>& sub);
+
+  // Marks `sub` live for the feeder (its ack is on the wire).
+  void ActivateSubscriber(const std::shared_ptr<Subscriber>& sub);
+
+  // Drops `sub` and recomputes the WAL pin.
+  void RemoveSubscriber(const std::shared_ptr<Subscriber>& sub);
+
+  // Wakes the feeder when subscribers exist, so a committed mutation
+  // ships immediately instead of at the next heartbeat tick. Best
+  // effort: a missed wakeup only costs one interval of lag.
+  void KickFeeder();
+
+  // Re-pins the primary's WALs at the minimum cursor over all
+  // subscribers (UINT64_MAX — release everything — when none remain).
+  // Caller must hold feeder_mu_.
+  void UpdateWalPinLocked() AUTHIDX_REQUIRES(feeder_mu_);
+
+  // Writes one non-RESPONSE stream frame (REPL_RECORDS / REPL_SNAPSHOT
+  // / REPL_HEARTBEAT) under the connection's write lock. Returns false
+  // and poisons the connection on failure.
+  bool WriteStreamFrame(const std::shared_ptr<Connection>& conn,
+                        Opcode opcode, uint64_t request_id,
+                        std::string_view payload);
 
   // Serializes and writes a response frame on `conn` (takes its write
   // lock; drops the connection on write failure). A non-empty
@@ -227,9 +293,9 @@ class Server {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Logger* log_ = nullptr;  // Never null (Logger::Disabled()).
 
-  // Request opcodes get a dense index (PING=0 .. STATS=4) for the
-  // per-opcode instrument arrays below.
-  static constexpr size_t kNumOps = 5;
+  // Request opcodes get a dense index (PING=0 .. REPL_SUBSCRIBE=5) for
+  // the per-opcode instrument arrays below.
+  static constexpr size_t kNumOps = kRequestOpcodeCount;
 
   obs::Counter* connections_total_ = nullptr;
   obs::Gauge* active_connections_ = nullptr;
@@ -286,6 +352,23 @@ class Server {
   // loop and Stop() erase.
   std::unordered_map<int, std::shared_ptr<Connection>> conns_
       AUTHIDX_GUARDED_BY(conns_mu_);
+
+  // --- replication feeder state ---
+  // Started by Start() when the catalog is a storage-backed primary;
+  // never started in replica mode or for in-memory catalogs.
+  std::thread feeder_thread_;
+  Mutex feeder_mu_;
+  CondVar feeder_cv_;
+  // Membership is guarded by feeder_mu_; a Subscriber's mutable fields
+  // (cursor, snapshot iterator) are touched only by the feeder thread
+  // once the subscriber is active.
+  std::vector<std::shared_ptr<Subscriber>> subscribers_
+      AUTHIDX_GUARDED_BY(feeder_mu_);
+  bool feeder_stop_ AUTHIDX_GUARDED_BY(feeder_mu_) = false;
+
+  obs::Counter* repl_records_shipped_total_ = nullptr;
+  obs::Counter* repl_snapshot_pairs_shipped_total_ = nullptr;
+  obs::Gauge* repl_subscribers_ = nullptr;
 };
 
 }  // namespace authidx::net

@@ -484,41 +484,54 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
   return engine;
 }
 
-Status StorageEngine::ApplyRecordToMemtable(MemTable& mem,
-                                            std::string_view record,
-                                            uint64_t* puts,
-                                            uint64_t* deletes) {
+Status StorageEngine::ForEachRecordOp(
+    std::string_view record,
+    const std::function<void(std::string_view, std::string_view)>& put,
+    const std::function<void(std::string_view)>& del) {
   if (record.empty()) {
     return Status::Corruption("empty WAL record");
   }
   char op = record.front();
   record.remove_prefix(1);
   if (op == kOpBatch) {
-    return WriteBatch::Iterate(
-        record,
-        [&](std::string_view k, std::string_view v) {
-          mem.Put(k, v);
-          ++*puts;
-        },
-        [&](std::string_view k) {
-          mem.Delete(k);
-          ++*deletes;
-        });
+    return WriteBatch::Iterate(record, put, del);
   }
   std::string_view key, value;
   AUTHIDX_RETURN_NOT_OK(GetLengthPrefixed(&record, &key));
   if (op == kOpPut) {
     AUTHIDX_RETURN_NOT_OK(GetLengthPrefixed(&record, &value));
-    mem.Put(key, value);
-    ++*puts;
+    put(key, value);
     return Status::OK();
   }
   if (op == kOpDelete) {
-    mem.Delete(key);
-    ++*deletes;
+    del(key);
     return Status::OK();
   }
   return Status::Corruption("unknown WAL op");
+}
+
+std::string StorageEngine::EncodePutRecord(std::string_view key,
+                                           std::string_view value) {
+  std::string record(1, kOpPut);
+  PutLengthPrefixed(&record, key);
+  PutLengthPrefixed(&record, value);
+  return record;
+}
+
+Status StorageEngine::ApplyRecordToMemtable(MemTable& mem,
+                                            std::string_view record,
+                                            uint64_t* puts,
+                                            uint64_t* deletes) {
+  return ForEachRecordOp(
+      record,
+      [&](std::string_view k, std::string_view v) {
+        mem.Put(k, v);
+        ++*puts;
+      },
+      [&](std::string_view k) {
+        mem.Delete(k);
+        ++*deletes;
+      });
 }
 
 Status StorageEngine::ReplayWalIntoMemtable(uint64_t wal_number) {
@@ -597,6 +610,7 @@ Status StorageEngine::SwitchToFreshWalLocked() {
   }
   wal_ = std::move(fresh).value();
   manifest_ = std::move(pending);
+  committed_pos_ = {number, 0};
   log_->Log(obs::LogLevel::kDebug, "manifest_saved",
             {{"wal", number},
              {"files", static_cast<uint64_t>(manifest_.files.size())}});
@@ -637,6 +651,7 @@ Status StorageEngine::SealMemtableLocked() {
     wal_->Close().IgnoreError();
   }
   wal_ = std::move(fresh).value();
+  committed_pos_ = {number, 0};
   stats_.memtable_bytes = 0;
   log_->Log(obs::LogLevel::kDebug, "memtable_sealed",
             {{"imm_wal", manifest_.imm_wal_number},
@@ -764,6 +779,14 @@ Status StorageEngine::QueueWrite(std::string record) {
     } else {
       fail_op = "wal_sync";
     }
+  } else if (commit.ok()) {
+    // Unsynced writes still leave the user-space buffer per group: the
+    // committed frontier (below) promises replication readers that
+    // every byte behind it is visible in the file.
+    commit = wal->Flush();
+    if (!commit.ok()) {
+      fail_op = "wal_append";
+    }
   }
   uint64_t puts = 0, deletes = 0;
   if (commit.ok()) {
@@ -793,6 +816,11 @@ Status StorageEngine::QueueWrite(std::string record) {
                                                       : "wal_append_failed",
               {{"bytes", group_bytes}, {"status", commit.message()}});
     SetBackgroundErrorLocked(fail_op, commit);
+  } else {
+    // Advance the replication frontier to the end of this group. Safe
+    // to pair with `wal` captured before unlocking: the queue front
+    // owned the WAL for the whole commit, so no seal swapped it out.
+    committed_pos_ = {manifest_.wal_number, wal->bytes_written()};
   }
   stats_.puts += puts;
   stats_.deletes += deletes;
@@ -847,20 +875,34 @@ Status StorageEngine::QueueWrite(std::string record) {
   return commit;
 }
 
+namespace {
+Status ApplyOnlyError() {
+  return Status::FailedPrecondition(
+      "engine is a replication follower (apply-only): direct writes "
+      "are rejected, mutate the primary instead");
+}
+}  // namespace
+
 Status StorageEngine::Put(std::string_view key, std::string_view value) {
-  std::string record(1, kOpPut);
-  PutLengthPrefixed(&record, key);
-  PutLengthPrefixed(&record, value);
-  return QueueWrite(std::move(record));
+  if (options_.apply_only) {
+    return ApplyOnlyError();
+  }
+  return QueueWrite(EncodePutRecord(key, value));
 }
 
 Status StorageEngine::Delete(std::string_view key) {
+  if (options_.apply_only) {
+    return ApplyOnlyError();
+  }
   std::string record(1, kOpDelete);
   PutLengthPrefixed(&record, key);
   return QueueWrite(std::move(record));
 }
 
 Status StorageEngine::Apply(const WriteBatch& batch) {
+  if (options_.apply_only) {
+    return ApplyOnlyError();
+  }
   if (batch.empty()) {
     MutexLock lock(mu_);
     return WritableStatusLocked();
@@ -869,6 +911,38 @@ Status StorageEngine::Apply(const WriteBatch& batch) {
   std::string record(1, kOpBatch);
   record += batch.rep();
   return QueueWrite(std::move(record));
+}
+
+Status StorageEngine::ApplyReplicated(std::string_view record) {
+  // Validate before queueing so a corrupt shipped record is rejected
+  // here (the follower can drop the stream and resubscribe) instead of
+  // poisoning the group-commit leader's memtable apply.
+  Status valid = ForEachRecordOp(
+      record, [](std::string_view, std::string_view) {},
+      [](std::string_view) {});
+  if (!valid.ok()) {
+    return valid.WithContext("rejecting malformed replicated record");
+  }
+  return QueueWrite(std::string(record));
+}
+
+WalPosition StorageEngine::CommittedWalPosition() const {
+  MutexLock lock(mu_);
+  return committed_pos_;
+}
+
+void StorageEngine::PinWalsFrom(uint64_t wal_number) {
+  MutexLock lock(mu_);
+  wal_pin_ = wal_number;
+  std::vector<uint64_t> still_retained;
+  for (uint64_t number : retained_wals_) {
+    if (number >= wal_pin_) {
+      still_retained.push_back(number);
+    } else {
+      ScheduleFileForRemovalLocked(WalFileName(dir_, number));
+    }
+  }
+  retained_wals_ = std::move(still_retained);
 }
 
 Result<std::optional<std::string>> StorageEngine::Get(std::string_view key) {
@@ -1090,7 +1164,13 @@ Status StorageEngine::FlushImmLocked() {
   RebuildVersionLocked();
   imm_ = nullptr;
   if (imm_wal != 0) {
-    ScheduleFileForRemovalLocked(WalFileName(dir_, imm_wal));
+    if (imm_wal >= wal_pin_) {
+      // A replication subscriber still needs this WAL; park it until
+      // the pin advances past it (PinWalsFrom) or the engine reopens.
+      retained_wals_.push_back(imm_wal);
+    } else {
+      ScheduleFileForRemovalLocked(WalFileName(dir_, imm_wal));
+    }
   }
   ++stats_.flushes;
   m_.flushes->Inc();

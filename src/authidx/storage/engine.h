@@ -74,6 +74,12 @@ struct EngineOptions {
   uint64_t retry_base_delay_us = 100;
   /// Saturation bound for the exponential backoff.
   uint64_t retry_max_delay_us = 10000;
+  /// Replication-follower mode: the public write API (Put/Delete/Apply)
+  /// fails with FailedPrecondition and the only accepted mutations are
+  /// ApplyReplicated() records shipped from a primary. The engine still
+  /// writes its own WAL (so follower crash recovery is local) and still
+  /// flushes/compacts normally.
+  bool apply_only = false;
 };
 
 /// Per-read options.
@@ -180,6 +186,43 @@ class StorageEngine {
   /// of it or none).
   Status Apply(const WriteBatch& batch) AUTHIDX_EXCLUDES(mu_);
 
+  /// Applies one primary-originated WAL record verbatim on a follower
+  /// opened with `EngineOptions::apply_only`. Goes through the normal
+  /// writer queue (the record lands in this engine's own WAL, so the
+  /// follower recovers locally after a crash). Re-applying a record the
+  /// engine already holds is state-idempotent: the same keys get the
+  /// same values. Rejects malformed records before queueing.
+  Status ApplyReplicated(std::string_view record) AUTHIDX_EXCLUDES(mu_);
+
+  /// The durable replication frontier: every WAL byte at or before this
+  /// position has been appended, synced per the sync policy, and acked
+  /// to its writer. A ReplicationSource must not ship bytes past it
+  /// (they may belong to a write that will fail and never be acked).
+  WalPosition CommittedWalPosition() const AUTHIDX_EXCLUDES(mu_);
+
+  /// Retains WAL files numbered >= `wal_number` after their memtable
+  /// flushes (normally a flushed WAL is deleted immediately) so a
+  /// ReplicationSource can still read them. Passing UINT64_MAX (the
+  /// initial state) releases every retained file. Lowering the pin is
+  /// not meaningful; each call replaces the previous pin wholesale and
+  /// deletes any retained file the new pin no longer covers.
+  void PinWalsFrom(uint64_t wal_number) AUTHIDX_EXCLUDES(mu_);
+
+  /// Builds a full WAL record holding a single put — used to synthesize
+  /// shippable records from snapshot key/value pairs during follower
+  /// bootstrap. The result is accepted by ApplyReplicated().
+  static std::string EncodePutRecord(std::string_view key,
+                                     std::string_view value);
+
+  /// Decodes one WAL record, invoking `put` / `del` for each operation
+  /// it holds (one for put/delete records, many for batch records).
+  /// Corruption-safe: returns non-OK without invoking callbacks past
+  /// the damage point.
+  static Status ForEachRecordOp(
+      std::string_view record,
+      const std::function<void(std::string_view, std::string_view)>& put,
+      const std::function<void(std::string_view)>& del);
+
   /// Point lookup across memtable and all levels (newest wins), using
   /// the engine-default ReadOptions (`EngineOptions::verify_checksums`).
   Result<std::optional<std::string>> Get(std::string_view key)
@@ -243,6 +286,10 @@ class StorageEngine {
   EngineStats stats() const AUTHIDX_EXCLUDES(mu_);
   const std::string& dir() const { return dir_; }
   const BlockCache& block_cache() const { return cache_; }
+  /// The filesystem this engine was opened on (EngineOptions::env, or
+  /// Env::Default()). Sidecar files that must share the engine's fault
+  /// domain — e.g. the replication cursor — go through it.
+  Env* env() const { return env_; }
 
   /// The registry this engine records into (the one from EngineOptions,
   /// or the engine-private one). Thread-safe to snapshot.
@@ -440,6 +487,16 @@ class StorageEngine {
   // Obsolete files whose removal failed; retried after the next
   // successful flush/compaction.
   std::vector<std::string> pending_removals_ AUTHIDX_GUARDED_BY(mu_);
+  // Replication frontier: advanced by the group-commit leader after a
+  // successful (synced) commit, reset to {new_wal, 0} on WAL switch.
+  WalPosition committed_pos_ AUTHIDX_GUARDED_BY(mu_);
+  // WAL files numbered >= wal_pin_ are retained after flush instead of
+  // deleted, parked in retained_wals_ until the pin advances past them.
+  // UINT64_MAX (the default) pins nothing. Pins do not survive reopen:
+  // SweepUnreferencedFilesLocked deletes retained WALs at the next
+  // open, and a follower whose cursor file is gone re-bootstraps.
+  uint64_t wal_pin_ AUTHIDX_GUARDED_BY(mu_) = UINT64_MAX;
+  std::vector<uint64_t> retained_wals_ AUTHIDX_GUARDED_BY(mu_);
   // Unannotated by design: written once by Open() before the engine is
   // shared, joined by the single Close() winner (the closing_ barrier
   // elects it under mu_). Never touched concurrently.

@@ -1,0 +1,170 @@
+#include "authidx/storage/replication.h"
+
+#include <algorithm>
+
+#include "authidx/common/coding.h"
+#include "authidx/storage/manifest.h"
+
+namespace authidx::storage {
+
+namespace {
+
+constexpr char kPositionFileName[] = "REPL_POSITION";
+constexpr size_t kPositionFileBytes = 16;  // Two fixed64s.
+
+// Extracts `<digits>.wal` numbers from a directory listing.
+bool ParseWalName(const std::string& name, uint64_t* number) {
+  size_t dot = name.rfind('.');
+  if (dot == std::string::npos || dot == 0 ||
+      std::string_view(name).substr(dot) != ".wal") {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = 0; i < dot; ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *number = value;
+  return true;
+}
+
+}  // namespace
+
+ReplicationSource::ReplicationSource(StorageEngine* engine, Env* env)
+    : engine_(engine), env_(env != nullptr ? env : Env::Default()) {}
+
+Result<ReplicationBatch> ReplicationSource::ReadBatch(WalPosition from,
+                                                      size_t max_records,
+                                                      size_t max_bytes) {
+  if (from.wal_number == 0) {
+    return Status::InvalidArgument(
+        "position {0,0} needs a snapshot bootstrap, not a record read");
+  }
+  ReplicationBatch batch;
+  batch.committed = engine_->CommittedWalPosition();
+  batch.end = from;
+  if (batch.committed < from) {
+    // A cursor past the primary's frontier means the follower was fed
+    // by a store that no longer exists (e.g. the primary lost its disk
+    // and restarted empty). Only a bootstrap can reconcile that.
+    return Status::NotFound(
+        "cursor is past the primary's committed position");
+  }
+  // Walk WAL files from the cursor towards the committed frontier. The
+  // numbers are not consecutive (file numbers are shared with tables),
+  // so each hop consults the directory listing.
+  size_t batch_bytes = 0;
+  while (batch.records.size() < max_records && batch_bytes < max_bytes) {
+    WalPosition& cur = batch.end;
+    if (batch.committed.wal_number < cur.wal_number ||
+        (batch.committed.wal_number == cur.wal_number &&
+         batch.committed.offset <= cur.offset)) {
+      break;  // Caught up.
+    }
+    const bool live = cur.wal_number == batch.committed.wal_number;
+    Result<std::string> data =
+        env_->ReadFileToString(WalFileName(engine_->dir(), cur.wal_number));
+    if (!data.ok()) {
+      if (data.status().IsNotFound()) {
+        return Status::NotFound("WAL " + std::to_string(cur.wal_number) +
+                                " is gone (garbage-collected)");
+      }
+      return data.status().WithContext("reading WAL for replication");
+    }
+    const uint64_t limit =
+        live ? batch.committed.offset : static_cast<uint64_t>(data->size());
+    if (cur.offset > limit) {
+      return Status::NotFound("cursor offset " + std::to_string(cur.offset) +
+                              " is past the end of WAL " +
+                              std::to_string(cur.wal_number));
+    }
+    while (cur.offset < limit && batch.records.size() < max_records &&
+           batch_bytes < max_bytes) {
+      std::string_view window(data->data() + cur.offset,
+                              static_cast<size_t>(limit - cur.offset));
+      std::string_view payload;
+      size_t consumed = 0;
+      WalParseOutcome outcome = ParseWalRecord(window, &payload, &consumed);
+      if (outcome != WalParseOutcome::kRecord) {
+        // Every byte below the committed frontier (or below EOF of a
+        // cleanly-sealed WAL) is a whole, CRC-valid record; anything
+        // else is damage.
+        return Status::Corruption(
+            "damaged WAL record below the committed frontier in WAL " +
+            std::to_string(cur.wal_number));
+      }
+      batch.records.emplace_back(payload);
+      cur.offset += consumed;
+      batch_bytes += consumed;
+    }
+    if (batch_bytes >= max_bytes || batch.records.size() >= max_records) {
+      break;
+    }
+    if (!live && cur.offset == limit) {
+      // Finished a sealed WAL: hop to the next one on disk.
+      Result<std::vector<std::string>> listing =
+          env_->ListDir(engine_->dir());
+      AUTHIDX_RETURN_NOT_OK(listing.status());
+      uint64_t next = 0;
+      for (const std::string& name : *listing) {
+        uint64_t number = 0;
+        if (ParseWalName(name, &number) && number > cur.wal_number &&
+            number <= batch.committed.wal_number &&
+            (next == 0 || number < next)) {
+          next = number;
+        }
+      }
+      if (next == 0) {
+        return Status::NotFound(
+            "no WAL after " + std::to_string(cur.wal_number) +
+            " on disk (retention gap)");
+      }
+      cur = {next, 0};
+    }
+  }
+  return batch;
+}
+
+ReplicationApplier::ReplicationApplier(StorageEngine* engine, std::string dir,
+                                       Env* env)
+    : engine_(engine),
+      dir_(std::move(dir)),
+      env_(env != nullptr ? env : Env::Default()) {}
+
+std::string ReplicationApplier::position_path() const {
+  return dir_ + "/" + kPositionFileName;
+}
+
+Status ReplicationApplier::Apply(std::string_view record) {
+  return engine_->ApplyReplicated(record);
+}
+
+Result<WalPosition> ReplicationApplier::LoadPosition() {
+  Result<std::string> data = env_->ReadFileToString(position_path());
+  if (!data.ok()) {
+    if (data.status().IsNotFound()) {
+      return WalPosition{};  // Fresh follower: bootstrap needed.
+    }
+    return data.status().WithContext("reading replication position");
+  }
+  if (data->size() != kPositionFileBytes) {
+    // A torn sidecar is recoverable by re-bootstrap; treat like absent.
+    return WalPosition{};
+  }
+  WalPosition pos;
+  pos.wal_number = DecodeFixed64(data->data());
+  pos.offset = DecodeFixed64(data->data() + 8);
+  return pos;
+}
+
+Status ReplicationApplier::CommitPosition(WalPosition pos) {
+  std::string data;
+  data.reserve(kPositionFileBytes);
+  PutFixed64(&data, pos.wal_number);
+  PutFixed64(&data, pos.offset);
+  return env_->WriteStringToFileSync(position_path(), data);
+}
+
+}  // namespace authidx::storage

@@ -1,0 +1,98 @@
+#ifndef AUTHIDX_STORAGE_REPLICATION_H_
+#define AUTHIDX_STORAGE_REPLICATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "authidx/common/env.h"
+#include "authidx/common/result.h"
+#include "authidx/storage/engine.h"
+#include "authidx/storage/wal.h"
+
+namespace authidx::storage {
+
+/// One batch of committed WAL records read by a ReplicationSource.
+struct ReplicationBatch {
+  /// Full WAL records (op byte + payload), in commit order. Each one is
+  /// accepted verbatim by StorageEngine::ApplyReplicated.
+  std::vector<std::string> records;
+  /// Cursor after the last record in `records`: pass this as `from` to
+  /// the next ReadBatch call, and persist it (after applying) as the
+  /// follower's durable position.
+  WalPosition end;
+  /// The primary's committed frontier at read time. `end == committed`
+  /// means the follower is caught up; the gap is the replication lag.
+  WalPosition committed;
+};
+
+/// Reads committed WAL records from a primary engine's log files,
+/// starting at an arbitrary durable cursor and walking across WAL
+/// switches. The caller is responsible for pinning (PinWalsFrom) the
+/// WALs at or after the oldest outstanding cursor; a cursor whose WAL
+/// file has already been garbage-collected yields NotFound, the signal
+/// to re-bootstrap the follower from a snapshot.
+///
+/// Thread-compatible, not thread-safe: one source per subscriber (the
+/// engine calls it makes are themselves thread-safe).
+class ReplicationSource {
+ public:
+  /// `env` nullptr means Env::Default(); pass the engine's own Env when
+  /// it was opened with an injected one (fault tests).
+  ReplicationSource(StorageEngine* engine, Env* env = nullptr);
+
+  /// Reads up to `max_records`/`max_bytes` of committed records with
+  /// `from` as the next unread byte. Never ships past the committed
+  /// frontier (bytes beyond it may belong to a write that fails and is
+  /// never acked). An up-to-date cursor yields an empty batch with
+  /// `end == from`. Errors:
+  ///   * NotFound    — the cursor's WAL file no longer exists (GC'd or
+  ///                   the primary restarted): re-bootstrap.
+  ///   * Corruption  — damaged bytes below the committed frontier.
+  Result<ReplicationBatch> ReadBatch(WalPosition from, size_t max_records,
+                                     size_t max_bytes);
+
+ private:
+  StorageEngine* engine_;
+  Env* env_;
+};
+
+/// Applies shipped records into a follower engine (opened with
+/// `EngineOptions::apply_only`) and persists the follower's replication
+/// cursor in a `REPL_POSITION` sidecar file next to the store.
+///
+/// Crash-consistency contract: commit the position only *after* the
+/// records up to it have been applied (and synced per the follower's
+/// sync policy). A crash between apply and commit re-delivers records
+/// the engine already holds — re-applying them writes the same keys
+/// with the same values, so the replay is a no-op by state.
+class ReplicationApplier {
+ public:
+  /// `dir` is the follower's store directory; `env` nullptr means
+  /// Env::Default().
+  ReplicationApplier(StorageEngine* engine, std::string dir,
+                     Env* env = nullptr);
+
+  /// Applies one shipped record through the follower's own WAL.
+  Status Apply(std::string_view record);
+
+  /// Reads the durable cursor; {0, 0} when no sidecar exists yet (a
+  /// fresh follower that needs a snapshot bootstrap).
+  Result<WalPosition> LoadPosition();
+
+  /// Durably replaces the cursor (atomic temp-write + fsync + rename).
+  Status CommitPosition(WalPosition pos);
+
+  /// The sidecar path (exposed for tests).
+  std::string position_path() const;
+
+ private:
+  StorageEngine* engine_;
+  std::string dir_;
+  Env* env_;
+};
+
+}  // namespace authidx::storage
+
+#endif  // AUTHIDX_STORAGE_REPLICATION_H_

@@ -5,9 +5,22 @@
 
 namespace authidx::storage {
 
-namespace {
-constexpr size_t kHeaderSize = 8;  // crc (4) + length (4).
-}  // namespace
+WalParseOutcome ParseWalRecord(std::string_view input,
+                               std::string_view* payload, size_t* consumed) {
+  if (input.size() < kWalRecordHeaderBytes) return WalParseOutcome::kNeedMore;
+  uint32_t stored_crc = crc32c::Unmask(DecodeFixed32(input.data()));
+  uint32_t length = DecodeFixed32(input.data() + 4);
+  if (input.size() - kWalRecordHeaderBytes < length) {
+    return WalParseOutcome::kNeedMore;  // Truncated payload.
+  }
+  std::string_view body = input.substr(kWalRecordHeaderBytes, length);
+  if (crc32c::Value(body) != stored_crc) {
+    return WalParseOutcome::kCorrupt;  // Bit rot or torn write.
+  }
+  *payload = body;
+  *consumed = kWalRecordHeaderBytes + length;
+  return WalParseOutcome::kRecord;
+}
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env,
                                                    const std::string& path) {
@@ -22,9 +35,11 @@ Status WalWriter::Append(std::string_view record) {
   PutFixed32(&header, static_cast<uint32_t>(record.size()));
   AUTHIDX_RETURN_NOT_OK(file_->Append(header));
   AUTHIDX_RETURN_NOT_OK(file_->Append(record));
-  bytes_written_ += kHeaderSize + record.size();
+  bytes_written_ += kWalRecordHeaderBytes + record.size();
   return Status::OK();
 }
+
+Status WalWriter::Flush() { return file_->Flush(); }
 
 Status WalWriter::Sync() { return file_->Sync(); }
 
@@ -37,25 +52,19 @@ Result<WalReplayStats> ReplayWal(
   WalReplayStats stats;
   std::string_view input = data;
   while (!input.empty()) {
-    if (input.size() < kHeaderSize) {
+    std::string_view payload;
+    size_t consumed = 0;
+    WalParseOutcome outcome = ParseWalRecord(input, &payload, &consumed);
+    if (outcome != WalParseOutcome::kRecord) {
+      // A short or damaged record at any position stops the replay; the
+      // stats tell callers how much was recovered before the damage.
       stats.tail_corruption = true;
-      break;
-    }
-    uint32_t stored_crc = crc32c::Unmask(DecodeFixed32(input.data()));
-    uint32_t length = DecodeFixed32(input.data() + 4);
-    if (input.size() - kHeaderSize < length) {
-      stats.tail_corruption = true;  // Truncated payload.
-      break;
-    }
-    std::string_view payload = input.substr(kHeaderSize, length);
-    if (crc32c::Value(payload) != stored_crc) {
-      stats.tail_corruption = true;  // Bit rot or torn write.
       break;
     }
     AUTHIDX_RETURN_NOT_OK(sink(payload));
     ++stats.records;
-    stats.bytes += kHeaderSize + length;
-    input.remove_prefix(kHeaderSize + length);
+    stats.bytes += consumed;
+    input.remove_prefix(consumed);
   }
   return stats;
 }

@@ -12,6 +12,51 @@
 
 namespace authidx::storage {
 
+/// Bytes of the per-record framing prologue: masked CRC32C (4) plus
+/// payload length (4). Public so replication can walk WAL files record
+/// by record from an arbitrary byte offset (see ParseWalRecord).
+inline constexpr size_t kWalRecordHeaderBytes = 8;
+
+/// A durable coordinate in the WAL stream: byte `offset` into the log
+/// file numbered `wal_number`. Positions order first by file number
+/// (WAL switches allocate strictly increasing numbers), then by offset.
+/// {0, 0} is the "nothing shipped yet" sentinel.
+struct WalPosition {
+  uint64_t wal_number = 0;
+  uint64_t offset = 0;
+
+  friend bool operator==(const WalPosition& a, const WalPosition& b) {
+    return a.wal_number == b.wal_number && a.offset == b.offset;
+  }
+  friend bool operator!=(const WalPosition& a, const WalPosition& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const WalPosition& a, const WalPosition& b) {
+    return a.wal_number != b.wal_number ? a.wal_number < b.wal_number
+                                        : a.offset < b.offset;
+  }
+  friend bool operator<=(const WalPosition& a, const WalPosition& b) {
+    return a < b || a == b;
+  }
+};
+
+/// Outcome of one ParseWalRecord step.
+enum class WalParseOutcome {
+  /// A complete, CRC-valid record was parsed.
+  kRecord,
+  /// The input ends before a complete record; more bytes (or the next
+  /// WAL file) are needed.
+  kNeedMore,
+  /// The framing or CRC is damaged at the front of the input.
+  kCorrupt,
+};
+
+/// Attempts to parse one CRC-framed record from the front of `input`.
+/// On kRecord, `*payload` receives the record bytes (aliasing `input`)
+/// and `*consumed` the encoded size (header + payload) to advance by.
+WalParseOutcome ParseWalRecord(std::string_view input,
+                               std::string_view* payload, size_t* consumed);
+
 /// Write-ahead log. Each record is framed as
 ///
 ///   masked_crc32c (fixed32, over payload) | length (fixed32) | payload
@@ -28,6 +73,12 @@ class WalWriter {
 
   /// Appends one record. Durability requires Sync().
   Status Append(std::string_view record);
+
+  /// Pushes appended records out of the user-space buffer into the OS
+  /// (no fsync). After this, same-host readers — crucially the
+  /// replication source, which walks the file behind the committed
+  /// frontier — see every appended byte.
+  Status Flush();
 
   /// fdatasyncs all appended records.
   Status Sync();

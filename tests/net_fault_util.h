@@ -1,0 +1,263 @@
+#ifndef AUTHIDX_TESTS_NET_FAULT_UTIL_H_
+#define AUTHIDX_TESTS_NET_FAULT_UTIL_H_
+
+// In-process TCP relay for network fault injection (the socket-level
+// sibling of tests/fault_env.h).
+//
+// TcpRelay listens on an ephemeral loopback port and forwards every
+// accepted connection to a real server, byte for byte, through pump
+// threads — until a fault knob is armed:
+//
+//   set_forward_delay_us(d)       sleep d µs before relaying each chunk
+//                                 toward the server (a slow network;
+//                                 drives client deadline expiry)
+//   set_truncate_after(n)         relay only the first n server->client
+//                                 bytes, then hard-close both sides —
+//                                 the client sees a response cut off
+//                                 mid-frame
+//   set_drop_responses(true)      swallow server->client bytes while
+//                                 keeping the connection open (a
+//                                 blackholed reply; drives receive
+//                                 timeouts without a connection reset)
+//
+// Knobs apply to connections accepted after they are set (each
+// connection snapshots the truncation budget at accept), so a test can
+// arm a fault, let one doomed connection play out, disarm, and verify
+// the client's next connection recovers. Response bytes are counted
+// per-relay in response_bytes_forwarded().
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace authidx::tests {
+
+class TcpRelay {
+ public:
+  /// Relay forwarding to 127.0.0.1:`target_port`. Call Start() next.
+  explicit TcpRelay(int target_port) : target_port_(target_port) {}
+
+  ~TcpRelay() { Stop(); }
+
+  TcpRelay(const TcpRelay&) = delete;
+  TcpRelay& operator=(const TcpRelay&) = delete;
+
+  /// Binds an ephemeral loopback port and starts accepting. Returns
+  /// false when the socket setup fails (port() stays 0).
+  bool Start() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return true;
+  }
+
+  /// Closes the listener and every relayed connection, joins threads.
+  void Stop() {
+    if (listen_fd_ < 0) {
+      return;
+    }
+    stop_.store(true, std::memory_order_release);
+    // shutdown() wakes threads blocked in accept()/recv() without
+    // invalidating the descriptors they still hold; close() must wait
+    // until every thread that could touch an fd has been joined.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) {
+      accept_thread_.join();
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ShutdownAllConns();
+    for (std::thread& t : pump_threads_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+    pump_threads_.clear();
+    CloseAllConns();
+  }
+
+  /// The port clients should connect to.
+  int port() const { return port_; }
+
+  void set_forward_delay_us(uint64_t us) {
+    forward_delay_us_.store(us, std::memory_order_release);
+  }
+  void set_truncate_after(uint64_t response_bytes) {
+    truncate_after_.store(response_bytes, std::memory_order_release);
+  }
+  void set_drop_responses(bool drop) {
+    drop_responses_.store(drop, std::memory_order_release);
+  }
+  void clear_faults() {
+    forward_delay_us_.store(0, std::memory_order_release);
+    truncate_after_.store(UINT64_MAX, std::memory_order_release);
+    drop_responses_.store(false, std::memory_order_release);
+  }
+
+  /// Server->client bytes actually delivered across all connections.
+  uint64_t response_bytes_forwarded() const {
+    return response_bytes_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void AcceptLoop() {
+    while (!stop_.load(std::memory_order_acquire)) {
+      int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (client_fd < 0) {
+        return;  // Listener closed by Stop().
+      }
+      int upstream_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<uint16_t>(target_port_));
+      if (upstream_fd < 0 ||
+          ::connect(upstream_fd, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
+        ::close(client_fd);
+        if (upstream_fd >= 0) {
+          ::close(upstream_fd);
+        }
+        continue;
+      }
+      // Per-connection truncation budget, snapshotted at accept so a
+      // later disarm does not resurrect an already-doomed connection.
+      auto budget = std::make_shared<std::atomic<uint64_t>>(
+          truncate_after_.load(std::memory_order_acquire));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_.load(std::memory_order_acquire)) {
+          ::close(client_fd);
+          ::close(upstream_fd);
+          return;
+        }
+        conn_fds_.push_back(client_fd);
+        conn_fds_.push_back(upstream_fd);
+        pump_threads_.emplace_back([this, client_fd, upstream_fd] {
+          Pump(client_fd, upstream_fd, /*server_to_client=*/false, nullptr);
+        });
+        pump_threads_.emplace_back([this, client_fd, upstream_fd, budget] {
+          Pump(upstream_fd, client_fd, /*server_to_client=*/true,
+               budget.get());
+          // Keep the budget alive for the thread's lifetime.
+          (void)budget;
+        });
+      }
+    }
+  }
+
+  void Pump(int from, int to, bool server_to_client,
+            std::atomic<uint64_t>* budget) {
+    char buf[4096];
+    for (;;) {
+      ssize_t n = ::recv(from, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        break;
+      }
+      if (server_to_client) {
+        if (drop_responses_.load(std::memory_order_acquire)) {
+          continue;
+        }
+        uint64_t remaining = budget->load(std::memory_order_acquire);
+        if (static_cast<uint64_t>(n) >= remaining) {
+          // Deliver the last in-budget bytes — a frame cut off in the
+          // middle — then hard-close both directions.
+          if (remaining > 0) {
+            SendAll(to, buf, static_cast<size_t>(remaining));
+            response_bytes_.fetch_add(remaining, std::memory_order_acq_rel);
+          }
+          budget->store(0, std::memory_order_release);
+          ::shutdown(from, SHUT_RDWR);
+          ::shutdown(to, SHUT_RDWR);
+          break;
+        }
+        budget->fetch_sub(static_cast<uint64_t>(n),
+                          std::memory_order_acq_rel);
+        response_bytes_.fetch_add(static_cast<uint64_t>(n),
+                                  std::memory_order_acq_rel);
+      } else {
+        uint64_t delay = forward_delay_us_.load(std::memory_order_acquire);
+        if (delay > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(delay));
+        }
+      }
+      if (!SendAll(to, buf, static_cast<size_t>(n))) {
+        break;
+      }
+    }
+    // EOF or error: half-close the forward direction so the peer sees
+    // the same stream end the origin produced.
+    ::shutdown(to, SHUT_WR);
+  }
+
+  static bool SendAll(int fd, const char* data, size_t size) {
+    size_t sent = 0;
+    while (sent < size) {
+      ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  void ShutdownAllConns() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+
+  // Only safe once the accept and pump threads have been joined.
+  void CloseAllConns() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) {
+      ::close(fd);
+    }
+    conn_fds_.clear();
+  }
+
+  int target_port_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> forward_delay_us_{0};
+  std::atomic<uint64_t> truncate_after_{UINT64_MAX};
+  std::atomic<bool> drop_responses_{false};
+  std::atomic<uint64_t> response_bytes_{0};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> pump_threads_;
+};
+
+}  // namespace authidx::tests
+
+#endif  // AUTHIDX_TESTS_NET_FAULT_UTIL_H_

@@ -405,6 +405,113 @@ TEST(SerdeTest, ResponsePayloadRoundTrip) {
   EXPECT_TRUE(DecodeResponsePayload("", &decoded).IsCorruption());
 }
 
+TEST(SerdeTest, ReplSubscribeAndAckRoundTrip) {
+  WirePosition cursor{3, 4096};
+  std::string payload;
+  EncodeReplSubscribe(cursor, &payload);
+  WirePosition decoded;
+  ASSERT_TRUE(DecodeReplSubscribe(payload, &decoded).ok());
+  EXPECT_EQ(decoded.wal_number, 3u);
+  EXPECT_EQ(decoded.offset, 4096u);
+  payload.push_back('x');
+  EXPECT_TRUE(DecodeReplSubscribe(payload, &decoded).IsCorruption());
+  EXPECT_TRUE(DecodeReplSubscribe("short", &decoded).IsCorruption());
+
+  WireReplSubscribeAck ack;
+  ack.mode = 1;
+  ack.start = {7, 123};
+  std::string body;
+  EncodeReplSubscribeAck(ack, &body);
+  WireReplSubscribeAck decoded_ack;
+  ASSERT_TRUE(DecodeReplSubscribeAck(body, &decoded_ack).ok());
+  EXPECT_EQ(decoded_ack.mode, 1);
+  EXPECT_EQ(decoded_ack.start.wal_number, 7u);
+  EXPECT_EQ(decoded_ack.start.offset, 123u);
+  // Only modes 0 (records) and 1 (snapshot-first) exist.
+  body[0] = 2;
+  EXPECT_TRUE(DecodeReplSubscribeAck(body, &decoded_ack).IsCorruption());
+  EXPECT_TRUE(DecodeReplSubscribeAck("", &decoded_ack).IsCorruption());
+}
+
+TEST(SerdeTest, ReplRecordsRoundTripAndForgedCount) {
+  WireReplRecords batch;
+  batch.end = {2, 900};
+  batch.committed = {2, 1400};
+  batch.records = {"record one", "", std::string(300, 'z')};
+  std::string payload;
+  EncodeReplRecords(batch, &payload);
+  WireReplRecords decoded;
+  ASSERT_TRUE(DecodeReplRecords(payload, &decoded).ok());
+  EXPECT_EQ(decoded.end.offset, 900u);
+  EXPECT_EQ(decoded.committed.offset, 1400u);
+  ASSERT_EQ(decoded.records.size(), 3u);
+  EXPECT_EQ(decoded.records[0], "record one");
+  EXPECT_EQ(decoded.records[1], "");
+  EXPECT_EQ(decoded.records[2], std::string(300, 'z'));
+  payload.push_back('x');
+  EXPECT_TRUE(DecodeReplRecords(payload, &decoded).IsCorruption());
+
+  // A forged record count must fail validation before the reserve()
+  // (same peer-controlled-count defense as DecodeAddRequest).
+  std::string forged;
+  for (int i = 0; i < 4; ++i) {
+    PutFixed64(&forged, 0);  // end + committed positions.
+  }
+  PutVarint32(&forged, 0xffffffffu);
+  Status s = DecodeReplRecords(forged, &decoded);
+  EXPECT_TRUE(s.IsCorruption()) << s;
+  EXPECT_NE(s.message().find("count"), std::string::npos) << s;
+}
+
+TEST(SerdeTest, ReplHeartbeatRoundTripAndBadDegradedByte) {
+  WireReplHeartbeat hb;
+  hb.committed = {5, 777};
+  hb.degraded = 1;
+  std::string payload;
+  EncodeReplHeartbeat(hb, &payload);
+  WireReplHeartbeat decoded;
+  ASSERT_TRUE(DecodeReplHeartbeat(payload, &decoded).ok());
+  EXPECT_EQ(decoded.committed.wal_number, 5u);
+  EXPECT_EQ(decoded.committed.offset, 777u);
+  EXPECT_EQ(decoded.degraded, 1);
+  payload.back() = 2;  // Degraded is a boolean byte.
+  EXPECT_TRUE(DecodeReplHeartbeat(payload, &decoded).IsCorruption());
+  payload.push_back('x');
+  EXPECT_TRUE(DecodeReplHeartbeat(payload, &decoded).IsCorruption());
+}
+
+TEST(SerdeTest, ReplSnapshotRoundTripAndForgedPairCount) {
+  WireReplSnapshot chunk;
+  chunk.done = 0;
+  chunk.resume = {4, 64};
+  chunk.pairs = {{"key/a", "value one"}, {"key/b", ""}};
+  std::string payload;
+  EncodeReplSnapshot(chunk, &payload);
+  WireReplSnapshot decoded;
+  ASSERT_TRUE(DecodeReplSnapshot(payload, &decoded).ok());
+  EXPECT_EQ(decoded.done, 0);
+  EXPECT_EQ(decoded.resume.wal_number, 4u);
+  ASSERT_EQ(decoded.pairs.size(), 2u);
+  EXPECT_EQ(decoded.pairs[0].first, "key/a");
+  EXPECT_EQ(decoded.pairs[0].second, "value one");
+  EXPECT_EQ(decoded.pairs[1].second, "");
+  payload.push_back('x');
+  EXPECT_TRUE(DecodeReplSnapshot(payload, &decoded).IsCorruption());
+  payload.pop_back();
+  payload[0] = 2;  // Done is a boolean byte.
+  EXPECT_TRUE(DecodeReplSnapshot(payload, &decoded).IsCorruption());
+  EXPECT_TRUE(DecodeReplSnapshot("", &decoded).IsCorruption());
+
+  std::string forged;
+  forged.push_back('\0');
+  PutFixed64(&forged, 1);  // Resume position.
+  PutFixed64(&forged, 0);
+  PutVarint32(&forged, 0xffffffffu);
+  Status s = DecodeReplSnapshot(forged, &decoded);
+  EXPECT_TRUE(s.IsCorruption()) << s;
+  EXPECT_NE(s.message().find("count"), std::string::npos) << s;
+}
+
 TEST(StatusMappingTest, NamesAndKnownness) {
   EXPECT_EQ(OpcodeName(Opcode::kPing), "PING");
   EXPECT_EQ(OpcodeName(Opcode::kResponse), "RESPONSE");

@@ -25,6 +25,7 @@
 #include "authidx/net/client.h"
 #include "authidx/parse/tsv.h"
 #include "fault_env.h"
+#include "net_fault_util.h"
 
 namespace authidx::net {
 namespace {
@@ -229,6 +230,30 @@ TEST(NetServerTest, CorruptFrameAlsoGetsBadFrame) {
   EXPECT_EQ(response.status, WireStatus::kBadFrame);
 
   // The first client's connection is unaffected.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(NetServerTest, ResponseTruncatedMidFrameIsATransientIOError) {
+  TestServer fixture;
+  tests::TcpRelay relay(fixture.server->port());
+  ASSERT_TRUE(relay.Start());
+
+  ClientOptions options;
+  options.port = relay.port();
+  options.retry.max_attempts = 1;
+  Client client(options);
+
+  // Arm before the client's first connection: deliver only the first
+  // few bytes of the response — a frame cut off inside its header —
+  // then hard-close.
+  relay.set_truncate_after(3);
+  Status truncated = client.Ping();
+  EXPECT_TRUE(truncated.IsIOError()) << truncated;
+  EXPECT_EQ(relay.response_bytes_forwarded(), 3u);
+
+  // Disarm: the client reconnects (new relay connection, fresh budget)
+  // and the stream works end to end again.
+  relay.clear_faults();
   EXPECT_TRUE(client.Ping().ok());
 }
 
