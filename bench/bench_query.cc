@@ -65,8 +65,23 @@ void BM_QueryConjunctionWithFilters(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryConjunctionWithFilters);
 
+// Routed to the block-max pruned top-k plan (kTitleTopK); the counters
+// expose how much of the postings volume the pruning loop skipped.
 void BM_QueryRelevanceRanked(benchmark::State& state) {
-  RunQuery(state, "coal mining safety order:relevance limit:20");
+  AuthorIndex& catalog = Catalog();
+  query::Query q =
+      *query::ParseQuery("coal mining safety order:relevance limit:20");
+  uint64_t decoded = 0;
+  uint64_t skipped = 0;
+  for (auto _ : state) {
+    auto result = catalog.Run(q);
+    decoded = result->postings_decoded;
+    skipped = result->postings_skipped;
+    benchmark::DoNotOptimize(result->hits.data());
+  }
+  state.counters["postings_decoded"] = static_cast<double>(decoded);
+  state.counters["postings_skipped"] = static_cast<double>(skipped);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_QueryRelevanceRanked)->Unit(benchmark::kMicrosecond);
 

@@ -1,0 +1,92 @@
+// B15: the epoch-invalidated result cache under zipfian repeat
+// traffic — the same relevance queries re-issued with a skewed
+// popularity distribution, cached vs uncached (DESIGN.md §3).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "authidx/common/random.h"
+#include "authidx/core/author_index.h"
+#include "authidx/query/parser.h"
+#include "authidx/workload/corpus.h"
+
+namespace authidx::core {
+namespace {
+
+constexpr size_t kCacheBytes = 8u << 20;
+
+// A skewed query mix: single- and two-term relevance queries over the
+// corpus title vocabulary, times a few page sizes. Distinct enough to
+// exercise eviction bookkeeping, repetitive enough (under the zipfian
+// pick below) for a realistic hit rate.
+std::vector<query::Query> BuildQueries() {
+  const char* words[] = {"mining",     "compensation", "liability",
+                         "safety",     "negligence",   "water",
+                         "mineral",    "rights",       "arbitration",
+                         "bankruptcy", "zoning",       "custody",
+                         "securities", "malpractice",  "credit",
+                         "succession"};
+  const char* limits[] = {"10", "20", "50"};
+  std::vector<query::Query> queries;
+  for (const char* word : words) {
+    for (const char* limit : limits) {
+      std::string text = std::string(word) + " order:relevance limit:" + limit;
+      queries.push_back(*query::ParseQuery(text));
+      std::string pair = std::string(word) + " law order:relevance limit:" +
+                         limit;
+      queries.push_back(*query::ParseQuery(pair));
+    }
+  }
+  return queries;
+}
+
+AuthorIndex* MakeCatalog(bool cached) {
+  workload::CorpusOptions options;
+  options.entries = 50000;
+  options.authors = 4000;
+  auto catalog = AuthorIndex::Create();
+  AUTHIDX_CHECK_OK(catalog->AddAll(workload::GenerateCorpus(options)));
+  if (cached) {
+    catalog->EnableResultCache(kCacheBytes);
+  }
+  return catalog.release();
+}
+
+uint64_t CounterValue(AuthorIndex& catalog, const char* name) {
+  return catalog.mutable_metrics()->RegisterCounter(name, "")->Value();
+}
+
+void RunRepeatTraffic(benchmark::State& state, AuthorIndex& catalog) {
+  static const std::vector<query::Query>* queries =
+      new std::vector<query::Query>(BuildQueries());
+  Zipf zipf(queries->size(), 0.99, 7);
+  for (auto _ : state) {
+    const query::Query& q = (*queries)[zipf.Next()];
+    auto result = catalog.Run(q);
+    benchmark::DoNotOptimize(result->hits.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_RepeatTrafficUncached(benchmark::State& state) {
+  static AuthorIndex* catalog = MakeCatalog(false);
+  RunRepeatTraffic(state, *catalog);
+}
+BENCHMARK(BM_RepeatTrafficUncached)->Unit(benchmark::kMicrosecond);
+
+void BM_RepeatTrafficCached(benchmark::State& state) {
+  static AuthorIndex* catalog = MakeCatalog(true);
+  RunRepeatTraffic(state, *catalog);
+  state.counters["result_cache_hits_total"] = static_cast<double>(
+      CounterValue(*catalog, "authidx_result_cache_hits_total"));
+  state.counters["result_cache_misses_total"] = static_cast<double>(
+      CounterValue(*catalog, "authidx_result_cache_misses_total"));
+  state.counters["result_cache_bytes"] =
+      static_cast<double>(catalog->result_cache()->bytes_used());
+}
+BENCHMARK(BM_RepeatTrafficCached)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace authidx::core

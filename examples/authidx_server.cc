@@ -4,7 +4,7 @@
 //   authidx_server --db DIR [--port N] [--workers N] [--queue-limit N]
 //                  [--max-conns N] [--max-pipeline N]
 //                  [--max-frame-bytes N] [--http-port N] [--slow-ms N]
-//                  [--trace-sample-every N]
+//                  [--result-cache-mb N] [--trace-sample-every N]
 //                  [--log-level L] [--log-file PATH]
 //
 // Speaks the binary wire protocol (docs/PROTOCOL.md) on --port and,
@@ -52,6 +52,8 @@ int Usage() {
       "  --http-port N        also serve HTTP /metrics /healthz /varz "
       "/slowlog /rpcz /tracez\n"
       "  --slow-ms N          arm the slow-query log at N ms\n"
+      "  --result-cache-mb N  cache query results in N MiB, "
+      "epoch-invalidated (0 = off)\n"
       "  --trace-sample-every N  record a span tree for 1 in N "
       "untraced requests (0 = off)\n"
       "  --log-level L        debug|info|warn|error (default info)\n"
@@ -74,6 +76,7 @@ struct Args {
   int64_t max_frame_bytes = 0;  // 0 = protocol default.
   int http_port = -1;           // -1 = no HTTP endpoint.
   int64_t slow_ms = -1;
+  int64_t result_cache_mb = 0;
   int64_t trace_sample_every = 0;
   std::string log_level;
   std::string log_file;
@@ -154,6 +157,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       args->slow_ms = *value;
+    } else if (arg == "--result-cache-mb") {
+      const char* text = next();
+      if (text == nullptr) {
+        return false;
+      }
+      Result<int64_t> value = ParseInt64(text);
+      if (!value.ok() || *value < 0) {
+        return false;
+      }
+      args->result_cache_mb = *value;
     } else if (arg == "--trace-sample-every") {
       const char* text = next();
       if (text == nullptr) {
@@ -226,6 +239,10 @@ int main(int argc, char** argv) {
     (*catalog)->SetSlowQueryThreshold(
         args.slow_ms > 0 ? static_cast<uint64_t>(args.slow_ms) * 1000000u
                          : 1);
+  }
+  if (args.result_cache_mb > 0) {
+    (*catalog)->EnableResultCache(
+        static_cast<size_t>(args.result_cache_mb) * 1024 * 1024);
   }
 
   net::ServerOptions options;

@@ -1,6 +1,7 @@
 #include "authidx/core/author_index.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "authidx/common/coding.h"
 #include "authidx/model/serde.h"
@@ -83,11 +84,18 @@ AuthorIndex::AuthorIndex()
       "authidx_query_plan_author_fuzzy_total",
       "authidx_query_plan_title_terms_total",
       "authidx_query_plan_full_scan_total",
+      "authidx_query_plan_title_topk_total",
   };
   for (size_t kind = 0; kind < query::kPlanKindCount; ++kind) {
     exec_obs_.plan_chosen[kind] = metrics_->RegisterCounter(
         kPlanCounterNames[kind], "Queries the planner routed to this path");
   }
+  exec_obs_.postings_skipped = metrics_->RegisterCounter(
+      "authidx_postings_skipped_total",
+      "Postings skipped undecoded by block-max top-k pruning");
+  exec_obs_.topk_pruned_queries = metrics_->RegisterCounter(
+      "authidx_topk_pruned_queries_total",
+      "Queries where top-k pruning skipped at least one candidate range");
   // Index-layer instruments, recorded into by the structures themselves.
   author_trie_.BindMetrics(
       metrics_->RegisterGauge("authidx_trie_nodes",
@@ -216,6 +224,8 @@ Status AuthorIndex::ApplyReplicatedRecord(std::string_view record) {
     }
     IndexEntry(std::move(p.entry));
   }
+  // Follower reads must never serve pre-apply cached results.
+  data_epoch_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -267,7 +277,9 @@ Result<EntryId> AuthorIndex::Add(Entry entry) {
     AUTHIDX_RETURN_NOT_OK(
         engine_->Put(EntryKey(id), EncodeEntryToString(entry)));
   }
-  return IndexEntry(std::move(entry));
+  id = IndexEntry(std::move(entry));
+  data_epoch_.fetch_add(1, std::memory_order_release);
+  return id;
 }
 
 Status AuthorIndex::AddAll(std::vector<Entry> entries) {
@@ -289,6 +301,9 @@ Status AuthorIndex::AddAll(std::vector<Entry> entries) {
   }
   for (Entry& entry : entries) {
     IndexEntry(std::move(entry));
+  }
+  if (!entries.empty()) {
+    data_epoch_.fetch_add(1, std::memory_order_release);
   }
   return Status::OK();
 }
@@ -436,6 +451,38 @@ Result<query::QueryResult> AuthorIndex::RunTraced(const query::Query& q,
                                                   obs::Trace* trace) const {
   queries_total_->Inc();
   obs::TraceSpan span(trace, query_ns_, "execute");
+  if (result_cache_ == nullptr) {
+    return RunUncached(q, trace);
+  }
+  const std::string key = q.ToString();
+  // Epoch read BEFORE execution, epoch bumps happen inside exclusive
+  // mutation sections: an ingest racing with this query can only make
+  // the inserted entry immediately stale (a harmless extra miss), never
+  // mark post-ingest data with a pre-ingest epoch.
+  const uint64_t epoch = data_epoch_.load(std::memory_order_acquire);
+  {
+    obs::TraceSpan probe(trace, nullptr, "cache_probe");
+    std::optional<query::QueryResult> hit = result_cache_->Probe(key, epoch);
+    if (trace != nullptr) {
+      // Zero-duration marker child recording the probe outcome, so
+      // /tracez and remote --trace show where a hit short-circuited.
+      size_t marker =
+          trace->StartSpan(hit.has_value() ? "cache_hit" : "cache_miss");
+      trace->EndSpan(marker, 0);
+    }
+    if (hit.has_value()) {
+      return std::move(*hit);
+    }
+  }
+  Result<query::QueryResult> result = RunUncached(q, trace);
+  if (result.ok()) {
+    result_cache_->Insert(key, epoch, *result);
+  }
+  return result;
+}
+
+Result<query::QueryResult> AuthorIndex::RunUncached(const query::Query& q,
+                                                    obs::Trace* trace) const {
   query::ExecObs hooks = exec_obs_;
   hooks.trace = trace;
   // Shared for the whole plan+execute pass: the executor's CatalogView
@@ -444,6 +491,28 @@ Result<query::QueryResult> AuthorIndex::RunTraced(const query::Query& q,
   ReaderMutexLock lock(index_mu_);
   RawView view(*this);
   return query::Execute(q, view, &hooks);
+}
+
+void AuthorIndex::EnableResultCache(size_t capacity_bytes) {
+  if (capacity_bytes == 0) {
+    result_cache_.reset();
+    return;
+  }
+  result_cache_ = std::make_unique<ResultCache>(capacity_bytes);
+  ResultCache::Instruments instruments;
+  instruments.hits = metrics_->RegisterCounter(
+      "authidx_result_cache_hits_total", "Result-cache probes that hit");
+  instruments.misses = metrics_->RegisterCounter(
+      "authidx_result_cache_misses_total", "Result-cache probes that missed");
+  instruments.evictions = metrics_->RegisterCounter(
+      "authidx_result_cache_evictions_total",
+      "Result-cache entries evicted by capacity pressure");
+  instruments.invalidations = metrics_->RegisterCounter(
+      "authidx_result_cache_invalidations_total",
+      "Result-cache entries dropped because the data epoch moved");
+  instruments.bytes = metrics_->RegisterGauge(
+      "authidx_result_cache_bytes", "Bytes currently charged to the cache");
+  result_cache_->BindMetrics(instruments);
 }
 
 obs::MetricsSnapshot AuthorIndex::GetMetricsSnapshot() const {
@@ -626,11 +695,24 @@ std::vector<std::string> AuthorIndex::CoauthorsOf(
 }
 
 Status AuthorIndex::Flush() {
-  return engine_ != nullptr ? engine_->Flush() : Status::OK();
+  if (engine_ == nullptr) {
+    return Status::OK();
+  }
+  Status status = engine_->Flush();
+  // Conservative epoch bump: flush/compaction do not change query
+  // results, but treating every storage transition as an invalidation
+  // keeps the cache's staleness argument one sentence long.
+  data_epoch_.fetch_add(1, std::memory_order_release);
+  return status;
 }
 
 Status AuthorIndex::CompactStorage() {
-  return engine_ != nullptr ? engine_->Compact() : Status::OK();
+  if (engine_ == nullptr) {
+    return Status::OK();
+  }
+  Status status = engine_->Compact();
+  data_epoch_.fetch_add(1, std::memory_order_release);
+  return status;
 }
 
 storage::EngineStats AuthorIndex::StorageStats() const {

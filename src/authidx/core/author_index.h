@@ -19,6 +19,7 @@
 #include "authidx/obs/trace.h"
 #include "authidx/index/inverted.h"
 #include "authidx/index/trie.h"
+#include "authidx/core/result_cache.h"
 #include "authidx/model/record.h"
 #include "authidx/query/executor.h"
 #include "authidx/query/parser.h"
@@ -143,6 +144,26 @@ class AuthorIndex final : public query::CatalogView {
   /// catalogs or tests. Not thread-safe: call during setup.
   void SetLogger(obs::Logger* logger);
 
+  /// Arms the epoch-invalidated query-result cache (capacity in bytes;
+  /// 0 disarms). Once armed, Search/SearchTraced/Run/RunTraced probe
+  /// the cache before planning and insert successful results after.
+  /// Entries are stamped with the data epoch (below), so any ingest,
+  /// flush, compaction, or replication apply invalidates every cached
+  /// result — a stale hit is impossible on primaries and followers
+  /// alike. Registers the cache's instruments in the catalog registry.
+  /// Not thread-safe: call during setup, before queries run.
+  void EnableResultCache(size_t capacity_bytes);
+
+  /// The armed result cache, or null. For tests and diagnostics.
+  const ResultCache* result_cache() const { return result_cache_.get(); }
+
+  /// Monotonic counter bumped by every mutation that can change query
+  /// results (Add, AddAll, ApplyReplicatedRecord, Flush, Compact).
+  /// Cached results stamped with an older epoch never hit.
+  uint64_t data_epoch() const {
+    return data_epoch_.load(std::memory_order_acquire);
+  }
+
   // --- CatalogView ---
   const Entry* GetEntry(EntryId id) const override;
   size_t entry_count() const override;
@@ -232,6 +253,11 @@ class AuthorIndex final : public query::CatalogView {
   Result<query::QueryResult> SearchInternal(std::string_view query_text,
                                             obs::Trace* trace) const;
 
+  /// RunTraced body below the result cache: takes the shared lock and
+  /// executes for real.
+  Result<query::QueryResult> RunUncached(const query::Query& query,
+                                         obs::Trace* trace) const;
+
   /// Captures one over-threshold query into the ring + logger.
   void RecordSlowQuery(std::string_view query_text, uint64_t duration_ns,
                        const obs::Trace& trace,
@@ -296,6 +322,14 @@ class AuthorIndex final : public query::CatalogView {
   std::unique_ptr<obs::SlowQueryLog> slowlog_;
   std::atomic<uint64_t> slow_threshold_ns_{0};
   obs::Logger* log_;  // Never null (Logger::Disabled() by default).
+
+  // Bumped (release order) inside every exclusive mutation section;
+  // read (acquire) by the query path before execution, so a cache entry
+  // stamped with a stale epoch can never be fresh-marked.
+  std::atomic<uint64_t> data_epoch_{0};
+  // Null until EnableResultCache; set during setup only (the cache
+  // itself is internally synchronized).
+  std::unique_ptr<ResultCache> result_cache_;
 
   std::unique_ptr<storage::StorageEngine> engine_;  // Null if in-memory.
   bool is_replica_ = false;  // Set once by OpenReplica before sharing.

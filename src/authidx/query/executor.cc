@@ -43,6 +43,10 @@ Result<std::vector<EntryId>> Candidates(const Query& query, const Plan& plan,
       }
       return all;
     }
+    case PlanKind::kTitleTopK:
+      // Handled by Execute before candidate generation; the pruned
+      // ranker never materializes a candidate set.
+      return Status::Internal("kTitleTopK has no candidate stage");
   }
   return Status::Internal("unreachable plan kind");
 }
@@ -110,6 +114,7 @@ Result<QueryResult> Execute(const Query& query, const CatalogView& catalog,
       for (const std::string& term : query.title_terms) {
         size_t df = catalog.title_index().DocFreq(term);
         stats.min_term_df = std::min(stats.min_term_df, df);
+        stats.total_term_df += df;
         if (df == 0) {
           stats.unknown_term = true;
         }
@@ -128,6 +133,35 @@ Result<QueryResult> Execute(const Query& query, const CatalogView& catalog,
   QueryResult result;
   result.plan = plan.kind;
   if (plan.provably_empty) {
+    return result;
+  }
+
+  if (plan.kind == PlanKind::kTitleTopK) {
+    // Pruned BM25 top-k: the ranker drives the skip-aware cursors
+    // directly — no candidate materialization, no residual filters (the
+    // planner only picks this path when none apply). Results are
+    // bit-identical to the exhaustive kTitleTerms + relevance path.
+    obs::TraceSpan span(hooks->trace, hooks->stage_order_ns, "topk_prune");
+    TopKStats tstats;
+    const size_t need = query.offset + query.limit;
+    std::vector<ScoredDoc> top = RankBm25TopKConjunctive(
+        catalog.title_index(), query.title_terms, need, Bm25Params{},
+        &tstats);
+    result.total_matches = static_cast<size_t>(tstats.matches_seen);
+    result.total_is_lower_bound = tstats.pruned;
+    result.postings_decoded = tstats.postings_decoded;
+    result.postings_skipped = tstats.postings_skipped;
+    const size_t begin = std::min(query.offset, top.size());
+    result.hits.reserve(top.size() - begin);
+    for (size_t i = begin; i < top.size(); ++i) {
+      result.hits.push_back(Hit{top[i].doc, top[i].score});
+    }
+    if (hooks->postings_skipped != nullptr && tstats.postings_skipped > 0) {
+      hooks->postings_skipped->Inc(tstats.postings_skipped);
+    }
+    if (hooks->topk_pruned_queries != nullptr && tstats.pruned) {
+      hooks->topk_pruned_queries->Inc();
+    }
     return result;
   }
 

@@ -62,10 +62,21 @@ struct Hit {
 /// Executor output.
 struct QueryResult {
   std::vector<Hit> hits;
-  /// Matches before offset/limit.
+  /// Matches before offset/limit. On the pruned top-k path this counts
+  /// only the matches the pruning loop actually verified — a lower
+  /// bound whenever total_is_lower_bound is set (Lucene-style
+  /// "greater than or equal" totals).
   size_t total_matches = 0;
+  /// True when pruning skipped candidates unscored, making
+  /// total_matches a lower bound rather than an exact count.
+  bool total_is_lower_bound = false;
   /// The access path the planner chose (exposed for tests/benchmarks).
   PlanKind plan = PlanKind::kFullScan;
+  /// Postings decoded / provably skipped by the pruned top-k path
+  /// (both 0 on every other path, where decoding is exhaustive and
+  /// already counted by authidx_inverted_postings_decoded_total).
+  uint64_t postings_decoded = 0;
+  uint64_t postings_skipped = 0;
 };
 
 /// Optional observability hooks for Execute. Histogram/counter pointers
@@ -83,6 +94,13 @@ struct ExecObs {
   obs::LatencyHistogram* stage_order_ns = nullptr;
   /// Chosen-access-path counters, indexed by static_cast<size_t>(PlanKind).
   obs::Counter* plan_chosen[kPlanKindCount] = {};
+  /// Postings the pruned top-k path proved it could skip undecoded
+  /// (authidx_postings_skipped_total). The decoded complement is
+  /// recorded by the inverted index itself.
+  obs::Counter* postings_skipped = nullptr;
+  /// Queries where top-k pruning actually skipped work
+  /// (authidx_topk_pruned_queries_total).
+  obs::Counter* topk_pruned_queries = nullptr;
 };
 
 /// Plans and runs `query` against `catalog`. When `hooks` is non-null,

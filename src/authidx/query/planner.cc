@@ -14,9 +14,27 @@ std::string_view PlanKindToString(PlanKind kind) {
       return "title-terms";
     case PlanKind::kFullScan:
       return "full-scan";
+    case PlanKind::kTitleTopK:
+      return "title-topk";
   }
   return "unknown";
 }
+
+namespace {
+
+// True when the pruned top-k path can serve the query: relevance
+// ranking over title terms only, with every filter absent (the pruned
+// ranker scores the raw conjunction; residual predicates would need
+// post-filtering, which breaks its "top k of what I scored" contract)
+// and a bounded result window.
+bool TopKPrunable(const Query& query) {
+  return query.rank == RankMode::kRelevance && query.not_terms.empty() &&
+         !query.coauthor && !query.year && !query.volume && !query.student &&
+         query.limit > 0 && query.limit <= kMaxTopKResults &&
+         query.offset <= kMaxTopKResults - query.limit;
+}
+
+}  // namespace
 
 Plan ChoosePlan(const Query& query, const PlannerStats& stats) {
   Plan plan;
@@ -44,6 +62,9 @@ Plan ChoosePlan(const Query& query, const PlannerStats& stats) {
     } else {
       // Conjunction is bounded by the rarest term's postings.
       plan.estimated_candidates = stats.min_term_df;
+      if (TopKPrunable(query)) {
+        plan.kind = PlanKind::kTitleTopK;
+      }
     }
     return plan;
   }

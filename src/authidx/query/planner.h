@@ -15,10 +15,16 @@ enum class PlanKind {
   kAuthorFuzzy,   // Phonetic bucket + edit distance.
   kTitleTerms,    // Postings intersection over the inverted index.
   kFullScan,      // Filter-only query: scan all entries.
+  kTitleTopK,     // Block-max pruned BM25 top-k over title terms.
 };
 
 /// Number of PlanKind values (for per-kind metric arrays).
-inline constexpr size_t kPlanKindCount = 5;
+inline constexpr size_t kPlanKindCount = 6;
+
+/// Largest offset + limit the pruned top-k path accepts: past this the
+/// heap threshold rises too slowly for block skipping to pay for its
+/// bookkeeping, so the planner falls back to kTitleTerms.
+inline constexpr size_t kMaxTopKResults = 4096;
 
 std::string_view PlanKindToString(PlanKind kind);
 
@@ -29,6 +35,11 @@ struct PlannerStats {
   /// Doc frequency of the rarest title term (0 when no terms or a term
   /// is unknown, which proves an empty result).
   size_t min_term_df = 0;
+  /// Sum of all title terms' doc frequencies — the postings the
+  /// exhaustive ranked path would decode. The pruned path's
+  /// decoded/skipped split (QueryResult, ExecObs) is measured against
+  /// this total.
+  size_t total_term_df = 0;
   bool has_title_terms = false;
   bool unknown_term = false;  // Some term has df == 0.
 };
@@ -44,6 +55,10 @@ struct Plan {
 /// Picks the cheapest access path:
 ///  * author clauses always win over title terms (author groups are
 ///    far more selective in an author index);
+///  * relevance-ranked pure keyword queries with a bounded page
+///    (offset + limit <= kMaxTopKResults) and no residual filters take
+///    the pruned top-k path (kTitleTopK) — same results as kTitleTerms,
+///    bit for bit, but most postings are never decoded;
 ///  * title terms beat a full scan unless a term is unknown (then the
 ///    result is empty);
 ///  * otherwise full scan.

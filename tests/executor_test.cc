@@ -194,6 +194,51 @@ TEST(ExecutorTest, RelevanceOrderPutsBestMatchFirst) {
   EXPECT_GE(result->hits[0].score, result->hits[1].score);
 }
 
+TEST(ExecutorTest, RelevanceConjunctionRoutesToTopKPlan) {
+  auto catalog = BuildCatalog();
+  auto result = catalog->Search("coal order:relevance");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan, query::PlanKind::kTitleTopK);
+  // Unpruned run over a tiny corpus: exact totals, full accounting.
+  EXPECT_EQ(result->total_matches, 2u);
+  EXPECT_FALSE(result->total_is_lower_bound);
+  EXPECT_GT(result->postings_decoded, 0u);
+}
+
+TEST(ExecutorTest, TopKPlanMatchesExhaustivePath) {
+  auto catalog = BuildCatalog();
+  // Same query with and without a residual filter that excludes
+  // nothing: the filter forces the exhaustive kTitleTerms path, and
+  // both must agree on hits, order, and score bits.
+  auto pruned = catalog->Search("west virginia order:relevance limit:5");
+  auto exhaustive =
+      catalog->Search("west virginia order:relevance limit:5 year:1900..");
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_TRUE(exhaustive.ok());
+  EXPECT_EQ(pruned->plan, query::PlanKind::kTitleTopK);
+  EXPECT_EQ(exhaustive->plan, query::PlanKind::kTitleTerms);
+  ASSERT_EQ(pruned->hits.size(), exhaustive->hits.size());
+  for (size_t i = 0; i < pruned->hits.size(); ++i) {
+    EXPECT_EQ(pruned->hits[i].id, exhaustive->hits[i].id) << i;
+    EXPECT_EQ(pruned->hits[i].score, exhaustive->hits[i].score) << i;
+  }
+  EXPECT_EQ(pruned->total_matches, exhaustive->total_matches);
+}
+
+TEST(ExecutorTest, TopKPlanPaginates) {
+  auto catalog = BuildCatalog();
+  auto all = catalog->Search("west virginia order:relevance limit:10");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->plan, query::PlanKind::kTitleTopK);
+  ASSERT_EQ(all->hits.size(), 3u);  // Three West Virginia titles.
+  auto page = catalog->Search("west virginia order:relevance limit:2 "
+                              "offset:1");
+  ASSERT_TRUE(page.ok());
+  ASSERT_EQ(page->hits.size(), 2u);
+  EXPECT_EQ(page->hits[0].id, all->hits[1].id);
+  EXPECT_EQ(page->hits[1].id, all->hits[2].id);
+}
+
 TEST(ExecutorTest, PaginationOffsetLimit) {
   auto catalog = BuildCatalog();
   auto all = catalog->Search("limit:100");

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+
 #include "authidx/index/inverted.h"
 #include "authidx/index/ranker.h"
 #include "authidx/text/stem.h"
@@ -80,6 +83,91 @@ TEST(InvertedTest, MatchesBruteForceOverCorpus) {
   }
 }
 
+TEST(InvertedTest, MinDocTokensTracksShortestDoc) {
+  InvertedIndex index;
+  EXPECT_EQ(index.min_doc_tokens(), 0u);  // Empty index sentinel.
+  index.AddDocument(0, {"a", "b", "c", "d"});
+  EXPECT_EQ(index.min_doc_tokens(), 4u);
+  index.AddDocument(1, {"a", "b"});
+  EXPECT_EQ(index.min_doc_tokens(), 2u);
+  index.AddDocument(2, {"a", "b", "c"});
+  EXPECT_EQ(index.min_doc_tokens(), 2u);  // Minimum, not latest.
+}
+
+TEST(CursorTest, UnknownTermIsEmpty) {
+  InvertedIndex index = BuildSmallIndex();
+  InvertedIndex::Cursor cursor = index.OpenCursor("zzz");
+  EXPECT_TRUE(cursor.empty());
+  EXPECT_EQ(cursor.doc_freq(), 0u);
+  EXPECT_FALSE(cursor.ShallowSeek(0));
+}
+
+TEST(CursorTest, WalksPostingsInOrder) {
+  InvertedIndex index;
+  // Three blocks: 32 + 32 + 6 postings with varying freqs.
+  std::vector<Posting> expected;
+  for (EntryId i = 0; i < 70; ++i) {
+    EntryId doc = i * 3;  // Gaps of 3.
+    uint32_t freq = 1 + (i % 4);
+    std::vector<std::string> tokens(freq, "term");
+    index.AddDocument(doc, tokens);
+    expected.push_back({doc, freq});
+  }
+  InvertedIndex::Cursor cursor = index.OpenCursor("term");
+  EXPECT_EQ(cursor.doc_freq(), 70u);
+  EXPECT_EQ(cursor.max_freq(), 4u);
+  ASSERT_EQ(cursor.block_count(), 3u);
+  EXPECT_EQ(cursor.block_last_doc(0), expected[31].doc);
+  EXPECT_EQ(cursor.block_last_doc(1), expected[63].doc);
+  EXPECT_EQ(cursor.block_last_doc(2), expected[69].doc);
+  for (const Posting& p : expected) {
+    ASSERT_TRUE(cursor.ShallowSeek(p.doc));
+    cursor.Seek(p.doc);
+    EXPECT_EQ(cursor.doc(), p.doc);
+    EXPECT_EQ(cursor.freq(), p.freq);
+  }
+  EXPECT_FALSE(cursor.ShallowSeek(expected.back().doc + 1));
+}
+
+TEST(CursorTest, SeekLandsOnNextDocAtOrAfterTarget) {
+  InvertedIndex index;
+  for (EntryId doc : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    index.AddDocument(doc, {"term"});
+  }
+  InvertedIndex::Cursor cursor = index.OpenCursor("term");
+  ASSERT_TRUE(cursor.ShallowSeek(5));
+  cursor.Seek(5);
+  EXPECT_EQ(cursor.doc(), 8u);  // First doc >= 5.
+}
+
+TEST(CursorTest, ShallowSeekSkipsBlockDecoding) {
+  InvertedIndex index;
+  for (EntryId i = 0; i < 320; ++i) {  // 10 full blocks.
+    index.AddDocument(i, {"term"});
+  }
+  InvertedIndex::Cursor cursor = index.OpenCursor("term");
+  // Jump straight to the last block: only it should be decoded.
+  ASSERT_TRUE(cursor.ShallowSeek(319));
+  cursor.Seek(319);
+  EXPECT_EQ(cursor.doc(), 319u);
+  EXPECT_EQ(cursor.decoded_postings(), 32u);  // One block, not ten.
+}
+
+TEST(CursorTest, BlockMaxFreqBoundsBlockContents) {
+  InvertedIndex index;
+  for (EntryId i = 0; i < 100; ++i) {
+    uint32_t freq = (i == 50) ? 9u : 1u;  // One spike in block 1.
+    index.AddDocument(i, std::vector<std::string>(freq, "term"));
+  }
+  InvertedIndex::Cursor cursor = index.OpenCursor("term");
+  ASSERT_EQ(cursor.block_count(), 4u);
+  EXPECT_EQ(cursor.block_max_freq(0), 1u);
+  EXPECT_EQ(cursor.block_max_freq(1), 9u);
+  EXPECT_EQ(cursor.block_max_freq(2), 1u);
+  EXPECT_EQ(cursor.block_max_freq(3), 1u);
+  EXPECT_EQ(cursor.max_freq(), 9u);
+}
+
 TEST(RankerTest, EmptyInputs) {
   InvertedIndex index = BuildSmallIndex();
   EXPECT_TRUE(RankBm25(index, {"coal"}, 0).empty());
@@ -137,6 +225,110 @@ TEST(RankerTest, LengthNormalizationPrefersShorterDocs) {
   auto ranked = RankBm25(index, {"coal"}, 2);
   ASSERT_EQ(ranked.size(), 2u);
   EXPECT_EQ(ranked[0].doc, 1u);
+}
+
+// Reference implementation mirroring the executor's exhaustive
+// relevance path: conjunction via postings intersection, scores from a
+// full RankBm25 pass, (score desc, doc asc) order, truncate to k.
+std::vector<ScoredDoc> ExhaustiveTopKConjunctive(
+    const InvertedIndex& index, const std::vector<std::string>& terms,
+    size_t k) {
+  if (terms.empty() || k == 0) {
+    return {};
+  }
+  std::vector<EntryId> matches = index.GetDocs(terms[0]);
+  for (size_t i = 1; i < terms.size(); ++i) {
+    matches = Intersect(matches, index.GetDocs(terms[i]));
+  }
+  std::vector<ScoredDoc> ranked =
+      RankBm25(index, terms, index.doc_count());
+  std::vector<double> score_of;
+  for (const ScoredDoc& sd : ranked) {
+    if (sd.doc >= score_of.size()) {
+      score_of.resize(sd.doc + 1, 0.0);
+    }
+    score_of[sd.doc] = sd.score;
+  }
+  std::vector<ScoredDoc> out;
+  for (EntryId id : matches) {
+    out.push_back({id, id < score_of.size() ? score_of[id] : 0.0});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) {
+      return a.score > b.score;
+    }
+    return a.doc < b.doc;
+  });
+  if (out.size() > k) {
+    out.resize(k);
+  }
+  return out;
+}
+
+TEST(TopKConjunctiveTest, EmptyCases) {
+  InvertedIndex index = BuildSmallIndex();
+  EXPECT_TRUE(RankBm25TopKConjunctive(index, {"coal"}, 0).empty());
+  EXPECT_TRUE(RankBm25TopKConjunctive(index, {}, 10).empty());
+  EXPECT_TRUE(
+      RankBm25TopKConjunctive(InvertedIndex(), {"coal"}, 10).empty());
+  EXPECT_TRUE(RankBm25TopKConjunctive(index, {"unknownterm"}, 10).empty());
+  // Conjunction with an unknown term is provably empty.
+  EXPECT_TRUE(
+      RankBm25TopKConjunctive(index, {"coal", "unknownterm"}, 10).empty());
+}
+
+TEST(TopKConjunctiveTest, MatchesExhaustiveOnSmallIndex) {
+  InvertedIndex index = BuildSmallIndex();
+  std::string mine = text::PorterStem("mining");
+  for (const std::vector<std::string>& terms :
+       std::vector<std::vector<std::string>>{
+           {"coal"}, {mine}, {"coal", mine}, {mine, "coal"}}) {
+    for (size_t k : {1u, 2u, 10u}) {
+      auto pruned = RankBm25TopKConjunctive(index, terms, k);
+      auto exhaustive = ExhaustiveTopKConjunctive(index, terms, k);
+      ASSERT_EQ(pruned.size(), exhaustive.size());
+      for (size_t i = 0; i < pruned.size(); ++i) {
+        EXPECT_EQ(pruned[i].doc, exhaustive[i].doc) << i;
+        EXPECT_EQ(std::bit_cast<uint64_t>(pruned[i].score),
+                  std::bit_cast<uint64_t>(exhaustive[i].score))
+            << i;
+      }
+    }
+  }
+}
+
+TEST(TopKConjunctiveTest, TieHeavyCorpusBreaksTiesByDocId) {
+  InvertedIndex index;
+  for (EntryId i = 0; i < 100; ++i) {
+    index.AddDocument(i, {"same", "tokens"});
+  }
+  TopKStats stats;
+  auto pruned =
+      RankBm25TopKConjunctive(index, {"same", "tokens"}, 5, {}, &stats);
+  ASSERT_EQ(pruned.size(), 5u);
+  for (size_t i = 0; i < pruned.size(); ++i) {
+    EXPECT_EQ(pruned[i].doc, i);  // All scores equal: id ascending.
+  }
+}
+
+TEST(TopKConjunctiveTest, StatsAccountForEveryPosting) {
+  InvertedIndex index;
+  for (EntryId i = 0; i < 500; ++i) {
+    std::vector<std::string> tokens = {"common"};
+    if (i % 97 == 0) {
+      tokens.push_back("rare");
+    }
+    index.AddDocument(i, tokens);
+  }
+  TopKStats stats;
+  auto pruned =
+      RankBm25TopKConjunctive(index, {"common", "rare"}, 3, {}, &stats);
+  EXPECT_FALSE(pruned.empty());
+  // Decoded + skipped covers both full postings lists exactly.
+  EXPECT_EQ(stats.postings_decoded + stats.postings_skipped,
+            index.DocFreq("common") + index.DocFreq("rare"));
+  // The rare term drives alignment: most of "common" is never decoded.
+  EXPECT_GT(stats.postings_skipped, 0u);
 }
 
 }  // namespace

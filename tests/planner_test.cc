@@ -47,6 +47,48 @@ TEST(PlannerTest, UnknownTermProvesEmpty) {
   EXPECT_EQ(plan.estimated_candidates, 0u);
 }
 
+TEST(PlannerTest, RelevanceLimitedConjunctionsPrune) {
+  // The pruned top-k plan applies exactly when the query is a pure
+  // relevance-ranked title conjunction with a boundable page.
+  Query q = *ParseQuery("coal mining order:relevance limit:20");
+  Plan plan = ChoosePlan(q, StatsWith(100000, 120, true));
+  EXPECT_EQ(plan.kind, PlanKind::kTitleTopK);
+  EXPECT_FALSE(plan.provably_empty);
+}
+
+TEST(PlannerTest, TopKPruningGates) {
+  PlannerStats stats = StatsWith(100000, 120, true);
+  // Residual filters or exclusions: exhaustive path.
+  EXPECT_EQ(
+      ChoosePlan(*ParseQuery("coal mining order:relevance limit:20 -tax"),
+                 stats)
+          .kind,
+      PlanKind::kTitleTerms);
+  EXPECT_EQ(ChoosePlan(*ParseQuery(
+                           "coal mining order:relevance limit:20 year:1980"),
+                       stats)
+                .kind,
+            PlanKind::kTitleTerms);
+  EXPECT_EQ(ChoosePlan(*ParseQuery(
+                           "coal mining order:relevance limit:20 student:no"),
+                       stats)
+                .kind,
+            PlanKind::kTitleTerms);
+  // Default (collation) order: not a top-k query.
+  EXPECT_EQ(ChoosePlan(*ParseQuery("coal mining limit:20"), stats).kind,
+            PlanKind::kTitleTerms);
+  // Pages beyond the top-k cap fall back to exhaustive.
+  EXPECT_EQ(ChoosePlan(*ParseQuery("coal mining order:relevance limit:20 "
+                                   "offset:5000"),
+                       stats)
+                .kind,
+            PlanKind::kTitleTerms);
+  // An unknown term still proves emptiness before any ranking runs.
+  Plan empty = ChoosePlan(*ParseQuery("coal zzz order:relevance limit:20"),
+                          StatsWith(100000, 0, true, /*unknown=*/true));
+  EXPECT_TRUE(empty.provably_empty);
+}
+
 TEST(PlannerTest, FilterOnlyQueriesFullScan) {
   Query q = *ParseQuery("year:1980..1990");
   Plan plan = ChoosePlan(q, StatsWith(5000, 0, false));
@@ -60,6 +102,7 @@ TEST(PlannerTest, PlanKindNames) {
   EXPECT_EQ(PlanKindToString(PlanKind::kAuthorFuzzy), "author-fuzzy");
   EXPECT_EQ(PlanKindToString(PlanKind::kTitleTerms), "title-terms");
   EXPECT_EQ(PlanKindToString(PlanKind::kFullScan), "full-scan");
+  EXPECT_EQ(PlanKindToString(PlanKind::kTitleTopK), "title-topk");
 }
 
 }  // namespace

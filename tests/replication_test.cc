@@ -245,6 +245,46 @@ TEST(ReplicationTest, DuplicateRedeliveryAfterCursorRollbackIsANoOp) {
   reopened.ExpectClean();
 }
 
+TEST(ReplicationTest, FollowerResultCacheInvalidatedByApply) {
+  // A follower serving cached reads must never return a stale result
+  // after replicated records apply: ApplyReplicatedRecord bumps the
+  // follower's data epoch exactly like a local ingest would.
+  Primary primary(ScratchDir("repl_cache_primary"));
+  AddEntries(primary.catalog.get(), 0, 5);
+
+  Replica replica(ScratchDir("repl_cache_replica"),
+                  primary.server->port());
+  ASSERT_TRUE(replica.open_ok);
+  replica.catalog->EnableResultCache(1 << 20);
+  ASSERT_TRUE(replica.follower->CatchUpOnce().ok());
+  ASSERT_EQ(replica.catalog->entry_count(), 5u);
+
+  // Prime the cache, then hit it.
+  Result<query::QueryResult> first =
+      replica.catalog->Search("author:author003");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->total_matches, 1u);
+  ASSERT_TRUE(replica.catalog->Search("author:author003").ok());
+  EXPECT_EQ(replica.CounterValue("authidx_result_cache_hits_total"), 1u);
+
+  // New records arrive: the apply must invalidate, not serve stale.
+  const uint64_t epoch_before = replica.catalog->data_epoch();
+  AddEntries(primary.catalog.get(), 5, 3);
+  ASSERT_TRUE(replica.follower->CatchUpOnce().ok());
+  ASSERT_EQ(replica.catalog->entry_count(), 8u);
+  EXPECT_GT(replica.catalog->data_epoch(), epoch_before);
+
+  Result<query::QueryResult> after =
+      replica.catalog->Search("author:author003");
+  ASSERT_TRUE(after.ok());
+  // Still one hit for author003 (ids 5-7 are author005..007), but the
+  // probe must have been an invalidation + miss, not a cache hit.
+  EXPECT_EQ(replica.CounterValue("authidx_result_cache_hits_total"), 1u);
+  EXPECT_GE(replica.CounterValue("authidx_result_cache_invalidations_total"),
+            1u);
+  replica.ExpectClean();
+}
+
 TEST(ReplicationTest, FollowerServerRejectsMutationsAsNotPrimary) {
   Primary primary(ScratchDir("repl_np_primary"));
   AddEntries(primary.catalog.get(), 0, 3);

@@ -1,0 +1,241 @@
+// The epoch-invalidated query result cache: LRU/eviction unit behavior,
+// and the AuthorIndex integration — every mutation path (Add, AddAll,
+// Flush, Compact) must bump the data epoch so a cached result is never
+// served stale, and the trace tree must show the probe outcome.
+
+#include "authidx/core/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "authidx/core/author_index.h"
+#include "authidx/obs/trace.h"
+#include "authidx/query/parser.h"
+#include "authidx/workload/sample_data.h"
+
+namespace authidx::core {
+namespace {
+
+query::QueryResult MakeResult(size_t hits) {
+  query::QueryResult result;
+  for (size_t i = 0; i < hits; ++i) {
+    result.hits.push_back(query::Hit{static_cast<EntryId>(i), 1.0});
+  }
+  result.total_matches = hits;
+  return result;
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(1 << 20);
+  EXPECT_FALSE(cache.Probe("q1", 0).has_value());
+  cache.Insert("q1", 0, MakeResult(3));
+  auto hit = cache.Probe("q1", 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->hits.size(), 3u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_GT(cache.bytes_used(), 0u);
+}
+
+TEST(ResultCacheTest, EpochMismatchInvalidates) {
+  ResultCache cache(1 << 20);
+  cache.Insert("q1", 0, MakeResult(3));
+  // Data changed: the stale entry must not be served, and is reclaimed.
+  EXPECT_FALSE(cache.Probe("q1", 1).has_value());
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  // Re-inserted at the new epoch it hits again.
+  cache.Insert("q1", 1, MakeResult(2));
+  EXPECT_TRUE(cache.Probe("q1", 1).has_value());
+}
+
+TEST(ResultCacheTest, CapacityBoundEvictsLru) {
+  ResultCache cache(4096);  // 512 bytes per shard.
+  // Insert many entries hashing across shards; total bytes stay bounded.
+  for (int i = 0; i < 200; ++i) {
+    cache.Insert("query-" + std::to_string(i), 0, MakeResult(2));
+  }
+  EXPECT_LE(cache.bytes_used(), 4096u);
+  EXPECT_LT(cache.entry_count(), 200u);
+}
+
+TEST(ResultCacheTest, OversizedEntryNotCached) {
+  ResultCache cache(1024);  // 128 bytes per shard; any entry is bigger.
+  cache.Insert("q1", 0, MakeResult(100));
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_FALSE(cache.Probe("q1", 0).has_value());
+}
+
+TEST(ResultCacheTest, ReinsertReplaces) {
+  ResultCache cache(1 << 20);
+  cache.Insert("q1", 0, MakeResult(1));
+  cache.Insert("q1", 1, MakeResult(5));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  auto hit = cache.Probe("q1", 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->hits.size(), 5u);
+}
+
+TEST(ResultCacheTest, InstrumentsCount) {
+  obs::MetricsRegistry registry;
+  ResultCache cache(1 << 20);
+  ResultCache::Instruments instruments;
+  instruments.hits = registry.RegisterCounter("hits", "");
+  instruments.misses = registry.RegisterCounter("misses", "");
+  instruments.evictions = registry.RegisterCounter("evictions", "");
+  instruments.invalidations = registry.RegisterCounter("invalidations", "");
+  instruments.bytes = registry.RegisterGauge("bytes", "");
+  cache.BindMetrics(instruments);
+
+  cache.Probe("q1", 0);                 // Miss.
+  cache.Insert("q1", 0, MakeResult(2));
+  cache.Probe("q1", 0);                 // Hit.
+  cache.Probe("q1", 3);                 // Invalidation (+ miss).
+  EXPECT_EQ(instruments.hits->Value(), 1u);
+  EXPECT_EQ(instruments.misses->Value(), 2u);
+  EXPECT_EQ(instruments.invalidations->Value(), 1u);
+  EXPECT_EQ(instruments.bytes->Value(), 0);  // Invalidation reclaimed it.
+}
+
+// --- AuthorIndex integration -------------------------------------------
+
+uint64_t CounterValue(const AuthorIndex& catalog, std::string_view name) {
+  // The snapshot must outlive the Find: a pointer into a temporary
+  // would dangle as soon as this full-expression ends.
+  obs::MetricsSnapshot snapshot = catalog.GetMetricsSnapshot();
+  const obs::MetricValue* value = snapshot.Find(name);
+  return value != nullptr ? value->counter : 0;
+}
+
+TEST(AuthorIndexResultCacheTest, RepeatQueryHitsUntilIngest) {
+  auto catalog = AuthorIndex::Create();
+  catalog->EnableResultCache(1 << 20);
+  ASSERT_TRUE(catalog->AddAll(*workload::LoadSampleEntries()).ok());
+  const uint64_t epoch_after_ingest = catalog->data_epoch();
+  EXPECT_GT(epoch_after_ingest, 0u);
+
+  auto first = catalog->Search("author:minow");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(CounterValue(*catalog, "authidx_result_cache_misses_total"), 1u);
+  EXPECT_EQ(CounterValue(*catalog, "authidx_result_cache_hits_total"), 0u);
+
+  auto second = catalog->Search("author:minow");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(CounterValue(*catalog, "authidx_result_cache_hits_total"), 1u);
+  EXPECT_EQ(second->total_matches, first->total_matches);
+  ASSERT_EQ(second->hits.size(), first->hits.size());
+  for (size_t i = 0; i < second->hits.size(); ++i) {
+    EXPECT_EQ(second->hits[i].id, first->hits[i].id);
+  }
+
+  // Ingest bumps the epoch: the cached entry must never be served again.
+  Entry entry;
+  entry.author = {"Minow", "Newton N.", "", false};
+  entry.title = "Television and the Public Interest";
+  entry.citation = {80, 1, 1978};
+  ASSERT_TRUE(catalog->Add(entry).ok());
+  EXPECT_GT(catalog->data_epoch(), epoch_after_ingest);
+
+  auto third = catalog->Search("author:minow");
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->total_matches, first->total_matches + 1);
+  EXPECT_EQ(CounterValue(*catalog, "authidx_result_cache_hits_total"), 1u);
+  EXPECT_GE(CounterValue(*catalog, "authidx_result_cache_invalidations_total"),
+            1u);
+}
+
+TEST(AuthorIndexResultCacheTest, DistinctQueriesDistinctEntries) {
+  auto catalog = AuthorIndex::Create();
+  catalog->EnableResultCache(1 << 20);
+  ASSERT_TRUE(catalog->AddAll(*workload::LoadSampleEntries()).ok());
+  // Same terms, different limit/offset: distinct cache keys.
+  ASSERT_TRUE(catalog->Search("author:minow limit:1").ok());
+  ASSERT_TRUE(catalog->Search("author:minow limit:2").ok());
+  ASSERT_TRUE(catalog->Search("author:minow limit:1").ok());
+  EXPECT_EQ(CounterValue(*catalog, "authidx_result_cache_misses_total"), 2u);
+  EXPECT_EQ(CounterValue(*catalog, "authidx_result_cache_hits_total"), 1u);
+  EXPECT_EQ(catalog->result_cache()->entry_count(), 2u);
+}
+
+TEST(AuthorIndexResultCacheTest, CacheDisabledByDefault) {
+  auto catalog = AuthorIndex::Create();
+  ASSERT_TRUE(catalog->AddAll(*workload::LoadSampleEntries()).ok());
+  ASSERT_TRUE(catalog->Search("author:minow").ok());
+  ASSERT_TRUE(catalog->Search("author:minow").ok());
+  EXPECT_EQ(catalog->result_cache(), nullptr);
+  EXPECT_EQ(CounterValue(*catalog, "authidx_result_cache_hits_total"), 0u);
+}
+
+TEST(AuthorIndexResultCacheTest, TraceShowsProbeOutcome) {
+  auto catalog = AuthorIndex::Create();
+  catalog->EnableResultCache(1 << 20);
+  ASSERT_TRUE(catalog->AddAll(*workload::LoadSampleEntries()).ok());
+
+  auto has_span = [](const obs::Trace& trace, std::string_view name) {
+    for (const obs::Trace::Span& span : trace.spans()) {
+      if (span.name == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  obs::Trace miss_trace;
+  ASSERT_TRUE(catalog->SearchTraced("author:minow", &miss_trace).ok());
+  EXPECT_TRUE(has_span(miss_trace, "cache_probe"));
+  EXPECT_TRUE(has_span(miss_trace, "cache_miss"));
+  EXPECT_FALSE(has_span(miss_trace, "cache_hit"));
+
+  obs::Trace hit_trace;
+  ASSERT_TRUE(catalog->SearchTraced("author:minow", &hit_trace).ok());
+  EXPECT_TRUE(has_span(hit_trace, "cache_probe"));
+  EXPECT_TRUE(has_span(hit_trace, "cache_hit"));
+  EXPECT_FALSE(has_span(hit_trace, "cache_miss"));
+}
+
+TEST(AuthorIndexResultCacheTest, TopKPruneSpanOnPrunedPlan) {
+  auto catalog = AuthorIndex::Create();
+  ASSERT_TRUE(catalog->AddAll(*workload::LoadSampleEntries()).ok());
+  obs::Trace trace;
+  auto result =
+      catalog->SearchTraced("television order:relevance limit:5", &trace);
+  ASSERT_TRUE(result.ok()) << result.status();
+  bool saw_topk = false;
+  for (const obs::Trace::Span& span : trace.spans()) {
+    saw_topk = saw_topk || span.name == "topk_prune";
+  }
+  EXPECT_TRUE(saw_topk);
+}
+
+TEST(AuthorIndexResultCacheTest, FlushAndCompactInvalidate) {
+  std::string dir = ::testing::TempDir() + "/authidx_result_cache";
+  std::filesystem::remove_all(dir);
+  auto opened = AuthorIndex::OpenPersistent(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  auto catalog = std::move(*opened);
+  catalog->EnableResultCache(1 << 20);
+  ASSERT_TRUE(catalog->AddAll(*workload::LoadSampleEntries()).ok());
+
+  ASSERT_TRUE(catalog->Search("author:minow").ok());
+  uint64_t epoch = catalog->data_epoch();
+  ASSERT_TRUE(catalog->Flush().ok());
+  EXPECT_GT(catalog->data_epoch(), epoch);
+  // The post-flush probe must not serve the pre-flush entry.
+  ASSERT_TRUE(catalog->Search("author:minow").ok());
+  EXPECT_GE(CounterValue(*catalog, "authidx_result_cache_invalidations_total"),
+            1u);
+
+  epoch = catalog->data_epoch();
+  ASSERT_TRUE(catalog->Search("author:minow").ok());  // Re-primed.
+  ASSERT_TRUE(catalog->CompactStorage().ok());
+  EXPECT_GT(catalog->data_epoch(), epoch);
+  uint64_t invalidations_before =
+      CounterValue(*catalog, "authidx_result_cache_invalidations_total");
+  ASSERT_TRUE(catalog->Search("author:minow").ok());
+  EXPECT_GT(CounterValue(*catalog, "authidx_result_cache_invalidations_total"),
+            invalidations_before - 1);
+}
+
+}  // namespace
+}  // namespace authidx::core
